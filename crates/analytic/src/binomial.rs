@@ -1,0 +1,203 @@
+//! Numerically stable binomial probabilities.
+//!
+//! The per-stage acceptance analysis (Section 3.2) needs the first few
+//! terms of a `Binomial(a, p)` distribution — the probability that exactly
+//! `n` of a hyperbar's `a` inputs request one particular bucket. Computing
+//! `C(a,n) p^n (1-p)^(a-n)` with explicit binomial coefficients overflows
+//! quickly; instead we use the forward recurrence
+//! `B(n+1) = B(n) * (a-n)/(n+1) * p/(1-p)`, which is stable for the small
+//! prefixes (`n < c <= a`) the model ever needs.
+
+/// Probability mass `P[X = n]` for `X ~ Binomial(a, p)`, returned for all
+/// `n` in `0..len`.
+///
+/// Values of `n` greater than `a` have probability zero. Handles the edge
+/// cases `p = 0` and `p = 1` exactly.
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability (outside `[0, 1]` or NaN).
+///
+/// # Examples
+///
+/// ```
+/// use edn_analytic::binomial::binomial_pmf_prefix;
+///
+/// let pmf = binomial_pmf_prefix(4, 0.5, 5);
+/// // Binomial(4, 1/2): 1/16, 4/16, 6/16, 4/16, 1/16.
+/// assert!((pmf[0] - 1.0 / 16.0).abs() < 1e-12);
+/// assert!((pmf[2] - 6.0 / 16.0).abs() < 1e-12);
+/// let total: f64 = pmf.iter().sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
+pub fn binomial_pmf_prefix(a: u64, p: f64, len: usize) -> Vec<f64> {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "p = {p} is not a probability"
+    );
+    let mut pmf = vec![0.0f64; len];
+    if len == 0 {
+        return pmf;
+    }
+    if p == 0.0 {
+        pmf[0] = 1.0;
+        return pmf;
+    }
+    if p == 1.0 {
+        if (a as usize) < len {
+            pmf[a as usize] = 1.0;
+        }
+        return pmf;
+    }
+    // B(0) = (1-p)^a, computed in log space for large a.
+    let q = 1.0 - p;
+    pmf[0] = (a as f64 * q.ln()).exp();
+    let ratio = p / q;
+    let mut value = pmf[0];
+    for n in 0..len.saturating_sub(1).min(a as usize) {
+        value *= (a - n as u64) as f64 / (n as f64 + 1.0) * ratio;
+        pmf[n + 1] = value;
+    }
+    pmf
+}
+
+/// Expected value of `min(X, cap)` for `X ~ Binomial(a, p)` — the expected
+/// number of requests a capacity-`cap` bucket accepts.
+///
+/// Computed as `cap - sum_{n=0}^{cap-1} (cap - n) * P[X = n]`, which only
+/// needs the stable pmf prefix.
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability.
+///
+/// # Examples
+///
+/// ```
+/// use edn_analytic::binomial::expected_min_binomial;
+///
+/// // With capacity >= a the expectation is just a*p.
+/// let e = expected_min_binomial(8, 0.25, 8);
+/// assert!((e - 2.0).abs() < 1e-12);
+/// // Capacity 1: E[min(X,1)] = P[X >= 1] = 1 - (1-p)^a.
+/// let e1 = expected_min_binomial(8, 0.25, 1);
+/// assert!((e1 - (1.0 - 0.75f64.powi(8))).abs() < 1e-12);
+/// ```
+pub fn expected_min_binomial(a: u64, p: f64, cap: u64) -> f64 {
+    let pmf = binomial_pmf_prefix(a, p, cap as usize);
+    let mut shortfall = 0.0;
+    for (n, &mass) in pmf.iter().enumerate() {
+        shortfall += (cap - n as u64) as f64 * mass;
+    }
+    cap as f64 - shortfall
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_pmf(a: u64, p: f64, n: u64) -> f64 {
+        // Direct evaluation with f64 binomial coefficient, for small a.
+        let mut coeff = 1.0f64;
+        for k in 0..n {
+            coeff *= (a - k) as f64 / (k + 1) as f64;
+        }
+        coeff * p.powi(n as i32) * (1.0 - p).powi((a - n) as i32)
+    }
+
+    #[test]
+    fn matches_naive_evaluation_for_small_a() {
+        for a in [1u64, 2, 8, 16, 64] {
+            for p in [0.01, 0.1, 0.25, 0.5, 0.9] {
+                let pmf = binomial_pmf_prefix(a, p, (a + 1) as usize);
+                for n in 0..=a.min(16) {
+                    let expected = naive_pmf(a, p, n);
+                    assert!(
+                        (pmf[n as usize] - expected).abs() < 1e-10,
+                        "a={a} p={p} n={n}: {} vs {expected}",
+                        pmf[n as usize]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_pmf_sums_to_one() {
+        for a in [4u64, 32, 200] {
+            for p in [0.05, 0.3, 0.7] {
+                let pmf = binomial_pmf_prefix(a, p, (a + 1) as usize);
+                let total: f64 = pmf.iter().sum();
+                assert!((total - 1.0).abs() < 1e-9, "a={a} p={p}: total {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_probabilities() {
+        let zero = binomial_pmf_prefix(10, 0.0, 4);
+        assert_eq!(zero, vec![1.0, 0.0, 0.0, 0.0]);
+        let one = binomial_pmf_prefix(2, 1.0, 4);
+        assert_eq!(one, vec![0.0, 0.0, 1.0, 0.0]);
+        // Prefix shorter than the point mass: all zeros.
+        let short = binomial_pmf_prefix(10, 1.0, 4);
+        assert_eq!(short, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn empty_prefix_is_empty() {
+        assert!(binomial_pmf_prefix(5, 0.5, 0).is_empty());
+    }
+
+    #[test]
+    fn expected_min_saturates_at_mean_and_cap() {
+        // E[min(X, cap)] <= min(a*p, cap), approaching a*p for large cap.
+        for a in [8u64, 64] {
+            for p in [0.1, 0.5] {
+                for cap in 1..=a {
+                    let e = expected_min_binomial(a, p, cap);
+                    assert!(e <= (a as f64 * p).min(cap as f64) + 1e-12);
+                    assert!(e >= 0.0);
+                }
+                let full = expected_min_binomial(a, p, a);
+                assert!((full - a as f64 * p).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn expected_min_is_monotone_in_cap_and_p() {
+        let mut previous = 0.0;
+        for cap in 1..=16u64 {
+            let e = expected_min_binomial(16, 0.4, cap);
+            assert!(e >= previous);
+            previous = e;
+        }
+        let mut previous = 0.0;
+        for step in 1..=10 {
+            let p = step as f64 / 10.0;
+            let e = expected_min_binomial(16, p, 4);
+            assert!(e >= previous, "p={p}");
+            previous = e;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn rejects_invalid_probability() {
+        binomial_pmf_prefix(4, 1.5, 2);
+    }
+
+    #[test]
+    fn large_a_is_stable() {
+        // a = 2^20 inputs with tiny p: B(0) = (1-p)^a must not underflow to
+        // garbage, and the prefix must stay normalized-ish.
+        let a = 1u64 << 20;
+        let p = 1.0 / (1 << 20) as f64;
+        let pmf = binomial_pmf_prefix(a, p, 4);
+        // Poisson(1) limit: B(0) ~ 1/e, B(1) ~ 1/e, B(2) ~ 1/(2e).
+        assert!((pmf[0] - (-1.0f64).exp()).abs() < 1e-6);
+        assert!((pmf[1] - (-1.0f64).exp()).abs() < 1e-6);
+        assert!((pmf[2] - (-1.0f64).exp() / 2.0).abs() < 1e-6);
+    }
+}

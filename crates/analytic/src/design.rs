@@ -1,0 +1,200 @@
+//! Design-space solvers built on the performance and cost models.
+//!
+//! The paper's figures answer "how does a fixed family degrade with
+//! size?"; a machine architect asks the inverse questions: *how large can
+//! I build before acceptance drops below a floor?* and *which family
+//! reaches a target port count at the least hardware for a given
+//! acceptance?* These helpers invert the Eq. 4 model over the square
+//! families of Figures 7–8.
+
+use crate::pa::probability_of_acceptance;
+use edn_core::cost::{crosspoint_cost, wire_cost};
+use edn_core::{EdnError, EdnParams};
+
+/// One candidate network in a design sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The network parameters.
+    pub params: EdnParams,
+    /// Ports (inputs = outputs; square families only).
+    pub ports: u64,
+    /// Full-load acceptance `PA(1)` (Eq. 4).
+    pub pa_full_load: f64,
+    /// Crosspoint cost (Eq. 2).
+    pub crosspoints: u128,
+    /// Wire cost (Eq. 3).
+    pub wires: u128,
+}
+
+impl DesignPoint {
+    fn new(params: EdnParams) -> Self {
+        DesignPoint {
+            params,
+            ports: params.inputs(),
+            pa_full_load: probability_of_acceptance(&params, 1.0),
+            crosspoints: crosspoint_cost(&params),
+            wires: wire_cost(&params),
+        }
+    }
+
+    /// Acceptance per million crosspoints — the paper's implicit figure of
+    /// merit ("performance to cost ratio").
+    pub fn pa_per_megacrosspoint(&self) -> f64 {
+        self.pa_full_load / (self.crosspoints as f64 / 1.0e6)
+    }
+}
+
+/// The deepest square network of the `(io, b)` family whose `PA(1)` stays
+/// at or above `floor`, or `None` if even one stage falls below it.
+///
+/// # Errors
+///
+/// Returns parameter-validation errors for invalid `io`/`b`.
+///
+/// # Panics
+///
+/// Panics if `floor` is not in `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use edn_analytic::design::deepest_at_acceptance;
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// // How big can the MasPar-style capacity-4 family grow before PA(1)
+/// // drops under 0.45?
+/// let point = deepest_at_acceptance(16, 4, 0.45)?.expect("one stage suffices");
+/// assert!(point.pa_full_load >= 0.45);
+/// assert!(point.ports >= 1024);
+/// # Ok(())
+/// # }
+/// ```
+pub fn deepest_at_acceptance(
+    io: u64,
+    b: u64,
+    floor: f64,
+) -> Result<Option<DesignPoint>, EdnError> {
+    assert!(floor > 0.0 && floor <= 1.0, "floor = {floor} is not a usable acceptance");
+    let mut best: Option<DesignPoint> = None;
+    for l in 1..=63 {
+        let params = match EdnParams::square_family(io, b, l) {
+            Ok(params) => params,
+            Err(EdnError::LabelWidthOverflow { .. }) => break,
+            Err(other) => return Err(other),
+        };
+        let point = DesignPoint::new(params);
+        if point.pa_full_load < floor {
+            break; // square families are monotone in depth
+        }
+        best = Some(point);
+    }
+    Ok(best)
+}
+
+/// All square families buildable from hyperbars of at most `max_io` wires,
+/// each at its largest size not exceeding `max_ports` — the candidate set
+/// a design sweep ranks.
+///
+/// # Panics
+///
+/// Panics if `max_io < 2` or `max_ports < 2`.
+pub fn candidate_sweep(max_io: u64, max_ports: u64) -> Vec<DesignPoint> {
+    assert!(max_io >= 2 && max_ports >= 2, "degenerate sweep bounds");
+    let mut points = Vec::new();
+    let mut io = 2u64;
+    while io <= max_io {
+        let mut b = 2u64;
+        while b <= io {
+            let mut best: Option<EdnParams> = None;
+            for l in 1..=63 {
+                match EdnParams::square_family(io, b, l) {
+                    Ok(params) if params.inputs() <= max_ports => best = Some(params),
+                    _ => break,
+                }
+            }
+            if let Some(params) = best {
+                points.push(DesignPoint::new(params));
+            }
+            b *= 2;
+        }
+        io *= 2;
+    }
+    points
+}
+
+/// The cheapest (by crosspoints) candidate reaching at least `min_ports`
+/// ports and `min_pa` full-load acceptance, drawn from
+/// [`candidate_sweep`].
+pub fn cheapest_meeting(
+    max_io: u64,
+    min_ports: u64,
+    min_pa: f64,
+) -> Option<DesignPoint> {
+    // Allow candidates to overshoot the port target a little: families hit
+    // different size grids, so scan up to 4x.
+    candidate_sweep(max_io, min_ports.saturating_mul(4))
+        .into_iter()
+        .filter(|point| point.ports >= min_ports && point.pa_full_load >= min_pa)
+        .min_by_key(|point| point.crosspoints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deepest_at_acceptance_is_maximal() {
+        let point = deepest_at_acceptance(16, 4, 0.5).unwrap().expect("non-empty");
+        assert!(point.pa_full_load >= 0.5);
+        // One more stage must fall below the floor.
+        let deeper = EdnParams::square_family(16, 4, point.params.l() + 1).unwrap();
+        assert!(probability_of_acceptance(&deeper, 1.0) < 0.5);
+    }
+
+    #[test]
+    fn impossible_floor_yields_none() {
+        // No 8-I/O delta network reaches PA(1) = 0.9 at any depth.
+        assert!(deepest_at_acceptance(8, 8, 0.9).unwrap().is_none());
+    }
+
+    #[test]
+    fn sweep_covers_expected_families() {
+        let points = candidate_sweep(16, 4096);
+        // (io, b) pairs: (2,2), (4,2), (4,4), (8,2), (8,4), (8,8),
+        // (16,2), (16,4), (16,8), (16,16) = 10 families.
+        assert_eq!(points.len(), 10);
+        for point in &points {
+            assert!(point.ports <= 4096);
+            assert!(point.params.is_square());
+            assert!(point.pa_full_load > 0.0 && point.pa_full_load <= 1.0);
+        }
+    }
+
+    #[test]
+    fn cheapest_meeting_respects_constraints() {
+        let point = cheapest_meeting(16, 1024, 0.4).expect("feasible");
+        assert!(point.ports >= 1024);
+        assert!(point.pa_full_load >= 0.4);
+        // And it is genuinely minimal among qualifying candidates.
+        for other in candidate_sweep(16, 4096) {
+            if other.ports >= 1024 && other.pa_full_load >= 0.4 {
+                assert!(point.crosspoints <= other.crosspoints);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_target_is_none() {
+        // PA(1) = 0.99 at 4096 ports is beyond every multistage family.
+        assert!(cheapest_meeting(16, 4096, 0.99).is_none());
+    }
+
+    #[test]
+    fn figure_of_merit_matches_fields() {
+        let point = candidate_sweep(8, 512).remove(0);
+        let fom = point.pa_per_megacrosspoint();
+        assert!(
+            (fom - point.pa_full_load / (point.crosspoints as f64 / 1.0e6)).abs() < 1e-12
+        );
+    }
+}

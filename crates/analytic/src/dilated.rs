@@ -1,0 +1,311 @@
+//! A `d`-dilated delta-network comparator.
+//!
+//! The paper's introduction contrasts EDN *capacity* with the *dilation* of
+//! Szymanski & Hamacher's multipath networks: a `d`-dilated delta network
+//! replicates every link `d` times, so its interstage planes carry `d`
+//! times the wires of an EDN plane with the same port count — "a much less
+//! space efficient network". This module models the dilated network's
+//! acceptance probability so the `TAB-DILATED` experiment can compare the
+//! two designs at equal hardware or equal performance.
+//!
+//! Model: `l` stages of radix-`b` switches on `b^l` ports. Input links are
+//! undilated (one port, one wire); every internal and output link is a
+//! *bundle* of `d` wires. Unlike the per-wire Bernoulli chain used for
+//! EDNs (where within-bucket wire states are weakly coupled), dilated
+//! bundles carry strongly correlated loads, so this model tracks the full
+//! *occupancy distribution* of a bundle: each switch sums (convolves) its
+//! `b` input-bundle occupancies, thins the total by the uniform `1/b`
+//! bucket choice, and truncates at the bundle capacity `d`. An output port
+//! finally delivers at most one message from its bundle.
+
+use crate::binomial::binomial_pmf_prefix;
+use edn_core::EdnError;
+
+/// Analytic model of a `d`-dilated, radix-`b`, `l`-stage delta network.
+///
+/// # Examples
+///
+/// ```
+/// use edn_analytic::DilatedDeltaModel;
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// let net = DilatedDeltaModel::new(4, 4, 5)?; // 1024 ports, dilation 4
+/// let pa = net.probability_of_acceptance(1.0);
+/// assert!(pa > 0.5 && pa <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DilatedDeltaModel {
+    b: u64,
+    d: u64,
+    l: u32,
+}
+
+/// Convolution of two probability vectors (independent sums).
+fn convolve(p: &[f64], q: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; p.len() + q.len() - 1];
+    for (i, &pi) in p.iter().enumerate() {
+        if pi == 0.0 {
+            continue;
+        }
+        for (j, &qj) in q.iter().enumerate() {
+            out[i + j] += pi * qj;
+        }
+    }
+    out
+}
+
+/// One switch stage: sum `b` iid input bundles, thin by `1/b`, truncate at
+/// capacity `cap`.
+fn stage_transition(bundle_in: &[f64], b: u64, cap: u64) -> Vec<f64> {
+    // Total arrivals at the switch.
+    let mut total = vec![1.0f64];
+    for _ in 0..b {
+        total = convolve(&total, bundle_in);
+    }
+    // Arrivals to one particular bucket: Binomial(K, 1/b) given K total,
+    // truncated at the bundle capacity.
+    let mut out = vec![0.0f64; cap as usize + 1];
+    let thin = 1.0 / b as f64;
+    for (k, &pk) in total.iter().enumerate() {
+        if pk <= 0.0 {
+            continue;
+        }
+        let pmf = binomial_pmf_prefix(k as u64, thin, cap as usize);
+        let mut head = 0.0;
+        for (m, &mass) in pmf.iter().enumerate() {
+            out[m] += pk * mass;
+            head += mass;
+        }
+        out[cap as usize] += pk * (1.0 - head).max(0.0);
+    }
+    out
+}
+
+impl DilatedDeltaModel {
+    /// Creates a `d`-dilated delta network model with `b x b` switches and
+    /// `l` stages (`b^l` ports).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `b` or `d` is zero or not a power of two, if
+    /// `l == 0`, or if `b^l` overflows 63 bits.
+    pub fn new(b: u64, d: u64, l: u32) -> Result<Self, EdnError> {
+        for (name, value) in [("b", b), ("d", d)] {
+            if value == 0 {
+                return Err(EdnError::ZeroParameter { name });
+            }
+            if !value.is_power_of_two() {
+                return Err(EdnError::NotPowerOfTwo { name, value });
+            }
+        }
+        if l == 0 {
+            return Err(EdnError::ZeroParameter { name: "l" });
+        }
+        let bits = l * b.trailing_zeros();
+        if bits > 63 {
+            return Err(EdnError::LabelWidthOverflow { bits });
+        }
+        Ok(DilatedDeltaModel { b, d, l })
+    }
+
+    /// Switch radix `b`.
+    pub fn radix(&self) -> u64 {
+        self.b
+    }
+
+    /// Dilation `d` (wires per logical link).
+    pub fn dilation(&self) -> u64 {
+        self.d
+    }
+
+    /// Stage count `l`.
+    pub fn stages(&self) -> u32 {
+        self.l
+    }
+
+    /// Network ports, `b^l` on each side.
+    pub fn ports(&self) -> u64 {
+        self.b.pow(self.l)
+    }
+
+    /// Occupancy distribution of a bundle after each stage:
+    /// `result[0]` is the input link (width 1, `[1-r, r]`), `result[i]`
+    /// (`1 <= i <= l`) the stage-`i` output bundle (length `d + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not in `[0, 1]`.
+    pub fn bundle_distributions(&self, r: f64) -> Vec<Vec<f64>> {
+        assert!((0.0..=1.0).contains(&r), "r = {r} is not a probability");
+        let mut result = Vec::with_capacity(self.l as usize + 1);
+        let mut dist = vec![1.0 - r, r];
+        result.push(dist.clone());
+        for _ in 1..=self.l {
+            dist = stage_transition(&dist, self.b, self.d);
+            result.push(dist.clone());
+        }
+        result
+    }
+
+    /// Expected messages per bundle after each stage, `[r_0, ..., r_l]`
+    /// (`r_0 = r` on the undilated input link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not in `[0, 1]`.
+    pub fn stage_loads(&self, r: f64) -> Vec<f64> {
+        self.bundle_distributions(r)
+            .iter()
+            .map(|dist| dist.iter().enumerate().map(|(m, &p)| m as f64 * p).sum())
+            .collect()
+    }
+
+    /// Probability of acceptance under uniform independent traffic: each
+    /// output port delivers one of the messages on its bundle, so
+    /// `PA = P[bundle non-empty] / r` (and 1 at `r = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not in `[0, 1]`.
+    pub fn probability_of_acceptance(&self, r: f64) -> f64 {
+        if r == 0.0 {
+            return 1.0;
+        }
+        let final_dist = self
+            .bundle_distributions(r)
+            .pop()
+            .expect("distributions are never empty");
+        let delivered = 1.0 - final_dist[0];
+        (delivered / r).min(1.0)
+    }
+}
+
+impl std::fmt::Display for DilatedDeltaModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-dilated delta (b={}, l={})", self.d, self.b, self.l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pa::{crossbar_pa, probability_of_acceptance as edn_pa};
+    use edn_core::EdnParams;
+
+    #[test]
+    fn dilation_one_matches_plain_delta() {
+        // d = 1: summing b Bernoulli(r) inputs and thinning by 1/b is
+        // exactly Binomial(b, r/b), so the chain must reproduce Patel's
+        // delta recursion r' = 1 - (1 - r/b)^b.
+        for (b, l) in [(4u64, 3u32), (2, 6), (8, 2)] {
+            let dilated = DilatedDeltaModel::new(b, 1, l).unwrap();
+            let delta = EdnParams::delta(b, b, l).unwrap();
+            for r in [0.25, 0.5, 1.0] {
+                let ours = dilated.probability_of_acceptance(r);
+                let reference = edn_pa(&delta, r);
+                assert!(
+                    (ours - reference).abs() < 1e-9,
+                    "b={b} l={l} r={r}: {ours} vs {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_dilation_helps() {
+        let mut previous = 0.0;
+        for d in [1u64, 2, 4, 8] {
+            let net = DilatedDeltaModel::new(4, d, 5).unwrap();
+            let pa = net.probability_of_acceptance(1.0);
+            assert!(pa > previous, "d={d}: {pa} !> {previous}");
+            previous = pa;
+        }
+    }
+
+    #[test]
+    fn never_beats_a_crossbar() {
+        // A multistage network can only lose messages a crossbar would
+        // also lose at output arbitration, never gain.
+        for d in [1u64, 2, 4, 8, 16] {
+            let net = DilatedDeltaModel::new(4, d, 5).unwrap();
+            for r in [0.3, 0.7, 1.0] {
+                let pa = net.probability_of_acceptance(r);
+                let xbar = crossbar_pa(net.ports(), r);
+                assert!(pa <= xbar + 1e-9, "d={d} r={r}: {pa} vs crossbar {xbar}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_dilation_approaches_crossbar() {
+        let net = DilatedDeltaModel::new(4, 16, 4).unwrap();
+        let pa = net.probability_of_acceptance(1.0);
+        let xbar = crossbar_pa(net.ports(), 1.0);
+        assert!(xbar - pa < 0.02, "d=16: {pa} vs crossbar {xbar}");
+    }
+
+    #[test]
+    fn comparable_to_edn_at_same_multiplicity() {
+        // 1024 ports each: EDN(16,4,4,4) (capacity 4) vs 4-dilated radix-4
+        // delta. Both land in the same performance band at full load; the
+        // dilated network pays ~4x the interstage wires for its edge.
+        let edn = EdnParams::new(16, 4, 4, 4).unwrap();
+        assert_eq!(edn.outputs(), 1024);
+        let dilated = DilatedDeltaModel::new(4, 4, 5).unwrap();
+        assert_eq!(dilated.ports(), 1024);
+        let pa_edn = edn_pa(&edn, 1.0);
+        let pa_dil = dilated.probability_of_acceptance(1.0);
+        assert!(
+            (pa_dil - pa_edn).abs() < 0.25,
+            "same band expected: dilated {pa_dil} vs EDN {pa_edn}"
+        );
+    }
+
+    #[test]
+    fn distributions_are_normalized() {
+        let net = DilatedDeltaModel::new(4, 4, 5).unwrap();
+        for r in [0.2, 0.8, 1.0] {
+            for (i, dist) in net.bundle_distributions(r).iter().enumerate() {
+                let total: f64 = dist.iter().sum();
+                assert!((total - 1.0).abs() < 1e-9, "stage {i} r={r}: total {total}");
+                assert!(dist.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+            }
+        }
+    }
+
+    #[test]
+    fn loads_decay_through_stages() {
+        let net = DilatedDeltaModel::new(4, 2, 6).unwrap();
+        let loads = net.stage_loads(1.0);
+        assert_eq!(loads.len(), 7);
+        assert!((loads[0] - 1.0).abs() < 1e-12);
+        // Per-switch conservation caps the load at the bundle capacity.
+        for &load in &loads[1..] {
+            assert!(load <= 2.0 + 1e-12);
+        }
+        // Deep stages lose traffic monotonically.
+        for window in loads[1..].windows(2) {
+            assert!(window[1] <= window[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(DilatedDeltaModel::new(3, 2, 2).is_err());
+        assert!(DilatedDeltaModel::new(4, 0, 2).is_err());
+        assert!(DilatedDeltaModel::new(4, 2, 0).is_err());
+        assert!(DilatedDeltaModel::new(2, 2, 64).is_err());
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let net = DilatedDeltaModel::new(4, 2, 5).unwrap();
+        assert_eq!(net.radix(), 4);
+        assert_eq!(net.dilation(), 2);
+        assert_eq!(net.stages(), 5);
+        assert_eq!(net.ports(), 1024);
+        assert_eq!(net.to_string(), "2-dilated delta (b=4, l=5)");
+    }
+}

@@ -1,0 +1,58 @@
+//! Probabilistic performance models for Expanded Delta Networks.
+//!
+//! This crate implements Sections 3–5 of Alleyne & Scherson's paper as
+//! closed-form / iterative numeric models (no simulation — see `edn-sim`
+//! for the Monte-Carlo counterpart):
+//!
+//! * [`pa`] — the probability of acceptance `PA(r)` under uniform
+//!   independent traffic (Eq. 4), built from the per-hyperbar acceptance
+//!   recursion in [`stage`], plus crossbar and delta baselines.
+//! * [`permutation`] — `PA_p(r)` when the offered traffic forms a
+//!   permutation (Eq. 5, using Lemma 2: the last two stages never block).
+//! * [`mimd`] — the shared-memory MIMD resubmission model (Eqs. 7–11):
+//!   blocked processors retry, raising the effective request rate; a
+//!   fixed-point iteration yields the degraded acceptance `PA'(r)` and the
+//!   processor active/waiting split.
+//! * [`simd`] — the restricted-access RA-EDN timing model (Section 5):
+//!   expected network cycles to deliver a random permutation from `p`
+//!   clusters of `q` processors, `q / PA(1) + J`.
+//! * [`dilated`] — a `d`-dilated delta-network comparator for the paper's
+//!   Section 1 remark on dilation vs. capacity.
+//! * [`design`] — inverse solvers: deepest network above an acceptance
+//!   floor, cheapest family meeting a port/acceptance target.
+//!
+//! # Quick start
+//!
+//! Reproduce the paper's Section 5 worked example (`PA(1) = 0.544` for the
+//! MasPar-shaped `RA-EDN(16,4,2,16)`):
+//!
+//! ```
+//! use edn_analytic::pa::probability_of_acceptance;
+//! use edn_core::EdnParams;
+//!
+//! # fn main() -> Result<(), edn_core::EdnError> {
+//! let params = EdnParams::ra_edn(16, 4, 2)?;
+//! let pa = probability_of_acceptance(&params, 1.0);
+//! assert!((pa - 0.544).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binomial;
+pub mod design;
+pub mod dilated;
+pub mod mimd;
+pub mod pa;
+pub mod permutation;
+pub mod simd;
+pub mod stage;
+
+pub use design::{candidate_sweep, cheapest_meeting, deepest_at_acceptance, DesignPoint};
+pub use dilated::DilatedDeltaModel;
+pub use mimd::{resubmission_fixed_point, MimdSteadyState};
+pub use pa::{crossbar_pa, probability_of_acceptance, stage_rates};
+pub use permutation::permutation_pa;
+pub use simd::{RaEdnModel, RaEdnTiming};

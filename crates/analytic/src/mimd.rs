@@ -1,0 +1,235 @@
+//! Shared-memory MIMD resubmission model — Section 4 (Eqs. 7–11).
+//!
+//! In a processor–memory system a rejected request is not discarded: the
+//! processor *waits* and resubmits next cycle until satisfied. Processors
+//! therefore alternate between an Active state (issuing fresh requests with
+//! probability `r`) and a Waiting state (resubmitting), per the paper's
+//! two-state Markov chain (Figure 10):
+//!
+//! ```text
+//! q_A = PA' / (r + PA' - r*PA')        (Eq. 7)
+//! q_W = r (1 - PA') / (r + PA' - r*PA')
+//! r'  = r*q_A + q_W = r / (r + PA' - r*PA')   (Eq. 8)
+//! PA'(r) = PA(r')                      (Eq. 9)
+//! ```
+//!
+//! `PA'` is found by iterating Eq. (10):
+//! `PA'_{n+1}(r) = PA(r / (r + PA'_n - r*PA'_n))` from `PA'_0 = PA(r)`.
+//! The *efficiency* of the system relative to an ideal memory that never
+//! rejects (Eq. 11) is the steady-state fraction of active processors,
+//! `q_A`.
+
+use crate::pa::probability_of_acceptance;
+use edn_core::EdnParams;
+
+/// Steady state of the resubmission Markov model.
+///
+/// Produced by [`resubmission_fixed_point`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MimdSteadyState {
+    /// Degraded acceptance probability `PA'(r) = PA(r')`.
+    pub pa_prime: f64,
+    /// Effective network request rate `r'` including resubmissions (Eq. 8).
+    pub effective_rate: f64,
+    /// Steady-state probability a processor is Active (Eq. 7).
+    pub q_active: f64,
+    /// Steady-state probability a processor is Waiting.
+    pub q_waiting: f64,
+    /// System efficiency vs. an ideal always-accepting memory (Eq. 11),
+    /// equal to `q_active`.
+    pub efficiency: f64,
+    /// Expected requests delivered per cycle: `inputs * r' * PA'`.
+    pub bandwidth: f64,
+    /// Fixed-point iterations performed.
+    pub iterations: u32,
+    /// Whether the iteration met `tolerance` before `max_iterations`.
+    pub converged: bool,
+}
+
+/// Solves the Eq. (9) fixed point by the Eq. (10) iteration.
+///
+/// `r` is the fresh-request probability of an Active processor. Iteration
+/// stops when successive `PA'` estimates differ by less than `tolerance`
+/// (use `1e-12` unless you have a reason not to) or after
+/// `max_iterations`.
+///
+/// # Panics
+///
+/// Panics if `r` is not in `[0, 1]` or `tolerance` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use edn_analytic::mimd::resubmission_fixed_point;
+/// use edn_analytic::pa::probability_of_acceptance;
+/// use edn_core::EdnParams;
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// let p = EdnParams::new(16, 4, 4, 4)?;
+/// let steady = resubmission_fixed_point(&p, 0.5, 1e-12, 10_000);
+/// assert!(steady.converged);
+/// // Resubmission raises the load, so acceptance degrades.
+/// assert!(steady.pa_prime <= probability_of_acceptance(&p, 0.5));
+/// # Ok(())
+/// # }
+/// ```
+pub fn resubmission_fixed_point(
+    params: &EdnParams,
+    r: f64,
+    tolerance: f64,
+    max_iterations: u32,
+) -> MimdSteadyState {
+    assert!((0.0..=1.0).contains(&r), "r = {r} is not a probability");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+
+    if r == 0.0 {
+        return MimdSteadyState {
+            pa_prime: 1.0,
+            effective_rate: 0.0,
+            q_active: 1.0,
+            q_waiting: 0.0,
+            efficiency: 1.0,
+            bandwidth: 0.0,
+            iterations: 0,
+            converged: true,
+        };
+    }
+
+    let effective = |pa: f64| r / (r + pa - r * pa);
+    let mut pa = probability_of_acceptance(params, r);
+    let mut iterations = 0u32;
+    let mut converged = false;
+    while iterations < max_iterations {
+        iterations += 1;
+        let next = probability_of_acceptance(params, effective(pa).min(1.0));
+        if (next - pa).abs() < tolerance {
+            pa = next;
+            converged = true;
+            break;
+        }
+        pa = next;
+    }
+
+    let r_prime = effective(pa).min(1.0);
+    let denom = r + pa - r * pa;
+    let q_active = pa / denom;
+    let q_waiting = r * (1.0 - pa) / denom;
+    MimdSteadyState {
+        pa_prime: pa,
+        effective_rate: r_prime,
+        q_active,
+        q_waiting,
+        efficiency: q_active,
+        bandwidth: params.inputs() as f64 * r_prime * pa,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(a: u64, b: u64, c: u64, l: u32) -> EdnParams {
+        EdnParams::new(a, b, c, l).unwrap()
+    }
+
+    fn solve(p: &EdnParams, r: f64) -> MimdSteadyState {
+        resubmission_fixed_point(p, r, 1e-12, 100_000)
+    }
+
+    #[test]
+    fn fixed_point_satisfies_eq9() {
+        for (a, b, c, l) in [(16, 4, 4, 3), (4, 2, 2, 5), (8, 8, 1, 3), (64, 16, 4, 2)] {
+            let p = params(a, b, c, l);
+            for r in [0.1, 0.5, 1.0] {
+                let s = solve(&p, r);
+                assert!(s.converged, "{p} r={r}");
+                let check = probability_of_acceptance(&p, s.effective_rate);
+                assert!(
+                    (check - s.pa_prime).abs() < 1e-9,
+                    "{p} r={r}: PA(r')={check} vs PA'={}",
+                    s.pa_prime
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resubmission_degrades_acceptance() {
+        // Figure 11's message: the resubmitted curve sits below the
+        // ignored-rejects curve.
+        for (a, b, c, l) in [(16, 4, 4, 4), (4, 2, 2, 8)] {
+            let p = params(a, b, c, l);
+            let s = solve(&p, 0.5);
+            let ignored = probability_of_acceptance(&p, 0.5);
+            assert!(s.pa_prime < ignored, "{p}: {} !< {ignored}", s.pa_prime);
+            assert!(s.effective_rate > 0.5, "resubmission must raise the load");
+        }
+    }
+
+    #[test]
+    fn markov_probabilities_are_consistent() {
+        let p = params(16, 4, 4, 4);
+        for r in [0.2, 0.5, 0.9] {
+            let s = solve(&p, r);
+            assert!((s.q_active + s.q_waiting - 1.0).abs() < 1e-9);
+            assert!((0.0..=1.0).contains(&s.q_active));
+            assert!((0.0..=1.0).contains(&s.q_waiting));
+            assert_eq!(s.efficiency, s.q_active);
+            // Eq. 8 consistency: r' = r*qA + qW.
+            assert!((s.effective_rate - (r * s.q_active + s.q_waiting)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shallow_networks_degrade_less_than_deep_ones() {
+        // A crossbar still suffers output contention at r = 0.5, but far
+        // less than a deep unique-path delta network.
+        let xbar = EdnParams::crossbar(64).unwrap();
+        let s = solve(&xbar, 0.5);
+        assert!(s.q_active > 0.8, "crossbar q_active = {}", s.q_active);
+        let delta = params(4, 4, 1, 8);
+        let sd = solve(&delta, 0.5);
+        assert!(sd.q_active < s.q_active - 0.1, "{} vs {}", sd.q_active, s.q_active);
+    }
+
+    #[test]
+    fn zero_rate_is_ideal() {
+        let s = resubmission_fixed_point(&params(16, 4, 4, 3), 0.0, 1e-12, 100);
+        assert_eq!(s.q_active, 1.0);
+        assert_eq!(s.bandwidth, 0.0);
+        assert!(s.converged);
+    }
+
+    #[test]
+    fn bandwidth_matches_throughput_identity() {
+        // Delivered = inputs * r' * PA' must also equal the rate of fresh
+        // work admitted: inputs * r * q_active (flow balance in steady
+        // state).
+        let p = params(16, 4, 4, 5);
+        for r in [0.3, 0.7, 1.0] {
+            let s = solve(&p, r);
+            let fresh = p.inputs() as f64 * r * s.q_active;
+            assert!(
+                (s.bandwidth - fresh).abs() < 1e-6 * fresh.max(1.0),
+                "r={r}: {} vs {fresh}",
+                s.bandwidth
+            );
+        }
+    }
+
+    #[test]
+    fn effective_rate_bounded_by_one() {
+        let p = params(8, 8, 1, 6); // harsh network
+        let s = solve(&p, 1.0);
+        assert!(s.effective_rate <= 1.0);
+        assert!(s.pa_prime > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn rejects_bad_rate() {
+        resubmission_fixed_point(&params(8, 4, 2, 2), 1.2, 1e-9, 10);
+    }
+}

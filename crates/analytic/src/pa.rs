@@ -1,0 +1,265 @@
+//! The probability of acceptance `PA(r)` — Eq. (4) of the paper.
+//!
+//! `PA(r)` is the ratio of the expected number of requests *delivered* per
+//! cycle to the expected number *generated*. Chaining the per-stage maps of
+//! [`crate::stage`] through all `l` hyperbar stages and the final crossbar
+//! stage gives
+//!
+//! ```text
+//! PA(r) = (b c / a)^l * r_final / r,
+//!     r_0 = r,  r_{i+1} = E(r_i)/c,  r_final = 1 - (1 - r_l/c)^c.
+//! ```
+//!
+//! For square networks (`a = bc`, the families of Figures 7–8) the leading
+//! factor is 1 and `PA` is simply `r_final / r`.
+
+use crate::stage::{crossbar_final_rate, hyperbar_stage_rate};
+use edn_core::EdnParams;
+
+/// The request rate on the wires entering each stage, plus the final
+/// output-port rate: `[r_0, r_1, ..., r_l, r_final]` (`l + 2` entries).
+///
+/// Exposed separately from [`probability_of_acceptance`] so callers can see
+/// *where* a network loses its traffic (C-INTERMEDIATE).
+///
+/// # Panics
+///
+/// Panics if `r` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use edn_analytic::pa::stage_rates;
+/// use edn_core::EdnParams;
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// let p = EdnParams::new(64, 16, 4, 2)?;
+/// let rates = stage_rates(&p, 1.0);
+/// assert_eq!(rates.len(), 4); // r0, r1, r2, r_final
+/// assert!((rates[3] - 0.544).abs() < 1e-3); // the paper's anchor
+/// # Ok(())
+/// # }
+/// ```
+pub fn stage_rates(params: &EdnParams, r: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&r), "r = {r} is not a probability");
+    let mut rates = Vec::with_capacity(params.l() as usize + 2);
+    rates.push(r);
+    let mut rate = r;
+    for _ in 1..=params.l() {
+        rate = hyperbar_stage_rate(params.a(), params.b(), params.c(), rate);
+        rates.push(rate);
+    }
+    rates.push(crossbar_final_rate(params.c(), rate));
+    rates
+}
+
+/// `PA(r)`, Eq. (4): expected fraction of generated requests delivered in
+/// one circuit-switched cycle under uniform independent traffic.
+///
+/// Defined as `1.0` at `r = 0` (the no-traffic limit).
+///
+/// # Panics
+///
+/// Panics if `r` is not in `[0, 1]`.
+pub fn probability_of_acceptance(params: &EdnParams, r: f64) -> f64 {
+    if r == 0.0 {
+        return 1.0;
+    }
+    let rates = stage_rates(params, r);
+    let r_final = *rates.last().expect("stage_rates is never empty");
+    let scale = (params.b() as f64 * params.c() as f64 / params.a() as f64).powi(params.l() as i32);
+    (scale * r_final / r).min(1.0)
+}
+
+/// Expected number of requests delivered per cycle (the network
+/// *bandwidth* of Section 4): `outputs * r_final`.
+///
+/// # Panics
+///
+/// Panics if `r` is not in `[0, 1]`.
+pub fn expected_bandwidth(params: &EdnParams, r: f64) -> f64 {
+    let rates = stage_rates(params, r);
+    params.outputs() as f64 * rates.last().expect("stage_rates is never empty")
+}
+
+/// `PA(r)` for a full `n x n` crossbar — the reference curve of Figures
+/// 7–8: `(1 - (1 - r/n)^n) / r`, and `1.0` at `r = 0`.
+///
+/// # Panics
+///
+/// Panics if `r` is not in `[0, 1]` or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use edn_analytic::pa::crossbar_pa;
+///
+/// // As n grows at full load, the crossbar's PA approaches 1 - 1/e.
+/// let pa = crossbar_pa(1 << 20, 1.0);
+/// assert!((pa - (1.0 - (-1.0f64).exp())).abs() < 1e-5);
+/// ```
+pub fn crossbar_pa(n: u64, r: f64) -> f64 {
+    assert!(n > 0, "crossbar size must be positive");
+    assert!((0.0..=1.0).contains(&r), "r = {r} is not a probability");
+    if r == 0.0 {
+        return 1.0;
+    }
+    let miss = (1.0 - r / n as f64).powi(i32::try_from(n.min(i32::MAX as u64)).unwrap_or(i32::MAX));
+    // For astronomically large n use the exp limit to avoid powi range issues.
+    let miss = if n > i32::MAX as u64 { (-(r)).exp() } else { miss };
+    (1.0 - miss) / r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(a: u64, b: u64, c: u64, l: u32) -> EdnParams {
+        EdnParams::new(a, b, c, l).unwrap()
+    }
+
+    #[test]
+    fn section5_anchor_pa_is_0_544() {
+        // The paper: "In this system PA(1) = .544" for EDN(64,16,4,2).
+        let p = params(64, 16, 4, 2);
+        let pa = probability_of_acceptance(&p, 1.0);
+        assert!((pa - 0.544).abs() < 1e-3, "PA(1) = {pa}");
+    }
+
+    #[test]
+    fn stage_rates_match_hand_derivation() {
+        // Independently computed chain for EDN(64,16,4,2) at r = 1 (exact
+        // binomial sums, see DESIGN.md): r1 = 0.810853, r2 = 0.712516,
+        // r_final = 0.543738 (the paper rounds the last to .544).
+        let rates = stage_rates(&params(64, 16, 4, 2), 1.0);
+        assert!((rates[0] - 1.0).abs() < 1e-12);
+        assert!((rates[1] - 0.810853).abs() < 1e-6, "r1 = {}", rates[1]);
+        assert!((rates[2] - 0.712516).abs() < 1e-6, "r2 = {}", rates[2]);
+        assert!((rates[3] - 0.543738).abs() < 1e-6, "rf = {}", rates[3]);
+    }
+
+    #[test]
+    fn pa_is_one_for_single_input_traffic_limit() {
+        for (a, b, c, l) in [(8, 2, 4, 3), (16, 4, 4, 2), (8, 8, 1, 4)] {
+            let p = params(a, b, c, l);
+            assert_eq!(probability_of_acceptance(&p, 0.0), 1.0);
+            // Tiny load: virtually no contention anywhere.
+            let pa = probability_of_acceptance(&p, 1e-9);
+            assert!(pa > 0.999_999, "{p}: PA(eps) = {pa}");
+        }
+    }
+
+    #[test]
+    fn pa_decreases_with_stage_count() {
+        // Figures 7-8: performance falls as networks grow.
+        for (io, b) in [(8u64, 2u64), (8, 4), (8, 8), (16, 4)] {
+            let mut previous = f64::INFINITY;
+            for l in 1..=8 {
+                let p = EdnParams::square_family(io, b, l).unwrap();
+                let pa = probability_of_acceptance(&p, 1.0);
+                assert!(pa < previous + 1e-12, "io={io} b={b} l={l}");
+                previous = pa;
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_ordering_matches_figure7() {
+        // At any size, higher capacity (same switch I/O) performs better:
+        // EDN(8,2,4,*) > EDN(8,4,2,*) > EDN(8,8,1,*).
+        for l in 2..=6u32 {
+            // Compare at (roughly) equal network size by choosing stage
+            // counts that give the same port count 2^(3l): EDN(8,8,1) gets
+            // l stages of 3 bits, EDN(8,4,2) needs 3l/2... compare instead
+            // at equal stage count, which the paper's figures show too.
+            let pa_c4 = probability_of_acceptance(&EdnParams::square_family(8, 2, l).unwrap(), 1.0);
+            let pa_c2 = probability_of_acceptance(&EdnParams::square_family(8, 4, l).unwrap(), 1.0);
+            let pa_c1 = probability_of_acceptance(&EdnParams::square_family(8, 8, l).unwrap(), 1.0);
+            assert!(pa_c4 > pa_c2 && pa_c2 > pa_c1, "l={l}: {pa_c4} {pa_c2} {pa_c1}");
+        }
+    }
+
+    #[test]
+    fn pa_at_equal_size_matches_figure7_ordering() {
+        // Equal port count N = 4096: EDN(8,2,4,*) needs l=10 (2^10*4),
+        // EDN(8,4,2,*) needs l=5.5 -> use N=1024: c4 l=8, c2 l=4, delta
+        // 8^l... use N=4096 for c2 (4^5*2=2048, 4^6*2=8192) — sizes don't
+        // align exactly across families, so check the envelope instead:
+        // at ~4K ports every capacity>1 family beats the delta family.
+        let delta = probability_of_acceptance(&EdnParams::square_family(8, 8, 4).unwrap(), 1.0); // 4096
+        let c2 = probability_of_acceptance(&EdnParams::square_family(8, 4, 5).unwrap(), 1.0); // 2048
+        let c4 = probability_of_acceptance(&EdnParams::square_family(8, 2, 10).unwrap(), 1.0); // 4096
+        assert!(c2 > delta, "{c2} vs {delta}");
+        assert!(c4 > delta, "{c4} vs {delta}");
+    }
+
+    #[test]
+    fn delta_pa_matches_patel_recursion() {
+        // For c = 1 our chain must equal Patel's r_{i+1} = 1-(1-r_i/b)^a.
+        let p = params(4, 4, 1, 4);
+        let rates = stage_rates(&p, 1.0);
+        let mut r = 1.0f64;
+        for rate in rates.iter().take(5).skip(1) {
+            r = 1.0 - (1.0 - r / 4.0).powi(4);
+            assert!((rate - r).abs() < 1e-12);
+        }
+        // Final 1x1 "crossbar" stage is the identity map on rates.
+        assert!((rates[5] - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossbar_pa_limits() {
+        assert_eq!(crossbar_pa(8, 0.0), 1.0);
+        // Small n exact: n=2, r=1: 1-(1-1/2)^2 = 3/4.
+        assert!((crossbar_pa(2, 1.0) - 0.75).abs() < 1e-12);
+        // Large-n full-load limit: 1 - 1/e.
+        let limit = 1.0 - (-1.0f64).exp();
+        assert!((crossbar_pa(1 << 20, 1.0) - limit).abs() < 1e-4);
+        // EDN(n,n,1,1) equals the crossbar model (up to its extra trivial
+        // final stage, which does not lose traffic at c = 1).
+        let p = EdnParams::crossbar(16).unwrap();
+        for r in [0.2, 0.6, 1.0] {
+            assert!(
+                (probability_of_acceptance(&p, r) - crossbar_pa(16, r)).abs() < 1e-12,
+                "r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_scales_with_outputs() {
+        let p = params(16, 4, 4, 2);
+        let bw = expected_bandwidth(&p, 1.0);
+        let pa = probability_of_acceptance(&p, 1.0);
+        // Square network: bandwidth = inputs * r * PA = outputs * r_final.
+        assert!((bw - p.inputs() as f64 * pa).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rectangular_networks_scale_by_expansion_factor() {
+        // EDN(8,4,4,2): a/c = 2, b = 4 -> 2x expansion per stage; 16 inputs
+        // fan out to 64 outputs. PA can stay near 1 even at full load
+        // because outputs outnumber inputs.
+        let p = params(8, 4, 4, 2);
+        assert_eq!(p.inputs(), 16);
+        assert_eq!(p.outputs(), 64);
+        let pa = probability_of_acceptance(&p, 1.0);
+        assert!(pa > 0.85, "expansion network PA = {pa}");
+        assert!(pa <= 1.0);
+        // And it must beat the square network of the same switch budget.
+        let square = params(16, 4, 4, 2);
+        assert!(pa > probability_of_acceptance(&square, 1.0));
+    }
+
+    #[test]
+    fn pa_never_exceeds_one() {
+        for (a, b, c, l) in [(8, 4, 4, 2), (16, 2, 8, 3), (8, 2, 4, 5), (4, 4, 1, 2)] {
+            let p = params(a, b, c, l);
+            for step in 0..=10 {
+                let r = step as f64 / 10.0;
+                let pa = probability_of_acceptance(&p, r);
+                assert!((0.0..=1.0).contains(&pa), "{p} r={r} PA={pa}");
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Permutation-traffic acceptance `PA_p(r)` — Eq. (5) of the paper.
+//!
+//! When the offered requests form a (partial) permutation, Lemma 2 shows
+//! the last two stages never block: each of the `b` output groups of the
+//! second-to-last stage feeds one `c x c` crossbar directly, and a
+//! permutation offers at most `c` messages to each crossbar. Blocking can
+//! therefore only happen in hyperbar stages `1 .. l-1`, giving
+//!
+//! ```text
+//! PA_p(r) = (b c / a)^(l-1) * r_{l-1} / r
+//! ```
+//!
+//! with the same per-stage recursion as Eq. (4). Networks with `l <= 1`
+//! (including every crossbar) route any permutation completely: `PA_p = 1`.
+//!
+//! Note: the OCR of the technical report prints the recursion bound as
+//! `i < l - 2`, which is inconsistent at `l = 1` (where `PA_p` must be 1);
+//! the derivation above (exempting exactly the two final stages) is used
+//! instead. See DESIGN.md.
+
+use crate::stage::hyperbar_stage_rate;
+use edn_core::EdnParams;
+
+/// `PA_p(r)`: expected fraction of offered requests delivered when the
+/// requests form a partial permutation with per-input occupancy `r`.
+///
+/// Defined as `1.0` at `r = 0`.
+///
+/// # Panics
+///
+/// Panics if `r` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use edn_analytic::permutation::permutation_pa;
+/// use edn_core::EdnParams;
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// // A crossbar routes every permutation completely.
+/// let xbar = EdnParams::crossbar(64)?;
+/// assert_eq!(permutation_pa(&xbar, 1.0), 1.0);
+///
+/// // A deep delta network does not.
+/// let delta = EdnParams::delta(4, 4, 5)?;
+/// assert!(permutation_pa(&delta, 1.0) < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn permutation_pa(params: &EdnParams, r: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&r), "r = {r} is not a probability");
+    if r == 0.0 || params.l() <= 1 {
+        return 1.0;
+    }
+    let mut rate = r;
+    for _ in 1..params.l() {
+        rate = hyperbar_stage_rate(params.a(), params.b(), params.c(), rate);
+    }
+    let scale =
+        (params.b() as f64 * params.c() as f64 / params.a() as f64).powi(params.l() as i32 - 1);
+    (scale * rate / r).min(1.0)
+}
+
+/// The wire request rates feeding each hyperbar stage under permutation
+/// traffic: `[r_0, ..., r_{l-1}]`. The last entry is the rate entering
+/// stage `l`, beyond which Lemma 2 guarantees lossless delivery.
+///
+/// # Panics
+///
+/// Panics if `r` is not in `[0, 1]`.
+pub fn permutation_stage_rates(params: &EdnParams, r: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&r), "r = {r} is not a probability");
+    let mut rates = Vec::with_capacity(params.l() as usize);
+    rates.push(r);
+    let mut rate = r;
+    for _ in 1..params.l() {
+        rate = hyperbar_stage_rate(params.a(), params.b(), params.c(), rate);
+        rates.push(rate);
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pa::probability_of_acceptance;
+
+    fn params(a: u64, b: u64, c: u64, l: u32) -> EdnParams {
+        EdnParams::new(a, b, c, l).unwrap()
+    }
+
+    #[test]
+    fn single_stage_networks_route_all_permutations() {
+        for (a, b, c) in [(8, 8, 1), (16, 4, 4), (8, 2, 4)] {
+            let p = params(a, b, c, 1);
+            for r in [0.1, 0.5, 1.0] {
+                assert_eq!(permutation_pa(&p, r), 1.0, "{p} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_beats_uniform_traffic() {
+        // Removing output contention can only help: PA_p >= PA.
+        for (a, b, c, l) in [(16, 4, 4, 2), (8, 2, 4, 3), (8, 8, 1, 4), (64, 16, 4, 2)] {
+            let p = params(a, b, c, l);
+            for step in 1..=4 {
+                let r = step as f64 / 4.0;
+                let pap = permutation_pa(&p, r);
+                let pa = probability_of_acceptance(&p, r);
+                assert!(pap >= pa - 1e-12, "{p} r={r}: PA_p={pap} PA={pa}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_stage_network_only_blocks_at_stage_one() {
+        // l = 2: PA_p = r_1 / r for square networks.
+        let p = params(64, 16, 4, 2);
+        let r = 1.0;
+        let r1 = hyperbar_stage_rate(64, 16, 4, r);
+        assert!((permutation_pa(&p, r) - r1 / r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_rates_prefix_matches_uniform_recursion() {
+        let p = params(16, 4, 4, 3);
+        let perm = permutation_stage_rates(&p, 0.9);
+        let uniform = crate::pa::stage_rates(&p, 0.9);
+        assert_eq!(perm.len(), 3);
+        for (i, rate) in perm.iter().enumerate() {
+            assert!((rate - uniform[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deep_networks_still_lose_permutations() {
+        let p = params(8, 8, 1, 6); // 262144-port delta
+        let pap = permutation_pa(&p, 1.0);
+        assert!(pap < 0.5, "deep delta PA_p = {pap}");
+        // But a capacity-4 EDN of similar depth holds up far better.
+        let e = params(8, 2, 4, 6);
+        let pap_edn = permutation_pa(&e, 1.0);
+        assert!(pap_edn > pap + 0.2, "{pap_edn} vs {pap}");
+    }
+
+    #[test]
+    fn zero_rate_is_perfect() {
+        assert_eq!(permutation_pa(&params(16, 4, 4, 3), 0.0), 1.0);
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        for (a, b, c, l) in [(8, 4, 4, 3), (16, 2, 8, 2)] {
+            let p = params(a, b, c, l);
+            for step in 0..=4 {
+                let r = step as f64 / 4.0;
+                let pap = permutation_pa(&p, r);
+                assert!((0.0..=1.0).contains(&pap));
+            }
+        }
+    }
+}

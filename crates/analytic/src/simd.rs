@@ -1,0 +1,244 @@
+//! Restricted-access (clustered) SIMD timing model — Section 5.
+//!
+//! Very large SIMD machines cannot give every processing element its own
+//! network port; the MasPar MP-1 shares each router port among a *cluster*
+//! of PEs. An `RA-EDN(b, c, l, q)` system has `p = b^l * c` clusters of `q`
+//! PEs on a square `EDN(bc, b, c, l)`. Routing a random permutation of all
+//! `p*q` messages proceeds in network cycles: each cluster submits one
+//! undelivered message per cycle (random schedule), losers retry.
+//!
+//! The expected cycle count decomposes into a *bulk* phase — the offered
+//! rate stays ~1 until each cluster is down to about one undelivered
+//! message, taking `q / PA(1)` cycles — and a *tail* phase where the rate
+//! decays as `r_{j+1} = (1 - PA(r_j)) * r_j` until fewer than one message
+//! remains system-wide (`r_j * p < 1`), plus one final cycle that flushes
+//! the last message — `J` cycles in total ("at this point it can be
+//! assumed that all data can be routed in the following cycle"):
+//!
+//! ```text
+//! E[cycles] = q / PA(1) + J
+//! ```
+//!
+//! The paper's worked example, `RA-EDN(16,4,2,16)` (logically the 16K-PE
+//! MasPar MP-1 router): `PA(1) = 0.544`, `J = 5`, `E = 34.41` cycles.
+
+use crate::pa::probability_of_acceptance;
+use edn_core::{EdnError, EdnParams};
+
+/// A restricted-access EDN system: `p = b^l * c` clusters of `q` PEs
+/// sharing a square `EDN(bc, b, c, l)`.
+///
+/// # Examples
+///
+/// ```
+/// use edn_analytic::simd::RaEdnModel;
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// // The MasPar MP-1 router: 1024 clusters x 16 PEs = 16K processors.
+/// let model = RaEdnModel::new(16, 4, 2, 16)?;
+/// assert_eq!(model.ports(), 1024);
+/// assert_eq!(model.processors(), 16 * 1024);
+/// let timing = model.expected_permutation_cycles();
+/// assert!((timing.total_cycles - 34.41).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaEdnModel {
+    params: EdnParams,
+    q: u64,
+}
+
+/// Expected permutation-routing time, produced by
+/// [`RaEdnModel::expected_permutation_cycles`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaEdnTiming {
+    /// `PA(1)` of the underlying network — the full-load acceptance that
+    /// governs the bulk phase.
+    pub pa_full_load: f64,
+    /// Bulk-phase cycles, `q / PA(1)`.
+    pub bulk_cycles: f64,
+    /// Tail-phase cycles `J`: the least `j` with `r_j * p < 1`, plus the
+    /// final cycle that flushes the remaining message.
+    pub tail_cycles: u32,
+    /// Total expected cycles, `q / PA(1) + J`.
+    pub total_cycles: f64,
+    /// The tail request rates `r_1, r_2, ..., r_J`.
+    pub tail_rates: Vec<f64>,
+}
+
+impl RaEdnModel {
+    /// Creates an `RA-EDN(b, c, l, q)` system model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid network parameters or `q == 0`.
+    pub fn new(b: u64, c: u64, l: u32, q: u64) -> Result<Self, EdnError> {
+        if q == 0 {
+            return Err(EdnError::ZeroParameter { name: "q" });
+        }
+        Ok(RaEdnModel { params: EdnParams::ra_edn(b, c, l)?, q })
+    }
+
+    /// Wraps an existing square network as the router of a `q`-PE-per-port
+    /// clustered system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdnError::NotSquare`] if `params.inputs() !=
+    /// params.outputs()` and [`EdnError::ZeroParameter`] if `q == 0`.
+    pub fn from_params(params: EdnParams, q: u64) -> Result<Self, EdnError> {
+        if !params.is_square() {
+            return Err(EdnError::NotSquare {
+                inputs: params.inputs(),
+                outputs: params.outputs(),
+            });
+        }
+        if q == 0 {
+            return Err(EdnError::ZeroParameter { name: "q" });
+        }
+        Ok(RaEdnModel { params, q })
+    }
+
+    /// The underlying network parameters.
+    pub fn params(&self) -> &EdnParams {
+        &self.params
+    }
+
+    /// Network ports / clusters, `p = b^l * c`.
+    pub fn ports(&self) -> u64 {
+        self.params.inputs()
+    }
+
+    /// PEs per cluster, `q`.
+    pub fn cluster_size(&self) -> u64 {
+        self.q
+    }
+
+    /// Total processing elements, `N = p * q`.
+    pub fn processors(&self) -> u64 {
+        self.ports() * self.q
+    }
+
+    /// Expected network cycles to deliver a random permutation of all
+    /// `p * q` messages (Section 5.1).
+    pub fn expected_permutation_cycles(&self) -> RaEdnTiming {
+        let p = self.ports() as f64;
+        let pa_full = probability_of_acceptance(&self.params, 1.0);
+        let bulk = self.q as f64 / pa_full;
+
+        let mut tail_rates = Vec::new();
+        let mut rate = 1.0f64;
+        // r_{j+1} = (1 - PA(r_j)) * r_j, starting from r_0 = 1, until fewer
+        // than one undelivered message remains (r * p < 1); one more cycle
+        // then flushes it.
+        const MAX_TAIL: u32 = 10_000;
+        for _ in 0..MAX_TAIL {
+            rate = (1.0 - probability_of_acceptance(&self.params, rate)) * rate;
+            tail_rates.push(rate);
+            if rate * p < 1.0 {
+                break;
+            }
+        }
+        let j = tail_rates.len() as u32 + 1;
+        RaEdnTiming {
+            pa_full_load: pa_full,
+            bulk_cycles: bulk,
+            tail_cycles: j,
+            total_cycles: bulk + j as f64,
+            tail_rates,
+        }
+    }
+}
+
+impl std::fmt::Display for RaEdnModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RA-EDN({},{},{},{})",
+            self.params.b(),
+            self.params.c(),
+            self.params.l(),
+            self.q
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maspar_worked_example_matches_paper() {
+        // "suppose that we have a RA-EDN(16,4,2,16) system ... PA(1) = .544.
+        //  Solving the recursion above gives a J of 5. Thus the expected
+        //  time ... about 16/.544 + 5 = 34.41 network cycles."
+        let model = RaEdnModel::new(16, 4, 2, 16).unwrap();
+        assert_eq!(model.ports(), 1024);
+        assert_eq!(model.processors(), 16384);
+        let timing = model.expected_permutation_cycles();
+        assert!((timing.pa_full_load - 0.544).abs() < 1e-3, "PA(1) = {}", timing.pa_full_load);
+        assert_eq!(timing.tail_cycles, 5, "J = {}", timing.tail_cycles);
+        assert!((timing.total_cycles - 34.41).abs() < 0.05, "E = {}", timing.total_cycles);
+    }
+
+    #[test]
+    fn tail_rates_decrease_strictly() {
+        let model = RaEdnModel::new(16, 4, 2, 16).unwrap();
+        let timing = model.expected_permutation_cycles();
+        let mut previous = 1.0f64;
+        for &rate in &timing.tail_rates {
+            assert!(rate < previous, "{:?}", timing.tail_rates);
+            previous = rate;
+        }
+        assert!(previous * (model.ports() as f64) < 1.0);
+    }
+
+    #[test]
+    fn more_pes_per_cluster_cost_proportionally_more_bulk_cycles() {
+        let t16 = RaEdnModel::new(16, 4, 2, 16).unwrap().expected_permutation_cycles();
+        let t64 = RaEdnModel::new(16, 4, 2, 64).unwrap().expected_permutation_cycles();
+        assert!((t64.bulk_cycles - 4.0 * t16.bulk_cycles).abs() < 1e-9);
+        // The tail does not depend on q at all.
+        assert_eq!(t64.tail_cycles, t16.tail_cycles);
+    }
+
+    #[test]
+    fn permutation_needs_at_least_q_cycles() {
+        for (b, c, l, q) in [(16u64, 4u64, 2u32, 16u64), (4, 2, 3, 8), (2, 2, 4, 4)] {
+            let timing = RaEdnModel::new(b, c, l, q).unwrap().expected_permutation_cycles();
+            assert!(timing.total_cycles >= q as f64, "RA-EDN({b},{c},{l},{q})");
+        }
+    }
+
+    #[test]
+    fn better_networks_finish_faster() {
+        // Same cluster count order of magnitude, deeper/narrower network
+        // is slower per message.
+        let good = RaEdnModel::new(16, 4, 2, 16).unwrap().expected_permutation_cycles();
+        let poor = RaEdnModel::from_params(EdnParams::new(8, 8, 1, 3).unwrap(), 16)
+            .unwrap()
+            .expected_permutation_cycles();
+        assert!(poor.total_cycles > good.total_cycles);
+    }
+
+    #[test]
+    fn from_params_rejects_rectangular_networks() {
+        let rect = EdnParams::new(8, 4, 4, 2).unwrap();
+        assert!(matches!(
+            RaEdnModel::from_params(rect, 4),
+            Err(EdnError::NotSquare { .. })
+        ));
+        let square = EdnParams::new(16, 4, 4, 2).unwrap();
+        assert!(matches!(
+            RaEdnModel::from_params(square, 0),
+            Err(EdnError::ZeroParameter { name: "q" })
+        ));
+    }
+
+    #[test]
+    fn display_shows_system_shape() {
+        let model = RaEdnModel::new(16, 4, 2, 16).unwrap();
+        assert_eq!(model.to_string(), "RA-EDN(16,4,2,16)");
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-stage acceptance functions — the building blocks of Eq. (4).
+//!
+//! Under the Section 3.2 assumptions (uniform, independent requests), a
+//! hyperbar stage whose input wires carry a request with probability `r_in`
+//! produces output wires carrying a request with probability
+//! `r_out = E(r_in) / c`, where `E(r)` is the expected number of requests a
+//! capacity-`c` bucket accepts when each of the `a` inputs requests it with
+//! probability `r / b`. Theorem 3 guarantees the uniform-independence
+//! assumption propagates stage to stage, so the whole network is a chain of
+//! these maps, closed by the final `c x c` crossbar stage.
+
+use crate::binomial::expected_min_binomial;
+
+/// One application of the hyperbar stage map: input-wire request rate
+/// `r_in` to output-wire request rate `E(r_in)/c` for an `H(a -> b x c)`
+/// stage.
+///
+/// # Panics
+///
+/// Panics if `r_in` is not in `[0, 1]` or `b == 0` or `c == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use edn_analytic::stage::hyperbar_stage_rate;
+///
+/// // A capacity-1 stage (delta network switch) reduces rate to
+/// // 1 - (1 - r/b)^a, Patel's classic recursion.
+/// let r = hyperbar_stage_rate(4, 4, 1, 0.8);
+/// assert!((r - (1.0 - (1.0f64 - 0.2).powi(4))).abs() < 1e-12);
+/// ```
+pub fn hyperbar_stage_rate(a: u64, b: u64, c: u64, r_in: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&r_in), "r_in = {r_in} is not a probability");
+    assert!(b > 0 && c > 0, "degenerate switch shape");
+    let p = r_in / b as f64;
+    expected_min_binomial(a, p, c) / c as f64
+}
+
+/// The final-stage map: `c` crossbar inputs with request rate `r` produce
+/// an output-port utilization of `1 - (1 - r/c)^c`.
+///
+/// # Panics
+///
+/// Panics if `r` is not in `[0, 1]` or `c == 0`.
+pub fn crossbar_final_rate(c: u64, r: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&r), "r = {r} is not a probability");
+    assert!(c > 0, "degenerate crossbar");
+    1.0 - (1.0 - r / c as f64).powi(c as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_in_zero_out() {
+        assert_eq!(hyperbar_stage_rate(8, 4, 2, 0.0), 0.0);
+        assert_eq!(crossbar_final_rate(4, 0.0), 0.0);
+    }
+
+    #[test]
+    fn rates_stay_in_unit_interval() {
+        for a in [4u64, 8, 16, 64] {
+            for (b, c) in [(2u64, 2u64), (4, 4), (8, 2), (16, 4)] {
+                for step in 0..=10 {
+                    let r = step as f64 / 10.0;
+                    let out = hyperbar_stage_rate(a, b, c, r);
+                    assert!((0.0..=1.0).contains(&out), "a={a} b={b} c={c} r={r} -> {out}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_map_is_monotone_in_rate() {
+        let mut previous = 0.0;
+        for step in 0..=20 {
+            let r = step as f64 / 20.0;
+            let out = hyperbar_stage_rate(16, 4, 4, r);
+            assert!(out >= previous - 1e-12);
+            previous = out;
+        }
+    }
+
+    #[test]
+    fn bigger_capacity_accepts_more() {
+        // Same 8-I/O switch budget, increasing capacity: EDN(8,8,1) vs
+        // EDN(8,4,2) vs EDN(8,2,4) stage maps at full load.
+        let r1 = hyperbar_stage_rate(8, 8, 1, 1.0);
+        let r2 = hyperbar_stage_rate(8, 4, 2, 1.0);
+        let r4 = hyperbar_stage_rate(8, 2, 4, 1.0);
+        assert!(r1 < r2 && r2 < r4, "{r1} {r2} {r4}");
+    }
+
+    #[test]
+    fn capacity_one_matches_patels_formula() {
+        for a in [2u64, 4, 8] {
+            for r in [0.1, 0.5, 1.0] {
+                let ours = hyperbar_stage_rate(a, a, 1, r);
+                let patel = 1.0 - (1.0 - r / a as f64).powi(a as i32);
+                assert!((ours - patel).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn stage_rate_matches_paper_ocr_expansion() {
+        // The OCR's Eq: r_out = (1-(1-r/b)^a) + sum_{n=1}^{c-1} (n/c - 1)
+        // C(a,n) (r/b)^n (1-r/b)^(a-n). Check equivalence with our
+        // E(min(X,c))/c formulation.
+        let (a, b, c) = (64u64, 16u64, 4u64);
+        for r in [0.25, 0.5, 0.81068, 1.0] {
+            let p = r / b as f64;
+            let mut coeff = 1.0f64;
+            let mut ocr = 1.0 - (1.0 - p).powi(a as i32);
+            for n in 1..c {
+                coeff *= (a - (n - 1)) as f64 / n as f64;
+                let mass = coeff * p.powi(n as i32) * (1.0 - p).powi((a - n) as i32);
+                ocr += (n as f64 / c as f64 - 1.0) * mass;
+            }
+            let ours = hyperbar_stage_rate(a, b, c, r);
+            assert!((ours - ocr).abs() < 1e-10, "r={r}: {ours} vs {ocr}");
+        }
+    }
+
+    #[test]
+    fn section5_anchor_first_stage() {
+        // Worked example RA-EDN(16,4,2,16): the first stage of EDN(64,16,4,2)
+        // at r = 1 passes rate ~0.8107 (hand-derived from the paper's model).
+        let r1 = hyperbar_stage_rate(64, 16, 4, 1.0);
+        assert!((r1 - 0.8107).abs() < 2e-4, "r1 = {r1}");
+    }
+
+    #[test]
+    fn crossbar_final_rate_matches_closed_form() {
+        for c in [1u64, 2, 4, 8] {
+            for r in [0.0, 0.3, 0.7132, 1.0] {
+                let expected = 1.0 - (1.0 - r / c as f64).powi(c as i32);
+                assert_eq!(crossbar_final_rate(c, r), expected);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn rejects_bad_rate() {
+        hyperbar_stage_rate(8, 4, 2, 1.5);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the analytic models: totality on the unit
+//! interval, the Lemma-2 dominance `PA_p >= PA`, bandwidth identities,
+//! and fixed-point residuals.
+
+use edn_analytic::binomial::{binomial_pmf_prefix, expected_min_binomial};
+use edn_analytic::mimd::resubmission_fixed_point;
+use edn_analytic::pa::{crossbar_pa, expected_bandwidth, probability_of_acceptance, stage_rates};
+use edn_analytic::permutation::permutation_pa;
+use edn_analytic::simd::RaEdnModel;
+use edn_analytic::stage::hyperbar_stage_rate;
+use edn_core::EdnParams;
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = EdnParams> {
+    (1u32..=5, 0u32..=4, 1u32..=4, 1u32..=5).prop_filter_map(
+        "valid parameter combination",
+        |(log_a, log_c, log_b, l)| {
+            if log_c > log_a {
+                return None;
+            }
+            EdnParams::new(1u64 << log_a, 1u64 << log_b, 1u64 << log_c, l)
+                .ok()
+                .filter(|p| p.input_bits() <= 30 && p.output_bits() <= 30)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn pmf_prefix_is_a_subprobability(a in 1u64..=512, p in 0.0f64..=1.0, len in 1usize..=16) {
+        let pmf = binomial_pmf_prefix(a, p, len);
+        let mut total = 0.0;
+        for &mass in &pmf {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&mass));
+            total += mass;
+        }
+        prop_assert!(total <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn expected_min_is_bounded(a in 1u64..=512, p in 0.0f64..=1.0, cap in 1u64..=16) {
+        prop_assume!(cap <= a);
+        let e = expected_min_binomial(a, p, cap);
+        prop_assert!(e >= -1e-12);
+        prop_assert!(e <= (a as f64 * p).min(cap as f64) + 1e-9);
+    }
+
+    #[test]
+    fn stage_map_is_contractive_on_probabilities(
+        log_a in 1u32..=6,
+        log_b in 0u32..=4,
+        log_c in 0u32..=3,
+        r in 0.0f64..=1.0,
+    ) {
+        let (a, b, c) = (1u64 << log_a, 1u64 << log_b, 1u64 << log_c);
+        let out = hyperbar_stage_rate(a, b, c, r);
+        prop_assert!((0.0..=1.0).contains(&out), "out = {out}");
+        // A stage never creates traffic on square-or-concentrating shapes:
+        // with b*c <= a, output wires <= input wires, so per-wire rate can
+        // grow, but accepted *messages* cannot exceed offered ones.
+        let offered = a as f64 * r;
+        let accepted = (b * c) as f64 * out;
+        prop_assert!(accepted <= offered + 1e-9);
+    }
+
+    #[test]
+    fn pa_is_a_probability_and_rates_chain(params in params_strategy(), r in 0.0f64..=1.0) {
+        let pa = probability_of_acceptance(&params, r);
+        prop_assert!((0.0..=1.0).contains(&pa), "PA = {pa}");
+        let rates = stage_rates(&params, r);
+        prop_assert_eq!(rates.len() as u32, params.l() + 2);
+        for &rate in &rates {
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    #[test]
+    fn lemma2_dominance(params in params_strategy(), r in 0.001f64..=1.0) {
+        let pa = probability_of_acceptance(&params, r);
+        let pap = permutation_pa(&params, r);
+        // Tolerance 1e-6: near PA = 1 (expansion networks at tiny load) the
+        // 1-(1-eps)^c terms cancel catastrophically, leaving ~1e-9 noise
+        // that lands on either side of the clamp.
+        prop_assert!(pap >= pa - 1e-6, "PA_p {pap} < PA {pa} for {params}");
+        prop_assert!(pap <= 1.0);
+    }
+
+    #[test]
+    fn bandwidth_identity(params in params_strategy(), r in 0.001f64..=1.0) {
+        let pa = probability_of_acceptance(&params, r);
+        prop_assume!(pa < 1.0); // avoid the clamped corner
+        let bandwidth = expected_bandwidth(&params, r);
+        let identity = pa * r * params.inputs() as f64;
+        prop_assert!(
+            (bandwidth - identity).abs() <= 1e-6 * identity.max(1.0),
+            "bandwidth {bandwidth} vs PA*r*N {identity}"
+        );
+    }
+
+    #[test]
+    fn deeper_networks_never_accept_more_unless_expanding(
+        params in params_strategy(),
+        r in 0.01f64..=1.0,
+    ) {
+        // Only square and concentrating shapes (a/c >= b): each extra
+        // stage adds loss without adding output diversity. Expansion
+        // networks (a/c < b) legitimately *gain* acceptance with depth —
+        // more outputs, less contention (found by proptest on
+        // EDN(16,2,16,*)).
+        prop_assume!(params.l() >= 2 && params.a_over_c() >= params.b());
+        let shallower =
+            EdnParams::new(params.a(), params.b(), params.c(), params.l() - 1).unwrap();
+        let pa_deep = probability_of_acceptance(&params, r);
+        let pa_shallow = probability_of_acceptance(&shallower, r);
+        prop_assert!(pa_deep <= pa_shallow + 1e-9);
+    }
+
+    #[test]
+    fn crossbar_pa_bounds(n_log in 1u32..=20, r in 0.001f64..=1.0) {
+        let n = 1u64 << n_log;
+        let pa = crossbar_pa(n, r);
+        prop_assert!((0.0..=1.0).contains(&pa));
+        // The large-n limit (1 - e^{-r}) / r is a lower bound.
+        let limit = (1.0 - (-r).exp()) / r;
+        prop_assert!(pa >= limit - 1e-9);
+    }
+
+    #[test]
+    fn fixed_point_residual_is_small(params in params_strategy(), r in 0.01f64..=1.0) {
+        let steady = resubmission_fixed_point(&params, r, 1e-12, 200_000);
+        prop_assume!(steady.converged);
+        let residual =
+            (probability_of_acceptance(&params, steady.effective_rate) - steady.pa_prime).abs();
+        prop_assert!(residual < 1e-6, "residual {residual}");
+        prop_assert!((0.0..=1.0).contains(&steady.q_active));
+        prop_assert!((0.0..=1.0).contains(&steady.q_waiting));
+        prop_assert!((steady.q_active + steady.q_waiting - 1.0).abs() < 1e-9);
+        // Resubmission can only hurt. Tolerance 1e-6: near PA = 1 the
+        // final-stage term 1-(1-eps/c)^c cancels catastrophically, leaving
+        // ~1e-9 of float noise after the (bc/a)^l rescale.
+        prop_assert!(steady.pa_prime <= probability_of_acceptance(&params, r) + 1e-6);
+        prop_assert!(steady.effective_rate >= r - 1e-9);
+    }
+
+    #[test]
+    fn ra_edn_timing_is_sane(
+        log_b in 1u32..=4,
+        log_c in 0u32..=3,
+        l in 1u32..=3,
+        q in 1u64..=64,
+    ) {
+        prop_assume!((log_b + log_c) * l <= 20);
+        let Ok(model) = RaEdnModel::new(1u64 << log_b, 1u64 << log_c, l, q) else {
+            return Ok(());
+        };
+        let timing = model.expected_permutation_cycles();
+        prop_assert!(timing.total_cycles >= q as f64);
+        prop_assert!(timing.pa_full_load > 0.0 && timing.pa_full_load <= 1.0);
+        // Tail rates decrease strictly to below 1/p.
+        let mut previous = 1.0f64;
+        for &rate in &timing.tail_rates {
+            prop_assert!(rate < previous);
+            previous = rate;
+        }
+        prop_assert!(previous * (model.ports() as f64) < 1.0);
+    }
+}

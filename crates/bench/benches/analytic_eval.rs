@@ -1,0 +1,54 @@
+//! Criterion bench: cost of evaluating the analytic models.
+//!
+//! The figure sweeps evaluate `PA(r)` thousands of times (once per size
+//! per family per rate); the MIMD fixed point iterates it further. This
+//! bench pins their cost so sweep regressions are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edn_analytic::mimd::resubmission_fixed_point;
+use edn_analytic::pa::probability_of_acceptance;
+use edn_analytic::simd::RaEdnModel;
+use edn_analytic::DilatedDeltaModel;
+use edn_core::EdnParams;
+use std::hint::black_box;
+
+fn bench_pa(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("analytic_pa");
+    for l in [2u32, 6, 10] {
+        let params = EdnParams::new(16, 4, 4, l).expect("valid parameters");
+        group.bench_with_input(BenchmarkId::new("PA", l), &params, |bencher, params| {
+            bencher.iter(|| black_box(probability_of_acceptance(params, black_box(1.0))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mimd_fixed_point(criterion: &mut Criterion) {
+    let params = EdnParams::new(16, 4, 4, 4).expect("valid parameters");
+    criterion.bench_function("mimd_fixed_point", |bencher| {
+        bencher.iter(|| {
+            black_box(resubmission_fixed_point(&params, black_box(0.5), 1e-12, 100_000))
+        });
+    });
+}
+
+fn bench_ra_edn_timing(criterion: &mut Criterion) {
+    let model = RaEdnModel::new(16, 4, 2, 16).expect("valid parameters");
+    criterion.bench_function("ra_edn_timing", |bencher| {
+        bencher.iter(|| black_box(model.expected_permutation_cycles()));
+    });
+}
+
+fn bench_dilated(criterion: &mut Criterion) {
+    let model = DilatedDeltaModel::new(4, 4, 5).expect("valid parameters");
+    criterion.bench_function("dilated_pa", |bencher| {
+        bencher.iter(|| black_box(model.probability_of_acceptance(black_box(1.0))));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_pa, bench_mimd_fixed_point, bench_ra_edn_timing, bench_dilated
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: hyperbar arbitration policies under full contention.
+//!
+//! The hyperbar switch is routed once per switch per stage per cycle; its
+//! arbitration cost dominates the simulator. Compares the three policies
+//! on a saturated `H(64 -> 16 x 4)` (the MasPar switch shape).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edn_core::{Hyperbar, PriorityArbiter, RandomArbiter, RoundRobinArbiter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn saturated_requests(a: u64, b: u64, seed: u64) -> Vec<Option<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..a).map(|_| Some(rng.gen_range(0..b))).collect()
+}
+
+fn bench_policies(criterion: &mut Criterion) {
+    let switch = Hyperbar::new(64, 16, 4).expect("valid switch");
+    let requests = saturated_requests(64, 16, 7);
+    let mut group = criterion.benchmark_group("hyperbar_arbitration");
+
+    group.bench_function("priority", |bencher| {
+        let mut arbiter = PriorityArbiter::new();
+        bencher.iter(|| black_box(switch.route(&requests, &mut arbiter).expect("valid digits")));
+    });
+    group.bench_function("round_robin", |bencher| {
+        let mut arbiter = RoundRobinArbiter::new();
+        bencher.iter(|| black_box(switch.route(&requests, &mut arbiter).expect("valid digits")));
+    });
+    group.bench_function("random", |bencher| {
+        let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(1));
+        bencher.iter(|| black_box(switch.route(&requests, &mut arbiter).expect("valid digits")));
+    });
+    group.finish();
+}
+
+fn bench_switch_shapes(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("hyperbar_shapes");
+    for (a, b, c) in [(8u64, 4u64, 2u64), (16, 4, 4), (64, 16, 4), (64, 64, 1)] {
+        let switch = Hyperbar::new(a, b, c).expect("valid switch");
+        let requests = saturated_requests(a, b, a ^ b);
+        group.bench_function(format!("H({a}->{b}x{c})"), |bencher| {
+            let mut arbiter = PriorityArbiter::new();
+            bencher
+                .iter(|| black_box(switch.route(&requests, &mut arbiter).expect("valid digits")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_policies, bench_switch_shapes
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: Lemma-1 path tracing and Theorem-2 path enumeration.
+//!
+//! Tracing is the core of topology validation; enumeration walks all
+//! `c^l` paths of a pair (64 for the benched network).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edn_core::{EdnParams, EdnTopology};
+use std::hint::black_box;
+
+fn bench_trace(criterion: &mut Criterion) {
+    let params = EdnParams::new(64, 16, 4, 2).expect("valid parameters");
+    let topology = EdnTopology::new(params);
+    criterion.bench_function("trace_path_maspar", |bencher| {
+        bencher.iter(|| {
+            black_box(
+                topology
+                    .trace_path(black_box(513), black_box(700), &[1, 2])
+                    .expect("valid trace"),
+            )
+        });
+    });
+}
+
+fn bench_enumerate(criterion: &mut Criterion) {
+    let params = EdnParams::new(16, 4, 4, 3).expect("valid parameters"); // 64 paths
+    let topology = EdnTopology::new(params);
+    criterion.bench_function("enumerate_paths_64", |bencher| {
+        bencher.iter(|| {
+            black_box(
+                topology
+                    .enumerate_paths(black_box(100), black_box(200), 1 << 20)
+                    .expect("within limit"),
+            )
+        });
+    });
+}
+
+fn bench_closed_form(criterion: &mut Criterion) {
+    let params = EdnParams::new(64, 16, 4, 2).expect("valid parameters");
+    let topology = EdnTopology::new(params);
+    criterion.bench_function("lemma1_closed_form", |bencher| {
+        bencher.iter(|| {
+            black_box(
+                topology
+                    .lemma1_line_after_stage(black_box(513), black_box(700), 2, 3)
+                    .expect("valid arguments"),
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_trace, bench_enumerate, bench_closed_form
+}
+criterion_main!(benches);

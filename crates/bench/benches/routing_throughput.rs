@@ -1,0 +1,58 @@
+//! Criterion bench: one-pass batch routing throughput vs network size.
+//!
+//! Measures `edn_core::route_batch` on full-load uniform batches for the
+//! Figure 7/8 network families — the inner loop of every Monte-Carlo
+//! experiment in this repository.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edn_core::{route_batch, EdnParams, EdnTopology, PriorityArbiter, RouteRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn uniform_batch(params: &EdnParams, seed: u64) -> Vec<RouteRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..params.inputs())
+        .map(|s| RouteRequest::new(s, rng.gen_range(0..params.outputs())))
+        .collect()
+}
+
+fn bench_route_batch(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("route_batch");
+    for l in [2u32, 3, 4, 5] {
+        let params = EdnParams::new(16, 4, 4, l).expect("valid parameters");
+        let topology = EdnTopology::new(params);
+        let batch = uniform_batch(&params, 42);
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("EDN(16,4,4,l)", params.inputs()),
+            &batch,
+            |bencher, batch| {
+                let mut arbiter = PriorityArbiter::new();
+                bencher.iter(|| black_box(route_batch(&topology, batch, &mut arbiter)));
+            },
+        );
+    }
+    for l in [3u32, 5, 7] {
+        let params = EdnParams::new(8, 8, 1, l).expect("valid parameters");
+        let topology = EdnTopology::new(params);
+        let batch = uniform_batch(&params, 43);
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("delta(8,8,1,l)", params.inputs()),
+            &batch,
+            |bencher, batch| {
+                let mut arbiter = PriorityArbiter::new();
+                bencher.iter(|| black_box(route_batch(&topology, batch, &mut arbiter)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_route_batch
+}
+criterion_main!(benches);

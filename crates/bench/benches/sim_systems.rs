@@ -1,0 +1,48 @@
+//! Criterion bench: system-simulator cycle rates.
+//!
+//! Measures one MIMD resubmission step on a 256-processor system and one
+//! full RA-EDN permutation on a small clustered system — the units of
+//! work behind TAB-SIMVAL and TAB-RAEDN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edn_core::EdnParams;
+use edn_sim::{ArbiterKind, MimdSystem, RaEdnSystem, ResubmitPolicy};
+use std::hint::black_box;
+
+fn bench_mimd_step(criterion: &mut Criterion) {
+    let params = EdnParams::new(16, 4, 4, 3).expect("valid parameters"); // 256 procs
+    criterion.bench_function("mimd_step_256", |bencher| {
+        let mut system =
+            MimdSystem::new(params, 0.5, ArbiterKind::Random, ResubmitPolicy::Redraw, 1)
+                .expect("valid rate");
+        bencher.iter(|| black_box(system.step()));
+    });
+}
+
+fn bench_ra_edn_permutation(criterion: &mut Criterion) {
+    criterion.bench_function("ra_edn_permutation_32x4", |bencher| {
+        let mut system =
+            RaEdnSystem::new(4, 2, 2, 4, ArbiterKind::Random, 2).expect("valid parameters");
+        bencher.iter(|| black_box(system.route_random_permutation()));
+    });
+}
+
+fn bench_maspar_cycle_scale(criterion: &mut Criterion) {
+    // One full 16K-PE MasPar permutation is ~35 cycles of 1024-wide routing;
+    // keep sample count low.
+    let mut group = criterion.benchmark_group("maspar");
+    group.sample_size(10);
+    group.bench_function("ra_edn_permutation_1024x16", |bencher| {
+        let mut system =
+            RaEdnSystem::new(16, 4, 2, 16, ArbiterKind::Random, 3).expect("valid parameters");
+        bencher.iter(|| black_box(system.route_random_permutation()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mimd_step, bench_ra_edn_permutation, bench_maspar_cycle_scale
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! FIG7 — the paper's Figure 7: `PA(1)` vs. network size for every square
+//! EDN family built from 8-input/8-output hyperbars, against the full
+//! crossbar reference.
+//!
+//! Series: full crossbar, `EDN(8,2,4,*)`, `EDN(8,4,2,*)`, `EDN(8,8,1,*)`
+//! (the delta-network family), sizes up to 10^6 inputs. The paper's
+//! qualitative claims: the delta family is worst, performance improves
+//! with capacity, and the capacity-4 family tracks the crossbar closely.
+
+use edn_analytic::pa::{crossbar_pa, probability_of_acceptance};
+use edn_bench::{figure7_families, fmt_f, fmt_opt, Table};
+
+fn main() {
+    const MAX_PORTS: u64 = 1 << 20; // the paper plots to 10^6
+    let families = figure7_families();
+
+    println!("Figure 7: PA(1) vs number of inputs, 8-I/O hyperbar families.\n");
+
+    let mut table = Table::new(
+        "FIG7: PA(1) (analytic, Eq. 4)",
+        &["N", "crossbar", "EDN(8,2,4,*)", "EDN(8,4,2,*)", "EDN(8,8,1,*)"],
+    );
+    // Collect each family's sizes -> PA map.
+    let series: Vec<Vec<(u64, f64)>> = families
+        .iter()
+        .map(|family| {
+            family
+                .up_to(MAX_PORTS)
+                .into_iter()
+                .map(|(_, params)| (params.inputs(), probability_of_acceptance(&params, 1.0)))
+                .collect()
+        })
+        .collect();
+    // Union of sizes, ascending.
+    let mut sizes: Vec<u64> = series.iter().flatten().map(|&(n, _)| n).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    for &n in &sizes {
+        let lookup = |idx: usize| -> Option<f64> {
+            series[idx].iter().find(|&&(size, _)| size == n).map(|&(_, pa)| pa)
+        };
+        table.row(vec![
+            n.to_string(),
+            fmt_f(crossbar_pa(n, 1.0), 4),
+            fmt_opt(lookup(0), 4),
+            fmt_opt(lookup(1), 4),
+            fmt_opt(lookup(2), 4),
+        ]);
+    }
+    table.print();
+
+    // The paper's qualitative checks.
+    let at = |idx: usize, n: u64| series[idx].iter().find(|&&(s, _)| s == n).map(|&(_, p)| p);
+    let big = 1 << 18;
+    if let (Some(c4), Some(delta)) = (at(0, big), at(2, 1 << 18)) {
+        println!("At N = {big}: capacity-4 family PA = {c4:.3}, delta family PA = {delta:.3}.");
+        println!("Shape check (paper): delta worst, capacity helps, EDN(8,2,4,*) near crossbar");
+        println!(
+            "crossbar at same size: {:.3} (gap to capacity-4 family: {:.3})",
+            crossbar_pa(big, 1.0),
+            crossbar_pa(big, 1.0) - c4
+        );
+    }
+}

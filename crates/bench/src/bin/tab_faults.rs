@@ -1,0 +1,93 @@
+//! TAB-FAULTS — (extension) fault tolerance of multipath EDNs.
+//!
+//! The paper motivates capacity `c > 1` by contention; the same redundancy
+//! is a fault-tolerance budget. All `c` wires of a bucket reach the same
+//! next-stage switch, so a source/destination pair survives until an
+//! entire bucket on its switch sequence dies — probability `f^c` per
+//! bucket at wire-fault rate `f` — while the unique-path delta network
+//! (`c = 1`) is severed by any fault on its path.
+//!
+//! Two metrics at equal port count (256), sweeping the wire-fault rate:
+//! the fraction of (source, destination) pairs still connected, and the
+//! simulated full-load acceptance of the degraded fabric.
+
+use edn_bench::{fmt_f, Table};
+use edn_core::{
+    route_batch_faulty, route_one_with_faults, EdnParams, EdnTopology, FaultRouting, FaultSet,
+    PriorityArbiter, RouteRequest,
+};
+
+fn connectivity(topology: &EdnTopology, faults: &FaultSet, samples: u64) -> f64 {
+    let params = topology.params();
+    let mut connected = 0u64;
+    for i in 0..samples {
+        let source = (i * 2654435761) % params.inputs();
+        let tag = (i * 40503 + 17) % params.outputs();
+        if matches!(
+            route_one_with_faults(topology, faults, source, tag).expect("valid indices"),
+            FaultRouting::Delivered(_)
+        ) {
+            connected += 1;
+        }
+    }
+    connected as f64 / samples as f64
+}
+
+fn degraded_pa(topology: &EdnTopology, faults: &FaultSet, cycles: u64) -> f64 {
+    let params = topology.params();
+    let mut offered = 0u64;
+    let mut delivered = 0u64;
+    for cycle in 0..cycles {
+        let requests: Vec<RouteRequest> = (0..params.inputs())
+            .map(|s| {
+                RouteRequest::new(s, (s * 131 + cycle * 7919 + 23) % params.outputs())
+            })
+            .collect();
+        let outcome = route_batch_faulty(topology, &requests, faults, &mut PriorityArbiter::new());
+        offered += outcome.offered() as u64;
+        delivered += outcome.delivered_count() as u64;
+    }
+    delivered as f64 / offered as f64
+}
+
+fn main() {
+    println!("TAB-FAULTS: wire faults on equal 256-port fabrics.\n");
+    let edn = EdnTopology::new(EdnParams::new(16, 4, 4, 3).expect("valid")); // c = 4
+    let half = EdnTopology::new(EdnParams::new(8, 4, 2, 4).expect("valid")); // c = 2
+    let delta = EdnTopology::new(EdnParams::new(4, 4, 1, 4).expect("valid")); // c = 1
+    assert_eq!(edn.params().inputs(), 256);
+    assert_eq!(delta.params().inputs(), 256);
+    assert_eq!(half.params().inputs(), 512); // nearest c=2 square sibling
+
+    let mut table = Table::new(
+        "TAB-FAULTS: pair connectivity and degraded PA(1) vs wire-fault rate",
+        &[
+            "fault rate",
+            "EDN c=4 connected",
+            "EDN c=2 connected",
+            "delta c=1 connected",
+            "EDN c=4 PA(1)",
+            "delta PA(1)",
+        ],
+    );
+    for (i, fraction) in [0.0, 0.01, 0.02, 0.05, 0.10, 0.20].into_iter().enumerate() {
+        let seed = 1000 + i as u64;
+        let edn_faults = FaultSet::random(edn.params(), fraction, seed);
+        let half_faults = FaultSet::random(half.params(), fraction, seed);
+        let delta_faults = FaultSet::random(delta.params(), fraction, seed);
+        table.row(vec![
+            fmt_f(fraction, 2),
+            fmt_f(connectivity(&edn, &edn_faults, 2000), 4),
+            fmt_f(connectivity(&half, &half_faults, 2000), 4),
+            fmt_f(connectivity(&delta, &delta_faults, 2000), 4),
+            fmt_f(degraded_pa(&edn, &edn_faults, 40), 4),
+            fmt_f(degraded_pa(&delta, &delta_faults, 40), 4),
+        ]);
+    }
+    table.print();
+    println!("Reading: pair survival scales like (1 - f^c)^(buckets on path) — at a 5%");
+    println!("wire-fault rate the capacity-4 EDN keeps >99.9% of pairs connected while");
+    println!("the delta network has already lost ~1 - (1-0.05)^l of them. Degraded");
+    println!("acceptance shrinks gracefully with capacity, by roughly the healthy-wire");
+    println!("fraction, instead of cliff-dropping with severed paths.");
+}

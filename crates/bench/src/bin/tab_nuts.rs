@@ -1,0 +1,120 @@
+//! TAB-NUTS — (extension) Non-Uniform Traffic Spots.
+//!
+//! The introduction motivates EDN multipath as a way "to reduce conflicts
+//! or Non Uniform Traffic Spots (NUTS)" (Lang & Kurisaki). This
+//! experiment quantifies the *collateral damage* a hot spot inflicts on
+//! unrelated ("cold") traffic: per cycle it draws one workload in which a
+//! fraction `h` of sources aim at a single hot output, routes it twice —
+//! once as-is and once with the hot messages removed (the control, same
+//! cold messages and same arbitration seed) — and reports how much cold
+//! acceptance the hot overlay destroys on each fabric.
+
+use edn_bench::{fmt_f, Table};
+use edn_core::{route_batch, EdnParams, EdnTopology, RandomArbiter, RouteRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Damage {
+    cold_with_hot: f64,
+    cold_alone: f64,
+}
+
+impl Damage {
+    fn collateral(&self) -> f64 {
+        self.cold_alone - self.cold_with_hot
+    }
+}
+
+fn measure(params: &EdnParams, hot_fraction: f64, cycles: u32, seed: u64) -> Damage {
+    let topology = EdnTopology::new(*params);
+    let hot_output = params.outputs() / 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut with_hot_offered = 0u64;
+    let mut with_hot_delivered = 0u64;
+    let mut alone_offered = 0u64;
+    let mut alone_delivered = 0u64;
+    for cycle in 0..cycles {
+        // One draw, two routings (same arbitration seed for a fair pair).
+        let mut full = Vec::with_capacity(params.inputs() as usize);
+        let mut cold_only = Vec::with_capacity(params.inputs() as usize);
+        for source in 0..params.inputs() {
+            if rng.gen_bool(hot_fraction) {
+                full.push(RouteRequest::new(source, hot_output));
+            } else {
+                let mut tag = rng.gen_range(0..params.outputs() - 1);
+                if tag >= hot_output {
+                    tag += 1; // cold traffic avoids the hot output entirely
+                }
+                full.push(RouteRequest::new(source, tag));
+                cold_only.push(RouteRequest::new(source, tag));
+            }
+        }
+        let arbiter_seed = seed ^ (cycle as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(arbiter_seed));
+        let outcome = route_batch(&topology, &full, &mut arbiter);
+        with_hot_offered += cold_only.len() as u64;
+        with_hot_delivered +=
+            outcome.delivered().iter().filter(|&&(_, out)| out != hot_output).count() as u64;
+
+        let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(arbiter_seed));
+        let control = route_batch(&topology, &cold_only, &mut arbiter);
+        alone_offered += control.offered() as u64;
+        alone_delivered += control.delivered_count() as u64;
+    }
+    Damage {
+        cold_with_hot: with_hot_delivered as f64 / with_hot_offered as f64,
+        cold_alone: alone_delivered as f64 / alone_offered as f64,
+    }
+}
+
+fn main() {
+    println!("TAB-NUTS: collateral damage of a hot spot on cold traffic, 256 ports, r = 1.\n");
+    let edn4 = EdnParams::new(16, 4, 4, 3).expect("valid"); // c = 4
+    let delta = EdnParams::new(4, 4, 1, 4).expect("valid"); // c = 1
+    assert_eq!(edn4.inputs(), delta.inputs());
+
+    let mut table = Table::new(
+        "TAB-NUTS: cold acceptance with vs without the hot overlay",
+        &[
+            "hot fraction",
+            "EDN c=4 cold|hot",
+            "EDN c=4 cold alone",
+            "EDN damage",
+            "delta cold|hot",
+            "delta cold alone",
+            "delta damage",
+        ],
+    );
+    let mut damages: Vec<(f64, f64, f64)> = Vec::new();
+    for (i, hot) in [0.05, 0.10, 0.20, 0.40].into_iter().enumerate() {
+        let a = measure(&edn4, hot, 80, 500 + i as u64);
+        let d = measure(&delta, hot, 80, 500 + i as u64);
+        damages.push((hot, a.collateral() / a.cold_alone, d.collateral() / d.cold_alone));
+        table.row(vec![
+            fmt_f(hot, 2),
+            fmt_f(a.cold_with_hot, 4),
+            fmt_f(a.cold_alone, 4),
+            fmt_f(a.collateral(), 4),
+            fmt_f(d.cold_with_hot, 4),
+            fmt_f(d.cold_alone, 4),
+            fmt_f(d.collateral(), 4),
+        ]);
+    }
+    table.print();
+    println!("Reading: 'damage' is the cold acceptance the hot overlay destroys (same");
+    println!("cold messages, same arbitration seed). Two findings:");
+    println!("  1. In an unbuffered circuit-switched fabric the *relative* collateral");
+    println!("     damage is modest and comparable across fabrics — excess hot");
+    println!("     messages die in the first stages instead of saturating a tree of");
+    println!("     buffers (NUTS tree saturation is a buffered-network phenomenon).");
+    println!("  2. The EDN's multipath advantage shows in absolute terms: under every");
+    println!("     hot-spot intensity its cold traffic still beats the delta's by the");
+    println!("     full Figure-7 margin.");
+    for (hot, edn_damage, delta_damage) in damages {
+        println!(
+            "  h = {hot:.2}: relative damage EDN {:.1}% vs delta {:.1}% of cold baseline",
+            100.0 * edn_damage,
+            100.0 * delta_damage
+        );
+    }
+}

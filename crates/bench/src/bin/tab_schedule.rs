@@ -1,0 +1,62 @@
+//! TAB-SCHEDULE — (extension) cluster scheduling ablation for RA-EDN.
+//!
+//! Section 5 assumes a *random* schedule ("this schedule can be very
+//! expensive to compute" — of the conflict-free ideal) and models the
+//! permutation time as `q/PA(1) + J`. This ablation measures how much of
+//! the gap to the ideal a cheap greedy distinct-destination schedule
+//! recovers: it removes output-port contention almost entirely, leaving
+//! only internal blocking.
+//!
+//! Lower bound for reference: a conflict-free schedule on a network with
+//! permutation acceptance `PA_p(1)` would need about `q / PA_p(1)` cycles.
+
+use edn_analytic::permutation::permutation_pa;
+use edn_analytic::simd::RaEdnModel;
+use edn_bench::{fmt_f, Table};
+use edn_sim::{ArbiterKind, RaEdnSystem, Schedule};
+
+fn main() {
+    println!("TAB-SCHEDULE: random vs greedy distinct-destination schedules.\n");
+
+    let mut table = Table::new(
+        "TAB-SCHEDULE: cycles to route a random permutation",
+        &[
+            "system",
+            "PEs",
+            "model q/PA+J",
+            "random sim",
+            "greedy sim",
+            "ideal q/PA_p",
+        ],
+    );
+    for (b, c, l, q, trials) in [
+        (4u64, 2u64, 2u32, 8u64, 8u32),
+        (4, 2, 2, 16, 8),
+        (16, 4, 2, 16, 4), // the MasPar shape
+    ] {
+        let model = RaEdnModel::new(b, c, l, q).expect("valid parameters");
+        let timing = model.expected_permutation_cycles();
+        let mut random_system =
+            RaEdnSystem::new(b, c, l, q, ArbiterKind::Random, 0xAB1E).expect("valid parameters");
+        let mut greedy_system =
+            RaEdnSystem::new(b, c, l, q, ArbiterKind::Random, 0xAB1E).expect("valid parameters");
+        let (t_random, se_random) =
+            random_system.measure_mean_cycles_scheduled(trials, Schedule::Random);
+        let (t_greedy, se_greedy) =
+            greedy_system.measure_mean_cycles_scheduled(trials, Schedule::GreedyDistinct);
+        let ideal = q as f64 / permutation_pa(model.params(), 1.0);
+        table.row(vec![
+            model.to_string(),
+            model.processors().to_string(),
+            fmt_f(timing.total_cycles, 2),
+            format!("{:.2} +- {:.2}", t_random, 1.96 * se_random),
+            format!("{:.2} +- {:.2}", t_greedy, 1.96 * se_greedy),
+            fmt_f(ideal, 2),
+        ]);
+    }
+    table.print();
+    println!("Reading: the greedy schedule removes output contention (the crossbar-");
+    println!("stage losses) and recovers a large share of the gap between the random");
+    println!("schedule and the conflict-free ideal, at O(p) bookkeeping per cycle —");
+    println!("the cheap alternative the paper's reference [31] motivates.");
+}

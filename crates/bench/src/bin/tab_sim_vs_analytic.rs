@@ -1,0 +1,119 @@
+//! TAB-SIMVAL — (extension) end-to-end validation of the analytic models
+//! against Monte-Carlo simulation of the wired fabric.
+//!
+//! The paper's evaluation is entirely analytical; its credibility rests on
+//! the Theorem-3 uniformity argument and the per-stage independence
+//! approximation. This binary quantifies that approximation: for a sweep
+//! of networks and request rates it prints Eq. 4's `PA(r)` next to the
+//! simulated acceptance (with confidence intervals), and likewise for the
+//! Section 4 resubmission fixed point.
+
+use edn_analytic::mimd::resubmission_fixed_point;
+use edn_analytic::pa::probability_of_acceptance;
+use edn_bench::{fmt_f, Table};
+use edn_core::EdnParams;
+use edn_sim::{estimate_pa, map_seeds, ArbiterKind, MimdSystem, ResubmitPolicy};
+
+fn main() {
+    println!("TAB-SIMVAL: analytic models vs cycle-level simulation.\n");
+
+    // --- Eq. 4 PA(r) vs simulation. ---
+    let mut table = Table::new(
+        "TAB-SIMVAL a: PA(r), model vs Monte Carlo (random arbitration)",
+        &["network", "N", "r", "model", "simulated", "CI95 +-", "|diff|"],
+    );
+    let networks = [
+        EdnParams::new(16, 4, 4, 2).expect("valid"),
+        EdnParams::new(16, 4, 4, 3).expect("valid"),
+        EdnParams::new(8, 2, 4, 4).expect("valid"),
+        EdnParams::new(8, 8, 1, 3).expect("valid"),
+        EdnParams::new(64, 16, 4, 2).expect("valid"),
+    ];
+    for params in &networks {
+        for rate in [0.25, 0.5, 1.0] {
+            let model = probability_of_acceptance(params, rate);
+            // Average over independent seeds in parallel.
+            let seeds: Vec<u64> = (0..4).map(|i| 1000 + i).collect();
+            let estimates =
+                map_seeds(&seeds, |seed| estimate_pa(params, rate, ArbiterKind::Random, 60, seed));
+            let mean =
+                estimates.iter().map(|e| e.mean).sum::<f64>() / estimates.len() as f64;
+            let se = estimates.iter().map(|e| e.std_error).sum::<f64>()
+                / (estimates.len() as f64).powf(1.5);
+            table.row(vec![
+                params.to_string(),
+                params.inputs().to_string(),
+                fmt_f(rate, 2),
+                fmt_f(model, 4),
+                fmt_f(mean, 4),
+                fmt_f(1.96 * se, 4),
+                fmt_f((model - mean).abs(), 4),
+            ]);
+        }
+    }
+    table.print();
+
+    // --- Section 4 fixed point vs MIMD simulation. ---
+    let mut mimd = Table::new(
+        "TAB-SIMVAL b: MIMD resubmission, model vs simulation (redraw policy)",
+        &["network", "r", "PA' model", "PA' sim", "qW model", "qW sim", "r' model", "r' sim"],
+    );
+    for (params, rate) in [
+        (EdnParams::new(16, 4, 4, 3).expect("valid"), 0.5),
+        (EdnParams::new(16, 4, 4, 3).expect("valid"), 1.0),
+        (EdnParams::new(4, 2, 2, 5).expect("valid"), 0.5),
+    ] {
+        let model = resubmission_fixed_point(&params, rate, 1e-12, 100_000);
+        let mut system =
+            MimdSystem::new(params, rate, ArbiterKind::Random, ResubmitPolicy::Redraw, 77)
+                .expect("valid rate");
+        let report = system.run(300, 700);
+        mimd.row(vec![
+            params.to_string(),
+            fmt_f(rate, 2),
+            fmt_f(model.pa_prime, 4),
+            fmt_f(report.acceptance, 4),
+            fmt_f(model.q_waiting, 4),
+            fmt_f(report.waiting_fraction, 4),
+            fmt_f(model.effective_rate, 4),
+            fmt_f(report.effective_rate, 4),
+        ]);
+    }
+    mimd.print();
+
+    // --- The independence shortcut: redraw vs same-destination retries. ---
+    let mut policy = Table::new(
+        "TAB-SIMVAL c: resubmission destination policy (simulation only)",
+        &["network", "r", "PA' redraw", "PA' same-dest", "qW redraw", "qW same-dest"],
+    );
+    for (params, rate) in [
+        (EdnParams::new(16, 4, 4, 3).expect("valid"), 0.5),
+        (EdnParams::new(16, 4, 4, 3).expect("valid"), 1.0),
+    ] {
+        let mut redraw =
+            MimdSystem::new(params, rate, ArbiterKind::Random, ResubmitPolicy::Redraw, 5)
+                .expect("valid rate");
+        let mut same = MimdSystem::new(
+            params,
+            rate,
+            ArbiterKind::Random,
+            ResubmitPolicy::SameDestination,
+            5,
+        )
+        .expect("valid rate");
+        let a = redraw.run(300, 700);
+        let b = same.run(300, 700);
+        policy.row(vec![
+            params.to_string(),
+            fmt_f(rate, 2),
+            fmt_f(a.acceptance, 4),
+            fmt_f(b.acceptance, 4),
+            fmt_f(a.waiting_fraction, 4),
+            fmt_f(b.waiting_fraction, 4),
+        ]);
+    }
+    policy.print();
+    println!("Reading: Eq. 4 tracks simulation within a few hundredths across the sweep;");
+    println!("the paper's re-uniformization assumption (redraw) is mildly optimistic");
+    println!("compared to physically faithful same-destination retries.");
+}

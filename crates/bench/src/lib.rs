@@ -1,0 +1,247 @@
+//! Shared harness code for the experiment binaries in `src/bin/`.
+//!
+//! Each binary regenerates one table or figure of the paper (see
+//! `DESIGN.md` for the experiment index) and prints both the paper's
+//! expectation and the model/measurement produced by this reproduction.
+//! This module holds the plain-text table formatter and the network-family
+//! definitions shared across experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use edn_core::{EdnError, EdnParams};
+
+/// A minimal aligned-column text table (stdout-oriented; also exportable
+/// as CSV).
+///
+/// # Examples
+///
+/// ```
+/// use edn_bench::Table;
+///
+/// let mut table = Table::new("demo", &["n", "value"]);
+/// table.row(vec!["1".into(), "0.5".into()]);
+/// let text = table.render();
+/// assert!(text.contains("demo"));
+/// assert!(text.contains("value"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells.len()` differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table as text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (width, cell) in widths.iter_mut().zip(row) {
+                *width = (*width).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+
+    /// Renders the table as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` fractional digits.
+pub fn fmt_f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Formats an optional float, rendering `None` as `-`.
+pub fn fmt_opt(x: Option<f64>, digits: usize) -> String {
+    match x {
+        Some(v) => fmt_f(v, digits),
+        None => "-".to_string(),
+    }
+}
+
+/// One of the paper's square network families, e.g. `EDN(8,2,4,*)`:
+/// fixed hyperbar shape, growing stage count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Family {
+    /// Hyperbar I/O width (`a = b * c`).
+    pub io: u64,
+    /// Buckets per hyperbar.
+    pub b: u64,
+}
+
+impl Family {
+    /// The family's capacity, `c = io / b`.
+    pub fn c(&self) -> u64 {
+        self.io / self.b
+    }
+
+    /// Human-readable family name, e.g. `EDN(8,2,4,*)`.
+    pub fn name(&self) -> String {
+        format!("EDN({},{},{},*)", self.io, self.b, self.c())
+    }
+
+    /// Parameters at stage count `l`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation failures.
+    pub fn at(&self, l: u32) -> Result<EdnParams, EdnError> {
+        EdnParams::square_family(self.io, self.b, l)
+    }
+
+    /// All `(l, params)` in this family with port count at most
+    /// `max_ports`.
+    pub fn up_to(&self, max_ports: u64) -> Vec<(u32, EdnParams)> {
+        let mut result = Vec::new();
+        for l in 1..=63 {
+            match self.at(l) {
+                Ok(params) if params.inputs() <= max_ports => result.push((l, params)),
+                _ => break,
+            }
+        }
+        result
+    }
+}
+
+/// The Figure 7 families: all square EDNs built from 8-I/O hyperbars.
+pub fn figure7_families() -> Vec<Family> {
+    vec![Family { io: 8, b: 2 }, Family { io: 8, b: 4 }, Family { io: 8, b: 8 }]
+}
+
+/// The Figure 8 families: all square EDNs built from 16-I/O hyperbars.
+pub fn figure8_families() -> Vec<Family> {
+    vec![
+        Family { io: 16, b: 2 },
+        Family { io: 16, b: 4 },
+        Family { io: 16, b: 8 },
+        Family { io: 16, b: 16 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("x", &["aa", "b"]);
+        t.row(vec!["1".into(), "22222".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let text = t.render();
+        assert!(text.contains("== x =="));
+        let lines: Vec<&str> = text.lines().collect();
+        // Title, header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new("x", &["n", "pa"]);
+        t.row(vec!["8".into(), "0.75".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "n,pa\n8,0.75\n");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn row_arity_is_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn families_produce_square_networks() {
+        for family in figure7_families().into_iter().chain(figure8_families()) {
+            for (l, params) in family.up_to(100_000) {
+                assert!(params.is_square(), "{} l={l}", family.name());
+                assert_eq!(params.a(), family.io);
+                assert_eq!(params.inputs(), params.outputs());
+            }
+        }
+    }
+
+    #[test]
+    fn family_growth_is_monotone() {
+        let family = Family { io: 8, b: 2 };
+        let sizes: Vec<u64> = family.up_to(1 << 20).iter().map(|(_, p)| p.inputs()).collect();
+        assert!(!sizes.is_empty());
+        for window in sizes.windows(2) {
+            assert!(window[1] > window[0]);
+        }
+        assert!(*sizes.last().unwrap() <= 1 << 20);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(0.5444, 3), "0.544");
+        assert_eq!(fmt_opt(None, 2), "-");
+        assert_eq!(fmt_opt(Some(1.0), 2), "1.00");
+    }
+}

@@ -1,0 +1,493 @@
+//! Destination tags, source addresses, and digit-retirement orders.
+//!
+//! Routing in an EDN is *digit controlled*: a destination tag
+//! `D = d_{l-1} d_{l-2} ... d_0 x` consists of `l` base-`b` digits and one
+//! base-`c` digit. Stage `i` "retires" digit `d_{l-i}`; the final crossbar
+//! stage retires `x`. [`DestTag`] and [`SourceAddress`] give symbolic views
+//! of output/input indices, and [`RetirementOrder`] implements Corollary 2:
+//! retiring the tag bits in a different order `F` routes the message to
+//! `F(D)`, which an inverse permutation at the output compensates.
+
+use crate::error::EdnError;
+use crate::params::EdnParams;
+
+/// A destination tag `D = d_{l-1} ... d_0 x` decomposed into digits.
+///
+/// The tag is equivalent to the output index
+/// `(((d_{l-1} * b + d_{l-2}) * b + ...) * b + d_0) * c + x`.
+///
+/// # Examples
+///
+/// ```
+/// use edn_core::{DestTag, EdnParams};
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// let p = EdnParams::new(16, 4, 4, 2)?;
+/// let tag = DestTag::from_output_index(&p, 57)?;
+/// // 57 = ((3 * 4) + 2) * 4 + 1
+/// assert_eq!(tag.digits(), &[3, 2]);
+/// assert_eq!(tag.crossbar_digit(), 1);
+/// assert_eq!(tag.to_output_index(), 57);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DestTag {
+    /// Base-`b` digits, most significant (`d_{l-1}`) first.
+    digits: Vec<u64>,
+    /// Base-`c` digit retired at the crossbar stage.
+    x: u64,
+    b: u64,
+    c: u64,
+}
+
+impl DestTag {
+    /// Decomposes output index `index` into its routing digits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdnError::IndexOutOfRange`] if `index >= params.outputs()`.
+    pub fn from_output_index(params: &EdnParams, index: u64) -> Result<Self, EdnError> {
+        if index >= params.outputs() {
+            return Err(EdnError::IndexOutOfRange {
+                kind: "output",
+                index,
+                limit: params.outputs(),
+            });
+        }
+        let x = index % params.c();
+        let mut rest = index / params.c();
+        let mut digits = vec![0u64; params.l() as usize];
+        for slot in digits.iter_mut().rev() {
+            *slot = rest % params.b();
+            rest /= params.b();
+        }
+        Ok(DestTag { digits, x, b: params.b(), c: params.c() })
+    }
+
+    /// Builds a tag from explicit digits (most significant first) and the
+    /// crossbar digit `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdnError::LengthMismatch`] if `digits.len() != l` and
+    /// [`EdnError::DigitOutOfRange`] if any digit exceeds its base.
+    pub fn from_digits(params: &EdnParams, digits: Vec<u64>, x: u64) -> Result<Self, EdnError> {
+        if digits.len() != params.l() as usize {
+            return Err(EdnError::LengthMismatch {
+                expected: params.l() as usize,
+                actual: digits.len(),
+            });
+        }
+        for (pos, &d) in digits.iter().rev().enumerate() {
+            if d >= params.b() {
+                return Err(EdnError::DigitOutOfRange {
+                    position: pos as u32,
+                    digit: d,
+                    base: params.b(),
+                });
+            }
+        }
+        if x >= params.c() {
+            return Err(EdnError::DigitOutOfRange { position: 0, digit: x, base: params.c() });
+        }
+        Ok(DestTag { digits, x, b: params.b(), c: params.c() })
+    }
+
+    /// The base-`b` digits, most significant (`d_{l-1}`) first.
+    pub fn digits(&self) -> &[u64] {
+        &self.digits
+    }
+
+    /// The base-`c` digit `x` retired at the crossbar stage.
+    pub fn crossbar_digit(&self) -> u64 {
+        self.x
+    }
+
+    /// The digit retired at hyperbar stage `i` (`1 <= i <= l`), i.e.
+    /// `d_{l-i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is zero or greater than `l`.
+    pub fn digit_for_stage(&self, i: u32) -> u64 {
+        assert!(i >= 1 && i as usize <= self.digits.len(), "stage {i} out of range");
+        self.digits[(i - 1) as usize]
+    }
+
+    /// Recomposes the output index this tag addresses.
+    pub fn to_output_index(&self) -> u64 {
+        let mut value = 0u64;
+        for &d in &self.digits {
+            value = value * self.b + d;
+        }
+        value * self.c + self.x
+    }
+}
+
+impl std::fmt::Display for DestTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "D=")?;
+        for d in &self.digits {
+            write!(f, "{d}.")?;
+        }
+        write!(f, "x{}", self.x)
+    }
+}
+
+/// A source address `S = s_{l-1} ... s_0 x'` with base-`a/c` digits.
+///
+/// Used by the Lemma-1 constructive proof: the network input `S` attaches to
+/// first-stage hyperbar `floor(S / a)`, and the digits `s_{l-1} ... s_1`
+/// appear in the line-number closed form at every stage.
+///
+/// # Examples
+///
+/// ```
+/// use edn_core::{EdnParams, SourceAddress};
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// let p = EdnParams::new(16, 4, 4, 2)?;
+/// let s = SourceAddress::from_input_index(&p, 37)?;
+/// assert_eq!(s.to_input_index(), 37);
+/// assert_eq!(s.first_stage_switch(&p), 37 / 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SourceAddress {
+    /// Base-`a/c` digits, most significant (`s_{l-1}`) first.
+    digits: Vec<u64>,
+    /// Base-`c` digit `x'`.
+    x: u64,
+    a_over_c: u64,
+    c: u64,
+}
+
+impl SourceAddress {
+    /// Decomposes input index `index` into source digits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdnError::IndexOutOfRange`] if `index >= params.inputs()`.
+    pub fn from_input_index(params: &EdnParams, index: u64) -> Result<Self, EdnError> {
+        if index >= params.inputs() {
+            return Err(EdnError::IndexOutOfRange {
+                kind: "input",
+                index,
+                limit: params.inputs(),
+            });
+        }
+        let x = index % params.c();
+        let mut rest = index / params.c();
+        let mut digits = vec![0u64; params.l() as usize];
+        for slot in digits.iter_mut().rev() {
+            *slot = rest % params.a_over_c();
+            rest /= params.a_over_c();
+        }
+        Ok(SourceAddress { digits, x, a_over_c: params.a_over_c(), c: params.c() })
+    }
+
+    /// The base-`a/c` digits, most significant first.
+    pub fn digits(&self) -> &[u64] {
+        &self.digits
+    }
+
+    /// The base-`c` digit `x'`.
+    pub fn crossbar_digit(&self) -> u64 {
+        self.x
+    }
+
+    /// Recomposes the input index.
+    pub fn to_input_index(&self) -> u64 {
+        let mut value = 0u64;
+        for &d in &self.digits {
+            value = value * self.a_over_c + d;
+        }
+        value * self.c + self.x
+    }
+
+    /// The first-stage hyperbar this source attaches to, `floor(S / a)`.
+    pub fn first_stage_switch(&self, params: &EdnParams) -> u64 {
+        self.to_input_index() / params.a()
+    }
+
+    /// The value of the digit string `s_{l-1} ... s_1` interpreted in base
+    /// `a/c` — the quantity `floor(S / a)` from the Lemma 1 proof.
+    ///
+    /// `kept_high_digits(m)` returns `s_{l-1} ... s_m` (dropping the `m`
+    /// lowest of the `l` digits); the proof uses `m = 1`.
+    pub fn kept_high_digits(&self, m: u32) -> u64 {
+        let keep = self.digits.len().saturating_sub(m as usize);
+        self.digits[..keep]
+            .iter()
+            .fold(0u64, |acc, &d| acc * self.a_over_c + d)
+    }
+}
+
+impl std::fmt::Display for SourceAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S=")?;
+        for d in &self.digits {
+            write!(f, "{d}.")?;
+        }
+        write!(f, "x'{}", self.x)
+    }
+}
+
+/// A bit-level reordering `F` of destination-tag bits (Corollary 2).
+///
+/// If the tag bits are retired in a different order — equivalently, if tag
+/// `F(D)` is fed to an unmodified network — the message arrives at physical
+/// output `F(D)`. Wiring the inverse permutation `F^{-1}` after the last
+/// stage restores delivery to `D`. The paper's Figure 6 uses exactly this
+/// construction to make `EDN(64,16,4,2)` route the identity permutation
+/// without conflicts.
+///
+/// # Examples
+///
+/// ```
+/// use edn_core::RetirementOrder;
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// let f = RetirementOrder::rotate_left(10, 4)?;
+/// let d = 0b11_0000_0000u64;
+/// // Rotating d1's bits out of the most-significant nibble...
+/// let routed = f.apply(d);
+/// // ...and compensating at the output recovers the original tag.
+/// assert_eq!(f.inverse().apply(routed), d);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetirementOrder {
+    /// `source_bit[i]` is the input-bit position that supplies output bit
+    /// `i` of `F(D)`.
+    source_bit: Vec<u32>,
+}
+
+impl RetirementOrder {
+    /// The identity reordering on `bits`-bit tags.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bits > 63`.
+    pub fn identity(bits: u32) -> Result<Self, EdnError> {
+        if bits > 63 {
+            return Err(EdnError::LabelWidthOverflow { bits });
+        }
+        Ok(RetirementOrder { source_bit: (0..bits).collect() })
+    }
+
+    /// A left rotation of the tag bit-string by `k` positions (toward the
+    /// most significant end), i.e. `F(D) = rotl_bits(D, k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bits > 63`.
+    pub fn rotate_left(bits: u32, k: u32) -> Result<Self, EdnError> {
+        if bits > 63 {
+            return Err(EdnError::LabelWidthOverflow { bits });
+        }
+        if bits == 0 {
+            return Ok(RetirementOrder { source_bit: Vec::new() });
+        }
+        let k = k % bits;
+        // Output bit i takes input bit (i - k) mod bits.
+        let source_bit = (0..bits).map(|i| (i + bits - k) % bits).collect();
+        Ok(RetirementOrder { source_bit })
+    }
+
+    /// Builds a reordering from an explicit bit mapping: output bit `i` of
+    /// `F(D)` is input bit `mapping[i]` of `D`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdnError::InvalidBitPermutation`] if `mapping` is not a
+    /// permutation of `0..mapping.len()`, or [`EdnError::LabelWidthOverflow`]
+    /// if it is longer than 63.
+    pub fn from_bit_mapping(mapping: Vec<u32>) -> Result<Self, EdnError> {
+        if mapping.len() > 63 {
+            return Err(EdnError::LabelWidthOverflow { bits: mapping.len() as u32 });
+        }
+        let n = mapping.len() as u32;
+        let mut seen = vec![false; mapping.len()];
+        for &m in &mapping {
+            if m >= n {
+                return Err(EdnError::InvalidBitPermutation {
+                    reason: "bit index out of range",
+                });
+            }
+            if seen[m as usize] {
+                return Err(EdnError::InvalidBitPermutation { reason: "duplicate bit index" });
+            }
+            seen[m as usize] = true;
+        }
+        Ok(RetirementOrder { source_bit: mapping })
+    }
+
+    /// Tag width in bits.
+    pub fn bits(&self) -> u32 {
+        self.source_bit.len() as u32
+    }
+
+    /// `true` if this reordering leaves every tag unchanged.
+    pub fn is_identity(&self) -> bool {
+        self.source_bit.iter().enumerate().all(|(i, &s)| i as u32 == s)
+    }
+
+    /// Applies `F` to a tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` does not fit in [`bits`](Self::bits) bits.
+    pub fn apply(&self, tag: u64) -> u64 {
+        let n = self.bits();
+        assert!(
+            n == 64 || tag < (1u64 << n),
+            "tag {tag} does not fit in {n} bits"
+        );
+        let mut out = 0u64;
+        for (i, &src) in self.source_bit.iter().enumerate() {
+            out |= ((tag >> src) & 1) << i;
+        }
+        out
+    }
+
+    /// Returns `F^{-1}` — the permutation the network must apply *after* the
+    /// final stage to compensate for the reordering.
+    pub fn inverse(&self) -> RetirementOrder {
+        let mut inv = vec![0u32; self.source_bit.len()];
+        for (i, &src) in self.source_bit.iter().enumerate() {
+            inv[src as usize] = i as u32;
+        }
+        RetirementOrder { source_bit: inv }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p16442() -> EdnParams {
+        EdnParams::new(16, 4, 4, 2).unwrap()
+    }
+
+    #[test]
+    fn dest_tag_round_trips_every_output() {
+        let p = p16442();
+        for index in 0..p.outputs() {
+            let tag = DestTag::from_output_index(&p, index).unwrap();
+            assert_eq!(tag.to_output_index(), index);
+            // Digit views must agree with the raw-integer helpers on params.
+            for stage in 1..=p.l() {
+                assert_eq!(tag.digit_for_stage(stage), p.tag_digit_for_stage(index, stage));
+            }
+            assert_eq!(tag.crossbar_digit(), p.tag_crossbar_digit(index));
+        }
+    }
+
+    #[test]
+    fn dest_tag_rejects_out_of_range() {
+        let p = p16442();
+        assert!(matches!(
+            DestTag::from_output_index(&p, p.outputs()),
+            Err(EdnError::IndexOutOfRange { kind: "output", .. })
+        ));
+        assert!(matches!(
+            DestTag::from_digits(&p, vec![4, 0], 0),
+            Err(EdnError::DigitOutOfRange { .. })
+        ));
+        assert!(matches!(
+            DestTag::from_digits(&p, vec![0], 0),
+            Err(EdnError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            DestTag::from_digits(&p, vec![0, 0], 4),
+            Err(EdnError::DigitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn source_address_round_trips_every_input() {
+        let p = p16442();
+        for index in 0..p.inputs() {
+            let s = SourceAddress::from_input_index(&p, index).unwrap();
+            assert_eq!(s.to_input_index(), index);
+            assert_eq!(s.first_stage_switch(&p), index / p.a());
+        }
+    }
+
+    #[test]
+    fn kept_high_digits_matches_shift() {
+        let p = EdnParams::new(64, 16, 4, 3).unwrap();
+        for index in [0u64, 5, 100, 4000, p.inputs() - 1] {
+            let s = SourceAddress::from_input_index(&p, index).unwrap();
+            // Dropping s_0 and x' == floor(S / a).
+            assert_eq!(s.kept_high_digits(1), index / p.a());
+            // Dropping everything leaves zero.
+            assert_eq!(s.kept_high_digits(p.l()), 0);
+            // Dropping nothing recovers floor(S / c).
+            assert_eq!(s.kept_high_digits(0), index / p.c());
+        }
+    }
+
+    #[test]
+    fn retirement_identity_and_rotation() {
+        let id = RetirementOrder::identity(10).unwrap();
+        assert!(id.is_identity());
+        assert_eq!(id.apply(0b1010101010), 0b1010101010);
+
+        let rot = RetirementOrder::rotate_left(10, 4).unwrap();
+        for tag in [0u64, 1, 0b1111000000, 1023] {
+            let expected = ((tag << 4) | (tag >> 6)) & 0x3FF;
+            assert_eq!(rot.apply(tag), expected);
+        }
+    }
+
+    #[test]
+    fn retirement_inverse_round_trips() {
+        let orders = [
+            RetirementOrder::rotate_left(10, 4).unwrap(),
+            RetirementOrder::rotate_left(7, 3).unwrap(),
+            RetirementOrder::from_bit_mapping(vec![2, 0, 1, 4, 3]).unwrap(),
+        ];
+        for f in orders {
+            let finv = f.inverse();
+            let n = f.bits();
+            for tag in 0..(1u64 << n) {
+                assert_eq!(finv.apply(f.apply(tag)), tag);
+                assert_eq!(f.apply(finv.apply(tag)), tag);
+            }
+        }
+    }
+
+    #[test]
+    fn retirement_rejects_non_permutations() {
+        assert!(matches!(
+            RetirementOrder::from_bit_mapping(vec![0, 0, 1]),
+            Err(EdnError::InvalidBitPermutation { .. })
+        ));
+        assert!(matches!(
+            RetirementOrder::from_bit_mapping(vec![0, 3]),
+            Err(EdnError::InvalidBitPermutation { .. })
+        ));
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = p16442();
+        let tag = DestTag::from_output_index(&p, 57).unwrap();
+        assert_eq!(tag.to_string(), "D=3.2.x1");
+        let s = SourceAddress::from_input_index(&p, 37).unwrap();
+        assert!(s.to_string().starts_with("S="));
+    }
+
+    #[test]
+    fn rotation_by_zero_or_full_width_is_identity() {
+        for k in [0u32, 10, 20] {
+            let rot = RetirementOrder::rotate_left(10, k).unwrap();
+            assert!(rot.is_identity(), "rotation by {k} should be identity");
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Hardware cost of an EDN: crosspoints (Eq. 2) and wires (Eq. 3).
+//!
+//! The paper measures silicon cost in *crosspoint switches* — an
+//! `H(a -> b x c)` hyperbar contains `a*b*c` of them — and packaging cost
+//! in *wires* (PC-board area, pins, backplane connections). Both are
+//! provided as exact stage-by-stage sums and as the paper's closed forms;
+//! tests pin them to each other.
+//!
+//! Note: the OCR of the technical report prints the `a/c = b` crosspoint
+//! closed form as `l*b^(l+1)*c`; the dimensionally correct value (each of
+//! the `l*b^(l-1)` hyperbars costs `abc = b^2*c^2` when `a = bc`) is
+//! `l*b^(l+1)*c^2`, which our exact sum confirms.
+
+use crate::params::EdnParams;
+
+/// Crosspoint cost of the whole network, computed as the exact sum over
+/// stages: `sum_i hyperbars_in_stage(i) * a*b*c + b^l * c^2`.
+///
+/// # Examples
+///
+/// ```
+/// use edn_core::{EdnParams, crosspoint_cost};
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// // A crossbar EDN(n,n,1,1) costs n^2 crosspoints for the switching plane
+/// // (plus n degenerate 1x1 "crossbars" closing the final stage).
+/// let xbar = EdnParams::crossbar(64)?;
+/// assert_eq!(crosspoint_cost(&xbar), 64 * 64 + 64);
+/// # Ok(())
+/// # }
+/// ```
+pub fn crosspoint_cost(params: &EdnParams) -> u128 {
+    let a = params.a() as u128;
+    let b = params.b() as u128;
+    let c = params.c() as u128;
+    let hyperbar_cost: u128 = (1..=params.l())
+        .map(|i| params.hyperbars_in_stage(i) as u128 * a * b * c)
+        .sum();
+    hyperbar_cost + params.crossbar_count() as u128 * c * c
+}
+
+/// Crosspoint cost via the paper's Eq. (2) closed form.
+///
+/// `Cs = ((a/c)^l - b^l) / ((a/c) - b) * abc + b^l c^2` when `a/c != b`,
+/// and `l * b^(l+1) * c^2 + b^l c^2` when `a/c == b` (see the module note
+/// about the OCR misprint).
+pub fn crosspoint_cost_closed_form(params: &EdnParams) -> u128 {
+    let a = params.a() as u128;
+    let b = params.b() as u128;
+    let c = params.c() as u128;
+    let l = params.l();
+    let aoc = params.a_over_c() as u128;
+    let final_stage = b.pow(l) * c * c;
+    if aoc == b {
+        l as u128 * b.pow(l + 1) * c * c + final_stage
+    } else {
+        // ((a/c)^l - b^l) / ((a/c) - b) is a geometric series; compute with
+        // signed arithmetic since a/c may be smaller than b.
+        let numerator = aoc.pow(l) as i128 - b.pow(l) as i128;
+        let denominator = aoc as i128 - b as i128;
+        let series = (numerator / denominator) as u128;
+        series * a * b * c + final_stage
+    }
+}
+
+/// Wire cost of the whole network, computed as the exact sum: interstage
+/// wires plus one wire per network input and output.
+pub fn wire_cost(params: &EdnParams) -> u128 {
+    let interstage: u128 =
+        (1..=params.l()).map(|i| params.wires_after_stage(i) as u128).sum();
+    interstage + params.inputs() as u128 + params.outputs() as u128
+}
+
+/// Wire cost via the paper's Eq. (3) closed form.
+///
+/// `Cw = ((a/c)^l - b^l) / ((a/c) - b) * bc + (a/c)^l c + b^l c` when
+/// `a/c != b`, and `(l + 2) * b^l * c` when `a/c == b`.
+pub fn wire_cost_closed_form(params: &EdnParams) -> u128 {
+    let b = params.b() as u128;
+    let c = params.c() as u128;
+    let l = params.l();
+    let aoc = params.a_over_c() as u128;
+    if aoc == b {
+        (l as u128 + 2) * b.pow(l) * c
+    } else {
+        let numerator = aoc.pow(l) as i128 - b.pow(l) as i128;
+        let denominator = aoc as i128 - b as i128;
+        let series = (numerator / denominator) as u128;
+        series * b * c + aoc.pow(l) * c + b.pow(l) * c
+    }
+}
+
+/// Crosspoint cost of a monolithic `inputs x outputs` crossbar — the
+/// baseline the paper compares against.
+pub fn crossbar_crosspoints(inputs: u64, outputs: u64) -> u128 {
+    inputs as u128 * outputs as u128
+}
+
+/// Wire cost of a monolithic crossbar: one wire per input and output (it
+/// has no interstage wiring).
+pub fn crossbar_wires(inputs: u64, outputs: u64) -> u128 {
+    inputs as u128 + outputs as u128
+}
+
+/// Crosspoint cost of a `d`-dilated delta network with `b x b` switches and
+/// `l` stages (each logical link is `d` parallel wires, so each switch is
+/// effectively `H(bd -> b x d)` with `b*d` inputs).
+///
+/// The paper's introduction notes that a `d`-dilated network needs `d`
+/// times the wires of the equivalent EDN stage; this helper quantifies the
+/// comparison for the `TAB-DILATED` experiment.
+pub fn dilated_delta_crosspoints(b: u64, d: u64, l: u32) -> u128 {
+    // b^(l-1) switches per stage, each (bd) x (bd) crosspoints worth of
+    // switching fabric, l stages.
+    let b128 = b as u128;
+    let d128 = d as u128;
+    l as u128 * b128.pow(l.saturating_sub(1)) * (b128 * d128) * (b128 * d128)
+}
+
+/// Wire cost of a `d`-dilated delta network with `b^l` ports: every one of
+/// the `l+1` wire planes (inputs, l-1 interstage planes, outputs) carries
+/// `b^l * d` wires except the undilated input plane.
+pub fn dilated_delta_wires(b: u64, d: u64, l: u32) -> u128 {
+    let ports = (b as u128).pow(l);
+    // inputs (undilated) + l interstage/output planes of dilation d.
+    ports + l as u128 * ports * d as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(a: u64, b: u64, c: u64, l: u32) -> EdnParams {
+        EdnParams::new(a, b, c, l).unwrap()
+    }
+
+    #[test]
+    fn closed_forms_match_exact_sums_square_case() {
+        // a/c == b (square networks, the paper's main families).
+        for (a, b, c, l) in [
+            (8, 2, 4, 3),
+            (8, 4, 2, 4),
+            (8, 8, 1, 5),
+            (16, 4, 4, 3),
+            (16, 16, 1, 4),
+            (64, 16, 4, 2),
+            (4, 2, 2, 7),
+        ] {
+            let p = params(a, b, c, l);
+            assert!(p.is_square());
+            assert_eq!(
+                crosspoint_cost(&p),
+                crosspoint_cost_closed_form(&p),
+                "crosspoints {p}"
+            );
+            assert_eq!(wire_cost(&p), wire_cost_closed_form(&p), "wires {p}");
+        }
+    }
+
+    #[test]
+    fn closed_forms_match_exact_sums_rectangular_case() {
+        // a/c != b (expanding and concentrating networks).
+        for (a, b, c, l) in [
+            (8, 4, 4, 3),  // a/c = 2 < b = 4
+            (16, 2, 4, 3), // a/c = 4 > b = 2
+            (8, 2, 1, 4),  // delta, a != b
+            (16, 8, 4, 2),
+        ] {
+            let p = params(a, b, c, l);
+            assert!(!p.is_square());
+            assert_eq!(
+                crosspoint_cost(&p),
+                crosspoint_cost_closed_form(&p),
+                "crosspoints {p}"
+            );
+            assert_eq!(wire_cost(&p), wire_cost_closed_form(&p), "wires {p}");
+        }
+    }
+
+    #[test]
+    fn crossbar_special_case_costs_n_squared() {
+        let p = EdnParams::crossbar(16).unwrap();
+        // One stage of H(16 -> 16 x 1) hyperbars (16*16*1 crosspoints each,
+        // one of them) plus 16 degenerate 1x1 crossbars.
+        assert_eq!(crosspoint_cost(&p), 16 * 16 + 16);
+        assert_eq!(crossbar_crosspoints(16, 16), 256);
+    }
+
+    #[test]
+    fn delta_is_cheaper_than_crossbar_for_same_size() {
+        // The motivating observation of Patel's paper, retained by EDNs.
+        let delta = EdnParams::delta(4, 4, 5).unwrap(); // 1024 x 1024
+        let n = delta.inputs();
+        assert!(crosspoint_cost(&delta) < crossbar_crosspoints(n, n));
+    }
+
+    #[test]
+    fn edn_cost_sits_between_delta_and_crossbar() {
+        // EDN(16,4,4,l) vs delta of the same size vs crossbar of same size.
+        let edn = params(16, 4, 4, 4); // 1024 ports
+        let delta = EdnParams::delta(4, 4, 5).unwrap(); // 1024 ports
+        assert_eq!(edn.inputs(), delta.inputs());
+        let n = edn.inputs();
+        let edn_cost = crosspoint_cost(&edn);
+        let delta_cost = crosspoint_cost(&delta);
+        let xbar_cost = crossbar_crosspoints(n, n);
+        assert!(delta_cost < edn_cost, "{delta_cost} !< {edn_cost}");
+        assert!(edn_cost < xbar_cost, "{edn_cost} !< {xbar_cost}");
+    }
+
+    #[test]
+    fn wire_cost_square_matches_l_plus_2_formula() {
+        let p = params(16, 4, 4, 3);
+        assert_eq!(wire_cost(&p), (3 + 2) * 4u128.pow(3) * 4);
+    }
+
+    #[test]
+    fn dilated_delta_wire_overhead_is_d_fold_on_interstage_planes() {
+        // The §1 claim: every interstage plane of a d-dilated network has d
+        // times the wires of the equivalent EDN plane (same port count).
+        let edn = params(16, 4, 4, 4); // 1024 ports, planes of 1024 wires
+        assert_eq!(edn.outputs(), 1024);
+        assert_eq!(edn.wires_after_stage(2), 1024);
+        // Radix-4 dilated delta on 1024 ports: 5 stages, planes of 1024*d.
+        let d = 4u64;
+        let dilated_plane = 1024u128 * d as u128;
+        assert_eq!(dilated_plane, d as u128 * edn.wires_after_stage(2) as u128);
+        // And in total the dilated network spends several times more wire.
+        let dilated_total = dilated_delta_wires(4, d, 5);
+        let edn_total = wire_cost(&edn);
+        assert!(
+            dilated_total > 3 * edn_total,
+            "dilated {dilated_total} vs edn {edn_total}"
+        );
+    }
+
+    #[test]
+    fn costs_do_not_overflow_for_large_networks() {
+        // 4^10 * 4 = 2^22-port network.
+        let p = params(16, 4, 4, 10);
+        assert_eq!(p.inputs(), 1 << 22);
+        let cs = crosspoint_cost(&p);
+        let cw = wire_cost(&p);
+        assert!(cs > 0 && cw > 0);
+        assert_eq!(cs, crosspoint_cost_closed_form(&p));
+        assert_eq!(cw, wire_cost_closed_form(&p));
+    }
+}

@@ -1,0 +1,168 @@
+//! Error type shared by all fallible constructors and operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or using EDN components.
+///
+/// Every public fallible operation in this crate returns `Result<_, EdnError>`.
+///
+/// # Examples
+///
+/// ```
+/// use edn_core::{EdnParams, EdnError};
+///
+/// // 24 is not a power of two, so construction is rejected.
+/// let err = EdnParams::new(24, 4, 4, 2).unwrap_err();
+/// assert!(matches!(err, EdnError::NotPowerOfTwo { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EdnError {
+    /// A structural parameter must be a power of two but was not.
+    NotPowerOfTwo {
+        /// Which parameter (`"a"`, `"b"`, `"c"`, ...).
+        name: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// A structural parameter must be at least one but was zero.
+    ZeroParameter {
+        /// Which parameter.
+        name: &'static str,
+    },
+    /// The bucket capacity `c` must not exceed the switch input count `a`.
+    CapacityExceedsInputs {
+        /// Switch input count.
+        a: u64,
+        /// Bucket capacity.
+        c: u64,
+    },
+    /// The network's label space does not fit in 63 bits.
+    LabelWidthOverflow {
+        /// Required label width in bits.
+        bits: u32,
+    },
+    /// A port, line, or switch index was outside the valid range.
+    IndexOutOfRange {
+        /// What kind of index (`"input"`, `"output"`, `"stage"`, ...).
+        kind: &'static str,
+        /// The offending index.
+        index: u64,
+        /// Exclusive upper bound on valid values.
+        limit: u64,
+    },
+    /// A destination-tag digit exceeded its base.
+    DigitOutOfRange {
+        /// Digit position (0 = least significant base-`b` digit).
+        position: u32,
+        /// The offending digit.
+        digit: u64,
+        /// The digit's base.
+        base: u64,
+    },
+    /// A slice argument had the wrong length.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A bit-permutation description was not a permutation.
+    InvalidBitPermutation {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The requested operation needs a square network (`inputs == outputs`).
+    NotSquare {
+        /// Network input count.
+        inputs: u64,
+        /// Network output count.
+        outputs: u64,
+    },
+    /// Path enumeration would exceed the caller-provided limit.
+    TooManyPaths {
+        /// The number of paths, `c^l`.
+        paths: u128,
+        /// The caller's limit.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for EdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdnError::NotPowerOfTwo { name, value } => {
+                write!(f, "parameter `{name}` must be a power of two, got {value}")
+            }
+            EdnError::ZeroParameter { name } => {
+                write!(f, "parameter `{name}` must be at least 1")
+            }
+            EdnError::CapacityExceedsInputs { a, c } => {
+                write!(f, "bucket capacity c={c} exceeds switch inputs a={a}")
+            }
+            EdnError::LabelWidthOverflow { bits } => {
+                write!(f, "network labels need {bits} bits, more than the supported 63")
+            }
+            EdnError::IndexOutOfRange { kind, index, limit } => {
+                write!(f, "{kind} index {index} out of range (limit {limit})")
+            }
+            EdnError::DigitOutOfRange { position, digit, base } => {
+                write!(f, "digit {digit} at position {position} exceeds base {base}")
+            }
+            EdnError::LengthMismatch { expected, actual } => {
+                write!(f, "expected {expected} elements, got {actual}")
+            }
+            EdnError::InvalidBitPermutation { reason } => {
+                write!(f, "invalid bit permutation: {reason}")
+            }
+            EdnError::NotSquare { inputs, outputs } => {
+                write!(f, "operation requires a square network, got {inputs} inputs and {outputs} outputs")
+            }
+            EdnError::TooManyPaths { paths, limit } => {
+                write!(f, "network has {paths} paths per input/output pair, above the limit {limit}")
+            }
+        }
+    }
+}
+
+impl Error for EdnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let samples: Vec<EdnError> = vec![
+            EdnError::NotPowerOfTwo { name: "a", value: 3 },
+            EdnError::ZeroParameter { name: "l" },
+            EdnError::CapacityExceedsInputs { a: 4, c: 8 },
+            EdnError::LabelWidthOverflow { bits: 80 },
+            EdnError::IndexOutOfRange { kind: "input", index: 10, limit: 8 },
+            EdnError::DigitOutOfRange { position: 1, digit: 9, base: 8 },
+            EdnError::LengthMismatch { expected: 4, actual: 2 },
+            EdnError::InvalidBitPermutation { reason: "duplicate target" },
+            EdnError::NotSquare { inputs: 16, outputs: 64 },
+            EdnError::TooManyPaths { paths: 1 << 40, limit: 1 << 20 },
+        ];
+        for err in samples {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            let first = text.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric(), "message `{text}`");
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        let err: Box<dyn Error> = Box::new(EdnError::ZeroParameter { name: "b" });
+        assert!(err.to_string().contains('b'));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EdnError>();
+    }
+}

@@ -1,0 +1,316 @@
+//! The interstage permutation `gamma_{j,k}` (Definition 3 of the paper).
+//!
+//! `gamma_{j,k}` acts on an `n`-bit label by *fixing* the `j` least
+//! significant bits and *left-cyclic-shifting* the remaining `n - j` bits by
+//! `k`. The well-known perfect shuffle is `gamma_{0,1}`, Patel's `q`-shuffle
+//! is `gamma_{0, log2(q)}`, and `gamma_{j,0}` is the identity.
+//!
+//! Inside an `EDN(a,b,c,l)`, the outputs of hyperbar stage `i` connect to
+//! the inputs of stage `i + 1` through `gamma_{log2(c), log2(a/c)}` — the
+//! low `log2(c)` bits select a wire *within* a bucket and must stay put,
+//! while the remaining bits rotate exactly as in a delta network.
+
+use crate::error::EdnError;
+
+/// The bit-level permutation `gamma_{j,k}` on `n`-bit labels.
+///
+/// # Examples
+///
+/// The perfect shuffle of 8 labels (`gamma_{0,1}` on 3 bits):
+///
+/// ```
+/// use edn_core::Gamma;
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// let shuffle = Gamma::shuffle(3)?;
+/// let image: Vec<u64> = (0..8).map(|y| shuffle.apply(y)).collect();
+/// assert_eq!(image, [0, 2, 4, 6, 1, 3, 5, 7]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gamma {
+    /// Number of fixed least-significant bits.
+    j: u32,
+    /// Left-cyclic shift distance applied to the upper `n - j` bits,
+    /// stored reduced modulo `n - j` (or 0 when `n == j`).
+    k: u32,
+    /// Total label width in bits.
+    n: u32,
+}
+
+impl Gamma {
+    /// Creates `gamma_{j,k}` on `n`-bit labels.
+    ///
+    /// The shift distance `k` is reduced modulo `n - j`; any `k` is
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdnError::LabelWidthOverflow`] if `n > 63` and
+    /// [`EdnError::IndexOutOfRange`] if `j > n`.
+    pub fn new(j: u32, k: u32, n: u32) -> Result<Self, EdnError> {
+        if n > 63 {
+            return Err(EdnError::LabelWidthOverflow { bits: n });
+        }
+        if j > n {
+            return Err(EdnError::IndexOutOfRange {
+                kind: "fixed bits j",
+                index: j as u64,
+                limit: n as u64 + 1,
+            });
+        }
+        let m = n - j;
+        let k = if m == 0 { 0 } else { k % m };
+        Ok(Gamma { j, k, n })
+    }
+
+    /// The perfect shuffle `gamma_{0,1}` of `2^n` labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n > 63`.
+    pub fn shuffle(n: u32) -> Result<Self, EdnError> {
+        Gamma::new(0, 1, n)
+    }
+
+    /// Patel's `q`-shuffle `gamma_{0, log2(q)}` of `2^n` labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `q` is not a power of two or `n > 63`.
+    pub fn q_shuffle(q: u64, n: u32) -> Result<Self, EdnError> {
+        if q == 0 {
+            return Err(EdnError::ZeroParameter { name: "q" });
+        }
+        if !q.is_power_of_two() {
+            return Err(EdnError::NotPowerOfTwo { name: "q", value: q });
+        }
+        Gamma::new(0, q.trailing_zeros(), n)
+    }
+
+    /// The identity permutation on `n`-bit labels (`gamma_{0,0}`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n > 63`.
+    pub fn identity(n: u32) -> Result<Self, EdnError> {
+        Gamma::new(0, 0, n)
+    }
+
+    /// Number of fixed least-significant bits (`j`).
+    pub fn fixed_bits(&self) -> u32 {
+        self.j
+    }
+
+    /// Effective left-cyclic shift distance (already reduced).
+    pub fn shift(&self) -> u32 {
+        self.k
+    }
+
+    /// Label width in bits (`n`).
+    pub fn bits(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of labels this permutation acts on, `2^n`.
+    pub fn domain_size(&self) -> u64 {
+        1u64 << self.n
+    }
+
+    /// `true` if this permutation maps every label to itself.
+    pub fn is_identity(&self) -> bool {
+        self.k == 0
+    }
+
+    /// Applies the permutation to label `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` does not fit in `n` bits (debug builds assert; release
+    /// builds mask silently would hide bugs, so we assert always).
+    pub fn apply(&self, y: u64) -> u64 {
+        assert!(
+            y < (1u64 << self.n),
+            "label {y} does not fit in {} bits",
+            self.n
+        );
+        let m = self.n - self.j;
+        if m == 0 || self.k == 0 {
+            return y;
+        }
+        let low_mask = (1u64 << self.j) - 1;
+        let low = y & low_mask;
+        let high = y >> self.j;
+        let high_mask = (1u64 << m) - 1;
+        let rotated = ((high << self.k) | (high >> (m - self.k))) & high_mask;
+        (rotated << self.j) | low
+    }
+
+    /// Returns the inverse permutation (a right cyclic shift by `k`).
+    pub fn inverse(&self) -> Gamma {
+        let m = self.n - self.j;
+        let k = if m == 0 { 0 } else { (m - self.k) % m };
+        Gamma { j: self.j, k, n: self.n }
+    }
+
+    /// Returns the composition `other ∘ self` (apply `self` first) if the
+    /// two permutations are compatible (same `n` and `j`).
+    ///
+    /// Compositions of `gamma_{j,*}` form a cyclic group: shifts add modulo
+    /// `n - j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdnError::LengthMismatch`] if `n` or `j` differ.
+    pub fn then(&self, other: &Gamma) -> Result<Gamma, EdnError> {
+        if self.n != other.n || self.j != other.j {
+            return Err(EdnError::LengthMismatch {
+                expected: self.n as usize,
+                actual: other.n as usize,
+            });
+        }
+        Gamma::new(self.j, self.k + other.k, self.n)
+    }
+
+    /// Materializes the permutation as a vector `v` with `v[y] = apply(y)`.
+    ///
+    /// Intended for tests and small fabrics; requires `n <= 30`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdnError::LabelWidthOverflow`] if `n > 30`.
+    pub fn permutation_vec(&self) -> Result<Vec<u64>, EdnError> {
+        if self.n > 30 {
+            return Err(EdnError::LabelWidthOverflow { bits: self.n });
+        }
+        Ok((0..self.domain_size()).map(|y| self.apply(y)).collect())
+    }
+}
+
+impl std::fmt::Display for Gamma {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gamma_{{{},{}}} on {} bits", self.j, self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_of_eight_labels_matches_known_shuffle() {
+        let g = Gamma::shuffle(3).unwrap();
+        // Perfect shuffle: y -> 2y mod 7 (for y < 7), 7 -> 7.
+        assert_eq!(g.apply(0), 0);
+        assert_eq!(g.apply(1), 2);
+        assert_eq!(g.apply(2), 4);
+        assert_eq!(g.apply(3), 6);
+        assert_eq!(g.apply(4), 1);
+        assert_eq!(g.apply(5), 3);
+        assert_eq!(g.apply(6), 5);
+        assert_eq!(g.apply(7), 7);
+    }
+
+    #[test]
+    fn q_shuffle_equals_iterated_shuffle() {
+        // gamma_{0,log2 q} = gamma_{0,1} applied log2(q) times.
+        let n = 6;
+        let q4 = Gamma::q_shuffle(4, n).unwrap();
+        let s = Gamma::shuffle(n).unwrap();
+        for y in 0..(1u64 << n) {
+            assert_eq!(q4.apply(y), s.apply(s.apply(y)));
+        }
+    }
+
+    #[test]
+    fn identity_fixes_everything() {
+        let id = Gamma::identity(10).unwrap();
+        assert!(id.is_identity());
+        for y in [0u64, 1, 17, 1023] {
+            assert_eq!(id.apply(y), y);
+        }
+        // gamma_{j,0} is also the identity for any j.
+        let g = Gamma::new(4, 0, 10).unwrap();
+        assert!(g.is_identity());
+        assert_eq!(g.apply(987), 987);
+    }
+
+    #[test]
+    fn fixed_bits_are_preserved() {
+        let g = Gamma::new(2, 3, 10).unwrap();
+        for y in 0..(1u64 << 10) {
+            assert_eq!(g.apply(y) & 0b11, y & 0b11);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for (j, k, n) in [(0, 1, 8), (2, 3, 10), (4, 2, 12), (3, 0, 7), (5, 5, 5)] {
+            let g = Gamma::new(j, k, n).unwrap();
+            let inv = g.inverse();
+            for y in 0..(1u64 << n.min(12)) {
+                assert_eq!(inv.apply(g.apply(y)), y, "gamma_{{{j},{k}}} on {n} bits");
+                assert_eq!(g.apply(inv.apply(y)), y);
+            }
+        }
+    }
+
+    #[test]
+    fn is_bijection_on_small_domains() {
+        for (j, k, n) in [(0, 1, 6), (2, 3, 8), (1, 2, 9)] {
+            let g = Gamma::new(j, k, n).unwrap();
+            let mut image = g.permutation_vec().unwrap();
+            image.sort_unstable();
+            let expected: Vec<u64> = (0..g.domain_size()).collect();
+            assert_eq!(image, expected);
+        }
+    }
+
+    #[test]
+    fn composition_adds_shifts() {
+        let g1 = Gamma::new(2, 3, 10).unwrap();
+        let g2 = Gamma::new(2, 4, 10).unwrap();
+        let composed = g1.then(&g2).unwrap();
+        for y in 0..(1u64 << 10) {
+            assert_eq!(composed.apply(y), g2.apply(g1.apply(y)));
+        }
+        // n - j = 8, so shifting by 3 + 4 = 7 then 1 more wraps to identity.
+        let g3 = Gamma::new(2, 1, 10).unwrap();
+        let full = composed.then(&g3).unwrap();
+        assert!(full.is_identity());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(Gamma::new(0, 1, 64), Err(EdnError::LabelWidthOverflow { .. })));
+        assert!(matches!(Gamma::new(9, 1, 8), Err(EdnError::IndexOutOfRange { .. })));
+        assert!(matches!(Gamma::q_shuffle(3, 8), Err(EdnError::NotPowerOfTwo { .. })));
+        assert!(matches!(Gamma::q_shuffle(0, 8), Err(EdnError::ZeroParameter { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn apply_panics_on_oversized_label() {
+        let g = Gamma::new(0, 1, 4).unwrap();
+        g.apply(16);
+    }
+
+    #[test]
+    fn degenerate_widths() {
+        // n == j: nothing to shift.
+        let g = Gamma::new(4, 7, 4).unwrap();
+        assert!(g.is_identity());
+        assert_eq!(g.apply(9), 9);
+        // n == 0: empty domain of one label.
+        let g = Gamma::new(0, 0, 0).unwrap();
+        assert_eq!(g.apply(0), 0);
+        assert_eq!(g.domain_size(), 1);
+    }
+
+    #[test]
+    fn display_names_the_permutation() {
+        let g = Gamma::new(2, 3, 10).unwrap();
+        assert_eq!(g.to_string(), "gamma_{2,3} on 10 bits");
+    }
+}

@@ -1,0 +1,78 @@
+//! Expanded Delta Networks (EDN) — topology, routing and cost model.
+//!
+//! This crate implements the primary contribution of Alleyne & Scherson,
+//! *"Expanded Delta Networks for Very Large Parallel Computers"* (UC Irvine
+//! ICS TR 92-02 / ISCA 1992): a family of multistage interconnection
+//! networks built from **hyperbar** switches that generalizes Patel's delta
+//! network and the crossbar.
+//!
+//! An [`EdnParams`]`(a, b, c, l)` network has `l` stages of
+//! `H(a -> b x c)` [`Hyperbar`] switches followed by one stage of `c x c`
+//! crossbars. Each hyperbar routes `a` inputs to `b` output *buckets* of
+//! capacity `c` using one base-`b` digit of the destination tag; within a
+//! bucket a message may ride any of the `c` wires, which is why an EDN has
+//! `c^l` distinct paths between any input/output pair (Theorem 2 of the
+//! paper) while a delta network (`c = 1`) has exactly one.
+//!
+//! # Quick start
+//!
+//! Route a full permutation through the MasPar-shaped `EDN(64, 16, 4, 2)`:
+//!
+//! ```
+//! use edn_core::{EdnParams, EdnTopology, RouteRequest, route_batch, PriorityArbiter};
+//!
+//! # fn main() -> Result<(), edn_core::EdnError> {
+//! let params = EdnParams::new(64, 16, 4, 2)?;
+//! let topo = EdnTopology::new(params);
+//! // Send every input to the bit-reversed output.
+//! let n = params.inputs();
+//! let bits = params.output_bits();
+//! let requests: Vec<RouteRequest> = (0..n)
+//!     .map(|s| RouteRequest::new(s, s.reverse_bits() >> (64 - bits)))
+//!     .collect();
+//! let outcome = route_batch(&topo, &requests, &mut PriorityArbiter::new());
+//! assert!(outcome.delivered_count() > 0);
+//! for (source, output) in outcome.delivered() {
+//!     assert_eq!(*output, source.reverse_bits() >> (64 - bits));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Module map
+//!
+//! * [`params`] — validated network parameters and derived quantities.
+//! * [`gamma`] — the interstage permutation `gamma_{j,k}` (Definition 3).
+//! * [`address`] — destination tags, source addresses, digit retirement
+//!   orders (Corollary 2).
+//! * [`hyperbar`] — the `H(a -> b x c)` switch and arbitration policies.
+//! * [`topology`] — stage/wire maps, Lemma-1 line tracing, Theorem-2 path
+//!   enumeration.
+//! * [`routing`] — one-pass circuit-switched routing of request batches
+//!   through the wired fabric.
+//! * [`cost`] — crosspoint and wire cost, Eqs. (2)–(3).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod address;
+pub mod cost;
+pub mod error;
+pub mod faults;
+pub mod gamma;
+pub mod hyperbar;
+pub mod params;
+pub mod routing;
+pub mod topology;
+
+pub use address::{DestTag, RetirementOrder, SourceAddress};
+pub use cost::{crosspoint_cost, crosspoint_cost_closed_form, wire_cost, wire_cost_closed_form};
+pub use error::EdnError;
+pub use faults::{route_batch_faulty, route_one_with_faults, FaultRouting, FaultSet};
+pub use gamma::Gamma;
+pub use hyperbar::{
+    Arbiter, Hyperbar, HyperbarOutcome, PriorityArbiter, RandomArbiter, RoundRobinArbiter,
+};
+pub use params::{EdnParams, NetworkClass};
+pub use routing::{route_batch, route_batch_reordered, BatchOutcome, BlockReason, RouteRequest};
+pub use topology::{EdnTopology, PathTrace};

@@ -1,0 +1,498 @@
+//! Wired structure of an `EDN(a,b,c,l)`: stages, interstage permutations,
+//! and constructive path tracing.
+//!
+//! The fabric follows Definition 2 and Figure 3 of the paper:
+//!
+//! * network input `S` attaches to port `S mod a` of first-stage hyperbar
+//!   `floor(S / a)`;
+//! * the outputs of hyperbar stage `i < l` connect to the inputs of stage
+//!   `i + 1` through [`Gamma`]`_{log2(c), log2(a/c)}` (recovered from the
+//!   Lemma 1 proof);
+//! * the `b^l` buckets leaving stage `l` feed the `c x c` crossbars
+//!   *directly* ("each of the `b^l` buckets are sent directly to a `c x c`
+//!   crossbar");
+//! * crossbar `j`'s outputs are network outputs `j*c .. j*c + c - 1`.
+//!
+//! [`EdnTopology::trace_path`] walks a message through this fabric for an
+//! arbitrary per-stage wire choice, while
+//! [`EdnTopology::lemma1_line_after_stage`] evaluates the paper's
+//! closed-form line number `L_i = ((s_{l-i}..s_1) * b^i + (d_{l-1}..d_{l-i})) * c + K_i`
+//! independently; tests assert the two always agree, which is the strongest
+//! internal check the paper admits.
+
+use crate::address::{DestTag, SourceAddress};
+use crate::error::EdnError;
+use crate::gamma::Gamma;
+use crate::params::EdnParams;
+
+/// A fully wired `EDN(a,b,c,l)` fabric (immutable structure, no switch
+/// state).
+///
+/// # Examples
+///
+/// ```
+/// use edn_core::{EdnParams, EdnTopology};
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// let topo = EdnTopology::new(EdnParams::new(16, 4, 4, 2)?);
+/// // Theorem 1: any source reaches any destination.
+/// let trace = topo.trace_path(5, 42, &[0, 0])?;
+/// assert_eq!(trace.output(), 42);
+/// // Theorem 2: there are c^l = 16 distinct paths.
+/// assert_eq!(topo.enumerate_paths(5, 42, 1 << 20)?.len(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdnTopology {
+    params: EdnParams,
+    /// `interstage[i-1]` maps stage-`i` exit lines to stage-`i+1` entry
+    /// lines, for `i` in `1..=l`. The last entry (stage `l` to the crossbar
+    /// stage) is the identity.
+    interstage: Vec<Gamma>,
+}
+
+impl EdnTopology {
+    /// Builds the fabric for `params`.
+    pub fn new(params: EdnParams) -> Self {
+        let l = params.l();
+        let mut interstage = Vec::with_capacity(l as usize);
+        for i in 1..=l {
+            let width = (l - i) * params.log2_a_over_c() + i * params.log2_b() + params.log2_c();
+            let gamma = if i < l {
+                Gamma::new(params.log2_c(), params.log2_a_over_c(), width)
+            } else {
+                Gamma::identity(width)
+            };
+            interstage.push(gamma.expect("validated params imply valid gamma widths"));
+        }
+        EdnTopology { params, interstage }
+    }
+
+    /// The network parameters.
+    pub fn params(&self) -> &EdnParams {
+        &self.params
+    }
+
+    /// The permutation wiring stage `i`'s exits to stage `i+1`'s entries
+    /// (`1 <= i <= l`; `i = l` is the identity into the crossbar stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is zero or greater than `l`.
+    pub fn interstage_gamma(&self, i: u32) -> &Gamma {
+        assert!(i >= 1 && i <= self.params.l(), "stage {i} out of range");
+        &self.interstage[(i - 1) as usize]
+    }
+
+    /// First-stage hyperbar and port for a network input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdnError::IndexOutOfRange`] for an invalid input index.
+    pub fn input_attachment(&self, input: u64) -> Result<(u64, u64), EdnError> {
+        if input >= self.params.inputs() {
+            return Err(EdnError::IndexOutOfRange {
+                kind: "input",
+                index: input,
+                limit: self.params.inputs(),
+            });
+        }
+        Ok((input / self.params.a(), input % self.params.a()))
+    }
+
+    /// The crossbar (and its input port) fed by crossbar-stage entry line
+    /// `line`.
+    pub fn crossbar_attachment(&self, line: u64) -> (u64, u64) {
+        (line / self.params.c(), line % self.params.c())
+    }
+
+    /// Traces the unique wire path determined by `choices` from `source` to
+    /// the output addressed by `tag`.
+    ///
+    /// `choices[i-1]` selects which of the `c` bucket wires the message
+    /// rides out of stage `i`. By Theorem 1 the trace always terminates at
+    /// output `tag` regardless of `choices`; by Theorem 2 distinct choice
+    /// vectors give distinct wire paths, `c^l` in total.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `source` or `tag` is out of range, if
+    /// `choices.len() != l`, or if any choice is `>= c`.
+    pub fn trace_path(&self, source: u64, tag: u64, choices: &[u64]) -> Result<PathTrace, EdnError> {
+        let p = &self.params;
+        if source >= p.inputs() {
+            return Err(EdnError::IndexOutOfRange {
+                kind: "input",
+                index: source,
+                limit: p.inputs(),
+            });
+        }
+        if tag >= p.outputs() {
+            return Err(EdnError::IndexOutOfRange {
+                kind: "output",
+                index: tag,
+                limit: p.outputs(),
+            });
+        }
+        if choices.len() != p.l() as usize {
+            return Err(EdnError::LengthMismatch {
+                expected: p.l() as usize,
+                actual: choices.len(),
+            });
+        }
+        for (i, &k) in choices.iter().enumerate() {
+            if k >= p.c() {
+                return Err(EdnError::DigitOutOfRange {
+                    position: i as u32,
+                    digit: k,
+                    base: p.c(),
+                });
+            }
+        }
+
+        let stages = (p.l() + 1) as usize;
+        let mut entry_lines = Vec::with_capacity(stages);
+        let mut exit_lines = Vec::with_capacity(stages);
+        let mut line = source;
+        for i in 1..=p.l() {
+            entry_lines.push(line);
+            let switch = line / p.a();
+            let digit = p.tag_digit_for_stage(tag, i);
+            let exit = switch * (p.b() * p.c()) + digit * p.c() + choices[(i - 1) as usize];
+            exit_lines.push(exit);
+            line = self.interstage_gamma(i).apply(exit);
+        }
+        // Final stage: c x c crossbars, digit x selects the output port.
+        entry_lines.push(line);
+        let (crossbar, _port) = self.crossbar_attachment(line);
+        let output = crossbar * p.c() + p.tag_crossbar_digit(tag);
+        exit_lines.push(output);
+
+        Ok(PathTrace {
+            source,
+            tag,
+            entry_lines,
+            exit_lines,
+            choices: choices.to_vec(),
+        })
+    }
+
+    /// The paper's closed-form line number after stage `i` (Lemma 1):
+    /// `L_i = ((s_{l-i} .. s_1) * b^i + (d_{l-1} .. d_{l-i})) * c + K_i`,
+    /// where `K_i` is the wire choice made at stage `i`.
+    ///
+    /// This is an *independent* evaluation that never touches the fabric;
+    /// [`EdnTopology::trace_path`] must produce the same exit lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range arguments.
+    pub fn lemma1_line_after_stage(
+        &self,
+        source: u64,
+        tag: u64,
+        i: u32,
+        choice: u64,
+    ) -> Result<u64, EdnError> {
+        let p = &self.params;
+        if i == 0 || i > p.l() {
+            return Err(EdnError::IndexOutOfRange {
+                kind: "stage",
+                index: i as u64,
+                limit: p.l() as u64 + 1,
+            });
+        }
+        if choice >= p.c() {
+            return Err(EdnError::DigitOutOfRange { position: i, digit: choice, base: p.c() });
+        }
+        // Validate the indices by decomposing them.
+        SourceAddress::from_input_index(p, source)?;
+        let d = DestTag::from_output_index(p, tag)?;
+        // (s_{l-i} ... s_1): of the l source digits s_{l-1}..s_0, the stages
+        // consumed the top (i-1) digits and s_0/x' never appear, leaving the
+        // middle window. Equivalently floor(S / a) mod (a/c)^(l-i).
+        let s_high = (source / p.a()) % p.a_over_c().pow(p.l() - i);
+        // (d_{l-1} ... d_{l-i}) as a base-b number.
+        let d_high = d.digits()[..i as usize]
+            .iter()
+            .fold(0u64, |acc, &digit| acc * p.b() + digit);
+        Ok((s_high * p.b().pow(i) + d_high) * p.c() + choice)
+    }
+
+    /// Enumerates all `c^l` paths from `source` to `tag` (Theorem 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdnError::TooManyPaths`] if `c^l > limit`, or any error of
+    /// [`EdnTopology::trace_path`].
+    pub fn enumerate_paths(
+        &self,
+        source: u64,
+        tag: u64,
+        limit: u128,
+    ) -> Result<Vec<PathTrace>, EdnError> {
+        let count = self.params.path_count();
+        if count > limit {
+            return Err(EdnError::TooManyPaths { paths: count, limit });
+        }
+        let l = self.params.l() as usize;
+        let c = self.params.c();
+        let mut paths = Vec::with_capacity(count as usize);
+        let mut choices = vec![0u64; l];
+        loop {
+            paths.push(self.trace_path(source, tag, &choices)?);
+            // Odometer increment over base-c choice vectors.
+            let mut pos = l;
+            loop {
+                if pos == 0 {
+                    return Ok(paths);
+                }
+                pos -= 1;
+                choices[pos] += 1;
+                if choices[pos] < c {
+                    break;
+                }
+                choices[pos] = 0;
+            }
+        }
+    }
+
+    /// Convenience check that `source` can reach `tag` (Theorem 1). Always
+    /// true for valid indices — the returned trace is the constructive
+    /// witness with all-zero wire choices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range indices.
+    pub fn connects(&self, source: u64, tag: u64) -> Result<PathTrace, EdnError> {
+        let choices = vec![0u64; self.params.l() as usize];
+        self.trace_path(source, tag, &choices)
+    }
+}
+
+/// A complete wire-level path of one message, produced by
+/// [`EdnTopology::trace_path`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathTrace {
+    source: u64,
+    tag: u64,
+    /// Line index at each stage's input (`l + 1` entries).
+    entry_lines: Vec<u64>,
+    /// Line index at each stage's output, pre-permutation (`l + 1` entries);
+    /// the last entry is the network output.
+    exit_lines: Vec<u64>,
+    choices: Vec<u64>,
+}
+
+impl PathTrace {
+    /// The network input the message entered on.
+    pub fn source(&self) -> u64 {
+        self.source
+    }
+
+    /// The destination tag (= output index) the message carried.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// The network output the message exited on.
+    pub fn output(&self) -> u64 {
+        *self.exit_lines.last().expect("trace has at least one stage")
+    }
+
+    /// Line index at each stage's input, `l + 1` entries (hyperbar stages
+    /// then the crossbar stage).
+    pub fn entry_lines(&self) -> &[u64] {
+        &self.entry_lines
+    }
+
+    /// Line index at each stage's output (before the interstage
+    /// permutation); the final entry is the network output.
+    pub fn exit_lines(&self) -> &[u64] {
+        &self.exit_lines
+    }
+
+    /// The per-stage wire choices (`K_1 .. K_l`) that produced this path.
+    pub fn choices(&self) -> &[u64] {
+        &self.choices
+    }
+
+    /// The switch visited at hyperbar stage `i` (`1 <= i <= l`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn switch_at_stage(&self, params: &EdnParams, i: u32) -> u64 {
+        assert!(i >= 1 && i <= params.l(), "stage {i} out of range");
+        self.entry_lines[(i - 1) as usize] / params.a()
+    }
+
+    /// The crossbar visited at the final stage.
+    pub fn final_crossbar(&self, params: &EdnParams) -> u64 {
+        self.entry_lines[params.l() as usize] / params.c()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(a: u64, b: u64, c: u64, l: u32) -> EdnTopology {
+        EdnTopology::new(EdnParams::new(a, b, c, l).unwrap())
+    }
+
+    #[test]
+    fn every_trace_reaches_its_tag_small_network() {
+        // Exhaustive over EDN(8,4,2,2): 32 inputs, 32 outputs, 4 paths.
+        let t = topo(8, 4, 2, 2);
+        let p = *t.params();
+        for source in 0..p.inputs() {
+            for tag in 0..p.outputs() {
+                for k1 in 0..p.c() {
+                    for k2 in 0..p.c() {
+                        let trace = t.trace_path(source, tag, &[k1, k2]).unwrap();
+                        assert_eq!(trace.output(), tag, "S={source} D={tag} K=({k1},{k2})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_agrees_with_lemma1_closed_form() {
+        for (a, b, c, l) in [(16, 4, 4, 2), (8, 4, 2, 3), (64, 16, 4, 2), (8, 8, 1, 2)] {
+            let t = topo(a, b, c, l);
+            let p = *t.params();
+            // Deterministic sample of sources/tags/choices.
+            let mut source = 0u64;
+            let mut tag = p.outputs() / 3;
+            for step in 0..200u64 {
+                source = (source * 7 + 13 + step) % p.inputs();
+                tag = (tag * 5 + 11 + step) % p.outputs();
+                let choices: Vec<u64> = (0..l as u64).map(|i| (step + i) % c).collect();
+                let trace = t.trace_path(source, tag, &choices).unwrap();
+                for i in 1..=l {
+                    let closed = t
+                        .lemma1_line_after_stage(source, tag, i, choices[(i - 1) as usize])
+                        .unwrap();
+                    assert_eq!(
+                        trace.exit_lines()[(i - 1) as usize],
+                        closed,
+                        "{p} S={source} D={tag} stage={i} choices={choices:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn final_stage_line_is_tag_times_c_plus_k() {
+        // Lemma 1: L_l = (d_{l-1}...d_0) * c + K_l.
+        let t = topo(16, 4, 4, 2);
+        let p = *t.params();
+        for tag in 0..p.outputs() {
+            for k in 0..p.c() {
+                let trace = t.trace_path(0, tag, &[0, k]).unwrap();
+                let expected = (tag / p.c()) * p.c() + k;
+                assert_eq!(trace.exit_lines()[1], expected);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_path_count_and_distinctness() {
+        let t = topo(8, 4, 2, 3);
+        let p = *t.params();
+        let paths = t.enumerate_paths(3, 17, 1 << 20).unwrap();
+        assert_eq!(paths.len() as u128, p.path_count()); // c^l = 8
+        // All paths are distinct as wire sequences and all deliver correctly.
+        for (i, path) in paths.iter().enumerate() {
+            assert_eq!(path.output(), 17);
+            for other in &paths[i + 1..] {
+                assert_ne!(path.exit_lines(), other.exit_lines());
+            }
+        }
+    }
+
+    #[test]
+    fn delta_network_has_unique_path() {
+        let t = topo(4, 4, 1, 3);
+        let paths = t.enumerate_paths(10, 50, 1 << 20).unwrap();
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn path_enumeration_respects_limit() {
+        let t = topo(16, 4, 4, 3); // 64 paths
+        assert!(matches!(
+            t.enumerate_paths(0, 0, 63),
+            Err(EdnError::TooManyPaths { paths: 64, limit: 63 })
+        ));
+    }
+
+    #[test]
+    fn input_attachment_matches_floor_s_over_a() {
+        let t = topo(16, 4, 4, 2);
+        assert_eq!(t.input_attachment(0).unwrap(), (0, 0));
+        assert_eq!(t.input_attachment(17).unwrap(), (1, 1));
+        assert_eq!(t.input_attachment(63).unwrap(), (3, 15));
+        assert!(t.input_attachment(64).is_err());
+    }
+
+    #[test]
+    fn interstage_is_gamma_then_identity() {
+        let t = topo(16, 4, 4, 2);
+        let g1 = t.interstage_gamma(1);
+        assert_eq!(g1.fixed_bits(), 2); // log2(c) = 2
+        assert_eq!(g1.shift(), 2); // log2(a/c) = 2
+        assert!(t.interstage_gamma(2).is_identity());
+    }
+
+    #[test]
+    fn corollary1_renamed_inputs_still_connect() {
+        // Corollary 1: a message injected anywhere reaches its tag.
+        let t = topo(16, 4, 4, 2);
+        let p = *t.params();
+        let tag = 29;
+        for source in 0..p.inputs() {
+            assert_eq!(t.connects(source, tag).unwrap().output(), tag);
+        }
+    }
+
+    #[test]
+    fn trace_rejects_bad_arguments() {
+        let t = topo(16, 4, 4, 2);
+        assert!(t.trace_path(64, 0, &[0, 0]).is_err());
+        assert!(t.trace_path(0, 64, &[0, 0]).is_err());
+        assert!(t.trace_path(0, 0, &[0]).is_err());
+        assert!(t.trace_path(0, 0, &[0, 4]).is_err());
+        assert!(t.lemma1_line_after_stage(0, 0, 0, 0).is_err());
+        assert!(t.lemma1_line_after_stage(0, 0, 3, 0).is_err());
+    }
+
+    #[test]
+    fn switch_indices_along_path() {
+        let t = topo(16, 4, 4, 2);
+        let p = *t.params();
+        let trace = t.trace_path(37, 57, &[1, 2]).unwrap();
+        assert_eq!(trace.switch_at_stage(&p, 1), 37 / 16);
+        assert_eq!(trace.final_crossbar(&p), 57 / 4);
+        assert_eq!(trace.choices(), &[1, 2]);
+        assert_eq!(trace.source(), 37);
+        assert_eq!(trace.tag(), 57);
+    }
+
+    #[test]
+    fn crossbar_special_case_is_direct() {
+        // EDN(n,n,1,1): single stage of 1x1-bucket hyperbars = crossbar.
+        let t = topo(8, 8, 1, 1);
+        for source in 0..8 {
+            for tag in 0..8 {
+                let trace = t.trace_path(source, tag, &[0]).unwrap();
+                assert_eq!(trace.output(), tag);
+                assert_eq!(trace.entry_lines().len(), 2);
+            }
+        }
+    }
+}

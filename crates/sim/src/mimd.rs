@@ -1,0 +1,303 @@
+//! The shared-memory MIMD system simulator — Section 4 / Figures 9–10.
+//!
+//! `N` processors share `N` memory modules through a (usually square) EDN.
+//! At each cycle an *active* processor issues a fresh request with
+//! probability `r` to a uniformly random module; a processor whose request
+//! was rejected is *waiting* and resubmits every cycle until accepted.
+//!
+//! The paper's Markov analysis assumes resubmitted requests re-address the
+//! modules uniformly ([`ResubmitPolicy::Redraw`]); a real blocked processor
+//! retries the *same* module ([`ResubmitPolicy::SameDestination`]). The
+//! simulator supports both so the `TAB-SIMVAL` experiment can quantify how
+//! much that modelling shortcut matters.
+
+use crate::network::{ArbiterKind, NetworkSim};
+use crate::stats::RunningStats;
+use edn_core::{EdnError, EdnParams, RouteRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a waiting processor does with its destination when it retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResubmitPolicy {
+    /// Retry the same memory module (physically faithful).
+    #[default]
+    SameDestination,
+    /// Draw a fresh uniform module (the paper's independence assumption).
+    Redraw,
+}
+
+/// Steady-state measurements from [`MimdSystem::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MimdReport {
+    /// Measured cycles (after warm-up).
+    pub cycles: u32,
+    /// Total requests offered to the network (fresh + resubmitted).
+    pub offered: u64,
+    /// Total requests delivered.
+    pub delivered: u64,
+    /// Delivered / offered — the measured `PA'(r)`.
+    pub acceptance: f64,
+    /// Mean fraction of processors in the Waiting state (measured `q_W`).
+    pub waiting_fraction: f64,
+    /// Mean per-cycle network load, offered / (cycles * N) — the measured
+    /// effective rate `r'`.
+    pub effective_rate: f64,
+    /// Mean requests delivered per cycle (the measured bandwidth).
+    pub bandwidth: f64,
+    /// Standard error of the per-cycle acceptance.
+    pub acceptance_std_error: f64,
+}
+
+/// The processor–memory system of Figure 9.
+///
+/// # Examples
+///
+/// ```
+/// use edn_core::EdnParams;
+/// use edn_sim::{ArbiterKind, MimdSystem, ResubmitPolicy};
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// let params = EdnParams::new(16, 4, 4, 2)?; // 64 processors, 64 modules
+/// let mut system =
+///     MimdSystem::new(params, 0.5, ArbiterKind::Random, ResubmitPolicy::Redraw, 42)?;
+/// let report = system.run(200, 400);
+/// assert!(report.acceptance > 0.5 && report.acceptance <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MimdSystem {
+    sim: NetworkSim,
+    rng: StdRng,
+    rate: f64,
+    policy: ResubmitPolicy,
+    /// `pending[i] = Some(module)` while processor `i` waits on `module`.
+    pending: Vec<Option<u64>>,
+}
+
+impl MimdSystem {
+    /// Creates the system: one processor per network input, one module per
+    /// output, fresh-request probability `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdnError::IndexOutOfRange`] if `rate` is outside `[0, 1]`
+    /// (reported against a percent scale).
+    pub fn new(
+        params: EdnParams,
+        rate: f64,
+        arbiter: ArbiterKind,
+        policy: ResubmitPolicy,
+        seed: u64,
+    ) -> Result<Self, EdnError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(EdnError::IndexOutOfRange {
+                kind: "request rate (percent)",
+                index: (rate * 100.0) as u64,
+                limit: 101,
+            });
+        }
+        Ok(MimdSystem {
+            sim: NetworkSim::new(params, arbiter, seed ^ 0x00C0_FFEE),
+            rng: StdRng::seed_from_u64(seed),
+            rate,
+            policy,
+            pending: vec![None; params.inputs() as usize],
+        })
+    }
+
+    /// The number of processors (network inputs).
+    pub fn processors(&self) -> u64 {
+        self.sim.params().inputs()
+    }
+
+    /// The number of memory modules (network outputs).
+    pub fn modules(&self) -> u64 {
+        self.sim.params().outputs()
+    }
+
+    /// Count of processors currently waiting on a rejected request.
+    pub fn waiting_now(&self) -> usize {
+        self.pending.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Advances one network cycle; returns `(offered, delivered)`.
+    pub fn step(&mut self) -> (usize, usize) {
+        let modules = self.modules();
+        let mut requests = Vec::new();
+        for (proc_id, pending) in self.pending.iter_mut().enumerate() {
+            let destination = match (*pending, self.policy) {
+                (Some(module), ResubmitPolicy::SameDestination) => Some(module),
+                (Some(_), ResubmitPolicy::Redraw) => Some(self.rng.gen_range(0..modules)),
+                (None, _) => {
+                    if self.rate > 0.0 && self.rng.gen_bool(self.rate) {
+                        Some(self.rng.gen_range(0..modules))
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(module) = destination {
+                *pending = Some(module);
+                requests.push(RouteRequest::new(proc_id as u64, module));
+            }
+        }
+        let outcome = self.sim.route_cycle(&requests);
+        for &(source, _) in outcome.delivered() {
+            self.pending[source as usize] = None;
+        }
+        (outcome.offered(), outcome.delivered_count())
+    }
+
+    /// Runs `warmup` unmeasured cycles followed by `cycles` measured ones.
+    pub fn run(&mut self, warmup: u32, cycles: u32) -> MimdReport {
+        for _ in 0..warmup {
+            self.step();
+        }
+        let n = self.processors() as f64;
+        let mut offered_total = 0u64;
+        let mut delivered_total = 0u64;
+        let mut waiting = RunningStats::new();
+        let mut acceptance = RunningStats::new();
+        for _ in 0..cycles {
+            // Waiting fraction sampled *before* the cycle, matching q_W.
+            waiting.push(self.waiting_now() as f64 / n);
+            let (offered, delivered) = self.step();
+            offered_total += offered as u64;
+            delivered_total += delivered as u64;
+            if offered > 0 {
+                acceptance.push(delivered as f64 / offered as f64);
+            }
+        }
+        let acceptance_mean = if offered_total == 0 {
+            1.0
+        } else {
+            delivered_total as f64 / offered_total as f64
+        };
+        MimdReport {
+            cycles,
+            offered: offered_total,
+            delivered: delivered_total,
+            acceptance: acceptance_mean,
+            waiting_fraction: waiting.mean(),
+            effective_rate: offered_total as f64 / (cycles as f64 * n),
+            bandwidth: delivered_total as f64 / cycles as f64,
+            acceptance_std_error: acceptance.std_error(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edn_analytic::mimd::resubmission_fixed_point;
+
+    fn params() -> EdnParams {
+        EdnParams::new(16, 4, 4, 2).unwrap() // 64 x 64
+    }
+
+    #[test]
+    fn redraw_policy_matches_markov_model() {
+        // The paper's model assumes redraw; the simulator under the same
+        // assumption must land near its fixed point.
+        let p = EdnParams::new(16, 4, 4, 3).unwrap(); // 256 processors
+        for rate in [0.3, 0.5] {
+            let model = resubmission_fixed_point(&p, rate, 1e-12, 100_000);
+            let mut system =
+                MimdSystem::new(p, rate, ArbiterKind::Random, ResubmitPolicy::Redraw, 1234)
+                    .unwrap();
+            let report = system.run(300, 600);
+            assert!(
+                (report.acceptance - model.pa_prime).abs() < 0.04,
+                "r={rate}: measured PA' {} vs model {}",
+                report.acceptance,
+                model.pa_prime
+            );
+            assert!(
+                (report.effective_rate - model.effective_rate).abs() < 0.04,
+                "r={rate}: measured r' {} vs model {}",
+                report.effective_rate,
+                model.effective_rate
+            );
+            assert!(
+                (report.waiting_fraction - model.q_waiting).abs() < 0.05,
+                "r={rate}: measured qW {} vs model {}",
+                report.waiting_fraction,
+                model.q_waiting
+            );
+        }
+    }
+
+    #[test]
+    fn same_destination_is_no_better_than_redraw() {
+        // Persistent retries pile onto contended modules, so acceptance
+        // should not improve.
+        let mut redraw =
+            MimdSystem::new(params(), 0.7, ArbiterKind::Random, ResubmitPolicy::Redraw, 5)
+                .unwrap();
+        let mut same = MimdSystem::new(
+            params(),
+            0.7,
+            ArbiterKind::Random,
+            ResubmitPolicy::SameDestination,
+            5,
+        )
+        .unwrap();
+        let r1 = redraw.run(200, 500);
+        let r2 = same.run(200, 500);
+        assert!(
+            r2.acceptance <= r1.acceptance + 0.02,
+            "same-dest {} vs redraw {}",
+            r2.acceptance,
+            r1.acceptance
+        );
+    }
+
+    #[test]
+    fn zero_rate_stays_idle() {
+        let mut system =
+            MimdSystem::new(params(), 0.0, ArbiterKind::Random, ResubmitPolicy::Redraw, 9)
+                .unwrap();
+        let report = system.run(10, 50);
+        assert_eq!(report.offered, 0);
+        assert_eq!(report.acceptance, 1.0);
+        assert_eq!(report.waiting_fraction, 0.0);
+    }
+
+    #[test]
+    fn flow_conservation() {
+        let mut system =
+            MimdSystem::new(params(), 0.8, ArbiterKind::Random, ResubmitPolicy::SameDestination, 3)
+                .unwrap();
+        let report = system.run(100, 300);
+        // Delivered never exceeds offered; waiting processors exist under load.
+        assert!(report.delivered <= report.offered);
+        assert!(report.waiting_fraction > 0.0);
+        // Bandwidth = delivered per cycle <= N.
+        assert!(report.bandwidth <= system.processors() as f64);
+    }
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(MimdSystem::new(
+            params(),
+            1.5,
+            ArbiterKind::Random,
+            ResubmitPolicy::Redraw,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn waiting_count_reflects_blocked_processors() {
+        let mut system =
+            MimdSystem::new(params(), 1.0, ArbiterKind::Random, ResubmitPolicy::SameDestination, 7)
+                .unwrap();
+        assert_eq!(system.waiting_now(), 0);
+        system.step();
+        // At full load on a blocking network some processors must be waiting.
+        assert!(system.waiting_now() > 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Monte-Carlo estimators for the paper's analytic quantities.
+
+use crate::network::{ArbiterKind, NetworkSim};
+use crate::stats::RunningStats;
+use edn_core::EdnParams;
+use edn_traffic::{Permutation, UniformTraffic, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A measured acceptance probability with its sampling uncertainty.
+///
+/// Produced by [`estimate_pa`] and [`estimate_pa_permutation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceptanceEstimate {
+    /// Ratio of all delivered to all offered requests.
+    pub mean: f64,
+    /// Standard error of the per-cycle acceptance ratios.
+    pub std_error: f64,
+    /// Cycles simulated.
+    pub cycles: u32,
+    /// Total requests offered across all cycles.
+    pub offered: u64,
+    /// Total requests delivered across all cycles.
+    pub delivered: u64,
+}
+
+impl AcceptanceEstimate {
+    /// Normal-approximation 95% confidence interval for the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_error;
+        (self.mean - half, self.mean + half)
+    }
+
+    /// `true` if `value` lies within the 95% confidence interval widened
+    /// by `slack` on each side (for model-vs-measurement comparisons where
+    /// the model itself carries approximation error).
+    pub fn is_consistent_with(&self, value: f64, slack: f64) -> bool {
+        let (lo, hi) = self.ci95();
+        value >= lo - slack && value <= hi + slack
+    }
+}
+
+/// Measures acceptance for an arbitrary [`Workload`] over `cycles`
+/// independent network cycles — the generic engine behind
+/// [`estimate_pa`] and [`estimate_pa_permutation`], public so experiments
+/// can plug in non-uniform traffic (e.g. hot-spot / NUTS workloads).
+pub fn estimate_pa_with<W: Workload>(
+    params: &EdnParams,
+    workload: &mut W,
+    arbiter: ArbiterKind,
+    cycles: u32,
+    seed: u64,
+) -> AcceptanceEstimate {
+    let mut sim = NetworkSim::new(*params, arbiter, seed ^ 0xA5A5_5A5A_A5A5_5A5A);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_cycle = RunningStats::new();
+    let mut offered_total = 0u64;
+    let mut delivered_total = 0u64;
+    for _ in 0..cycles {
+        let batch = workload.next_batch(&mut rng);
+        if batch.is_empty() {
+            per_cycle.push(1.0);
+            continue;
+        }
+        let outcome = sim.route_cycle(&batch);
+        offered_total += outcome.offered() as u64;
+        delivered_total += outcome.delivered_count() as u64;
+        per_cycle.push(outcome.acceptance_rate());
+    }
+    let mean = if offered_total == 0 {
+        1.0
+    } else {
+        delivered_total as f64 / offered_total as f64
+    };
+    AcceptanceEstimate {
+        mean,
+        std_error: per_cycle.std_error(),
+        cycles,
+        offered: offered_total,
+        delivered: delivered_total,
+    }
+}
+
+/// Measures `PA(r)` under uniform independent traffic (the Eq. 4 setting)
+/// by simulating `cycles` independent network cycles.
+pub fn estimate_pa(
+    params: &EdnParams,
+    rate: f64,
+    arbiter: ArbiterKind,
+    cycles: u32,
+    seed: u64,
+) -> AcceptanceEstimate {
+    let mut workload = UniformTraffic::new(params.inputs(), params.outputs(), rate);
+    estimate_pa_with(params, &mut workload, arbiter, cycles, seed)
+}
+
+/// Measures `PA_p(r)` under (partial) permutation traffic (the Eq. 5
+/// setting): each cycle draws a fresh random permutation and offers each
+/// pair with probability `rate`.
+///
+/// # Panics
+///
+/// Panics if the network is not square (`inputs != outputs`).
+pub fn estimate_pa_permutation(
+    params: &EdnParams,
+    rate: f64,
+    arbiter: ArbiterKind,
+    cycles: u32,
+    seed: u64,
+) -> AcceptanceEstimate {
+    assert!(
+        params.is_square(),
+        "permutation traffic needs a square network, got {} x {}",
+        params.inputs(),
+        params.outputs()
+    );
+
+    struct PermutationWorkload {
+        n: u64,
+        rate: f64,
+    }
+    impl Workload for PermutationWorkload {
+        fn next_batch(&mut self, rng: &mut StdRng) -> Vec<edn_core::RouteRequest> {
+            let perm = Permutation::random(self.n, rng);
+            if self.rate >= 1.0 {
+                perm.to_requests()
+            } else {
+                perm.to_partial_requests(self.rate, rng)
+            }
+        }
+        fn inputs(&self) -> u64 {
+            self.n
+        }
+        fn outputs(&self) -> u64 {
+            self.n
+        }
+    }
+
+    let mut workload = PermutationWorkload { n: params.inputs(), rate };
+    estimate_pa_with(params, &mut workload, arbiter, cycles, seed)
+}
+
+/// Runs `f(seed)` for every seed on a pool of OS threads (one chunk per
+/// available core), preserving order. For embarrassingly parallel
+/// Monte-Carlo sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use edn_sim::map_seeds;
+///
+/// let squares = map_seeds(&[1, 2, 3, 4], |seed| seed * seed);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn map_seeds<T, F>(seeds: &[u64], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let chunk = seeds.len().div_ceil(threads);
+    let mut results: Vec<Option<T>> = Vec::with_capacity(seeds.len());
+    results.resize_with(seeds.len(), || None);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (seed_chunk, out_chunk) in seeds.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (&seed, slot) in seed_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(seed));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every slot is filled by its thread"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edn_analytic::pa::probability_of_acceptance;
+    use edn_analytic::permutation::permutation_pa;
+
+    #[test]
+    fn uniform_traffic_matches_analytic_pa() {
+        // The independence model is an approximation; allow a small slack
+        // beyond the Monte-Carlo CI.
+        for (a, b, c, l, rate) in [
+            (16u64, 4u64, 4u64, 2u32, 1.0),
+            (16, 4, 4, 2, 0.5),
+            (8, 2, 4, 3, 1.0),
+            (8, 8, 1, 2, 0.75),
+        ] {
+            let params = EdnParams::new(a, b, c, l).unwrap();
+            let estimate = estimate_pa(&params, rate, ArbiterKind::Random, 150, 42);
+            let model = probability_of_acceptance(&params, rate);
+            assert!(
+                estimate.is_consistent_with(model, 0.03),
+                "{params} r={rate}: measured {} +- {}, model {model}",
+                estimate.mean,
+                estimate.std_error
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_traffic_matches_analytic_pa_p() {
+        for (a, b, c, l) in [(16u64, 4u64, 4u64, 2u32), (8, 4, 2, 3)] {
+            let params = EdnParams::new(a, b, c, l).unwrap();
+            let estimate = estimate_pa_permutation(&params, 1.0, ArbiterKind::Random, 150, 7);
+            let model = permutation_pa(&params, 1.0);
+            assert!(
+                estimate.is_consistent_with(model, 0.04),
+                "{params}: measured {} +- {}, model {model}",
+                estimate.mean,
+                estimate.std_error
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_on_crossbar_never_blocks() {
+        let params = EdnParams::crossbar(32).unwrap();
+        let estimate = estimate_pa_permutation(&params, 1.0, ArbiterKind::Priority, 20, 3);
+        assert_eq!(estimate.mean, 1.0);
+        assert_eq!(estimate.delivered, estimate.offered);
+    }
+
+    #[test]
+    fn zero_rate_is_vacuously_perfect() {
+        let params = EdnParams::new(16, 4, 4, 2).unwrap();
+        let estimate = estimate_pa(&params, 0.0, ArbiterKind::Random, 10, 5);
+        assert_eq!(estimate.mean, 1.0);
+        assert_eq!(estimate.offered, 0);
+    }
+
+    #[test]
+    fn estimates_are_seed_reproducible() {
+        let params = EdnParams::new(16, 4, 4, 2).unwrap();
+        let a = estimate_pa(&params, 1.0, ArbiterKind::Random, 30, 11);
+        let b = estimate_pa(&params, 1.0, ArbiterKind::Random, 30, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_seeds_preserves_order_and_covers_all() {
+        let seeds: Vec<u64> = (0..37).collect();
+        let out = map_seeds(&seeds, |s| s + 1);
+        assert_eq!(out, (1..38).collect::<Vec<u64>>());
+        assert!(map_seeds(&[], |s| s).is_empty());
+    }
+
+    #[test]
+    fn ci_brackets_mean() {
+        let params = EdnParams::new(16, 4, 4, 2).unwrap();
+        let estimate = estimate_pa(&params, 1.0, ArbiterKind::Random, 50, 13);
+        let (lo, hi) = estimate.ci95();
+        assert!(lo <= estimate.mean && estimate.mean <= hi);
+        assert!(estimate.is_consistent_with(estimate.mean, 0.0));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the simulator: statistics correctness and
+//! system-level conservation laws under randomized configurations.
+
+use edn_core::EdnParams;
+use edn_sim::{ArbiterKind, MimdSystem, RaEdnSystem, ResubmitPolicy, RunningStats};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn welford_matches_two_pass(data in vec(-1.0e6f64..1.0e6, 2..200)) {
+        let mut stats = RunningStats::new();
+        for &x in &data {
+            stats.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let variance = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (data.len() - 1) as f64;
+        let scale = variance.abs().max(1.0);
+        prop_assert!((stats.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((stats.sample_variance() - variance).abs() < 1e-6 * scale);
+    }
+
+    #[test]
+    fn welford_merge_is_order_insensitive(
+        data in vec(-1.0e3f64..1.0e3, 4..100),
+        split in 1usize..50,
+    ) {
+        let split = split.min(data.len() - 1);
+        let mut whole = RunningStats::new();
+        data.iter().for_each(|&x| whole.push(x));
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        data[..split].iter().for_each(|&x| left.push(x));
+        data[split..].iter().for_each(|&x| right.push(x));
+        let mut forward = left;
+        forward.merge(&right);
+        let mut backward = right;
+        backward.merge(&left);
+        prop_assert!((forward.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
+        prop_assert!((forward.mean() - backward.mean()).abs() < 1e-9);
+        prop_assert!(
+            (forward.sample_variance() - whole.sample_variance()).abs()
+                < 1e-6 * whole.sample_variance().max(1.0)
+        );
+    }
+
+    #[test]
+    fn mimd_conservation_under_random_configs(
+        rate in 0.05f64..=1.0,
+        seed in any::<u64>(),
+        policy_flag in any::<bool>(),
+    ) {
+        let params = EdnParams::new(8, 4, 2, 2).unwrap(); // 32 processors
+        let policy = if policy_flag {
+            ResubmitPolicy::Redraw
+        } else {
+            ResubmitPolicy::SameDestination
+        };
+        let mut system =
+            MimdSystem::new(params, rate, ArbiterKind::Random, policy, seed).unwrap();
+        let mut outstanding = 0i64;
+        for _ in 0..50 {
+            let before = system.waiting_now() as i64;
+            let (offered, delivered) = system.step();
+            let after = system.waiting_now() as i64;
+            // Waiting set grows by exactly offered - delivered - previously
+            // waiting processors that got through.
+            prop_assert_eq!(after, offered as i64 - delivered as i64);
+            prop_assert!(delivered <= offered);
+            // All previously waiting processors re-offered this cycle.
+            prop_assert!(offered as i64 >= before);
+            outstanding = after;
+        }
+        prop_assert!(outstanding >= 0);
+    }
+
+    #[test]
+    fn ra_edn_delivers_every_message_once(
+        log_q in 0u32..=3,
+        seed in any::<u64>(),
+    ) {
+        let q = 1u64 << log_q;
+        let mut system = RaEdnSystem::new(4, 2, 1, q, ArbiterKind::Random, seed).unwrap();
+        let run = system.route_random_permutation();
+        prop_assert_eq!(run.total_messages, system.processors());
+        prop_assert_eq!(
+            run.delivered_per_cycle.iter().sum::<u64>(),
+            system.processors()
+        );
+        prop_assert!(run.cycles as u64 >= q);
+        for &delivered in &run.delivered_per_cycle {
+            prop_assert!(delivered <= system.ports());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the workload generators: every permutation
+//! constructor yields a bijection, batches are well-formed, and partial
+//! sampling preserves conflict-freedom.
+
+use edn_traffic::{HotSpotTraffic, Permutation, UniformTraffic, Workload};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_bijection(p: &Permutation) -> Result<(), TestCaseError> {
+    let mut image: Vec<u64> = p.as_map().to_vec();
+    image.sort_unstable();
+    for (i, &v) in image.iter().enumerate() {
+        prop_assert_eq!(v, i as u64);
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn named_permutations_are_bijections(log_n in 0u32..=12, seed in any::<u64>()) {
+        let n = 1u64 << log_n;
+        assert_bijection(&Permutation::identity(n))?;
+        assert_bijection(&Permutation::bit_reversal(n).unwrap())?;
+        assert_bijection(&Permutation::perfect_shuffle(n).unwrap())?;
+        assert_bijection(&Permutation::butterfly(n).unwrap())?;
+        assert_bijection(&Permutation::reversal(n))?;
+        assert_bijection(&Permutation::displacement(n, seed % n.max(1)))?;
+        assert_bijection(&Permutation::random(n, &mut StdRng::seed_from_u64(seed)))?;
+        if log_n % 2 == 0 {
+            assert_bijection(&Permutation::transpose(n).unwrap())?;
+        }
+    }
+
+    #[test]
+    fn inverse_composes_to_identity(log_n in 0u32..=10, seed in any::<u64>()) {
+        let n = 1u64 << log_n;
+        let p = Permutation::random(n, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(p.then(&p.inverse()).unwrap().is_identity());
+        prop_assert!(p.inverse().then(&p).unwrap().is_identity());
+    }
+
+    #[test]
+    fn composition_is_associative(log_n in 0u32..=8, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let n = 1u64 << log_n;
+        let a = Permutation::random(n, &mut StdRng::seed_from_u64(s1));
+        let b = Permutation::random(n, &mut StdRng::seed_from_u64(s2));
+        let c = Permutation::reversal(n);
+        let left = a.then(&b).unwrap().then(&c).unwrap();
+        let right = a.then(&b.then(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn uniform_batches_are_well_formed(
+        log_in in 1u32..=10,
+        log_out in 1u32..=10,
+        rate in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let inputs = 1u64 << log_in;
+        let outputs = 1u64 << log_out;
+        let mut traffic = UniformTraffic::new(inputs, outputs, rate);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = traffic.next_batch(&mut rng);
+        prop_assert!(batch.len() as u64 <= inputs);
+        let mut previous: Option<u64> = None;
+        for request in &batch {
+            prop_assert!(request.source < inputs);
+            prop_assert!(request.tag < outputs);
+            if let Some(p) = previous {
+                prop_assert!(request.source > p, "sources strictly increasing");
+            }
+            previous = Some(request.source);
+        }
+    }
+
+    #[test]
+    fn hotspot_batches_are_well_formed(
+        log_n in 1u32..=10,
+        rate in 0.0f64..=1.0,
+        fraction in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let n = 1u64 << log_n;
+        let hot = seed % n;
+        let mut traffic = HotSpotTraffic::new(n, n, rate, hot, fraction);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for request in traffic.next_batch(&mut rng) {
+            prop_assert!(request.source < n && request.tag < n);
+        }
+    }
+
+    #[test]
+    fn partial_permutation_requests_stay_conflict_free(
+        log_n in 1u32..=10,
+        rate in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let n = 1u64 << log_n;
+        let p = Permutation::random(n, &mut StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFFFF);
+        let batch = p.to_partial_requests(rate, &mut rng);
+        let mut tags: Vec<u64> = batch.iter().map(|r| r.tag).collect();
+        let count = tags.len();
+        tags.sort_unstable();
+        tags.dedup();
+        prop_assert_eq!(tags.len(), count);
+        for request in &batch {
+            prop_assert_eq!(request.tag, p.apply(request.source));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Network design exploration: pick the right EDN for a machine.
+//!
+//! The paper's central trade-off is performance (probability of
+//! acceptance) against hardware (crosspoints and wires). Given a target
+//! port count, this example sweeps every square EDN family buildable from
+//! 8- and 16-wide hyperbars — plus the delta network and crossbar limits —
+//! and prints the cost/performance frontier a machine architect would
+//! study.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --example network_design_explorer [ports]
+//! ```
+//!
+//! `ports` defaults to 4096 and is rounded to the nearest buildable size
+//! per family.
+
+use edn::analytic::pa::{crossbar_pa, probability_of_acceptance};
+use edn::core::cost::{crossbar_crosspoints, crossbar_wires, crosspoint_cost, wire_cost};
+use edn::core::EdnError;
+use edn::EdnParams;
+
+struct Candidate {
+    name: String,
+    ports: u64,
+    pa: f64,
+    crosspoints: u128,
+    wires: u128,
+}
+
+fn main() -> Result<(), EdnError> {
+    let target: u64 = std::env::args()
+        .nth(1)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(4096);
+    println!("design target: ~{target} ports\n");
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+
+    // Square EDN families from 8- and 16-I/O hyperbars (the paper's
+    // Figures 7-8), each at its largest size not exceeding the target.
+    for (io, b) in [
+        (8u64, 2u64),
+        (8, 4),
+        (8, 8),
+        (16, 2),
+        (16, 4),
+        (16, 8),
+        (16, 16),
+    ] {
+        let mut best: Option<EdnParams> = None;
+        for l in 1..=40 {
+            match EdnParams::square_family(io, b, l) {
+                Ok(p) if p.inputs() <= target => best = Some(p),
+                _ => break,
+            }
+        }
+        if let Some(p) = best {
+            candidates.push(Candidate {
+                name: p.to_string(),
+                ports: p.inputs(),
+                pa: probability_of_acceptance(&p, 1.0),
+                crosspoints: crosspoint_cost(&p),
+                wires: wire_cost(&p),
+            });
+        }
+    }
+
+    // The crossbar limit at the exact target.
+    candidates.push(Candidate {
+        name: "crossbar".to_string(),
+        ports: target,
+        pa: crossbar_pa(target, 1.0),
+        crosspoints: crossbar_crosspoints(target, target),
+        wires: crossbar_wires(target, target),
+    });
+
+    candidates.sort_by(|x, y| y.pa.total_cmp(&x.pa));
+
+    println!(
+        "{:<16} {:>7} {:>8} {:>12} {:>9} {:>16}",
+        "network", "ports", "PA(1)", "crosspoints", "wires", "PA per Mxpoint"
+    );
+    for c in &candidates {
+        println!(
+            "{:<16} {:>7} {:>8.4} {:>12} {:>9} {:>16.2}",
+            c.name,
+            c.ports,
+            c.pa,
+            c.crosspoints,
+            c.wires,
+            c.pa / (c.crosspoints as f64 / 1.0e6)
+        );
+    }
+
+    // The frontier argument of the paper's conclusion.
+    let crossbar = candidates.iter().find(|c| c.name == "crossbar").expect("pushed above");
+    let best_edn = candidates
+        .iter()
+        .filter(|c| c.name != "crossbar")
+        .max_by(|x, y| x.pa.total_cmp(&y.pa))
+        .expect("families are non-empty");
+    println!(
+        "\nbest EDN ({}) reaches {:.0}% of crossbar acceptance at {:.1}% of its crosspoints",
+        best_edn.name,
+        100.0 * best_edn.pa / crossbar.pa,
+        100.0 * best_edn.crosspoints as f64 / crossbar.crosspoints as f64
+    );
+    Ok(())
+}

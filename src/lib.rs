@@ -1,0 +1,41 @@
+//! Facade crate for the Expanded Delta Network (EDN) reproduction.
+//!
+//! This crate re-exports the whole workspace under one roof so that
+//! examples and downstream users can write `use edn::...` without tracking
+//! the individual sub-crates:
+//!
+//! * [`core`] — topology, digit-controlled routing, and cost model
+//!   (`edn-core`).
+//! * [`analytic`] — the paper's probabilistic performance models
+//!   (`edn-analytic`).
+//! * [`sim`] — the cycle-level circuit-switched simulator (`edn-sim`).
+//! * [`traffic`] — workload generators (`edn-traffic`).
+//!
+//! The most common types are additionally re-exported at the crate root.
+//!
+//! # Examples
+//!
+//! ```
+//! use edn::{EdnParams, EdnTopology};
+//!
+//! # fn main() -> Result<(), edn::core::EdnError> {
+//! // The MasPar MP-1 router shape analyzed in the paper's Section 5.
+//! let params = EdnParams::ra_edn(16, 4, 2)?;
+//! let topology = EdnTopology::new(params);
+//! assert_eq!(topology.params().inputs(), 1024);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use edn_analytic as analytic;
+pub use edn_core as core;
+pub use edn_sim as sim;
+pub use edn_traffic as traffic;
+
+pub use edn_core::{
+    route_batch, route_batch_reordered, BatchOutcome, DestTag, EdnError, EdnParams, EdnTopology,
+    Gamma, Hyperbar, PriorityArbiter, RandomArbiter, RetirementOrder, RouteRequest, SourceAddress,
+};

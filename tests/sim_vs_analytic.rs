@@ -1,0 +1,100 @@
+//! Cross-crate validation: the cycle-level simulator must reproduce the
+//! analytic models within their approximation error.
+
+use edn::analytic::mimd::resubmission_fixed_point;
+use edn::analytic::pa::probability_of_acceptance;
+use edn::analytic::permutation::permutation_pa;
+use edn::sim::{
+    estimate_pa, estimate_pa_permutation, ArbiterKind, MimdSystem, RaEdnSystem, ResubmitPolicy,
+};
+use edn::EdnParams;
+
+#[test]
+fn uniform_pa_across_families_and_rates() {
+    for (a, b, c, l) in [(16u64, 4u64, 4u64, 2u32), (8, 2, 4, 3), (8, 8, 1, 3), (16, 2, 8, 2)] {
+        let params = EdnParams::new(a, b, c, l).unwrap();
+        for rate in [0.5, 1.0] {
+            let estimate = estimate_pa(&params, rate, ArbiterKind::Random, 120, 9000 + l as u64);
+            let model = probability_of_acceptance(&params, rate);
+            assert!(
+                estimate.is_consistent_with(model, 0.035),
+                "{params} r={rate}: sim {} +- {} vs model {model}",
+                estimate.mean,
+                estimate.std_error
+            );
+        }
+    }
+}
+
+#[test]
+fn permutation_pa_matches_lemma2_model() {
+    for (a, b, c, l) in [(16u64, 4u64, 4u64, 2u32), (8, 4, 2, 3)] {
+        let params = EdnParams::new(a, b, c, l).unwrap();
+        let estimate = estimate_pa_permutation(&params, 1.0, ArbiterKind::Random, 120, 31);
+        let model = permutation_pa(&params, 1.0);
+        assert!(
+            estimate.is_consistent_with(model, 0.04),
+            "{params}: sim {} vs model {model}",
+            estimate.mean
+        );
+    }
+}
+
+#[test]
+fn arbitration_policy_does_not_change_throughput() {
+    // The analytic model never says *which* requests win; total
+    // acceptance must be policy-independent (they accept the same count,
+    // just different winners).
+    let params = EdnParams::new(16, 4, 4, 2).unwrap();
+    let priority = estimate_pa(&params, 1.0, ArbiterKind::Priority, 100, 5);
+    let random = estimate_pa(&params, 1.0, ArbiterKind::Random, 100, 5);
+    let round_robin = estimate_pa(&params, 1.0, ArbiterKind::RoundRobin, 100, 5);
+    assert!((priority.mean - random.mean).abs() < 0.02);
+    assert!((priority.mean - round_robin.mean).abs() < 0.02);
+}
+
+#[test]
+fn mimd_simulation_reaches_markov_steady_state() {
+    let params = EdnParams::new(16, 4, 4, 2).unwrap(); // 64 processors
+    let rate = 0.6;
+    let model = resubmission_fixed_point(&params, rate, 1e-12, 100_000);
+    let mut system =
+        MimdSystem::new(params, rate, ArbiterKind::Random, ResubmitPolicy::Redraw, 404).unwrap();
+    let report = system.run(400, 800);
+    assert!(
+        (report.acceptance - model.pa_prime).abs() < 0.05,
+        "PA' sim {} vs model {}",
+        report.acceptance,
+        model.pa_prime
+    );
+    assert!(
+        (report.waiting_fraction - model.q_waiting).abs() < 0.05,
+        "qW sim {} vs model {}",
+        report.waiting_fraction,
+        model.q_waiting
+    );
+}
+
+#[test]
+fn ra_edn_simulation_bounds_analytic_estimate() {
+    // Small MasPar sibling: RA-EDN(4,2,2,8) = 32 clusters of 8 PEs.
+    let mut system = RaEdnSystem::new(4, 2, 2, 8, ArbiterKind::Random, 77).unwrap();
+    let (mean, _) = system.measure_mean_cycles(8);
+    let model = edn::analytic::simd::RaEdnModel::new(4, 2, 2, 8)
+        .unwrap()
+        .expected_permutation_cycles();
+    // The analytic estimate is optimistic but must be the right scale.
+    assert!(
+        mean >= model.total_cycles * 0.8 && mean <= model.total_cycles * 1.6,
+        "sim {mean} vs model {}",
+        model.total_cycles
+    );
+}
+
+#[test]
+fn monte_carlo_error_shrinks_with_cycles() {
+    let params = EdnParams::new(16, 4, 4, 2).unwrap();
+    let short = estimate_pa(&params, 1.0, ArbiterKind::Random, 20, 8);
+    let long = estimate_pa(&params, 1.0, ArbiterKind::Random, 320, 8);
+    assert!(long.std_error < short.std_error);
+}

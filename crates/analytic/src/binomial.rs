@@ -31,10 +31,7 @@
 /// assert!((total - 1.0).abs() < 1e-12);
 /// ```
 pub fn binomial_pmf_prefix(a: u64, p: f64, len: usize) -> Vec<f64> {
-    assert!(
-        (0.0..=1.0).contains(&p),
-        "p = {p} is not a probability"
-    );
+    assert!((0.0..=1.0).contains(&p), "p = {p} is not a probability");
     let mut pmf = vec![0.0f64; len];
     if len == 0 {
         return pmf;

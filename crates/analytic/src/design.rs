@@ -69,12 +69,11 @@ impl DesignPoint {
 /// # Ok(())
 /// # }
 /// ```
-pub fn deepest_at_acceptance(
-    io: u64,
-    b: u64,
-    floor: f64,
-) -> Result<Option<DesignPoint>, EdnError> {
-    assert!(floor > 0.0 && floor <= 1.0, "floor = {floor} is not a usable acceptance");
+pub fn deepest_at_acceptance(io: u64, b: u64, floor: f64) -> Result<Option<DesignPoint>, EdnError> {
+    assert!(
+        floor > 0.0 && floor <= 1.0,
+        "floor = {floor} is not a usable acceptance"
+    );
     let mut best: Option<DesignPoint> = None;
     for l in 1..=63 {
         let params = match EdnParams::square_family(io, b, l) {
@@ -125,11 +124,7 @@ pub fn candidate_sweep(max_io: u64, max_ports: u64) -> Vec<DesignPoint> {
 /// The cheapest (by crosspoints) candidate reaching at least `min_ports`
 /// ports and `min_pa` full-load acceptance, drawn from
 /// [`candidate_sweep`].
-pub fn cheapest_meeting(
-    max_io: u64,
-    min_ports: u64,
-    min_pa: f64,
-) -> Option<DesignPoint> {
+pub fn cheapest_meeting(max_io: u64, min_ports: u64, min_pa: f64) -> Option<DesignPoint> {
     // Allow candidates to overshoot the port target a little: families hit
     // different size grids, so scan up to 4x.
     candidate_sweep(max_io, min_ports.saturating_mul(4))
@@ -144,7 +139,9 @@ mod tests {
 
     #[test]
     fn deepest_at_acceptance_is_maximal() {
-        let point = deepest_at_acceptance(16, 4, 0.5).unwrap().expect("non-empty");
+        let point = deepest_at_acceptance(16, 4, 0.5)
+            .unwrap()
+            .expect("non-empty");
         assert!(point.pa_full_load >= 0.5);
         // One more stage must fall below the floor.
         let deeper = EdnParams::square_family(16, 4, point.params.l() + 1).unwrap();
@@ -193,8 +190,6 @@ mod tests {
     fn figure_of_merit_matches_fields() {
         let point = candidate_sweep(8, 512).remove(0);
         let fom = point.pa_per_megacrosspoint();
-        assert!(
-            (fom - point.pa_full_load / (point.crosspoints as f64 / 1.0e6)).abs() < 1e-12
-        );
+        assert!((fom - point.pa_full_load / (point.crosspoints as f64 / 1.0e6)).abs() < 1e-12);
     }
 }

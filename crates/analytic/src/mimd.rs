@@ -191,7 +191,12 @@ mod tests {
         assert!(s.q_active > 0.8, "crossbar q_active = {}", s.q_active);
         let delta = params(4, 4, 1, 8);
         let sd = solve(&delta, 0.5);
-        assert!(sd.q_active < s.q_active - 0.1, "{} vs {}", sd.q_active, s.q_active);
+        assert!(
+            sd.q_active < s.q_active - 0.1,
+            "{} vs {}",
+            sd.q_active,
+            s.q_active
+        );
     }
 
     #[test]

@@ -106,7 +106,11 @@ pub fn crossbar_pa(n: u64, r: f64) -> f64 {
     }
     let miss = (1.0 - r / n as f64).powi(i32::try_from(n.min(i32::MAX as u64)).unwrap_or(i32::MAX));
     // For astronomically large n use the exp limit to avoid powi range issues.
-    let miss = if n > i32::MAX as u64 { (-(r)).exp() } else { miss };
+    let miss = if n > i32::MAX as u64 {
+        (-(r)).exp()
+    } else {
+        miss
+    };
     (1.0 - miss) / r
 }
 
@@ -175,7 +179,10 @@ mod tests {
             let pa_c4 = probability_of_acceptance(&EdnParams::square_family(8, 2, l).unwrap(), 1.0);
             let pa_c2 = probability_of_acceptance(&EdnParams::square_family(8, 4, l).unwrap(), 1.0);
             let pa_c1 = probability_of_acceptance(&EdnParams::square_family(8, 8, l).unwrap(), 1.0);
-            assert!(pa_c4 > pa_c2 && pa_c2 > pa_c1, "l={l}: {pa_c4} {pa_c2} {pa_c1}");
+            assert!(
+                pa_c4 > pa_c2 && pa_c2 > pa_c1,
+                "l={l}: {pa_c4} {pa_c2} {pa_c1}"
+            );
         }
     }
 

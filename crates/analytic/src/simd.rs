@@ -77,7 +77,10 @@ impl RaEdnModel {
         if q == 0 {
             return Err(EdnError::ZeroParameter { name: "q" });
         }
-        Ok(RaEdnModel { params: EdnParams::ra_edn(b, c, l)?, q })
+        Ok(RaEdnModel {
+            params: EdnParams::ra_edn(b, c, l)?,
+            q,
+        })
     }
 
     /// Wraps an existing square network as the router of a `q`-PE-per-port
@@ -177,9 +180,17 @@ mod tests {
         assert_eq!(model.ports(), 1024);
         assert_eq!(model.processors(), 16384);
         let timing = model.expected_permutation_cycles();
-        assert!((timing.pa_full_load - 0.544).abs() < 1e-3, "PA(1) = {}", timing.pa_full_load);
+        assert!(
+            (timing.pa_full_load - 0.544).abs() < 1e-3,
+            "PA(1) = {}",
+            timing.pa_full_load
+        );
         assert_eq!(timing.tail_cycles, 5, "J = {}", timing.tail_cycles);
-        assert!((timing.total_cycles - 34.41).abs() < 0.05, "E = {}", timing.total_cycles);
+        assert!(
+            (timing.total_cycles - 34.41).abs() < 0.05,
+            "E = {}",
+            timing.total_cycles
+        );
     }
 
     #[test]
@@ -196,8 +207,12 @@ mod tests {
 
     #[test]
     fn more_pes_per_cluster_cost_proportionally_more_bulk_cycles() {
-        let t16 = RaEdnModel::new(16, 4, 2, 16).unwrap().expected_permutation_cycles();
-        let t64 = RaEdnModel::new(16, 4, 2, 64).unwrap().expected_permutation_cycles();
+        let t16 = RaEdnModel::new(16, 4, 2, 16)
+            .unwrap()
+            .expected_permutation_cycles();
+        let t64 = RaEdnModel::new(16, 4, 2, 64)
+            .unwrap()
+            .expected_permutation_cycles();
         assert!((t64.bulk_cycles - 4.0 * t16.bulk_cycles).abs() < 1e-9);
         // The tail does not depend on q at all.
         assert_eq!(t64.tail_cycles, t16.tail_cycles);
@@ -206,7 +221,9 @@ mod tests {
     #[test]
     fn permutation_needs_at_least_q_cycles() {
         for (b, c, l, q) in [(16u64, 4u64, 2u32, 16u64), (4, 2, 3, 8), (2, 2, 4, 4)] {
-            let timing = RaEdnModel::new(b, c, l, q).unwrap().expected_permutation_cycles();
+            let timing = RaEdnModel::new(b, c, l, q)
+                .unwrap()
+                .expected_permutation_cycles();
             assert!(timing.total_cycles >= q as f64, "RA-EDN({b},{c},{l},{q})");
         }
     }
@@ -215,7 +232,9 @@ mod tests {
     fn better_networks_finish_faster() {
         // Same cluster count order of magnitude, deeper/narrower network
         // is slower per message.
-        let good = RaEdnModel::new(16, 4, 2, 16).unwrap().expected_permutation_cycles();
+        let good = RaEdnModel::new(16, 4, 2, 16)
+            .unwrap()
+            .expected_permutation_cycles();
         let poor = RaEdnModel::from_params(EdnParams::new(8, 8, 1, 3).unwrap(), 16)
             .unwrap()
             .expected_permutation_cycles();

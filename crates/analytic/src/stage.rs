@@ -30,7 +30,10 @@ use crate::binomial::expected_min_binomial;
 /// assert!((r - (1.0 - (1.0f64 - 0.2).powi(4))).abs() < 1e-12);
 /// ```
 pub fn hyperbar_stage_rate(a: u64, b: u64, c: u64, r_in: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&r_in), "r_in = {r_in} is not a probability");
+    assert!(
+        (0.0..=1.0).contains(&r_in),
+        "r_in = {r_in} is not a probability"
+    );
     assert!(b > 0 && c > 0, "degenerate switch shape");
     let p = r_in / b as f64;
     expected_min_binomial(a, p, c) / c as f64
@@ -65,7 +68,10 @@ mod tests {
                 for step in 0..=10 {
                     let r = step as f64 / 10.0;
                     let out = hyperbar_stage_rate(a, b, c, r);
-                    assert!((0.0..=1.0).contains(&out), "a={a} b={b} c={c} r={r} -> {out}");
+                    assert!(
+                        (0.0..=1.0).contains(&out),
+                        "a={a} b={b} c={c} r={r} -> {out}"
+                    );
                 }
             }
         }

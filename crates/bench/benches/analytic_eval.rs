@@ -27,7 +27,12 @@ fn bench_mimd_fixed_point(criterion: &mut Criterion) {
     let params = EdnParams::new(16, 4, 4, 4).expect("valid parameters");
     criterion.bench_function("mimd_fixed_point", |bencher| {
         bencher.iter(|| {
-            black_box(resubmission_fixed_point(&params, black_box(0.5), 1e-12, 100_000))
+            black_box(resubmission_fixed_point(
+                &params,
+                black_box(0.5),
+                1e-12,
+                100_000,
+            ))
         });
     });
 }

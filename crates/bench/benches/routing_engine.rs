@@ -1,0 +1,181 @@
+//! Criterion bench: legacy per-call routing vs. the reused
+//! [`RoutingEngine`] — the perf claim behind the engine refactor.
+//!
+//! Three variants route identical full-load uniform batches:
+//!
+//! * `legacy`  — `edn_core::reference::route_batch`, the pre-engine
+//!   implementation (`HashSet` duplicate check, fresh `Vec`s per stage,
+//!   per-switch buffers inside `Hyperbar::route`);
+//! * `wrapper` — `edn_core::route_batch`, the compatibility wrapper that
+//!   builds a fresh engine per call;
+//! * `engine`  — one reused `RoutingEngine`: zero steady-state
+//!   allocations.
+//!
+//! Besides the Criterion report, the bench self-times the three variants
+//! and writes `BENCH_routing_engine.json` at the repository root so the
+//! perf trajectory is tracked in-tree. Configs: the MasPar-shaped
+//! `EDN(64,16,4,2)` (1024 ports) and the large `EDN(16,4,4,5)`
+//! (4096 ports), both at full load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edn_core::{
+    reference, route_batch, EdnParams, EdnTopology, PriorityArbiter, RouteRequest, RoutingEngine,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn full_load_batch(params: &EdnParams, seed: u64) -> Vec<RouteRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..params.inputs())
+        .map(|s| RouteRequest::new(s, rng.gen_range(0..params.outputs())))
+        .collect()
+}
+
+fn configs() -> Vec<(&'static str, EdnParams)> {
+    vec![
+        // The MasPar MP-1 router shape, Section 5 of the paper.
+        (
+            "EDN(64,16,4,2)",
+            EdnParams::new(64, 16, 4, 2).expect("valid parameters"),
+        ),
+        // A 4096-port member of the Figure 8 EDN(16,4,4,*) family.
+        (
+            "EDN(16,4,4,5)",
+            EdnParams::new(16, 4, 4, 5).expect("valid parameters"),
+        ),
+    ]
+}
+
+fn bench_engine_vs_legacy(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("routing_engine");
+    for (name, params) in configs() {
+        let topology = EdnTopology::new(params);
+        let batch = full_load_batch(&params, 0xED17);
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("legacy", name),
+            &batch,
+            |bencher, batch| {
+                let mut arbiter = PriorityArbiter::new();
+                bencher.iter(|| black_box(reference::route_batch(&topology, batch, &mut arbiter)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wrapper", name),
+            &batch,
+            |bencher, batch| {
+                let mut arbiter = PriorityArbiter::new();
+                bencher.iter(|| black_box(route_batch(&topology, batch, &mut arbiter)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine", name),
+            &batch,
+            |bencher, batch| {
+                let mut arbiter = PriorityArbiter::new();
+                let mut engine = RoutingEngine::new(topology.clone());
+                bencher.iter(|| black_box(engine.route(batch, &mut arbiter).delivered_count()));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Median ns per call over `samples` batches of `iters_per_sample` calls.
+fn median_ns(mut f: impl FnMut(), samples: usize, iters_per_sample: u32) -> f64 {
+    // One untimed batch to warm caches and buffer capacities.
+    for _ in 0..iters_per_sample {
+        f();
+    }
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters_per_sample as f64
+        })
+        .collect();
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    timings[timings.len() / 2]
+}
+
+/// Self-timed comparison written to `BENCH_routing_engine.json` so the
+/// perf trajectory lives in-tree (independent of the Criterion harness in
+/// use).
+fn write_json_trajectory(_criterion: &mut Criterion) {
+    let mut entries = Vec::new();
+    for (name, params) in configs() {
+        let topology = EdnTopology::new(params);
+        let batch = full_load_batch(&params, 0xED17);
+        let (samples, iters) = if params.inputs() > 2048 {
+            (9, 40)
+        } else {
+            (9, 200)
+        };
+
+        let mut arbiter = PriorityArbiter::new();
+        let legacy = median_ns(
+            || {
+                black_box(reference::route_batch(&topology, &batch, &mut arbiter));
+            },
+            samples,
+            iters,
+        );
+        let mut arbiter = PriorityArbiter::new();
+        let wrapper = median_ns(
+            || {
+                black_box(route_batch(&topology, &batch, &mut arbiter));
+            },
+            samples,
+            iters,
+        );
+        let mut arbiter = PriorityArbiter::new();
+        let mut engine = RoutingEngine::new(topology.clone());
+        let reused = median_ns(
+            || {
+                black_box(engine.route(&batch, &mut arbiter).delivered_count());
+            },
+            samples,
+            iters,
+        );
+
+        let speedup_vs_legacy = legacy / reused;
+        let speedup_vs_wrapper = wrapper / reused;
+        println!(
+            "{name}: legacy {legacy:.0} ns, wrapper {wrapper:.0} ns, engine {reused:.0} ns \
+             per batch -> engine speedup {speedup_vs_legacy:.2}x vs legacy, \
+             {speedup_vs_wrapper:.2}x vs wrapper"
+        );
+        entries.push(format!(
+            "    {{\"config\": \"{name}\", \"ports\": {}, \"batch_len\": {}, \
+             \"legacy_ns_per_batch\": {legacy:.1}, \"wrapper_ns_per_batch\": {wrapper:.1}, \
+             \"engine_ns_per_batch\": {reused:.1}, \
+             \"engine_speedup_vs_legacy\": {speedup_vs_legacy:.3}, \
+             \"engine_speedup_vs_wrapper\": {speedup_vs_wrapper:.3}}}",
+            params.inputs(),
+            batch.len(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"routing_engine\",\n  \"arbiter\": \"priority\",\n  \
+         \"load\": 1.0,\n  \"unit\": \"ns per full-load batch (median)\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_routing_engine.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_routing_engine.json");
+    println!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engine_vs_legacy, write_json_trajectory
+}
+criterion_main!(benches);

@@ -23,9 +23,10 @@ fn main() {
         "FIG2: per-input outcome (priority arbitration)",
         &["input", "digit", "granted wire", "bucket", "status"],
     );
-    let outcome = switch.route(&requests, &mut PriorityArbiter::new()).expect("valid digits");
-    for (input, (&granted, &digit)) in outcome.assignments().iter().zip(digits.iter()).enumerate()
-    {
+    let outcome = switch
+        .route(&requests, &mut PriorityArbiter::new())
+        .expect("valid digits");
+    for (input, (&granted, &digit)) in outcome.assignments().iter().zip(digits.iter()).enumerate() {
         match granted {
             Some(wire) => table.row(vec![
                 input.to_string(),
@@ -55,12 +56,19 @@ fn main() {
     let arbiters: Vec<(&str, Box<dyn Arbiter>)> = vec![
         ("priority", Box::new(PriorityArbiter::new())),
         ("round-robin", Box::new(RoundRobinArbiter::new())),
-        ("random(seed=1)", Box::new(RandomArbiter::new(StdRng::seed_from_u64(1)))),
+        (
+            "random(seed=1)",
+            Box::new(RandomArbiter::new(StdRng::seed_from_u64(1))),
+        ),
     ];
     for (name, mut arbiter) in arbiters {
-        let outcome = switch.route(&requests, arbiter.as_mut()).expect("valid digits");
-        let rejected: Vec<String> =
-            outcome.rejected_inputs(&requests).map(|i| i.to_string()).collect();
+        let outcome = switch
+            .route(&requests, arbiter.as_mut())
+            .expect("valid digits");
+        let rejected: Vec<String> = outcome
+            .rejected_inputs(&requests)
+            .map(|i| i.to_string())
+            .collect();
         policies.row(vec![
             name.to_string(),
             outcome.accepted().to_string(),

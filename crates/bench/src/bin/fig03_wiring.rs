@@ -10,7 +10,11 @@ use edn_core::{EdnParams, EdnTopology};
 
 fn print_network(params: &EdnParams) {
     let topology = EdnTopology::new(*params);
-    println!("=== {params}: {} inputs -> {} outputs ===", params.inputs(), params.outputs());
+    println!(
+        "=== {params}: {} inputs -> {} outputs ===",
+        params.inputs(),
+        params.outputs()
+    );
     for stage in 1..=params.l() {
         let switches = params.hyperbars_in_stage(stage);
         println!(
@@ -28,7 +32,10 @@ fn print_network(params: &EdnParams) {
         }
         let gamma = topology.interstage_gamma(stage);
         if gamma.is_identity() {
-            println!("  wiring to stage {}: identity (buckets feed crossbars directly)", stage + 1);
+            println!(
+                "  wiring to stage {}: identity (buckets feed crossbars directly)",
+                stage + 1
+            );
         } else {
             println!("  wiring to stage {} via {gamma}:", stage + 1);
             let wires = params.wires_after_stage(stage);

@@ -13,7 +13,14 @@ use edn_core::{DestTag, EdnParams, EdnTopology};
 fn structure_table(params: &EdnParams) {
     let mut table = Table::new(
         &format!("{params}: stage inventory"),
-        &["stage", "switches", "switch shape", "in wires", "out wires", "bits retired"],
+        &[
+            "stage",
+            "switches",
+            "switch shape",
+            "in wires",
+            "out wires",
+            "bits retired",
+        ],
     );
     for i in 1..=params.l() {
         table.row(vec![

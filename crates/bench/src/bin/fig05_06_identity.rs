@@ -19,8 +19,9 @@ use std::collections::HashSet;
 fn main() {
     let params = EdnParams::new(64, 16, 4, 2).expect("paper parameters are valid");
     let topo = EdnTopology::new(params);
-    let identity: Vec<RouteRequest> =
-        (0..params.inputs()).map(|s| RouteRequest::new(s, s)).collect();
+    let identity: Vec<RouteRequest> = (0..params.inputs())
+        .map(|s| RouteRequest::new(s, s))
+        .collect();
 
     // --- Figure 5: unmodified network, one pass. ---
     let outcome = route_batch(&topo, &identity, &mut PriorityArbiter::new());
@@ -67,8 +68,11 @@ fn main() {
     while !remaining.is_empty() && pass < 64 {
         pass += 1;
         let outcome = route_batch(&topo, &remaining, &mut PriorityArbiter::new());
-        let delivered: HashSet<u64> =
-            outcome.delivered().iter().map(|&(source, _)| source).collect();
+        let delivered: HashSet<u64> = outcome
+            .delivered()
+            .iter()
+            .map(|&(source, _)| source)
+            .collect();
         cumulative += delivered.len();
         passes.row(vec![
             pass.to_string(),

@@ -18,7 +18,13 @@ fn main() {
 
     let mut table = Table::new(
         "FIG7: PA(1) (analytic, Eq. 4)",
-        &["N", "crossbar", "EDN(8,2,4,*)", "EDN(8,4,2,*)", "EDN(8,8,1,*)"],
+        &[
+            "N",
+            "crossbar",
+            "EDN(8,2,4,*)",
+            "EDN(8,4,2,*)",
+            "EDN(8,8,1,*)",
+        ],
     );
     // Collect each family's sizes -> PA map.
     let series: Vec<Vec<(u64, f64)>> = families
@@ -37,7 +43,10 @@ fn main() {
     sizes.dedup();
     for &n in &sizes {
         let lookup = |idx: usize| -> Option<f64> {
-            series[idx].iter().find(|&&(size, _)| size == n).map(|&(_, pa)| pa)
+            series[idx]
+                .iter()
+                .find(|&&(size, _)| size == n)
+                .map(|&(_, pa)| pa)
         };
         table.row(vec![
             n.to_string(),

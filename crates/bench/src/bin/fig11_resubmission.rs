@@ -44,8 +44,12 @@ fn main() {
     sizes.dedup();
     for &n in &sizes {
         let find = |idx: usize| series[idx].iter().find(|&&(s, _, _)| s == n).copied();
-        let (i0, r0) = find(0).map(|(_, i, r)| (Some(i), Some(r))).unwrap_or((None, None));
-        let (i1, r1) = find(1).map(|(_, i, r)| (Some(i), Some(r))).unwrap_or((None, None));
+        let (i0, r0) = find(0)
+            .map(|(_, i, r)| (Some(i), Some(r)))
+            .unwrap_or((None, None));
+        let (i1, r1) = find(1)
+            .map(|(_, i, r)| (Some(i), Some(r)))
+            .unwrap_or((None, None));
         table.row(vec![
             n.to_string(),
             fmt_opt(i0, 4),

@@ -50,7 +50,14 @@ fn main() {
     // Cost and performance at matched sizes: the conclusion's argument.
     let mut versus = Table::new(
         "TAB-COST b: cost and PA(1) at matched port count",
-        &["N", "network", "crosspoints", "wires", "PA(1)", "PA/Mcrosspoint"],
+        &[
+            "N",
+            "network",
+            "crosspoints",
+            "wires",
+            "PA(1)",
+            "PA/Mcrosspoint",
+        ],
     );
     for l4 in [3u32, 4, 5] {
         let edn = EdnParams::new(16, 4, 4, l4).expect("valid EDN");

@@ -20,7 +20,14 @@ fn main() {
 
     let mut table = Table::new(
         "TAB-DILATED: EDN(16,4,4,l) vs 4-dilated radix-4 delta, equal ports",
-        &["ports", "network", "PA(1)", "wires", "crosspoints", "PA per kilowire"],
+        &[
+            "ports",
+            "network",
+            "PA(1)",
+            "wires",
+            "crosspoints",
+            "PA per kilowire",
+        ],
     );
     for l in [2u32, 3, 4, 5] {
         let edn = EdnParams::new(16, 4, 4, l).expect("valid EDN");

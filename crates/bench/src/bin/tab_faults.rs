@@ -39,9 +39,7 @@ fn degraded_pa(topology: &EdnTopology, faults: &FaultSet, cycles: u64) -> f64 {
     let mut delivered = 0u64;
     for cycle in 0..cycles {
         let requests: Vec<RouteRequest> = (0..params.inputs())
-            .map(|s| {
-                RouteRequest::new(s, (s * 131 + cycle * 7919 + 23) % params.outputs())
-            })
+            .map(|s| RouteRequest::new(s, (s * 131 + cycle * 7919 + 23) % params.outputs()))
             .collect();
         let outcome = route_batch_faulty(topology, &requests, faults, &mut PriorityArbiter::new());
         offered += outcome.offered() as u64;

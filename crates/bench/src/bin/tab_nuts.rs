@@ -53,8 +53,11 @@ fn measure(params: &EdnParams, hot_fraction: f64, cycles: u32, seed: u64) -> Dam
         let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(arbiter_seed));
         let outcome = route_batch(&topology, &full, &mut arbiter);
         with_hot_offered += cold_only.len() as u64;
-        with_hot_delivered +=
-            outcome.delivered().iter().filter(|&&(_, out)| out != hot_output).count() as u64;
+        with_hot_delivered += outcome
+            .delivered()
+            .iter()
+            .filter(|&&(_, out)| out != hot_output)
+            .count() as u64;
 
         let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(arbiter_seed));
         let control = route_batch(&topology, &cold_only, &mut arbiter);
@@ -89,7 +92,11 @@ fn main() {
     for (i, hot) in [0.05, 0.10, 0.20, 0.40].into_iter().enumerate() {
         let a = measure(&edn4, hot, 80, 500 + i as u64);
         let d = measure(&delta, hot, 80, 500 + i as u64);
-        damages.push((hot, a.collateral() / a.cold_alone, d.collateral() / d.cold_alone));
+        damages.push((
+            hot,
+            a.collateral() / a.cold_alone,
+            d.collateral() / d.cold_alone,
+        ));
         table.row(vec![
             fmt_f(hot, 2),
             fmt_f(a.cold_with_hot, 4),

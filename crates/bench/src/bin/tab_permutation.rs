@@ -16,7 +16,14 @@ fn main() {
 
     let mut table = Table::new(
         "TAB-PERM: PA_p(1) vs PA(1), analytic + simulated",
-        &["network", "N", "PA(1)", "PA_p(1) model", "PA_p(1) simulated", "CI95 +-"],
+        &[
+            "network",
+            "N",
+            "PA(1)",
+            "PA_p(1) model",
+            "PA_p(1) simulated",
+            "CI95 +-",
+        ],
     );
     for family in figure7_families().into_iter().chain(figure8_families()) {
         // One medium size per family keeps simulation affordable.

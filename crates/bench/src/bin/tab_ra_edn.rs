@@ -22,10 +22,26 @@ fn main() {
         "TAB-RAEDN a: the paper's worked example RA-EDN(16,4,2,16)",
         &["quantity", "paper", "this reproduction"],
     );
-    anchor.row(vec!["ports p".into(), "1024".into(), model.ports().to_string()]);
-    anchor.row(vec!["processors".into(), "16384".into(), model.processors().to_string()]);
-    anchor.row(vec!["PA(1)".into(), "0.544".into(), fmt_f(timing.pa_full_load, 4)]);
-    anchor.row(vec!["tail J".into(), "5".into(), timing.tail_cycles.to_string()]);
+    anchor.row(vec![
+        "ports p".into(),
+        "1024".into(),
+        model.ports().to_string(),
+    ]);
+    anchor.row(vec![
+        "processors".into(),
+        "16384".into(),
+        model.processors().to_string(),
+    ]);
+    anchor.row(vec![
+        "PA(1)".into(),
+        "0.544".into(),
+        fmt_f(timing.pa_full_load, 4),
+    ]);
+    anchor.row(vec![
+        "tail J".into(),
+        "5".into(),
+        timing.tail_cycles.to_string(),
+    ]);
     anchor.row(vec![
         "E[cycles] = q/PA(1) + J".into(),
         "34.41".into(),
@@ -67,7 +83,13 @@ fn main() {
     // Sweep of cluster sizes at the paper's network shape.
     let mut sweep = Table::new(
         "TAB-RAEDN c: cluster-size sweep on EDN(64,16,4,2)",
-        &["q", "processors", "model E[cycles]", "simulated mean", "sim CI95 +-"],
+        &[
+            "q",
+            "processors",
+            "model E[cycles]",
+            "simulated mean",
+            "sim CI95 +-",
+        ],
     );
     for q in [4u64, 16, 64] {
         let model = RaEdnModel::new(16, 4, 2, q).expect("valid parameters");

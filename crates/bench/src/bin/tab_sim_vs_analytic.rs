@@ -20,7 +20,15 @@ fn main() {
     // --- Eq. 4 PA(r) vs simulation. ---
     let mut table = Table::new(
         "TAB-SIMVAL a: PA(r), model vs Monte Carlo (random arbitration)",
-        &["network", "N", "r", "model", "simulated", "CI95 +-", "|diff|"],
+        &[
+            "network",
+            "N",
+            "r",
+            "model",
+            "simulated",
+            "CI95 +-",
+            "|diff|",
+        ],
     );
     let networks = [
         EdnParams::new(16, 4, 4, 2).expect("valid"),
@@ -34,10 +42,10 @@ fn main() {
             let model = probability_of_acceptance(params, rate);
             // Average over independent seeds in parallel.
             let seeds: Vec<u64> = (0..4).map(|i| 1000 + i).collect();
-            let estimates =
-                map_seeds(&seeds, |seed| estimate_pa(params, rate, ArbiterKind::Random, 60, seed));
-            let mean =
-                estimates.iter().map(|e| e.mean).sum::<f64>() / estimates.len() as f64;
+            let estimates = map_seeds(&seeds, |seed| {
+                estimate_pa(params, rate, ArbiterKind::Random, 60, seed)
+            });
+            let mean = estimates.iter().map(|e| e.mean).sum::<f64>() / estimates.len() as f64;
             let se = estimates.iter().map(|e| e.std_error).sum::<f64>()
                 / (estimates.len() as f64).powf(1.5);
             table.row(vec![
@@ -56,7 +64,16 @@ fn main() {
     // --- Section 4 fixed point vs MIMD simulation. ---
     let mut mimd = Table::new(
         "TAB-SIMVAL b: MIMD resubmission, model vs simulation (redraw policy)",
-        &["network", "r", "PA' model", "PA' sim", "qW model", "qW sim", "r' model", "r' sim"],
+        &[
+            "network",
+            "r",
+            "PA' model",
+            "PA' sim",
+            "qW model",
+            "qW sim",
+            "r' model",
+            "r' sim",
+        ],
     );
     for (params, rate) in [
         (EdnParams::new(16, 4, 4, 3).expect("valid"), 0.5),
@@ -64,9 +81,14 @@ fn main() {
         (EdnParams::new(4, 2, 2, 5).expect("valid"), 0.5),
     ] {
         let model = resubmission_fixed_point(&params, rate, 1e-12, 100_000);
-        let mut system =
-            MimdSystem::new(params, rate, ArbiterKind::Random, ResubmitPolicy::Redraw, 77)
-                .expect("valid rate");
+        let mut system = MimdSystem::new(
+            params,
+            rate,
+            ArbiterKind::Random,
+            ResubmitPolicy::Redraw,
+            77,
+        )
+        .expect("valid rate");
         let report = system.run(300, 700);
         mimd.row(vec![
             params.to_string(),
@@ -84,7 +106,14 @@ fn main() {
     // --- The independence shortcut: redraw vs same-destination retries. ---
     let mut policy = Table::new(
         "TAB-SIMVAL c: resubmission destination policy (simulation only)",
-        &["network", "r", "PA' redraw", "PA' same-dest", "qW redraw", "qW same-dest"],
+        &[
+            "network",
+            "r",
+            "PA' redraw",
+            "PA' same-dest",
+            "qW redraw",
+            "qW same-dest",
+        ],
     );
     for (params, rate) in [
         (EdnParams::new(16, 4, 4, 3).expect("valid"), 0.5),

@@ -83,8 +83,11 @@ impl Table {
         out.push_str(&"-".repeat(header.join("  ").len()));
         out.push('\n');
         for row in &self.rows {
-            let line: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             out.push_str(&line.join("  "));
             out.push('\n');
         }
@@ -169,7 +172,11 @@ impl Family {
 
 /// The Figure 7 families: all square EDNs built from 8-I/O hyperbars.
 pub fn figure7_families() -> Vec<Family> {
-    vec![Family { io: 8, b: 2 }, Family { io: 8, b: 4 }, Family { io: 8, b: 8 }]
+    vec![
+        Family { io: 8, b: 2 },
+        Family { io: 8, b: 4 },
+        Family { io: 8, b: 8 },
+    ]
 }
 
 /// The Figure 8 families: all square EDNs built from 16-I/O hyperbars.
@@ -230,7 +237,11 @@ mod tests {
     #[test]
     fn family_growth_is_monotone() {
         let family = Family { io: 8, b: 2 };
-        let sizes: Vec<u64> = family.up_to(1 << 20).iter().map(|(_, p)| p.inputs()).collect();
+        let sizes: Vec<u64> = family
+            .up_to(1 << 20)
+            .iter()
+            .map(|(_, p)| p.inputs())
+            .collect();
         assert!(!sizes.is_empty());
         for window in sizes.windows(2) {
             assert!(window[1] > window[0]);

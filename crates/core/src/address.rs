@@ -62,7 +62,12 @@ impl DestTag {
             *slot = rest % params.b();
             rest /= params.b();
         }
-        Ok(DestTag { digits, x, b: params.b(), c: params.c() })
+        Ok(DestTag {
+            digits,
+            x,
+            b: params.b(),
+            c: params.c(),
+        })
     }
 
     /// Builds a tag from explicit digits (most significant first) and the
@@ -89,9 +94,18 @@ impl DestTag {
             }
         }
         if x >= params.c() {
-            return Err(EdnError::DigitOutOfRange { position: 0, digit: x, base: params.c() });
+            return Err(EdnError::DigitOutOfRange {
+                position: 0,
+                digit: x,
+                base: params.c(),
+            });
         }
-        Ok(DestTag { digits, x, b: params.b(), c: params.c() })
+        Ok(DestTag {
+            digits,
+            x,
+            b: params.b(),
+            c: params.c(),
+        })
     }
 
     /// The base-`b` digits, most significant (`d_{l-1}`) first.
@@ -111,7 +125,10 @@ impl DestTag {
     ///
     /// Panics if `i` is zero or greater than `l`.
     pub fn digit_for_stage(&self, i: u32) -> u64 {
-        assert!(i >= 1 && i as usize <= self.digits.len(), "stage {i} out of range");
+        assert!(
+            i >= 1 && i as usize <= self.digits.len(),
+            "stage {i} out of range"
+        );
         self.digits[(i - 1) as usize]
     }
 
@@ -185,7 +202,12 @@ impl SourceAddress {
             *slot = rest % params.a_over_c();
             rest /= params.a_over_c();
         }
-        Ok(SourceAddress { digits, x, a_over_c: params.a_over_c(), c: params.c() })
+        Ok(SourceAddress {
+            digits,
+            x,
+            a_over_c: params.a_over_c(),
+            c: params.c(),
+        })
     }
 
     /// The base-`a/c` digits, most significant first.
@@ -276,7 +298,9 @@ impl RetirementOrder {
         if bits > 63 {
             return Err(EdnError::LabelWidthOverflow { bits });
         }
-        Ok(RetirementOrder { source_bit: (0..bits).collect() })
+        Ok(RetirementOrder {
+            source_bit: (0..bits).collect(),
+        })
     }
 
     /// A left rotation of the tag bit-string by `k` positions (toward the
@@ -290,7 +314,9 @@ impl RetirementOrder {
             return Err(EdnError::LabelWidthOverflow { bits });
         }
         if bits == 0 {
-            return Ok(RetirementOrder { source_bit: Vec::new() });
+            return Ok(RetirementOrder {
+                source_bit: Vec::new(),
+            });
         }
         let k = k % bits;
         // Output bit i takes input bit (i - k) mod bits.
@@ -308,7 +334,9 @@ impl RetirementOrder {
     /// if it is longer than 63.
     pub fn from_bit_mapping(mapping: Vec<u32>) -> Result<Self, EdnError> {
         if mapping.len() > 63 {
-            return Err(EdnError::LabelWidthOverflow { bits: mapping.len() as u32 });
+            return Err(EdnError::LabelWidthOverflow {
+                bits: mapping.len() as u32,
+            });
         }
         let n = mapping.len() as u32;
         let mut seen = vec![false; mapping.len()];
@@ -319,11 +347,15 @@ impl RetirementOrder {
                 });
             }
             if seen[m as usize] {
-                return Err(EdnError::InvalidBitPermutation { reason: "duplicate bit index" });
+                return Err(EdnError::InvalidBitPermutation {
+                    reason: "duplicate bit index",
+                });
             }
             seen[m as usize] = true;
         }
-        Ok(RetirementOrder { source_bit: mapping })
+        Ok(RetirementOrder {
+            source_bit: mapping,
+        })
     }
 
     /// Tag width in bits.
@@ -333,7 +365,10 @@ impl RetirementOrder {
 
     /// `true` if this reordering leaves every tag unchanged.
     pub fn is_identity(&self) -> bool {
-        self.source_bit.iter().enumerate().all(|(i, &s)| i as u32 == s)
+        self.source_bit
+            .iter()
+            .enumerate()
+            .all(|(i, &s)| i as u32 == s)
     }
 
     /// Applies `F` to a tag.
@@ -381,7 +416,10 @@ mod tests {
             assert_eq!(tag.to_output_index(), index);
             // Digit views must agree with the raw-integer helpers on params.
             for stage in 1..=p.l() {
-                assert_eq!(tag.digit_for_stage(stage), p.tag_digit_for_stage(index, stage));
+                assert_eq!(
+                    tag.digit_for_stage(stage),
+                    p.tag_digit_for_stage(index, stage)
+                );
             }
             assert_eq!(tag.crossbar_digit(), p.tag_crossbar_digit(index));
         }

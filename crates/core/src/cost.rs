@@ -66,8 +66,9 @@ pub fn crosspoint_cost_closed_form(params: &EdnParams) -> u128 {
 /// Wire cost of the whole network, computed as the exact sum: interstage
 /// wires plus one wire per network input and output.
 pub fn wire_cost(params: &EdnParams) -> u128 {
-    let interstage: u128 =
-        (1..=params.l()).map(|i| params.wires_after_stage(i) as u128).sum();
+    let interstage: u128 = (1..=params.l())
+        .map(|i| params.wires_after_stage(i) as u128)
+        .sum();
     interstage + params.inputs() as u128 + params.outputs() as u128
 }
 

@@ -1,0 +1,671 @@
+//! The reusable, zero-allocation routing core.
+//!
+//! Every experiment in this repository ultimately reduces to calling the
+//! one-cycle circuit-switched router millions of times: Monte-Carlo
+//! estimation of `PA(r)` (Eq. 4), MIMD resubmission runs (Section 4), and
+//! RA-EDN permutation scheduling (Section 5) all hammer the same per-cycle
+//! hot path. The free functions in [`crate::routing`] rebuild every
+//! buffer from scratch on each call; [`RoutingEngine`] is the build-once
+//! alternative: it owns the wired [`EdnTopology`] *and* all per-cycle
+//! scratch state, so [`RoutingEngine::route`] performs **zero heap
+//! allocations in steady state** (after the first few cycles have grown
+//! the buffers to their high-water marks). The arbiter parameter is
+//! generic (`A: Arbiter + ?Sized`), so callers holding a concrete policy
+//! get fully monomorphized dispatch; the simulators in `edn-sim` pass a
+//! runtime-selected `&mut dyn Arbiter` through the same API.
+//!
+//! The engine is the oracle-checked replacement, not a fork: property
+//! tests assert its outcomes are bit-identical to the pre-engine
+//! implementations preserved in [`crate::reference`].
+//!
+//! # Examples
+//!
+//! ```
+//! use edn_core::{EdnParams, PriorityArbiter, RouteRequest, RoutingEngine};
+//!
+//! # fn main() -> Result<(), edn_core::EdnError> {
+//! let mut engine = RoutingEngine::from_params(EdnParams::new(64, 16, 4, 2)?);
+//! let mut arbiter = PriorityArbiter::new();
+//! // Reuse the engine across cycles: no allocation after warm-up.
+//! for cycle in 0..100u64 {
+//!     let requests: Vec<RouteRequest> = (0..engine.params().inputs())
+//!         .map(|s| RouteRequest::new(s, (s + cycle) % engine.params().outputs()))
+//!         .collect();
+//!     let outcome = engine.route(&requests, &mut arbiter);
+//!     assert_eq!(outcome.delivered_count() + outcome.blocked().len(), outcome.offered());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::address::RetirementOrder;
+use crate::faults::FaultSet;
+use crate::hyperbar::Arbiter;
+use crate::params::EdnParams;
+use crate::routing::{BatchOutcome, BlockReason, RouteRequest};
+use crate::topology::EdnTopology;
+
+/// The result of the engine's most recent cycle, viewed in place.
+///
+/// Mirrors the accessors of [`BatchOutcome`], but the underlying buffers
+/// belong to the [`RoutingEngine`] and are overwritten by the next call to
+/// [`RoutingEngine::route`]; call [`BatchOutcomeView::to_outcome`] to keep
+/// a cycle's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcomeView {
+    delivered: Vec<(u64, u64)>,
+    blocked: Vec<(u64, BlockReason)>,
+    offered: usize,
+    survivors: Vec<usize>,
+}
+
+impl BatchOutcomeView {
+    /// `(source, output)` pairs that completed, sorted by source.
+    pub fn delivered(&self) -> &[(u64, u64)] {
+        &self.delivered
+    }
+
+    /// Number of delivered requests.
+    pub fn delivered_count(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// `(source, reason)` pairs that were blocked, sorted by source.
+    pub fn blocked(&self) -> &[(u64, BlockReason)] {
+        &self.blocked
+    }
+
+    /// Number of requests presented this cycle.
+    pub fn offered(&self) -> usize {
+        self.offered
+    }
+
+    /// Fraction of offered requests delivered; `1.0` for an empty batch.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.delivered.len() as f64 / self.offered as f64
+        }
+    }
+
+    /// Requests alive after each stage: index 0 is the offered count, index
+    /// `i` the survivors of stage `i`, the last entry the delivered count.
+    pub fn survivors(&self) -> &[usize] {
+        &self.survivors
+    }
+
+    /// Clones this view into an owned [`BatchOutcome`] that survives the
+    /// engine's next cycle.
+    pub fn to_outcome(&self) -> BatchOutcome {
+        BatchOutcome::from_parts(
+            self.delivered.clone(),
+            self.blocked.clone(),
+            self.offered,
+            self.survivors.clone(),
+        )
+    }
+}
+
+/// Compile-time fault dispatch: the healthy-fabric path must not pay for
+/// per-wire fault lookups.
+trait FaultView {
+    /// `true` if the stage-`stage` exit line `wire` is usable.
+    fn wire_ok(&self, stage: u32, wire: u64) -> bool;
+}
+
+/// The healthy fabric: every check folds to a constant.
+struct NoFaults;
+
+impl FaultView for NoFaults {
+    #[inline(always)]
+    fn wire_ok(&self, _stage: u32, _wire: u64) -> bool {
+        true
+    }
+}
+
+impl FaultView for &FaultSet {
+    #[inline]
+    fn wire_ok(&self, stage: u32, wire: u64) -> bool {
+        !self.is_disabled(stage, wire)
+    }
+}
+
+/// A build-once router: the wired fabric plus every per-cycle buffer,
+/// reused across calls.
+///
+/// Construction wires the topology and sizes the scratch arena; after a
+/// few warm-up cycles at a given load every buffer has reached its
+/// high-water capacity and [`RoutingEngine::route`] no longer touches the
+/// allocator. The routing semantics — arbitration order, panic behaviour,
+/// outcome contents — are exactly those of [`crate::route_batch`] /
+/// [`crate::route_batch_faulty`] (asserted bit-for-bit by the
+/// `engine_equivalence` property tests).
+#[derive(Debug)]
+pub struct RoutingEngine {
+    topology: EdnTopology,
+    /// Duplicate-source detector: `seen[s] == epoch` iff source `s`
+    /// appeared in the current batch. Epoch stamping makes clearing free;
+    /// the buffer is wiped only when the epoch counter wraps.
+    seen: Vec<u32>,
+    epoch: u32,
+    /// Requests still alive, as `(request index, current line)`.
+    active: Vec<(usize, u64)>,
+    next: Vec<(usize, u64)>,
+    /// Per-bucket contender ports of the switch being arbitrated.
+    contenders: Vec<Vec<usize>>,
+    /// Buckets of the current switch holding at least one contender.
+    used_buckets: Vec<u64>,
+    /// Per-port wire grant of the current switch (`None` = lost or idle).
+    port_wire: Vec<Option<u64>>,
+    /// Scratch for reorder-compensated routing.
+    reordered: Vec<RouteRequest>,
+    outcome: BatchOutcomeView,
+}
+
+impl RoutingEngine {
+    /// Builds an engine owning `topology`.
+    pub fn new(topology: EdnTopology) -> Self {
+        let p = *topology.params();
+        let inputs = p.inputs() as usize;
+        let ports = p.a().max(p.c()) as usize;
+        let buckets = p.b().max(p.c()) as usize;
+        RoutingEngine {
+            topology,
+            seen: vec![0; inputs],
+            epoch: 0,
+            active: Vec::with_capacity(inputs),
+            next: Vec::with_capacity(inputs),
+            contenders: vec![Vec::new(); buckets],
+            used_buckets: Vec::with_capacity(buckets),
+            port_wire: vec![None; ports],
+            reordered: Vec::new(),
+            outcome: BatchOutcomeView {
+                delivered: Vec::with_capacity(inputs),
+                blocked: Vec::with_capacity(inputs),
+                offered: 0,
+                survivors: Vec::with_capacity(p.l() as usize + 2),
+            },
+        }
+    }
+
+    /// Convenience constructor wiring the fabric from parameters.
+    pub fn from_params(params: EdnParams) -> Self {
+        Self::new(EdnTopology::new(params))
+    }
+
+    /// The wired fabric this engine routes through.
+    pub fn topology(&self) -> &EdnTopology {
+        &self.topology
+    }
+
+    /// The network parameters.
+    pub fn params(&self) -> &EdnParams {
+        self.topology.params()
+    }
+
+    /// The outcome of the most recent cycle (empty before the first call).
+    pub fn last_outcome(&self) -> &BatchOutcomeView {
+        &self.outcome
+    }
+
+    /// Routes one batch through the healthy fabric — the zero-allocation
+    /// equivalent of [`crate::route_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if two requests share a source (an input wire carries one
+    /// request per cycle), or if any source or tag is out of range. These
+    /// are programming errors in workload construction, not runtime
+    /// conditions; the duplicate check costs one epoch-stamped array probe
+    /// per request instead of the `HashSet` insert the legacy path paid.
+    pub fn route<A: Arbiter + ?Sized>(
+        &mut self,
+        requests: &[RouteRequest],
+        arbiter: &mut A,
+    ) -> &BatchOutcomeView {
+        self.route_inner(requests, NoFaults, arbiter);
+        &self.outcome
+    }
+
+    /// Routes one batch through a fabric with broken wires — the
+    /// zero-allocation equivalent of [`crate::route_batch_faulty`]. The
+    /// final crossbar stage is assumed healthy (its wires are the network
+    /// outputs).
+    ///
+    /// # Panics
+    ///
+    /// As [`RoutingEngine::route`]; additionally panics if `faults` was
+    /// built for different parameters.
+    pub fn route_faulty<A: Arbiter + ?Sized>(
+        &mut self,
+        requests: &[RouteRequest],
+        faults: &FaultSet,
+        arbiter: &mut A,
+    ) -> &BatchOutcomeView {
+        assert_eq!(
+            faults.params(),
+            self.topology.params(),
+            "fault set was built for {} but the fabric is {}",
+            faults.params(),
+            self.topology.params()
+        );
+        self.route_inner(requests, faults, arbiter);
+        &self.outcome
+    }
+
+    /// Routes a batch whose *desired* outputs are reordered through
+    /// `order` before entering the network, then compensated with
+    /// `order.inverse()` at the outputs (Corollary 2 / Figure 6) — the
+    /// engine-resident equivalent of [`crate::route_batch_reordered`].
+    ///
+    /// The request buffer is reused, but computing `order.inverse()`
+    /// allocates; strict zero-allocation steady state applies to
+    /// [`RoutingEngine::route`] and [`RoutingEngine::route_faulty`].
+    ///
+    /// # Panics
+    ///
+    /// As [`RoutingEngine::route`]; additionally panics if `order.bits()`
+    /// differs from the network's output label width.
+    pub fn route_reordered<A: Arbiter + ?Sized>(
+        &mut self,
+        requests: &[RouteRequest],
+        order: &RetirementOrder,
+        arbiter: &mut A,
+    ) -> &BatchOutcomeView {
+        assert_eq!(
+            order.bits(),
+            self.params().output_bits(),
+            "retirement order width must match the network's output label width"
+        );
+        let mut reordered = std::mem::take(&mut self.reordered);
+        reordered.clear();
+        reordered.extend(
+            requests
+                .iter()
+                .map(|r| RouteRequest::new(r.source, order.apply(r.tag))),
+        );
+        self.route_inner(&reordered, NoFaults, arbiter);
+        self.reordered = reordered;
+        let inverse = order.inverse();
+        for (_, output) in &mut self.outcome.delivered {
+            *output = inverse.apply(*output);
+        }
+        self.outcome.delivered.sort_unstable();
+        &self.outcome
+    }
+
+    /// Validates the batch and stamps the duplicate-source epoch buffer.
+    fn validate(&mut self, requests: &[RouteRequest]) {
+        let p = *self.topology.params();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.seen.fill(0);
+            self.epoch = 1;
+        }
+        for request in requests {
+            assert!(
+                request.source < p.inputs(),
+                "source {} out of range (inputs = {})",
+                request.source,
+                p.inputs()
+            );
+            assert!(
+                request.tag < p.outputs(),
+                "tag {} out of range (outputs = {})",
+                request.tag,
+                p.outputs()
+            );
+            let slot = &mut self.seen[request.source as usize];
+            assert!(
+                *slot != self.epoch,
+                "duplicate request on source {}",
+                request.source
+            );
+            *slot = self.epoch;
+        }
+    }
+
+    fn route_inner<F: FaultView, A: Arbiter + ?Sized>(
+        &mut self,
+        requests: &[RouteRequest],
+        faults: F,
+        arbiter: &mut A,
+    ) {
+        self.validate(requests);
+        let p = *self.topology.params();
+        self.outcome.delivered.clear();
+        self.outcome.blocked.clear();
+        self.outcome.survivors.clear();
+        self.outcome.offered = requests.len();
+        self.outcome.survivors.push(requests.len());
+
+        self.active.clear();
+        self.active
+            .extend(requests.iter().enumerate().map(|(idx, r)| (idx, r.source)));
+
+        for stage in 1..=p.l() {
+            self.active.sort_unstable_by_key(|&(_, line)| line);
+            self.next.clear();
+            let gamma = self.topology.interstage_gamma(stage);
+            let mut span_start = 0usize;
+            while span_start < self.active.len() {
+                let switch = self.active[span_start].1 / p.a();
+                let mut span_end = span_start + 1;
+                while span_end < self.active.len() && self.active[span_end].1 / p.a() == switch {
+                    span_end += 1;
+                }
+                let span = &self.active[span_start..span_end];
+
+                // Collect contenders per bucket, ports ascending (the span
+                // is sorted by line, hence by port within the switch).
+                self.used_buckets.clear();
+                for &(req, line) in span {
+                    let port = (line % p.a()) as usize;
+                    self.port_wire[port] = None;
+                    let bucket = p.tag_digit_for_stage(requests[req].tag, stage);
+                    let contenders = &mut self.contenders[bucket as usize];
+                    if contenders.is_empty() {
+                        self.used_buckets.push(bucket);
+                    }
+                    contenders.push(port);
+                }
+                // Arbitrate bucket by bucket in ascending bucket order, as
+                // `Hyperbar::route` does, so stateful arbiters observe the
+                // identical call sequence.
+                self.used_buckets.sort_unstable();
+                for &bucket in &self.used_buckets {
+                    let base = bucket * p.c();
+                    let contenders = &mut self.contenders[bucket as usize];
+                    let switch_base = switch * (p.b() * p.c());
+                    let healthy =
+                        (0..p.c()).filter(|&k| faults.wire_ok(stage, switch_base + base + k));
+                    let capacity = healthy.clone().count();
+                    arbiter.select(contenders, capacity);
+                    debug_assert!(contenders.len() <= capacity);
+                    for (&port, wire) in contenders.iter().zip(healthy) {
+                        self.port_wire[port] = Some(base + wire);
+                    }
+                    contenders.clear();
+                }
+                arbiter.advance();
+
+                // Advance winners through the interstage permutation; record
+                // losers in port order (matching the legacy path).
+                for &(req, line) in span {
+                    let port = (line % p.a()) as usize;
+                    match self.port_wire[port] {
+                        Some(wire) => {
+                            let exit = switch * (p.b() * p.c()) + wire;
+                            self.next.push((req, gamma.apply(exit)));
+                        }
+                        None => {
+                            self.outcome
+                                .blocked
+                                .push((requests[req].source, BlockReason::HyperbarStage(stage)));
+                        }
+                    }
+                }
+                span_start = span_end;
+            }
+            std::mem::swap(&mut self.active, &mut self.next);
+            self.outcome.survivors.push(self.active.len());
+        }
+
+        // Final stage: c x c crossbars; the base-c digit picks the output
+        // port, every bucket has capacity 1.
+        self.active.sort_unstable_by_key(|&(_, line)| line);
+        let mut span_start = 0usize;
+        while span_start < self.active.len() {
+            let switch = self.active[span_start].1 / p.c();
+            let mut span_end = span_start + 1;
+            while span_end < self.active.len() && self.active[span_end].1 / p.c() == switch {
+                span_end += 1;
+            }
+            let span = &self.active[span_start..span_end];
+
+            self.used_buckets.clear();
+            for &(req, line) in span {
+                let port = (line % p.c()) as usize;
+                self.port_wire[port] = None;
+                let bucket = p.tag_crossbar_digit(requests[req].tag);
+                let contenders = &mut self.contenders[bucket as usize];
+                if contenders.is_empty() {
+                    self.used_buckets.push(bucket);
+                }
+                contenders.push(port);
+            }
+            self.used_buckets.sort_unstable();
+            for &bucket in &self.used_buckets {
+                let contenders = &mut self.contenders[bucket as usize];
+                arbiter.select(contenders, 1);
+                debug_assert!(contenders.len() <= 1);
+                if let Some(&port) = contenders.first() {
+                    self.port_wire[port] = Some(bucket);
+                }
+                contenders.clear();
+            }
+            arbiter.advance();
+
+            for &(req, line) in span {
+                let port = (line % p.c()) as usize;
+                match self.port_wire[port] {
+                    Some(out_port) => self
+                        .outcome
+                        .delivered
+                        .push((requests[req].source, switch * p.c() + out_port)),
+                    None => self
+                        .outcome
+                        .blocked
+                        .push((requests[req].source, BlockReason::CrossbarOutput)),
+                }
+            }
+            span_start = span_end;
+        }
+        self.outcome.survivors.push(self.outcome.delivered.len());
+        self.outcome.delivered.sort_unstable();
+        self.outcome
+            .blocked
+            .sort_unstable_by_key(|&(source, _)| source);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperbar::{PriorityArbiter, RandomArbiter, RoundRobinArbiter};
+    use crate::routing::route_batch;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn engine(a: u64, b: u64, c: u64, l: u32) -> RoutingEngine {
+        RoutingEngine::from_params(EdnParams::new(a, b, c, l).unwrap())
+    }
+
+    fn uniform_batch(p: &EdnParams, seed: u64, rate: f64) -> Vec<RouteRequest> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut batch = Vec::new();
+        for s in 0..p.inputs() {
+            if rng.gen_bool(rate) {
+                batch.push(RouteRequest::new(s, rng.gen_range(0..p.outputs())));
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn matches_route_batch_on_full_load() {
+        let mut engine = engine(16, 4, 4, 2);
+        let p = *engine.params();
+        for seed in 0..8 {
+            let batch = uniform_batch(&p, seed, 1.0);
+            let legacy = route_batch(engine.topology(), &batch, &mut PriorityArbiter::new());
+            let view = engine.route(&batch, &mut PriorityArbiter::new());
+            assert_eq!(view.to_outcome(), legacy);
+        }
+    }
+
+    #[test]
+    fn matches_route_batch_with_random_arbiter_streams() {
+        let mut engine = engine(8, 4, 2, 3);
+        let p = *engine.params();
+        for seed in 0..8 {
+            let batch = uniform_batch(&p, seed, 0.7);
+            let mut a1 = RandomArbiter::new(StdRng::seed_from_u64(seed * 31));
+            let mut a2 = RandomArbiter::new(StdRng::seed_from_u64(seed * 31));
+            let legacy = route_batch(engine.topology(), &batch, &mut a1);
+            let view = engine.route(&batch, &mut a2);
+            assert_eq!(view.to_outcome(), legacy, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reuse_does_not_leak_state_between_cycles() {
+        let mut engine = engine(16, 4, 4, 2);
+        let p = *engine.params();
+        let batch_a = uniform_batch(&p, 1, 1.0);
+        let batch_b = uniform_batch(&p, 2, 0.3);
+        // Route batch_a fresh vs. after a different batch: identical.
+        let fresh = engine
+            .route(&batch_a, &mut PriorityArbiter::new())
+            .to_outcome();
+        engine.route(&batch_b, &mut PriorityArbiter::new());
+        let reused = engine
+            .route(&batch_a, &mut PriorityArbiter::new())
+            .to_outcome();
+        assert_eq!(fresh, reused);
+        // An empty batch after a full one reports a clean slate.
+        let empty = engine.route(&[], &mut PriorityArbiter::new());
+        assert_eq!(empty.offered(), 0);
+        assert_eq!(empty.delivered_count(), 0);
+        assert_eq!(empty.acceptance_rate(), 1.0);
+    }
+
+    #[test]
+    fn round_robin_arbiter_parity_with_legacy() {
+        let mut engine = engine(16, 4, 4, 2);
+        let p = *engine.params();
+        // Run several cycles so the rotating offset matters.
+        let mut legacy_arbiter = RoundRobinArbiter::new();
+        let mut engine_arbiter = RoundRobinArbiter::new();
+        for seed in 0..6 {
+            let batch = uniform_batch(&p, seed, 1.0);
+            let legacy = route_batch(engine.topology(), &batch, &mut legacy_arbiter);
+            let view = engine.route(&batch, &mut engine_arbiter);
+            assert_eq!(view.to_outcome(), legacy, "cycle {seed}");
+        }
+    }
+
+    #[test]
+    fn fault_mask_matches_route_batch_faulty() {
+        let mut eng = engine(16, 4, 4, 2);
+        let p = *eng.params();
+        for seed in 0..6 {
+            let faults = FaultSet::random(&p, 0.2, seed);
+            let batch = uniform_batch(&p, seed + 100, 0.9);
+            let legacy = crate::faults::route_batch_faulty(
+                eng.topology(),
+                &batch,
+                &faults,
+                &mut PriorityArbiter::new(),
+            );
+            let view = eng.route_faulty(&batch, &faults, &mut PriorityArbiter::new());
+            assert_eq!(view.to_outcome(), legacy, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reordered_matches_route_batch_reordered() {
+        let mut eng = engine(64, 16, 4, 2);
+        let p = *eng.params();
+        let order = RetirementOrder::rotate_left(p.output_bits(), p.log2_b()).unwrap();
+        let requests: Vec<RouteRequest> =
+            (0..p.inputs()).map(|s| RouteRequest::new(s, s)).collect();
+        let legacy = crate::routing::route_batch_reordered(
+            eng.topology(),
+            &requests,
+            &order,
+            &mut PriorityArbiter::new(),
+        );
+        let view = eng.route_reordered(&requests, &order, &mut PriorityArbiter::new());
+        assert_eq!(view.to_outcome(), legacy);
+        assert_eq!(view.delivered_count(), p.inputs() as usize);
+    }
+
+    #[test]
+    fn steady_state_capacities_are_stable() {
+        // Capacity-stability check: after warm-up, ten more cycles at the
+        // same load leave every buffer capacity untouched.
+        let mut engine = engine(64, 16, 4, 2);
+        let p = *engine.params();
+        let batch = uniform_batch(&p, 7, 1.0);
+        let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(3));
+        for _ in 0..5 {
+            engine.route(&batch, &mut arbiter);
+        }
+        let caps = (
+            engine.active.capacity(),
+            engine.next.capacity(),
+            engine.outcome.delivered.capacity(),
+            engine.outcome.blocked.capacity(),
+            engine.outcome.survivors.capacity(),
+            engine
+                .contenders
+                .iter()
+                .map(Vec::capacity)
+                .collect::<Vec<_>>(),
+        );
+        for _ in 0..10 {
+            engine.route(&batch, &mut arbiter);
+        }
+        let after = (
+            engine.active.capacity(),
+            engine.next.capacity(),
+            engine.outcome.delivered.capacity(),
+            engine.outcome.blocked.capacity(),
+            engine.outcome.survivors.capacity(),
+            engine
+                .contenders
+                .iter()
+                .map(Vec::capacity)
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(caps, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate request")]
+    fn duplicate_sources_panic() {
+        let mut engine = engine(16, 4, 4, 2);
+        let batch = [RouteRequest::new(1, 2), RouteRequest::new(1, 3)];
+        engine.route(&batch, &mut PriorityArbiter::new());
+    }
+
+    #[test]
+    fn duplicate_detection_resets_between_cycles() {
+        let mut engine = engine(16, 4, 4, 2);
+        let batch = [RouteRequest::new(5, 9)];
+        for _ in 0..4 {
+            // The same source every cycle is legal; duplicates only matter
+            // within one batch.
+            let outcome = engine.route(&batch, &mut PriorityArbiter::new());
+            assert_eq!(outcome.delivered(), &[(5, 9)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_tag_panics() {
+        let mut engine = engine(16, 4, 4, 2);
+        engine.route(&[RouteRequest::new(0, 64)], &mut PriorityArbiter::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault set was built for")]
+    fn mismatched_fault_set_panics() {
+        let mut engine = engine(16, 4, 4, 2);
+        let other = EdnParams::new(8, 4, 2, 3).unwrap();
+        let faults = FaultSet::none(&other);
+        engine.route_faulty(&[], &faults, &mut PriorityArbiter::new());
+    }
+}

@@ -102,13 +102,23 @@ impl fmt::Display for EdnError {
                 write!(f, "bucket capacity c={c} exceeds switch inputs a={a}")
             }
             EdnError::LabelWidthOverflow { bits } => {
-                write!(f, "network labels need {bits} bits, more than the supported 63")
+                write!(
+                    f,
+                    "network labels need {bits} bits, more than the supported 63"
+                )
             }
             EdnError::IndexOutOfRange { kind, index, limit } => {
                 write!(f, "{kind} index {index} out of range (limit {limit})")
             }
-            EdnError::DigitOutOfRange { position, digit, base } => {
-                write!(f, "digit {digit} at position {position} exceeds base {base}")
+            EdnError::DigitOutOfRange {
+                position,
+                digit,
+                base,
+            } => {
+                write!(
+                    f,
+                    "digit {digit} at position {position} exceeds base {base}"
+                )
             }
             EdnError::LengthMismatch { expected, actual } => {
                 write!(f, "expected {expected} elements, got {actual}")
@@ -120,7 +130,10 @@ impl fmt::Display for EdnError {
                 write!(f, "operation requires a square network, got {inputs} inputs and {outputs} outputs")
             }
             EdnError::TooManyPaths { paths, limit } => {
-                write!(f, "network has {paths} paths per input/output pair, above the limit {limit}")
+                write!(
+                    f,
+                    "network has {paths} paths per input/output pair, above the limit {limit}"
+                )
             }
         }
     }
@@ -135,22 +148,47 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_start() {
         let samples: Vec<EdnError> = vec![
-            EdnError::NotPowerOfTwo { name: "a", value: 3 },
+            EdnError::NotPowerOfTwo {
+                name: "a",
+                value: 3,
+            },
             EdnError::ZeroParameter { name: "l" },
             EdnError::CapacityExceedsInputs { a: 4, c: 8 },
             EdnError::LabelWidthOverflow { bits: 80 },
-            EdnError::IndexOutOfRange { kind: "input", index: 10, limit: 8 },
-            EdnError::DigitOutOfRange { position: 1, digit: 9, base: 8 },
-            EdnError::LengthMismatch { expected: 4, actual: 2 },
-            EdnError::InvalidBitPermutation { reason: "duplicate target" },
-            EdnError::NotSquare { inputs: 16, outputs: 64 },
-            EdnError::TooManyPaths { paths: 1 << 40, limit: 1 << 20 },
+            EdnError::IndexOutOfRange {
+                kind: "input",
+                index: 10,
+                limit: 8,
+            },
+            EdnError::DigitOutOfRange {
+                position: 1,
+                digit: 9,
+                base: 8,
+            },
+            EdnError::LengthMismatch {
+                expected: 4,
+                actual: 2,
+            },
+            EdnError::InvalidBitPermutation {
+                reason: "duplicate target",
+            },
+            EdnError::NotSquare {
+                inputs: 16,
+                outputs: 64,
+            },
+            EdnError::TooManyPaths {
+                paths: 1 << 40,
+                limit: 1 << 20,
+            },
         ];
         for err in samples {
             let text = err.to_string();
             assert!(!text.is_empty());
             let first = text.chars().next().unwrap();
-            assert!(first.is_lowercase() || first.is_numeric(), "message `{text}`");
+            assert!(
+                first.is_lowercase() || first.is_numeric(),
+                "message `{text}`"
+            );
         }
     }
 

@@ -12,10 +12,11 @@
 //! [`EdnTopology::trace_path_with_faults`](crate::topology) (via
 //! [`route_one_with_faults`]) answers point-to-point connectivity.
 
+use crate::engine::RoutingEngine;
 use crate::error::EdnError;
-use crate::hyperbar::{Arbiter, Hyperbar};
+use crate::hyperbar::Arbiter;
 use crate::params::EdnParams;
-use crate::routing::{BatchOutcome, BlockReason, RouteRequest};
+use crate::routing::{BatchOutcome, RouteRequest};
 use crate::topology::{EdnTopology, PathTrace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -174,10 +175,18 @@ pub fn route_one_with_faults(
     let mut choices = Vec::with_capacity(p.l() as usize);
     let mut line = source;
     if source >= p.inputs() {
-        return Err(EdnError::IndexOutOfRange { kind: "input", index: source, limit: p.inputs() });
+        return Err(EdnError::IndexOutOfRange {
+            kind: "input",
+            index: source,
+            limit: p.inputs(),
+        });
     }
     if tag >= p.outputs() {
-        return Err(EdnError::IndexOutOfRange { kind: "output", index: tag, limit: p.outputs() });
+        return Err(EdnError::IndexOutOfRange {
+            kind: "output",
+            index: tag,
+            limit: p.outputs(),
+        });
     }
     for stage in 1..=p.l() {
         let switch = line / p.a();
@@ -199,9 +208,13 @@ pub fn route_one_with_faults(
 /// Routes one circuit-switched cycle through a fabric with broken wires.
 ///
 /// Identical to [`crate::route_batch`] except that each hyperbar's bucket
-/// capacity shrinks to its healthy-wire count
-/// ([`Hyperbar::route_with_disabled`]). The final crossbar stage is
+/// capacity shrinks to its healthy-wire count. The final crossbar stage is
 /// assumed healthy (its wires are the network outputs).
+///
+/// This is a compatibility wrapper over
+/// [`RoutingEngine::route_faulty`], which consults the fault mask inline
+/// instead of materializing per-switch disabled-wire lists; hold a reused
+/// engine when routing more than one cycle.
 ///
 /// # Panics
 ///
@@ -213,101 +226,8 @@ pub fn route_batch_faulty(
     faults: &FaultSet,
     arbiter: &mut dyn Arbiter,
 ) -> BatchOutcome {
-    let p = *topology.params();
-    assert_eq!(
-        faults.params(),
-        &p,
-        "fault set was built for {} but the fabric is {}",
-        faults.params(),
-        p
-    );
-    let mut seen = HashSet::with_capacity(requests.len());
-    for request in requests {
-        assert!(request.source < p.inputs(), "source {} out of range", request.source);
-        assert!(request.tag < p.outputs(), "tag {} out of range", request.tag);
-        assert!(seen.insert(request.source), "duplicate request on source {}", request.source);
-    }
-
-    let hyperbar = Hyperbar::from_params(&p);
-    let crossbar = Hyperbar::final_stage_crossbar(&p);
-    let mut blocked: Vec<(u64, BlockReason)> = Vec::new();
-    let mut survivors = Vec::with_capacity(p.l() as usize + 2);
-    survivors.push(requests.len());
-
-    let mut active: Vec<(usize, u64)> =
-        requests.iter().enumerate().map(|(idx, r)| (idx, r.source)).collect();
-    let mut switch_requests: Vec<Option<u64>> = Vec::new();
-
-    for stage in 1..=p.l() {
-        active.sort_unstable_by_key(|&(_, line)| line);
-        let gamma = topology.interstage_gamma(stage);
-        let mut next: Vec<(usize, u64)> = Vec::with_capacity(active.len());
-        let mut span_start = 0usize;
-        while span_start < active.len() {
-            let switch = active[span_start].1 / p.a();
-            let mut span_end = span_start + 1;
-            while span_end < active.len() && active[span_end].1 / p.a() == switch {
-                span_end += 1;
-            }
-            switch_requests.clear();
-            switch_requests.resize(p.a() as usize, None);
-            for &(req, line) in &active[span_start..span_end] {
-                let port = (line % p.a()) as usize;
-                switch_requests[port] = Some(p.tag_digit_for_stage(requests[req].tag, stage));
-            }
-            let disabled = faults.switch_local_disabled(stage, switch);
-            let outcome = hyperbar
-                .route_with_disabled(&switch_requests, &disabled, arbiter)
-                .expect("validated requests imply valid switch digits");
-            for &(req, line) in &active[span_start..span_end] {
-                let port = (line % p.a()) as usize;
-                match outcome.assignments()[port] {
-                    Some(wire) => {
-                        let exit = switch * (p.b() * p.c()) + wire;
-                        next.push((req, gamma.apply(exit)));
-                    }
-                    None => {
-                        blocked.push((requests[req].source, BlockReason::HyperbarStage(stage)));
-                    }
-                }
-            }
-            span_start = span_end;
-        }
-        active = next;
-        survivors.push(active.len());
-    }
-
-    active.sort_unstable_by_key(|&(_, line)| line);
-    let mut delivered: Vec<(u64, u64)> = Vec::with_capacity(active.len());
-    let mut span_start = 0usize;
-    while span_start < active.len() {
-        let switch = active[span_start].1 / p.c();
-        let mut span_end = span_start + 1;
-        while span_end < active.len() && active[span_end].1 / p.c() == switch {
-            span_end += 1;
-        }
-        switch_requests.clear();
-        switch_requests.resize(p.c() as usize, None);
-        for &(req, line) in &active[span_start..span_end] {
-            let port = (line % p.c()) as usize;
-            switch_requests[port] = Some(p.tag_crossbar_digit(requests[req].tag));
-        }
-        let outcome = crossbar
-            .route(&switch_requests, arbiter)
-            .expect("validated requests imply valid crossbar digits");
-        for &(req, line) in &active[span_start..span_end] {
-            let port = (line % p.c()) as usize;
-            match outcome.assignments()[port] {
-                Some(out_port) => delivered.push((requests[req].source, switch * p.c() + out_port)),
-                None => blocked.push((requests[req].source, BlockReason::CrossbarOutput)),
-            }
-        }
-        span_start = span_end;
-    }
-    survivors.push(delivered.len());
-    delivered.sort_unstable();
-    blocked.sort_unstable_by_key(|&(source, _)| source);
-    BatchOutcome::from_parts(delivered, blocked, requests.len(), survivors)
+    let mut engine = RoutingEngine::new(topology.clone());
+    engine.route_faulty(requests, faults, arbiter).to_outcome()
 }
 
 #[cfg(test)]
@@ -385,7 +305,10 @@ mod tests {
             .collect();
         let outcome = route_batch_faulty(&t, &requests, &faults, &mut PriorityArbiter::new());
         // Conservation and correct delivery still hold.
-        assert_eq!(outcome.delivered_count() + outcome.blocked().len(), outcome.offered());
+        assert_eq!(
+            outcome.delivered_count() + outcome.blocked().len(),
+            outcome.offered()
+        );
         for &(source, output) in outcome.delivered() {
             assert_eq!(output, (source * 29 + 3) % p.outputs());
         }

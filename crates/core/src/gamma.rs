@@ -84,7 +84,10 @@ impl Gamma {
             return Err(EdnError::ZeroParameter { name: "q" });
         }
         if !q.is_power_of_two() {
-            return Err(EdnError::NotPowerOfTwo { name: "q", value: q });
+            return Err(EdnError::NotPowerOfTwo {
+                name: "q",
+                value: q,
+            });
         }
         Gamma::new(0, q.trailing_zeros(), n)
     }
@@ -151,7 +154,11 @@ impl Gamma {
     pub fn inverse(&self) -> Gamma {
         let m = self.n - self.j;
         let k = if m == 0 { 0 } else { (m - self.k) % m };
-        Gamma { j: self.j, k, n: self.n }
+        Gamma {
+            j: self.j,
+            k,
+            n: self.n,
+        }
     }
 
     /// Returns the composition `other ∘ self` (apply `self` first) if the
@@ -283,10 +290,22 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        assert!(matches!(Gamma::new(0, 1, 64), Err(EdnError::LabelWidthOverflow { .. })));
-        assert!(matches!(Gamma::new(9, 1, 8), Err(EdnError::IndexOutOfRange { .. })));
-        assert!(matches!(Gamma::q_shuffle(3, 8), Err(EdnError::NotPowerOfTwo { .. })));
-        assert!(matches!(Gamma::q_shuffle(0, 8), Err(EdnError::ZeroParameter { .. })));
+        assert!(matches!(
+            Gamma::new(0, 1, 64),
+            Err(EdnError::LabelWidthOverflow { .. })
+        ));
+        assert!(matches!(
+            Gamma::new(9, 1, 8),
+            Err(EdnError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Gamma::q_shuffle(3, 8),
+            Err(EdnError::NotPowerOfTwo { .. })
+        ));
+        assert!(matches!(
+            Gamma::q_shuffle(0, 8),
+            Err(EdnError::ZeroParameter { .. })
+        ));
     }
 
     #[test]

@@ -124,17 +124,13 @@ impl Arbiter for RoundRobinArbiter {
             return;
         }
         // Winners are the first `capacity` contenders at or after `offset`,
-        // wrapping around.
+        // wrapping around — computed in place so arbitration never touches
+        // the allocator (the routing engine's zero-allocation steady state
+        // depends on it).
         let start = contenders.partition_point(|&label| label < self.offset);
-        let mut winners: Vec<usize> = Vec::with_capacity(capacity);
-        for idx in 0..n {
-            winners.push(contenders[(start + idx) % n]);
-            if winners.len() == capacity {
-                break;
-            }
-        }
-        winners.sort_unstable();
-        *contenders = winners;
+        contenders.rotate_left(start % n);
+        contenders.truncate(capacity);
+        contenders.sort_unstable();
     }
 
     fn advance(&mut self) {
@@ -230,13 +226,21 @@ impl Hyperbar {
 
     /// The hyperbar used at every non-final stage of `params`' network.
     pub fn from_params(params: &EdnParams) -> Self {
-        Hyperbar { a: params.a(), b: params.b(), c: params.c() }
+        Hyperbar {
+            a: params.a(),
+            b: params.b(),
+            c: params.c(),
+        }
     }
 
     /// The `c x c` crossbar used at the final stage of `params`' network,
     /// expressed as the degenerate hyperbar `H(c -> c x 1)`.
     pub fn final_stage_crossbar(params: &EdnParams) -> Self {
-        Hyperbar { a: params.c(), b: params.c(), c: 1 }
+        Hyperbar {
+            a: params.c(),
+            b: params.c(),
+            c: 1,
+        }
     }
 
     /// Inputs (`a`).
@@ -362,7 +366,11 @@ impl Hyperbar {
             }
         }
         arbiter.advance();
-        Ok(HyperbarOutcome { assignments, offered, accepted })
+        Ok(HyperbarOutcome {
+            assignments,
+            offered,
+            accepted,
+        })
     }
 }
 
@@ -392,8 +400,11 @@ mod tests {
         assert_eq!(outcome.offered(), 8);
         assert_eq!(outcome.accepted(), 6);
         // Winners land on their requested bucket's wires.
-        for (input, (&granted, &wanted)) in
-            outcome.assignments().iter().zip(requests.iter()).enumerate()
+        for (input, (&granted, &wanted)) in outcome
+            .assignments()
+            .iter()
+            .zip(requests.iter())
+            .enumerate()
         {
             if let Some(wire) = granted {
                 assert_eq!(wire / 2, wanted.unwrap(), "input {input}");
@@ -492,13 +503,20 @@ mod tests {
         let h = Hyperbar::new(8, 4, 2).unwrap();
         assert!(matches!(
             h.route(&[Some(0); 4], &mut PriorityArbiter::new()),
-            Err(EdnError::LengthMismatch { expected: 8, actual: 4 })
+            Err(EdnError::LengthMismatch {
+                expected: 8,
+                actual: 4
+            })
         ));
         let mut requests = vec![None; 8];
         requests[0] = Some(4);
         assert!(matches!(
             h.route(&requests, &mut PriorityArbiter::new()),
-            Err(EdnError::DigitOutOfRange { digit: 4, base: 4, .. })
+            Err(EdnError::DigitOutOfRange {
+                digit: 4,
+                base: 4,
+                ..
+            })
         ));
     }
 

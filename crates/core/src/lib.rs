@@ -49,7 +49,11 @@
 //! * [`topology`] — stage/wire maps, Lemma-1 line tracing, Theorem-2 path
 //!   enumeration.
 //! * [`routing`] — one-pass circuit-switched routing of request batches
-//!   through the wired fabric.
+//!   through the wired fabric (compatibility wrappers over the engine).
+//! * [`engine`] — [`RoutingEngine`]: the build-once, zero-allocation
+//!   routing core every simulator runs on.
+//! * [`reference`] — the pre-engine implementations, kept as the
+//!   differential-testing oracle and benchmark baseline.
 //! * [`cost`] — crosspoint and wire cost, Eqs. (2)–(3).
 
 #![warn(missing_docs)]
@@ -57,16 +61,19 @@
 
 pub mod address;
 pub mod cost;
+pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod gamma;
 pub mod hyperbar;
 pub mod params;
+pub mod reference;
 pub mod routing;
 pub mod topology;
 
 pub use address::{DestTag, RetirementOrder, SourceAddress};
 pub use cost::{crosspoint_cost, crosspoint_cost_closed_form, wire_cost, wire_cost_closed_form};
+pub use engine::{BatchOutcomeView, RoutingEngine};
 pub use error::EdnError;
 pub use faults::{route_batch_faulty, route_one_with_faults, FaultRouting, FaultSet};
 pub use gamma::Gamma;

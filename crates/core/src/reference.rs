@@ -1,0 +1,267 @@
+//! The pre-engine routing implementations, preserved as a differential
+//! oracle.
+//!
+//! When [`crate::engine::RoutingEngine`] replaced the original free
+//! functions, the originals moved here unchanged instead of being deleted:
+//! they are the simplest correct statement of the paper's circuit-switched
+//! cycle (Section 3.2), and the `engine_equivalence` property tests assert
+//! the engine's outcomes are **bit-identical** to them across network
+//! shapes, loads, arbiters, and fault sets. The Criterion bench
+//! `routing_engine` also measures them as the "legacy per-call" baseline
+//! the engine is compared against.
+//!
+//! They allocate freely (a `HashSet` for duplicate detection, fresh `Vec`s
+//! per stage, per-switch buffers inside [`Hyperbar::route`]) and are
+//! therefore unsuitable for the Monte-Carlo hot path — use
+//! [`crate::route_batch`] (a thin engine wrapper) or a reused
+//! [`crate::engine::RoutingEngine`] instead.
+
+use crate::hyperbar::{Arbiter, Hyperbar};
+use crate::routing::{BatchOutcome, BlockReason, RouteRequest};
+use crate::topology::EdnTopology;
+use crate::FaultSet;
+use std::collections::HashSet;
+
+/// The original allocating implementation of [`crate::route_batch`].
+///
+/// # Panics
+///
+/// As [`crate::route_batch`]: panics on duplicate sources or out-of-range
+/// indices.
+pub fn route_batch(
+    topology: &EdnTopology,
+    requests: &[RouteRequest],
+    arbiter: &mut dyn Arbiter,
+) -> BatchOutcome {
+    let p = *topology.params();
+    let mut seen = HashSet::with_capacity(requests.len());
+    for request in requests {
+        assert!(
+            request.source < p.inputs(),
+            "source {} out of range (inputs = {})",
+            request.source,
+            p.inputs()
+        );
+        assert!(
+            request.tag < p.outputs(),
+            "tag {} out of range (outputs = {})",
+            request.tag,
+            p.outputs()
+        );
+        assert!(
+            seen.insert(request.source),
+            "duplicate request on source {}",
+            request.source
+        );
+    }
+
+    let hyperbar = Hyperbar::from_params(&p);
+    let crossbar = Hyperbar::final_stage_crossbar(&p);
+    let mut blocked: Vec<(u64, BlockReason)> = Vec::new();
+    let mut survivors = Vec::with_capacity(p.l() as usize + 2);
+    survivors.push(requests.len());
+
+    // (request index, current line).
+    let mut active: Vec<(usize, u64)> = requests
+        .iter()
+        .enumerate()
+        .map(|(idx, r)| (idx, r.source))
+        .collect();
+
+    let mut switch_requests: Vec<Option<u64>> = Vec::new();
+    for stage in 1..=p.l() {
+        active.sort_unstable_by_key(|&(_, line)| line);
+        let gamma = topology.interstage_gamma(stage);
+        let mut next: Vec<(usize, u64)> = Vec::with_capacity(active.len());
+        let mut span_start = 0usize;
+        while span_start < active.len() {
+            let switch = active[span_start].1 / p.a();
+            let mut span_end = span_start + 1;
+            while span_end < active.len() && active[span_end].1 / p.a() == switch {
+                span_end += 1;
+            }
+            switch_requests.clear();
+            switch_requests.resize(p.a() as usize, None);
+            for &(req, line) in &active[span_start..span_end] {
+                let port = (line % p.a()) as usize;
+                switch_requests[port] = Some(p.tag_digit_for_stage(requests[req].tag, stage));
+            }
+            let outcome = hyperbar
+                .route(&switch_requests, arbiter)
+                .expect("validated requests imply valid switch digits");
+            for &(req, line) in &active[span_start..span_end] {
+                let port = (line % p.a()) as usize;
+                match outcome.assignments()[port] {
+                    Some(wire) => {
+                        let exit = switch * (p.b() * p.c()) + wire;
+                        next.push((req, gamma.apply(exit)));
+                    }
+                    None => {
+                        blocked.push((requests[req].source, BlockReason::HyperbarStage(stage)));
+                    }
+                }
+            }
+            span_start = span_end;
+        }
+        active = next;
+        survivors.push(active.len());
+    }
+
+    // Final stage: c x c crossbars; the base-c digit picks the output port.
+    active.sort_unstable_by_key(|&(_, line)| line);
+    let mut delivered: Vec<(u64, u64)> = Vec::with_capacity(active.len());
+    let mut span_start = 0usize;
+    while span_start < active.len() {
+        let switch = active[span_start].1 / p.c();
+        let mut span_end = span_start + 1;
+        while span_end < active.len() && active[span_end].1 / p.c() == switch {
+            span_end += 1;
+        }
+        switch_requests.clear();
+        switch_requests.resize(p.c() as usize, None);
+        for &(req, line) in &active[span_start..span_end] {
+            let port = (line % p.c()) as usize;
+            switch_requests[port] = Some(p.tag_crossbar_digit(requests[req].tag));
+        }
+        let outcome = crossbar
+            .route(&switch_requests, arbiter)
+            .expect("validated requests imply valid crossbar digits");
+        for &(req, line) in &active[span_start..span_end] {
+            let port = (line % p.c()) as usize;
+            match outcome.assignments()[port] {
+                Some(out_port) => delivered.push((requests[req].source, switch * p.c() + out_port)),
+                None => blocked.push((requests[req].source, BlockReason::CrossbarOutput)),
+            }
+        }
+        span_start = span_end;
+    }
+    survivors.push(delivered.len());
+
+    delivered.sort_unstable();
+    blocked.sort_unstable_by_key(|&(source, _)| source);
+    BatchOutcome::from_parts(delivered, blocked, requests.len(), survivors)
+}
+
+/// The original allocating implementation of
+/// [`crate::route_batch_faulty`].
+///
+/// # Panics
+///
+/// As [`crate::route_batch_faulty`].
+pub fn route_batch_faulty(
+    topology: &EdnTopology,
+    requests: &[RouteRequest],
+    faults: &FaultSet,
+    arbiter: &mut dyn Arbiter,
+) -> BatchOutcome {
+    let p = *topology.params();
+    assert_eq!(
+        faults.params(),
+        &p,
+        "fault set was built for {} but the fabric is {}",
+        faults.params(),
+        p
+    );
+    let mut seen = HashSet::with_capacity(requests.len());
+    for request in requests {
+        assert!(
+            request.source < p.inputs(),
+            "source {} out of range",
+            request.source
+        );
+        assert!(
+            request.tag < p.outputs(),
+            "tag {} out of range",
+            request.tag
+        );
+        assert!(
+            seen.insert(request.source),
+            "duplicate request on source {}",
+            request.source
+        );
+    }
+
+    let hyperbar = Hyperbar::from_params(&p);
+    let crossbar = Hyperbar::final_stage_crossbar(&p);
+    let mut blocked: Vec<(u64, BlockReason)> = Vec::new();
+    let mut survivors = Vec::with_capacity(p.l() as usize + 2);
+    survivors.push(requests.len());
+
+    let mut active: Vec<(usize, u64)> = requests
+        .iter()
+        .enumerate()
+        .map(|(idx, r)| (idx, r.source))
+        .collect();
+    let mut switch_requests: Vec<Option<u64>> = Vec::new();
+
+    for stage in 1..=p.l() {
+        active.sort_unstable_by_key(|&(_, line)| line);
+        let gamma = topology.interstage_gamma(stage);
+        let mut next: Vec<(usize, u64)> = Vec::with_capacity(active.len());
+        let mut span_start = 0usize;
+        while span_start < active.len() {
+            let switch = active[span_start].1 / p.a();
+            let mut span_end = span_start + 1;
+            while span_end < active.len() && active[span_end].1 / p.a() == switch {
+                span_end += 1;
+            }
+            switch_requests.clear();
+            switch_requests.resize(p.a() as usize, None);
+            for &(req, line) in &active[span_start..span_end] {
+                let port = (line % p.a()) as usize;
+                switch_requests[port] = Some(p.tag_digit_for_stage(requests[req].tag, stage));
+            }
+            let disabled = faults.switch_local_disabled(stage, switch);
+            let outcome = hyperbar
+                .route_with_disabled(&switch_requests, &disabled, arbiter)
+                .expect("validated requests imply valid switch digits");
+            for &(req, line) in &active[span_start..span_end] {
+                let port = (line % p.a()) as usize;
+                match outcome.assignments()[port] {
+                    Some(wire) => {
+                        let exit = switch * (p.b() * p.c()) + wire;
+                        next.push((req, gamma.apply(exit)));
+                    }
+                    None => {
+                        blocked.push((requests[req].source, BlockReason::HyperbarStage(stage)));
+                    }
+                }
+            }
+            span_start = span_end;
+        }
+        active = next;
+        survivors.push(active.len());
+    }
+
+    active.sort_unstable_by_key(|&(_, line)| line);
+    let mut delivered: Vec<(u64, u64)> = Vec::with_capacity(active.len());
+    let mut span_start = 0usize;
+    while span_start < active.len() {
+        let switch = active[span_start].1 / p.c();
+        let mut span_end = span_start + 1;
+        while span_end < active.len() && active[span_end].1 / p.c() == switch {
+            span_end += 1;
+        }
+        switch_requests.clear();
+        switch_requests.resize(p.c() as usize, None);
+        for &(req, line) in &active[span_start..span_end] {
+            let port = (line % p.c()) as usize;
+            switch_requests[port] = Some(p.tag_crossbar_digit(requests[req].tag));
+        }
+        let outcome = crossbar
+            .route(&switch_requests, arbiter)
+            .expect("validated requests imply valid crossbar digits");
+        for &(req, line) in &active[span_start..span_end] {
+            let port = (line % p.c()) as usize;
+            match outcome.assignments()[port] {
+                Some(out_port) => delivered.push((requests[req].source, switch * p.c() + out_port)),
+                None => blocked.push((requests[req].source, BlockReason::CrossbarOutput)),
+            }
+        }
+        span_start = span_end;
+    }
+    survivors.push(delivered.len());
+    delivered.sort_unstable();
+    blocked.sort_unstable_by_key(|&(source, _)| source);
+    BatchOutcome::from_parts(delivered, blocked, requests.len(), survivors)
+}

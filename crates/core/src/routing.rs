@@ -7,11 +7,18 @@
 //! cycle. [`route_batch`] implements exactly that cycle; higher-level
 //! system behaviour (resubmission, clustering, multi-pass permutations)
 //! lives in the `edn-sim` crate.
+//!
+//! The free functions here are thin compatibility wrappers that build a
+//! fresh [`RoutingEngine`](crate::engine::RoutingEngine) per call. Code
+//! that routes more than one cycle should hold an engine instead — it
+//! reuses every buffer and performs zero steady-state allocations. The
+//! original allocating implementations live on in [`crate::reference`] as
+//! the differential-testing oracle.
 
 use crate::address::RetirementOrder;
-use crate::hyperbar::{Arbiter, Hyperbar};
+use crate::engine::RoutingEngine;
+use crate::hyperbar::Arbiter;
 use crate::topology::EdnTopology;
-use std::collections::HashSet;
 
 /// One routing request: a source input index and a destination tag.
 ///
@@ -64,7 +71,12 @@ impl BatchOutcome {
         offered: usize,
         survivors: Vec<usize>,
     ) -> Self {
-        BatchOutcome { delivered, blocked, offered, survivors }
+        BatchOutcome {
+            delivered,
+            blocked,
+            offered,
+            survivors,
+        }
     }
 
     /// `(source, output)` pairs that completed, sorted by source.
@@ -111,120 +123,25 @@ impl BatchOutcome {
 /// contention is resolved the same way (capacity 1). Delivered messages
 /// always arrive exactly at their tag (Theorem 1).
 ///
+/// This is a compatibility wrapper that builds a fresh
+/// [`RoutingEngine`] per call; hold a reused engine when routing more
+/// than one cycle.
+///
 /// # Panics
 ///
 /// Panics if two requests share a source (an input wire carries one
 /// request per cycle), or if any source or tag is out of range. These are
 /// programming errors in workload construction, not runtime conditions.
+/// The duplicate check is the engine's epoch-stamped boolean buffer, not
+/// the `HashSet` of the original implementation; the panic message and
+/// semantics are unchanged.
 pub fn route_batch(
     topology: &EdnTopology,
     requests: &[RouteRequest],
     arbiter: &mut dyn Arbiter,
 ) -> BatchOutcome {
-    let p = *topology.params();
-    let mut seen = HashSet::with_capacity(requests.len());
-    for request in requests {
-        assert!(
-            request.source < p.inputs(),
-            "source {} out of range (inputs = {})",
-            request.source,
-            p.inputs()
-        );
-        assert!(
-            request.tag < p.outputs(),
-            "tag {} out of range (outputs = {})",
-            request.tag,
-            p.outputs()
-        );
-        assert!(
-            seen.insert(request.source),
-            "duplicate request on source {}",
-            request.source
-        );
-    }
-
-    let hyperbar = Hyperbar::from_params(&p);
-    let crossbar = Hyperbar::final_stage_crossbar(&p);
-    let mut blocked: Vec<(u64, BlockReason)> = Vec::new();
-    let mut survivors = Vec::with_capacity(p.l() as usize + 2);
-    survivors.push(requests.len());
-
-    // (request index, current line).
-    let mut active: Vec<(usize, u64)> =
-        requests.iter().enumerate().map(|(idx, r)| (idx, r.source)).collect();
-
-    let mut switch_requests: Vec<Option<u64>> = Vec::new();
-    for stage in 1..=p.l() {
-        active.sort_unstable_by_key(|&(_, line)| line);
-        let gamma = topology.interstage_gamma(stage);
-        let mut next: Vec<(usize, u64)> = Vec::with_capacity(active.len());
-        let mut span_start = 0usize;
-        while span_start < active.len() {
-            let switch = active[span_start].1 / p.a();
-            let mut span_end = span_start + 1;
-            while span_end < active.len() && active[span_end].1 / p.a() == switch {
-                span_end += 1;
-            }
-            switch_requests.clear();
-            switch_requests.resize(p.a() as usize, None);
-            for &(req, line) in &active[span_start..span_end] {
-                let port = (line % p.a()) as usize;
-                switch_requests[port] = Some(p.tag_digit_for_stage(requests[req].tag, stage));
-            }
-            let outcome = hyperbar
-                .route(&switch_requests, arbiter)
-                .expect("validated requests imply valid switch digits");
-            for &(req, line) in &active[span_start..span_end] {
-                let port = (line % p.a()) as usize;
-                match outcome.assignments()[port] {
-                    Some(wire) => {
-                        let exit = switch * (p.b() * p.c()) + wire;
-                        next.push((req, gamma.apply(exit)));
-                    }
-                    None => {
-                        blocked.push((requests[req].source, BlockReason::HyperbarStage(stage)));
-                    }
-                }
-            }
-            span_start = span_end;
-        }
-        active = next;
-        survivors.push(active.len());
-    }
-
-    // Final stage: c x c crossbars; the base-c digit picks the output port.
-    active.sort_unstable_by_key(|&(_, line)| line);
-    let mut delivered: Vec<(u64, u64)> = Vec::with_capacity(active.len());
-    let mut span_start = 0usize;
-    while span_start < active.len() {
-        let switch = active[span_start].1 / p.c();
-        let mut span_end = span_start + 1;
-        while span_end < active.len() && active[span_end].1 / p.c() == switch {
-            span_end += 1;
-        }
-        switch_requests.clear();
-        switch_requests.resize(p.c() as usize, None);
-        for &(req, line) in &active[span_start..span_end] {
-            let port = (line % p.c()) as usize;
-            switch_requests[port] = Some(p.tag_crossbar_digit(requests[req].tag));
-        }
-        let outcome = crossbar
-            .route(&switch_requests, arbiter)
-            .expect("validated requests imply valid crossbar digits");
-        for &(req, line) in &active[span_start..span_end] {
-            let port = (line % p.c()) as usize;
-            match outcome.assignments()[port] {
-                Some(out_port) => delivered.push((requests[req].source, switch * p.c() + out_port)),
-                None => blocked.push((requests[req].source, BlockReason::CrossbarOutput)),
-            }
-        }
-        span_start = span_end;
-    }
-    survivors.push(delivered.len());
-
-    delivered.sort_unstable();
-    blocked.sort_unstable_by_key(|&(source, _)| source);
-    BatchOutcome { delivered, blocked, offered: requests.len(), survivors }
+    let mut engine = RoutingEngine::new(topology.clone());
+    engine.route(requests, arbiter).to_outcome()
 }
 
 /// Routes a batch whose *desired* outputs are reordered through `order`
@@ -246,23 +163,10 @@ pub fn route_batch_reordered(
     order: &RetirementOrder,
     arbiter: &mut dyn Arbiter,
 ) -> BatchOutcome {
-    let p = topology.params();
-    assert_eq!(
-        order.bits(),
-        p.output_bits(),
-        "retirement order width must match the network's output label width"
-    );
-    let reordered: Vec<RouteRequest> = requests
-        .iter()
-        .map(|r| RouteRequest::new(r.source, order.apply(r.tag)))
-        .collect();
-    let mut outcome = route_batch(topology, &reordered, arbiter);
-    let inverse = order.inverse();
-    for (_, output) in &mut outcome.delivered {
-        *output = inverse.apply(*output);
-    }
-    outcome.delivered.sort_unstable();
-    outcome
+    let mut engine = RoutingEngine::new(topology.clone());
+    engine
+        .route_reordered(requests, order, arbiter)
+        .to_outcome()
 }
 
 #[cfg(test)]
@@ -283,8 +187,11 @@ mod tests {
         let p = *t.params();
         for source in [0u64, 13, 63] {
             for tag in [0u64, 31, 63] {
-                let outcome =
-                    route_batch(&t, &[RouteRequest::new(source, tag)], &mut PriorityArbiter::new());
+                let outcome = route_batch(
+                    &t,
+                    &[RouteRequest::new(source, tag)],
+                    &mut PriorityArbiter::new(),
+                );
                 assert_eq!(outcome.delivered(), &[(source, tag)]);
                 assert_eq!(outcome.acceptance_rate(), 1.0);
                 assert_eq!(outcome.survivors(), &[1, 1, 1, 1]);
@@ -306,7 +213,10 @@ mod tests {
             assert_eq!(output, (source * 37 + 5) % p.outputs());
         }
         // Conservation: every request is delivered or blocked, never both.
-        assert_eq!(outcome.delivered_count() + outcome.blocked().len(), outcome.offered());
+        assert_eq!(
+            outcome.delivered_count() + outcome.blocked().len(),
+            outcome.offered()
+        );
     }
 
     #[test]
@@ -392,7 +302,10 @@ mod tests {
         let outcome = route_batch_reordered(&t, &requests, &order, &mut PriorityArbiter::new());
         assert_eq!(outcome.delivered_count(), 1024);
         for &(source, output) in outcome.delivered() {
-            assert_eq!(source, output, "compensated output must equal desired output");
+            assert_eq!(
+                source, output,
+                "compensated output must equal desired output"
+            );
         }
     }
 

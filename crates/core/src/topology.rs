@@ -119,7 +119,12 @@ impl EdnTopology {
     ///
     /// Returns an error if `source` or `tag` is out of range, if
     /// `choices.len() != l`, or if any choice is `>= c`.
-    pub fn trace_path(&self, source: u64, tag: u64, choices: &[u64]) -> Result<PathTrace, EdnError> {
+    pub fn trace_path(
+        &self,
+        source: u64,
+        tag: u64,
+        choices: &[u64],
+    ) -> Result<PathTrace, EdnError> {
         let p = &self.params;
         if source >= p.inputs() {
             return Err(EdnError::IndexOutOfRange {
@@ -204,7 +209,11 @@ impl EdnTopology {
             });
         }
         if choice >= p.c() {
-            return Err(EdnError::DigitOutOfRange { position: i, digit: choice, base: p.c() });
+            return Err(EdnError::DigitOutOfRange {
+                position: i,
+                digit: choice,
+                base: p.c(),
+            });
         }
         // Validate the indices by decomposing them.
         SourceAddress::from_input_index(p, source)?;
@@ -234,7 +243,10 @@ impl EdnTopology {
     ) -> Result<Vec<PathTrace>, EdnError> {
         let count = self.params.path_count();
         if count > limit {
-            return Err(EdnError::TooManyPaths { paths: count, limit });
+            return Err(EdnError::TooManyPaths {
+                paths: count,
+                limit,
+            });
         }
         let l = self.params.l() as usize;
         let c = self.params.c();
@@ -298,7 +310,10 @@ impl PathTrace {
 
     /// The network output the message exited on.
     pub fn output(&self) -> u64 {
-        *self.exit_lines.last().expect("trace has at least one stage")
+        *self
+            .exit_lines
+            .last()
+            .expect("trace has at least one stage")
     }
 
     /// Line index at each stage's input, `l + 1` entries (hyperbar stages
@@ -406,7 +421,7 @@ mod tests {
         let p = *t.params();
         let paths = t.enumerate_paths(3, 17, 1 << 20).unwrap();
         assert_eq!(paths.len() as u128, p.path_count()); // c^l = 8
-        // All paths are distinct as wire sequences and all deliver correctly.
+                                                         // All paths are distinct as wire sequences and all deliver correctly.
         for (i, path) in paths.iter().enumerate() {
             assert_eq!(path.output(), 17);
             for other in &paths[i + 1..] {
@@ -427,7 +442,10 @@ mod tests {
         let t = topo(16, 4, 4, 3); // 64 paths
         assert!(matches!(
             t.enumerate_paths(0, 0, 63),
-            Err(EdnError::TooManyPaths { paths: 64, limit: 63 })
+            Err(EdnError::TooManyPaths {
+                paths: 64,
+                limit: 63
+            })
         ));
     }
 

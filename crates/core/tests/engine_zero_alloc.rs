@@ -1,0 +1,108 @@
+//! Asserts the engine's headline property with a counting global
+//! allocator: once warmed up, [`RoutingEngine::route`] and
+//! [`RoutingEngine::route_faulty`] perform **zero heap allocations**, for
+//! every arbitration policy, on the MasPar-shaped `EDN(64, 16, 4, 2)` at
+//! full load.
+//!
+//! This file deliberately holds a single `#[test]` so nothing else runs
+//! concurrently against the global allocation counter.
+
+use edn_core::{
+    EdnParams, FaultSet, PriorityArbiter, RandomArbiter, RoundRobinArbiter, RouteRequest,
+    RoutingEngine,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts every allocating entry point.
+struct CountingAllocator;
+
+// SAFETY: defers all allocation to `System`, only adding a relaxed
+// counter bump; layout contracts are passed through unchanged.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn full_load_batch(params: &EdnParams, seed: u64) -> Vec<RouteRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..params.inputs())
+        .map(|s| RouteRequest::new(s, rng.gen_range(0..params.outputs())))
+        .collect()
+}
+
+#[test]
+fn steady_state_routing_does_not_allocate() {
+    let params = EdnParams::new(64, 16, 4, 2).unwrap(); // the MasPar shape
+    let mut engine = RoutingEngine::from_params(params);
+    let batches: Vec<Vec<RouteRequest>> =
+        (0..8).map(|seed| full_load_batch(&params, seed)).collect();
+    let faults = FaultSet::random(&params, 0.1, 99);
+
+    let mut priority = PriorityArbiter::new();
+    let mut random = RandomArbiter::new(StdRng::seed_from_u64(42));
+    let mut round_robin = RoundRobinArbiter::new();
+
+    // Warm-up: let every buffer reach its high-water capacity under all
+    // three policies and both the healthy and faulty paths.
+    for batch in &batches {
+        engine.route(batch, &mut priority);
+        engine.route(batch, &mut random);
+        engine.route(batch, &mut round_robin);
+        engine.route_faulty(batch, &faults, &mut random);
+    }
+
+    // Steady state: hundreds of further cycles, zero allocations.
+    let before = allocations();
+    for _ in 0..25 {
+        for batch in &batches {
+            engine.route(batch, &mut priority);
+            engine.route(batch, &mut random);
+            engine.route(batch, &mut round_robin);
+            engine.route_faulty(batch, &faults, &mut random);
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state route()/route_faulty() must not touch the allocator"
+    );
+
+    // Sanity check on the instrument itself: allocating obviously bumps
+    // the counter.
+    let before = allocations();
+    let probe = vec![0u8; 4096];
+    assert!(
+        allocations() > before,
+        "counting allocator must observe allocations"
+    );
+    drop(probe);
+}

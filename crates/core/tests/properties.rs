@@ -24,7 +24,9 @@ fn params_strategy() -> impl Strategy<Value = EdnParams> {
             let a = 1u64 << log_a;
             let b = 1u64 << log_b;
             let c = 1u64 << log_c;
-            EdnParams::new(a, b, c, l).ok().filter(|p| p.inputs() <= 4096 && p.outputs() <= 4096)
+            EdnParams::new(a, b, c, l)
+                .ok()
+                .filter(|p| p.inputs() <= 4096 && p.outputs() <= 4096)
         },
     )
 }

@@ -74,6 +74,9 @@ pub struct MimdSystem {
     policy: ResubmitPolicy,
     /// `pending[i] = Some(module)` while processor `i` waits on `module`.
     pending: Vec<Option<u64>>,
+    /// Per-cycle request buffer, reused so steady-state stepping never
+    /// allocates.
+    requests: Vec<RouteRequest>,
 }
 
 impl MimdSystem {
@@ -104,6 +107,7 @@ impl MimdSystem {
             rate,
             policy,
             pending: vec![None; params.inputs() as usize],
+            requests: Vec::with_capacity(params.inputs() as usize),
         })
     }
 
@@ -123,9 +127,12 @@ impl MimdSystem {
     }
 
     /// Advances one network cycle; returns `(offered, delivered)`.
+    ///
+    /// Steady-state steps are allocation-free: the request buffer and the
+    /// routing engine's scratch are both reused across cycles.
     pub fn step(&mut self) -> (usize, usize) {
         let modules = self.modules();
-        let mut requests = Vec::new();
+        self.requests.clear();
         for (proc_id, pending) in self.pending.iter_mut().enumerate() {
             let destination = match (*pending, self.policy) {
                 (Some(module), ResubmitPolicy::SameDestination) => Some(module),
@@ -140,10 +147,11 @@ impl MimdSystem {
             };
             if let Some(module) = destination {
                 *pending = Some(module);
-                requests.push(RouteRequest::new(proc_id as u64, module));
+                self.requests
+                    .push(RouteRequest::new(proc_id as u64, module));
             }
         }
-        let outcome = self.sim.route_cycle(&requests);
+        let outcome = self.sim.route_cycle_view(&self.requests);
         for &(source, _) in outcome.delivered() {
             self.pending[source as usize] = None;
         }
@@ -233,9 +241,14 @@ mod tests {
     fn same_destination_is_no_better_than_redraw() {
         // Persistent retries pile onto contended modules, so acceptance
         // should not improve.
-        let mut redraw =
-            MimdSystem::new(params(), 0.7, ArbiterKind::Random, ResubmitPolicy::Redraw, 5)
-                .unwrap();
+        let mut redraw = MimdSystem::new(
+            params(),
+            0.7,
+            ArbiterKind::Random,
+            ResubmitPolicy::Redraw,
+            5,
+        )
+        .unwrap();
         let mut same = MimdSystem::new(
             params(),
             0.7,
@@ -256,9 +269,14 @@ mod tests {
 
     #[test]
     fn zero_rate_stays_idle() {
-        let mut system =
-            MimdSystem::new(params(), 0.0, ArbiterKind::Random, ResubmitPolicy::Redraw, 9)
-                .unwrap();
+        let mut system = MimdSystem::new(
+            params(),
+            0.0,
+            ArbiterKind::Random,
+            ResubmitPolicy::Redraw,
+            9,
+        )
+        .unwrap();
         let report = system.run(10, 50);
         assert_eq!(report.offered, 0);
         assert_eq!(report.acceptance, 1.0);
@@ -267,9 +285,14 @@ mod tests {
 
     #[test]
     fn flow_conservation() {
-        let mut system =
-            MimdSystem::new(params(), 0.8, ArbiterKind::Random, ResubmitPolicy::SameDestination, 3)
-                .unwrap();
+        let mut system = MimdSystem::new(
+            params(),
+            0.8,
+            ArbiterKind::Random,
+            ResubmitPolicy::SameDestination,
+            3,
+        )
+        .unwrap();
         let report = system.run(100, 300);
         // Delivered never exceeds offered; waiting processors exist under load.
         assert!(report.delivered <= report.offered);
@@ -292,9 +315,14 @@ mod tests {
 
     #[test]
     fn waiting_count_reflects_blocked_processors() {
-        let mut system =
-            MimdSystem::new(params(), 1.0, ArbiterKind::Random, ResubmitPolicy::SameDestination, 7)
-                .unwrap();
+        let mut system = MimdSystem::new(
+            params(),
+            1.0,
+            ArbiterKind::Random,
+            ResubmitPolicy::SameDestination,
+            7,
+        )
+        .unwrap();
         assert_eq!(system.waiting_now(), 0);
         system.step();
         // At full load on a blocking network some processors must be waiting.

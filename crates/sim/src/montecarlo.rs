@@ -44,6 +44,10 @@ impl AcceptanceEstimate {
 /// independent network cycles — the generic engine behind
 /// [`estimate_pa`] and [`estimate_pa_permutation`], public so experiments
 /// can plug in non-uniform traffic (e.g. hot-spot / NUTS workloads).
+///
+/// One [`NetworkSim`] (hence one routing engine) and one request buffer
+/// are reused across all cycles, so the measurement loop itself performs
+/// no steady-state allocations.
 pub fn estimate_pa_with<W: Workload>(
     params: &EdnParams,
     workload: &mut W,
@@ -53,16 +57,17 @@ pub fn estimate_pa_with<W: Workload>(
 ) -> AcceptanceEstimate {
     let mut sim = NetworkSim::new(*params, arbiter, seed ^ 0xA5A5_5A5A_A5A5_5A5A);
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut batch = Vec::with_capacity(params.inputs() as usize);
     let mut per_cycle = RunningStats::new();
     let mut offered_total = 0u64;
     let mut delivered_total = 0u64;
     for _ in 0..cycles {
-        let batch = workload.next_batch(&mut rng);
+        workload.fill_batch(&mut batch, &mut rng);
         if batch.is_empty() {
             per_cycle.push(1.0);
             continue;
         }
-        let outcome = sim.route_cycle(&batch);
+        let outcome = sim.route_cycle_view(&batch);
         offered_total += outcome.offered() as u64;
         delivered_total += outcome.delivered_count() as u64;
         per_cycle.push(outcome.acceptance_rate());
@@ -116,27 +121,36 @@ pub fn estimate_pa_permutation(
     );
 
     struct PermutationWorkload {
-        n: u64,
+        /// Reshuffled in place every cycle — no per-cycle allocation.
+        perm: Permutation,
         rate: f64,
     }
     impl Workload for PermutationWorkload {
         fn next_batch(&mut self, rng: &mut StdRng) -> Vec<edn_core::RouteRequest> {
-            let perm = Permutation::random(self.n, rng);
+            let mut batch = Vec::new();
+            self.fill_batch(&mut batch, rng);
+            batch
+        }
+        fn fill_batch(&mut self, batch: &mut Vec<edn_core::RouteRequest>, rng: &mut StdRng) {
+            self.perm.randomize_in_place(rng);
             if self.rate >= 1.0 {
-                perm.to_requests()
+                self.perm.fill_requests(batch);
             } else {
-                perm.to_partial_requests(self.rate, rng)
+                self.perm.fill_partial_requests(self.rate, rng, batch);
             }
         }
         fn inputs(&self) -> u64 {
-            self.n
+            self.perm.len()
         }
         fn outputs(&self) -> u64 {
-            self.n
+            self.perm.len()
         }
     }
 
-    let mut workload = PermutationWorkload { n: params.inputs(), rate };
+    let mut workload = PermutationWorkload {
+        perm: Permutation::identity(params.inputs()),
+        rate,
+    };
     estimate_pa_with(params, &mut workload, arbiter, cycles, seed)
 }
 
@@ -157,19 +171,59 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
+    map_seeds_with(seeds, || (), |(), seed| f(seed))
+}
+
+/// As [`map_seeds`], but each worker thread first builds private state
+/// with `init` and hands `f` a mutable reference to it for every seed of
+/// its chunk.
+///
+/// This is how Monte-Carlo sweeps amortize engine construction: `init`
+/// builds one [`NetworkSim`] (or bare
+/// [`RoutingEngine`](edn_core::RoutingEngine)) per thread, and every seed
+/// routed on that thread reuses its buffers instead of re-wiring the
+/// fabric per seed.
+///
+/// # Examples
+///
+/// ```
+/// use edn_sim::map_seeds_with;
+///
+/// // One scratch Vec per thread, reused across seeds.
+/// let sums = map_seeds_with(
+///     &[1, 2, 3, 4],
+///     Vec::<u64>::new,
+///     |scratch, seed| {
+///         scratch.clear();
+///         scratch.extend(0..seed);
+///         scratch.iter().sum::<u64>()
+///     },
+/// );
+/// assert_eq!(sums, vec![0, 1, 3, 6]);
+/// ```
+pub fn map_seeds_with<S, T, I, F>(seeds: &[u64], init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64) -> T + Sync,
+{
     if seeds.is_empty() {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let chunk = seeds.len().div_ceil(threads);
     let mut results: Vec<Option<T>> = Vec::with_capacity(seeds.len());
     results.resize_with(seeds.len(), || None);
+    let init = &init;
     let f = &f;
     std::thread::scope(|scope| {
         for (seed_chunk, out_chunk) in seeds.chunks(chunk).zip(results.chunks_mut(chunk)) {
             scope.spawn(move || {
+                let mut state = init();
                 for (&seed, slot) in seed_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(seed));
+                    *slot = Some(f(&mut state, seed));
                 }
             });
         }
@@ -253,6 +307,25 @@ mod tests {
         let out = map_seeds(&seeds, |s| s + 1);
         assert_eq!(out, (1..38).collect::<Vec<u64>>());
         assert!(map_seeds(&[], |s| s).is_empty());
+    }
+
+    #[test]
+    fn map_seeds_with_reuses_one_sim_per_thread() {
+        // A sweep holding one NetworkSim per thread must agree with the
+        // same sweep constructing a fresh simulator per seed: the engine's
+        // state never leaks between seeds.
+        let params = EdnParams::new(16, 4, 4, 2).unwrap();
+        let seeds: Vec<u64> = (0..12).collect();
+        let reused = map_seeds_with(
+            &seeds,
+            || (),
+            |(), seed| estimate_pa(&params, 1.0, ArbiterKind::Random, 20, seed).mean,
+        );
+        let fresh: Vec<f64> = seeds
+            .iter()
+            .map(|&seed| estimate_pa(&params, 1.0, ArbiterKind::Random, 20, seed).mean)
+            .collect();
+        assert_eq!(reused, fresh);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The seeded, arbitrated network simulator.
 
 use edn_core::{
-    route_batch, Arbiter, BatchOutcome, EdnParams, EdnTopology, PriorityArbiter, RandomArbiter,
-    RoundRobinArbiter, RouteRequest,
+    Arbiter, BatchOutcome, BatchOutcomeView, EdnParams, EdnTopology, PriorityArbiter,
+    RandomArbiter, RoundRobinArbiter, RouteRequest, RoutingEngine,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,8 +36,12 @@ impl ArbiterKind {
     }
 }
 
-/// A stateful network simulator: a wired [`EdnTopology`] plus an
+/// A stateful network simulator: a reused [`RoutingEngine`] plus an
 /// arbitration policy, routing one batch per call.
+///
+/// The engine (and with it the wired [`EdnTopology`] and every per-cycle
+/// buffer) is built once at construction; steady-state cycles through
+/// [`NetworkSim::route_cycle_view`] perform no heap allocations.
 ///
 /// # Examples
 ///
@@ -54,7 +58,7 @@ impl ArbiterKind {
 /// # }
 /// ```
 pub struct NetworkSim {
-    topology: EdnTopology,
+    engine: RoutingEngine,
     arbiter: Box<dyn Arbiter + Send>,
     kind: ArbiterKind,
     cycles_routed: u64,
@@ -63,7 +67,7 @@ pub struct NetworkSim {
 impl std::fmt::Debug for NetworkSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetworkSim")
-            .field("params", self.topology.params())
+            .field("params", self.engine.params())
             .field("arbiter", &self.kind)
             .field("cycles_routed", &self.cycles_routed)
             .finish()
@@ -75,7 +79,7 @@ impl NetworkSim {
     /// `seed` drives random arbitration (and nothing else).
     pub fn new(params: EdnParams, arbiter: ArbiterKind, seed: u64) -> Self {
         NetworkSim {
-            topology: EdnTopology::new(params),
+            engine: RoutingEngine::from_params(params),
             arbiter: arbiter.build(seed),
             kind: arbiter,
             cycles_routed: 0,
@@ -84,12 +88,12 @@ impl NetworkSim {
 
     /// The wired fabric being simulated.
     pub fn topology(&self) -> &EdnTopology {
-        &self.topology
+        self.engine.topology()
     }
 
     /// The network parameters.
     pub fn params(&self) -> &EdnParams {
-        self.topology.params()
+        self.engine.params()
     }
 
     /// The arbitration policy in use.
@@ -102,15 +106,28 @@ impl NetworkSim {
         self.cycles_routed
     }
 
-    /// Routes one circuit-switched cycle.
+    /// Routes one circuit-switched cycle, returning an owned outcome.
+    ///
+    /// Allocates for the returned [`BatchOutcome`]; measurement loops
+    /// should prefer [`NetworkSim::route_cycle_view`].
     ///
     /// # Panics
     ///
     /// As [`edn_core::route_batch`]: panics on duplicate sources or
     /// out-of-range indices.
     pub fn route_cycle(&mut self, requests: &[RouteRequest]) -> BatchOutcome {
+        self.route_cycle_view(requests).to_outcome()
+    }
+
+    /// Routes one circuit-switched cycle allocation-free, returning a view
+    /// into the engine's reused buffers (overwritten by the next cycle).
+    ///
+    /// # Panics
+    ///
+    /// As [`NetworkSim::route_cycle`].
+    pub fn route_cycle_view(&mut self, requests: &[RouteRequest]) -> &BatchOutcomeView {
         self.cycles_routed += 1;
-        route_batch(&self.topology, requests, self.arbiter.as_mut())
+        self.engine.route(requests, self.arbiter.as_mut())
     }
 }
 
@@ -124,7 +141,11 @@ mod tests {
 
     #[test]
     fn all_policies_route_conflict_free_batches_fully() {
-        for kind in [ArbiterKind::Priority, ArbiterKind::Random, ArbiterKind::RoundRobin] {
+        for kind in [
+            ArbiterKind::Priority,
+            ArbiterKind::Random,
+            ArbiterKind::RoundRobin,
+        ] {
             let mut sim = NetworkSim::new(params(), kind, 1);
             // A displacement permutation has no output conflicts; some
             // internal blocking may still occur, but a single request never
@@ -136,8 +157,9 @@ mod tests {
 
     #[test]
     fn random_arbiter_is_reproducible_by_seed() {
-        let requests: Vec<RouteRequest> =
-            (0..64).map(|s| RouteRequest::new(s, (s * 31 + 3) % 64)).collect();
+        let requests: Vec<RouteRequest> = (0..64)
+            .map(|s| RouteRequest::new(s, (s * 31 + 3) % 64))
+            .collect();
         let mut a = NetworkSim::new(params(), ArbiterKind::Random, 99);
         let mut b = NetworkSim::new(params(), ArbiterKind::Random, 99);
         for _ in 0..5 {
@@ -146,6 +168,20 @@ mod tests {
         let mut c = NetworkSim::new(params(), ArbiterKind::Random, 100);
         let differs = (0..5).any(|_| c.route_cycle(&requests) != b.route_cycle(&requests));
         assert!(differs, "different seeds should eventually diverge");
+    }
+
+    #[test]
+    fn view_and_owned_outcomes_agree() {
+        let requests: Vec<RouteRequest> = (0..64)
+            .map(|s| RouteRequest::new(s, (s * 13 + 5) % 64))
+            .collect();
+        let mut a = NetworkSim::new(params(), ArbiterKind::Random, 7);
+        let mut b = NetworkSim::new(params(), ArbiterKind::Random, 7);
+        for _ in 0..4 {
+            let owned = a.route_cycle(&requests);
+            let view = b.route_cycle_view(&requests);
+            assert_eq!(view.to_outcome(), owned);
+        }
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub struct RaEdnSystem {
     sim: NetworkSim,
     q: u64,
     rng: StdRng,
+    /// Per-cycle request buffer, reused so steady-state cycles never
+    /// allocate.
+    requests: Vec<RouteRequest>,
 }
 
 impl RaEdnSystem {
@@ -127,6 +130,7 @@ impl RaEdnSystem {
             sim: NetworkSim::new(params, arbiter, seed ^ 0x5EED_CAFE),
             q,
             rng: StdRng::seed_from_u64(seed),
+            requests: Vec::with_capacity(params.inputs() as usize),
         })
     }
 
@@ -176,7 +180,8 @@ impl RaEdnSystem {
         let q = self.q;
         let ports = self.ports();
         // Undelivered destination PEs, grouped by source cluster.
-        let mut pending: Vec<Vec<u64>> = (0..ports).map(|_| Vec::with_capacity(q as usize)).collect();
+        let mut pending: Vec<Vec<u64>> =
+            (0..ports).map(|_| Vec::with_capacity(q as usize)).collect();
         for pe in 0..self.processors() {
             pending[(pe / q) as usize].push(permutation.apply(pe));
         }
@@ -194,7 +199,7 @@ impl RaEdnSystem {
                 cycle_index < cycle_limit,
                 "no forward progress after {cycle_index} cycles"
             );
-            let mut requests = Vec::new();
+            self.requests.clear();
             match schedule {
                 Schedule::Random => {
                     for (cluster, queue) in pending.iter().enumerate() {
@@ -204,7 +209,8 @@ impl RaEdnSystem {
                         let pick = self.rng.gen_range(0..queue.len());
                         selected[cluster] = pick;
                         // The routing header x_i is the destination cluster.
-                        requests.push(RouteRequest::new(cluster as u64, queue[pick] / q));
+                        self.requests
+                            .push(RouteRequest::new(cluster as u64, queue[pick] / q));
                     }
                 }
                 Schedule::GreedyDistinct => {
@@ -224,11 +230,12 @@ impl RaEdnSystem {
                             .unwrap_or_else(|| self.rng.gen_range(0..queue.len()));
                         selected[cluster] = pick;
                         claimed.insert(queue[pick] / q);
-                        requests.push(RouteRequest::new(cluster as u64, queue[pick] / q));
+                        self.requests
+                            .push(RouteRequest::new(cluster as u64, queue[pick] / q));
                     }
                 }
             }
-            let outcome = self.sim.route_cycle(&requests);
+            let outcome = self.sim.route_cycle_view(&self.requests);
             let mut delivered = 0u64;
             for &(cluster, _) in outcome.delivered() {
                 pending[cluster as usize].swap_remove(selected[cluster as usize]);
@@ -258,11 +265,7 @@ impl RaEdnSystem {
 
     /// As [`RaEdnSystem::measure_mean_cycles`], under an explicit
     /// [`Schedule`].
-    pub fn measure_mean_cycles_scheduled(
-        &mut self,
-        trials: u32,
-        schedule: Schedule,
-    ) -> (f64, f64) {
+    pub fn measure_mean_cycles_scheduled(&mut self, trials: u32, schedule: Schedule) -> (f64, f64) {
         let mut stats = RunningStats::new();
         for _ in 0..trials {
             let perm = Permutation::random(self.processors(), &mut self.rng);

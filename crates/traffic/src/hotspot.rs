@@ -45,14 +45,26 @@ impl HotSpotTraffic {
     /// Panics if `rate` or `hot_fraction` is not in `[0, 1]`, if the
     /// dimensions are zero, or if `hot_output` is out of range.
     pub fn new(inputs: u64, outputs: u64, rate: f64, hot_output: u64, hot_fraction: f64) -> Self {
-        assert!(inputs > 0 && outputs > 0, "network dimensions must be positive");
-        assert!((0.0..=1.0).contains(&rate), "rate = {rate} is not a probability");
+        assert!(
+            inputs > 0 && outputs > 0,
+            "network dimensions must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "rate = {rate} is not a probability"
+        );
         assert!(
             (0.0..=1.0).contains(&hot_fraction),
             "hot_fraction = {hot_fraction} is not a probability"
         );
         assert!(hot_output < outputs, "hot output {hot_output} out of range");
-        HotSpotTraffic { inputs, outputs, rate, hot_output, hot_fraction }
+        HotSpotTraffic {
+            inputs,
+            outputs,
+            rate,
+            hot_output,
+            hot_fraction,
+        }
     }
 
     /// The hot output index.
@@ -69,6 +81,12 @@ impl HotSpotTraffic {
 impl Workload for HotSpotTraffic {
     fn next_batch(&mut self, rng: &mut StdRng) -> Vec<RouteRequest> {
         let mut batch = Vec::new();
+        self.fill_batch(&mut batch, rng);
+        batch
+    }
+
+    fn fill_batch(&mut self, batch: &mut Vec<RouteRequest>, rng: &mut StdRng) {
+        batch.clear();
         for source in 0..self.inputs {
             if !rng.gen_bool(self.rate) {
                 continue;
@@ -80,7 +98,6 @@ impl Workload for HotSpotTraffic {
             };
             batch.push(RouteRequest::new(source, tag));
         }
-        batch
     }
 
     fn inputs(&self) -> u64 {

@@ -38,6 +38,18 @@ pub trait Workload {
     /// Produces the next cycle's batch of requests.
     fn next_batch(&mut self, rng: &mut StdRng) -> Vec<RouteRequest>;
 
+    /// Writes the next cycle's batch into `batch` (cleared first), reusing
+    /// its capacity.
+    ///
+    /// This is the hot-path entry: Monte-Carlo drivers call it with one
+    /// long-lived buffer so steady-state cycles never allocate. The
+    /// default implementation delegates to [`Workload::next_batch`] for
+    /// back-compatibility; the generators in this crate override it with
+    /// allocation-free fills that draw the identical RNG stream.
+    fn fill_batch(&mut self, batch: &mut Vec<RouteRequest>, rng: &mut StdRng) {
+        *batch = self.next_batch(rng);
+    }
+
     /// The number of network inputs this workload drives.
     fn inputs(&self) -> u64;
 

@@ -47,7 +47,9 @@ impl Permutation {
     /// The identity permutation of `0..n` — the paper's Figure 5 stress
     /// case for EDNs whose first-stage switches span many inputs.
     pub fn identity(n: u64) -> Self {
-        Permutation { map: (0..n).collect() }
+        Permutation {
+            map: (0..n).collect(),
+        }
     }
 
     /// A uniformly random permutation of `0..n` (Fisher–Yates).
@@ -55,6 +57,20 @@ impl Permutation {
         let mut map: Vec<u64> = (0..n).collect();
         map.shuffle(rng);
         Permutation { map }
+    }
+
+    /// Re-randomizes this permutation in place over the same domain,
+    /// drawing the identical RNG stream as [`Permutation::random`] but
+    /// without allocating.
+    ///
+    /// This is the per-cycle primitive behind the Monte-Carlo permutation
+    /// workloads: one `Permutation` is built once and reshuffled every
+    /// cycle.
+    pub fn randomize_in_place<R: Rng>(&mut self, rng: &mut R) {
+        for (i, slot) in self.map.iter_mut().enumerate() {
+            *slot = i as u64;
+        }
+        self.map.shuffle(rng);
     }
 
     /// Bit reversal on `log2(n)`-bit labels. Requires `n` to be a power of
@@ -65,7 +81,13 @@ impl Permutation {
         }
         let bits = n.trailing_zeros();
         let map = (0..n)
-            .map(|x| if bits == 0 { x } else { x.reverse_bits() >> (64 - bits) })
+            .map(|x| {
+                if bits == 0 {
+                    x
+                } else {
+                    x.reverse_bits() >> (64 - bits)
+                }
+            })
             .collect();
         Some(Permutation { map })
     }
@@ -98,7 +120,9 @@ impl Permutation {
         let bits = n.trailing_zeros();
         let half = bits / 2;
         let low_mask = (1u64 << half) - 1;
-        let map = (0..n).map(|x| ((x & low_mask) << half) | (x >> half)).collect();
+        let map = (0..n)
+            .map(|x| ((x & low_mask) << half) | (x >> half))
+            .collect();
         Some(Permutation { map })
     }
 
@@ -125,12 +149,16 @@ impl Permutation {
 
     /// Uniform displacement: `x -> (x + k) mod n`.
     pub fn displacement(n: u64, k: u64) -> Self {
-        Permutation { map: (0..n).map(|x| (x + k) % n).collect() }
+        Permutation {
+            map: (0..n).map(|x| (x + k) % n).collect(),
+        }
     }
 
     /// Vector reversal: `x -> n - 1 - x`.
     pub fn reversal(n: u64) -> Self {
-        Permutation { map: (0..n).map(|x| n - 1 - x).collect() }
+        Permutation {
+            map: (0..n).map(|x| n - 1 - x).collect(),
+        }
     }
 
     /// Domain size `n`.
@@ -185,11 +213,21 @@ impl Permutation {
 
     /// This permutation as a full one-cycle request batch.
     pub fn to_requests(&self) -> Vec<RouteRequest> {
-        self.map
-            .iter()
-            .enumerate()
-            .map(|(source, &tag)| RouteRequest::new(source as u64, tag))
-            .collect()
+        let mut batch = Vec::new();
+        self.fill_requests(&mut batch);
+        batch
+    }
+
+    /// Writes the full one-cycle request batch into `batch` (cleared
+    /// first), reusing its capacity.
+    pub fn fill_requests(&self, batch: &mut Vec<RouteRequest>) {
+        batch.clear();
+        batch.extend(
+            self.map
+                .iter()
+                .enumerate()
+                .map(|(source, &tag)| RouteRequest::new(source as u64, tag)),
+        );
     }
 
     /// A partial batch: each source participates with probability `rate`
@@ -199,13 +237,35 @@ impl Permutation {
     ///
     /// Panics if `rate` is not in `[0, 1]`.
     pub fn to_partial_requests<R: Rng>(&self, rate: f64, rng: &mut R) -> Vec<RouteRequest> {
-        assert!((0.0..=1.0).contains(&rate), "rate = {rate} is not a probability");
-        self.map
-            .iter()
-            .enumerate()
-            .filter(|_| rng.gen_bool(rate))
-            .map(|(source, &tag)| RouteRequest::new(source as u64, tag))
-            .collect()
+        let mut batch = Vec::new();
+        self.fill_partial_requests(rate, rng, &mut batch);
+        batch
+    }
+
+    /// As [`Permutation::to_partial_requests`], writing into `batch`
+    /// (cleared first) and reusing its capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]`.
+    pub fn fill_partial_requests<R: Rng>(
+        &self,
+        rate: f64,
+        rng: &mut R,
+        batch: &mut Vec<RouteRequest>,
+    ) {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "rate = {rate} is not a probability"
+        );
+        batch.clear();
+        batch.extend(
+            self.map
+                .iter()
+                .enumerate()
+                .filter(|_| rng.gen_bool(rate))
+                .map(|(source, &tag)| RouteRequest::new(source as u64, tag)),
+        );
     }
 }
 
@@ -317,7 +377,40 @@ mod tests {
         let mut tags: Vec<u64> = batch.iter().map(|r| r.tag).collect();
         tags.sort_unstable();
         tags.dedup();
-        assert_eq!(tags.len(), batch.len(), "sub-permutation must stay conflict-free");
+        assert_eq!(
+            tags.len(),
+            batch.len(),
+            "sub-permutation must stay conflict-free"
+        );
+    }
+
+    #[test]
+    fn randomize_in_place_matches_random_and_keeps_capacity() {
+        let mut a = Permutation::identity(128);
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        a.randomize_in_place(&mut rng_a);
+        let b = Permutation::random(128, &mut rng_b);
+        assert_eq!(a, b, "in-place reshuffle must draw the same stream");
+        assert_is_permutation(&a);
+        // Reshuffling again yields a fresh (different) permutation.
+        a.randomize_in_place(&mut rng_a);
+        assert_is_permutation(&a);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fill_requests_reuses_buffer() {
+        let p = Permutation::reversal(16);
+        let mut batch = Vec::new();
+        p.fill_requests(&mut batch);
+        assert_eq!(batch, p.to_requests());
+        let capacity = batch.capacity();
+        p.fill_requests(&mut batch);
+        assert_eq!(batch.capacity(), capacity);
+        let mut rng = StdRng::seed_from_u64(5);
+        p.fill_partial_requests(0.5, &mut rng, &mut batch);
+        assert!(batch.len() <= 16);
     }
 
     #[test]

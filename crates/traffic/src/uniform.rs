@@ -39,9 +39,19 @@ impl UniformTraffic {
     ///
     /// Panics if `rate` is not in `[0, 1]` or either dimension is zero.
     pub fn new(inputs: u64, outputs: u64, rate: f64) -> Self {
-        assert!(inputs > 0 && outputs > 0, "network dimensions must be positive");
-        assert!((0.0..=1.0).contains(&rate), "rate = {rate} is not a probability");
-        UniformTraffic { inputs, outputs, rate }
+        assert!(
+            inputs > 0 && outputs > 0,
+            "network dimensions must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "rate = {rate} is not a probability"
+        );
+        UniformTraffic {
+            inputs,
+            outputs,
+            rate,
+        }
     }
 
     /// The per-input request probability.
@@ -53,12 +63,17 @@ impl UniformTraffic {
 impl Workload for UniformTraffic {
     fn next_batch(&mut self, rng: &mut StdRng) -> Vec<RouteRequest> {
         let mut batch = Vec::new();
+        self.fill_batch(&mut batch, rng);
+        batch
+    }
+
+    fn fill_batch(&mut self, batch: &mut Vec<RouteRequest>, rng: &mut StdRng) {
+        batch.clear();
         for source in 0..self.inputs {
             if rng.gen_bool(self.rate) {
                 batch.push(RouteRequest::new(source, rng.gen_range(0..self.outputs)));
             }
         }
-        batch
     }
 
     fn inputs(&self) -> u64 {
@@ -112,7 +127,10 @@ mod tests {
                 seen[request.tag as usize] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "all outputs should be hit eventually");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all outputs should be hit eventually"
+        );
     }
 
     #[test]

@@ -20,8 +20,9 @@ use edn::{EdnParams, EdnTopology, PriorityArbiter, RetirementOrder, RouteRequest
 fn main() -> Result<(), EdnError> {
     let params = EdnParams::new(64, 16, 4, 2)?;
     let topology = EdnTopology::new(params);
-    let identity: Vec<RouteRequest> =
-        (0..params.inputs()).map(|s| RouteRequest::new(s, s)).collect();
+    let identity: Vec<RouteRequest> = (0..params.inputs())
+        .map(|s| RouteRequest::new(s, s))
+        .collect();
 
     // Unmodified network (Figure 5).
     let outcome = route_batch(&topology, &identity, &mut PriorityArbiter::new());

@@ -27,7 +27,10 @@ fn main() -> Result<(), EdnError> {
     println!("\nanalytic model (paper Section 5.1):");
     println!("  PA(1)      = {:.4}   (paper: 0.544)", timing.pa_full_load);
     println!("  bulk phase = q/PA(1) = {:.2} cycles", timing.bulk_cycles);
-    println!("  tail phase = J = {} cycles (paper: 5)", timing.tail_cycles);
+    println!(
+        "  tail phase = J = {} cycles (paper: 5)",
+        timing.tail_cycles
+    );
     println!("  E[cycles]  = {:.2}   (paper: 34.41)", timing.total_cycles);
 
     // The cycle-level simulation of the same machine.

@@ -20,7 +20,11 @@ use edn::EdnParams;
 
 fn main() -> Result<(), EdnError> {
     let params = EdnParams::new(16, 4, 4, 3)?;
-    println!("machine: {} processors sharing {} modules via {params}", params.inputs(), params.outputs());
+    println!(
+        "machine: {} processors sharing {} modules via {params}",
+        params.inputs(),
+        params.outputs()
+    );
     println!();
     println!("  r     | PA(r)  PA'(r) |  qA model  qA sim |  bandwidth model  sim");
     println!("  ------+----------------+-------------------+----------------------");
@@ -32,8 +36,13 @@ fn main() -> Result<(), EdnError> {
         let model = resubmission_fixed_point(&params, rate, 1e-12, 100_000);
 
         // The simulated machine under the same assumptions.
-        let mut machine =
-            MimdSystem::new(params, rate, ArbiterKind::Random, ResubmitPolicy::Redraw, 0x4D31)?;
+        let mut machine = MimdSystem::new(
+            params,
+            rate,
+            ArbiterKind::Random,
+            ResubmitPolicy::Redraw,
+            0x4D31,
+        )?;
         let report = machine.run(300, 600);
 
         println!(

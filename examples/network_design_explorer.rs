@@ -95,7 +95,10 @@ fn main() -> Result<(), EdnError> {
     }
 
     // The frontier argument of the paper's conclusion.
-    let crossbar = candidates.iter().find(|c| c.name == "crossbar").expect("pushed above");
+    let crossbar = candidates
+        .iter()
+        .find(|c| c.name == "crossbar")
+        .expect("pushed above");
     let best_edn = candidates
         .iter()
         .filter(|c| c.name != "crossbar")

@@ -10,7 +10,7 @@
 use edn::analytic::pa::probability_of_acceptance;
 use edn::core::EdnError;
 use edn::traffic::Permutation;
-use edn::{route_batch, EdnParams, EdnTopology, PriorityArbiter, RouteRequest};
+use edn::{route_batch, EdnParams, EdnTopology, PriorityArbiter, RouteRequest, RoutingEngine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,7 +20,11 @@ fn main() -> Result<(), EdnError> {
     //    ports and 16 distinct paths between any input/output pair.
     let params = EdnParams::new(16, 4, 4, 2)?;
     println!("network: {params}");
-    println!("  inputs = {}, outputs = {}", params.inputs(), params.outputs());
+    println!(
+        "  inputs = {}, outputs = {}",
+        params.inputs(),
+        params.outputs()
+    );
     println!("  paths per pair = c^l = {}", params.path_count());
 
     // 2. Wire it up.
@@ -28,7 +32,11 @@ fn main() -> Result<(), EdnError> {
 
     // 3. Any single message always reaches its destination (Theorem 1).
     let trace = topology.trace_path(5, 42, &[0, 0])?;
-    println!("\nTheorem 1: input 5 -> output {} via lines {:?}", trace.output(), trace.exit_lines());
+    println!(
+        "\nTheorem 1: input 5 -> output {} via lines {:?}",
+        trace.output(),
+        trace.exit_lines()
+    );
 
     // 4. Route a full random permutation in one circuit-switched cycle.
     let mut rng = StdRng::seed_from_u64(2024);
@@ -51,5 +59,24 @@ fn main() -> Result<(), EdnError> {
         assert_eq!(output, permutation.apply(source));
     }
     println!("\nall delivered messages verified at their destinations");
+
+    // 7. For anything beyond a one-off cycle, hold a RoutingEngine: it is
+    //    built once and reuses every per-cycle buffer, so repeated routing
+    //    is allocation-free (this is what the simulators in `edn::sim` do).
+    let mut engine = RoutingEngine::from_params(params);
+    let mut arbiter = PriorityArbiter::new();
+    let mut permutation = permutation;
+    let mut batch = requests;
+    let mut delivered_total = 0usize;
+    let cycles = 1000;
+    for _ in 0..cycles {
+        permutation.randomize_in_place(&mut rng);
+        permutation.fill_requests(&mut batch);
+        delivered_total += engine.route(&batch, &mut arbiter).delivered_count();
+    }
+    println!(
+        "engine: {cycles} random permutations routed, mean acceptance {:.3}",
+        delivered_total as f64 / (cycles * batch.len()) as f64
+    );
     Ok(())
 }

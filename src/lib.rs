@@ -36,6 +36,7 @@ pub use edn_sim as sim;
 pub use edn_traffic as traffic;
 
 pub use edn_core::{
-    route_batch, route_batch_reordered, BatchOutcome, DestTag, EdnError, EdnParams, EdnTopology,
-    Gamma, Hyperbar, PriorityArbiter, RandomArbiter, RetirementOrder, RouteRequest, SourceAddress,
+    route_batch, route_batch_reordered, BatchOutcome, BatchOutcomeView, DestTag, EdnError,
+    EdnParams, EdnTopology, Gamma, Hyperbar, PriorityArbiter, RandomArbiter, RetirementOrder,
+    RouteRequest, RoutingEngine, SourceAddress,
 };

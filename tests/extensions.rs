@@ -14,8 +14,9 @@ fn multipath_degrades_gracefully_delta_does_not() {
     // falls smoothly while the delta's collapses with severed pairs.
     let edn = EdnTopology::new(EdnParams::new(16, 4, 4, 3).unwrap());
     let delta = EdnTopology::new(EdnParams::new(4, 4, 1, 4).unwrap());
-    let requests: Vec<RouteRequest> =
-        (0..256u64).map(|s| RouteRequest::new(s, (s * 29 + 5) % 256)).collect();
+    let requests: Vec<RouteRequest> = (0..256u64)
+        .map(|s| RouteRequest::new(s, (s * 29 + 5) % 256))
+        .collect();
     let healthy_edn = route_batch_faulty(
         &edn,
         &requests,
@@ -98,17 +99,26 @@ fn schedules_agree_on_total_delivery() {
     let n = 4 * 2 * 2 * 2; // RA-EDN(2,2,2,2): 8 ports? compute: p = 2^2*2 = 8, q = 2 -> 16 PEs
     let mut system = RaEdnSystem::new(2, 2, 2, 2, ArbiterKind::Random, 5).unwrap();
     assert_eq!(system.processors(), 16);
-    let perm = Permutation::random(system.processors(), &mut rand::rngs::mock::StepRng::new(7, 11));
+    let perm = Permutation::random(
+        system.processors(),
+        &mut rand::rngs::mock::StepRng::new(7, 11),
+    );
     let _ = n;
     for schedule in [Schedule::Random, Schedule::GreedyDistinct] {
         let run = system.route_permutation_scheduled(&perm, schedule);
-        assert_eq!(run.delivered_per_cycle.iter().sum::<u64>(), 16, "{schedule:?}");
+        assert_eq!(
+            run.delivered_per_cycle.iter().sum::<u64>(),
+            16,
+            "{schedule:?}"
+        );
     }
 }
 
 #[test]
 fn design_solver_agrees_with_direct_model_evaluation() {
-    let point = deepest_at_acceptance(8, 2, 0.45).unwrap().expect("feasible");
+    let point = deepest_at_acceptance(8, 2, 0.45)
+        .unwrap()
+        .expect("feasible");
     assert!((point.pa_full_load - probability_of_acceptance(&point.params, 1.0)).abs() < 1e-12);
     // The paper's performance/cost argument: among candidates at >= 1024
     // ports and PA >= 0.4, the cheapest is never the crossbar-heaviest

@@ -7,9 +7,7 @@ use edn::core::cost::{
     crosspoint_cost, crosspoint_cost_closed_form, wire_cost, wire_cost_closed_form,
 };
 use edn::core::{route_batch, route_batch_reordered, NetworkClass};
-use edn::{
-    EdnParams, EdnTopology, Hyperbar, PriorityArbiter, RetirementOrder, RouteRequest,
-};
+use edn::{EdnParams, EdnTopology, Hyperbar, PriorityArbiter, RetirementOrder, RouteRequest};
 
 /// Section 5.1: "In this system PA(1) = .544."
 #[test]
@@ -27,7 +25,11 @@ fn section5_timing_anchor() {
     let model = RaEdnModel::new(16, 4, 2, 16).unwrap();
     let timing = model.expected_permutation_cycles();
     assert_eq!(timing.tail_cycles, 5);
-    assert!((timing.total_cycles - 34.41).abs() < 0.05, "E = {}", timing.total_cycles);
+    assert!(
+        (timing.total_cycles - 34.41).abs() < 0.05,
+        "E = {}",
+        timing.total_cycles
+    );
 }
 
 /// Conclusion: "The router network of the MasPar MP-1 computer with 16K
@@ -44,9 +46,13 @@ fn maspar_router_shape() {
 #[test]
 fn figure2_rejections() {
     let switch = Hyperbar::new(8, 4, 2).unwrap();
-    let requests: Vec<Option<u64>> =
-        [3u64, 2, 3, 1, 2, 2, 0, 3].iter().map(|&d| Some(d)).collect();
-    let outcome = switch.route(&requests, &mut PriorityArbiter::new()).unwrap();
+    let requests: Vec<Option<u64>> = [3u64, 2, 3, 1, 2, 2, 0, 3]
+        .iter()
+        .map(|&d| Some(d))
+        .collect();
+    let outcome = switch
+        .route(&requests, &mut PriorityArbiter::new())
+        .unwrap();
     let rejected: Vec<usize> = outcome.rejected_inputs(&requests).collect();
     assert_eq!(rejected, [5, 7]);
 }
@@ -55,7 +61,10 @@ fn figure2_rejections() {
 /// a^l x b^l delta network."
 #[test]
 fn degenerate_classes() {
-    assert_eq!(EdnParams::new(8, 4, 1, 1).unwrap().class(), NetworkClass::Crossbar);
+    assert_eq!(
+        EdnParams::new(8, 4, 1, 1).unwrap().class(),
+        NetworkClass::Crossbar
+    );
     let delta = EdnParams::new(8, 4, 1, 3).unwrap();
     assert_eq!(delta.class(), NetworkClass::Delta);
     assert_eq!(delta.inputs(), 8 * 8 * 8);
@@ -72,14 +81,14 @@ fn degenerate_classes() {
 fn figures5_6_identity() {
     let params = EdnParams::new(64, 16, 4, 2).unwrap();
     let topology = EdnTopology::new(params);
-    let identity: Vec<RouteRequest> =
-        (0..params.inputs()).map(|s| RouteRequest::new(s, s)).collect();
+    let identity: Vec<RouteRequest> = (0..params.inputs())
+        .map(|s| RouteRequest::new(s, s))
+        .collect();
 
     let plain = route_batch(&topology, &identity, &mut PriorityArbiter::new());
     assert_eq!(plain.delivered_count(), 64);
 
-    let order =
-        RetirementOrder::rotate_left(params.output_bits(), params.log2_b()).unwrap();
+    let order = RetirementOrder::rotate_left(params.output_bits(), params.log2_b()).unwrap();
     let fixed = route_batch_reordered(&topology, &identity, &order, &mut PriorityArbiter::new());
     assert_eq!(fixed.delivered_count(), 1024);
     assert!(fixed.delivered().iter().all(|&(s, o)| s == o));

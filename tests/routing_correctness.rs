@@ -28,8 +28,9 @@ fn fabric_trace_equals_lemma1_closed_form_randomized() {
         for _ in 0..100 {
             let source = rng.gen_range(0..params.inputs());
             let tag = rng.gen_range(0..params.outputs());
-            let choices: Vec<u64> =
-                (0..params.l()).map(|_| rng.gen_range(0..params.c())).collect();
+            let choices: Vec<u64> = (0..params.l())
+                .map(|_| rng.gen_range(0..params.c()))
+                .collect();
             let trace = topology.trace_path(source, tag, &choices).unwrap();
             assert_eq!(trace.output(), tag, "{params}: trace must deliver");
             for stage in 1..=params.l() {

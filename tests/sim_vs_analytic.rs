@@ -11,7 +11,12 @@ use edn::EdnParams;
 
 #[test]
 fn uniform_pa_across_families_and_rates() {
-    for (a, b, c, l) in [(16u64, 4u64, 4u64, 2u32), (8, 2, 4, 3), (8, 8, 1, 3), (16, 2, 8, 2)] {
+    for (a, b, c, l) in [
+        (16u64, 4u64, 4u64, 2u32),
+        (8, 2, 4, 3),
+        (8, 8, 1, 3),
+        (16, 2, 8, 2),
+    ] {
         let params = EdnParams::new(a, b, c, l).unwrap();
         for rate in [0.5, 1.0] {
             let estimate = estimate_pa(&params, rate, ArbiterKind::Random, 120, 9000 + l as u64);
@@ -58,8 +63,14 @@ fn mimd_simulation_reaches_markov_steady_state() {
     let params = EdnParams::new(16, 4, 4, 2).unwrap(); // 64 processors
     let rate = 0.6;
     let model = resubmission_fixed_point(&params, rate, 1e-12, 100_000);
-    let mut system =
-        MimdSystem::new(params, rate, ArbiterKind::Random, ResubmitPolicy::Redraw, 404).unwrap();
+    let mut system = MimdSystem::new(
+        params,
+        rate,
+        ArbiterKind::Random,
+        ResubmitPolicy::Redraw,
+        404,
+    )
+    .unwrap();
     let report = system.run(400, 800);
     assert!(
         (report.acceptance - model.pa_prime).abs() < 0.05,

@@ -1,0 +1,303 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the criterion 0.5 API this workspace's benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up for ~`warm_up` time,
+//! then `sample_size` samples are taken, each timing a batch of
+//! iterations sized so one sample lasts roughly a millisecond. The
+//! median sample is reported as ns/iter (the median is robust against
+//! scheduler noise on shared machines). Results are printed to stdout and,
+//! when `CRITERION_JSON` names a file, appended to it as JSON lines —
+//! `{"id": ..., "ns_per_iter": ..., "throughput_elems_per_s": ...}` —
+//! so experiment drivers can consume the numbers programmatically.
+
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            warm_up: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration run before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks one function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let report = run_bench(self.sample_size, self.warm_up, &mut f);
+        report.print(&id.full_name(), None);
+        self
+    }
+}
+
+/// A set of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the element/byte count one iteration processes, enabling
+    /// derived throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let report = run_bench(samples, self.criterion.warm_up, &mut f);
+        report.print(
+            &format!("{}/{}", self.name, id.full_name()),
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmarks a closure that also receives `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |bencher| f(bencher, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a parameter, rendered `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id from a bare parameter (group name carries the function).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match &self.parameter {
+            Some(parameter) if self.name.is_empty() => parameter.clone(),
+            Some(parameter) => format!("{}/{}", self.name, parameter),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Units of work per iteration, for derived throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to every benchmark closure; runs and times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f` (call once per sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    median_ns: f64,
+}
+
+impl Report {
+    fn print(&self, id: &str, throughput: Option<Throughput>) {
+        let mut line = format!("{id:<56} {:>14.1} ns/iter", self.median_ns);
+        if let Some(Throughput::Elements(elems)) = throughput {
+            let rate = elems as f64 / (self.median_ns * 1e-9);
+            line.push_str(&format!("  {:>14.0} elem/s", rate));
+        }
+        if let Some(Throughput::Bytes(bytes)) = throughput {
+            let rate = bytes as f64 / (self.median_ns * 1e-9);
+            line.push_str(&format!("  {:>14.0} B/s", rate));
+        }
+        println!("{line}");
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let elems_per_s = match throughput {
+                Some(Throughput::Elements(elems)) => {
+                    format!("{:.1}", elems as f64 / (self.median_ns * 1e-9))
+                }
+                _ => "null".to_string(),
+            };
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"id\": \"{id}\", \"ns_per_iter\": {:.1}, \"throughput_elems_per_s\": {elems_per_s}}}",
+                    self.median_ns
+                );
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(samples: usize, warm_up: Duration, f: &mut F) -> Report {
+    // Warm up and calibrate the per-sample iteration count so each sample
+    // runs for roughly a millisecond.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < warm_up {
+        f(&mut bencher);
+        if bencher.iters > 0 && !bencher.elapsed.is_zero() {
+            per_iter = bencher.elapsed / bencher.iters as u32;
+        }
+        let target = Duration::from_millis(1);
+        let next = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+        bencher.iters = next;
+    }
+
+    let mut ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        f(&mut bencher);
+        ns.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+    }
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median_ns = ns[ns.len() / 2];
+    Report { median_ns }
+}
+
+/// Declares a group of benchmark functions, with an optional custom
+/// configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,164 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the proptest API used by this workspace's
+//! property tests: the [`proptest!`] macro, `prop_assert*` / `prop_assume`
+//! macros, range / tuple / [`Just`](strategy::Just) / [`any`](arbitrary::any)
+//! strategies, [`collection::vec`], and the `prop_filter_map` /
+//! `prop_perturb` / `prop_map` combinators.
+//!
+//! It is a straight random-sampling property runner: each test generates
+//! `PROPTEST_CASES` (default 64) accepted cases from a per-test
+//! deterministic RNG and fails with the offending inputs' case number on
+//! the first assertion failure. There is no shrinking — failures report
+//! the raw sampled values instead.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests.
+///
+/// Each `fn name(pattern in strategy, ...) { body }` item expands to a
+/// `#[test]` that repeatedly samples the strategies and runs the body;
+/// `prop_assume!` rejections are resampled, assertion failures abort with
+/// the case number.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut accepted: u32 = 0;
+                let mut attempts: u64 = 0;
+                while accepted < cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < (cases as u64) * 1000 + 1000,
+                        "proptest {}: too many rejected samples ({} attempts for {} cases)",
+                        stringify!($name), attempts, cases
+                    );
+                    $(
+                        let $pat = match $crate::strategy::Strategy::generate(&$strat, &mut rng) {
+                            ::core::option::Option::Some(value) => value,
+                            ::core::option::Option::None => continue,
+                        };
+                    )*
+                    let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match result {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            continue
+                        }
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case #{}: {}",
+                                stringify!($name), accepted, msg
+                            )
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Rejects the current case (it is resampled, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), left, right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)*), left, right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                ),
+            ));
+        }
+    }};
+}

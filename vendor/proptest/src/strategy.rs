@@ -1,0 +1,181 @@
+//! The [`Strategy`] trait, primitive strategies, and combinators.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Value`.
+///
+/// `generate` returns `None` when the drawn value is rejected (e.g. by
+/// [`Strategy::prop_filter_map`]); the runner resamples.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value, or `None` to reject the sample.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values, rejecting those the closure maps to `None`.
+    fn prop_filter_map<O, F>(self, reason: &'static str, fun: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            source: self,
+            fun,
+            _reason: reason,
+        }
+    }
+
+    /// Maps generated values.
+    fn prop_map<O, F>(self, fun: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, fun }
+    }
+
+    /// Transforms generated values with access to an independent RNG.
+    fn prop_perturb<O, F>(self, fun: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value, TestRng) -> O,
+    {
+        Perturb { source: self, fun }
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    source: S,
+    fun: F,
+    _reason: &'static str,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.source.generate(rng).and_then(&self.fun)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    fun: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.source.generate(rng).map(&self.fun)
+    }
+}
+
+/// See [`Strategy::prop_perturb`].
+#[derive(Debug, Clone)]
+pub struct Perturb<S, F> {
+    source: S,
+    fun: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value, TestRng) -> O> Strategy for Perturb<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        let value = self.source.generate(rng)?;
+        let fork = rng.fork();
+        Some((self.fun)(value, fork))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                Some(self.start + (rng.next_u64() % span) as $t)
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return Some(rng.next_u64() as $t);
+                }
+                Some(start + (rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        Some(self.start + unit * (self.end - self.start))
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        // 2^53 + 1 equally spaced points so both endpoints are reachable.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        Some(start + unit * (end - start))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}

@@ -1,0 +1,123 @@
+//! The runner-side types: the per-test RNG and case outcome.
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case violated a `prop_assume!` and is resampled.
+    Reject(String),
+    /// The case failed a `prop_assert*!`.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Constructs a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(reason) => write!(f, "rejected: {reason}"),
+            TestCaseError::Fail(reason) => write!(f, "failed: {reason}"),
+        }
+    }
+}
+
+/// Number of accepted cases each property runs (`PROPTEST_CASES`,
+/// default 64).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// The deterministic per-test random source (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator seeded from the test's fully qualified name, so every
+    /// test sees a reproducible but distinct stream.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 expansion.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100_0000_01B3);
+        }
+        Self::from_seed(hash)
+    }
+
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// An independent child generator (used by `prop_perturb`).
+    pub fn fork(&mut self) -> TestRng {
+        Self::from_seed(self.next_u64())
+    }
+
+    /// A uniformly random value of `T` (mirrors rand 0.9's `Rng::random`).
+    pub fn random<T: RandomValue>(&mut self) -> T {
+        T::random_from(self)
+    }
+}
+
+/// Types [`TestRng::random`] can produce.
+pub trait RandomValue {
+    /// Draws one uniform value.
+    fn random_from(rng: &mut TestRng) -> Self;
+}
+
+impl RandomValue for u64 {
+    fn random_from(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl RandomValue for u32 {
+    fn random_from(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl RandomValue for bool {
+    fn random_from(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,77 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+pub mod mock {
+    //! Deterministic non-random generators for tests.
+
+    use crate::RngCore;
+
+    /// Yields `initial`, `initial + increment`, `initial + 2*increment`, …
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StepRng {
+        value: u64,
+        increment: u64,
+    }
+
+    impl StepRng {
+        /// Creates the arithmetic sequence starting at `initial`.
+        pub fn new(initial: u64, increment: u64) -> Self {
+            StepRng {
+                value: initial,
+                increment,
+            }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u64(&mut self) -> u64 {
+            let value = self.value;
+            self.value = self.value.wrapping_add(self.increment);
+            value
+        }
+    }
+}
+
+/// The workspace's standard deterministic RNG: xoshiro256** seeded via
+/// SplitMix64.
+///
+/// Unlike the real `rand::rngs::StdRng` (ChaCha12) this is not
+/// cryptographically secure; it is a fast, high-quality statistical
+/// generator, which is all the simulators need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}

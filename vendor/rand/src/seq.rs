@@ -1,0 +1,18 @@
+//! Sequence helpers.
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Uniformly shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let pick = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, pick);
+        }
+    }
+}

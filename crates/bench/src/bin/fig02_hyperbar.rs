@@ -5,13 +5,22 @@
 //! with input-label priority, "inputs 5 and 7 are discarded". This binary
 //! replays the exact scenario and also shows how the alternative
 //! arbitration policies spread the rejections.
+//!
+//! Runs on the `edn_sweep` harness: one pool task per arbitration
+//! policy; `--threads/--out` as everywhere.
 
-use edn_bench::Table;
+use edn_bench::{SweepArgs, Table};
 use edn_core::{Arbiter, Hyperbar, PriorityArbiter, RandomArbiter, RoundRobinArbiter};
+use edn_sweep::run_indexed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let args = SweepArgs::parse(
+        "fig02_hyperbar",
+        "Figure 2: the paper's sample routing on an H(8 -> 4 x 2) hyperbar.",
+        1,
+    );
     let switch = Hyperbar::new(8, 4, 2).expect("valid switch shape");
     let digits = [3u64, 2, 3, 1, 2, 2, 0, 3];
     let requests: Vec<Option<u64>> = digits.iter().map(|&d| Some(d)).collect();
@@ -53,28 +62,37 @@ fn main() {
         "FIG2b: same offered digits under other arbitration policies",
         &["policy", "accepted", "rejected inputs"],
     );
-    let arbiters: Vec<(&str, Box<dyn Arbiter>)> = vec![
-        ("priority", Box::new(PriorityArbiter::new())),
-        ("round-robin", Box::new(RoundRobinArbiter::new())),
-        (
-            "random(seed=1)",
-            Box::new(RandomArbiter::new(StdRng::seed_from_u64(1))),
-        ),
-    ];
-    for (name, mut arbiter) in arbiters {
-        let outcome = switch
-            .route(&requests, arbiter.as_mut())
-            .expect("valid digits");
-        let rejected: Vec<String> = outcome
-            .rejected_inputs(&requests)
-            .map(|i| i.to_string())
-            .collect();
-        policies.row(vec![
-            name.to_string(),
-            outcome.accepted().to_string(),
-            format!("[{}]", rejected.join(", ")),
-        ]);
+    let policy_names = ["priority", "round-robin", "random(seed=1)"];
+    // One pool task per policy: each builds its arbiter and routes the
+    // same offered digits.
+    let rows = run_indexed(
+        args.threads,
+        policy_names.len(),
+        || (),
+        |(), index| {
+            let mut arbiter: Box<dyn Arbiter> = match index {
+                0 => Box::new(PriorityArbiter::new()),
+                1 => Box::new(RoundRobinArbiter::new()),
+                _ => Box::new(RandomArbiter::new(StdRng::seed_from_u64(1))),
+            };
+            let outcome = switch
+                .route(&requests, arbiter.as_mut())
+                .expect("valid digits");
+            let rejected: Vec<String> = outcome
+                .rejected_inputs(&requests)
+                .map(|i| i.to_string())
+                .collect();
+            vec![
+                policy_names[index].to_string(),
+                outcome.accepted().to_string(),
+                format!("[{}]", rejected.join(", ")),
+            ]
+        },
+    );
+    for row in rows {
+        policies.row(row);
     }
     policies.print();
     println!("Every policy accepts exactly 6 of 8 (bucket 2 and 3 are oversubscribed).");
+    args.emit(&[&table, &policies]);
 }

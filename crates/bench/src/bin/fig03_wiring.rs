@@ -5,54 +5,70 @@
 //! "fix log2(c) bits, rotate the rest by log2(a/c)" rule visible. Bucket
 //! wires stay adjacent through the permutation — the structural fact
 //! behind both multipath routing and the fault-tolerance analysis.
+//!
+//! Runs on the `edn_sweep` harness: the per-network schematics render as
+//! pool tasks and print in order; a summary table backs the JSON
+//! emission. `--threads/--out` as everywhere.
 
+use edn_bench::{SweepArgs, Table};
 use edn_core::{EdnParams, EdnTopology};
+use edn_sweep::map_slice_with;
+use std::fmt::Write as _;
 
-fn print_network(params: &EdnParams) {
+/// Renders the schematic of one network, returning the text and the
+/// summary cells for the JSON table.
+fn render_network(params: &EdnParams) -> (String, Vec<String>) {
     let topology = EdnTopology::new(*params);
-    println!(
+    let mut out = String::new();
+    let mut line_out = |text: String| {
+        out.push_str(&text);
+        out.push('\n');
+    };
+    line_out(format!(
         "=== {params}: {} inputs -> {} outputs ===",
         params.inputs(),
         params.outputs()
-    );
+    ));
     for stage in 1..=params.l() {
         let switches = params.hyperbars_in_stage(stage);
-        println!(
+        line_out(format!(
             "\nstage {stage}: {switches} x H({} -> {} x {}), entry lines per switch:",
             params.a(),
             params.b(),
             params.c()
-        );
+        ));
         for switch in 0..switches {
             let low = switch * params.a();
             let high = low + params.a() - 1;
             let exit_low = switch * params.b() * params.c();
             let exit_high = exit_low + params.b() * params.c() - 1;
-            println!("  S{switch}: entries {low}..{high}  ->  exits {exit_low}..{exit_high}");
+            line_out(format!(
+                "  S{switch}: entries {low}..{high}  ->  exits {exit_low}..{exit_high}"
+            ));
         }
         let gamma = topology.interstage_gamma(stage);
         if gamma.is_identity() {
-            println!(
+            line_out(format!(
                 "  wiring to stage {}: identity (buckets feed crossbars directly)",
                 stage + 1
-            );
+            ));
         } else {
-            println!("  wiring to stage {} via {gamma}:", stage + 1);
+            line_out(format!("  wiring to stage {} via {gamma}:", stage + 1));
             let wires = params.wires_after_stage(stage);
             let mut line = String::from("   ");
             for y in 0..wires {
-                line.push_str(&format!(" {y}->{}", gamma.apply(y)));
+                write!(line, " {y}->{}", gamma.apply(y)).expect("write to string");
                 if (y + 1) % 8 == 0 {
-                    println!("{line}");
+                    line_out(line);
                     line = String::from("   ");
                 }
             }
             if line.trim() != "" {
-                println!("{line}");
+                line_out(line);
             }
         }
     }
-    println!(
+    line_out(format!(
         "\nstage {}: {} x {}x{} crossbars; crossbar j owns outputs j*{}..j*{}+{}",
         params.l() + 1,
         params.crossbar_count(),
@@ -61,28 +77,68 @@ fn print_network(params: &EdnParams) {
         params.c(),
         params.c(),
         params.c() - 1
-    );
+    ));
     // Show the bucket-adjacency invariant: all c wires of one bucket land
     // on the same next-stage switch.
+    let mut bucket_adjacent = String::from("n/a");
     if params.l() >= 2 && params.c() > 1 {
         let gamma = topology.interstage_gamma(1);
         let bucket_base = params.c(); // bucket 1 of switch 0
         let first = gamma.apply(bucket_base) / params.a();
         let all_same = (0..params.c()).all(|k| gamma.apply(bucket_base + k) / params.a() == first);
-        println!(
+        line_out(format!(
             "\nbucket adjacency check (stage 1, switch 0, bucket 1): all {} wires reach switch {first} of stage 2: {}",
             params.c(),
             all_same
-        );
+        ));
         assert!(all_same);
+        bucket_adjacent = all_same.to_string();
     }
-    println!();
+    let summary = vec![
+        params.to_string(),
+        params.inputs().to_string(),
+        params.l().to_string(),
+        params.hyperbars_in_stage(1).to_string(),
+        params.crossbar_count().to_string(),
+        bucket_adjacent,
+    ];
+    (out, summary)
 }
 
 fn main() {
+    let args = SweepArgs::parse(
+        "fig03_wiring",
+        "Figure 3: the generalized EDN wiring, rendered from the implementation.",
+        1,
+    );
     println!("Figure 3: the generalized EDN wiring, rendered from the implementation.\n");
-    // Small enough to read in full.
-    print_network(&EdnParams::new(4, 2, 2, 2).expect("valid parameters"));
-    // The paper's Figure 4 instance.
-    print_network(&EdnParams::new(16, 4, 4, 2).expect("valid parameters"));
+    let networks = [
+        // Small enough to read in full.
+        EdnParams::new(4, 2, 2, 2).expect("valid parameters"),
+        // The paper's Figure 4 instance.
+        EdnParams::new(16, 4, 4, 2).expect("valid parameters"),
+    ];
+    let rendered = map_slice_with(
+        args.threads,
+        &networks,
+        || (),
+        |(), params| render_network(params),
+    );
+    let mut summary = Table::new(
+        "FIG3: stage inventory summary",
+        &[
+            "network",
+            "inputs",
+            "stages l",
+            "hyperbars/stage",
+            "crossbars",
+            "bucket adjacency",
+        ],
+    );
+    for (text, cells) in rendered {
+        println!("{text}");
+        summary.row(cells);
+    }
+    summary.print();
+    args.emit(&[&summary]);
 }

@@ -6,11 +6,15 @@
 //! inventory of both networks from the implementation, plus the digit
 //! retirement schedule of Figure 4's caption ("2 bits / 2 bits / where
 //! bits are retired for routing").
+//!
+//! Runs on the `edn_sweep` harness: one pool task per network inventory;
+//! `--threads/--out` as everywhere.
 
-use edn_bench::Table;
+use edn_bench::{SweepArgs, Table};
 use edn_core::{DestTag, EdnParams, EdnTopology};
+use edn_sweep::map_slice_with;
 
-fn structure_table(params: &EdnParams) {
+fn structure_table(params: &EdnParams) -> Table {
     let mut table = Table::new(
         &format!("{params}: stage inventory"),
         &[
@@ -40,25 +44,40 @@ fn structure_table(params: &EdnParams) {
         params.outputs().to_string(),
         format!("{} (digit x)", params.log2_c()),
     ]);
-    table.print();
-    println!(
-        "inputs = {}, outputs = {}, paths per pair = c^l = {}\n",
-        params.inputs(),
-        params.outputs(),
-        params.path_count()
-    );
+    table
 }
 
 fn main() {
+    let args = SweepArgs::parse(
+        "fig04_structure",
+        "Figures 4-5: stage inventories and the Lemma 1 routing-tag walk.",
+        1,
+    );
     println!("Figure 4 (EDN(16,4,4,2)) and Figure 5 (EDN(64,16,4,2)) structure.\n");
     let fig4 = EdnParams::new(16, 4, 4, 2).expect("paper parameters are valid");
-    structure_table(&fig4);
-    println!("Paper's Figure 4: stages S0..S3 (4 hyperbars each), 16 4x4 crossbars,");
-    println!("\"all thick lines consist of 4 parallel wires\" -> 64-wire planes. Check.\n");
-
     let fig5 = EdnParams::new(64, 16, 4, 2).expect("paper parameters are valid");
-    structure_table(&fig5);
-    println!("Paper's Figure 5: inputs a0..a1023, 16 hyperbars per stage. Check.\n");
+    let networks = [fig4, fig5];
+    let tables = map_slice_with(
+        args.threads,
+        &networks,
+        || (),
+        |(), params| structure_table(params),
+    );
+    let notes = [
+        "Paper's Figure 4: stages S0..S3 (4 hyperbars each), 16 4x4 crossbars,\n\
+         \"all thick lines consist of 4 parallel wires\" -> 64-wire planes. Check.\n",
+        "Paper's Figure 5: inputs a0..a1023, 16 hyperbars per stage. Check.\n",
+    ];
+    for (table, (params, note)) in tables.iter().zip(networks.iter().zip(notes)) {
+        table.print();
+        println!(
+            "inputs = {}, outputs = {}, paths per pair = c^l = {}\n",
+            params.inputs(),
+            params.outputs(),
+            params.path_count()
+        );
+        println!("{note}");
+    }
 
     // Routing-tag walk-through for one source/destination pair, matching
     // the Lemma 1 proof notation.
@@ -90,4 +109,5 @@ fn main() {
     walk.print();
     assert_eq!(trace.output(), dest);
     println!("Delivered to D = {dest} as Theorem 1 requires.");
+    args.emit(&[&tables[0], &tables[1], &walk]);
 }

@@ -8,23 +8,44 @@
 //! permutation stage (Corollary 2), after which the identity routes
 //! without any conflict. This binary measures both, plus the multi-pass
 //! completion time of the unmodified network.
+//!
+//! Runs on the `edn_sweep` harness: the one-pass variants execute as pool
+//! tasks on per-worker cached engines (the reordered variant exercising
+//! the engine's inverse-order cache); `--threads/--out` as everywhere.
 
-use edn_bench::{fmt_f, Table};
-use edn_core::{
-    route_batch, route_batch_reordered, EdnParams, EdnTopology, PriorityArbiter, RetirementOrder,
-    RouteRequest,
-};
+use edn_bench::{fmt_f, SweepArgs, SweepWorker};
+use edn_core::{EdnParams, PriorityArbiter, RetirementOrder, RouteRequest};
+use edn_sweep::{run_indexed, Table};
 use std::collections::HashSet;
 
 fn main() {
+    let args = SweepArgs::parse(
+        "fig05_06_identity",
+        "Figures 5-6: the identity permutation, unmodified vs bit-reordered EDN(64,16,4,2).",
+        1,
+    );
     let params = EdnParams::new(64, 16, 4, 2).expect("paper parameters are valid");
-    let topo = EdnTopology::new(params);
     let identity: Vec<RouteRequest> = (0..params.inputs())
         .map(|s| RouteRequest::new(s, s))
         .collect();
+    let order = RetirementOrder::rotate_left(params.output_bits(), params.log2_b())
+        .expect("valid rotation");
 
-    // --- Figure 5: unmodified network, one pass. ---
-    let outcome = route_batch(&topo, &identity, &mut PriorityArbiter::new());
+    // --- Figures 5 and 6 as two pool tasks: unmodified one-pass routing
+    // and the bit-reordered + inverse-stage construction. ---
+    let outcomes = run_indexed(args.threads, 2, SweepWorker::new, |worker, index| {
+        let engine = worker.engine(&params);
+        if index == 0 {
+            engine
+                .route(&identity, &mut PriorityArbiter::new())
+                .to_outcome()
+        } else {
+            engine
+                .route_reordered(&identity, &order, &mut PriorityArbiter::new())
+                .to_outcome()
+        }
+    });
+    let (outcome, reordered) = (&outcomes[0], &outcomes[1]);
     let mut table = Table::new(
         "FIG5: identity permutation, unmodified EDN(64,16,4,2)",
         &["variant", "offered", "delivered", "acceptance"],
@@ -35,12 +56,6 @@ fn main() {
         outcome.delivered_count().to_string(),
         fmt_f(outcome.acceptance_rate(), 4),
     ]);
-
-    // --- Figure 6: reorder retirement by rotating tag bits left by
-    // log2(b) = 4, compensate with the inverse permutation at the output. ---
-    let order = RetirementOrder::rotate_left(params.output_bits(), params.log2_b())
-        .expect("valid rotation");
-    let reordered = route_batch_reordered(&topo, &identity, &order, &mut PriorityArbiter::new());
     table.row(vec![
         "bit-reordered + inverse stage (Fig 6)".to_string(),
         reordered.offered().to_string(),
@@ -57,7 +72,10 @@ fn main() {
         assert_eq!(source, output, "compensated delivery must be the identity");
     }
 
-    // --- Multi-pass completion of the unmodified network. ---
+    // --- Multi-pass completion of the unmodified network (inherently
+    // sequential: each pass feeds the next). ---
+    let mut worker = SweepWorker::new();
+    let engine = worker.engine(&params);
     let mut remaining: Vec<RouteRequest> = identity.clone();
     let mut passes = Table::new(
         "FIG5b: multi-pass identity on the unmodified network",
@@ -67,7 +85,7 @@ fn main() {
     let mut pass = 0u32;
     while !remaining.is_empty() && pass < 64 {
         pass += 1;
-        let outcome = route_batch(&topo, &remaining, &mut PriorityArbiter::new());
+        let outcome = engine.route(&remaining, &mut PriorityArbiter::new());
         let delivered: HashSet<u64> = outcome
             .delivered()
             .iter()
@@ -87,4 +105,5 @@ fn main() {
         "The unmodified network needs {pass} priority-arbitrated passes for what the\n\
          Figure 6 construction does in one — the cost of ignoring Corollary 2."
     );
+    args.emit(&[&table, &passes]);
 }

@@ -6,11 +6,19 @@
 //! (the delta-network family), sizes up to 10^6 inputs. The paper's
 //! qualitative claims: the delta family is worst, performance improves
 //! with capacity, and the capacity-4 family tracks the crossbar closely.
+//!
+//! Runs on the `edn_sweep` harness: one pool task per (family, size)
+//! evaluation of the Eq. 4 product; `--threads/--out` as everywhere.
 
 use edn_analytic::pa::{crossbar_pa, probability_of_acceptance};
-use edn_bench::{figure7_families, fmt_f, fmt_opt, Table};
+use edn_bench::{evaluate_families, figure7_families, fmt_f, fmt_opt, SweepArgs, Table};
 
 fn main() {
+    let args = SweepArgs::parse(
+        "fig07_pa_families8",
+        "Figure 7: analytic PA(1) vs network size for the 8-I/O hyperbar families.",
+        1,
+    );
     const MAX_PORTS: u64 = 1 << 20; // the paper plots to 10^6
     let families = figure7_families();
 
@@ -26,17 +34,12 @@ fn main() {
             "EDN(8,8,1,*)",
         ],
     );
-    // Collect each family's sizes -> PA map.
-    let series: Vec<Vec<(u64, f64)>> = families
-        .iter()
-        .map(|family| {
-            family
-                .up_to(MAX_PORTS)
-                .into_iter()
-                .map(|(_, params)| (params.inputs(), probability_of_acceptance(&params, 1.0)))
-                .collect()
-        })
-        .collect();
+    // Every (family, size) point is one pool task: Eq. 4 is a per-stage
+    // product whose cost grows with l, so the large tail would otherwise
+    // serialize.
+    let series = evaluate_families(args.threads, &families, MAX_PORTS, |params| {
+        probability_of_acceptance(params, 1.0)
+    });
     // Union of sizes, ascending.
     let mut sizes: Vec<u64> = series.iter().flatten().map(|&(n, _)| n).collect();
     sizes.sort_unstable();
@@ -70,4 +73,5 @@ fn main() {
             crossbar_pa(big, 1.0) - c4
         );
     }
+    args.emit(&[&table]);
 }

@@ -6,12 +6,22 @@
 //! `PA`) and *resubmitted* (the Section 4 fixed point `PA'`). The paper's
 //! shape: resubmission costs a visible constant factor that grows with
 //! network depth, and the smaller-switch family suffers more.
+//!
+//! Runs on the `edn_sweep` harness: one pool task per (family, size)
+//! fixed-point iteration — the deep networks converge much more slowly
+//! than the shallow ones, exactly the imbalance stealing absorbs;
+//! `--threads/--out` as everywhere.
 
 use edn_analytic::mimd::resubmission_fixed_point;
 use edn_analytic::pa::probability_of_acceptance;
-use edn_bench::{fmt_opt, Family, Table};
+use edn_bench::{evaluate_families, fmt_opt, Family, SweepArgs, Table};
 
 fn main() {
+    let args = SweepArgs::parse(
+        "fig11_resubmission",
+        "Figure 11: acceptance with ignored vs resubmitted rejects (Section 4 fixed point).",
+        1,
+    );
     const RATE: f64 = 0.5;
     const MAX_PORTS: u64 = 1 << 20;
     let families = [Family { io: 16, b: 4 }, Family { io: 4, b: 2 }];
@@ -29,26 +39,21 @@ fn main() {
         ],
     );
 
-    let mut series: Vec<Vec<(u64, f64, f64)>> = Vec::new();
-    for family in &families {
-        let mut rows = Vec::new();
-        for (_, params) in family.up_to(MAX_PORTS) {
-            let ignored = probability_of_acceptance(&params, RATE);
-            let steady = resubmission_fixed_point(&params, RATE, 1e-12, 100_000);
-            rows.push((params.inputs(), ignored, steady.pa_prime));
-        }
-        series.push(rows);
-    }
-    let mut sizes: Vec<u64> = series.iter().flatten().map(|&(n, _, _)| n).collect();
+    let series = evaluate_families(args.threads, &families, MAX_PORTS, |params| {
+        let ignored = probability_of_acceptance(params, RATE);
+        let steady = resubmission_fixed_point(params, RATE, 1e-12, 100_000);
+        (ignored, steady.pa_prime)
+    });
+    let mut sizes: Vec<u64> = series.iter().flatten().map(|&(n, _)| n).collect();
     sizes.sort_unstable();
     sizes.dedup();
     for &n in &sizes {
-        let find = |idx: usize| series[idx].iter().find(|&&(s, _, _)| s == n).copied();
+        let find = |idx: usize| series[idx].iter().find(|&&(s, _)| s == n).copied();
         let (i0, r0) = find(0)
-            .map(|(_, i, r)| (Some(i), Some(r)))
+            .map(|(_, (i, r))| (Some(i), Some(r)))
             .unwrap_or((None, None));
         let (i1, r1) = find(1)
-            .map(|(_, i, r)| (Some(i), Some(r)))
+            .map(|(_, (i, r))| (Some(i), Some(r)))
             .unwrap_or((None, None));
         table.row(vec![
             n.to_string(),
@@ -62,8 +67,8 @@ fn main() {
 
     // Shape checks from the figure.
     let last = |idx: usize| series[idx].last().copied().expect("family is non-empty");
-    let (n0, ignored0, resub0) = last(0);
-    let (n1, ignored1, resub1) = last(1);
+    let (n0, (ignored0, resub0)) = last(0);
+    let (n1, (ignored1, resub1)) = last(1);
     println!("At the largest sizes (N={n0} / N={n1}):");
     println!(
         "  EDN(16,4,4,*): ignored {ignored0:.3} vs resubmitted {resub0:.3} (drop {:.3})",
@@ -75,4 +80,5 @@ fn main() {
     );
     println!("Shape check (paper): resubmitted curves sit below ignored curves, and the");
     println!("gap widens with network size.");
+    args.emit(&[&table]);
 }

@@ -6,35 +6,59 @@
 //! the exact and closed-form costs of each EDN family, the delta network,
 //! and the crossbar, plus the performance-per-cost ratio that drives the
 //! paper's argument.
+//!
+//! Runs on the `edn_sweep` harness: one pool task per parameter point;
+//! `--threads/--out` as everywhere.
 
 use edn_analytic::pa::{crossbar_pa, probability_of_acceptance};
-use edn_bench::{fmt_f, Table};
+use edn_bench::{fmt_f, SweepArgs, Table};
 use edn_core::cost::{
     crossbar_crosspoints, crossbar_wires, crosspoint_cost, crosspoint_cost_closed_form, wire_cost,
     wire_cost_closed_form,
 };
 use edn_core::EdnParams;
+use edn_sweep::map_slice_with;
 
 fn main() {
+    let args = SweepArgs::parse(
+        "tab_cost",
+        "Section 3.1: crosspoint and wire cost model vs performance at matched sizes.",
+        1,
+    );
     println!("Section 3.1: cost model (crosspoints Cs, wires Cw).\n");
 
     // Closed form vs exact sum across a parameter sweep (both square and
-    // rectangular shapes).
+    // rectangular shapes), one pool task per shape.
     let mut check = Table::new(
         "TAB-COST a: closed forms vs exact sums",
         &["network", "Cs exact", "Cs closed", "Cw exact", "Cw closed"],
     );
-    for (a, b, c, l) in [
+    let shapes: Vec<EdnParams> = [
         (16u64, 4u64, 4u64, 3u32),
         (8, 2, 4, 5),
         (8, 8, 1, 4),
         (64, 16, 4, 2),
         (8, 4, 4, 3),
         (16, 2, 4, 3),
-    ] {
-        let p = EdnParams::new(a, b, c, l).expect("valid sweep parameters");
-        let (cs, csf) = (crosspoint_cost(&p), crosspoint_cost_closed_form(&p));
-        let (cw, cwf) = (wire_cost(&p), wire_cost_closed_form(&p));
+    ]
+    .into_iter()
+    .map(|(a, b, c, l)| EdnParams::new(a, b, c, l).expect("valid sweep parameters"))
+    .collect();
+    let costs = map_slice_with(
+        args.threads,
+        &shapes,
+        || (),
+        |(), p| {
+            (
+                *p,
+                crosspoint_cost(p),
+                crosspoint_cost_closed_form(p),
+                wire_cost(p),
+                wire_cost_closed_form(p),
+            )
+        },
+    );
+    for (p, cs, csf, cw, cwf) in costs {
         assert_eq!(cs, csf, "{p}");
         assert_eq!(cw, cwf, "{p}");
         check.row(vec![
@@ -59,32 +83,41 @@ fn main() {
             "PA/Mcrosspoint",
         ],
     );
-    for l4 in [3u32, 4, 5] {
-        let edn = EdnParams::new(16, 4, 4, l4).expect("valid EDN");
-        let n = edn.inputs();
-        let delta_l = n.trailing_zeros() / 2; // radix-4 delta of the same size
-        let delta = EdnParams::delta(4, 4, delta_l).expect("valid delta");
-        assert_eq!(delta.inputs(), n, "matched sizes");
-        let rows: Vec<(String, u128, u128, f64)> = vec![
-            (
-                format!("{edn}"),
-                crosspoint_cost(&edn),
-                wire_cost(&edn),
-                probability_of_acceptance(&edn, 1.0),
-            ),
-            (
-                format!("{delta} (delta)"),
-                crosspoint_cost(&delta),
-                wire_cost(&delta),
-                probability_of_acceptance(&delta, 1.0),
-            ),
-            (
-                "crossbar".to_string(),
-                crossbar_crosspoints(n, n),
-                crossbar_wires(n, n),
-                crossbar_pa(n, 1.0),
-            ),
-        ];
+    let levels = [3u32, 4, 5];
+    let matched = map_slice_with(
+        args.threads,
+        &levels,
+        || (),
+        |(), &l4| {
+            let edn = EdnParams::new(16, 4, 4, l4).expect("valid EDN");
+            let n = edn.inputs();
+            let delta_l = n.trailing_zeros() / 2; // radix-4 delta of the same size
+            let delta = EdnParams::delta(4, 4, delta_l).expect("valid delta");
+            assert_eq!(delta.inputs(), n, "matched sizes");
+            let rows: Vec<(String, u128, u128, f64)> = vec![
+                (
+                    format!("{edn}"),
+                    crosspoint_cost(&edn),
+                    wire_cost(&edn),
+                    probability_of_acceptance(&edn, 1.0),
+                ),
+                (
+                    format!("{delta} (delta)"),
+                    crosspoint_cost(&delta),
+                    wire_cost(&delta),
+                    probability_of_acceptance(&delta, 1.0),
+                ),
+                (
+                    "crossbar".to_string(),
+                    crossbar_crosspoints(n, n),
+                    crossbar_wires(n, n),
+                    crossbar_pa(n, 1.0),
+                ),
+            ];
+            (n, rows)
+        },
+    );
+    for (n, rows) in matched {
         for (name, cs, cw, pa) in rows {
             versus.row(vec![
                 n.to_string(),
@@ -100,4 +133,5 @@ fn main() {
     println!("Shape check (paper's conclusion): the EDN's PA(1) tracks the crossbar's");
     println!("while its crosspoint cost stays within a small factor of the delta's —");
     println!("the crossbar's quadratic cost dwarfs both at large N.");
+    args.emit(&[&check, &versus]);
 }

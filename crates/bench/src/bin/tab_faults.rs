@@ -10,12 +10,17 @@
 //! Two metrics at equal port count (256), sweeping the wire-fault rate:
 //! the fraction of (source, destination) pairs still connected, and the
 //! simulated full-load acceptance of the degraded fabric.
+//!
+//! Runs on the `edn_sweep` harness: one pool task per (fault rate,
+//! fabric), with per-worker cached engines and fault bitmasks;
+//! `--threads/--cycles/--out` as everywhere.
 
-use edn_bench::{fmt_f, Table};
+use edn_bench::{fmt_f, SweepArgs, SweepWorker};
 use edn_core::{
-    route_batch_faulty, route_one_with_faults, EdnParams, EdnTopology, FaultRouting, FaultSet,
-    PriorityArbiter, RouteRequest,
+    route_one_with_faults, EdnParams, EdnTopology, FaultRouting, FaultSet, PriorityArbiter,
+    RouteRequest, RoutingEngine,
 };
+use edn_sweep::{run_indexed, Table};
 
 fn connectivity(topology: &EdnTopology, faults: &FaultSet, samples: u64) -> f64 {
     let params = topology.params();
@@ -33,29 +38,70 @@ fn connectivity(topology: &EdnTopology, faults: &FaultSet, samples: u64) -> f64 
     connected as f64 / samples as f64
 }
 
-fn degraded_pa(topology: &EdnTopology, faults: &FaultSet, cycles: u64) -> f64 {
-    let params = topology.params();
+fn degraded_pa(
+    engine: &mut RoutingEngine,
+    requests: &mut Vec<RouteRequest>,
+    faults: &FaultSet,
+    cycles: u64,
+) -> f64 {
+    let params = *engine.params();
     let mut offered = 0u64;
     let mut delivered = 0u64;
     for cycle in 0..cycles {
-        let requests: Vec<RouteRequest> = (0..params.inputs())
-            .map(|s| RouteRequest::new(s, (s * 131 + cycle * 7919 + 23) % params.outputs()))
-            .collect();
-        let outcome = route_batch_faulty(topology, &requests, faults, &mut PriorityArbiter::new());
+        requests.clear();
+        requests.extend(
+            (0..params.inputs())
+                .map(|s| RouteRequest::new(s, (s * 131 + cycle * 7919 + 23) % params.outputs())),
+        );
+        let outcome = engine.route_faulty(requests, faults, &mut PriorityArbiter::new());
         offered += outcome.offered() as u64;
         delivered += outcome.delivered_count() as u64;
     }
     delivered as f64 / offered as f64
 }
 
+/// What one pool task measures for its (fault rate, fabric) point.
+struct Row {
+    connected: f64,
+    pa: Option<f64>,
+}
+
 fn main() {
+    let args = SweepArgs::parse(
+        "tab_faults",
+        "TAB-FAULTS: pair connectivity and degraded acceptance under wire faults,\n\
+         equal 256-port fabrics.",
+        1,
+    );
+    let cycles = args.cycles_or(40) as u64;
     println!("TAB-FAULTS: wire faults on equal 256-port fabrics.\n");
-    let edn = EdnTopology::new(EdnParams::new(16, 4, 4, 3).expect("valid")); // c = 4
-    let half = EdnTopology::new(EdnParams::new(8, 4, 2, 4).expect("valid")); // c = 2
-    let delta = EdnTopology::new(EdnParams::new(4, 4, 1, 4).expect("valid")); // c = 1
-    assert_eq!(edn.params().inputs(), 256);
-    assert_eq!(delta.params().inputs(), 256);
-    assert_eq!(half.params().inputs(), 512); // nearest c=2 square sibling
+    let edn = EdnParams::new(16, 4, 4, 3).expect("valid"); // c = 4
+    let half = EdnParams::new(8, 4, 2, 4).expect("valid"); // c = 2
+    let delta = EdnParams::new(4, 4, 1, 4).expect("valid"); // c = 1
+    assert_eq!(edn.inputs(), 256);
+    assert_eq!(delta.inputs(), 256);
+    assert_eq!(half.inputs(), 512); // nearest c=2 square sibling
+
+    let fractions = [0.0, 0.01, 0.02, 0.05, 0.10, 0.20];
+    let fabrics = [edn, half, delta];
+    // Grid: fault rates × fabrics, one pool task each. The degraded-PA
+    // column is only measured for the c=4 EDN and the delta (as in the
+    // original table).
+    let rows = run_indexed(
+        args.threads,
+        fractions.len() * fabrics.len(),
+        SweepWorker::new,
+        |worker, index| {
+            let fraction = fractions[index / fabrics.len()];
+            let params = fabrics[index % fabrics.len()];
+            let seed = 1000 + (index / fabrics.len()) as u64;
+            let (engine, requests, faults) = worker.engine_requests_faults(&params, fraction, seed);
+            let connected = connectivity(engine.topology(), faults, 2000);
+            let pa = (params == edn || params == delta)
+                .then(|| degraded_pa(engine, requests, faults, cycles));
+            Row { connected, pa }
+        },
+    );
 
     let mut table = Table::new(
         "TAB-FAULTS: pair connectivity and degraded PA(1) vs wire-fault rate",
@@ -68,18 +114,15 @@ fn main() {
             "delta PA(1)",
         ],
     );
-    for (i, fraction) in [0.0, 0.01, 0.02, 0.05, 0.10, 0.20].into_iter().enumerate() {
-        let seed = 1000 + i as u64;
-        let edn_faults = FaultSet::random(edn.params(), fraction, seed);
-        let half_faults = FaultSet::random(half.params(), fraction, seed);
-        let delta_faults = FaultSet::random(delta.params(), fraction, seed);
+    for (i, fraction) in fractions.into_iter().enumerate() {
+        let base = i * fabrics.len();
         table.row(vec![
             fmt_f(fraction, 2),
-            fmt_f(connectivity(&edn, &edn_faults, 2000), 4),
-            fmt_f(connectivity(&half, &half_faults, 2000), 4),
-            fmt_f(connectivity(&delta, &delta_faults, 2000), 4),
-            fmt_f(degraded_pa(&edn, &edn_faults, 40), 4),
-            fmt_f(degraded_pa(&delta, &delta_faults, 40), 4),
+            fmt_f(rows[base].connected, 4),
+            fmt_f(rows[base + 1].connected, 4),
+            fmt_f(rows[base + 2].connected, 4),
+            fmt_f(rows[base].pa.expect("EDN PA measured"), 4),
+            fmt_f(rows[base + 2].pa.expect("delta PA measured"), 4),
         ]);
     }
     table.print();
@@ -88,4 +131,5 @@ fn main() {
     println!("the delta network has already lost ~1 - (1-0.05)^l of them. Degraded");
     println!("acceptance shrinks gracefully with capacity, by roughly the healthy-wire");
     println!("fraction, instead of cliff-dropping with severed paths.");
+    args.emit(&[&table]);
 }

@@ -8,9 +8,14 @@
 //! once as-is and once with the hot messages removed (the control, same
 //! cold messages and same arbitration seed) — and reports how much cold
 //! acceptance the hot overlay destroys on each fabric.
+//!
+//! Runs on the `edn_sweep` harness: one grid point per (fabric, hot
+//! fraction), measured on the work-stealing pool with per-worker cached
+//! engines; `--threads/--seeds/--cycles/--out` as everywhere.
 
-use edn_bench::{fmt_f, Table};
-use edn_core::{route_batch, EdnParams, EdnTopology, RandomArbiter, RouteRequest};
+use edn_bench::{fmt_f, SweepArgs, SweepWorker};
+use edn_core::{EdnParams, RandomArbiter, RouteRequest, RoutingEngine};
+use edn_sweep::{run_indexed, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,18 +30,20 @@ impl Damage {
     }
 }
 
-fn measure(params: &EdnParams, hot_fraction: f64, cycles: u32, seed: u64) -> Damage {
-    let topology = EdnTopology::new(*params);
+fn measure(engine: &mut RoutingEngine, hot_fraction: f64, cycles: u32, seed: u64) -> Damage {
+    let params = *engine.params();
     let hot_output = params.outputs() / 2;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut with_hot_offered = 0u64;
     let mut with_hot_delivered = 0u64;
     let mut alone_offered = 0u64;
     let mut alone_delivered = 0u64;
+    let mut full = Vec::with_capacity(params.inputs() as usize);
+    let mut cold_only = Vec::with_capacity(params.inputs() as usize);
     for cycle in 0..cycles {
         // One draw, two routings (same arbitration seed for a fair pair).
-        let mut full = Vec::with_capacity(params.inputs() as usize);
-        let mut cold_only = Vec::with_capacity(params.inputs() as usize);
+        full.clear();
+        cold_only.clear();
         for source in 0..params.inputs() {
             if rng.gen_bool(hot_fraction) {
                 full.push(RouteRequest::new(source, hot_output));
@@ -51,7 +58,7 @@ fn measure(params: &EdnParams, hot_fraction: f64, cycles: u32, seed: u64) -> Dam
         }
         let arbiter_seed = seed ^ (cycle as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(arbiter_seed));
-        let outcome = route_batch(&topology, &full, &mut arbiter);
+        let outcome = engine.route(&full, &mut arbiter);
         with_hot_offered += cold_only.len() as u64;
         with_hot_delivered += outcome
             .delivered()
@@ -60,7 +67,7 @@ fn measure(params: &EdnParams, hot_fraction: f64, cycles: u32, seed: u64) -> Dam
             .count() as u64;
 
         let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(arbiter_seed));
-        let control = route_batch(&topology, &cold_only, &mut arbiter);
+        let control = engine.route(&cold_only, &mut arbiter);
         alone_offered += control.offered() as u64;
         alone_delivered += control.delivered_count() as u64;
     }
@@ -71,6 +78,12 @@ fn measure(params: &EdnParams, hot_fraction: f64, cycles: u32, seed: u64) -> Dam
 }
 
 fn main() {
+    let args = SweepArgs::parse(
+        "tab_nuts",
+        "TAB-NUTS: collateral damage of a hot spot on cold traffic, 256 ports, r = 1.",
+        1,
+    );
+    let cycles = args.cycles_or(80);
     println!("TAB-NUTS: collateral damage of a hot spot on cold traffic, 256 ports, r = 1.\n");
     let edn4 = EdnParams::new(16, 4, 4, 3).expect("valid"); // c = 4
     let delta = EdnParams::new(4, 4, 1, 4).expect("valid"); // c = 1
@@ -88,10 +101,30 @@ fn main() {
             "delta damage",
         ],
     );
+    let hot_fractions = [0.05, 0.10, 0.20, 0.40];
+    // One pool task per (hot fraction, fabric); workers cache one wired
+    // engine per fabric across all their tasks.
+    let results = run_indexed(
+        args.threads,
+        hot_fractions.len() * 2,
+        SweepWorker::new,
+        |worker, index| {
+            let (hot, params) = (
+                hot_fractions[index / 2],
+                if index % 2 == 0 { edn4 } else { delta },
+            );
+            measure(
+                worker.engine(&params),
+                hot,
+                cycles,
+                500 + (index / 2) as u64,
+            )
+        },
+    );
     let mut damages: Vec<(f64, f64, f64)> = Vec::new();
-    for (i, hot) in [0.05, 0.10, 0.20, 0.40].into_iter().enumerate() {
-        let a = measure(&edn4, hot, 80, 500 + i as u64);
-        let d = measure(&delta, hot, 80, 500 + i as u64);
+    for (i, &hot) in hot_fractions.iter().enumerate() {
+        let a = &results[i * 2];
+        let d = &results[i * 2 + 1];
         damages.push((
             hot,
             a.collateral() / a.cold_alone,
@@ -124,4 +157,5 @@ fn main() {
             100.0 * delta_damage
         );
     }
+    args.emit(&[&table]);
 }

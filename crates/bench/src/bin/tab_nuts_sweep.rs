@@ -1,0 +1,140 @@
+//! TAB-NUTS-SWEEP — (extension) hot-spot (NUTS) intensity sweep.
+//!
+//! Where `tab_nuts` isolates the collateral damage of one hot spot at a
+//! handful of intensities, this scenario sweeps the full hot-spot
+//! intensity axis as a first-class Monte-Carlo grid: (fabric × hot
+//! fraction × seed), every point an independent [`HotSpotTraffic`]
+//! measurement on the engine hot path, executed on the work-stealing
+//! pool. It reports, per fabric and intensity, the overall acceptance
+//! with a seed-level confidence interval and the degradation relative to
+//! the uniform (`h = 0`) baseline of the same fabric — the quantity the
+//! paper's "reduce conflicts or Non Uniform Traffic Spots" claim is
+//! about.
+//!
+//! `--threads/--seeds/--cycles/--out` as everywhere.
+
+use edn_bench::{fmt_f, SweepArgs};
+use edn_core::EdnParams;
+use edn_sim::{estimate_pa_with, ArbiterKind, RunningStats};
+use edn_sweep::{run_indexed, Table};
+use edn_traffic::HotSpotTraffic;
+
+/// One (fabric, intensity) cell aggregated over seeds.
+struct Cell {
+    mean: f64,
+    ci95: f64,
+    delivered: u64,
+    offered: u64,
+}
+
+fn main() {
+    let args = SweepArgs::parse(
+        "tab_nuts_sweep",
+        "TAB-NUTS-SWEEP: acceptance vs hot-spot intensity on equal 256-port fabrics.",
+        4,
+    );
+    let cycles = args.cycles_or(60);
+    println!("TAB-NUTS-SWEEP: hot-spot intensity sweep, equal 256-port fabrics, r = 1.\n");
+
+    let edn4 = EdnParams::new(16, 4, 4, 3).expect("valid"); // c = 4
+    let delta = EdnParams::new(4, 4, 1, 4).expect("valid"); // c = 1
+    assert_eq!(edn4.inputs(), delta.inputs());
+    let fabrics = [("EDN(16,4,4,3) c=4", edn4), ("EDN(4,4,1,4) delta", delta)];
+    let intensities = [0.0, 0.05, 0.10, 0.20, 0.40];
+    let seeds = args.seed_list(0x2075);
+
+    // Grid: fabric-major, intensity, seed-minor — one pool task per
+    // point, seeded from the point coordinates only.
+    let tasks = fabrics.len() * intensities.len() * seeds.len();
+    let estimates = run_indexed(
+        args.threads,
+        tasks,
+        || (),
+        |(), index| {
+            let seed = seeds[index % seeds.len()];
+            let intensity = intensities[(index / seeds.len()) % intensities.len()];
+            let (_, params) = fabrics[index / (seeds.len() * intensities.len())];
+            let hot_output = params.outputs() / 2;
+            let mut workload = HotSpotTraffic::new(
+                params.inputs(),
+                params.outputs(),
+                1.0,
+                hot_output,
+                intensity,
+            );
+            estimate_pa_with(
+                &params,
+                &mut workload,
+                ArbiterKind::Random,
+                cycles,
+                seed ^ (intensity.to_bits().rotate_left(17)),
+            )
+        },
+    );
+
+    // Fold seeds into (fabric, intensity) cells.
+    let cells: Vec<Cell> = estimates
+        .chunks(seeds.len())
+        .map(|chunk| {
+            let mut stats = RunningStats::new();
+            let mut delivered = 0u64;
+            let mut offered = 0u64;
+            for estimate in chunk {
+                stats.push(estimate.mean);
+                delivered += estimate.delivered;
+                offered += estimate.offered;
+            }
+            Cell {
+                mean: stats.mean(),
+                ci95: 1.96 * stats.std_error(),
+                delivered,
+                offered,
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "TAB-NUTS-SWEEP: acceptance vs hot-spot intensity (seed-level CI95)",
+        &[
+            "fabric",
+            "hot fraction",
+            "acceptance",
+            "CI95 +-",
+            "vs h=0",
+            "delivered",
+            "offered",
+        ],
+    );
+    for (f, (name, _)) in fabrics.iter().enumerate() {
+        let baseline = cells[f * intensities.len()].mean;
+        for (i, &intensity) in intensities.iter().enumerate() {
+            let cell = &cells[f * intensities.len() + i];
+            table.row(vec![
+                name.to_string(),
+                fmt_f(intensity, 2),
+                fmt_f(cell.mean, 4),
+                fmt_f(cell.ci95, 4),
+                fmt_f(cell.mean - baseline, 4),
+                cell.delivered.to_string(),
+                cell.offered.to_string(),
+            ]);
+        }
+    }
+    table.print();
+
+    println!("Reading: the hot output is a serial bottleneck no topology can widen —");
+    println!("its excess messages are lost on every fabric, so acceptance falls with h");
+    println!("roughly in parallel across fabrics. What multipath buys is the *level*:");
+    for (f, (name, _)) in fabrics.iter().enumerate() {
+        let h0 = cells[f * intensities.len()].mean;
+        let h_max = cells[(f + 1) * intensities.len() - 1].mean;
+        println!(
+            "  {name}: acceptance {h0:.4} (uniform) -> {h_max:.4} at h = {:.2}, drop {:.4}",
+            intensities[intensities.len() - 1],
+            h0 - h_max
+        );
+    }
+    println!("Each point is an independent seeded Monte-Carlo run; rows are identical");
+    println!("for every --threads value.");
+    args.emit(&[&table]);
+}

@@ -5,13 +5,25 @@
 //! stages never block, so `PA_p >= PA`. This binary tabulates `PA_p` vs
 //! `PA` across the Figure 7/8 families and validates both against
 //! Monte-Carlo simulation of the real fabric.
+//!
+//! Runs on the `edn_sweep` harness: one pool task per family (the
+//! simulations dominate and their cost varies with network size);
+//! `--threads/--cycles/--out` as everywhere.
 
 use edn_analytic::pa::probability_of_acceptance;
 use edn_analytic::permutation::permutation_pa;
-use edn_bench::{figure7_families, figure8_families, fmt_f, Table};
+use edn_bench::{figure7_families, figure8_families, fmt_f, SweepArgs, Table};
+use edn_core::EdnParams;
 use edn_sim::{estimate_pa_permutation, ArbiterKind};
+use edn_sweep::map_slice_with;
 
 fn main() {
+    let args = SweepArgs::parse(
+        "tab_permutation",
+        "Section 3.2.1: permutation-traffic acceptance (Eq. 5), model vs simulation.",
+        1,
+    );
+    let cycles = args.cycles_or(60);
     println!("Section 3.2.1: permutation routing (Eq. 5 with Lemma 2).\n");
 
     let mut table = Table::new(
@@ -25,30 +37,44 @@ fn main() {
             "CI95 +-",
         ],
     );
-    for family in figure7_families().into_iter().chain(figure8_families()) {
-        // One medium size per family keeps simulation affordable.
-        let Some(&(l, params)) = family
-            .up_to(5000)
-            .iter()
-            .rev()
-            .find(|(_, p)| p.inputs() >= 256)
-        else {
-            continue;
-        };
-        let pa = probability_of_acceptance(&params, 1.0);
-        let pap = permutation_pa(&params, 1.0);
-        let sim = estimate_pa_permutation(&params, 1.0, ArbiterKind::Random, 60, 42 + l as u64);
-        table.row(vec![
-            params.to_string(),
-            params.inputs().to_string(),
-            fmt_f(pa, 4),
-            fmt_f(pap, 4),
-            fmt_f(sim.mean, 4),
-            fmt_f(1.96 * sim.std_error, 4),
-        ]);
+    // One medium size per family keeps simulation affordable.
+    let points: Vec<(u32, EdnParams)> = figure7_families()
+        .into_iter()
+        .chain(figure8_families())
+        .filter_map(|family| {
+            family
+                .up_to(5000)
+                .iter()
+                .rev()
+                .find(|(_, p)| p.inputs() >= 256)
+                .copied()
+        })
+        .collect();
+    let rows = map_slice_with(
+        args.threads,
+        &points,
+        || (),
+        |(), &(l, params)| {
+            let pa = probability_of_acceptance(&params, 1.0);
+            let pap = permutation_pa(&params, 1.0);
+            let sim =
+                estimate_pa_permutation(&params, 1.0, ArbiterKind::Random, cycles, 42 + l as u64);
+            vec![
+                params.to_string(),
+                params.inputs().to_string(),
+                fmt_f(pa, 4),
+                fmt_f(pap, 4),
+                fmt_f(sim.mean, 4),
+                fmt_f(1.96 * sim.std_error, 4),
+            ]
+        },
+    );
+    for row in rows {
+        table.row(row);
     }
     table.print();
     println!("Shape check (Lemma 2): PA_p >= PA everywhere; simulation should bracket");
     println!("the model within a few times the CI (the model inherits the independence");
     println!("approximation of Eq. 4 for the interior stages).");
+    args.emit(&[&table]);
 }

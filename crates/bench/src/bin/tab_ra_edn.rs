@@ -7,12 +7,22 @@
 //! system. This binary prints the analytic decomposition and measures the
 //! real completion time by simulation, for the paper's system and a sweep
 //! of cluster sizes.
+//!
+//! Runs on the `edn_sweep` harness: the per-trial permutation runs and
+//! the cluster-size sweep (whose cost grows with `q`) execute as pool
+//! tasks; `--threads/--seeds/--cycles/--out` as everywhere (`--cycles`
+//! sets the trials per measurement).
 
 use edn_analytic::simd::RaEdnModel;
-use edn_bench::{fmt_f, Table};
-use edn_sim::{ArbiterKind, RaEdnSystem, RunningStats};
+use edn_bench::{fmt_f, SweepArgs, Table};
+use edn_sim::{map_seeds, ArbiterKind, RaEdnSystem, RunningStats};
 
 fn main() {
+    let args = SweepArgs::parse(
+        "tab_ra_edn",
+        "Section 5.1: RA-EDN random-permutation timing, model vs simulation.",
+        10,
+    );
     println!("Section 5.1: RA-EDN permutation timing (random schedule).\n");
 
     // The paper's worked example, decomposed.
@@ -62,25 +72,30 @@ fn main() {
     }
     tail.print();
 
-    // Simulated completion time (the hardware truth the model predicts).
-    let mut sim = RaEdnSystem::new(16, 4, 2, 16, ArbiterKind::Random, 0xA11CE)
-        .expect("paper parameters are valid");
+    // Simulated completion time (the hardware truth the model predicts):
+    // one independent 16K-message permutation run per seed, on the pool.
+    let trials = args.seed_list(0xA11CE);
+    let cycle_counts = map_seeds(&trials, |seed| {
+        let mut sim = RaEdnSystem::new(16, 4, 2, 16, ArbiterKind::Random, seed)
+            .expect("paper parameters are valid");
+        sim.route_random_permutation().cycles
+    });
     let mut stats = RunningStats::new();
-    let trials = 10;
     let mut worst = 0u32;
-    for _ in 0..trials {
-        let run = sim.route_random_permutation();
-        stats.push(run.cycles as f64);
-        worst = worst.max(run.cycles);
+    for &cycles in &cycle_counts {
+        stats.push(cycles as f64);
+        worst = worst.max(cycles);
     }
     println!(
-        "simulated completion over {trials} random permutations: {:.2} +- {:.2} cycles (max {worst})",
+        "simulated completion over {} random permutations: {:.2} +- {:.2} cycles (max {worst})",
+        trials.len(),
         stats.mean(),
         stats.ci95_half_width()
     );
     println!("analytic expectation: {:.2} cycles\n", timing.total_cycles);
 
-    // Sweep of cluster sizes at the paper's network shape.
+    // Sweep of cluster sizes at the paper's network shape: one pool task
+    // per q (the q=64 run costs ~16x the q=4 run — the stealing case).
     let mut sweep = Table::new(
         "TAB-RAEDN c: cluster-size sweep on EDN(64,16,4,2)",
         &[
@@ -91,21 +106,32 @@ fn main() {
             "sim CI95 +-",
         ],
     );
-    for q in [4u64, 16, 64] {
-        let model = RaEdnModel::new(16, 4, 2, q).expect("valid parameters");
-        let timing = model.expected_permutation_cycles();
-        let mut system = RaEdnSystem::new(16, 4, 2, q, ArbiterKind::Random, 0xBEE + q)
-            .expect("valid parameters");
-        let (mean, se) = system.measure_mean_cycles(5);
-        sweep.row(vec![
-            q.to_string(),
-            model.processors().to_string(),
-            fmt_f(timing.total_cycles, 2),
-            fmt_f(mean, 2),
-            fmt_f(1.96 * se, 2),
-        ]);
+    let cluster_sizes = [4u64, 16, 64];
+    let sweep_trials = args.cycles_or(5);
+    let rows = edn_sweep::map_slice_with(
+        args.threads,
+        &cluster_sizes,
+        || (),
+        |(), &q| {
+            let model = RaEdnModel::new(16, 4, 2, q).expect("valid parameters");
+            let timing = model.expected_permutation_cycles();
+            let mut system = RaEdnSystem::new(16, 4, 2, q, ArbiterKind::Random, 0xBEE + q)
+                .expect("valid parameters");
+            let (mean, se) = system.measure_mean_cycles(sweep_trials);
+            vec![
+                q.to_string(),
+                model.processors().to_string(),
+                fmt_f(timing.total_cycles, 2),
+                fmt_f(mean, 2),
+                fmt_f(1.96 * se, 2),
+            ]
+        },
+    );
+    for row in rows {
+        sweep.row(row);
     }
     sweep.print();
     println!("Shape check (paper): time scales as q/PA(1) with a small additive tail;");
     println!("the MasPar MP-1's router routes a 16K-PE permutation in ~34 cycles.");
+    args.emit(&[&anchor, &tail, &sweep]);
 }

@@ -9,13 +9,24 @@
 //!
 //! Lower bound for reference: a conflict-free schedule on a network with
 //! permutation acceptance `PA_p(1)` would need about `q / PA_p(1)` cycles.
+//!
+//! Runs on the `edn_sweep` harness: one pool task per (system, schedule)
+//! measurement — the MasPar-sized runs dwarf the small ones, the exact
+//! imbalance stealing absorbs; `--threads/--cycles/--out` as everywhere
+//! (`--cycles` overrides the per-system trial counts).
 
 use edn_analytic::permutation::permutation_pa;
 use edn_analytic::simd::RaEdnModel;
-use edn_bench::{fmt_f, Table};
+use edn_bench::{fmt_f, SweepArgs, Table};
 use edn_sim::{ArbiterKind, RaEdnSystem, Schedule};
+use edn_sweep::run_indexed;
 
 fn main() {
+    let args = SweepArgs::parse(
+        "tab_schedule",
+        "TAB-SCHEDULE: random vs greedy distinct-destination RA-EDN schedules.",
+        1,
+    );
     println!("TAB-SCHEDULE: random vs greedy distinct-destination schedules.\n");
 
     let mut table = Table::new(
@@ -29,21 +40,32 @@ fn main() {
             "ideal q/PA_p",
         ],
     );
-    for (b, c, l, q, trials) in [
+    let systems = [
         (4u64, 2u64, 2u32, 8u64, 8u32),
         (4, 2, 2, 16, 8),
         (16, 4, 2, 16, 4), // the MasPar shape
-    ] {
+    ];
+    // One pool task per (system, schedule): both schedules of a system
+    // are independent measurements with identical seeds.
+    let schedules = [Schedule::Random, Schedule::GreedyDistinct];
+    let measured = run_indexed(
+        args.threads,
+        systems.len() * schedules.len(),
+        || (),
+        |(), index| {
+            let (b, c, l, q, trials) = systems[index / schedules.len()];
+            let schedule = schedules[index % schedules.len()];
+            let trials = args.cycles.unwrap_or(trials);
+            let mut system = RaEdnSystem::new(b, c, l, q, ArbiterKind::Random, 0xAB1E)
+                .expect("valid parameters");
+            system.measure_mean_cycles_scheduled(trials, schedule)
+        },
+    );
+    for (i, &(b, c, l, q, _)) in systems.iter().enumerate() {
         let model = RaEdnModel::new(b, c, l, q).expect("valid parameters");
         let timing = model.expected_permutation_cycles();
-        let mut random_system =
-            RaEdnSystem::new(b, c, l, q, ArbiterKind::Random, 0xAB1E).expect("valid parameters");
-        let mut greedy_system =
-            RaEdnSystem::new(b, c, l, q, ArbiterKind::Random, 0xAB1E).expect("valid parameters");
-        let (t_random, se_random) =
-            random_system.measure_mean_cycles_scheduled(trials, Schedule::Random);
-        let (t_greedy, se_greedy) =
-            greedy_system.measure_mean_cycles_scheduled(trials, Schedule::GreedyDistinct);
+        let (t_random, se_random) = measured[i * 2];
+        let (t_greedy, se_greedy) = measured[i * 2 + 1];
         let ideal = q as f64 / permutation_pa(model.params(), 1.0);
         table.row(vec![
             model.to_string(),
@@ -59,4 +81,5 @@ fn main() {
     println!("stage losses) and recovers a large share of the gap between the random");
     println!("schedule and the conflict-free ideal, at O(p) bookkeeping per cycle —");
     println!("the cheap alternative the paper's reference [31] motivates.");
+    args.emit(&[&table]);
 }

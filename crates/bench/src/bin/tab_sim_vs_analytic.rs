@@ -7,17 +7,28 @@
 //! of networks and request rates it prints Eq. 4's `PA(r)` next to the
 //! simulated acceptance (with confidence intervals), and likewise for the
 //! Section 4 resubmission fixed point.
+//!
+//! Runs on the `edn_sweep` harness: the (network, rate, seed) grid of
+//! table (a) and the MIMD runs of tables (b)/(c) are pool tasks;
+//! `--threads/--seeds/--cycles/--out` as everywhere.
 
 use edn_analytic::mimd::resubmission_fixed_point;
 use edn_analytic::pa::probability_of_acceptance;
-use edn_bench::{fmt_f, Table};
+use edn_bench::{fmt_f, SweepArgs, Table};
 use edn_core::EdnParams;
-use edn_sim::{estimate_pa, map_seeds, ArbiterKind, MimdSystem, ResubmitPolicy};
+use edn_sim::{estimate_pa, ArbiterKind, MimdSystem, ResubmitPolicy};
+use edn_sweep::{run_indexed, SweepSpec};
 
 fn main() {
+    let args = SweepArgs::parse(
+        "tab_sim_vs_analytic",
+        "TAB-SIMVAL: analytic models vs cycle-level Monte-Carlo simulation.",
+        4,
+    );
+    let cycles = args.cycles_or(60);
     println!("TAB-SIMVAL: analytic models vs cycle-level simulation.\n");
 
-    // --- Eq. 4 PA(r) vs simulation. ---
+    // --- Eq. 4 PA(r) vs simulation: a SweepSpec grid on the pool. ---
     let mut table = Table::new(
         "TAB-SIMVAL a: PA(r), model vs Monte Carlo (random arbitration)",
         &[
@@ -37,31 +48,45 @@ fn main() {
         EdnParams::new(8, 8, 1, 3).expect("valid"),
         EdnParams::new(64, 16, 4, 2).expect("valid"),
     ];
-    for params in &networks {
-        for rate in [0.25, 0.5, 1.0] {
-            let model = probability_of_acceptance(params, rate);
-            // Average over independent seeds in parallel.
-            let seeds: Vec<u64> = (0..4).map(|i| 1000 + i).collect();
-            let estimates = map_seeds(&seeds, |seed| {
-                estimate_pa(params, rate, ArbiterKind::Random, 60, seed)
-            });
-            let mean = estimates.iter().map(|e| e.mean).sum::<f64>() / estimates.len() as f64;
-            let se = estimates.iter().map(|e| e.std_error).sum::<f64>()
-                / (estimates.len() as f64).powf(1.5);
-            table.row(vec![
-                params.to_string(),
-                params.inputs().to_string(),
-                fmt_f(rate, 2),
-                fmt_f(model, 4),
-                fmt_f(mean, 4),
-                fmt_f(1.96 * se, 4),
-                fmt_f((model - mean).abs(), 4),
-            ]);
-        }
+    let rates = [0.25, 0.5, 1.0];
+    let spec = SweepSpec::over(networks)
+        .loads(rates)
+        .seeds(args.seed_list(1000));
+    let estimates = spec.run(
+        args.threads,
+        || (),
+        |(), point| {
+            estimate_pa(
+                &point.params,
+                point.load,
+                ArbiterKind::Random,
+                cycles,
+                point.seed,
+            )
+        },
+    );
+    // Fold the per-seed estimates of each (network, rate) cell.
+    let seeds_per_cell = args.seeds;
+    for (cell, chunk) in estimates.chunks(seeds_per_cell).enumerate() {
+        let params = networks[cell / rates.len()];
+        let rate = rates[cell % rates.len()];
+        let model = probability_of_acceptance(&params, rate);
+        let mean = chunk.iter().map(|e| e.mean).sum::<f64>() / chunk.len() as f64;
+        let se = chunk.iter().map(|e| e.std_error).sum::<f64>() / (chunk.len() as f64).powf(1.5);
+        table.row(vec![
+            params.to_string(),
+            params.inputs().to_string(),
+            fmt_f(rate, 2),
+            fmt_f(model, 4),
+            fmt_f(mean, 4),
+            fmt_f(1.96 * se, 4),
+            fmt_f((model - mean).abs(), 4),
+        ]);
     }
     table.print();
 
-    // --- Section 4 fixed point vs MIMD simulation. ---
+    // --- Section 4 fixed point vs MIMD simulation, one pool task per
+    // (network, rate). ---
     let mut mimd = Table::new(
         "TAB-SIMVAL b: MIMD resubmission, model vs simulation (redraw policy)",
         &[
@@ -75,35 +100,46 @@ fn main() {
             "r' sim",
         ],
     );
-    for (params, rate) in [
+    let mimd_points = [
         (EdnParams::new(16, 4, 4, 3).expect("valid"), 0.5),
         (EdnParams::new(16, 4, 4, 3).expect("valid"), 1.0),
         (EdnParams::new(4, 2, 2, 5).expect("valid"), 0.5),
-    ] {
-        let model = resubmission_fixed_point(&params, rate, 1e-12, 100_000);
-        let mut system = MimdSystem::new(
-            params,
-            rate,
-            ArbiterKind::Random,
-            ResubmitPolicy::Redraw,
-            77,
-        )
-        .expect("valid rate");
-        let report = system.run(300, 700);
-        mimd.row(vec![
-            params.to_string(),
-            fmt_f(rate, 2),
-            fmt_f(model.pa_prime, 4),
-            fmt_f(report.acceptance, 4),
-            fmt_f(model.q_waiting, 4),
-            fmt_f(report.waiting_fraction, 4),
-            fmt_f(model.effective_rate, 4),
-            fmt_f(report.effective_rate, 4),
-        ]);
+    ];
+    let mimd_rows = run_indexed(
+        args.threads,
+        mimd_points.len(),
+        || (),
+        |(), index| {
+            let (params, rate) = mimd_points[index];
+            let model = resubmission_fixed_point(&params, rate, 1e-12, 100_000);
+            let mut system = MimdSystem::new(
+                params,
+                rate,
+                ArbiterKind::Random,
+                ResubmitPolicy::Redraw,
+                77,
+            )
+            .expect("valid rate");
+            let report = system.run(300, 700);
+            vec![
+                params.to_string(),
+                fmt_f(rate, 2),
+                fmt_f(model.pa_prime, 4),
+                fmt_f(report.acceptance, 4),
+                fmt_f(model.q_waiting, 4),
+                fmt_f(report.waiting_fraction, 4),
+                fmt_f(model.effective_rate, 4),
+                fmt_f(report.effective_rate, 4),
+            ]
+        },
+    );
+    for row in mimd_rows {
+        mimd.row(row);
     }
     mimd.print();
 
-    // --- The independence shortcut: redraw vs same-destination retries. ---
+    // --- The independence shortcut: redraw vs same-destination retries,
+    // one pool task per (network, rate, policy). ---
     let mut policy = Table::new(
         "TAB-SIMVAL c: resubmission destination policy (simulation only)",
         &[
@@ -115,23 +151,26 @@ fn main() {
             "qW same-dest",
         ],
     );
-    for (params, rate) in [
+    let policy_points = [
         (EdnParams::new(16, 4, 4, 3).expect("valid"), 0.5),
         (EdnParams::new(16, 4, 4, 3).expect("valid"), 1.0),
-    ] {
-        let mut redraw =
-            MimdSystem::new(params, rate, ArbiterKind::Random, ResubmitPolicy::Redraw, 5)
+    ];
+    let policies = [ResubmitPolicy::Redraw, ResubmitPolicy::SameDestination];
+    let policy_runs = run_indexed(
+        args.threads,
+        policy_points.len() * policies.len(),
+        || (),
+        |(), index| {
+            let (params, rate) = policy_points[index / policies.len()];
+            let resubmit = policies[index % policies.len()];
+            let mut system = MimdSystem::new(params, rate, ArbiterKind::Random, resubmit, 5)
                 .expect("valid rate");
-        let mut same = MimdSystem::new(
-            params,
-            rate,
-            ArbiterKind::Random,
-            ResubmitPolicy::SameDestination,
-            5,
-        )
-        .expect("valid rate");
-        let a = redraw.run(300, 700);
-        let b = same.run(300, 700);
+            system.run(300, 700)
+        },
+    );
+    for (i, &(params, rate)) in policy_points.iter().enumerate() {
+        let a = &policy_runs[i * 2];
+        let b = &policy_runs[i * 2 + 1];
         policy.row(vec![
             params.to_string(),
             fmt_f(rate, 2),
@@ -145,4 +184,5 @@ fn main() {
     println!("Reading: Eq. 4 tracks simulation within a few hundredths across the sweep;");
     println!("the paper's re-uniformization assumption (redraw) is mildly optimistic");
     println!("compared to physically faithful same-destination retries.");
+    args.emit(&[&table, &mimd, &policy]);
 }

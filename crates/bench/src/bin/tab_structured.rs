@@ -1,0 +1,185 @@
+//! TAB-STRUCTURED — (extension) structured-permutation sweep.
+//!
+//! Sections 3.2.1 and 5 analyze *random* permutations; real SIMD codes
+//! route *structured* ones — matrix transpose, FFT bit reversal, perfect
+//! shuffles, displacements — and multistage networks classically either
+//! shine or collapse on exactly these (the paper's own Figure 5 identity
+//! collapse being the canonical example). This scenario sweeps every
+//! named structured permutation in `edn_traffic` across two square EDNs,
+//! measuring on the engine hot path:
+//!
+//! * one-pass acceptance as wired (Figure 5's setting),
+//! * one-pass acceptance with the Corollary-2 bit-reordered retirement
+//!   and compensating inverse stage (Figure 6's setting, exercising the
+//!   engine's cached inverse-order path),
+//! * passes to route the permutation to completion as wired.
+//!
+//! Random-permutation rows average over `--seeds` seeds; every (network,
+//! permutation) cell is one work-stealing pool task.
+//! `--threads/--seeds/--out` as everywhere.
+
+use edn_bench::{fmt_f, SweepArgs, SweepWorker};
+use edn_core::{EdnParams, PriorityArbiter, RetirementOrder, RoutingEngine};
+use edn_sim::RunningStats;
+use edn_sweep::{run_indexed, Table};
+use edn_traffic::Permutation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The named structured permutations of the sweep.
+const NAMES: [&str; 8] = [
+    "identity",
+    "bit reversal",
+    "perfect shuffle",
+    "transpose",
+    "butterfly",
+    "displacement +1",
+    "vector reversal",
+    "random (mean)",
+];
+
+fn build(name: &str, n: u64, seed: u64) -> Permutation {
+    match name {
+        "identity" => Permutation::identity(n),
+        "bit reversal" => Permutation::bit_reversal(n).expect("power-of-two network"),
+        "perfect shuffle" => Permutation::perfect_shuffle(n).expect("power-of-two network"),
+        "transpose" => Permutation::transpose(n).expect("4^k network"),
+        "butterfly" => Permutation::butterfly(n).expect("power-of-two network"),
+        "displacement +1" => Permutation::displacement(n, 1),
+        "vector reversal" => Permutation::reversal(n),
+        "random (mean)" => Permutation::random(n, &mut StdRng::seed_from_u64(seed)),
+        other => unreachable!("unknown permutation {other}"),
+    }
+}
+
+/// One (network, permutation) measurement.
+struct Cell {
+    one_pass: f64,
+    reordered: f64,
+    passes: f64,
+}
+
+/// Routes `perm` one pass as wired and reordered, then to completion.
+fn measure(engine: &mut RoutingEngine, perm: &Permutation) -> Cell {
+    let params = *engine.params();
+    let order = RetirementOrder::rotate_left(params.output_bits(), params.log2_b())
+        .expect("valid rotation");
+    let requests = perm.to_requests();
+
+    let one_pass = engine
+        .route(&requests, &mut PriorityArbiter::new())
+        .acceptance_rate();
+    let reordered = engine
+        .route_reordered(&requests, &order, &mut PriorityArbiter::new())
+        .acceptance_rate();
+
+    // Multi-pass completion as wired: rejected sources retry next pass.
+    let mut remaining = requests;
+    let mut passes = 0u32;
+    while !remaining.is_empty() && passes < 256 {
+        passes += 1;
+        let outcome = engine.route(&remaining, &mut PriorityArbiter::new());
+        let delivered: std::collections::HashSet<u64> = outcome
+            .delivered()
+            .iter()
+            .map(|&(source, _)| source)
+            .collect();
+        remaining.retain(|r| !delivered.contains(&r.source));
+    }
+    assert!(remaining.is_empty(), "permutation failed to complete");
+    Cell {
+        one_pass,
+        reordered,
+        passes: passes as f64,
+    }
+}
+
+fn main() {
+    let args = SweepArgs::parse(
+        "tab_structured",
+        "TAB-STRUCTURED: structured permutations, as-wired vs bit-reordered routing.",
+        4,
+    );
+    println!("TAB-STRUCTURED: structured permutations on square EDNs, priority arbiter.\n");
+
+    // Both shapes are 4^k ports, so every named permutation (including
+    // the transpose) is defined.
+    let networks = [
+        EdnParams::new(16, 4, 4, 3).expect("valid"),  // 256 ports
+        EdnParams::new(64, 16, 4, 2).expect("valid"), // 1024 ports, Figure 5's
+    ];
+    let seeds = args.seed_list(0x57A7);
+
+    // One pool task per (network, permutation); the random row averages
+    // its seeds inside the task (cost still dominated by the two big
+    // networks, which stealing spreads across workers).
+    let cells = run_indexed(
+        args.threads,
+        networks.len() * NAMES.len(),
+        SweepWorker::new,
+        |worker, index| {
+            let params = networks[index / NAMES.len()];
+            let name = NAMES[index % NAMES.len()];
+            let engine = worker.engine(&params);
+            if name == "random (mean)" {
+                let mut one_pass = RunningStats::new();
+                let mut reordered = RunningStats::new();
+                let mut passes = RunningStats::new();
+                for &seed in &seeds {
+                    let cell = measure(engine, &build(name, params.inputs(), seed));
+                    one_pass.push(cell.one_pass);
+                    reordered.push(cell.reordered);
+                    passes.push(cell.passes);
+                }
+                Cell {
+                    one_pass: one_pass.mean(),
+                    reordered: reordered.mean(),
+                    passes: passes.mean(),
+                }
+            } else {
+                measure(engine, &build(name, params.inputs(), 0))
+            }
+        },
+    );
+
+    let mut table = Table::new(
+        "TAB-STRUCTURED: one-pass acceptance and passes to completion",
+        &[
+            "network",
+            "permutation",
+            "as-wired PA_p",
+            "reordered PA_p",
+            "as-wired passes",
+        ],
+    );
+    for (n, params) in networks.iter().enumerate() {
+        for (p, name) in NAMES.iter().enumerate() {
+            let cell = &cells[n * NAMES.len() + p];
+            table.row(vec![
+                params.to_string(),
+                name.to_string(),
+                fmt_f(cell.one_pass, 4),
+                fmt_f(cell.reordered, 4),
+                fmt_f(cell.passes, 1),
+            ]);
+        }
+    }
+    table.print();
+
+    // The Figure 5/6 anchor, restated from the sweep.
+    let fig5 = &cells[NAMES.len()]; // identity on EDN(64,16,4,2)
+    println!("Reading: the identity on EDN(64,16,4,2) reproduces Figure 5's collapse");
+    println!(
+        "({:.4} one-pass as wired) and Figure 6's cure ({:.4} with the rotated",
+        fig5.one_pass, fig5.reordered
+    );
+    println!("retirement + inverse stage); on that network the same rotation routes");
+    println!("every source-aligned permutation (identity, displacement, reversal,");
+    println!("shuffle) conflict-free. The 256-port rows show the flip side of");
+    println!("Corollary 2: a retirement order is a per-network, per-workload choice —");
+    println!("the rotation that cures EDN(64,16,4,2) *hurts* several structured");
+    println!("permutations on EDN(16,4,4,3), whose depth retires different digits.");
+    println!("Passes to completion track 1/PA_p as Section 5's resubmission model");
+    println!("predicts; random permutations sit in the high-acceptance band either way.");
+    args.emit(&[&table]);
+}

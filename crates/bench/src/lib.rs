@@ -3,128 +3,18 @@
 //! Each binary regenerates one table or figure of the paper (see
 //! `DESIGN.md` for the experiment index) and prints both the paper's
 //! expectation and the model/measurement produced by this reproduction.
-//! This module holds the plain-text table formatter and the network-family
+//! All binaries run on the `edn_sweep` executor and share its CLI
+//! surface ([`SweepArgs`]: `--threads`/`--seeds`/`--cycles`/`--out`) and
+//! structured emission ([`Table`] text tables plus JSON Lines rows).
+//! This module re-exports that harness and holds the network-family
 //! definitions shared across experiments.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use edn_sweep::{fmt_f, fmt_opt, SweepArgs, SweepSpec, SweepWorker, Table};
+
 use edn_core::{EdnError, EdnParams};
-
-/// A minimal aligned-column text table (stdout-oriented; also exportable
-/// as CSV).
-///
-/// # Examples
-///
-/// ```
-/// use edn_bench::Table;
-///
-/// let mut table = Table::new("demo", &["n", "value"]);
-/// table.row(vec!["1".into(), "0.5".into()]);
-/// let text = table.render();
-/// assert!(text.contains("demo"));
-/// assert!(text.contains("value"));
-/// ```
-#[derive(Debug, Clone)]
-pub struct Table {
-    title: String,
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with a title and column headers.
-    pub fn new(title: &str, headers: &[&str]) -> Self {
-        Table {
-            title: title.to_string(),
-            headers: headers.iter().map(|h| h.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends one row (must match the header arity).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cells.len()` differs from the header count.
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
-        self.rows.push(cells);
-    }
-
-    /// Number of data rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// `true` if no rows have been added.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Renders the aligned table as text.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for (width, cell) in widths.iter_mut().zip(row) {
-                *width = (*width).max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        out.push_str(&format!("== {} ==\n", self.title));
-        let header: Vec<String> = self
-            .headers
-            .iter()
-            .zip(&widths)
-            .map(|(h, w)| format!("{h:>w$}"))
-            .collect();
-        out.push_str(&header.join("  "));
-        out.push('\n');
-        out.push_str(&"-".repeat(header.join("  ").len()));
-        out.push('\n');
-        for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect();
-            out.push_str(&line.join("  "));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Prints the rendered table to stdout.
-    pub fn print(&self) {
-        print!("{}", self.render());
-        println!();
-    }
-
-    /// Renders the table as CSV (headers first).
-    pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&self.headers.join(","));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.join(","));
-            out.push('\n');
-        }
-        out
-    }
-}
-
-/// Formats a float with `digits` fractional digits.
-pub fn fmt_f(x: f64, digits: usize) -> String {
-    format!("{x:.digits$}")
-}
-
-/// Formats an optional float, rendering `None` as `-`.
-pub fn fmt_opt(x: Option<f64>, digits: usize) -> String {
-    match x {
-        Some(v) => fmt_f(v, digits),
-        None => "-".to_string(),
-    }
-}
 
 /// One of the paper's square network families, e.g. `EDN(8,2,4,*)`:
 /// fixed hyperbar shape, growing stage count.
@@ -189,39 +79,47 @@ pub fn figure8_families() -> Vec<Family> {
     ]
 }
 
+/// Evaluates `f` at every member of every family up to `max_ports` on
+/// the work-stealing pool, returning one `(inputs, value)` series per
+/// family, sizes ascending — the shared scaffolding of the figure
+/// binaries' family sweeps (deep members cost more than shallow ones,
+/// which is exactly the imbalance stealing absorbs).
+pub fn evaluate_families<T, F>(
+    threads: usize,
+    families: &[Family],
+    max_ports: u64,
+    f: F,
+) -> Vec<Vec<(u64, T)>>
+where
+    T: Send,
+    F: Fn(&EdnParams) -> T + Sync,
+{
+    let points: Vec<(usize, EdnParams)> = families
+        .iter()
+        .enumerate()
+        .flat_map(|(index, family)| {
+            family
+                .up_to(max_ports)
+                .into_iter()
+                .map(move |(_, params)| (index, params))
+        })
+        .collect();
+    let evaluated = edn_sweep::map_slice_with(
+        threads,
+        &points,
+        || (),
+        |(), &(index, params)| (index, params.inputs(), f(&params)),
+    );
+    let mut series: Vec<Vec<(u64, T)>> = families.iter().map(|_| Vec::new()).collect();
+    for (index, inputs, value) in evaluated {
+        series[index].push((inputs, value));
+    }
+    series
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn table_renders_aligned_columns() {
-        let mut t = Table::new("x", &["aa", "b"]);
-        t.row(vec!["1".into(), "22222".into()]);
-        t.row(vec!["333".into(), "4".into()]);
-        let text = t.render();
-        assert!(text.contains("== x =="));
-        let lines: Vec<&str> = text.lines().collect();
-        // Title, header, separator, two rows.
-        assert_eq!(lines.len(), 5);
-        assert_eq!(lines[3].len(), lines[4].len());
-    }
-
-    #[test]
-    fn csv_round_trip_shape() {
-        let mut t = Table::new("x", &["n", "pa"]);
-        t.row(vec!["8".into(), "0.75".into()]);
-        let csv = t.to_csv();
-        assert_eq!(csv, "n,pa\n8,0.75\n");
-        assert_eq!(t.len(), 1);
-        assert!(!t.is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "row arity")]
-    fn row_arity_is_checked() {
-        let mut t = Table::new("x", &["a", "b"]);
-        t.row(vec!["1".into()]);
-    }
 
     #[test]
     fn families_produce_square_networks() {
@@ -250,9 +148,27 @@ mod tests {
     }
 
     #[test]
-    fn formatting_helpers() {
-        assert_eq!(fmt_f(0.5444, 3), "0.544");
+    fn evaluate_families_groups_by_family_in_size_order() {
+        let families = figure7_families();
+        let series = evaluate_families(2, &families, 4096, |p| p.l());
+        assert_eq!(series.len(), families.len());
+        for (family, family_series) in families.iter().zip(&series) {
+            let expected: Vec<(u64, u32)> = family
+                .up_to(4096)
+                .into_iter()
+                .map(|(l, p)| (p.inputs(), l))
+                .collect();
+            assert_eq!(family_series, &expected, "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn harness_reexports_are_live() {
+        // The sweep harness is the canonical home of Table/fmt_*; the
+        // re-exports keep binary imports stable.
+        let mut table = Table::new("t", &["a"]);
+        table.row(vec![fmt_f(1.0, 2)]);
+        assert_eq!(table.len(), 1);
         assert_eq!(fmt_opt(None, 2), "-");
-        assert_eq!(fmt_opt(Some(1.0), 2), "1.00");
     }
 }

@@ -20,7 +20,6 @@ use crate::routing::{BatchOutcome, RouteRequest};
 use crate::topology::{EdnTopology, PathTrace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
 
 /// A set of broken output wires, per hyperbar stage.
 ///
@@ -28,6 +27,12 @@ use std::collections::HashSet;
 /// (before the interstage permutation), stage `1..=l`. Final-stage
 /// crossbar outputs are network outputs; breaking those disconnects a
 /// destination outright and is modelled separately by callers if needed.
+///
+/// Storage is a dense bitmask per stage (one bit per wire), so the
+/// per-wire membership probe on the engine's faulty routing path is a
+/// shift-and-mask instead of a hash lookup, and a `FaultSet` for a
+/// million-wire fabric is ~128 KiB regardless of how many wires are
+/// broken.
 ///
 /// # Examples
 ///
@@ -46,8 +51,11 @@ use std::collections::HashSet;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultSet {
     params: EdnParams,
-    /// `by_stage[i - 1]` holds the disabled exit lines of stage `i`.
-    by_stage: Vec<HashSet<u64>>,
+    /// `by_stage[i - 1]` is the disabled-wire bitmask of stage `i`: bit
+    /// `w % 64` of word `w / 64` is set iff exit line `w` is broken.
+    by_stage: Vec<Vec<u64>>,
+    /// Total set bits, maintained by [`FaultSet::disable`].
+    count: usize,
 }
 
 impl FaultSet {
@@ -55,7 +63,10 @@ impl FaultSet {
     pub fn none(params: &EdnParams) -> Self {
         FaultSet {
             params: *params,
-            by_stage: vec![HashSet::new(); params.l() as usize],
+            by_stage: (1..=params.l())
+                .map(|stage| vec![0u64; params.wires_after_stage(stage).div_ceil(64) as usize])
+                .collect(),
+            count: 0,
         }
     }
 
@@ -75,11 +86,21 @@ impl FaultSet {
         for stage in 1..=params.l() {
             for wire in 0..params.wires_after_stage(stage) {
                 if rng.gen_bool(fraction) {
-                    faults.by_stage[(stage - 1) as usize].insert(wire);
+                    faults.set_bit(stage, wire);
                 }
             }
         }
         faults
+    }
+
+    /// Sets one bit, keeping the fault count in sync.
+    fn set_bit(&mut self, stage: u32, wire: u64) {
+        let word = &mut self.by_stage[(stage - 1) as usize][(wire / 64) as usize];
+        let mask = 1u64 << (wire % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.count += 1;
+        }
     }
 
     /// Marks one exit line of stage `stage` (`1..=l`) as broken.
@@ -102,20 +123,26 @@ impl FaultSet {
                 limit: self.params.wires_after_stage(stage),
             });
         }
-        self.by_stage[(stage - 1) as usize].insert(wire);
+        self.set_bit(stage, wire);
         Ok(())
     }
 
     /// `true` if the exit line is broken.
+    #[inline]
     pub fn is_disabled(&self, stage: u32, wire: u64) -> bool {
-        stage >= 1
-            && stage <= self.params.l()
-            && self.by_stage[(stage - 1) as usize].contains(&wire)
+        if stage < 1 || stage > self.params.l() {
+            return false;
+        }
+        let words = &self.by_stage[(stage - 1) as usize];
+        match words.get((wire / 64) as usize) {
+            Some(word) => word >> (wire % 64) & 1 == 1,
+            None => false,
+        }
     }
 
     /// Total broken wires.
     pub fn count(&self) -> usize {
-        self.by_stage.iter().map(HashSet::len).sum()
+        self.count
     }
 
     /// The network parameters this fault set was built for.
@@ -128,14 +155,9 @@ impl FaultSet {
     pub fn switch_local_disabled(&self, stage: u32, switch: u64) -> Vec<u64> {
         let width = self.params.b() * self.params.c();
         let base = switch * width;
-        let mut local: Vec<u64> = self.by_stage[(stage - 1) as usize]
-            .iter()
-            .copied()
-            .filter(|&wire| wire >= base && wire < base + width)
-            .map(|wire| wire - base)
-            .collect();
-        local.sort_unstable();
-        local
+        (0..width)
+            .filter(|local| self.is_disabled(stage, base + local))
+            .collect()
     }
 }
 
@@ -378,6 +400,26 @@ mod tests {
         assert_eq!(faults.switch_local_disabled(1, 1), vec![1, 15]);
         assert_eq!(faults.switch_local_disabled(1, 0), vec![5]);
         assert!(faults.switch_local_disabled(1, 2).is_empty());
+    }
+
+    #[test]
+    fn bitmask_backend_counts_without_double_counting() {
+        let p = EdnParams::new(16, 4, 4, 2).unwrap();
+        let mut faults = FaultSet::none(&p);
+        faults.disable(1, 63).unwrap();
+        faults.disable(1, 63).unwrap(); // idempotent
+        faults.disable(2, 0).unwrap();
+        assert_eq!(faults.count(), 2);
+        // Probes beyond the stage's wire range (and bogus stages) read as
+        // healthy instead of panicking.
+        assert!(!faults.is_disabled(1, 1 << 40));
+        assert!(!faults.is_disabled(0, 0));
+        assert!(!faults.is_disabled(9, 0));
+        // Equality is structural on the masks.
+        let mut twin = FaultSet::none(&p);
+        twin.disable(2, 0).unwrap();
+        twin.disable(1, 63).unwrap();
+        assert_eq!(faults, twin);
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! Asserts the engine's headline property with a counting global
-//! allocator: once warmed up, [`RoutingEngine::route`] and
-//! [`RoutingEngine::route_faulty`] perform **zero heap allocations**, for
-//! every arbitration policy, on the MasPar-shaped `EDN(64, 16, 4, 2)` at
-//! full load.
+//! allocator: once warmed up, [`RoutingEngine::route`],
+//! [`RoutingEngine::route_faulty`], and [`RoutingEngine::route_reordered`]
+//! (with its equality-keyed inverse cache holding a repeated order)
+//! perform **zero heap allocations**, for every arbitration policy, on
+//! the MasPar-shaped `EDN(64, 16, 4, 2)` at full load.
 //!
 //! This file deliberately holds a single `#[test]` so nothing else runs
 //! concurrently against the global allocation counter.
 
 use edn_core::{
-    EdnParams, FaultSet, PriorityArbiter, RandomArbiter, RoundRobinArbiter, RouteRequest,
-    RoutingEngine,
+    EdnParams, FaultSet, PriorityArbiter, RandomArbiter, RetirementOrder, RoundRobinArbiter,
+    RouteRequest, RoutingEngine,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,18 +66,21 @@ fn steady_state_routing_does_not_allocate() {
     let batches: Vec<Vec<RouteRequest>> =
         (0..8).map(|seed| full_load_batch(&params, seed)).collect();
     let faults = FaultSet::random(&params, 0.1, 99);
+    let order = RetirementOrder::rotate_left(params.output_bits(), params.log2_b()).unwrap();
 
     let mut priority = PriorityArbiter::new();
     let mut random = RandomArbiter::new(StdRng::seed_from_u64(42));
     let mut round_robin = RoundRobinArbiter::new();
 
     // Warm-up: let every buffer reach its high-water capacity under all
-    // three policies and both the healthy and faulty paths.
+    // three policies and the healthy, faulty, and reordered paths (the
+    // first reordered cycle also populates the inverse-order cache).
     for batch in &batches {
         engine.route(batch, &mut priority);
         engine.route(batch, &mut random);
         engine.route(batch, &mut round_robin);
         engine.route_faulty(batch, &faults, &mut random);
+        engine.route_reordered(batch, &order, &mut priority);
     }
 
     // Steady state: hundreds of further cycles, zero allocations.
@@ -87,13 +91,14 @@ fn steady_state_routing_does_not_allocate() {
             engine.route(batch, &mut random);
             engine.route(batch, &mut round_robin);
             engine.route_faulty(batch, &faults, &mut random);
+            engine.route_reordered(batch, &order, &mut priority);
         }
     }
     let after = allocations();
     assert_eq!(
         after - before,
         0,
-        "steady-state route()/route_faulty() must not touch the allocator"
+        "steady-state route()/route_faulty()/route_reordered() must not touch the allocator"
     );
 
     // Sanity check on the instrument itself: allocating obviously bumps

@@ -154,9 +154,8 @@ pub fn estimate_pa_permutation(
     estimate_pa_with(params, &mut workload, arbiter, cycles, seed)
 }
 
-/// Runs `f(seed)` for every seed on a pool of OS threads (one chunk per
-/// available core), preserving order. For embarrassingly parallel
-/// Monte-Carlo sweeps.
+/// Runs `f(seed)` for every seed on the work-stealing sweep pool,
+/// preserving order. For embarrassingly parallel Monte-Carlo sweeps.
 ///
 /// # Examples
 ///
@@ -174,22 +173,31 @@ where
     map_seeds_with(seeds, || (), |(), seed| f(seed))
 }
 
-/// As [`map_seeds`], but each worker thread first builds private state
-/// with `init` and hands `f` a mutable reference to it for every seed of
-/// its chunk.
+/// As [`map_seeds`], but each pool worker first builds private state with
+/// `init` and hands `f` a mutable reference to it for every seed it
+/// executes.
 ///
 /// This is how Monte-Carlo sweeps amortize engine construction: `init`
 /// builds one [`NetworkSim`] (or bare
-/// [`RoutingEngine`](edn_core::RoutingEngine)) per thread, and every seed
-/// routed on that thread reuses its buffers instead of re-wiring the
+/// [`RoutingEngine`](edn_core::RoutingEngine)) per worker, and every seed
+/// routed on that worker reuses its buffers instead of re-wiring the
 /// fabric per seed.
+///
+/// Execution delegates to [`edn_sweep::pool`]: idle workers *steal*
+/// pending seeds from busy ones, so uneven per-seed costs (an RA-EDN
+/// permutation run over 16K PEs next to a 128-PE one) no longer
+/// serialize the sweep on its slowest fixed chunk. Results are returned
+/// in seed order and are identical for every worker count, provided
+/// `f`'s result depends only on the seed (state is scratch, not an
+/// accumulator). The worker count is
+/// [`edn_sweep::default_threads`] (all cores, or `EDN_SWEEP_THREADS`).
 ///
 /// # Examples
 ///
 /// ```
 /// use edn_sim::map_seeds_with;
 ///
-/// // One scratch Vec per thread, reused across seeds.
+/// // One scratch Vec per worker, reused across seeds.
 /// let sums = map_seeds_with(
 ///     &[1, 2, 3, 4],
 ///     Vec::<u64>::new,
@@ -207,12 +215,31 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, u64) -> T + Sync,
 {
+    edn_sweep::map_slice_with(0, seeds, init, |state, &seed| f(state, seed))
+}
+
+/// The pre-pool `map_seeds_with`: fixed contiguous chunks, one OS thread
+/// per chunk, no stealing.
+///
+/// Retained as the differential baseline: the `seed_sweep` Criterion
+/// bench and the equivalence tests below pit the work-stealing pool
+/// against it. A sweep whose cost is concentrated in one chunk (the
+/// RA-EDN pathology) serializes here on that chunk's thread; new code
+/// should call [`map_seeds_with`].
+pub fn map_seeds_chunked_with<S, T, I, F>(seeds: &[u64], threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64) -> T + Sync,
+{
     if seeds.is_empty() {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let threads = if threads == 0 {
+        edn_sweep::default_threads()
+    } else {
+        threads
+    };
     let chunk = seeds.len().div_ceil(threads);
     let mut results: Vec<Option<T>> = Vec::with_capacity(seeds.len());
     results.resize_with(seeds.len(), || None);
@@ -307,6 +334,21 @@ mod tests {
         let out = map_seeds(&seeds, |s| s + 1);
         assert_eq!(out, (1..38).collect::<Vec<u64>>());
         assert!(map_seeds(&[], |s| s).is_empty());
+    }
+
+    #[test]
+    fn pool_and_chunked_sweeps_agree() {
+        // The work-stealing pool must return exactly what the fixed-chunk
+        // baseline returns, for any thread count.
+        let params = EdnParams::new(16, 4, 4, 2).unwrap();
+        let seeds: Vec<u64> = (0..9).collect();
+        let measure =
+            |(): &mut (), seed: u64| estimate_pa(&params, 1.0, ArbiterKind::Random, 15, seed).mean;
+        let pooled = map_seeds_with(&seeds, || (), measure);
+        for threads in [1, 3] {
+            let chunked = map_seeds_chunked_with(&seeds, threads, || (), measure);
+            assert_eq!(pooled, chunked, "threads {threads}");
+        }
     }
 
     #[test]

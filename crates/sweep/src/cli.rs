@@ -1,0 +1,203 @@
+//! The shared command-line surface of every experiment binary.
+//!
+//! All `fig*`/`tab*` binaries accept the same sweep flags:
+//!
+//! ```text
+//! --threads N   worker threads for the sweep pool (default: auto)
+//! --seeds N     seeds per Monte-Carlo measurement (default varies)
+//! --cycles N    cycles/trials per measurement (default varies)
+//! --out PATH    also write every table row as JSON Lines to PATH
+//! --help        print usage and exit
+//! ```
+//!
+//! Parsing is dependency-free (the build image has no crates.io access);
+//! unknown flags abort with usage so typos never silently run the default
+//! experiment.
+
+use crate::report::{write_json_rows, Table};
+use std::path::PathBuf;
+
+/// Parsed sweep flags shared by every experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// Worker threads for the sweep pool (`0` = auto).
+    pub threads: usize,
+    /// Seeds per Monte-Carlo measurement.
+    pub seeds: usize,
+    /// Per-measurement cycle/trial override, when given.
+    pub cycles: Option<u32>,
+    /// JSON Lines output path, when given.
+    pub out: Option<PathBuf>,
+    binary: String,
+}
+
+impl SweepArgs {
+    /// Parses `std::env::args`, printing usage and exiting on `--help` or
+    /// a malformed flag. `binary` and `about` feed the usage text;
+    /// `default_seeds` is the binary's seed count when `--seeds` is
+    /// absent.
+    pub fn parse(binary: &str, about: &str, default_seeds: usize) -> Self {
+        match Self::try_parse(std::env::args().skip(1), binary, default_seeds) {
+            Ok(Some(args)) => args,
+            Ok(None) => {
+                println!("{}", Self::usage(binary, about, default_seeds));
+                std::process::exit(0);
+            }
+            Err(message) => {
+                eprintln!("{binary}: {message}");
+                eprintln!("{}", Self::usage(binary, about, default_seeds));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Flag parsing proper: `Ok(None)` means `--help` was requested.
+    fn try_parse(
+        args: impl Iterator<Item = String>,
+        binary: &str,
+        default_seeds: usize,
+    ) -> Result<Option<Self>, String> {
+        let mut parsed = SweepArgs {
+            threads: 0,
+            seeds: default_seeds,
+            cycles: None,
+            out: None,
+            binary: binary.to_string(),
+        };
+        let mut args = args.peekable();
+        while let Some(flag) = args.next() {
+            let mut value =
+                |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+            match flag.as_str() {
+                "--help" | "-h" => return Ok(None),
+                "--threads" => {
+                    parsed.threads = value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads expects a non-negative integer".to_string())?;
+                }
+                "--seeds" => {
+                    parsed.seeds = value("--seeds")?
+                        .parse()
+                        .map_err(|_| "--seeds expects a positive integer".to_string())?;
+                    if parsed.seeds == 0 {
+                        return Err("--seeds expects a positive integer".to_string());
+                    }
+                }
+                "--cycles" => {
+                    let cycles: u32 = value("--cycles")?
+                        .parse()
+                        .map_err(|_| "--cycles expects a positive integer".to_string())?;
+                    if cycles == 0 {
+                        return Err("--cycles expects a positive integer".to_string());
+                    }
+                    parsed.cycles = Some(cycles);
+                }
+                "--out" => parsed.out = Some(PathBuf::from(value("--out")?)),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(Some(parsed))
+    }
+
+    fn usage(binary: &str, about: &str, default_seeds: usize) -> String {
+        format!(
+            "{about}\n\n\
+             Usage: {binary} [--threads N] [--seeds N] [--cycles N] [--out PATH]\n\n\
+             Options:\n  \
+             --threads N  worker threads for the sweep pool (default: all cores,\n               \
+             or EDN_SWEEP_THREADS)\n  \
+             --seeds N    seeds per Monte-Carlo measurement (default: {default_seeds})\n  \
+             --cycles N   cycles/trials per measurement (default: experiment-specific)\n  \
+             --out PATH   also write every table row as JSON Lines to PATH\n  \
+             --help       print this message"
+        )
+    }
+
+    /// The seed list `base..base + seeds` this run measures.
+    pub fn seed_list(&self, base: u64) -> Vec<u64> {
+        (base..base + self.seeds as u64).collect()
+    }
+
+    /// `--cycles` if given, else `default`.
+    pub fn cycles_or(&self, default: u32) -> u32 {
+        self.cycles.unwrap_or(default)
+    }
+
+    /// Writes every table's rows as JSON Lines to `--out` (no-op without
+    /// the flag), reporting the destination on stdout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output file cannot be written — an experiment run
+    /// whose emission fails should fail loudly, not print tables and lose
+    /// the artifact.
+    pub fn emit(&self, tables: &[&Table]) {
+        let Some(path) = &self.out else {
+            return;
+        };
+        let rows = write_json_rows(path, tables)
+            .unwrap_or_else(|error| panic!("{}: writing {}: {error}", self.binary, path.display()));
+        println!("wrote {rows} JSON rows to {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(flags: &[&str]) -> Result<Option<SweepArgs>, String> {
+        SweepArgs::try_parse(flags.iter().map(|s| s.to_string()), "test_bin", 4)
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let args = parse(&[]).unwrap().unwrap();
+        assert_eq!(args.threads, 0);
+        assert_eq!(args.seeds, 4);
+        assert_eq!(args.cycles, None);
+        assert_eq!(args.out, None);
+        assert_eq!(args.cycles_or(60), 60);
+        assert_eq!(args.seed_list(100), vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let args = parse(&[
+            "--threads",
+            "8",
+            "--seeds",
+            "2",
+            "--cycles",
+            "30",
+            "--out",
+            "rows.jsonl",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(args.threads, 8);
+        assert_eq!(args.seeds, 2);
+        assert_eq!(args.cycles_or(60), 30);
+        assert_eq!(args.out, Some(PathBuf::from("rows.jsonl")));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse(&["--help"]).unwrap(), None);
+        assert_eq!(parse(&["-h", "--bogus"]).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_flags_are_rejected() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "x"]).is_err());
+        assert!(parse(&["--seeds", "0"]).is_err());
+        assert!(parse(&["--cycles", "0"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn emit_without_out_is_a_no_op() {
+        let args = parse(&[]).unwrap().unwrap();
+        args.emit(&[]);
+    }
+}

@@ -1,0 +1,64 @@
+//! The sweep executor powering every EDN experiment binary.
+//!
+//! The paper's tables and figures are all parameter sweeps — network
+//! families × offered loads × fault fractions × seeds — and their cost
+//! is wildly uneven: an RA-EDN permutation run over 16K processors costs
+//! orders of magnitude more than a 128-PE one. This crate turns a sweep
+//! into a first-class object and executes it well:
+//!
+//! * [`pool`] — a vendored **work-stealing** task pool (no crates.io in
+//!   the build image): fixed chunking serializes a sweep on its slowest
+//!   chunk; stealing keeps every worker busy until the grid is drained.
+//!   Single-worker runs execute inline with zero overhead.
+//! * [`spec`] — [`SweepSpec`]: cartesian grids with deterministic
+//!   per-point RNG seeds ([`SweepPoint::rng_seed`]), so sweep output is
+//!   **bit-identical for every thread count**.
+//! * [`worker`] — [`SweepWorker`]: per-worker caches of wired
+//!   [`RoutingEngine`](edn_core::RoutingEngine)s, fault sets, and one
+//!   request buffer, keeping grid execution on the zero-allocation hot
+//!   path.
+//! * [`report`] — [`Table`]: the paper-style text table plus JSON-Lines
+//!   emission for experiment drivers.
+//! * [`cli`] — [`SweepArgs`]: the `--threads`/`--seeds`/`--cycles`/
+//!   `--out` surface shared by all `fig*`/`tab*` binaries.
+//!
+//! # Quick start
+//!
+//! Measure full-load acceptance across a family on all cores:
+//!
+//! ```
+//! use edn_core::{EdnParams, PriorityArbiter};
+//! use edn_sweep::{SweepSpec, SweepWorker};
+//!
+//! # fn main() -> Result<(), edn_core::EdnError> {
+//! let spec = SweepSpec::over([
+//!     EdnParams::new(16, 4, 4, 2)?,
+//!     EdnParams::new(16, 4, 4, 3)?,
+//! ]);
+//! let rows = spec.run(0, SweepWorker::new, |worker, point| {
+//!     let (engine, requests) = worker.engine_and_requests(&point.params);
+//!     requests.clear();
+//!     let n = point.params.inputs();
+//!     requests.extend((0..n).map(|s| edn_core::RouteRequest::new(s, (s * 7 + 1) % n)));
+//!     let outcome = engine.route(requests, &mut PriorityArbiter::new());
+//!     (point.params, outcome.acceptance_rate())
+//! });
+//! assert_eq!(rows.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+pub mod pool;
+pub mod report;
+pub mod spec;
+pub mod worker;
+
+pub use cli::SweepArgs;
+pub use pool::{default_threads, map_slice_with, run_indexed};
+pub use report::{fmt_f, fmt_opt, write_json_rows, Table};
+pub use spec::{SweepPoint, SweepSpec};
+pub use worker::SweepWorker;

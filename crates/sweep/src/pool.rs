@@ -1,0 +1,309 @@
+//! A vendored work-stealing task pool for embarrassingly parallel sweeps.
+//!
+//! The build image has no crates.io access, so this module implements the
+//! small slice of rayon this workspace needs: run `n` indexed tasks on `t`
+//! worker threads, each worker owning private state built once per worker,
+//! with idle workers **stealing** queued tasks from busy ones. Fixed
+//! chunking (the previous `map_seeds_with` scheme) serializes a sweep on
+//! its slowest chunk — exactly the failure mode of the paper's uneven
+//! workloads, where an RA-EDN permutation run for a large cluster size
+//! costs orders of magnitude more than a small one. Stealing keeps every
+//! worker busy until the global task set is drained, so the wall clock
+//! tracks the *total* work, not the unluckiest chunk.
+//!
+//! Design notes:
+//!
+//! * Tasks are indices `0..tasks`; results are returned **in index
+//!   order**, so output is bit-identical regardless of worker count as
+//!   long as each task's result is a pure function of its index (worker
+//!   state must act as a cache — buffers, wired engines — not as an RNG
+//!   or accumulator shared across tasks).
+//! * Each worker owns a deque seeded with a contiguous block of indices
+//!   (preserving cache locality for parameter-ordered grids). Owners pop
+//!   from the front; thieves take the back half of a victim's deque, the
+//!   classic stealing split.
+//! * The deques are `Mutex<VecDeque<usize>>`: tasks in this workspace are
+//!   coarse (a Monte-Carlo run, a permutation routing), so lock traffic
+//!   is a few dozen transitions per sweep and never on the per-cycle hot
+//!   path. No `unsafe` anywhere.
+//! * A single-worker run executes **inline** on the caller's thread: no
+//!   spawn, no locks. `available_parallelism() == 1` machines pay zero
+//!   overhead over a plain loop.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The worker-thread count [`run_indexed`] uses when asked for `0`
+/// threads: the `EDN_SWEEP_THREADS` environment variable if set and
+/// positive, otherwise [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    if let Ok(value) = std::env::var("EDN_SWEEP_THREADS") {
+        if let Ok(n) = value.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Runs tasks `0..tasks` on a work-stealing pool of `threads` workers
+/// (`0` = [`default_threads`]), returning the results in task order.
+///
+/// Each worker first builds private state with `init`, then hands `f` a
+/// mutable reference to it for every task index it executes. Results are
+/// identical for every `threads` value provided `f`'s result depends only
+/// on the task index (state is a reusable scratch arena, not a carrier of
+/// cross-task information).
+///
+/// # Panics
+///
+/// Propagates panics from `init` and `f` (the scope joins all workers
+/// first).
+///
+/// # Examples
+///
+/// ```
+/// use edn_sweep::pool::run_indexed;
+///
+/// let squares = run_indexed(3, 5, || (), |(), i| (i * i) as u64);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn run_indexed<T, S, I, F>(threads: usize, tasks: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if tasks == 0 {
+        return Vec::new();
+    }
+    let workers = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+    .min(tasks);
+    if workers == 1 {
+        // Inline fast path: no spawn, no deques, no locks.
+        let mut state = init();
+        return (0..tasks).map(|index| f(&mut state, index)).collect();
+    }
+
+    // Seed each deque with a contiguous block (block w owns
+    // [w*chunk, ...)), preserving locality for parameter-ordered grids.
+    let chunk = tasks.div_ceil(workers);
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let low = w * chunk;
+            let high = ((w + 1) * chunk).min(tasks);
+            Mutex::new((low..high.max(low)).collect())
+        })
+        .collect();
+    let deques = &deques;
+    let init = &init;
+    let f = &f;
+
+    let mut per_worker: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut results: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let index = pop_or_steal(deques, me);
+                        match index {
+                            Some(index) => results.push((index, f(&mut state, index))),
+                            None => break,
+                        }
+                    }
+                    results
+                })
+            })
+            .collect();
+        for handle in handles {
+            per_worker.push(handle.join().expect("sweep worker panicked"));
+        }
+    });
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(tasks);
+    slots.resize_with(tasks, || None);
+    for (index, value) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[index].is_none(), "task {index} ran twice");
+        slots[index] = Some(value);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| slot.unwrap_or_else(|| panic!("task {index} never ran")))
+        .collect()
+}
+
+/// Pops the next task for worker `me`: front of its own deque, else the
+/// back half of the first non-empty victim. `None` once every deque is
+/// drained (tasks already claimed are being executed by their claimants).
+fn pop_or_steal(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(index) = deques[me].lock().expect("deque poisoned").pop_front() {
+        return Some(index);
+    }
+    let workers = deques.len();
+    for offset in 1..workers {
+        let victim = (me + offset) % workers;
+        let mut stolen: VecDeque<usize> = {
+            let mut deque = deques[victim].lock().expect("deque poisoned");
+            // Take the back ceil(half): at least one task whenever the
+            // victim has any queued, so a lone queued task is stealable.
+            let keep = deque.len() / 2;
+            deque.split_off(keep)
+        };
+        if let Some(index) = stolen.pop_front() {
+            if !stolen.is_empty() {
+                deques[me].lock().expect("deque poisoned").extend(stolen);
+            }
+            return Some(index);
+        }
+    }
+    None
+}
+
+/// As [`run_indexed`], mapping `f` over a slice with per-worker state:
+/// the drop-in work-stealing replacement for chunked seed sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use edn_sweep::pool::map_slice_with;
+///
+/// let doubled = map_slice_with(0, &[1u64, 2, 3], || (), |(), &x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
+pub fn map_slice_with<E, T, S, I, F>(threads: usize, items: &[E], init: I, f: F) -> Vec<T>
+where
+    E: Sync,
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &E) -> T + Sync,
+{
+    run_indexed(threads, items.len(), init, |state, index| {
+        f(state, &items[index])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_task_in_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = run_indexed(threads, 37, || (), |(), i| i + 1);
+            assert_eq!(out, (1..38).collect::<Vec<usize>>(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_task_set_is_empty() {
+        let out: Vec<u64> = run_indexed(4, 0, || (), |(), _| 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let out = run_indexed(64, 3, || (), |(), i| i * 10);
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn init_runs_at_most_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let out = run_indexed(
+            3,
+            50,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |scratch, i| {
+                *scratch += 1;
+                i
+            },
+        );
+        assert_eq!(out.len(), 50);
+        assert!(inits.load(Ordering::Relaxed) <= 3);
+    }
+
+    #[test]
+    fn uneven_tasks_still_all_complete() {
+        // Heavy tail at the end — the chunked pathology — must still
+        // produce every result.
+        let out = run_indexed(
+            4,
+            16,
+            || (),
+            |(), i| {
+                let spins = if i >= 12 { 20_000 } else { 10 };
+                let mut acc = i as u64;
+                for k in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                (i, acc)
+            },
+        );
+        for (index, (i, _)) in out.iter().enumerate() {
+            assert_eq!(index, *i);
+        }
+    }
+
+    #[test]
+    fn a_lone_queued_task_is_stealable() {
+        // A victim holding exactly one queued task must lose it to a
+        // thief; a floor(half) split would leave it stranded behind the
+        // victim's in-flight task.
+        let deques = vec![
+            Mutex::new(VecDeque::from([7usize])),
+            Mutex::new(VecDeque::new()),
+        ];
+        assert_eq!(pop_or_steal(&deques, 1), Some(7));
+        assert!(deques[0].lock().unwrap().is_empty());
+        assert!(pop_or_steal(&deques, 1).is_none());
+    }
+
+    #[test]
+    fn stealing_takes_the_back_half_inclusive() {
+        let deques = vec![
+            Mutex::new(VecDeque::from([0usize, 1, 2, 3, 4])),
+            Mutex::new(VecDeque::new()),
+        ];
+        // Thief takes ceil(5/2) = 3 tasks from the back, returns the
+        // first of them and queues the rest locally.
+        assert_eq!(pop_or_steal(&deques, 1), Some(2));
+        assert_eq!(*deques[0].lock().unwrap(), VecDeque::from([0, 1]));
+        assert_eq!(*deques[1].lock().unwrap(), VecDeque::from([3, 4]));
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let reference = run_indexed(1, 29, || (), |(), i| (i as u64).wrapping_mul(0x9E37));
+        for threads in [2, 3, 7] {
+            let out = run_indexed(threads, 29, || (), |(), i| (i as u64).wrapping_mul(0x9E37));
+            assert_eq!(out, reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() > 0);
+    }
+
+    #[test]
+    fn map_slice_preserves_order() {
+        let items: Vec<u64> = (0..23).collect();
+        let out = map_slice_with(3, &items, || (), |(), &x| x * x);
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+}

@@ -1,0 +1,304 @@
+//! Structured emission: paper-style text tables and JSON rows.
+//!
+//! Every experiment binary renders its results twice from the same
+//! [`Table`]s: an aligned plain-text table on stdout (the paper-style
+//! artifact) and, when `--out` is given, one JSON object per data row
+//! (JSON Lines) so experiment drivers and plotting scripts consume the
+//! numbers without scraping text. Cells that look like numbers are
+//! emitted as JSON numbers; everything else is an escaped string.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// A minimal aligned-column text table (stdout-oriented; also exportable
+/// as CSV and JSON rows).
+///
+/// # Examples
+///
+/// ```
+/// use edn_sweep::Table;
+///
+/// let mut table = Table::new("demo", &["n", "value"]);
+/// table.row(vec!["1".into(), "0.5".into()]);
+/// let text = table.render();
+/// assert!(text.contains("demo"));
+/// assert!(text.contains("value"));
+/// assert_eq!(table.to_json_rows(), vec![r#"{"table": "demo", "n": 1, "value": 0.5}"#]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells.len()` differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table as text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (width, cell) in widths.iter_mut().zip(row) {
+                *width = (*width).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+
+    /// Renders the table as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders every data row as one JSON object keyed by column header,
+    /// with a `"table"` field carrying the title. Numeric-looking cells
+    /// become JSON numbers.
+    pub fn to_json_rows(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let mut out = String::from("{");
+                out.push_str(&format!("\"table\": {}", json_string(&self.title)));
+                for (header, cell) in self.headers.iter().zip(row) {
+                    out.push_str(&format!(", {}: {}", json_string(header), json_cell(cell)));
+                }
+                out.push('}');
+                out
+            })
+            .collect()
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            ch if (ch as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", ch as u32)),
+            ch => out.push(ch),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a table cell as a JSON value: a plain decimal number when the
+/// cell is one (no leading `+`, no `Inf`/`NaN`), otherwise a string.
+fn json_cell(cell: &str) -> String {
+    if is_json_number(cell) {
+        cell.to_string()
+    } else {
+        json_string(cell)
+    }
+}
+
+/// `true` if `cell` is already a valid JSON number literal.
+fn is_json_number(cell: &str) -> bool {
+    let body = cell.strip_prefix('-').unwrap_or(cell);
+    if body.is_empty() {
+        return false;
+    }
+    let mut parts = body.splitn(2, '.');
+    let integer = parts.next().unwrap_or("");
+    let fraction = parts.next();
+    let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    // JSON forbids leading zeros on multi-digit integer parts.
+    let integer_ok = digits(integer) && (integer.len() == 1 || !integer.starts_with('0'));
+    integer_ok && fraction.is_none_or(digits)
+}
+
+/// Formats a float with `digits` fractional digits.
+pub fn fmt_f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Formats an optional float, rendering `None` as `-`.
+pub fn fmt_opt(x: Option<f64>, digits: usize) -> String {
+    match x {
+        Some(v) => fmt_f(v, digits),
+        None => "-".to_string(),
+    }
+}
+
+/// Writes every data row of `tables` to `path` as JSON Lines, returning
+/// the row count.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_json_rows(path: &Path, tables: &[&Table]) -> std::io::Result<usize> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut rows = 0usize;
+    for table in tables {
+        for row in table.to_json_rows() {
+            writeln!(file, "{row}")?;
+            rows += 1;
+        }
+    }
+    file.into_inner()?.sync_all()?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("x", &["aa", "b"]);
+        t.row(vec!["1".into(), "22222".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let text = t.render();
+        assert!(text.contains("== x =="));
+        let lines: Vec<&str> = text.lines().collect();
+        // Title, header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new("x", &["n", "pa"]);
+        t.row(vec!["8".into(), "0.75".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "n,pa\n8,0.75\n");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn row_arity_is_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn json_rows_type_cells() {
+        let mut t = Table::new("tab \"q\"", &["n", "pa", "name", "ci"]);
+        t.row(vec![
+            "64".into(),
+            "0.544".into(),
+            "EDN(16,4,4,2)".into(),
+            "-".into(),
+        ]);
+        t.row(vec!["-3".into(), "007".into(), "a\nb".into(), "1.".into()]);
+        let rows = t.to_json_rows();
+        assert_eq!(
+            rows[0],
+            r#"{"table": "tab \"q\"", "n": 64, "pa": 0.544, "name": "EDN(16,4,4,2)", "ci": "-"}"#
+        );
+        // Leading zeros, trailing dots, and control characters fall back
+        // to strings.
+        assert_eq!(
+            rows[1],
+            r#"{"table": "tab \"q\"", "n": -3, "pa": "007", "name": "a\nb", "ci": "1."}"#
+        );
+    }
+
+    #[test]
+    fn number_detection_is_strict() {
+        for yes in ["0", "10", "-1", "3.25", "0.5", "-0.125"] {
+            assert!(is_json_number(yes), "{yes}");
+        }
+        for no in ["", "-", "+1", "1e3", ".5", "1.", "01", "0x1f", "NaN", "1 "] {
+            assert!(!is_json_number(no), "{no}");
+        }
+    }
+
+    #[test]
+    fn write_json_rows_counts() {
+        let dir = std::env::temp_dir().join("edn_sweep_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rows.jsonl");
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        t.row(vec!["2".into()]);
+        let written = write_json_rows(&path, &[&t, &t]).unwrap();
+        assert_eq!(written, 4);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(0.5444, 3), "0.544");
+        assert_eq!(fmt_opt(None, 2), "-");
+        assert_eq!(fmt_opt(Some(1.0), 2), "1.00");
+    }
+}

@@ -1,0 +1,276 @@
+//! Cartesian sweep grids and their deterministic execution.
+//!
+//! Every table and figure of the paper is a parameter sweep: a grid of
+//! network shapes × offered loads × fault fractions × seeds, with one
+//! measurement per grid point. [`SweepSpec`] names that grid once;
+//! [`SweepSpec::run`] executes it on the work-stealing pool with private
+//! per-worker state, returning measurements **in grid order** so the
+//! output is bit-identical for every worker count.
+//!
+//! Determinism contract: every random draw inside a measurement must be
+//! seeded from [`SweepPoint::rng_seed`], which mixes the point's
+//! coordinates (never the worker id or execution order) into a 64-bit
+//! stream seed. Two runs of the same spec — on 1 thread or 64 — then
+//! produce identical rows.
+
+use crate::pool::run_indexed;
+use edn_core::EdnParams;
+
+/// One grid point of a sweep: a network shape, an offered load, a wire
+/// fault fraction, and a seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Position in grid order (row-major over networks, loads, fault
+    /// fractions, seeds).
+    pub index: usize,
+    /// The network shape measured at this point.
+    pub params: EdnParams,
+    /// Offered request rate `r` in `[0, 1]`.
+    pub load: f64,
+    /// Fraction of broken hyperbar-stage wires in `[0, 1]`.
+    pub fault_fraction: f64,
+    /// The sweep seed of this point.
+    pub seed: u64,
+}
+
+impl SweepPoint {
+    /// The 64-bit RNG seed of this point: a SplitMix64 chain over the
+    /// point's *coordinates* (seed, network shape, load, fault fraction).
+    ///
+    /// Independent of `index`, worker id, and thread count, so any
+    /// measurement seeded from it is reproducible across executors and
+    /// insensitive to how other grid axes are ordered.
+    pub fn rng_seed(&self) -> u64 {
+        let mut state = 0x0DD0_5EED_u64;
+        for word in [
+            self.seed,
+            self.params.a(),
+            self.params.b(),
+            self.params.c(),
+            self.params.l() as u64,
+            self.load.to_bits(),
+            self.fault_fraction.to_bits(),
+        ] {
+            state = splitmix64(state ^ word);
+        }
+        state
+    }
+}
+
+/// One step of the SplitMix64 sequence — the standard 64-bit mixer.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A cartesian sweep grid: networks × loads × fault fractions × seeds.
+///
+/// # Examples
+///
+/// ```
+/// use edn_core::EdnParams;
+/// use edn_sweep::SweepSpec;
+///
+/// # fn main() -> Result<(), edn_core::EdnError> {
+/// let spec = SweepSpec::over([EdnParams::new(16, 4, 4, 2)?])
+///     .loads([0.5, 1.0])
+///     .seeds(0..3);
+/// assert_eq!(spec.len(), 6);
+/// // Measurements run on the work-stealing pool, in grid order.
+/// let rows = spec.run(2, || (), |(), point| (point.load, point.seed));
+/// assert_eq!(rows[0], (0.5, 0));
+/// assert_eq!(rows[5], (1.0, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    networks: Vec<EdnParams>,
+    loads: Vec<f64>,
+    fault_fractions: Vec<f64>,
+    seeds: Vec<u64>,
+}
+
+impl SweepSpec {
+    /// A spec over the given networks, with one default point on every
+    /// other axis: full load, no faults, seed 0.
+    pub fn over(networks: impl IntoIterator<Item = EdnParams>) -> Self {
+        SweepSpec {
+            networks: networks.into_iter().collect(),
+            loads: vec![1.0],
+            fault_fractions: vec![0.0],
+            seeds: vec![0],
+        }
+    }
+
+    /// Replaces the offered-load axis.
+    #[must_use]
+    pub fn loads(mut self, loads: impl IntoIterator<Item = f64>) -> Self {
+        self.loads = loads.into_iter().collect();
+        self
+    }
+
+    /// Replaces the wire-fault-fraction axis.
+    #[must_use]
+    pub fn fault_fractions(mut self, fractions: impl IntoIterator<Item = f64>) -> Self {
+        self.fault_fractions = fractions.into_iter().collect();
+        self
+    }
+
+    /// Replaces the seed axis.
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// The networks axis.
+    pub fn networks(&self) -> &[EdnParams] {
+        &self.networks
+    }
+
+    /// Number of grid points (the product of the four axis lengths).
+    pub fn len(&self) -> usize {
+        self.networks.len() * self.loads.len() * self.fault_fractions.len() * self.seeds.len()
+    }
+
+    /// `true` if any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the grid in row-major order: networks, then loads,
+    /// then fault fractions, then seeds.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        let mut points = Vec::with_capacity(self.len());
+        for &params in &self.networks {
+            for &load in &self.loads {
+                for &fault_fraction in &self.fault_fractions {
+                    for &seed in &self.seeds {
+                        points.push(SweepPoint {
+                            index: points.len(),
+                            params,
+                            load,
+                            fault_fraction,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Measures every grid point on the work-stealing pool (`threads`
+    /// workers; `0` = auto) and returns the results in grid order.
+    ///
+    /// `init` builds one private state per worker (typically a
+    /// [`SweepWorker`](crate::SweepWorker) or a caller-defined simulator
+    /// cache); `measure` must derive all randomness from
+    /// [`SweepPoint::rng_seed`] so the rows are identical for every
+    /// `threads` value.
+    pub fn run<T, S, I, F>(&self, threads: usize, init: I, measure: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &SweepPoint) -> T + Sync,
+    {
+        let points = self.points();
+        run_indexed(threads, points.len(), init, |state, index| {
+            measure(state, &points[index])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(a: u64, b: u64, c: u64, l: u32) -> EdnParams {
+        EdnParams::new(a, b, c, l).unwrap()
+    }
+
+    #[test]
+    fn grid_order_is_row_major() {
+        let spec = SweepSpec::over([params(16, 4, 4, 2), params(8, 4, 2, 2)])
+            .loads([0.5, 1.0])
+            .seeds([7, 8, 9]);
+        let points = spec.points();
+        assert_eq!(points.len(), 12);
+        assert_eq!(spec.len(), 12);
+        // First network varies slowest, seeds fastest.
+        assert_eq!(points[0].seed, 7);
+        assert_eq!(points[2].seed, 9);
+        assert_eq!(points[0].load, 0.5);
+        assert_eq!(points[3].load, 1.0);
+        assert_eq!(points[6].params, params(8, 4, 2, 2));
+        for (i, point) in points.iter().enumerate() {
+            assert_eq!(point.index, i);
+        }
+    }
+
+    #[test]
+    fn rng_seed_depends_only_on_coordinates() {
+        let spec_a = SweepSpec::over([params(16, 4, 4, 2)])
+            .loads([1.0])
+            .seeds([3]);
+        // Same coordinates reached through a larger grid: same rng_seed.
+        let spec_b = SweepSpec::over([params(8, 4, 2, 2), params(16, 4, 4, 2)])
+            .loads([0.25, 1.0])
+            .seeds([1, 2, 3]);
+        let target = spec_a.points()[0];
+        let twin = spec_b
+            .points()
+            .into_iter()
+            .find(|p| p.params == target.params && p.load == target.load && p.seed == target.seed)
+            .expect("coordinates present in the larger grid");
+        assert_eq!(target.rng_seed(), twin.rng_seed());
+        assert_ne!(target.index, twin.index);
+    }
+
+    #[test]
+    fn rng_seed_separates_every_axis() {
+        let base = SweepPoint {
+            index: 0,
+            params: params(16, 4, 4, 2),
+            load: 1.0,
+            fault_fraction: 0.0,
+            seed: 1,
+        };
+        let mut variants = vec![base];
+        variants.push(SweepPoint { seed: 2, ..base });
+        variants.push(SweepPoint { load: 0.5, ..base });
+        variants.push(SweepPoint {
+            fault_fraction: 0.1,
+            ..base
+        });
+        variants.push(SweepPoint {
+            params: params(8, 4, 2, 2),
+            ..base
+        });
+        let mut seeds: Vec<u64> = variants.iter().map(SweepPoint::rng_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), variants.len(), "axis collision in rng_seed");
+    }
+
+    #[test]
+    fn run_preserves_grid_order_across_thread_counts() {
+        let spec = SweepSpec::over([params(16, 4, 4, 2)])
+            .loads([0.25, 0.5, 1.0])
+            .seeds(0..5);
+        let reference = spec.run(1, || (), |(), p| p.rng_seed());
+        for threads in [2, 4] {
+            assert_eq!(spec.run(threads, || (), |(), p| p.rng_seed()), reference);
+        }
+    }
+
+    #[test]
+    fn empty_axis_empties_the_grid() {
+        let spec = SweepSpec::over([params(16, 4, 4, 2)]).seeds([]);
+        assert!(spec.is_empty());
+        assert!(spec.points().is_empty());
+    }
+}

@@ -10,6 +10,8 @@
 //!   (`edn-analytic`).
 //! * [`sim`] — the cycle-level circuit-switched simulator (`edn-sim`).
 //! * [`traffic`] — workload generators (`edn-traffic`).
+//! * [`sweep`] — the work-stealing sweep executor and structured
+//!   emission behind every experiment binary (`edn-sweep`).
 //!
 //! The most common types are additionally re-exported at the crate root.
 //!
@@ -33,6 +35,7 @@
 pub use edn_analytic as analytic;
 pub use edn_core as core;
 pub use edn_sim as sim;
+pub use edn_sweep as sweep;
 pub use edn_traffic as traffic;
 
 pub use edn_core::{

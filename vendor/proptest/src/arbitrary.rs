@@ -10,9 +10,15 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 }
 
 /// Types with a canonical [`any`] distribution.
-pub trait Arbitrary {
+pub trait Arbitrary: Clone + std::fmt::Debug {
     /// Draws one uniform value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Candidate simplifications of `value`, simplest first (for the
+    /// shrinker); defaults to none.
+    fn simplify(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 /// The strategy returned by [`any`].
@@ -25,40 +31,75 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> Option<T> {
         Some(T::arbitrary(rng))
     }
-}
 
-impl Arbitrary for u64 {
-    fn arbitrary(rng: &mut TestRng) -> Self {
-        rng.next_u64()
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::simplify(value)
     }
 }
 
-impl Arbitrary for u32 {
-    fn arbitrary(rng: &mut TestRng) -> Self {
-        (rng.next_u64() >> 32) as u32
-    }
+macro_rules! arbitrary_uint {
+    ($($t:ty => $draw:expr),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                #[allow(clippy::redundant_closure_call)]
+                ($draw)(rng)
+            }
+
+            fn simplify(value: &Self) -> Vec<Self> {
+                let mut candidates = Vec::new();
+                if *value > 0 {
+                    candidates.push(0);
+                    let half = value / 2;
+                    if half > 0 {
+                        candidates.push(half);
+                    }
+                    if value - 1 > half {
+                        candidates.push(value - 1);
+                    }
+                }
+                candidates
+            }
+        }
+    )*};
 }
 
-impl Arbitrary for u16 {
-    fn arbitrary(rng: &mut TestRng) -> Self {
-        (rng.next_u64() >> 48) as u16
-    }
-}
-
-impl Arbitrary for u8 {
-    fn arbitrary(rng: &mut TestRng) -> Self {
-        (rng.next_u64() >> 56) as u8
-    }
-}
-
-impl Arbitrary for usize {
-    fn arbitrary(rng: &mut TestRng) -> Self {
-        rng.next_u64() as usize
-    }
+arbitrary_uint! {
+    u64 => |rng: &mut TestRng| rng.next_u64(),
+    u32 => |rng: &mut TestRng| (rng.next_u64() >> 32) as u32,
+    u16 => |rng: &mut TestRng| (rng.next_u64() >> 48) as u16,
+    u8 => |rng: &mut TestRng| (rng.next_u64() >> 56) as u8,
+    usize => |rng: &mut TestRng| rng.next_u64() as usize,
 }
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
+    }
+
+    fn simplify(value: &Self) -> Vec<Self> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_simplification_descends_toward_zero() {
+        assert_eq!(u64::simplify(&100), vec![0, 50, 99]);
+        assert_eq!(u64::simplify(&1), vec![0]);
+        assert!(u64::simplify(&0).is_empty());
+        assert_eq!(u64::simplify(&2), vec![0, 1]);
+    }
+
+    #[test]
+    fn bool_simplifies_to_false() {
+        assert_eq!(bool::simplify(&true), vec![false]);
+        assert!(bool::simplify(&false).is_empty());
     }
 }

@@ -29,4 +29,47 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
         }
         Some(out)
     }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut candidates = Vec::new();
+        // Shorter first: half the length, then one element less (both
+        // clamped to the minimum size).
+        let mut lens = vec![value.len() / 2, value.len().saturating_sub(1)];
+        lens.dedup();
+        for len in lens {
+            if len >= self.sizes.start && len < value.len() {
+                candidates.push(value[..len].to_vec());
+            }
+        }
+        // Then element-wise: each position replaced by its simplest
+        // shrink candidate.
+        for (index, element) in value.iter().enumerate() {
+            if let Some(simpler) = self.element.shrink(element).into_iter().next() {
+                let mut candidate = value.clone();
+                candidate[index] = simpler;
+                candidates.push(candidate);
+            }
+        }
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_shortens_then_simplifies_elements() {
+        let strategy = vec(0u64..100, 2..10);
+        let candidates = strategy.shrink(&vec![9, 8, 7, 6]);
+        // Half-length and one-shorter prefixes come first.
+        assert_eq!(candidates[0], vec![9, 8]);
+        assert_eq!(candidates[1], vec![9, 8, 7]);
+        // Element-wise shrinks keep the length.
+        assert!(candidates.contains(&vec![0, 8, 7, 6]));
+        assert!(candidates.contains(&vec![9, 8, 7, 0]));
+        // The minimum size is respected.
+        let minimal = strategy.shrink(&vec![0, 0]);
+        assert!(minimal.iter().all(|c| c.len() >= 2));
+    }
 }

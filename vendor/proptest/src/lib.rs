@@ -7,11 +7,14 @@
 //! strategies, [`collection::vec`], and the `prop_filter_map` /
 //! `prop_perturb` / `prop_map` combinators.
 //!
-//! It is a straight random-sampling property runner: each test generates
-//! `PROPTEST_CASES` (default 64) accepted cases from a per-test
-//! deterministic RNG and fails with the offending inputs' case number on
-//! the first assertion failure. There is no shrinking — failures report
-//! the raw sampled values instead.
+//! It is a random-sampling property runner with minimal input shrinking:
+//! each test generates `PROPTEST_CASES` (default 64) accepted cases from
+//! a per-test deterministic RNG; on the first assertion failure the
+//! runner greedily shrinks the failing inputs through
+//! [`Strategy::shrink`](strategy::Strategy::shrink) candidates (ranges
+//! shrink toward their floor, collections shorten, tuples shrink
+//! component-wise) and reports the **minimal failing input** alongside
+//! the original case number.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,8 +36,10 @@ pub mod prelude {
 ///
 /// Each `fn name(pattern in strategy, ...) { body }` item expands to a
 /// `#[test]` that repeatedly samples the strategies and runs the body;
-/// `prop_assume!` rejections are resampled, assertion failures abort with
-/// the case number.
+/// `prop_assume!` rejections are resampled. An assertion failure is
+/// first greedily shrunk through the strategies'
+/// [`shrink`](strategy::Strategy::shrink) candidates, then aborts with
+/// the case number and the minimal failing input.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
@@ -45,6 +50,13 @@ macro_rules! proptest {
                 let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
+                // All per-case strategies as one tuple strategy, so the
+                // shrinker sees (and shrinks) the full input vector.
+                let __strategy = ($(&$strat,)*);
+                let mut __check = $crate::test_runner::constrain_check(&__strategy, |__candidate| {
+                    let ($($pat,)*) = ::core::clone::Clone::clone(__candidate);
+                    (|| { $body ::core::result::Result::Ok(()) })()
+                });
                 let mut accepted: u32 = 0;
                 let mut attempts: u64 = 0;
                 while accepted < cases {
@@ -54,23 +66,22 @@ macro_rules! proptest {
                         "proptest {}: too many rejected samples ({} attempts for {} cases)",
                         stringify!($name), attempts, cases
                     );
-                    $(
-                        let $pat = match $crate::strategy::Strategy::generate(&$strat, &mut rng) {
-                            ::core::option::Option::Some(value) => value,
-                            ::core::option::Option::None => continue,
-                        };
-                    )*
-                    let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| { $body ::core::result::Result::Ok(()) })();
-                    match result {
+                    let __vals = match $crate::strategy::Strategy::generate(&__strategy, &mut rng) {
+                        ::core::option::Option::Some(value) => value,
+                        ::core::option::Option::None => continue,
+                    };
+                    match __check(&__vals) {
                         ::core::result::Result::Ok(()) => accepted += 1,
                         ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
                             continue
                         }
                         ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            let (minimal, minimal_msg, steps) = $crate::test_runner::shrink_failure(
+                                &__strategy, __vals, msg, &mut __check,
+                            );
                             panic!(
-                                "proptest {} failed at case #{}: {}",
-                                stringify!($name), accepted, msg
+                                "proptest {} failed at case #{}: {}\n  minimal failing input ({} shrink steps): {:?}",
+                                stringify!($name), accepted, minimal_msg, steps, minimal
                             )
                         }
                     }

@@ -6,17 +6,34 @@ use crate::test_runner::TestRng;
 ///
 /// `generate` returns `None` when the drawn value is rejected (e.g. by
 /// [`Strategy::prop_filter_map`]); the runner resamples.
+///
+/// `shrink` proposes strictly "smaller" candidate values for a failing
+/// input; the runner greedily descends through candidates that still fail
+/// until none do, so failures are reported with a minimal counterexample.
+/// Primitive strategies (ranges, tuples, [`collection::vec`]
+/// (crate::collection::vec), [`any`](crate::arbitrary::any)) shrink;
+/// mapped/filtered/perturbed strategies cannot invert their closures and
+/// report the original failing value unchanged.
 pub trait Strategy {
-    /// The type of generated values.
-    type Value;
+    /// The type of generated values (cloneable so the shrinker can replay
+    /// candidates, debuggable so failures can print them).
+    type Value: Clone + std::fmt::Debug;
 
     /// Draws one value, or `None` to reject the sample.
     fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Candidate simplifications of `value`, simplest first. Every
+    /// candidate must itself be producible by this strategy. The default
+    /// is no shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values, rejecting those the closure maps to `None`.
     fn prop_filter_map<O, F>(self, reason: &'static str, fun: F) -> FilterMap<Self, F>
     where
         Self: Sized,
+        O: Clone + std::fmt::Debug,
         F: Fn(Self::Value) -> Option<O>,
     {
         FilterMap {
@@ -30,6 +47,7 @@ pub trait Strategy {
     fn prop_map<O, F>(self, fun: F) -> Map<Self, F>
     where
         Self: Sized,
+        O: Clone + std::fmt::Debug,
         F: Fn(Self::Value) -> O,
     {
         Map { source: self, fun }
@@ -39,17 +57,30 @@ pub trait Strategy {
     fn prop_perturb<O, F>(self, fun: F) -> Perturb<Self, F>
     where
         Self: Sized,
+        O: Clone + std::fmt::Debug,
         F: Fn(Self::Value, TestRng) -> O,
     {
         Perturb { source: self, fun }
     }
 }
 
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
 /// Always produces a clone of the wrapped value.
 #[derive(Debug, Clone, Copy)]
-pub struct Just<T: Clone>(pub T);
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
 
-impl<T: Clone> Strategy for Just<T> {
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
     type Value = T;
 
     fn generate(&self, _rng: &mut TestRng) -> Option<T> {
@@ -65,7 +96,9 @@ pub struct FilterMap<S, F> {
     _reason: &'static str,
 }
 
-impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+impl<S: Strategy, O: Clone + std::fmt::Debug, F: Fn(S::Value) -> Option<O>> Strategy
+    for FilterMap<S, F>
+{
     type Value = O;
 
     fn generate(&self, rng: &mut TestRng) -> Option<O> {
@@ -80,7 +113,7 @@ pub struct Map<S, F> {
     fun: F,
 }
 
-impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+impl<S: Strategy, O: Clone + std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
 
     fn generate(&self, rng: &mut TestRng) -> Option<O> {
@@ -95,7 +128,9 @@ pub struct Perturb<S, F> {
     fun: F,
 }
 
-impl<S: Strategy, O, F: Fn(S::Value, TestRng) -> O> Strategy for Perturb<S, F> {
+impl<S: Strategy, O: Clone + std::fmt::Debug, F: Fn(S::Value, TestRng) -> O> Strategy
+    for Perturb<S, F>
+{
     type Value = O;
 
     fn generate(&self, rng: &mut TestRng) -> Option<O> {
@@ -115,6 +150,10 @@ macro_rules! int_range_strategy {
                 let span = (self.end - self.start) as u64;
                 Some(self.start + (rng.next_u64() % span) as $t)
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start, *value)
+            }
         }
 
         impl Strategy for core::ops::RangeInclusive<$t> {
@@ -129,11 +168,56 @@ macro_rules! int_range_strategy {
                 }
                 Some(start + (rng.next_u64() % (span + 1)) as $t)
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start(), *value)
+            }
         }
     )*};
 }
 
 int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Integer shrink candidates between `floor` and `value`, simplest first:
+/// the floor itself, the midpoint, and the predecessor.
+fn shrink_toward<T>(floor: T, value: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + core::ops::Add<Output = T> + core::ops::Sub<Output = T> + HalfStep,
+{
+    let mut candidates = Vec::new();
+    if value > floor {
+        let mid = floor + (value - floor).half();
+        for candidate in [floor, mid, value - T::one()] {
+            if candidate < value && !candidates.contains(&candidate) {
+                candidates.push(candidate);
+            }
+        }
+    }
+    candidates
+}
+
+/// Halving and unit steps for [`shrink_toward`].
+trait HalfStep: Sized {
+    /// `self / 2`.
+    fn half(self) -> Self;
+    /// The unit value.
+    fn one() -> Self;
+}
+
+macro_rules! half_step {
+    ($($t:ty),*) => {$(
+        impl HalfStep for $t {
+            fn half(self) -> Self {
+                self / 2
+            }
+            fn one() -> Self {
+                1
+            }
+        }
+    )*};
+}
+
+half_step!(u8, u16, u32, u64, usize, i32, i64);
 
 impl Strategy for core::ops::Range<f64> {
     type Value = f64;
@@ -142,6 +226,10 @@ impl Strategy for core::ops::Range<f64> {
         assert!(self.start < self.end, "empty range strategy");
         let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
         Some(self.start + unit * (self.end - self.start))
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_float_toward(self.start, *value)
     }
 }
 
@@ -155,10 +243,27 @@ impl Strategy for core::ops::RangeInclusive<f64> {
         let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
         Some(start + unit * (end - start))
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_float_toward(*self.start(), *value)
+    }
+}
+
+/// Float shrink candidates: the range floor, then the midpoint toward it.
+fn shrink_float_toward(floor: f64, value: f64) -> Vec<f64> {
+    let mut candidates = Vec::new();
+    if value > floor {
+        candidates.push(floor);
+        let mid = floor + (value - floor) / 2.0;
+        if mid > floor && mid < value {
+            candidates.push(mid);
+        }
+    }
+    candidates
 }
 
 macro_rules! tuple_strategy {
-    ($(($($name:ident),+))*) => {$(
+    ($(($($name:ident : $idx:tt),+))*) => {$(
         #[allow(non_snake_case)]
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
@@ -167,15 +272,72 @@ macro_rules! tuple_strategy {
                 let ($($name,)+) = self;
                 Some(($($name.generate(rng)?,)+))
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut candidates = Vec::new();
+                $(
+                    for component in self.$idx.shrink(&value.$idx) {
+                        let mut candidate = value.clone();
+                        candidate.$idx = component;
+                        candidates.push(candidate);
+                    }
+                )+
+                candidates
+            }
         }
     )*};
 }
 
 tuple_strategy! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
-    (A, B, C, D, E, F)
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_range_shrinks_toward_start() {
+        let strategy = 3u64..100;
+        let candidates = strategy.shrink(&57);
+        assert_eq!(candidates, vec![3, 30, 56]);
+        assert!(strategy.shrink(&3).is_empty(), "floor cannot shrink");
+        // Adjacent values produce no duplicates.
+        assert_eq!(strategy.shrink(&4), vec![3]);
+    }
+
+    #[test]
+    fn inclusive_range_shrinks_toward_start() {
+        let candidates = (10u32..=20).shrink(&20);
+        assert_eq!(candidates, vec![10, 15, 19]);
+    }
+
+    #[test]
+    fn float_range_shrinks_toward_start() {
+        let candidates = (0.0..1.0).shrink(&0.5);
+        assert_eq!(candidates, vec![0.0, 0.25]);
+        assert!((0.0..1.0).shrink(&0.0).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let strategy = (0u64..10, 0u32..10);
+        let candidates = strategy.shrink(&(4, 6));
+        assert!(candidates.contains(&(0, 6)));
+        assert!(candidates.contains(&(4, 0)));
+        assert!(candidates.iter().all(|&(a, b)| (a, b) != (4, 6)));
+    }
+
+    #[test]
+    fn combinators_do_not_shrink() {
+        let mapped = (0u64..10).prop_map(|x| x * 2);
+        assert!(mapped.shrink(&8).is_empty());
+        let just = Just(41u64);
+        assert!(just.shrink(&41).is_empty());
+    }
 }

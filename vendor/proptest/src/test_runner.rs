@@ -30,6 +30,56 @@ impl std::fmt::Display for TestCaseError {
     }
 }
 
+/// Upper bound on greedy shrink descent steps, a runaway guard far above
+/// any realistic descent depth.
+const MAX_SHRINK_STEPS: u32 = 1024;
+
+/// Pins a check closure's argument to `strategy`'s value type, so the
+/// `proptest!` macro can write `|candidate| ...` without naming the
+/// (unnameable) tuple-of-values type.
+pub fn constrain_check<S, F>(_strategy: &S, check: F) -> F
+where
+    S: crate::strategy::Strategy,
+    F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+{
+    check
+}
+
+/// Greedily shrinks a failing input: repeatedly replaces it with the
+/// first [`Strategy::shrink`] candidate that still fails, until no
+/// candidate fails (a local minimum) or [`MAX_SHRINK_STEPS`] is reached.
+///
+/// `check` re-runs the property body; a candidate counts as "still
+/// failing" only on [`TestCaseError::Fail`] — rejected candidates are
+/// skipped. Returns the minimal failing value, its failure message, and
+/// the number of accepted shrink steps.
+pub fn shrink_failure<S, C>(
+    strategy: &S,
+    initial: S::Value,
+    initial_message: String,
+    check: &mut C,
+) -> (S::Value, String, u32)
+where
+    S: crate::strategy::Strategy,
+    C: FnMut(&S::Value) -> Result<(), TestCaseError>,
+{
+    let mut best = initial;
+    let mut best_message = initial_message;
+    let mut steps = 0u32;
+    'descend: while steps < MAX_SHRINK_STEPS {
+        for candidate in strategy.shrink(&best) {
+            if let Err(TestCaseError::Fail(message)) = check(&candidate) {
+                best = candidate;
+                best_message = message;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (best, best_message, steps)
+}
+
 /// Number of accepted cases each property runs (`PROPTEST_CASES`,
 /// default 64).
 pub fn case_count() -> u32 {

@@ -1,0 +1,99 @@
+//! End-to-end shrinking: failing properties must report a *minimal*
+//! counterexample, not the raw sampled value.
+
+use proptest::prelude::*;
+
+// Deliberately failing properties, declared without `#[test]` so they can
+// be invoked under `catch_unwind` and their panic payloads inspected.
+proptest! {
+    fn fails_from_ten_up(x in 0u64..1000) {
+        prop_assert!(x < 10, "x = {x} is too big");
+    }
+
+    fn fails_on_long_vectors(values in proptest::collection::vec(0u64..50, 1..40)) {
+        prop_assert!(values.len() < 4);
+    }
+
+    fn fails_jointly(pair in (0u64..100, 0u64..100)) {
+        let (a, b) = pair;
+        prop_assert!(a + b < 30);
+    }
+}
+
+/// Runs `test`, returning the panic message it must produce.
+fn panic_message(test: fn()) -> String {
+    let result = std::panic::catch_unwind(test);
+    let payload = result.expect_err("property must fail");
+    if let Some(text) = payload.downcast_ref::<String>() {
+        return text.clone();
+    }
+    payload
+        .downcast_ref::<&str>()
+        .expect("panic payload is a string")
+        .to_string()
+}
+
+#[test]
+fn scalar_failures_shrink_to_the_boundary() {
+    let message = panic_message(fails_from_ten_up);
+    // The greedy descent over {floor, midpoint, predecessor} candidates
+    // terminates exactly at the smallest failing value, 10.
+    assert!(
+        message.contains("minimal failing input") && message.contains("(10,)"),
+        "unexpected message: {message}"
+    );
+}
+
+#[test]
+fn vector_failures_shrink_to_the_shortest_failing_length() {
+    let message = panic_message(fails_on_long_vectors);
+    // Shortening stops at length 4; element-wise shrinking then zeroes
+    // every entry.
+    assert!(
+        message.contains("minimal failing input") && message.contains("[0, 0, 0, 0]"),
+        "unexpected message: {message}"
+    );
+}
+
+#[test]
+fn joint_failures_shrink_every_component() {
+    let message = panic_message(fails_jointly);
+    // Both components shrink until a + b is barely >= 30; the first
+    // component that can reach its floor does.
+    let minimal = message
+        .split("minimal failing input")
+        .nth(1)
+        .expect("shrink report present");
+    let digits: Vec<u64> = minimal
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().unwrap())
+        .collect();
+    // Layout: (steps): ((a, b),) -> [steps, a, b].
+    assert_eq!(digits.len(), 3, "unexpected report: {minimal}");
+    let (a, b) = (digits[1], digits[2]);
+    assert_eq!(a + b, 30, "not minimal: {minimal}");
+}
+
+#[test]
+fn passing_properties_are_unaffected() {
+    proptest! {
+        fn always_holds(x in 0u64..100, flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert!(usize::from(flag) <= 1);
+        }
+    }
+    always_holds();
+}
+
+#[test]
+fn shrink_candidates_are_regeneratable() {
+    // Every candidate a range strategy proposes stays inside the range.
+    let strategy = 5u64..50;
+    for value in [6u64, 25, 49] {
+        for candidate in strategy.shrink(&value) {
+            assert!((5..50).contains(&candidate), "{candidate} escaped range");
+            assert!(candidate < value, "candidate must simplify");
+        }
+    }
+}

@@ -7,14 +7,25 @@
 //! shape: resubmission costs a visible constant factor that grows with
 //! network depth, and the smaller-switch family suffers more.
 //!
-//! Runs on the `edn_sweep` harness: one pool task per (family, size)
-//! fixed-point iteration — the deep networks converge much more slowly
-//! than the shallow ones, exactly the imbalance stealing absorbs;
-//! `--threads/--out` as everywhere.
+//! Sizes up to 4096 ports additionally carry a **simulated** `PA'`
+//! column: a session-backed [`MimdSystem`] run (the whole measurement is
+//! one resident `RouteSession` call on the engine), validating the fixed
+//! point against the wired fabric along the figure's own axis.
+//!
+//! Runs on the `edn_sweep` harness: one pool task per (family, size) —
+//! the deep fixed-point iterations and the larger MIMD runs cost far
+//! more than the shallow ones, exactly the imbalance stealing absorbs;
+//! `--threads/--cycles/--out` as everywhere (`--cycles` sets the
+//! measured simulation cycles).
 
 use edn_analytic::mimd::resubmission_fixed_point;
 use edn_analytic::pa::probability_of_acceptance;
 use edn_bench::{evaluate_families, fmt_opt, Family, SweepArgs, Table};
+use edn_sim::{ArbiterKind, MimdSystem, ResubmitPolicy};
+
+/// Largest network simulated for the measured `PA'` column (the analytic
+/// curves continue to 10^6 ports).
+const SIM_MAX_PORTS: u64 = 4096;
 
 fn main() {
     let args = SweepArgs::parse(
@@ -25,48 +36,67 @@ fn main() {
     const RATE: f64 = 0.5;
     const MAX_PORTS: u64 = 1 << 20;
     let families = [Family { io: 16, b: 4 }, Family { io: 4, b: 2 }];
+    let sim_cycles = args.cycles_or(300);
 
     println!("Figure 11: PA(0.5) vs PA'(0.5), ignored vs resubmitted rejects.\n");
 
     let mut table = Table::new(
-        "FIG11: acceptance at r = 0.5",
+        "FIG11: acceptance at r = 0.5 (sim PA' measured up to N = 4096)",
         &[
             "N",
             "EDN(16,4,4,*) ignored",
             "EDN(16,4,4,*) resubmitted",
+            "EDN(16,4,4,*) sim PA'",
             "EDN(4,2,2,*) ignored",
             "EDN(4,2,2,*) resubmitted",
+            "EDN(4,2,2,*) sim PA'",
         ],
     );
 
     let series = evaluate_families(args.threads, &families, MAX_PORTS, |params| {
         let ignored = probability_of_acceptance(params, RATE);
         let steady = resubmission_fixed_point(params, RATE, 1e-12, 100_000);
-        (ignored, steady.pa_prime)
+        let simulated = (params.inputs() <= SIM_MAX_PORTS).then(|| {
+            let mut system = MimdSystem::new(
+                *params,
+                RATE,
+                ArbiterKind::Random,
+                ResubmitPolicy::Redraw,
+                0xF160 ^ params.inputs(),
+            )
+            .expect("rate 0.5 is valid");
+            system.run(sim_cycles / 2, sim_cycles).acceptance
+        });
+        (ignored, steady.pa_prime, simulated)
     });
     let mut sizes: Vec<u64> = series.iter().flatten().map(|&(n, _)| n).collect();
     sizes.sort_unstable();
     sizes.dedup();
     for &n in &sizes {
         let find = |idx: usize| series[idx].iter().find(|&&(s, _)| s == n).copied();
-        let (i0, r0) = find(0)
-            .map(|(_, (i, r))| (Some(i), Some(r)))
-            .unwrap_or((None, None));
-        let (i1, r1) = find(1)
-            .map(|(_, (i, r))| (Some(i), Some(r)))
-            .unwrap_or((None, None));
+        let (i0, r0, s0) = find(0)
+            .map(|(_, (i, r, s))| (Some(i), Some(r), s))
+            .unwrap_or((None, None, None));
+        let (i1, r1, s1) = find(1)
+            .map(|(_, (i, r, s))| (Some(i), Some(r), s))
+            .unwrap_or((None, None, None));
         table.row(vec![
             n.to_string(),
             fmt_opt(i0, 4),
             fmt_opt(r0, 4),
+            fmt_opt(s0, 4),
             fmt_opt(i1, 4),
             fmt_opt(r1, 4),
+            fmt_opt(s1, 4),
         ]);
     }
     table.print();
 
     // Shape checks from the figure.
-    let last = |idx: usize| series[idx].last().copied().expect("family is non-empty");
+    let last = |idx: usize| {
+        let &(n, (i, r, _)) = series[idx].last().expect("family is non-empty");
+        (n, (i, r))
+    };
     let (n0, (ignored0, resub0)) = last(0);
     let (n1, (ignored1, resub1)) = last(1);
     println!("At the largest sizes (N={n0} / N={n1}):");

@@ -52,6 +52,9 @@
 //!   through the wired fabric (compatibility wrappers over the engine).
 //! * [`engine`] — [`RoutingEngine`]: the build-once, zero-allocation
 //!   routing core every simulator runs on.
+//! * [`session`] — [`RouteSession`]: resident multi-cycle stepping
+//!   (resubmission, cluster schedules, caller-supplied drivers) so whole
+//!   runs are one engine call instead of one per cycle.
 //! * [`reference`] — the pre-engine implementations, kept as the
 //!   differential-testing oracle and benchmark baseline.
 //! * [`cost`] — crosspoint and wire cost, Eqs. (2)–(3).
@@ -69,6 +72,7 @@ pub mod hyperbar;
 pub mod params;
 pub mod reference;
 pub mod routing;
+pub mod session;
 pub mod topology;
 
 pub use address::{DestTag, RetirementOrder, SourceAddress};
@@ -82,4 +86,5 @@ pub use hyperbar::{
 };
 pub use params::{EdnParams, NetworkClass};
 pub use routing::{route_batch, route_batch_reordered, BatchOutcome, BlockReason, RouteRequest};
+pub use session::{ClusterSchedule, CycleDriver, Resubmit, RouteSession, SessionState};
 pub use topology::{EdnTopology, PathTrace};

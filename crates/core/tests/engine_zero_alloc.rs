@@ -3,14 +3,19 @@
 //! [`RoutingEngine::route_faulty`], and [`RoutingEngine::route_reordered`]
 //! (with its equality-keyed inverse cache holding a repeated order)
 //! perform **zero heap allocations**, for every arbitration policy, on
-//! the MasPar-shaped `EDN(64, 16, 4, 2)` at full load.
+//! the MasPar-shaped `EDN(64, 16, 4, 2)` at full load — and so does the
+//! session layer in steady state: whole multi-cycle
+//! [`RouteSession::run_to_completion`] / [`RouteSession::step_n`] runs
+//! (resident SameTag and Redraw resubmission, faulty stepping, and both
+//! cluster schedules) reuse one [`SessionState`] without touching the
+//! allocator once its buffers reached their high-water marks.
 //!
 //! This file deliberately holds a single `#[test]` so nothing else runs
 //! concurrently against the global allocation counter.
 
 use edn_core::{
-    EdnParams, FaultSet, PriorityArbiter, RandomArbiter, RetirementOrder, RoundRobinArbiter,
-    RouteRequest, RoutingEngine,
+    ClusterSchedule, EdnParams, FaultSet, PriorityArbiter, RandomArbiter, Resubmit,
+    RetirementOrder, RoundRobinArbiter, RouteRequest, RoutingEngine, SessionState,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,6 +64,70 @@ fn full_load_batch(params: &EdnParams, seed: u64) -> Vec<RouteRequest> {
         .collect()
 }
 
+/// One full round of multi-cycle sessions over a shared state. Every RNG
+/// (resubmission redraws and random arbitration) is re-seeded
+/// identically per round, so each round replays the same cycle counts
+/// and the state's buffers stabilize at their high-water marks after the
+/// first round.
+fn session_round(
+    engine: &mut RoutingEngine,
+    state: &mut SessionState,
+    batches: &[Vec<RouteRequest>],
+    faults: &FaultSet,
+    clusters: u64,
+    cluster_messages: &[(u64, u64)],
+) {
+    let limit = 1 << 24;
+    for (i, batch) in batches.iter().enumerate() {
+        let i = i as u64;
+        // Resident SameTag completion under deterministic arbitration.
+        engine
+            .begin_session(state, batch, Resubmit::SameTag, &mut PriorityArbiter::new())
+            .run_to_completion(limit);
+        // Resident Redraw completion.
+        let mut redraw_rng = StdRng::seed_from_u64(1000 + i);
+        let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(2000 + i));
+        engine
+            .begin_session(
+                state,
+                batch,
+                Resubmit::Redraw(&mut redraw_rng),
+                &mut arbiter,
+            )
+            .run_to_completion(limit);
+        // Faulty fixed-count stepping (step_n is the open-ended entry).
+        let mut redraw_rng = StdRng::seed_from_u64(3000 + i);
+        let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(4000 + i));
+        engine
+            .begin_session(
+                state,
+                batch,
+                Resubmit::Redraw(&mut redraw_rng),
+                &mut arbiter,
+            )
+            .with_faults(faults)
+            .step_n(12);
+        // Cluster drains under both schedules.
+        for (j, schedule) in [ClusterSchedule::Random, ClusterSchedule::GreedyDistinct]
+            .into_iter()
+            .enumerate()
+        {
+            let mut rng = StdRng::seed_from_u64(5000 + i * 2 + j as u64);
+            let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(6000 + i * 2 + j as u64));
+            engine
+                .begin_cluster_session(
+                    state,
+                    clusters,
+                    cluster_messages.iter().copied(),
+                    schedule,
+                    &mut rng,
+                    &mut arbiter,
+                )
+                .run_to_completion(limit);
+        }
+    }
+}
+
 #[test]
 fn steady_state_routing_does_not_allocate() {
     let params = EdnParams::new(64, 16, 4, 2).unwrap(); // the MasPar shape
@@ -99,6 +168,47 @@ fn steady_state_routing_does_not_allocate() {
         after - before,
         0,
         "steady-state route()/route_faulty()/route_reordered() must not touch the allocator"
+    );
+
+    // --- The session layer holds the same guarantee. ---
+    // Whole multi-cycle runs (resident resubmission to completion, faulty
+    // stepping, cluster drains under both schedules) over one reused
+    // SessionState: warm-up rounds grow every resident buffer to its
+    // high-water mark, then identical replayed rounds must not allocate.
+    let mut state = SessionState::new();
+    let clusters = params.inputs();
+    let cluster_messages: Vec<(u64, u64)> = {
+        let mut rng = StdRng::seed_from_u64(77);
+        (0..clusters * 2)
+            .map(|m| (m / 2, rng.gen_range(0..params.outputs())))
+            .collect()
+    };
+    for _ in 0..2 {
+        session_round(
+            &mut engine,
+            &mut state,
+            &batches,
+            &faults,
+            clusters,
+            &cluster_messages,
+        );
+    }
+    let before = allocations();
+    for _ in 0..3 {
+        session_round(
+            &mut engine,
+            &mut state,
+            &batches,
+            &faults,
+            clusters,
+            &cluster_messages,
+        );
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state step_n()/run_to_completion() sessions must not touch the allocator"
     );
 
     // Sanity check on the instrument itself: allocating obviously bumps

@@ -13,7 +13,7 @@
 
 use crate::network::{ArbiterKind, NetworkSim};
 use crate::stats::RunningStats;
-use edn_core::{EdnError, EdnParams, RouteRequest};
+use edn_core::{BatchOutcomeView, CycleDriver, EdnError, EdnParams, RouteRequest, SessionState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,9 +74,75 @@ pub struct MimdSystem {
     policy: ResubmitPolicy,
     /// `pending[i] = Some(module)` while processor `i` waits on `module`.
     pending: Vec<Option<u64>>,
-    /// Per-cycle request buffer, reused so steady-state stepping never
-    /// allocates.
+    /// Per-cycle request buffer for the caller-driven [`MimdSystem::step`]
+    /// path, reused so steady-state stepping never allocates.
     requests: Vec<RouteRequest>,
+    /// Resident session buffers for [`MimdSystem::run`], reused across
+    /// runs.
+    session: SessionState,
+}
+
+/// The processor population as a [`CycleDriver`]: per-cycle fresh-request
+/// injection plus resubmission of waiting processors, with measured-window
+/// statistics accumulated in place.
+///
+/// The request-construction and RNG-draw order is exactly that of
+/// [`MimdSystem::step`], so a session run is bit-identical to the
+/// caller-driven loop it replaced (asserted by the differential tests).
+struct MimdDriver<'a> {
+    pending: &'a mut [Option<u64>],
+    rng: &'a mut StdRng,
+    rate: f64,
+    policy: ResubmitPolicy,
+    modules: u64,
+    processors: f64,
+    /// Cycles before this index are warm-up: routed but unmeasured.
+    warmup: u64,
+    waiting: RunningStats,
+    acceptance: RunningStats,
+    offered: u64,
+    delivered: u64,
+}
+
+impl CycleDriver for MimdDriver<'_> {
+    fn fill_cycle(&mut self, cycle: u64, requests: &mut Vec<RouteRequest>) {
+        if cycle >= self.warmup {
+            // Waiting fraction sampled *before* the cycle, matching q_W.
+            let waiting_now = self.pending.iter().filter(|p| p.is_some()).count();
+            self.waiting.push(waiting_now as f64 / self.processors);
+        }
+        for (proc_id, pending) in self.pending.iter_mut().enumerate() {
+            let destination = match (*pending, self.policy) {
+                (Some(module), ResubmitPolicy::SameDestination) => Some(module),
+                (Some(_), ResubmitPolicy::Redraw) => Some(self.rng.gen_range(0..self.modules)),
+                (None, _) => {
+                    if self.rate > 0.0 && self.rng.gen_bool(self.rate) {
+                        Some(self.rng.gen_range(0..self.modules))
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(module) = destination {
+                *pending = Some(module);
+                requests.push(RouteRequest::new(proc_id as u64, module));
+            }
+        }
+    }
+
+    fn absorb(&mut self, cycle: u64, outcome: &BatchOutcomeView) {
+        for &(source, _) in outcome.delivered() {
+            self.pending[source as usize] = None;
+        }
+        if cycle >= self.warmup {
+            let (offered, delivered) = (outcome.offered(), outcome.delivered_count());
+            self.offered += offered as u64;
+            self.delivered += delivered as u64;
+            if offered > 0 {
+                self.acceptance.push(delivered as f64 / offered as f64);
+            }
+        }
+    }
 }
 
 impl MimdSystem {
@@ -108,6 +174,7 @@ impl MimdSystem {
             policy,
             pending: vec![None; params.inputs() as usize],
             requests: Vec::with_capacity(params.inputs() as usize),
+            session: SessionState::new(),
         })
     }
 
@@ -159,7 +226,57 @@ impl MimdSystem {
     }
 
     /// Runs `warmup` unmeasured cycles followed by `cycles` measured ones.
+    ///
+    /// The whole run is **one resident session call** on the routing
+    /// engine ([`edn_core::RouteSession::step_n`]): the processor
+    /// population stays inside the session layer instead of
+    /// round-tripping through the caller once per cycle, and repeated
+    /// runs reuse every buffer. Bit-identical to the caller-driven
+    /// [`MimdSystem::run_caller_driven`] oracle by construction (asserted
+    /// by the differential tests).
     pub fn run(&mut self, warmup: u32, cycles: u32) -> MimdReport {
+        let n = self.processors() as f64;
+        let modules = self.modules();
+        let mut driver = MimdDriver {
+            pending: &mut self.pending,
+            rng: &mut self.rng,
+            rate: self.rate,
+            policy: self.policy,
+            modules,
+            processors: n,
+            warmup: warmup as u64,
+            waiting: RunningStats::new(),
+            acceptance: RunningStats::new(),
+            offered: 0,
+            delivered: 0,
+        };
+        self.sim.run_session(
+            &mut self.session,
+            &mut driver,
+            warmup as u64 + cycles as u64,
+        );
+        let acceptance_mean = if driver.offered == 0 {
+            1.0
+        } else {
+            driver.delivered as f64 / driver.offered as f64
+        };
+        MimdReport {
+            cycles,
+            offered: driver.offered,
+            delivered: driver.delivered,
+            acceptance: acceptance_mean,
+            waiting_fraction: driver.waiting.mean(),
+            effective_rate: driver.offered as f64 / (cycles as f64 * n),
+            bandwidth: driver.delivered as f64 / cycles as f64,
+            acceptance_std_error: driver.acceptance.std_error(),
+        }
+    }
+
+    /// The pre-session `run`: the caller drives [`MimdSystem::step`] once
+    /// per cycle. Retained as the differential oracle — given identically
+    /// seeded systems, [`MimdSystem::run`] must reproduce this loop's
+    /// report bit-for-bit.
+    pub fn run_caller_driven(&mut self, warmup: u32, cycles: u32) -> MimdReport {
         for _ in 0..warmup {
             self.step();
         }
@@ -311,6 +428,38 @@ mod tests {
             0
         )
         .is_err());
+    }
+
+    #[test]
+    fn session_run_is_bit_identical_to_caller_driven_loop() {
+        // The resident-session path must reproduce the legacy per-cycle
+        // loop exactly: same RNG draws, same stats accumulation order,
+        // hence a bit-for-bit equal report (f64 fields included).
+        for (policy, rate, seed) in [
+            (ResubmitPolicy::Redraw, 0.6, 11u64),
+            (ResubmitPolicy::SameDestination, 0.9, 12),
+            (ResubmitPolicy::Redraw, 0.0, 13),
+            (ResubmitPolicy::SameDestination, 1.0, 14),
+        ] {
+            for arbiter in [
+                ArbiterKind::Random,
+                ArbiterKind::Priority,
+                ArbiterKind::RoundRobin,
+            ] {
+                let mut session = MimdSystem::new(params(), rate, arbiter, policy, seed).unwrap();
+                let mut legacy = MimdSystem::new(params(), rate, arbiter, policy, seed).unwrap();
+                let a = session.run(40, 110);
+                let b = legacy.run_caller_driven(40, 110);
+                assert_eq!(a, b, "policy {policy:?} rate {rate} arbiter {arbiter:?}");
+                // And again on the same systems: buffer reuse must not
+                // perturb the streams.
+                assert_eq!(
+                    session.run(10, 60),
+                    legacy.run_caller_driven(10, 60),
+                    "second run, policy {policy:?} rate {rate} arbiter {arbiter:?}"
+                );
+            }
+        }
     }
 
     #[test]

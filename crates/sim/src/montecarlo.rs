@@ -2,7 +2,7 @@
 
 use crate::network::{ArbiterKind, NetworkSim};
 use crate::stats::RunningStats;
-use edn_core::EdnParams;
+use edn_core::{BatchOutcomeView, CycleDriver, EdnParams, RouteRequest, SessionState};
 use edn_traffic::{Permutation, UniformTraffic, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,10 +45,79 @@ impl AcceptanceEstimate {
 /// [`estimate_pa`] and [`estimate_pa_permutation`], public so experiments
 /// can plug in non-uniform traffic (e.g. hot-spot / NUTS workloads).
 ///
-/// One [`NetworkSim`] (hence one routing engine) and one request buffer
-/// are reused across all cycles, so the measurement loop itself performs
-/// no steady-state allocations.
+/// The whole measurement is **one driver-backed session call** on the
+/// routing engine ([`edn_core::RouteSession::step_n`]): the workload
+/// plugs into the session layer as a [`CycleDriver`], so the per-cycle
+/// loop no longer round-trips through this caller. One [`NetworkSim`]
+/// (hence one routing engine) and one session request buffer are reused
+/// across all cycles, so the measurement loop performs no steady-state
+/// allocations. Bit-identical to the caller-driven
+/// [`estimate_pa_with_reference`] oracle (asserted by the differential
+/// tests).
 pub fn estimate_pa_with<W: Workload>(
+    params: &EdnParams,
+    workload: &mut W,
+    arbiter: ArbiterKind,
+    cycles: u32,
+    seed: u64,
+) -> AcceptanceEstimate {
+    /// A [`Workload`] as a session driver: refill the batch every cycle,
+    /// fold per-cycle acceptance into running statistics.
+    struct WorkloadDriver<'a, W> {
+        workload: &'a mut W,
+        rng: &'a mut StdRng,
+        per_cycle: RunningStats,
+        offered: u64,
+        delivered: u64,
+    }
+    impl<W: Workload> CycleDriver for WorkloadDriver<'_, W> {
+        fn fill_cycle(&mut self, _cycle: u64, requests: &mut Vec<RouteRequest>) {
+            self.workload.fill_batch(requests, self.rng);
+        }
+        fn absorb(&mut self, _cycle: u64, outcome: &BatchOutcomeView) {
+            if outcome.offered() == 0 {
+                // An empty cycle is vacuously perfect (and routes nothing,
+                // so the arbiter streams are untouched — exactly the
+                // legacy loop's `continue`).
+                self.per_cycle.push(1.0);
+                return;
+            }
+            self.offered += outcome.offered() as u64;
+            self.delivered += outcome.delivered_count() as u64;
+            self.per_cycle.push(outcome.acceptance_rate());
+        }
+    }
+
+    let mut sim = NetworkSim::new(*params, arbiter, seed ^ 0xA5A5_5A5A_A5A5_5A5A);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = SessionState::new();
+    let mut driver = WorkloadDriver {
+        workload,
+        rng: &mut rng,
+        per_cycle: RunningStats::new(),
+        offered: 0,
+        delivered: 0,
+    };
+    sim.run_session(&mut state, &mut driver, cycles as u64);
+    let mean = if driver.offered == 0 {
+        1.0
+    } else {
+        driver.delivered as f64 / driver.offered as f64
+    };
+    AcceptanceEstimate {
+        mean,
+        std_error: driver.per_cycle.std_error(),
+        cycles,
+        offered: driver.offered,
+        delivered: driver.delivered,
+    }
+}
+
+/// The pre-session `estimate_pa_with`: the caller drives
+/// [`NetworkSim::route_cycle_view`] once per cycle. Retained as the
+/// differential oracle — [`estimate_pa_with`] must reproduce this loop's
+/// estimate bit-for-bit for any workload and seed.
+pub fn estimate_pa_with_reference<W: Workload>(
     params: &EdnParams,
     workload: &mut W,
     arbiter: ArbiterKind,
@@ -326,6 +395,37 @@ mod tests {
         let a = estimate_pa(&params, 1.0, ArbiterKind::Random, 30, 11);
         let b = estimate_pa(&params, 1.0, ArbiterKind::Random, 30, 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn session_estimate_is_bit_identical_to_caller_driven_loop() {
+        // The session-backed estimator must reproduce the legacy
+        // route_cycle_view loop exactly, f64 fields included, for uniform
+        // and hot-spot workloads, partial loads, and every arbiter.
+        use edn_traffic::{HotSpotTraffic, UniformTraffic};
+        let params = EdnParams::new(16, 4, 4, 2).unwrap();
+        for arbiter in [
+            ArbiterKind::Random,
+            ArbiterKind::Priority,
+            ArbiterKind::RoundRobin,
+        ] {
+            for (rate, seed) in [(1.0, 1u64), (0.4, 2), (0.0, 3)] {
+                let mut a = UniformTraffic::new(params.inputs(), params.outputs(), rate);
+                let mut b = UniformTraffic::new(params.inputs(), params.outputs(), rate);
+                assert_eq!(
+                    estimate_pa_with(&params, &mut a, arbiter, 40, seed),
+                    estimate_pa_with_reference(&params, &mut b, arbiter, 40, seed),
+                    "uniform rate {rate} seed {seed} arbiter {arbiter:?}"
+                );
+            }
+            let mut a = HotSpotTraffic::new(params.inputs(), params.outputs(), 1.0, 7, 0.25);
+            let mut b = HotSpotTraffic::new(params.inputs(), params.outputs(), 1.0, 7, 0.25);
+            assert_eq!(
+                estimate_pa_with(&params, &mut a, arbiter, 40, 9),
+                estimate_pa_with_reference(&params, &mut b, arbiter, 40, 9),
+                "hot-spot arbiter {arbiter:?}"
+            );
+        }
     }
 
     #[test]

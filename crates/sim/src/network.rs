@@ -1,8 +1,9 @@
 //! The seeded, arbitrated network simulator.
 
 use edn_core::{
-    Arbiter, BatchOutcome, BatchOutcomeView, EdnParams, EdnTopology, PriorityArbiter,
-    RandomArbiter, RoundRobinArbiter, RouteRequest, RoutingEngine,
+    Arbiter, BatchOutcome, BatchOutcomeView, ClusterSchedule, CycleDriver, EdnParams, EdnTopology,
+    PriorityArbiter, RandomArbiter, Resubmit, RoundRobinArbiter, RouteRequest, RoutingEngine,
+    SessionState,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -128,6 +129,83 @@ impl NetworkSim {
     pub fn route_cycle_view(&mut self, requests: &[RouteRequest]) -> &BatchOutcomeView {
         self.cycles_routed += 1;
         self.engine.route(requests, self.arbiter.as_mut())
+    }
+
+    /// Runs a resident-batch session (`requests` stay inside the engine;
+    /// blocked ones resubmit per `resubmit`) to completion; returns the
+    /// cycle count. Results are read out of `state`.
+    ///
+    /// This is the multi-cycle replacement for calling
+    /// [`NetworkSim::route_cycle_view`] in a loop: the whole run is one
+    /// engine call and is allocation-free once `state` has warmed up.
+    ///
+    /// # Panics
+    ///
+    /// As [`edn_core::RoutingEngine::begin_session`] and
+    /// [`edn_core::RouteSession::run_to_completion`].
+    pub fn run_resident(
+        &mut self,
+        state: &mut SessionState,
+        requests: &[RouteRequest],
+        resubmit: Resubmit<'_>,
+        limit: u64,
+    ) -> u64 {
+        let cycles = self
+            .engine
+            .begin_session(state, requests, resubmit, self.arbiter.as_mut())
+            .run_to_completion(limit);
+        self.cycles_routed += cycles;
+        cycles
+    }
+
+    /// Runs a clustered session (`(cluster, tag)` messages drained under
+    /// `schedule`, one submission per non-empty cluster per cycle) to
+    /// completion; returns the cycle count. Results are read out of
+    /// `state`.
+    ///
+    /// # Panics
+    ///
+    /// As [`edn_core::RoutingEngine::begin_cluster_session`] and
+    /// [`edn_core::RouteSession::run_to_completion`].
+    pub fn run_cluster_session(
+        &mut self,
+        state: &mut SessionState,
+        clusters: u64,
+        messages: impl IntoIterator<Item = (u64, u64)>,
+        schedule: ClusterSchedule,
+        rng: &mut StdRng,
+        limit: u64,
+    ) -> u64 {
+        let cycles = self
+            .engine
+            .begin_cluster_session(
+                state,
+                clusters,
+                messages,
+                schedule,
+                rng,
+                self.arbiter.as_mut(),
+            )
+            .run_to_completion(limit);
+        self.cycles_routed += cycles;
+        cycles
+    }
+
+    /// Steps a driver-backed session for exactly `cycles` cycles —
+    /// the open-ended multi-cycle entry point (MIMD processor models,
+    /// Monte-Carlo workloads). Returns total `(offered, delivered)`.
+    pub fn run_session(
+        &mut self,
+        state: &mut SessionState,
+        driver: &mut dyn CycleDriver,
+        cycles: u64,
+    ) -> (u64, u64) {
+        let totals = self
+            .engine
+            .begin_session_with(state, driver, self.arbiter.as_mut())
+            .step_n(cycles);
+        self.cycles_routed += state.cycles();
+        totals
     }
 }
 

@@ -13,7 +13,7 @@
 
 use crate::network::{ArbiterKind, NetworkSim};
 use crate::stats::RunningStats;
-use edn_core::{EdnError, EdnParams, RouteRequest};
+use edn_core::{EdnError, EdnParams, RouteRequest, SessionState};
 use edn_traffic::Permutation;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,22 +21,13 @@ use std::collections::HashSet;
 
 /// Which message each cluster submits per cycle.
 ///
-/// The paper assumes [`Schedule::Random`] ("we assume a random schedule
-/// where at every cycle, any processor whose message is not yet delivered
-/// is chosen from each cluster at random") and notes that conflict-free
-/// schedules "can be very expensive to compute". [`Schedule::GreedyDistinct`]
-/// is the cheap middle ground its reference [31] gestures at: clusters
-/// (scanned from a rotating start) prefer a pending message whose
-/// destination cluster no earlier cluster has claimed this cycle,
-/// eliminating most output contention for the price of one hash set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum Schedule {
-    /// Uniformly random pending message per cluster (the paper's model).
-    #[default]
-    Random,
-    /// Greedy distinct-destination selection with rotating scan order.
-    GreedyDistinct,
-}
+/// Since the session refactor this is [`edn_core::ClusterSchedule`]: the
+/// schedule hooks live in the engine-resident session layer
+/// ([`edn_core::RoutingEngine::begin_cluster_session`]), and this alias
+/// keeps the simulator API stable. [`Schedule::Random`] is the paper's
+/// model; [`Schedule::GreedyDistinct`] the cheap conflict-avoiding
+/// alternative its reference [31] gestures at.
+pub use edn_core::ClusterSchedule as Schedule;
 
 /// The result of routing one permutation to completion.
 ///
@@ -83,9 +74,12 @@ pub struct RaEdnSystem {
     sim: NetworkSim,
     q: u64,
     rng: StdRng,
-    /// Per-cycle request buffer, reused so steady-state cycles never
-    /// allocate.
+    /// Per-cycle request buffer for the caller-driven oracle path,
+    /// reused so steady-state cycles never allocate.
     requests: Vec<RouteRequest>,
+    /// Resident session buffers (cluster queues, per-cycle counts) for
+    /// the session path, reused across permutation runs.
+    session: SessionState,
 }
 
 impl RaEdnSystem {
@@ -131,6 +125,7 @@ impl RaEdnSystem {
             q,
             rng: StdRng::seed_from_u64(seed),
             requests: Vec::with_capacity(params.inputs() as usize),
+            session: SessionState::new(),
         })
     }
 
@@ -164,10 +159,60 @@ impl RaEdnSystem {
 
     /// Routes `permutation` to completion under an explicit [`Schedule`].
     ///
+    /// The whole run is **one cluster-session call** on the routing
+    /// engine ([`edn_core::RouteSession::run_to_completion`]): the
+    /// per-cluster message queues stay resident in the session layer
+    /// instead of round-tripping through the caller once per cycle, and
+    /// repeated runs reuse every buffer. Bit-identical to the
+    /// caller-driven [`RaEdnSystem::route_permutation_caller_driven`]
+    /// oracle (asserted by the differential tests).
+    ///
     /// # Panics
     ///
     /// As [`RaEdnSystem::route_permutation`].
     pub fn route_permutation_scheduled(
+        &mut self,
+        permutation: &Permutation,
+        schedule: Schedule,
+    ) -> PermutationRun {
+        assert_eq!(
+            permutation.len(),
+            self.processors(),
+            "permutation must cover all p*q processors"
+        );
+        let q = self.q;
+        let total = self.processors();
+        // Safety bound: even a pathological schedule delivers at least one
+        // message per cycle, so p*q cycles times a wide margin suffices.
+        let limit = (total * 64).max(1024);
+        let clusters = self.ports();
+        let cycles = self.sim.run_cluster_session(
+            &mut self.session,
+            clusters,
+            // Message i (PE i) enters at its cluster's port, addressed to
+            // its destination PE's cluster.
+            (0..total).map(|pe| (pe / q, permutation.apply(pe) / q)),
+            schedule,
+            &mut self.rng,
+            limit,
+        );
+        PermutationRun {
+            cycles: cycles as u32,
+            delivered_per_cycle: self.session.delivered_per_cycle().to_vec(),
+            total_messages: total,
+        }
+    }
+
+    /// The pre-session `route_permutation_scheduled`: the caller owns the
+    /// pending queues and drives one engine cycle per iteration. Retained
+    /// as the differential oracle — given identically seeded systems,
+    /// [`RaEdnSystem::route_permutation_scheduled`] must reproduce this
+    /// loop's run bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// As [`RaEdnSystem::route_permutation`].
+    pub fn route_permutation_caller_driven(
         &mut self,
         permutation: &Permutation,
         schedule: Schedule,
@@ -369,6 +414,34 @@ mod tests {
             t_greedy <= t_random + 1.0,
             "greedy {t_greedy} vs random {t_random}"
         );
+    }
+
+    #[test]
+    fn session_run_is_bit_identical_to_caller_driven_loop() {
+        // The cluster-session path must reproduce the legacy per-cycle
+        // loop exactly: same picks, same claims, same per-cycle counts.
+        for schedule in [Schedule::Random, Schedule::GreedyDistinct] {
+            for (b, c, l, q, seed) in [(4u64, 2u64, 2u32, 4u64, 31u64), (4, 2, 1, 3, 32)] {
+                let mut session = RaEdnSystem::new(b, c, l, q, ArbiterKind::Random, seed).unwrap();
+                let mut legacy = RaEdnSystem::new(b, c, l, q, ArbiterKind::Random, seed).unwrap();
+                let perm = Permutation::random(
+                    session.processors(),
+                    &mut rand::rngs::StdRng::seed_from_u64(seed ^ 0xF00D),
+                );
+                assert_eq!(
+                    session.route_permutation_scheduled(&perm, schedule),
+                    legacy.route_permutation_caller_driven(&perm, schedule),
+                    "schedule {schedule:?} RA-EDN({b},{c},{l},{q})"
+                );
+                // Back-to-back runs on the same systems: queue/buffer
+                // reuse must not perturb the streams.
+                assert_eq!(
+                    session.route_permutation_scheduled(&perm, schedule),
+                    legacy.route_permutation_caller_driven(&perm, schedule),
+                    "second run, schedule {schedule:?} RA-EDN({b},{c},{l},{q})"
+                );
+            }
+        }
     }
 
     #[test]

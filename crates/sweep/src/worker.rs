@@ -3,12 +3,14 @@
 //! A sweep worker lives for the duration of one worker thread and is
 //! handed every grid point that thread executes. It caches the expensive
 //! build-once artifacts — wired [`RoutingEngine`]s keyed by network shape,
+//! [`SessionState`]s cached alongside them for resident multi-cycle runs,
 //! [`FaultSet`]s keyed by (shape, fraction, seed) — plus one reusable
 //! request buffer, so a thread measuring hundreds of grid points wires
 //! each distinct fabric exactly once and routes allocation-free after
-//! warm-up.
+//! warm-up, whether the measurement is a single cycle or a whole
+//! resubmission run.
 
-use edn_core::{EdnParams, FaultSet, RouteRequest, RoutingEngine};
+use edn_core::{EdnParams, FaultSet, RouteRequest, RoutingEngine, SessionState};
 
 /// Cached per-worker state: engines, fault sets, and a request buffer.
 ///
@@ -31,7 +33,11 @@ use edn_core::{EdnParams, FaultSet, RouteRequest, RoutingEngine};
 /// ```
 #[derive(Debug, Default)]
 pub struct SweepWorker {
-    engines: Vec<(EdnParams, RoutingEngine)>,
+    /// One cache entry per distinct shape: the wired engine plus its
+    /// session buffers, so a worker running multi-cycle sessions
+    /// (resubmission runs, cluster drains) at a recurring shape reuses
+    /// every resident buffer with a single cache lookup.
+    engines: Vec<(EdnParams, RoutingEngine, SessionState)>,
     faults: Vec<((EdnParams, u64, u64), FaultSet)>,
     requests: Vec<RouteRequest>,
 }
@@ -42,13 +48,17 @@ impl SweepWorker {
         SweepWorker::default()
     }
 
-    /// Cache-resolves the engine for `params`, returning its position.
+    /// Cache-resolves the engine (and its session buffers) for `params`,
+    /// returning the entry's position.
     fn ensure_engine(&mut self, params: &EdnParams) -> usize {
-        match self.engines.iter().position(|(p, _)| p == params) {
+        match self.engines.iter().position(|(p, _, _)| p == params) {
             Some(position) => position,
             None => {
-                self.engines
-                    .push((*params, RoutingEngine::from_params(*params)));
+                self.engines.push((
+                    *params,
+                    RoutingEngine::from_params(*params),
+                    SessionState::new(),
+                ));
                 self.engines.len() - 1
             }
         }
@@ -76,6 +86,25 @@ impl SweepWorker {
     pub fn engine(&mut self, params: &EdnParams) -> &mut RoutingEngine {
         let position = self.ensure_engine(params);
         &mut self.engines[position].1
+    }
+
+    /// The cached engine for `params` together with its cached session
+    /// state and the shared request buffer (split borrows) — everything a
+    /// grid point needs to run a resident multi-cycle session via
+    /// [`RoutingEngine::begin_session`] /
+    /// [`RoutingEngine::begin_cluster_session`] with zero steady-state
+    /// allocations.
+    pub fn engine_session_requests(
+        &mut self,
+        params: &EdnParams,
+    ) -> (
+        &mut RoutingEngine,
+        &mut SessionState,
+        &mut Vec<RouteRequest>,
+    ) {
+        let position = self.ensure_engine(params);
+        let (_, engine, session) = &mut self.engines[position];
+        (engine, session, &mut self.requests)
     }
 
     /// The cached engine for `params` together with the shared request
@@ -115,7 +144,34 @@ impl SweepWorker {
         )
     }
 
-    /// Number of distinct fabrics this worker has wired.
+    /// As [`SweepWorker::engine_session_requests`], additionally
+    /// resolving the cached fault set for `(params, fraction, seed)` —
+    /// for faulty multi-cycle sessions
+    /// ([`edn_core::RouteSession::with_faults`]).
+    pub fn engine_session_requests_faults(
+        &mut self,
+        params: &EdnParams,
+        fraction: f64,
+        seed: u64,
+    ) -> (
+        &mut RoutingEngine,
+        &mut SessionState,
+        &mut Vec<RouteRequest>,
+        &FaultSet,
+    ) {
+        let engine_position = self.ensure_engine(params);
+        let fault_position = self.ensure_faults(params, fraction, seed);
+        let (_, engine, session) = &mut self.engines[engine_position];
+        (
+            engine,
+            session,
+            &mut self.requests,
+            &self.faults[fault_position].1,
+        )
+    }
+
+    /// Number of distinct fabrics this worker has wired (each entry
+    /// carries the engine and its session buffers).
     pub fn engines_built(&self) -> usize {
         self.engines.len()
     }
@@ -173,6 +229,53 @@ mod tests {
         // Same key, different seed: a distinct cached draw.
         let _ = worker.faults(&p, 0.2, 10);
         assert_eq!(worker.faults.len(), 3);
+    }
+
+    #[test]
+    fn cached_session_runs_like_a_fresh_one() {
+        use edn_core::{Resubmit, SessionState};
+        let p = params(16, 4, 4, 2);
+        let mut worker = SweepWorker::new();
+        // Warm the caches with an unrelated resident run first.
+        {
+            let (engine, session, requests) = worker.engine_session_requests(&p);
+            requests.clear();
+            requests.extend((0..p.inputs()).map(|s| RouteRequest::new(s, 0)));
+            engine
+                .begin_session(
+                    session,
+                    requests,
+                    Resubmit::SameTag,
+                    &mut PriorityArbiter::new(),
+                )
+                .run_to_completion(1 << 20);
+        }
+        assert_eq!(worker.engines_built(), 1);
+        let batch: Vec<RouteRequest> = (0..p.inputs())
+            .map(|s| RouteRequest::new(s, (s * 7 + 3) % p.outputs()))
+            .collect();
+        let (engine, session, _) = worker.engine_session_requests(&p);
+        let cached_cycles = engine
+            .begin_session(
+                session,
+                &batch,
+                Resubmit::SameTag,
+                &mut PriorityArbiter::new(),
+            )
+            .run_to_completion(1 << 20);
+        let cached_counts = session.delivered_per_cycle().to_vec();
+        let mut fresh_engine = RoutingEngine::from_params(p);
+        let mut fresh_session = SessionState::new();
+        let fresh_cycles = fresh_engine
+            .begin_session(
+                &mut fresh_session,
+                &batch,
+                Resubmit::SameTag,
+                &mut PriorityArbiter::new(),
+            )
+            .run_to_completion(1 << 20);
+        assert_eq!(cached_cycles, fresh_cycles);
+        assert_eq!(cached_counts, fresh_session.delivered_per_cycle());
     }
 
     #[test]

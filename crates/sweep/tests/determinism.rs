@@ -4,7 +4,9 @@
 //! streams derive from [`SweepPoint::rng_seed`], never from worker
 //! identity or execution order.
 
-use edn_core::{EdnParams, PriorityArbiter, RandomArbiter, RouteRequest};
+use edn_core::{
+    ClusterSchedule, EdnParams, PriorityArbiter, RandomArbiter, Resubmit, RouteRequest,
+};
 use edn_sweep::{SweepPoint, SweepSpec, SweepWorker};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -77,6 +79,120 @@ fn engine_reuse_across_points_matches_fresh_engines() {
         .map(|point| measure(&mut SweepWorker::new(), point))
         .collect();
     assert_eq!(cached, fresh);
+}
+
+/// A resident multi-cycle resubmission run at one grid point, on the
+/// worker's cached (engine, session) pair: blocked requests re-randomize
+/// their addresses every cycle until all are delivered (the MIMD
+/// arrangement), under the point's fault mask when one is requested.
+/// Every random stream derives from the point's coordinates.
+fn measure_resubmission(worker: &mut SweepWorker, point: &SweepPoint) -> (usize, u64, u64) {
+    let (engine, session, requests, faults) = worker.engine_session_requests_faults(
+        &point.params,
+        point.fault_fraction,
+        point.rng_seed(),
+    );
+    let mut rng = StdRng::seed_from_u64(point.rng_seed());
+    requests.clear();
+    for source in 0..point.params.inputs() {
+        if rng.gen_bool(point.load) {
+            requests.push(RouteRequest::new(
+                source,
+                rng.gen_range(0..point.params.outputs()),
+            ));
+        }
+    }
+    let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(point.rng_seed() ^ 0x5A5A));
+    let mut session_run =
+        engine.begin_session(session, requests, Resubmit::Redraw(&mut rng), &mut arbiter);
+    let cycles = if point.fault_fraction > 0.0 {
+        session_run.with_faults(faults).run_to_completion(1 << 24)
+    } else {
+        session_run.run_to_completion(1 << 24)
+    };
+    (point.index, cycles, session.delivered())
+}
+
+/// An RA-EDN-style cluster drain at one grid point on the cached
+/// (engine, session) pair: every cluster holds `q = 2` messages addressed
+/// by a point-seeded shuffle and submits one per cycle under the random
+/// or greedy schedule (alternating by seed parity).
+fn measure_cluster(worker: &mut SweepWorker, point: &SweepPoint) -> (usize, u64, u64, u64) {
+    let (engine, session, _) = worker.engine_session_requests(&point.params);
+    let clusters = point.params.inputs();
+    let q = 2u64;
+    let mut rng = StdRng::seed_from_u64(point.rng_seed() ^ 0xC1A5);
+    let schedule = if point.seed.is_multiple_of(2) {
+        ClusterSchedule::Random
+    } else {
+        ClusterSchedule::GreedyDistinct
+    };
+    let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(point.rng_seed() ^ 0x7777));
+    let messages =
+        (0..clusters * q).map(|m| (m / q, (m * 13 + point.seed) % point.params.outputs()));
+    let cycles = engine
+        .begin_cluster_session(
+            session,
+            clusters,
+            messages,
+            schedule,
+            &mut rng,
+            &mut arbiter,
+        )
+        .run_to_completion(1 << 24);
+    let first_cycle = session.delivered_per_cycle().first().copied().unwrap_or(0);
+    (point.index, cycles, session.delivered(), first_cycle)
+}
+
+#[test]
+fn resubmission_session_rows_are_identical_for_every_worker_count() {
+    // Multi-cycle resident sessions through the worker's session cache
+    // must stay bit-identical across thread counts, exactly like the
+    // single-cycle measurements: all state is keyed by grid coordinates.
+    let spec = SweepSpec::over([
+        EdnParams::new(16, 4, 4, 2).unwrap(),
+        EdnParams::new(8, 4, 2, 3).unwrap(),
+    ])
+    .loads([0.6, 1.0])
+    .fault_fractions([0.0, 0.05])
+    .seeds(0..3);
+    let reference = spec.run(1, SweepWorker::new, measure_resubmission);
+    assert_eq!(reference.len(), 24);
+    assert!(reference.iter().all(|&(_, cycles, _)| cycles >= 1));
+    assert!(reference.iter().any(|&(_, _, delivered)| delivered > 0));
+    for threads in [2, 8] {
+        let rows = spec.run(threads, SweepWorker::new, measure_resubmission);
+        assert_eq!(rows, reference, "threads = {threads}");
+    }
+    // And cached sessions must be observationally pure: fresh worker per
+    // point gives the same rows.
+    let fresh: Vec<(usize, u64, u64)> = spec
+        .points()
+        .iter()
+        .map(|point| measure_resubmission(&mut SweepWorker::new(), point))
+        .collect();
+    assert_eq!(fresh, reference);
+}
+
+#[test]
+fn cluster_session_rows_are_identical_for_every_worker_count() {
+    let spec = SweepSpec::over([
+        EdnParams::new(16, 4, 4, 2).unwrap(),
+        EdnParams::new(8, 4, 2, 2).unwrap(),
+    ])
+    .seeds(0..4);
+    let reference = spec.run(1, SweepWorker::new, measure_cluster);
+    assert_eq!(reference.len(), 8);
+    // Every drain delivers all p*q messages.
+    for &(index, cycles, delivered, _) in &reference {
+        let params = spec.points()[index].params;
+        assert_eq!(delivered, params.inputs() * 2);
+        assert!(cycles >= 2);
+    }
+    for threads in [2, 8] {
+        let rows = spec.run(threads, SweepWorker::new, measure_cluster);
+        assert_eq!(rows, reference, "threads = {threads}");
+    }
 }
 
 #[test]

@@ -1,12 +1,14 @@
 //! Integration tests pinning every numeric anchor the paper states,
 //! end-to-end across the workspace crates.
 
+use edn::analytic::mimd::resubmission_fixed_point;
 use edn::analytic::pa::{probability_of_acceptance, stage_rates};
 use edn::analytic::simd::RaEdnModel;
 use edn::core::cost::{
     crosspoint_cost, crosspoint_cost_closed_form, wire_cost, wire_cost_closed_form,
 };
 use edn::core::{route_batch, route_batch_reordered, NetworkClass};
+use edn::sim::{ArbiterKind, MimdSystem, RaEdnSystem, ResubmitPolicy};
 use edn::{EdnParams, EdnTopology, Hyperbar, PriorityArbiter, RetirementOrder, RouteRequest};
 
 /// Section 5.1: "In this system PA(1) = .544."
@@ -134,6 +136,70 @@ fn section5_stage_chain() {
     assert!((rates[1] - 0.810853).abs() < 1e-6);
     assert!((rates[2] - 0.712516).abs() < 1e-6);
     assert!((rates[3] - 0.543738).abs() < 1e-6);
+}
+
+/// Section 5.1 measured end-to-end through the resident session path:
+/// the mean completion time of a random permutation on the MasPar-shaped
+/// `RA-EDN(16,4,2,16)` stays in the band of the paper's ~34.4-cycle
+/// prediction. `route_permutation_scheduled` is one cluster-session call
+/// per run since the session refactor, so this anchors the new path
+/// against the paper, not just against the legacy loop.
+#[test]
+fn section5_session_completion_anchor() {
+    let mut system = RaEdnSystem::new(16, 4, 2, 16, ArbiterKind::Random, 0x34A4).unwrap();
+    assert_eq!(system.processors(), 16384);
+    let (mean, _se) = system.measure_mean_cycles(4);
+    let predicted = RaEdnModel::new(16, 4, 2, 16)
+        .unwrap()
+        .expected_permutation_cycles()
+        .total_cycles;
+    assert!(
+        (predicted - 34.41).abs() < 0.05,
+        "model drifted: {predicted}"
+    );
+    assert!(
+        (mean - predicted).abs() < 10.0,
+        "session path measured {mean} cycles vs paper's ~{predicted}"
+    );
+}
+
+/// The TAB-SIMVAL agreement, asserted: the Section 4 resubmission fixed
+/// point and the session-backed `MimdSystem::run` (one `RouteSession`
+/// call per run) agree on acceptance, effective rate, and waiting
+/// fraction under the model's own redraw assumption.
+#[test]
+fn tab_sim_vs_analytic_fixed_point_agreement() {
+    let params = EdnParams::new(16, 4, 4, 3).unwrap(); // 256 processors
+    for rate in [0.5, 1.0] {
+        let model = resubmission_fixed_point(&params, rate, 1e-12, 100_000);
+        let mut system = MimdSystem::new(
+            params,
+            rate,
+            ArbiterKind::Random,
+            ResubmitPolicy::Redraw,
+            0x51D5,
+        )
+        .unwrap();
+        let report = system.run(300, 600);
+        assert!(
+            (report.acceptance - model.pa_prime).abs() < 0.04,
+            "r={rate}: measured PA' {} vs fixed point {}",
+            report.acceptance,
+            model.pa_prime
+        );
+        assert!(
+            (report.effective_rate - model.effective_rate).abs() < 0.04,
+            "r={rate}: measured r' {} vs fixed point {}",
+            report.effective_rate,
+            model.effective_rate
+        );
+        assert!(
+            (report.waiting_fraction - model.q_waiting).abs() < 0.05,
+            "r={rate}: measured qW {} vs fixed point {}",
+            report.waiting_fraction,
+            model.q_waiting
+        );
+    }
 }
 
 /// Theorem 2: c^l paths, all arriving at the destination.

@@ -1,0 +1,111 @@
+//! `edn_merge` — reassemble sharded sweep artifacts.
+//!
+//! ```text
+//! edn_merge part1.jsonl part2.jsonl part3.jsonl --out merged.jsonl
+//! edn_merge part*.jsonl                  # merged artifact on stdout
+//! edn_merge --check run.jsonl [...]      # validate only, merge nothing
+//! ```
+//!
+//! The inputs must be the complete shard set of one logical run (any
+//! order): same spec hash, shard indices exactly `1..=N`, and row
+//! sequence numbers covering `0..rows` exactly once. The merged output
+//! is **byte-identical** to the artifact a single unsharded run writes —
+//! header included — so `cmp merged.jsonl full.jsonl` is the integrity
+//! check CI runs.
+//!
+//! `--check` validates artifacts individually instead: header parses and
+//! hashes correctly, every row line parses as JSON, and the rows cover
+//! exactly the file's declared shard slice.
+
+use edn_sweep::merge::{check_file, merge_files};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+const USAGE: &str = "reassemble sharded sweep artifacts\n\n\
+    Usage: edn_merge PART.jsonl... [--out PATH]\n       \
+    edn_merge --check FILE.jsonl...\n\n\
+    Options:\n  \
+    --out PATH  write the merged artifact to PATH (default: stdout)\n  \
+    --check     validate each file (header, JSON rows, shard coverage)\n              \
+    without merging\n  \
+    --help      print this message";
+
+fn main() {
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--check" => check = true,
+            "--out" => match args.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => fail("--out expects a value"),
+            },
+            flag if flag.starts_with("--") => fail(&format!("unknown flag `{flag}`")),
+            path => inputs.push(PathBuf::from(path)),
+        }
+    }
+    if inputs.is_empty() {
+        fail("no input artifacts given");
+    }
+    if check && out.is_some() {
+        fail("--check validates without merging; drop --out (or drop --check to merge)");
+    }
+
+    if check {
+        let mut rows = 0usize;
+        for path in &inputs {
+            match check_file(path) {
+                Ok(file) => {
+                    eprintln!(
+                        "{}: ok — {} (shard {}) {} rows, spec {:016x}",
+                        path.display(),
+                        file.header.binary,
+                        file.header.shard,
+                        file.rows.len(),
+                        file.header.spec_hash()
+                    );
+                    rows += file.rows.len();
+                }
+                Err(error) => fail(&error.to_string()),
+            }
+        }
+        eprintln!("{} file(s) ok, {rows} rows total", inputs.len());
+        return;
+    }
+
+    let merged = match merge_files(&inputs) {
+        Ok(merged) => merged,
+        Err(error) => fail(&error.to_string()),
+    };
+    let text = merged.to_text();
+    match out {
+        Some(path) => {
+            if let Err(error) = std::fs::write(&path, &text) {
+                fail(&format!("writing {}: {error}", path.display()));
+            }
+            eprintln!(
+                "merged {} shard(s) -> {} ({} rows)",
+                inputs.len(),
+                path.display(),
+                merged.rows.len()
+            );
+        }
+        None => {
+            if std::io::stdout().write_all(text.as_bytes()).is_err() {
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("edn_merge: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}

@@ -6,12 +6,12 @@
 //! replays the exact scenario and also shows how the alternative
 //! arbitration policies spread the rejections.
 //!
-//! Runs on the `edn_sweep` harness: one pool task per arbitration
-//! policy; `--threads/--out` as everywhere.
+//! Runs on the `edn_sweep` streaming harness: the per-input outcome rows
+//! come from one priority routing, the policy comparison runs one pool
+//! task per arbitration policy; `--threads/--out/--shard` as everywhere.
 
 use edn_bench::{SweepArgs, Table};
 use edn_core::{Arbiter, Hyperbar, PriorityArbiter, RandomArbiter, RoundRobinArbiter};
-use edn_sweep::run_indexed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,49 +28,60 @@ fn main() {
     println!("Figure 2: H(8 -> 4 x 2) hyperbar, control digits {digits:?}");
     println!("Paper: with input-label priority, inputs 5 and 7 are discarded.\n");
 
-    let mut table = Table::new(
-        "FIG2: per-input outcome (priority arbitration)",
-        &["input", "digit", "granted wire", "bucket", "status"],
-    );
+    // One priority routing produces every per-input row.
     let outcome = switch
         .route(&requests, &mut PriorityArbiter::new())
         .expect("valid digits");
-    for (input, (&granted, &digit)) in outcome.assignments().iter().zip(digits.iter()).enumerate() {
-        match granted {
-            Some(wire) => table.row(vec![
+    let outcome_rows: Vec<Vec<String>> = outcome
+        .assignments()
+        .iter()
+        .zip(digits.iter())
+        .enumerate()
+        .map(|(input, (&granted, &digit))| match granted {
+            Some(wire) => vec![
                 input.to_string(),
                 digit.to_string(),
                 wire.to_string(),
                 (wire / 2).to_string(),
                 "accepted".to_string(),
-            ]),
-            None => table.row(vec![
+            ],
+            None => vec![
                 input.to_string(),
                 digit.to_string(),
                 "-".to_string(),
                 digit.to_string(),
                 "DISCARDED".to_string(),
-            ]),
-        }
-    }
-    table.print();
+            ],
+        })
+        .collect();
 
-    let rejected: Vec<usize> = outcome.rejected_inputs(&requests).collect();
-    println!("reproduced rejection set: {rejected:?}  (paper: [5, 7])\n");
-
+    let mut table = Table::new(
+        "FIG2: per-input outcome (priority arbitration)",
+        &["input", "digit", "granted wire", "bucket", "status"],
+    );
     let mut policies = Table::new(
         "FIG2b: same offered digits under other arbitration policies",
         &["policy", "accepted", "rejected inputs"],
     );
     let policy_names = ["priority", "round-robin", "random(seed=1)"];
+
+    let mut emit = args.plan_emit(&[
+        (&table, outcome_rows.len()),
+        (&policies, policy_names.len()),
+    ]);
+    emit.table_rows(&mut table, outcome_rows);
+    table.print();
+
+    let rejected: Vec<usize> = outcome.rejected_inputs(&requests).collect();
+    println!("reproduced rejection set: {rejected:?}  (paper: [5, 7])\n");
+
     // One pool task per policy: each builds its arbiter and routes the
     // same offered digits.
-    let rows = run_indexed(
-        args.threads,
-        policy_names.len(),
+    emit.run_rows(
+        &mut policies,
         || (),
-        |(), index| {
-            let mut arbiter: Box<dyn Arbiter> = match index {
+        |(), row| {
+            let mut arbiter: Box<dyn Arbiter> = match row {
                 0 => Box::new(PriorityArbiter::new()),
                 1 => Box::new(RoundRobinArbiter::new()),
                 _ => Box::new(RandomArbiter::new(StdRng::seed_from_u64(1))),
@@ -83,16 +94,13 @@ fn main() {
                 .map(|i| i.to_string())
                 .collect();
             vec![
-                policy_names[index].to_string(),
+                policy_names[row].to_string(),
                 outcome.accepted().to_string(),
                 format!("[{}]", rejected.join(", ")),
             ]
         },
     );
-    for row in rows {
-        policies.row(row);
-    }
     policies.print();
     println!("Every policy accepts exactly 6 of 8 (bucket 2 and 3 are oversubscribed).");
-    args.emit(&[&table, &policies]);
+    emit.finish();
 }

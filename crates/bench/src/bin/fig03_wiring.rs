@@ -6,13 +6,12 @@
 //! wires stay adjacent through the permutation — the structural fact
 //! behind both multipath routing and the fault-tolerance analysis.
 //!
-//! Runs on the `edn_sweep` harness: the per-network schematics render as
-//! pool tasks and print in order; a summary table backs the JSON
-//! emission. `--threads/--out` as everywhere.
+//! Runs on the `edn_sweep` streaming harness: the per-network schematics
+//! render as pool tasks (one summary row each, streamed as completed)
+//! and print in order; `--threads/--out/--shard` as everywhere.
 
 use edn_bench::{SweepArgs, Table};
 use edn_core::{EdnParams, EdnTopology};
-use edn_sweep::map_slice_with;
 use std::fmt::Write as _;
 
 /// Renders the schematic of one network, returning the text and the
@@ -118,12 +117,6 @@ fn main() {
         // The paper's Figure 4 instance.
         EdnParams::new(16, 4, 4, 2).expect("valid parameters"),
     ];
-    let rendered = map_slice_with(
-        args.threads,
-        &networks,
-        || (),
-        |(), params| render_network(params),
-    );
     let mut summary = Table::new(
         "FIG3: stage inventory summary",
         &[
@@ -135,10 +128,18 @@ fn main() {
             "bucket adjacency",
         ],
     );
-    for (text, cells) in rendered {
+    let mut emit = args.plan_emit(&[(&summary, networks.len())]);
+    let rendered = emit.run_table(
+        &mut summary,
+        || (),
+        |(), row| {
+            let (text, cells) = render_network(&networks[row]);
+            (cells, text)
+        },
+    );
+    for text in rendered {
         println!("{text}");
-        summary.row(cells);
     }
     summary.print();
-    args.emit(&[&summary]);
+    emit.finish();
 }

@@ -7,45 +7,45 @@
 //! retirement schedule of Figure 4's caption ("2 bits / 2 bits / where
 //! bits are retired for routing").
 //!
-//! Runs on the `edn_sweep` harness: one pool task per network inventory;
-//! `--threads/--out` as everywhere.
+//! Runs on the `edn_sweep` streaming harness: one pool task per
+//! inventory row; `--threads/--out/--shard` as everywhere.
 
 use edn_bench::{SweepArgs, Table};
 use edn_core::{DestTag, EdnParams, EdnTopology};
-use edn_sweep::map_slice_with;
 
-fn structure_table(params: &EdnParams) -> Table {
-    let mut table = Table::new(
-        &format!("{params}: stage inventory"),
-        &[
-            "stage",
-            "switches",
-            "switch shape",
-            "in wires",
-            "out wires",
-            "bits retired",
-        ],
-    );
-    for i in 1..=params.l() {
-        table.row(vec![
-            i.to_string(),
-            params.hyperbars_in_stage(i).to_string(),
+/// Row `i` of a network's stage inventory: stages `0..l` are hyperbar
+/// stages, row `l` is the crossbar stage.
+fn structure_row(params: &EdnParams, i: usize) -> Vec<String> {
+    let stage = i as u32 + 1;
+    if stage <= params.l() {
+        vec![
+            stage.to_string(),
+            params.hyperbars_in_stage(stage).to_string(),
             format!("H({} -> {} x {})", params.a(), params.b(), params.c()),
-            params.wires_before_stage(i).to_string(),
-            params.wires_after_stage(i).to_string(),
-            format!("{} (digit d_{})", params.log2_b(), params.l() - i),
-        ]);
+            params.wires_before_stage(stage).to_string(),
+            params.wires_after_stage(stage).to_string(),
+            format!("{} (digit d_{})", params.log2_b(), params.l() - stage),
+        ]
+    } else {
+        vec![
+            (params.l() + 1).to_string(),
+            params.crossbar_count().to_string(),
+            format!("{} x {} crossbar", params.c(), params.c()),
+            params.outputs().to_string(),
+            params.outputs().to_string(),
+            format!("{} (digit x)", params.log2_c()),
+        ]
     }
-    table.row(vec![
-        (params.l() + 1).to_string(),
-        params.crossbar_count().to_string(),
-        format!("{} x {} crossbar", params.c(), params.c()),
-        params.outputs().to_string(),
-        params.outputs().to_string(),
-        format!("{} (digit x)", params.log2_c()),
-    ]);
-    table
 }
+
+const STRUCTURE_COLUMNS: [&str; 6] = [
+    "stage",
+    "switches",
+    "switch shape",
+    "in wires",
+    "out wires",
+    "bits retired",
+];
 
 fn main() {
     let args = SweepArgs::parse(
@@ -57,18 +57,62 @@ fn main() {
     let fig4 = EdnParams::new(16, 4, 4, 2).expect("paper parameters are valid");
     let fig5 = EdnParams::new(64, 16, 4, 2).expect("paper parameters are valid");
     let networks = [fig4, fig5];
-    let tables = map_slice_with(
-        args.threads,
-        &networks,
-        || (),
-        |(), params| structure_table(params),
-    );
     let notes = [
         "Paper's Figure 4: stages S0..S3 (4 hyperbars each), 16 4x4 crossbars,\n\
          \"all thick lines consist of 4 parallel wires\" -> 64-wire planes. Check.\n",
         "Paper's Figure 5: inputs a0..a1023, 16 hyperbars per stage. Check.\n",
     ];
-    for (table, (params, note)) in tables.iter().zip(networks.iter().zip(notes)) {
+
+    // Routing-tag walk-through for one source/destination pair, matching
+    // the Lemma 1 proof notation. Computed up front (the trace is one
+    // cheap path walk) so the walk table's row count is known at plan
+    // time.
+    let topo = EdnTopology::new(fig4);
+    let source = 37u64;
+    let dest = 57u64;
+    let tag = DestTag::from_output_index(&fig4, dest).expect("valid output");
+    let trace = topo.trace_path(source, dest, &[1, 2]).expect("valid trace");
+    let mut walk_rows: Vec<Vec<String>> = (1..=fig4.l())
+        .map(|i| {
+            vec![
+                i.to_string(),
+                trace.entry_lines()[(i - 1) as usize].to_string(),
+                trace.switch_at_stage(&fig4, i).to_string(),
+                tag.digit_for_stage(i).to_string(),
+                trace.exit_lines()[(i - 1) as usize].to_string(),
+            ]
+        })
+        .collect();
+    walk_rows.push(vec![
+        (fig4.l() + 1).to_string(),
+        trace.entry_lines()[fig4.l() as usize].to_string(),
+        trace.final_crossbar(&fig4).to_string(),
+        tag.crossbar_digit().to_string(),
+        trace.output().to_string(),
+    ]);
+    assert_eq!(trace.output(), dest);
+
+    let mut inventories: Vec<Table> = networks
+        .iter()
+        .map(|params| Table::new(&format!("{params}: stage inventory"), &STRUCTURE_COLUMNS))
+        .collect();
+    let mut walk = Table::new(
+        &format!("Lemma 1 walk: S={source} -> D={dest} ({tag}), choices K=(1,2)"),
+        &["stage", "entry line", "switch", "digit", "exit line"],
+    );
+    let (first, second) = {
+        let mut iter = inventories.iter();
+        (iter.next().unwrap(), iter.next().unwrap())
+    };
+    let mut emit = args.plan_emit(&[
+        (first, fig4.l() as usize + 1),
+        (second, fig5.l() as usize + 1),
+        (&walk, walk_rows.len()),
+    ]);
+
+    for (index, params) in networks.iter().enumerate() {
+        let table = &mut inventories[index];
+        emit.run_rows(table, || (), |(), row| structure_row(params, row));
         table.print();
         println!(
             "inputs = {}, outputs = {}, paths per pair = c^l = {}\n",
@@ -76,38 +120,11 @@ fn main() {
             params.outputs(),
             params.path_count()
         );
-        println!("{note}");
+        println!("{}", notes[index]);
     }
 
-    // Routing-tag walk-through for one source/destination pair, matching
-    // the Lemma 1 proof notation.
-    let topo = EdnTopology::new(fig4);
-    let source = 37u64;
-    let dest = 57u64;
-    let tag = DestTag::from_output_index(&fig4, dest).expect("valid output");
-    let trace = topo.trace_path(source, dest, &[1, 2]).expect("valid trace");
-    let mut walk = Table::new(
-        &format!("Lemma 1 walk: S={source} -> D={dest} ({tag}), choices K=(1,2)"),
-        &["stage", "entry line", "switch", "digit", "exit line"],
-    );
-    for i in 1..=fig4.l() {
-        walk.row(vec![
-            i.to_string(),
-            trace.entry_lines()[(i - 1) as usize].to_string(),
-            trace.switch_at_stage(&fig4, i).to_string(),
-            tag.digit_for_stage(i).to_string(),
-            trace.exit_lines()[(i - 1) as usize].to_string(),
-        ]);
-    }
-    walk.row(vec![
-        (fig4.l() + 1).to_string(),
-        trace.entry_lines()[fig4.l() as usize].to_string(),
-        trace.final_crossbar(&fig4).to_string(),
-        tag.crossbar_digit().to_string(),
-        trace.output().to_string(),
-    ]);
+    emit.table_rows(&mut walk, walk_rows);
     walk.print();
-    assert_eq!(trace.output(), dest);
     println!("Delivered to D = {dest} as Theorem 1 requires.");
-    args.emit(&[&tables[0], &tables[1], &walk]);
+    emit.finish();
 }

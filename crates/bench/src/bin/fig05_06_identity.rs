@@ -9,13 +9,14 @@
 //! without any conflict. This binary measures both, plus the multi-pass
 //! completion time of the unmodified network.
 //!
-//! Runs on the `edn_sweep` harness: the one-pass variants execute as pool
-//! tasks on per-worker cached engines (the reordered variant exercising
-//! the engine's inverse-order cache); `--threads/--out` as everywhere.
+//! Runs on the `edn_sweep` streaming harness: the one-pass variants
+//! execute as pool tasks on per-worker cached engines (the reordered
+//! variant exercising the engine's inverse-order cache);
+//! `--threads/--out/--shard` as everywhere.
 
 use edn_bench::{fmt_f, SweepArgs, SweepWorker};
 use edn_core::{EdnParams, PriorityArbiter, RetirementOrder, RouteRequest};
-use edn_sweep::{run_indexed, Table};
+use edn_sweep::Table;
 use std::collections::HashSet;
 
 fn main() {
@@ -31,56 +32,13 @@ fn main() {
     let order = RetirementOrder::rotate_left(params.output_bits(), params.log2_b())
         .expect("valid rotation");
 
-    // --- Figures 5 and 6 as two pool tasks: unmodified one-pass routing
-    // and the bit-reordered + inverse-stage construction. ---
-    let outcomes = run_indexed(args.threads, 2, SweepWorker::new, |worker, index| {
-        let engine = worker.engine(&params);
-        if index == 0 {
-            engine
-                .route(&identity, &mut PriorityArbiter::new())
-                .to_outcome()
-        } else {
-            engine
-                .route_reordered(&identity, &order, &mut PriorityArbiter::new())
-                .to_outcome()
-        }
-    });
-    let (outcome, reordered) = (&outcomes[0], &outcomes[1]);
-    let mut table = Table::new(
-        "FIG5: identity permutation, unmodified EDN(64,16,4,2)",
-        &["variant", "offered", "delivered", "acceptance"],
-    );
-    table.row(vec![
-        "unmodified (Fig 5)".to_string(),
-        outcome.offered().to_string(),
-        outcome.delivered_count().to_string(),
-        fmt_f(outcome.acceptance_rate(), 4),
-    ]);
-    table.row(vec![
-        "bit-reordered + inverse stage (Fig 6)".to_string(),
-        reordered.offered().to_string(),
-        reordered.delivered_count().to_string(),
-        fmt_f(reordered.acceptance_rate(), 4),
-    ]);
-    table.print();
-    println!(
-        "Paper: Fig 5 network cannot route the identity in one pass (64/1024 here);\n\
-         Fig 6 modification performs it completely ({}/1024).\n",
-        reordered.delivered_count()
-    );
-    for &(source, output) in reordered.delivered() {
-        assert_eq!(source, output, "compensated delivery must be the identity");
-    }
-
     // --- Multi-pass completion of the unmodified network (inherently
-    // sequential: each pass feeds the next). ---
+    // sequential: each pass feeds the next), computed first so the
+    // table's row count is known when the emission plan is laid down. ---
     let mut worker = SweepWorker::new();
     let engine = worker.engine(&params);
     let mut remaining: Vec<RouteRequest> = identity.clone();
-    let mut passes = Table::new(
-        "FIG5b: multi-pass identity on the unmodified network",
-        &["pass", "offered", "delivered", "cumulative"],
-    );
+    let mut pass_rows: Vec<Vec<String>> = Vec::new();
     let mut cumulative = 0usize;
     let mut pass = 0u32;
     while !remaining.is_empty() && pass < 64 {
@@ -92,7 +50,7 @@ fn main() {
             .map(|&(source, _)| source)
             .collect();
         cumulative += delivered.len();
-        passes.row(vec![
+        pass_rows.push(vec![
             pass.to_string(),
             remaining.len().to_string(),
             delivered.len().to_string(),
@@ -100,10 +58,58 @@ fn main() {
         ]);
         remaining.retain(|r| !delivered.contains(&r.source));
     }
+
+    // --- Figures 5 and 6 as two pool tasks: unmodified one-pass routing
+    // and the bit-reordered + inverse-stage construction. ---
+    let mut table = Table::new(
+        "FIG5: identity permutation, unmodified EDN(64,16,4,2)",
+        &["variant", "offered", "delivered", "acceptance"],
+    );
+    let mut passes = Table::new(
+        "FIG5b: multi-pass identity on the unmodified network",
+        &["pass", "offered", "delivered", "cumulative"],
+    );
+    let mut emit = args.plan_emit(&[(&table, 2), (&passes, pass_rows.len())]);
+    let delivered_counts = emit.run_table(&mut table, SweepWorker::new, |worker, row| {
+        let engine = worker.engine(&params);
+        let (label, outcome) = if row == 0 {
+            (
+                "unmodified (Fig 5)",
+                engine
+                    .route(&identity, &mut PriorityArbiter::new())
+                    .to_outcome(),
+            )
+        } else {
+            let outcome = engine
+                .route_reordered(&identity, &order, &mut PriorityArbiter::new())
+                .to_outcome();
+            for &(source, output) in outcome.delivered() {
+                assert_eq!(source, output, "compensated delivery must be the identity");
+            }
+            ("bit-reordered + inverse stage (Fig 6)", outcome)
+        };
+        let cells = vec![
+            label.to_string(),
+            outcome.offered().to_string(),
+            outcome.delivered_count().to_string(),
+            fmt_f(outcome.acceptance_rate(), 4),
+        ];
+        (cells, outcome.delivered_count())
+    });
+    table.print();
+    if emit.is_full() {
+        println!(
+            "Paper: Fig 5 network cannot route the identity in one pass ({}/1024 here);\n\
+             Fig 6 modification performs it completely ({}/1024).\n",
+            delivered_counts[0], delivered_counts[1]
+        );
+    }
+
+    emit.table_rows(&mut passes, pass_rows);
     passes.print();
     println!(
         "The unmodified network needs {pass} priority-arbitrated passes for what the\n\
          Figure 6 construction does in one — the cost of ignoring Corollary 2."
     );
-    args.emit(&[&table, &passes]);
+    emit.finish();
 }

@@ -7,11 +7,13 @@
 //! qualitative claims: the delta family is worst, performance improves
 //! with capacity, and the capacity-4 family tracks the crossbar closely.
 //!
-//! Runs on the `edn_sweep` harness: one pool task per (family, size)
-//! evaluation of the Eq. 4 product; `--threads/--out` as everywhere.
+//! Runs on the `edn_sweep` streaming harness: one pool task per table
+//! row (a network size, evaluating the Eq. 4 product for every family),
+//! each row emitted as it completes;
+//! `--threads/--out/--shard` as everywhere.
 
 use edn_analytic::pa::{crossbar_pa, probability_of_acceptance};
-use edn_bench::{evaluate_families, figure7_families, fmt_f, fmt_opt, SweepArgs, Table};
+use edn_bench::{family_sizes, figure7_families, fmt_f, fmt_opt, SweepArgs, Table};
 
 fn main() {
     let args = SweepArgs::parse(
@@ -21,6 +23,7 @@ fn main() {
     );
     const MAX_PORTS: u64 = 1 << 20; // the paper plots to 10^6
     let families = figure7_families();
+    let sizes = family_sizes(&families, MAX_PORTS);
 
     println!("Figure 7: PA(1) vs number of inputs, 8-I/O hyperbar families.\n");
 
@@ -34,44 +37,51 @@ fn main() {
             "EDN(8,8,1,*)",
         ],
     );
-    // Every (family, size) point is one pool task: Eq. 4 is a per-stage
-    // product whose cost grows with l, so the large tail would otherwise
-    // serialize.
-    let series = evaluate_families(args.threads, &families, MAX_PORTS, |params| {
-        probability_of_acceptance(params, 1.0)
-    });
-    // Union of sizes, ascending.
-    let mut sizes: Vec<u64> = series.iter().flatten().map(|&(n, _)| n).collect();
-    sizes.sort_unstable();
-    sizes.dedup();
-    for &n in &sizes {
-        let lookup = |idx: usize| -> Option<f64> {
-            series[idx]
-                .iter()
-                .find(|&&(size, _)| size == n)
-                .map(|&(_, pa)| pa)
-        };
-        table.row(vec![
-            n.to_string(),
-            fmt_f(crossbar_pa(n, 1.0), 4),
-            fmt_opt(lookup(0), 4),
-            fmt_opt(lookup(1), 4),
-            fmt_opt(lookup(2), 4),
-        ]);
-    }
+    let mut emit = args.plan_emit(&[(&table, sizes.len())]);
+    // Every size is one pool task evaluating all families: Eq. 4 is a
+    // per-stage product whose cost grows with l, so the large tail would
+    // otherwise serialize.
+    emit.run_rows(
+        &mut table,
+        || (),
+        |(), row| {
+            let n = sizes[row];
+            let pa = |family_index: usize| -> Option<f64> {
+                families[family_index]
+                    .member_at(n)
+                    .map(|params| probability_of_acceptance(&params, 1.0))
+            };
+            vec![
+                n.to_string(),
+                fmt_f(crossbar_pa(n, 1.0), 4),
+                fmt_opt(pa(0), 4),
+                fmt_opt(pa(1), 4),
+                fmt_opt(pa(2), 4),
+            ]
+        },
+    );
     table.print();
 
-    // The paper's qualitative checks.
-    let at = |idx: usize, n: u64| series[idx].iter().find(|&&(s, _)| s == n).map(|&(_, p)| p);
-    let big = 1 << 18;
-    if let (Some(c4), Some(delta)) = (at(0, big), at(2, 1 << 18)) {
-        println!("At N = {big}: capacity-4 family PA = {c4:.3}, delta family PA = {delta:.3}.");
-        println!("Shape check (paper): delta worst, capacity helps, EDN(8,2,4,*) near crossbar");
-        println!(
-            "crossbar at same size: {:.3} (gap to capacity-4 family: {:.3})",
-            crossbar_pa(big, 1.0),
-            crossbar_pa(big, 1.0) - c4
-        );
+    // The paper's qualitative checks (full runs only: a shard holds just
+    // its slice of the size axis).
+    if emit.is_full() {
+        let at = |family_index: usize, n: u64| {
+            families[family_index]
+                .member_at(n)
+                .map(|params| probability_of_acceptance(&params, 1.0))
+        };
+        let big = 1 << 18;
+        if let (Some(c4), Some(delta)) = (at(0, big), at(2, big)) {
+            println!("At N = {big}: capacity-4 family PA = {c4:.3}, delta family PA = {delta:.3}.");
+            println!(
+                "Shape check (paper): delta worst, capacity helps, EDN(8,2,4,*) near crossbar"
+            );
+            println!(
+                "crossbar at same size: {:.3} (gap to capacity-4 family: {:.3})",
+                crossbar_pa(big, 1.0),
+                crossbar_pa(big, 1.0) - c4
+            );
+        }
     }
-    args.emit(&[&table]);
+    emit.finish();
 }

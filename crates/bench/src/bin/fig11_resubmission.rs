@@ -12,20 +12,44 @@
 //! one resident `RouteSession` call on the engine), validating the fixed
 //! point against the wired fabric along the figure's own axis.
 //!
-//! Runs on the `edn_sweep` harness: one pool task per (family, size) —
-//! the deep fixed-point iterations and the larger MIMD runs cost far
-//! more than the shallow ones, exactly the imbalance stealing absorbs;
-//! `--threads/--cycles/--out` as everywhere (`--cycles` sets the
+//! Runs on the `edn_sweep` streaming harness: one pool task per table
+//! row (a network size: both families' fixed points plus the MIMD runs)
+//! — the deep fixed-point iterations and the larger MIMD runs cost far
+//! more than the shallow ones, exactly the imbalance stealing absorbs —
+//! with every row streamed to the artifact as it completes;
+//! `--threads/--cycles/--out/--shard` as everywhere (`--cycles` sets the
 //! measured simulation cycles).
 
 use edn_analytic::mimd::resubmission_fixed_point;
 use edn_analytic::pa::probability_of_acceptance;
-use edn_bench::{evaluate_families, fmt_opt, Family, SweepArgs, Table};
+use edn_bench::{family_sizes, fmt_opt, Family, SweepArgs, Table};
+use edn_core::EdnParams;
 use edn_sim::{ArbiterKind, MimdSystem, ResubmitPolicy};
 
 /// Largest network simulated for the measured `PA'` column (the analytic
 /// curves continue to 10^6 ports).
 const SIM_MAX_PORTS: u64 = 4096;
+
+/// One family's three columns at one size.
+fn family_cells(params: Option<EdnParams>, rate: f64, sim_cycles: u32) -> [Option<f64>; 3] {
+    let Some(params) = params else {
+        return [None, None, None];
+    };
+    let ignored = probability_of_acceptance(&params, rate);
+    let steady = resubmission_fixed_point(&params, rate, 1e-12, 100_000);
+    let simulated = (params.inputs() <= SIM_MAX_PORTS).then(|| {
+        let mut system = MimdSystem::new(
+            params,
+            rate,
+            ArbiterKind::Random,
+            ResubmitPolicy::Redraw,
+            0xF160 ^ params.inputs(),
+        )
+        .expect("rate 0.5 is valid");
+        system.run(sim_cycles / 2, sim_cycles).acceptance
+    });
+    [Some(ignored), Some(steady.pa_prime), simulated]
+}
 
 fn main() {
     let args = SweepArgs::parse(
@@ -36,6 +60,7 @@ fn main() {
     const RATE: f64 = 0.5;
     const MAX_PORTS: u64 = 1 << 20;
     let families = [Family { io: 16, b: 4 }, Family { io: 4, b: 2 }];
+    let sizes = family_sizes(&families, MAX_PORTS);
     let sim_cycles = args.cycles_or(300);
 
     println!("Figure 11: PA(0.5) vs PA'(0.5), ignored vs resubmitted rejects.\n");
@@ -52,63 +77,53 @@ fn main() {
             "EDN(4,2,2,*) sim PA'",
         ],
     );
-
-    let series = evaluate_families(args.threads, &families, MAX_PORTS, |params| {
-        let ignored = probability_of_acceptance(params, RATE);
-        let steady = resubmission_fixed_point(params, RATE, 1e-12, 100_000);
-        let simulated = (params.inputs() <= SIM_MAX_PORTS).then(|| {
-            let mut system = MimdSystem::new(
-                *params,
-                RATE,
-                ArbiterKind::Random,
-                ResubmitPolicy::Redraw,
-                0xF160 ^ params.inputs(),
-            )
-            .expect("rate 0.5 is valid");
-            system.run(sim_cycles / 2, sim_cycles).acceptance
-        });
-        (ignored, steady.pa_prime, simulated)
-    });
-    let mut sizes: Vec<u64> = series.iter().flatten().map(|&(n, _)| n).collect();
-    sizes.sort_unstable();
-    sizes.dedup();
-    for &n in &sizes {
-        let find = |idx: usize| series[idx].iter().find(|&&(s, _)| s == n).copied();
-        let (i0, r0, s0) = find(0)
-            .map(|(_, (i, r, s))| (Some(i), Some(r), s))
-            .unwrap_or((None, None, None));
-        let (i1, r1, s1) = find(1)
-            .map(|(_, (i, r, s))| (Some(i), Some(r), s))
-            .unwrap_or((None, None, None));
-        table.row(vec![
-            n.to_string(),
-            fmt_opt(i0, 4),
-            fmt_opt(r0, 4),
-            fmt_opt(s0, 4),
-            fmt_opt(i1, 4),
-            fmt_opt(r1, 4),
-            fmt_opt(s1, 4),
-        ]);
-    }
+    let mut emit = args.plan_emit(&[(&table, sizes.len())]);
+    let row_values = emit.run_table(
+        &mut table,
+        || (),
+        |(), row| {
+            let n = sizes[row];
+            let [i0, r0, s0] = family_cells(families[0].member_at(n), RATE, sim_cycles);
+            let [i1, r1, s1] = family_cells(families[1].member_at(n), RATE, sim_cycles);
+            let cells = vec![
+                n.to_string(),
+                fmt_opt(i0, 4),
+                fmt_opt(r0, 4),
+                fmt_opt(s0, 4),
+                fmt_opt(i1, 4),
+                fmt_opt(r1, 4),
+                fmt_opt(s1, 4),
+            ];
+            (cells, (n, [i0.zip(r0), i1.zip(r1)]))
+        },
+    );
     table.print();
 
-    // Shape checks from the figure.
-    let last = |idx: usize| {
-        let &(n, (i, r, _)) = series[idx].last().expect("family is non-empty");
-        (n, (i, r))
-    };
-    let (n0, (ignored0, resub0)) = last(0);
-    let (n1, (ignored1, resub1)) = last(1);
-    println!("At the largest sizes (N={n0} / N={n1}):");
-    println!(
-        "  EDN(16,4,4,*): ignored {ignored0:.3} vs resubmitted {resub0:.3} (drop {:.3})",
-        ignored0 - resub0
-    );
-    println!(
-        "  EDN(4,2,2,*):  ignored {ignored1:.3} vs resubmitted {resub1:.3} (drop {:.3})",
-        ignored1 - resub1
-    );
-    println!("Shape check (paper): resubmitted curves sit below ignored curves, and the");
-    println!("gap widens with network size.");
-    args.emit(&[&table]);
+    // Shape checks from the figure (full runs only), read back from the
+    // rows just computed — the deep fixed points are not re-evaluated.
+    if emit.is_full() {
+        let last = |family_index: usize| {
+            row_values
+                .iter()
+                .rev()
+                .find_map(|&(n, columns)| {
+                    columns[family_index].map(|(ignored, resub)| (n, ignored, resub))
+                })
+                .expect("family is non-empty")
+        };
+        let (n0, ignored0, resub0) = last(0);
+        let (n1, ignored1, resub1) = last(1);
+        println!("At the largest sizes (N={n0} / N={n1}):");
+        println!(
+            "  EDN(16,4,4,*): ignored {ignored0:.3} vs resubmitted {resub0:.3} (drop {:.3})",
+            ignored0 - resub0
+        );
+        println!(
+            "  EDN(4,2,2,*):  ignored {ignored1:.3} vs resubmitted {resub1:.3} (drop {:.3})",
+            ignored1 - resub1
+        );
+        println!("Shape check (paper): resubmitted curves sit below ignored curves, and the");
+        println!("gap widens with network size.");
+    }
+    emit.finish();
 }

@@ -7,8 +7,8 @@
 //! and the crossbar, plus the performance-per-cost ratio that drives the
 //! paper's argument.
 //!
-//! Runs on the `edn_sweep` harness: one pool task per parameter point;
-//! `--threads/--out` as everywhere.
+//! Runs on the `edn_sweep` streaming harness: one pool task per table
+//! row; `--threads/--out/--shard` as everywhere.
 
 use edn_analytic::pa::{crossbar_pa, probability_of_acceptance};
 use edn_bench::{fmt_f, SweepArgs, Table};
@@ -17,7 +17,6 @@ use edn_core::cost::{
     wire_cost_closed_form,
 };
 use edn_core::EdnParams;
-use edn_sweep::map_slice_with;
 
 fn main() {
     let args = SweepArgs::parse(
@@ -44,34 +43,6 @@ fn main() {
     .into_iter()
     .map(|(a, b, c, l)| EdnParams::new(a, b, c, l).expect("valid sweep parameters"))
     .collect();
-    let costs = map_slice_with(
-        args.threads,
-        &shapes,
-        || (),
-        |(), p| {
-            (
-                *p,
-                crosspoint_cost(p),
-                crosspoint_cost_closed_form(p),
-                wire_cost(p),
-                wire_cost_closed_form(p),
-            )
-        },
-    );
-    for (p, cs, csf, cw, cwf) in costs {
-        assert_eq!(cs, csf, "{p}");
-        assert_eq!(cw, cwf, "{p}");
-        check.row(vec![
-            p.to_string(),
-            cs.to_string(),
-            csf.to_string(),
-            cw.to_string(),
-            cwf.to_string(),
-        ]);
-    }
-    check.print();
-
-    // Cost and performance at matched sizes: the conclusion's argument.
     let mut versus = Table::new(
         "TAB-COST b: cost and PA(1) at matched port count",
         &[
@@ -84,54 +55,74 @@ fn main() {
         ],
     );
     let levels = [3u32, 4, 5];
-    let matched = map_slice_with(
-        args.threads,
-        &levels,
+    let mut emit = args.plan_emit(&[(&check, shapes.len()), (&versus, levels.len() * 3)]);
+
+    emit.run_rows(
+        &mut check,
         || (),
-        |(), &l4| {
+        |(), row| {
+            let p = &shapes[row];
+            let (cs, csf) = (crosspoint_cost(p), crosspoint_cost_closed_form(p));
+            let (cw, cwf) = (wire_cost(p), wire_cost_closed_form(p));
+            assert_eq!(cs, csf, "{p}");
+            assert_eq!(cw, cwf, "{p}");
+            vec![
+                p.to_string(),
+                cs.to_string(),
+                csf.to_string(),
+                cw.to_string(),
+                cwf.to_string(),
+            ]
+        },
+    );
+    check.print();
+
+    // Cost and performance at matched sizes: the conclusion's argument.
+    // Three rows per matched size (EDN, delta, crossbar), each a pool
+    // task.
+    emit.run_rows(
+        &mut versus,
+        || (),
+        |(), row| {
+            let l4 = levels[row / 3];
             let edn = EdnParams::new(16, 4, 4, l4).expect("valid EDN");
             let n = edn.inputs();
             let delta_l = n.trailing_zeros() / 2; // radix-4 delta of the same size
             let delta = EdnParams::delta(4, 4, delta_l).expect("valid delta");
             assert_eq!(delta.inputs(), n, "matched sizes");
-            let rows: Vec<(String, u128, u128, f64)> = vec![
-                (
+            let (name, cs, cw, pa) = match row % 3 {
+                0 => (
                     format!("{edn}"),
                     crosspoint_cost(&edn),
                     wire_cost(&edn),
                     probability_of_acceptance(&edn, 1.0),
                 ),
-                (
+                1 => (
                     format!("{delta} (delta)"),
                     crosspoint_cost(&delta),
                     wire_cost(&delta),
                     probability_of_acceptance(&delta, 1.0),
                 ),
-                (
+                _ => (
                     "crossbar".to_string(),
                     crossbar_crosspoints(n, n),
                     crossbar_wires(n, n),
                     crossbar_pa(n, 1.0),
                 ),
-            ];
-            (n, rows)
-        },
-    );
-    for (n, rows) in matched {
-        for (name, cs, cw, pa) in rows {
-            versus.row(vec![
+            };
+            vec![
                 n.to_string(),
                 name,
                 cs.to_string(),
                 cw.to_string(),
                 fmt_f(pa, 4),
                 fmt_f(pa / (cs as f64 / 1.0e6), 2),
-            ]);
-        }
-    }
+            ]
+        },
+    );
     versus.print();
     println!("Shape check (paper's conclusion): the EDN's PA(1) tracks the crossbar's");
     println!("while its crosspoint cost stays within a small factor of the delta's —");
     println!("the crossbar's quadratic cost dwarfs both at large N.");
-    args.emit(&[&check, &versus]);
+    emit.finish();
 }

@@ -9,15 +9,15 @@
 //! the d-dilated radix-b delta network: acceptance at full load, wire
 //! cost, crosspoint cost, and acceptance per kilowire.
 //!
-//! Runs on the `edn_sweep` harness: one pool task per stage count;
-//! `--threads/--out` as everywhere.
+//! Runs on the `edn_sweep` streaming harness: one pool task per table
+//! row (an EDN or its dilated counterpart at one stage count);
+//! `--threads/--out/--shard` as everywhere.
 
 use edn_analytic::pa::probability_of_acceptance;
 use edn_analytic::DilatedDeltaModel;
 use edn_bench::{fmt_f, SweepArgs, Table};
 use edn_core::cost::{dilated_delta_crosspoints, dilated_delta_wires, wire_cost};
 use edn_core::{cost::crosspoint_cost, EdnParams};
-use edn_sweep::map_slice_with;
 
 fn main() {
     let args = SweepArgs::parse(
@@ -39,11 +39,14 @@ fn main() {
         ],
     );
     let levels = [2u32, 3, 4, 5];
-    let rows = map_slice_with(
-        args.threads,
-        &levels,
+    // Two rows per stage count (the EDN, then its dilated counterpart),
+    // each an independent pool task.
+    let mut emit = args.plan_emit(&[(&table, levels.len() * 2)]);
+    emit.run_rows(
+        &mut table,
         || (),
-        |(), &l| {
+        |(), row| {
+            let l = levels[row / 2];
             let edn = EdnParams::new(16, 4, 4, l).expect("valid EDN");
             let ports = edn.inputs();
             // A radix-4 delta on `ports` endpoints needs log4(ports) stages.
@@ -51,37 +54,34 @@ fn main() {
             let dilated = DilatedDeltaModel::new(4, 4, dilated_l).expect("valid dilated");
             assert_eq!(dilated.ports(), ports);
 
-            let pa_edn = probability_of_acceptance(&edn, 1.0);
-            let w_edn = wire_cost(&edn);
-            let edn_row = vec![
-                ports.to_string(),
-                edn.to_string(),
-                fmt_f(pa_edn, 4),
-                w_edn.to_string(),
-                crosspoint_cost(&edn).to_string(),
-                fmt_f(pa_edn / (w_edn as f64 / 1000.0), 2),
-            ];
-
-            let pa_dil = dilated.probability_of_acceptance(1.0);
-            let w_dil = dilated_delta_wires(4, 4, dilated_l);
-            let dilated_row = vec![
-                ports.to_string(),
-                dilated.to_string(),
-                fmt_f(pa_dil, 4),
-                w_dil.to_string(),
-                dilated_delta_crosspoints(4, 4, dilated_l).to_string(),
-                fmt_f(pa_dil / (w_dil as f64 / 1000.0), 2),
-            ];
-            (edn_row, dilated_row)
+            if row % 2 == 0 {
+                let pa_edn = probability_of_acceptance(&edn, 1.0);
+                let w_edn = wire_cost(&edn);
+                vec![
+                    ports.to_string(),
+                    edn.to_string(),
+                    fmt_f(pa_edn, 4),
+                    w_edn.to_string(),
+                    crosspoint_cost(&edn).to_string(),
+                    fmt_f(pa_edn / (w_edn as f64 / 1000.0), 2),
+                ]
+            } else {
+                let pa_dil = dilated.probability_of_acceptance(1.0);
+                let w_dil = dilated_delta_wires(4, 4, dilated_l);
+                vec![
+                    ports.to_string(),
+                    dilated.to_string(),
+                    fmt_f(pa_dil, 4),
+                    w_dil.to_string(),
+                    dilated_delta_crosspoints(4, 4, dilated_l).to_string(),
+                    fmt_f(pa_dil / (w_dil as f64 / 1000.0), 2),
+                ]
+            }
         },
     );
-    for (edn_row, dilated_row) in rows {
-        table.row(edn_row);
-        table.row(dilated_row);
-    }
     table.print();
     println!("Shape check (paper, Section 1): at equal ports the dilated network's");
     println!("interstage planes carry ~d times the EDN's wires, so the EDN wins on");
     println!("acceptance per wire even where raw acceptance is comparable.");
-    args.emit(&[&table]);
+    emit.finish();
 }

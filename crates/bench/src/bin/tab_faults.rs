@@ -11,16 +11,17 @@
 //! the fraction of (source, destination) pairs still connected, and the
 //! simulated full-load acceptance of the degraded fabric.
 //!
-//! Runs on the `edn_sweep` harness: one pool task per (fault rate,
-//! fabric), with per-worker cached engines and fault bitmasks;
-//! `--threads/--cycles/--out` as everywhere.
+//! Runs on the `edn_sweep` streaming harness: one pool task per fault
+//! rate (measuring all three fabrics on per-worker cached engines and
+//! fault bitmasks), rows streamed as they complete;
+//! `--threads/--cycles/--out/--shard` as everywhere.
 
 use edn_bench::{fmt_f, SweepArgs, SweepWorker};
 use edn_core::{
     route_one_with_faults, EdnParams, EdnTopology, FaultRouting, FaultSet, PriorityArbiter,
     RouteRequest, RoutingEngine,
 };
-use edn_sweep::{run_indexed, Table};
+use edn_sweep::Table;
 
 fn connectivity(topology: &EdnTopology, faults: &FaultSet, samples: u64) -> f64 {
     let params = topology.params();
@@ -84,24 +85,6 @@ fn main() {
 
     let fractions = [0.0, 0.01, 0.02, 0.05, 0.10, 0.20];
     let fabrics = [edn, half, delta];
-    // Grid: fault rates × fabrics, one pool task each. The degraded-PA
-    // column is only measured for the c=4 EDN and the delta (as in the
-    // original table).
-    let rows = run_indexed(
-        args.threads,
-        fractions.len() * fabrics.len(),
-        SweepWorker::new,
-        |worker, index| {
-            let fraction = fractions[index / fabrics.len()];
-            let params = fabrics[index % fabrics.len()];
-            let seed = 1000 + (index / fabrics.len()) as u64;
-            let (engine, requests, faults) = worker.engine_requests_faults(&params, fraction, seed);
-            let connected = connectivity(engine.topology(), faults, 2000);
-            let pa = (params == edn || params == delta)
-                .then(|| degraded_pa(engine, requests, faults, cycles));
-            Row { connected, pa }
-        },
-    );
 
     let mut table = Table::new(
         "TAB-FAULTS: pair connectivity and degraded PA(1) vs wire-fault rate",
@@ -114,22 +97,39 @@ fn main() {
             "delta PA(1)",
         ],
     );
-    for (i, fraction) in fractions.into_iter().enumerate() {
-        let base = i * fabrics.len();
-        table.row(vec![
+    // One pool task per fault-rate row, measuring all three fabrics on
+    // the worker's cached engines and fault bitmasks. The degraded-PA
+    // column is only measured for the c=4 EDN and the delta (as in the
+    // original table).
+    let mut emit = args.plan_emit(&[(&table, fractions.len())]);
+    emit.run_rows(&mut table, SweepWorker::new, |worker, row| {
+        let fraction = fractions[row];
+        let seed = 1000 + row as u64;
+        let measured: Vec<Row> = fabrics
+            .iter()
+            .map(|params| {
+                let (engine, requests, faults) =
+                    worker.engine_requests_faults(params, fraction, seed);
+                let connected = connectivity(engine.topology(), faults, 2000);
+                let pa = (*params == edn || *params == delta)
+                    .then(|| degraded_pa(engine, requests, faults, cycles));
+                Row { connected, pa }
+            })
+            .collect();
+        vec![
             fmt_f(fraction, 2),
-            fmt_f(rows[base].connected, 4),
-            fmt_f(rows[base + 1].connected, 4),
-            fmt_f(rows[base + 2].connected, 4),
-            fmt_f(rows[base].pa.expect("EDN PA measured"), 4),
-            fmt_f(rows[base + 2].pa.expect("delta PA measured"), 4),
-        ]);
-    }
+            fmt_f(measured[0].connected, 4),
+            fmt_f(measured[1].connected, 4),
+            fmt_f(measured[2].connected, 4),
+            fmt_f(measured[0].pa.expect("EDN PA measured"), 4),
+            fmt_f(measured[2].pa.expect("delta PA measured"), 4),
+        ]
+    });
     table.print();
     println!("Reading: pair survival scales like (1 - f^c)^(buckets on path) — at a 5%");
     println!("wire-fault rate the capacity-4 EDN keeps >99.9% of pairs connected while");
     println!("the delta network has already lost ~1 - (1-0.05)^l of them. Degraded");
     println!("acceptance shrinks gracefully with capacity, by roughly the healthy-wire");
     println!("fraction, instead of cliff-dropping with severed paths.");
-    args.emit(&[&table]);
+    emit.finish();
 }

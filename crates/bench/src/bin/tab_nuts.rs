@@ -9,13 +9,14 @@
 //! cold messages and same arbitration seed) — and reports how much cold
 //! acceptance the hot overlay destroys on each fabric.
 //!
-//! Runs on the `edn_sweep` harness: one grid point per (fabric, hot
-//! fraction), measured on the work-stealing pool with per-worker cached
-//! engines; `--threads/--seeds/--cycles/--out` as everywhere.
+//! Runs on the `edn_sweep` streaming harness: one pool task per
+//! hot-fraction row (measuring both fabrics on per-worker cached
+//! engines), rows streamed as they complete;
+//! `--threads/--seeds/--cycles/--out/--shard` as everywhere.
 
 use edn_bench::{fmt_f, SweepArgs, SweepWorker};
 use edn_core::{EdnParams, RandomArbiter, RouteRequest, RoutingEngine};
-use edn_sweep::{run_indexed, Table};
+use edn_sweep::Table;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -102,35 +103,15 @@ fn main() {
         ],
     );
     let hot_fractions = [0.05, 0.10, 0.20, 0.40];
-    // One pool task per (hot fraction, fabric); workers cache one wired
-    // engine per fabric across all their tasks.
-    let results = run_indexed(
-        args.threads,
-        hot_fractions.len() * 2,
-        SweepWorker::new,
-        |worker, index| {
-            let (hot, params) = (
-                hot_fractions[index / 2],
-                if index % 2 == 0 { edn4 } else { delta },
-            );
-            measure(
-                worker.engine(&params),
-                hot,
-                cycles,
-                500 + (index / 2) as u64,
-            )
-        },
-    );
-    let mut damages: Vec<(f64, f64, f64)> = Vec::new();
-    for (i, &hot) in hot_fractions.iter().enumerate() {
-        let a = &results[i * 2];
-        let d = &results[i * 2 + 1];
-        damages.push((
-            hot,
-            a.collateral() / a.cold_alone,
-            d.collateral() / d.cold_alone,
-        ));
-        table.row(vec![
+    // One pool task per hot-fraction row, measuring both fabrics;
+    // workers cache one wired engine per fabric across all their tasks.
+    let mut emit = args.plan_emit(&[(&table, hot_fractions.len())]);
+    let damages = emit.run_table(&mut table, SweepWorker::new, |worker, row| {
+        let hot = hot_fractions[row];
+        let seed = 500 + row as u64;
+        let a = measure(worker.engine(&edn4), hot, cycles, seed);
+        let d = measure(worker.engine(&delta), hot, cycles, seed);
+        let cells = vec![
             fmt_f(hot, 2),
             fmt_f(a.cold_with_hot, 4),
             fmt_f(a.cold_alone, 4),
@@ -138,8 +119,14 @@ fn main() {
             fmt_f(d.cold_with_hot, 4),
             fmt_f(d.cold_alone, 4),
             fmt_f(d.collateral(), 4),
-        ]);
-    }
+        ];
+        let relative = (
+            hot,
+            a.collateral() / a.cold_alone,
+            d.collateral() / d.cold_alone,
+        );
+        (cells, relative)
+    });
     table.print();
     println!("Reading: 'damage' is the cold acceptance the hot overlay destroys (same");
     println!("cold messages, same arbitration seed). Two findings:");
@@ -157,5 +144,5 @@ fn main() {
             100.0 * delta_damage
         );
     }
-    args.emit(&[&table]);
+    emit.finish();
 }

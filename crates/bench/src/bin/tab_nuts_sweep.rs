@@ -4,27 +4,65 @@
 //! handful of intensities, this scenario sweeps the full hot-spot
 //! intensity axis as a first-class Monte-Carlo grid: (fabric × hot
 //! fraction × seed), every point an independent [`HotSpotTraffic`]
-//! measurement on the engine hot path, executed on the work-stealing
-//! pool. It reports, per fabric and intensity, the overall acceptance
-//! with a seed-level confidence interval and the degradation relative to
-//! the uniform (`h = 0`) baseline of the same fabric — the quantity the
-//! paper's "reduce conflicts or Non Uniform Traffic Spots" claim is
-//! about.
+//! measurement on the engine hot path. It reports, per fabric and
+//! intensity, the overall acceptance with a seed-level confidence
+//! interval and the degradation relative to the uniform (`h = 0`)
+//! baseline of the same fabric — the quantity the paper's "reduce
+//! conflicts or Non Uniform Traffic Spots" claim is about.
 //!
-//! `--threads/--seeds/--cycles/--out` as everywhere.
+//! Runs on the `edn_sweep` streaming harness: one pool task per
+//! (fabric, intensity) row — its seed axis measured inside the task, the
+//! `h = 0` baseline re-derived from the same seeds so every row is a
+//! pure function of its coordinates and `--shard` splits the grid across
+//! processes; `--threads/--seeds/--cycles/--out/--shard` as everywhere.
 
 use edn_bench::{fmt_f, SweepArgs};
 use edn_core::EdnParams;
 use edn_sim::{estimate_pa_with, ArbiterKind, RunningStats};
-use edn_sweep::{run_indexed, Table};
+use edn_sweep::Table;
 use edn_traffic::HotSpotTraffic;
 
 /// One (fabric, intensity) cell aggregated over seeds.
+#[derive(Clone)]
 struct Cell {
     mean: f64,
     ci95: f64,
     delivered: u64,
     offered: u64,
+}
+
+/// Measures one (fabric, intensity) cell: independent seeded Monte-Carlo
+/// runs, folded into a mean with a seed-level CI.
+fn measure_cell(params: &EdnParams, intensity: f64, seeds: &[u64], cycles: u32) -> Cell {
+    let hot_output = params.outputs() / 2;
+    let mut stats = RunningStats::new();
+    let mut delivered = 0u64;
+    let mut offered = 0u64;
+    for &seed in seeds {
+        let mut workload = HotSpotTraffic::new(
+            params.inputs(),
+            params.outputs(),
+            1.0,
+            hot_output,
+            intensity,
+        );
+        let estimate = estimate_pa_with(
+            params,
+            &mut workload,
+            ArbiterKind::Random,
+            cycles,
+            seed ^ (intensity.to_bits().rotate_left(17)),
+        );
+        stats.push(estimate.mean);
+        delivered += estimate.delivered;
+        offered += estimate.offered;
+    }
+    Cell {
+        mean: stats.mean(),
+        ci95: 1.96 * stats.std_error(),
+        delivered,
+        offered,
+    }
 }
 
 fn main() {
@@ -43,56 +81,6 @@ fn main() {
     let intensities = [0.0, 0.05, 0.10, 0.20, 0.40];
     let seeds = args.seed_list(0x2075);
 
-    // Grid: fabric-major, intensity, seed-minor — one pool task per
-    // point, seeded from the point coordinates only.
-    let tasks = fabrics.len() * intensities.len() * seeds.len();
-    let estimates = run_indexed(
-        args.threads,
-        tasks,
-        || (),
-        |(), index| {
-            let seed = seeds[index % seeds.len()];
-            let intensity = intensities[(index / seeds.len()) % intensities.len()];
-            let (_, params) = fabrics[index / (seeds.len() * intensities.len())];
-            let hot_output = params.outputs() / 2;
-            let mut workload = HotSpotTraffic::new(
-                params.inputs(),
-                params.outputs(),
-                1.0,
-                hot_output,
-                intensity,
-            );
-            estimate_pa_with(
-                &params,
-                &mut workload,
-                ArbiterKind::Random,
-                cycles,
-                seed ^ (intensity.to_bits().rotate_left(17)),
-            )
-        },
-    );
-
-    // Fold seeds into (fabric, intensity) cells.
-    let cells: Vec<Cell> = estimates
-        .chunks(seeds.len())
-        .map(|chunk| {
-            let mut stats = RunningStats::new();
-            let mut delivered = 0u64;
-            let mut offered = 0u64;
-            for estimate in chunk {
-                stats.push(estimate.mean);
-                delivered += estimate.delivered;
-                offered += estimate.offered;
-            }
-            Cell {
-                mean: stats.mean(),
-                ci95: 1.96 * stats.std_error(),
-                delivered,
-                offered,
-            }
-        })
-        .collect();
-
     let mut table = Table::new(
         "TAB-NUTS-SWEEP: acceptance vs hot-spot intensity (seed-level CI95)",
         &[
@@ -105,36 +93,66 @@ fn main() {
             "offered",
         ],
     );
-    for (f, (name, _)) in fabrics.iter().enumerate() {
-        let baseline = cells[f * intensities.len()].mean;
-        for (i, &intensity) in intensities.iter().enumerate() {
-            let cell = &cells[f * intensities.len() + i];
-            table.row(vec![
+    // Grid: fabric-major, intensity-minor — one pool task per row,
+    // seeded from the row coordinates only. The `vs h=0` column needs the
+    // fabric's uniform baseline; it is measured **once per fabric this
+    // shard touches**, up front, from the same seeds every row would use
+    // — so rows stay pure functions of their coordinates (bit-identical
+    // across shard splits) and the h = 0 rows reuse the very same cell
+    // instead of measuring twice.
+    let total_rows = fabrics.len() * intensities.len();
+    let shard_rows = edn_sweep::shard_range(total_rows, args.shard);
+    let baselines: Vec<Option<Cell>> = (0..fabrics.len())
+        .map(|fabric| {
+            let needed = shard_rows
+                .clone()
+                .any(|row| row / intensities.len() == fabric);
+            needed.then(|| measure_cell(&fabrics[fabric].1, 0.0, &seeds, cycles))
+        })
+        .collect();
+    let mut emit = args.plan_emit(&[(&table, total_rows)]);
+    let cells = emit.run_table(
+        &mut table,
+        || (),
+        |(), row| {
+            let fabric = row / intensities.len();
+            let (name, params) = fabrics[fabric];
+            let intensity = intensities[row % intensities.len()];
+            let baseline = baselines[fabric].as_ref().expect("baseline premeasured");
+            let cell = if intensity == 0.0 {
+                baseline.clone()
+            } else {
+                measure_cell(&params, intensity, &seeds, cycles)
+            };
+            let cells = vec![
                 name.to_string(),
                 fmt_f(intensity, 2),
                 fmt_f(cell.mean, 4),
                 fmt_f(cell.ci95, 4),
-                fmt_f(cell.mean - baseline, 4),
+                fmt_f(cell.mean - baseline.mean, 4),
                 cell.delivered.to_string(),
                 cell.offered.to_string(),
-            ]);
-        }
-    }
+            ];
+            (cells, cell)
+        },
+    );
     table.print();
 
     println!("Reading: the hot output is a serial bottleneck no topology can widen —");
     println!("its excess messages are lost on every fabric, so acceptance falls with h");
     println!("roughly in parallel across fabrics. What multipath buys is the *level*:");
-    for (f, (name, _)) in fabrics.iter().enumerate() {
-        let h0 = cells[f * intensities.len()].mean;
-        let h_max = cells[(f + 1) * intensities.len() - 1].mean;
-        println!(
-            "  {name}: acceptance {h0:.4} (uniform) -> {h_max:.4} at h = {:.2}, drop {:.4}",
-            intensities[intensities.len() - 1],
-            h0 - h_max
-        );
+    if emit.is_full() {
+        for (f, (name, _)) in fabrics.iter().enumerate() {
+            let h0 = cells[f * intensities.len()].mean;
+            let h_max = cells[(f + 1) * intensities.len() - 1].mean;
+            println!(
+                "  {name}: acceptance {h0:.4} (uniform) -> {h_max:.4} at h = {:.2}, drop {:.4}",
+                intensities[intensities.len() - 1],
+                h0 - h_max
+            );
+        }
     }
     println!("Each point is an independent seeded Monte-Carlo run; rows are identical");
-    println!("for every --threads value.");
-    args.emit(&[&table]);
+    println!("for every --threads value and every --shard split.");
+    emit.finish();
 }

@@ -6,16 +6,16 @@
 //! `PA` across the Figure 7/8 families and validates both against
 //! Monte-Carlo simulation of the real fabric.
 //!
-//! Runs on the `edn_sweep` harness: one pool task per family (the
-//! simulations dominate and their cost varies with network size);
-//! `--threads/--cycles/--out` as everywhere.
+//! Runs on the `edn_sweep` streaming harness: one pool task per table
+//! row (the simulations dominate and their cost varies with network
+//! size), each row streamed as its simulation completes;
+//! `--threads/--cycles/--out/--shard` as everywhere.
 
 use edn_analytic::pa::probability_of_acceptance;
 use edn_analytic::permutation::permutation_pa;
 use edn_bench::{figure7_families, figure8_families, fmt_f, SweepArgs, Table};
 use edn_core::EdnParams;
 use edn_sim::{estimate_pa_permutation, ArbiterKind};
-use edn_sweep::map_slice_with;
 
 fn main() {
     let args = SweepArgs::parse(
@@ -50,11 +50,12 @@ fn main() {
                 .copied()
         })
         .collect();
-    let rows = map_slice_with(
-        args.threads,
-        &points,
+    let mut emit = args.plan_emit(&[(&table, points.len())]);
+    emit.run_rows(
+        &mut table,
         || (),
-        |(), &(l, params)| {
+        |(), row| {
+            let (l, params) = points[row];
             let pa = probability_of_acceptance(&params, 1.0);
             let pap = permutation_pa(&params, 1.0);
             let sim =
@@ -69,12 +70,9 @@ fn main() {
             ]
         },
     );
-    for row in rows {
-        table.row(row);
-    }
     table.print();
     println!("Shape check (Lemma 2): PA_p >= PA everywhere; simulation should bracket");
     println!("the model within a few times the CI (the model inherits the independence");
     println!("approximation of Eq. 4 for the interior stages).");
-    args.emit(&[&table]);
+    emit.finish();
 }

@@ -8,9 +8,10 @@
 //! real completion time by simulation, for the paper's system and a sweep
 //! of cluster sizes.
 //!
-//! Runs on the `edn_sweep` harness: the per-trial permutation runs and
-//! the cluster-size sweep (whose cost grows with `q`) execute as pool
-//! tasks; `--threads/--seeds/--cycles/--out` as everywhere (`--cycles`
+//! Runs on the `edn_sweep` streaming harness: the per-trial permutation
+//! runs and the cluster-size sweep (whose cost grows with `q`) execute
+//! as pool tasks, with every table row streamed as it completes;
+//! `--threads/--seeds/--cycles/--out/--shard` as everywhere (`--cycles`
 //! sets the trials per measurement).
 
 use edn_analytic::simd::RaEdnModel;
@@ -25,77 +26,51 @@ fn main() {
     );
     println!("Section 5.1: RA-EDN permutation timing (random schedule).\n");
 
-    // The paper's worked example, decomposed.
+    // The paper's worked example, decomposed. The analytic rows are
+    // cheap and deterministic; they are precomputed so the emission plan
+    // knows every row count, then streamed in plan order.
     let model = RaEdnModel::new(16, 4, 2, 16).expect("paper parameters are valid");
     let timing = model.expected_permutation_cycles();
+    let anchor_rows: Vec<Vec<String>> = vec![
+        vec!["ports p".into(), "1024".into(), model.ports().to_string()],
+        vec![
+            "processors".into(),
+            "16384".into(),
+            model.processors().to_string(),
+        ],
+        vec![
+            "PA(1)".into(),
+            "0.544".into(),
+            fmt_f(timing.pa_full_load, 4),
+        ],
+        vec!["tail J".into(), "5".into(), timing.tail_cycles.to_string()],
+        vec![
+            "E[cycles] = q/PA(1) + J".into(),
+            "34.41".into(),
+            fmt_f(timing.total_cycles, 2),
+        ],
+    ];
+    let tail_rows: Vec<Vec<String>> = timing
+        .tail_rates
+        .iter()
+        .enumerate()
+        .map(|(j, &rate)| {
+            vec![
+                (j + 1).to_string(),
+                format!("{rate:.6}"),
+                format!("{:.3}", rate * model.ports() as f64),
+            ]
+        })
+        .collect();
+
     let mut anchor = Table::new(
         "TAB-RAEDN a: the paper's worked example RA-EDN(16,4,2,16)",
         &["quantity", "paper", "this reproduction"],
     );
-    anchor.row(vec![
-        "ports p".into(),
-        "1024".into(),
-        model.ports().to_string(),
-    ]);
-    anchor.row(vec![
-        "processors".into(),
-        "16384".into(),
-        model.processors().to_string(),
-    ]);
-    anchor.row(vec![
-        "PA(1)".into(),
-        "0.544".into(),
-        fmt_f(timing.pa_full_load, 4),
-    ]);
-    anchor.row(vec![
-        "tail J".into(),
-        "5".into(),
-        timing.tail_cycles.to_string(),
-    ]);
-    anchor.row(vec![
-        "E[cycles] = q/PA(1) + J".into(),
-        "34.41".into(),
-        fmt_f(timing.total_cycles, 2),
-    ]);
-    anchor.print();
-
     let mut tail = Table::new(
         "TAB-RAEDN b: tail recursion r_{j+1} = (1 - PA(r_j)) r_j",
         &["j", "r_j", "r_j * p"],
     );
-    for (j, &rate) in timing.tail_rates.iter().enumerate() {
-        tail.row(vec![
-            (j + 1).to_string(),
-            format!("{rate:.6}"),
-            format!("{:.3}", rate * model.ports() as f64),
-        ]);
-    }
-    tail.print();
-
-    // Simulated completion time (the hardware truth the model predicts):
-    // one independent 16K-message permutation run per seed, on the pool.
-    let trials = args.seed_list(0xA11CE);
-    let cycle_counts = map_seeds(&trials, |seed| {
-        let mut sim = RaEdnSystem::new(16, 4, 2, 16, ArbiterKind::Random, seed)
-            .expect("paper parameters are valid");
-        sim.route_random_permutation().cycles
-    });
-    let mut stats = RunningStats::new();
-    let mut worst = 0u32;
-    for &cycles in &cycle_counts {
-        stats.push(cycles as f64);
-        worst = worst.max(cycles);
-    }
-    println!(
-        "simulated completion over {} random permutations: {:.2} +- {:.2} cycles (max {worst})",
-        trials.len(),
-        stats.mean(),
-        stats.ci95_half_width()
-    );
-    println!("analytic expectation: {:.2} cycles\n", timing.total_cycles);
-
-    // Sweep of cluster sizes at the paper's network shape: one pool task
-    // per q (the q=64 run costs ~16x the q=4 run — the stealing case).
     let mut sweep = Table::new(
         "TAB-RAEDN c: cluster-size sweep on EDN(64,16,4,2)",
         &[
@@ -107,12 +82,52 @@ fn main() {
         ],
     );
     let cluster_sizes = [4u64, 16, 64];
+    let mut emit = args.plan_emit(&[
+        (&anchor, anchor_rows.len()),
+        (&tail, tail_rows.len()),
+        (&sweep, cluster_sizes.len()),
+    ]);
+
+    emit.table_rows(&mut anchor, anchor_rows);
+    anchor.print();
+    emit.table_rows(&mut tail, tail_rows);
+    tail.print();
+
+    // Simulated completion time (the hardware truth the model predicts):
+    // one independent 16K-message permutation run per seed, on the pool.
+    // Stdout narration only — the artifact carries the tables — so shard
+    // runs skip it: it is the binary's heaviest computation and repeating
+    // it in every shard process would swallow the scale-out win.
+    if emit.is_full() {
+        let trials = args.seed_list(0xA11CE);
+        let cycle_counts = map_seeds(&trials, |seed| {
+            let mut sim = RaEdnSystem::new(16, 4, 2, 16, ArbiterKind::Random, seed)
+                .expect("paper parameters are valid");
+            sim.route_random_permutation().cycles
+        });
+        let mut stats = RunningStats::new();
+        let mut worst = 0u32;
+        for &cycles in &cycle_counts {
+            stats.push(cycles as f64);
+            worst = worst.max(cycles);
+        }
+        println!(
+            "simulated completion over {} random permutations: {:.2} +- {:.2} cycles (max {worst})",
+            trials.len(),
+            stats.mean(),
+            stats.ci95_half_width()
+        );
+        println!("analytic expectation: {:.2} cycles\n", timing.total_cycles);
+    }
+
+    // Sweep of cluster sizes at the paper's network shape: one pool task
+    // per q (the q=64 run costs ~16x the q=4 run — the stealing case).
     let sweep_trials = args.cycles_or(5);
-    let rows = edn_sweep::map_slice_with(
-        args.threads,
-        &cluster_sizes,
+    emit.run_rows(
+        &mut sweep,
         || (),
-        |(), &q| {
+        |(), row| {
+            let q = cluster_sizes[row];
             let model = RaEdnModel::new(16, 4, 2, q).expect("valid parameters");
             let timing = model.expected_permutation_cycles();
             let mut system = RaEdnSystem::new(16, 4, 2, q, ArbiterKind::Random, 0xBEE + q)
@@ -127,11 +142,8 @@ fn main() {
             ]
         },
     );
-    for row in rows {
-        sweep.row(row);
-    }
     sweep.print();
     println!("Shape check (paper): time scales as q/PA(1) with a small additive tail;");
     println!("the MasPar MP-1's router routes a 16K-PE permutation in ~34 cycles.");
-    args.emit(&[&anchor, &tail, &sweep]);
+    emit.finish();
 }

@@ -10,16 +10,16 @@
 //! Lower bound for reference: a conflict-free schedule on a network with
 //! permutation acceptance `PA_p(1)` would need about `q / PA_p(1)` cycles.
 //!
-//! Runs on the `edn_sweep` harness: one pool task per (system, schedule)
-//! measurement — the MasPar-sized runs dwarf the small ones, the exact
-//! imbalance stealing absorbs; `--threads/--cycles/--out` as everywhere
-//! (`--cycles` overrides the per-system trial counts).
+//! Runs on the `edn_sweep` streaming harness: one pool task per system
+//! row (both schedules measured with identical seeds) — the MasPar-sized
+//! runs dwarf the small ones, the exact imbalance stealing absorbs;
+//! `--threads/--cycles/--out/--shard` as everywhere (`--cycles`
+//! overrides the per-system trial counts).
 
 use edn_analytic::permutation::permutation_pa;
 use edn_analytic::simd::RaEdnModel;
 use edn_bench::{fmt_f, SweepArgs, Table};
 use edn_sim::{ArbiterKind, RaEdnSystem, Schedule};
-use edn_sweep::run_indexed;
 
 fn main() {
     let args = SweepArgs::parse(
@@ -45,41 +45,39 @@ fn main() {
         (4, 2, 2, 16, 8),
         (16, 4, 2, 16, 4), // the MasPar shape
     ];
-    // One pool task per (system, schedule): both schedules of a system
-    // are independent measurements with identical seeds.
-    let schedules = [Schedule::Random, Schedule::GreedyDistinct];
-    let measured = run_indexed(
-        args.threads,
-        systems.len() * schedules.len(),
+    // One pool task per system row: both schedules of a system are
+    // independent measurements with identical seeds.
+    let mut emit = args.plan_emit(&[(&table, systems.len())]);
+    emit.run_rows(
+        &mut table,
         || (),
-        |(), index| {
-            let (b, c, l, q, trials) = systems[index / schedules.len()];
-            let schedule = schedules[index % schedules.len()];
+        |(), row| {
+            let (b, c, l, q, trials) = systems[row];
             let trials = args.cycles.unwrap_or(trials);
-            let mut system = RaEdnSystem::new(b, c, l, q, ArbiterKind::Random, 0xAB1E)
-                .expect("valid parameters");
-            system.measure_mean_cycles_scheduled(trials, schedule)
+            let measure = |schedule| {
+                let mut system = RaEdnSystem::new(b, c, l, q, ArbiterKind::Random, 0xAB1E)
+                    .expect("valid parameters");
+                system.measure_mean_cycles_scheduled(trials, schedule)
+            };
+            let (t_random, se_random) = measure(Schedule::Random);
+            let (t_greedy, se_greedy) = measure(Schedule::GreedyDistinct);
+            let model = RaEdnModel::new(b, c, l, q).expect("valid parameters");
+            let timing = model.expected_permutation_cycles();
+            let ideal = q as f64 / permutation_pa(model.params(), 1.0);
+            vec![
+                model.to_string(),
+                model.processors().to_string(),
+                fmt_f(timing.total_cycles, 2),
+                format!("{:.2} +- {:.2}", t_random, 1.96 * se_random),
+                format!("{:.2} +- {:.2}", t_greedy, 1.96 * se_greedy),
+                fmt_f(ideal, 2),
+            ]
         },
     );
-    for (i, &(b, c, l, q, _)) in systems.iter().enumerate() {
-        let model = RaEdnModel::new(b, c, l, q).expect("valid parameters");
-        let timing = model.expected_permutation_cycles();
-        let (t_random, se_random) = measured[i * 2];
-        let (t_greedy, se_greedy) = measured[i * 2 + 1];
-        let ideal = q as f64 / permutation_pa(model.params(), 1.0);
-        table.row(vec![
-            model.to_string(),
-            model.processors().to_string(),
-            fmt_f(timing.total_cycles, 2),
-            format!("{:.2} +- {:.2}", t_random, 1.96 * se_random),
-            format!("{:.2} +- {:.2}", t_greedy, 1.96 * se_greedy),
-            fmt_f(ideal, 2),
-        ]);
-    }
     table.print();
     println!("Reading: the greedy schedule removes output contention (the crossbar-");
     println!("stage losses) and recovers a large share of the gap between the random");
     println!("schedule and the conflict-free ideal, at O(p) bookkeeping per cycle —");
     println!("the cheap alternative the paper's reference [31] motivates.");
-    args.emit(&[&table]);
+    emit.finish();
 }

@@ -8,16 +8,16 @@
 //! simulated acceptance (with confidence intervals), and likewise for the
 //! Section 4 resubmission fixed point.
 //!
-//! Runs on the `edn_sweep` harness: the (network, rate, seed) grid of
-//! table (a) and the MIMD runs of tables (b)/(c) are pool tasks;
-//! `--threads/--seeds/--cycles/--out` as everywhere.
+//! Runs on the `edn_sweep` streaming harness: one pool task per table
+//! row — a (network, rate) cell folds its seed axis inside the task —
+//! with every row streamed to the artifact as its simulations complete;
+//! `--threads/--seeds/--cycles/--out/--shard` as everywhere.
 
 use edn_analytic::mimd::resubmission_fixed_point;
 use edn_analytic::pa::probability_of_acceptance;
 use edn_bench::{fmt_f, SweepArgs, Table};
 use edn_core::EdnParams;
 use edn_sim::{estimate_pa, ArbiterKind, MimdSystem, ResubmitPolicy};
-use edn_sweep::{run_indexed, SweepSpec};
 
 fn main() {
     let args = SweepArgs::parse(
@@ -28,7 +28,8 @@ fn main() {
     let cycles = args.cycles_or(60);
     println!("TAB-SIMVAL: analytic models vs cycle-level simulation.\n");
 
-    // --- Eq. 4 PA(r) vs simulation: a SweepSpec grid on the pool. ---
+    // --- Eq. 4 PA(r) vs simulation: the (network, rate) grid, one row
+    // per cell, the seed axis folded inside the row's task. ---
     let mut table = Table::new(
         "TAB-SIMVAL a: PA(r), model vs Monte Carlo (random arbitration)",
         &[
@@ -49,44 +50,8 @@ fn main() {
         EdnParams::new(64, 16, 4, 2).expect("valid"),
     ];
     let rates = [0.25, 0.5, 1.0];
-    let spec = SweepSpec::over(networks)
-        .loads(rates)
-        .seeds(args.seed_list(1000));
-    let estimates = spec.run(
-        args.threads,
-        || (),
-        |(), point| {
-            estimate_pa(
-                &point.params,
-                point.load,
-                ArbiterKind::Random,
-                cycles,
-                point.seed,
-            )
-        },
-    );
-    // Fold the per-seed estimates of each (network, rate) cell.
-    let seeds_per_cell = args.seeds;
-    for (cell, chunk) in estimates.chunks(seeds_per_cell).enumerate() {
-        let params = networks[cell / rates.len()];
-        let rate = rates[cell % rates.len()];
-        let model = probability_of_acceptance(&params, rate);
-        let mean = chunk.iter().map(|e| e.mean).sum::<f64>() / chunk.len() as f64;
-        let se = chunk.iter().map(|e| e.std_error).sum::<f64>() / (chunk.len() as f64).powf(1.5);
-        table.row(vec![
-            params.to_string(),
-            params.inputs().to_string(),
-            fmt_f(rate, 2),
-            fmt_f(model, 4),
-            fmt_f(mean, 4),
-            fmt_f(1.96 * se, 4),
-            fmt_f((model - mean).abs(), 4),
-        ]);
-    }
-    table.print();
+    let seeds = args.seed_list(1000);
 
-    // --- Section 4 fixed point vs MIMD simulation, one pool task per
-    // (network, rate). ---
     let mut mimd = Table::new(
         "TAB-SIMVAL b: MIMD resubmission, model vs simulation (redraw policy)",
         &[
@@ -105,12 +70,64 @@ fn main() {
         (EdnParams::new(16, 4, 4, 3).expect("valid"), 1.0),
         (EdnParams::new(4, 2, 2, 5).expect("valid"), 0.5),
     ];
-    let mimd_rows = run_indexed(
-        args.threads,
-        mimd_points.len(),
+
+    let mut policy = Table::new(
+        "TAB-SIMVAL c: resubmission destination policy (simulation only)",
+        &[
+            "network",
+            "r",
+            "PA' redraw",
+            "PA' same-dest",
+            "qW redraw",
+            "qW same-dest",
+        ],
+    );
+    let policy_points = [
+        (EdnParams::new(16, 4, 4, 3).expect("valid"), 0.5),
+        (EdnParams::new(16, 4, 4, 3).expect("valid"), 1.0),
+    ];
+
+    let mut emit = args.plan_emit(&[
+        (&table, networks.len() * rates.len()),
+        (&mimd, mimd_points.len()),
+        (&policy, policy_points.len()),
+    ]);
+
+    emit.run_rows(
+        &mut table,
         || (),
-        |(), index| {
-            let (params, rate) = mimd_points[index];
+        |(), row| {
+            let params = networks[row / rates.len()];
+            let rate = rates[row % rates.len()];
+            let model = probability_of_acceptance(&params, rate);
+            // Fold the per-seed estimates of this (network, rate) cell.
+            let estimates: Vec<_> = seeds
+                .iter()
+                .map(|&seed| estimate_pa(&params, rate, ArbiterKind::Random, cycles, seed))
+                .collect();
+            let mean = estimates.iter().map(|e| e.mean).sum::<f64>() / estimates.len() as f64;
+            let se = estimates.iter().map(|e| e.std_error).sum::<f64>()
+                / (estimates.len() as f64).powf(1.5);
+            vec![
+                params.to_string(),
+                params.inputs().to_string(),
+                fmt_f(rate, 2),
+                fmt_f(model, 4),
+                fmt_f(mean, 4),
+                fmt_f(1.96 * se, 4),
+                fmt_f((model - mean).abs(), 4),
+            ]
+        },
+    );
+    table.print();
+
+    // --- Section 4 fixed point vs MIMD simulation, one pool task per
+    // (network, rate) row. ---
+    emit.run_rows(
+        &mut mimd,
+        || (),
+        |(), row| {
+            let (params, rate) = mimd_points[row];
             let model = resubmission_fixed_point(&params, rate, 1e-12, 100_000);
             let mut system = MimdSystem::new(
                 params,
@@ -133,56 +150,35 @@ fn main() {
             ]
         },
     );
-    for row in mimd_rows {
-        mimd.row(row);
-    }
     mimd.print();
 
     // --- The independence shortcut: redraw vs same-destination retries,
-    // one pool task per (network, rate, policy). ---
-    let mut policy = Table::new(
-        "TAB-SIMVAL c: resubmission destination policy (simulation only)",
-        &[
-            "network",
-            "r",
-            "PA' redraw",
-            "PA' same-dest",
-            "qW redraw",
-            "qW same-dest",
-        ],
-    );
-    let policy_points = [
-        (EdnParams::new(16, 4, 4, 3).expect("valid"), 0.5),
-        (EdnParams::new(16, 4, 4, 3).expect("valid"), 1.0),
-    ];
-    let policies = [ResubmitPolicy::Redraw, ResubmitPolicy::SameDestination];
-    let policy_runs = run_indexed(
-        args.threads,
-        policy_points.len() * policies.len(),
+    // one pool task per (network, rate) row measuring both policies. ---
+    emit.run_rows(
+        &mut policy,
         || (),
-        |(), index| {
-            let (params, rate) = policy_points[index / policies.len()];
-            let resubmit = policies[index % policies.len()];
-            let mut system = MimdSystem::new(params, rate, ArbiterKind::Random, resubmit, 5)
-                .expect("valid rate");
-            system.run(300, 700)
+        |(), row| {
+            let (params, rate) = policy_points[row];
+            let run = |resubmit| {
+                let mut system = MimdSystem::new(params, rate, ArbiterKind::Random, resubmit, 5)
+                    .expect("valid rate");
+                system.run(300, 700)
+            };
+            let a = run(ResubmitPolicy::Redraw);
+            let b = run(ResubmitPolicy::SameDestination);
+            vec![
+                params.to_string(),
+                fmt_f(rate, 2),
+                fmt_f(a.acceptance, 4),
+                fmt_f(b.acceptance, 4),
+                fmt_f(a.waiting_fraction, 4),
+                fmt_f(b.waiting_fraction, 4),
+            ]
         },
     );
-    for (i, &(params, rate)) in policy_points.iter().enumerate() {
-        let a = &policy_runs[i * 2];
-        let b = &policy_runs[i * 2 + 1];
-        policy.row(vec![
-            params.to_string(),
-            fmt_f(rate, 2),
-            fmt_f(a.acceptance, 4),
-            fmt_f(b.acceptance, 4),
-            fmt_f(a.waiting_fraction, 4),
-            fmt_f(b.waiting_fraction, 4),
-        ]);
-    }
     policy.print();
     println!("Reading: Eq. 4 tracks simulation within a few hundredths across the sweep;");
     println!("the paper's re-uniformization assumption (redraw) is mildly optimistic");
     println!("compared to physically faithful same-destination retries.");
-    args.emit(&[&table, &mimd, &policy]);
+    emit.finish();
 }

@@ -15,13 +15,14 @@
 //! * passes to route the permutation to completion as wired.
 //!
 //! Random-permutation rows average over `--seeds` seeds; every (network,
-//! permutation) cell is one work-stealing pool task.
-//! `--threads/--seeds/--out` as everywhere.
+//! permutation) row is one work-stealing pool task, streamed to the
+//! artifact as it completes.
+//! `--threads/--seeds/--out/--shard` as everywhere.
 
 use edn_bench::{fmt_f, SweepArgs, SweepWorker};
 use edn_core::{EdnParams, PriorityArbiter, RetirementOrder, RoutingEngine};
 use edn_sim::RunningStats;
-use edn_sweep::{run_indexed, Table};
+use edn_sweep::Table;
 use edn_traffic::Permutation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -110,38 +111,6 @@ fn main() {
     ];
     let seeds = args.seed_list(0x57A7);
 
-    // One pool task per (network, permutation); the random row averages
-    // its seeds inside the task (cost still dominated by the two big
-    // networks, which stealing spreads across workers).
-    let cells = run_indexed(
-        args.threads,
-        networks.len() * NAMES.len(),
-        SweepWorker::new,
-        |worker, index| {
-            let params = networks[index / NAMES.len()];
-            let name = NAMES[index % NAMES.len()];
-            let engine = worker.engine(&params);
-            if name == "random (mean)" {
-                let mut one_pass = RunningStats::new();
-                let mut reordered = RunningStats::new();
-                let mut passes = RunningStats::new();
-                for &seed in &seeds {
-                    let cell = measure(engine, &build(name, params.inputs(), seed));
-                    one_pass.push(cell.one_pass);
-                    reordered.push(cell.reordered);
-                    passes.push(cell.passes);
-                }
-                Cell {
-                    one_pass: one_pass.mean(),
-                    reordered: reordered.mean(),
-                    passes: passes.mean(),
-                }
-            } else {
-                measure(engine, &build(name, params.inputs(), 0))
-            }
-        },
-    );
-
     let mut table = Table::new(
         "TAB-STRUCTURED: one-pass acceptance and passes to completion",
         &[
@@ -152,21 +121,49 @@ fn main() {
             "as-wired passes",
         ],
     );
-    for (n, params) in networks.iter().enumerate() {
-        for (p, name) in NAMES.iter().enumerate() {
-            let cell = &cells[n * NAMES.len() + p];
-            table.row(vec![
-                params.to_string(),
-                name.to_string(),
-                fmt_f(cell.one_pass, 4),
-                fmt_f(cell.reordered, 4),
-                fmt_f(cell.passes, 1),
-            ]);
-        }
-    }
+    // One pool task per (network, permutation) row; the random row
+    // averages its seeds inside the task (cost still dominated by the
+    // two big networks, which stealing spreads across workers).
+    let mut emit = args.plan_emit(&[(&table, networks.len() * NAMES.len())]);
+    let cells = emit.run_table(&mut table, SweepWorker::new, |worker, row| {
+        let params = networks[row / NAMES.len()];
+        let name = NAMES[row % NAMES.len()];
+        let engine = worker.engine(&params);
+        let cell = if name == "random (mean)" {
+            let mut one_pass = RunningStats::new();
+            let mut reordered = RunningStats::new();
+            let mut passes = RunningStats::new();
+            for &seed in &seeds {
+                let cell = measure(engine, &build(name, params.inputs(), seed));
+                one_pass.push(cell.one_pass);
+                reordered.push(cell.reordered);
+                passes.push(cell.passes);
+            }
+            Cell {
+                one_pass: one_pass.mean(),
+                reordered: reordered.mean(),
+                passes: passes.mean(),
+            }
+        } else {
+            measure(engine, &build(name, params.inputs(), 0))
+        };
+        let row_cells = vec![
+            params.to_string(),
+            name.to_string(),
+            fmt_f(cell.one_pass, 4),
+            fmt_f(cell.reordered, 4),
+            fmt_f(cell.passes, 1),
+        ];
+        (row_cells, cell)
+    });
     table.print();
 
-    // The Figure 5/6 anchor, restated from the sweep.
+    // The Figure 5/6 anchor, restated from the sweep (a shard only holds
+    // its slice, so the anchor is a full-run narration).
+    if !emit.is_full() {
+        emit.finish();
+        return;
+    }
     let fig5 = &cells[NAMES.len()]; // identity on EDN(64,16,4,2)
     println!("Reading: the identity on EDN(64,16,4,2) reproduces Figure 5's collapse");
     println!(
@@ -181,5 +178,5 @@ fn main() {
     println!("permutations on EDN(16,4,4,3), whose depth retires different digits.");
     println!("Passes to completion track 1/PA_p as Section 5's resubmission model");
     println!("predicts; random permutations sit in the high-acceptance band either way.");
-    args.emit(&[&table]);
+    emit.finish();
 }

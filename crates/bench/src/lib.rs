@@ -12,7 +12,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub use edn_sweep::{fmt_f, fmt_opt, SweepArgs, SweepSpec, SweepWorker, Table};
+pub use edn_sweep::{fmt_f, fmt_opt, Emission, SweepArgs, SweepSpec, SweepWorker, Table};
 
 use edn_core::{EdnError, EdnParams};
 
@@ -58,6 +58,28 @@ impl Family {
         }
         result
     }
+
+    /// The family member with exactly `inputs` ports, if one exists.
+    pub fn member_at(&self, inputs: u64) -> Option<EdnParams> {
+        self.up_to(inputs)
+            .into_iter()
+            .map(|(_, params)| params)
+            .find(|params| params.inputs() == inputs)
+    }
+}
+
+/// The sorted, deduplicated union of port counts reached by any of the
+/// `families` up to `max_ports` — the row axis of the figure binaries'
+/// size tables. Each row is then a pure function of its size, which is
+/// what lets `--shard` split a figure across processes.
+pub fn family_sizes(families: &[Family], max_ports: u64) -> Vec<u64> {
+    let mut sizes: Vec<u64> = families
+        .iter()
+        .flat_map(|family| family.up_to(max_ports).into_iter().map(|(_, p)| p.inputs()))
+        .collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
 }
 
 /// The Figure 7 families: all square EDNs built from 8-I/O hyperbars.
@@ -77,44 +99,6 @@ pub fn figure8_families() -> Vec<Family> {
         Family { io: 16, b: 8 },
         Family { io: 16, b: 16 },
     ]
-}
-
-/// Evaluates `f` at every member of every family up to `max_ports` on
-/// the work-stealing pool, returning one `(inputs, value)` series per
-/// family, sizes ascending — the shared scaffolding of the figure
-/// binaries' family sweeps (deep members cost more than shallow ones,
-/// which is exactly the imbalance stealing absorbs).
-pub fn evaluate_families<T, F>(
-    threads: usize,
-    families: &[Family],
-    max_ports: u64,
-    f: F,
-) -> Vec<Vec<(u64, T)>>
-where
-    T: Send,
-    F: Fn(&EdnParams) -> T + Sync,
-{
-    let points: Vec<(usize, EdnParams)> = families
-        .iter()
-        .enumerate()
-        .flat_map(|(index, family)| {
-            family
-                .up_to(max_ports)
-                .into_iter()
-                .map(move |(_, params)| (index, params))
-        })
-        .collect();
-    let evaluated = edn_sweep::map_slice_with(
-        threads,
-        &points,
-        || (),
-        |(), &(index, params)| (index, params.inputs(), f(&params)),
-    );
-    let mut series: Vec<Vec<(u64, T)>> = families.iter().map(|_| Vec::new()).collect();
-    for (index, inputs, value) in evaluated {
-        series[index].push((inputs, value));
-    }
-    series
 }
 
 #[cfg(test)]
@@ -148,18 +132,18 @@ mod tests {
     }
 
     #[test]
-    fn evaluate_families_groups_by_family_in_size_order() {
+    fn family_sizes_is_the_sorted_union() {
         let families = figure7_families();
-        let series = evaluate_families(2, &families, 4096, |p| p.l());
-        assert_eq!(series.len(), families.len());
-        for (family, family_series) in families.iter().zip(&series) {
-            let expected: Vec<(u64, u32)> = family
-                .up_to(4096)
-                .into_iter()
-                .map(|(l, p)| (p.inputs(), l))
-                .collect();
-            assert_eq!(family_series, &expected, "{}", family.name());
+        let sizes = family_sizes(&families, 4096);
+        assert!(!sizes.is_empty());
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        for family in &families {
+            for (_, params) in family.up_to(4096) {
+                assert!(sizes.contains(&params.inputs()), "{}", family.name());
+                assert_eq!(family.member_at(params.inputs()), Some(params));
+            }
         }
+        assert_eq!(families[0].member_at(3), None);
     }
 
     #[test]

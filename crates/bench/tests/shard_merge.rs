@@ -1,0 +1,167 @@
+//! End-to-end sharded-artifact contract, at the process level: for real
+//! experiment binaries and shard counts {2, 3, 5}, running every shard
+//! as a **separate process** and merging with `edn_merge` produces an
+//! artifact **byte-identical** to the single-process run — header
+//! included — and every line after the header parses as JSON.
+//!
+//! This is the acceptance test of the scale-out rung: shards only need
+//! the binary name, `--shard I/N`, and a place to put their file; no
+//! coordination, no shared state, bit-exact reassembly.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Runs one experiment binary with the given extra args, returning its
+/// artifact text.
+fn run_binary(exe: &str, dir: &Path, name: &str, extra: &[&str]) -> String {
+    let out = dir.join(name);
+    let status = Command::new(exe)
+        .args(extra)
+        .arg("--out")
+        .arg(&out)
+        .arg("--threads")
+        .arg("2")
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("experiment binary spawns");
+    assert!(status.success(), "{exe} {extra:?} failed");
+    std::fs::read_to_string(&out).expect("artifact written")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("edn_shard_merge_tests")
+        .join(format!("{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The full contract for one binary: unsharded vs {2, 3, 5}-way sharded
+/// runs, merged with the real `edn_merge` binary, compared byte-for-byte.
+fn assert_shard_merge_identical(exe: &str, tag: &str, extra: &[&str]) {
+    let dir = temp_dir(tag);
+    let merge_exe = env!("CARGO_BIN_EXE_edn_merge");
+
+    let full = run_binary(exe, &dir, "full.jsonl", extra);
+    let full_lines: Vec<&str> = full.lines().collect();
+    assert!(full_lines.len() > 1, "{tag}: artifact has rows");
+    // Every line after the header parses as JSON with the seq envelope.
+    for (index, line) in full_lines[1..].iter().enumerate() {
+        let value = edn_sweep::json::parse(line)
+            .unwrap_or_else(|error| panic!("{tag}: row {index} is not JSON: {error}"));
+        assert_eq!(
+            value.get("seq").and_then(|v| v.as_usize()),
+            Some(index),
+            "{tag}: row {index} seq"
+        );
+    }
+    edn_sweep::stream::SchemaHeader::parse(full_lines[0])
+        .unwrap_or_else(|error| panic!("{tag}: header: {error}"));
+
+    for count in [2usize, 3, 5] {
+        let mut parts = Vec::new();
+        for index in 1..=count {
+            let name = format!("part{index}of{count}.jsonl");
+            let mut shard_args = extra.to_vec();
+            let shard = format!("{index}/{count}");
+            shard_args.extend(["--shard", &shard]);
+            run_binary(exe, &dir, &name, &shard_args);
+            parts.push(dir.join(name));
+        }
+        let merged_path = dir.join(format!("merged{count}.jsonl"));
+        let status = Command::new(merge_exe)
+            .args(&parts)
+            .arg("--out")
+            .arg(&merged_path)
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("edn_merge spawns");
+        assert!(status.success(), "{tag}: {count}-way merge failed");
+        let merged = std::fs::read_to_string(&merged_path).unwrap();
+        assert_eq!(
+            merged, full,
+            "{tag}: {count}-way merged artifact differs from the unsharded run"
+        );
+    }
+
+    // And edn_merge --check accepts every file it just validated.
+    let status = Command::new(merge_exe)
+        .arg("--check")
+        .arg(dir.join("full.jsonl"))
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("edn_merge --check spawns");
+    assert!(
+        status.success(),
+        "{tag}: --check rejected the full artifact"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fig07_shards_merge_byte_identical() {
+    // Analytic Eq. 4 sweep: pure per-row computation.
+    assert_shard_merge_identical(env!("CARGO_BIN_EXE_fig07_pa_families8"), "fig07", &[]);
+}
+
+#[test]
+fn tab_faults_shards_merge_byte_identical() {
+    // Monte-Carlo on the engine hot path with per-worker fault caches:
+    // the rng_seed-per-coordinate contract under sharding.
+    assert_shard_merge_identical(
+        env!("CARGO_BIN_EXE_tab_faults"),
+        "tab_faults",
+        &["--cycles", "2"],
+    );
+}
+
+#[test]
+fn tab_structured_shards_merge_byte_identical() {
+    // Multi-table-free but seed-averaged rows on cached engines.
+    assert_shard_merge_identical(
+        env!("CARGO_BIN_EXE_tab_structured"),
+        "tab_structured",
+        &["--seeds", "2"],
+    );
+}
+
+#[test]
+fn tab_ra_edn_multi_table_shards_merge_byte_identical() {
+    // Three tables in one artifact (anchor, tail, sweep): the global
+    // seq numbering and per-table shard slices compose.
+    assert_shard_merge_identical(
+        env!("CARGO_BIN_EXE_tab_ra_edn"),
+        "tab_ra_edn",
+        &["--seeds", "2", "--cycles", "1"],
+    );
+}
+
+#[test]
+fn merge_rejects_mixed_runs() {
+    // Shards of *different* runs (different --cycles) must not merge.
+    let dir = temp_dir("mixed");
+    let exe = env!("CARGO_BIN_EXE_tab_faults");
+    run_binary(exe, &dir, "a.jsonl", &["--cycles", "2", "--shard", "1/2"]);
+    run_binary(exe, &dir, "b.jsonl", &["--cycles", "3", "--shard", "2/2"]);
+    let status = Command::new(env!("CARGO_BIN_EXE_edn_merge"))
+        .arg(dir.join("a.jsonl"))
+        .arg(dir.join("b.jsonl"))
+        .arg("--out")
+        .arg(dir.join("merged.jsonl"))
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("edn_merge spawns");
+    assert!(!status.success(), "mixed-spec merge must fail");
+
+    // An incomplete shard set must not merge either.
+    let status = Command::new(env!("CARGO_BIN_EXE_edn_merge"))
+        .arg(dir.join("a.jsonl"))
+        .arg("--out")
+        .arg(dir.join("merged.jsonl"))
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("edn_merge spawns");
+    assert!(!status.success(), "gapped shard set must fail");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -6,16 +6,32 @@
 //! --threads N   worker threads for the sweep pool (default: auto)
 //! --seeds N     seeds per Monte-Carlo measurement (default varies)
 //! --cycles N    cycles/trials per measurement (default varies)
-//! --out PATH    also write every table row as JSON Lines to PATH
+//! --out PATH    stream every table row as JSON Lines to PATH
+//! --shard I/N   compute and emit only slice I of N (1-based)
 //! --help        print usage and exit
 //! ```
 //!
 //! Parsing is dependency-free (the build image has no crates.io access);
 //! unknown flags abort with usage so typos never silently run the default
 //! experiment.
+//!
+//! Emission goes through [`Emission`], the streaming replacement for the
+//! old exit-time JSON dump: a binary *plans* its tables (titles, columns,
+//! and full row counts) up front — which writes the artifact's
+//! [`SchemaHeader`] immediately — then drives each table's rows through
+//! the work-stealing pool with [`Emission::run_table`]. Every row is a
+//! pure function of its global row index, so `--shard I/N` runs compute
+//! only their slice yet stay byte-compatible: `edn_merge` reassembles the
+//! slices into the exact artifact of an unsharded run. Rows hit the
+//! artifact as their measurements complete (a reorder buffer in
+//! [`RowSink`] preserves grid order), not at process exit.
 
-use crate::report::{write_json_rows, Table};
+use crate::pool::run_indexed;
+use crate::report::{render_json_row, Table};
+use crate::stream::{shard_range, RowSink, SchemaHeader, Shard, TableSchema};
+use std::ops::Range;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Parsed sweep flags shared by every experiment binary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +44,8 @@ pub struct SweepArgs {
     pub cycles: Option<u32>,
     /// JSON Lines output path, when given.
     pub out: Option<PathBuf>,
+    /// The shard this process computes (`1/1` unless `--shard` is given).
+    pub shard: Shard,
     binary: String,
 }
 
@@ -62,6 +80,7 @@ impl SweepArgs {
             seeds: default_seeds,
             cycles: None,
             out: None,
+            shard: Shard::FULL,
             binary: binary.to_string(),
         };
         let mut args = args.peekable();
@@ -93,6 +112,10 @@ impl SweepArgs {
                     parsed.cycles = Some(cycles);
                 }
                 "--out" => parsed.out = Some(PathBuf::from(value("--out")?)),
+                "--shard" => {
+                    parsed.shard = Shard::parse(&value("--shard")?)
+                        .map_err(|message| format!("--shard: {message}"))?;
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -102,20 +125,34 @@ impl SweepArgs {
     fn usage(binary: &str, about: &str, default_seeds: usize) -> String {
         format!(
             "{about}\n\n\
-             Usage: {binary} [--threads N] [--seeds N] [--cycles N] [--out PATH]\n\n\
+             Usage: {binary} [--threads N] [--seeds N] [--cycles N] [--out PATH] [--shard I/N]\n\n\
              Options:\n  \
              --threads N  worker threads for the sweep pool (default: all cores,\n               \
              or EDN_SWEEP_THREADS)\n  \
              --seeds N    seeds per Monte-Carlo measurement (default: {default_seeds})\n  \
              --cycles N   cycles/trials per measurement (default: experiment-specific)\n  \
-             --out PATH   also write every table row as JSON Lines to PATH\n  \
+             --out PATH   stream every table row as JSON Lines to PATH\n  \
+             --shard I/N  compute only slice I of N (1-based); merge the slice\n               \
+             artifacts with `edn_merge part*.jsonl`\n  \
              --help       print this message"
         )
     }
 
     /// The seed list `base..base + seeds` this run measures.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if `base + seeds` overflows `u64` —
+    /// the pre-checked version wrapped around in release builds and
+    /// silently measured the wrong seeds.
     pub fn seed_list(&self, base: u64) -> Vec<u64> {
-        (base..base + self.seeds as u64).collect()
+        let end = base.checked_add(self.seeds as u64).unwrap_or_else(|| {
+            panic!(
+                "{}: seed range overflows u64: base {base} + {} seeds",
+                self.binary, self.seeds
+            )
+        });
+        (base..end).collect()
     }
 
     /// `--cycles` if given, else `default`.
@@ -123,21 +160,265 @@ impl SweepArgs {
         self.cycles.unwrap_or(default)
     }
 
-    /// Writes every table's rows as JSON Lines to `--out` (no-op without
-    /// the flag), reporting the destination on stdout.
+    /// `true` when this process computes the whole grid (no `--shard`,
+    /// or `--shard 1/1`). Narrative summaries that read across rows
+    /// should be gated on this.
+    pub fn is_full_run(&self) -> bool {
+        self.shard.is_full()
+    }
+
+    /// Declares this run's complete emission plan — every [`Table`] it
+    /// will emit, **in order**, with its full (unsharded) data-row count
+    /// — and opens the streaming artifact.
+    ///
+    /// When `--out` is given, the [`SchemaHeader`] (binary name, spec
+    /// hash, parsed args, shard coordinate, row schema) is written and
+    /// flushed immediately, before any measurement runs. The returned
+    /// [`Emission`] then drives each planned table through
+    /// [`run_table`](Emission::run_table) /
+    /// [`table_rows`](Emission::table_rows) and is closed with
+    /// [`finish`](Emission::finish).
     ///
     /// # Panics
     ///
-    /// Panics if the output file cannot be written — an experiment run
-    /// whose emission fails should fail loudly, not print tables and lose
-    /// the artifact.
-    pub fn emit(&self, tables: &[&Table]) {
-        let Some(path) = &self.out else {
-            return;
+    /// Panics if the artifact cannot be created — an experiment whose
+    /// emission fails should fail before measuring, not print tables for
+    /// an hour and lose the artifact at the end.
+    pub fn plan_emit(&self, tables: &[(&Table, usize)]) -> Emission<'_> {
+        let plans: Vec<TablePlan> = {
+            let mut base = 0usize;
+            tables
+                .iter()
+                .map(|&(table, rows)| {
+                    let plan = TablePlan {
+                        title: table.title().to_string(),
+                        headers: table.headers().to_vec(),
+                        rows,
+                        base,
+                    };
+                    base = base.checked_add(rows).unwrap_or_else(|| {
+                        panic!("{}: total row count overflows usize", self.binary)
+                    });
+                    plan
+                })
+                .collect()
         };
-        let rows = write_json_rows(path, tables)
-            .unwrap_or_else(|error| panic!("{}: writing {}: {error}", self.binary, path.display()));
-        println!("wrote {rows} JSON rows to {}", path.display());
+        let total: usize = plans.iter().map(|p| p.rows).sum();
+        let sink = self.out.as_ref().map(|path| {
+            let header = SchemaHeader {
+                binary: self.binary.clone(),
+                seeds: self.seeds,
+                cycles: self.cycles,
+                shard: self.shard,
+                rows: total,
+                tables: plans
+                    .iter()
+                    .map(|p| TableSchema {
+                        title: p.title.clone(),
+                        rows: p.rows,
+                        columns: p.headers.clone(),
+                    })
+                    .collect(),
+            };
+            let sink = RowSink::create(path, &header).unwrap_or_else(|error| {
+                panic!("{}: creating {}: {error}", self.binary, path.display())
+            });
+            Mutex::new(sink)
+        });
+        Emission {
+            args: self,
+            plans,
+            sink,
+            next_table: 0,
+        }
+    }
+}
+
+/// One planned table: schema plus its base in the global row sequence.
+#[derive(Debug)]
+struct TablePlan {
+    title: String,
+    headers: Vec<String>,
+    rows: usize,
+    base: usize,
+}
+
+/// The streaming emission driver of one experiment run: owns the
+/// artifact sink (if `--out` was given) and the declared table plan, and
+/// executes each table's shard slice on the work-stealing pool.
+///
+/// Tables must be driven in the planned order; [`finish`](Self::finish)
+/// panics if any planned table was skipped, so an artifact can never
+/// silently miss a section.
+#[derive(Debug)]
+pub struct Emission<'a> {
+    args: &'a SweepArgs,
+    plans: Vec<TablePlan>,
+    sink: Option<Mutex<RowSink>>,
+    next_table: usize,
+}
+
+impl Emission<'_> {
+    /// `true` when this process computes the whole grid.
+    pub fn is_full(&self) -> bool {
+        self.args.shard.is_full()
+    }
+
+    /// The shard's slice of the next planned table's row indices.
+    fn begin_table(&mut self, table: &Table) -> (Range<usize>, usize) {
+        let plan = self
+            .plans
+            .get(self.next_table)
+            .unwrap_or_else(|| panic!("{}: more tables emitted than planned", self.args.binary));
+        assert_eq!(
+            plan.title,
+            table.title(),
+            "{}: table emitted out of plan order",
+            self.args.binary
+        );
+        assert_eq!(
+            plan.headers,
+            table.headers(),
+            "{}: table `{}` headers changed since planning",
+            self.args.binary,
+            table.title()
+        );
+        let range = shard_range(plan.rows, self.args.shard);
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("sink poisoned")
+                .begin_range(plan.base + range.start..plan.base + range.end);
+        }
+        let base = plan.base;
+        self.next_table += 1;
+        (range, base)
+    }
+
+    /// Measures the next planned table's rows on the work-stealing pool
+    /// and streams them: `measure(state, row)` must return the row's
+    /// cells (plus an auxiliary value for post-run narration) as a pure
+    /// function of the **global** row index `row`, deriving any
+    /// randomness from coordinates only — the same contract as
+    /// [`SweepPoint::rng_seed`](crate::SweepPoint::rng_seed). Under
+    /// `--shard I/N` only the shard's slice of rows is measured,
+    /// appended to `table`, and emitted.
+    ///
+    /// Each row's JSON line is pushed to the artifact as its measurement
+    /// completes; the sink's reorder buffer restores grid order, so the
+    /// file grows incrementally during the sweep.
+    ///
+    /// Returns the auxiliary values in row order (the shard's rows only).
+    pub fn run_table<S, T, I, F>(&mut self, table: &mut Table, init: I, measure: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> (Vec<String>, T) + Sync,
+    {
+        let (range, base) = self.begin_table(table);
+        let title = table.title().to_string();
+        let headers = table.headers().to_vec();
+        let sink = &self.sink;
+        let binary = &self.args.binary;
+        let start = range.start;
+        let results = run_indexed(self.args.threads, range.len(), init, |state, local| {
+            let row = start + local;
+            let (cells, aux) = measure(state, row);
+            if let Some(sink) = sink {
+                let line = render_json_row(base + row, &title, &headers, &cells);
+                sink.lock()
+                    .expect("sink poisoned")
+                    .push(base + row, line)
+                    .unwrap_or_else(|error| panic!("{binary}: streaming row: {error}"));
+            }
+            (cells, aux)
+        });
+        let mut auxes = Vec::with_capacity(results.len());
+        for (cells, aux) in results {
+            table.row(cells);
+            auxes.push(aux);
+        }
+        auxes
+    }
+
+    /// As [`run_table`](Self::run_table) for measurements that carry no
+    /// auxiliary value.
+    pub fn run_rows<S, I, F>(&mut self, table: &mut Table, init: I, measure: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> Vec<String> + Sync,
+    {
+        self.run_table(table, init, |state, row| (measure(state, row), ()));
+    }
+
+    /// Emits the next planned table from precomputed rows — for
+    /// inherently sequential computations (e.g. multi-pass loops where
+    /// each pass feeds the next) whose row count is only known after the
+    /// fact. `rows` must be the **full** table (every shard computes the
+    /// same deterministic rows); under `--shard I/N` only the shard's
+    /// slice is appended to `table` and streamed to the artifact.
+    pub fn table_rows(&mut self, table: &mut Table, rows: Vec<Vec<String>>) {
+        let planned = self
+            .plans
+            .get(self.next_table)
+            .unwrap_or_else(|| panic!("{}: more tables emitted than planned", self.args.binary))
+            .rows;
+        assert_eq!(
+            rows.len(),
+            planned,
+            "{}: table `{}` planned {planned} rows, got {}",
+            self.args.binary,
+            table.title(),
+            rows.len()
+        );
+        let (range, base) = self.begin_table(table);
+        for (row, cells) in rows.into_iter().enumerate() {
+            if !range.contains(&row) {
+                continue;
+            }
+            if let Some(sink) = &self.sink {
+                let line = render_json_row(base + row, table.title(), table.headers(), &cells);
+                sink.lock()
+                    .expect("sink poisoned")
+                    .push(base + row, line)
+                    .unwrap_or_else(|error| panic!("{}: streaming row: {error}", self.args.binary));
+            }
+            table.row(cells);
+        }
+    }
+
+    /// Closes the run: every planned table must have been emitted; the
+    /// artifact (if any) is validated gap-free, synced, and reported on
+    /// stdout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on skipped tables, undrained rows, or I/O errors — a
+    /// partial artifact must never look like a success.
+    pub fn finish(self) {
+        assert_eq!(
+            self.next_table,
+            self.plans.len(),
+            "{}: only {} of {} planned tables were emitted",
+            self.args.binary,
+            self.next_table,
+            self.plans.len()
+        );
+        if let Some(sink) = self.sink {
+            let sink = sink.into_inner().expect("sink poisoned");
+            let path = sink.path().to_path_buf();
+            let rows = sink
+                .finish()
+                .unwrap_or_else(|error| panic!("{}: {error}", self.args.binary));
+            if self.args.shard.is_full() {
+                println!("wrote {rows} JSON rows to {}", path.display());
+            } else {
+                println!(
+                    "wrote {rows} JSON rows (shard {}) to {}",
+                    self.args.shard,
+                    path.display()
+                );
+            }
+        }
     }
 }
 
@@ -149,6 +430,12 @@ mod tests {
         SweepArgs::try_parse(flags.iter().map(|s| s.to_string()), "test_bin", 4)
     }
 
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("edn_sweep_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.jsonl", std::process::id()))
+    }
+
     #[test]
     fn defaults_without_flags() {
         let args = parse(&[]).unwrap().unwrap();
@@ -156,6 +443,8 @@ mod tests {
         assert_eq!(args.seeds, 4);
         assert_eq!(args.cycles, None);
         assert_eq!(args.out, None);
+        assert_eq!(args.shard, Shard::FULL);
+        assert!(args.is_full_run());
         assert_eq!(args.cycles_or(60), 60);
         assert_eq!(args.seed_list(100), vec![100, 101, 102, 103]);
     }
@@ -171,6 +460,8 @@ mod tests {
             "30",
             "--out",
             "rows.jsonl",
+            "--shard",
+            "2/3",
         ])
         .unwrap()
         .unwrap();
@@ -178,6 +469,8 @@ mod tests {
         assert_eq!(args.seeds, 2);
         assert_eq!(args.cycles_or(60), 30);
         assert_eq!(args.out, Some(PathBuf::from("rows.jsonl")));
+        assert_eq!(args.shard, Shard::new(1, 3));
+        assert!(!args.is_full_run());
     }
 
     #[test]
@@ -193,11 +486,165 @@ mod tests {
         assert!(parse(&["--seeds", "0"]).is_err());
         assert!(parse(&["--cycles", "0"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--shard"]).is_err());
+        assert!(parse(&["--shard", "0/3"]).is_err());
+        assert!(parse(&["--shard", "4/3"]).is_err());
+        assert!(parse(&["--shard", "banana"]).is_err());
     }
 
     #[test]
-    fn emit_without_out_is_a_no_op() {
+    #[should_panic(expected = "seed range overflows u64")]
+    fn seed_list_overflow_panics_clearly() {
+        let args = parse(&["--seeds", "2"]).unwrap().unwrap();
+        let _ = args.seed_list(u64::MAX);
+    }
+
+    #[test]
+    fn emission_without_out_collects_rows() {
         let args = parse(&[]).unwrap().unwrap();
-        args.emit(&[]);
+        let mut table = Table::new("t", &["row", "sq"]);
+        let mut emit = args.plan_emit(&[(&table, 5)]);
+        let aux = emit.run_table(
+            &mut table,
+            || (),
+            |(), row| (vec![row.to_string(), (row * row).to_string()], row),
+        );
+        emit.finish();
+        assert_eq!(aux, vec![0, 1, 2, 3, 4]);
+        assert_eq!(table.len(), 5);
+    }
+
+    #[test]
+    fn emission_streams_header_and_rows() {
+        let path = temp_path("streams");
+        let mut args = parse(&["--threads", "2"]).unwrap().unwrap();
+        args.out = Some(path.clone());
+        let mut table = Table::new("t", &["row"]);
+        let mut emit = args.plan_emit(&[(&table, 6)]);
+        // The header exists before any row is measured.
+        let early = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(early.lines().count(), 1);
+        let header = SchemaHeader::parse(early.lines().next().unwrap()).unwrap();
+        assert_eq!(header.binary, "test_bin");
+        assert_eq!(header.rows, 6);
+        emit.run_rows(&mut table, || (), |(), row| vec![row.to_string()]);
+        emit.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 7);
+        for (row, line) in lines[1..].iter().enumerate() {
+            let value = crate::json::parse(line).unwrap();
+            assert_eq!(value.get("seq").unwrap().as_usize(), Some(row));
+            assert_eq!(value.get("row").unwrap().as_usize(), Some(row));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn emission_streams_rows_before_the_run_ends() {
+        // On the single-threaded inline path rows execute in order, so
+        // by the time the last row is measured every earlier row must
+        // already be on disk: streamed, not written at exit.
+        let path = temp_path("incremental");
+        let mut args = parse(&["--threads", "1"]).unwrap().unwrap();
+        args.out = Some(path.clone());
+        let mut table = Table::new("t", &["row"]);
+        let mut emit = args.plan_emit(&[(&table, 4)]);
+        let observed = std::sync::Mutex::new(Vec::new());
+        emit.run_rows(
+            &mut table,
+            || (),
+            |(), row| {
+                let on_disk = std::fs::read_to_string(&path).unwrap().lines().count();
+                observed.lock().unwrap().push((row, on_disk));
+                vec![row.to_string()]
+            },
+        );
+        emit.finish();
+        let observed = observed.into_inner().unwrap();
+        // Measuring row k, the file already holds the header + rows 0..k.
+        assert_eq!(observed, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_emission_covers_only_the_slice() {
+        let path = temp_path("sharded");
+        let mut args = parse(&["--shard", "2/3"]).unwrap().unwrap();
+        args.out = Some(path.clone());
+        let mut table = Table::new("t", &["row"]);
+        let mut emit = args.plan_emit(&[(&table, 10)]);
+        let aux = emit.run_table(&mut table, || (), |(), row| (vec![row.to_string()], row));
+        emit.finish();
+        // shard 2/3 of 10 rows = global rows 3..6.
+        assert_eq!(aux, vec![3, 4, 5]);
+        assert_eq!(table.len(), 3);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let seqs: Vec<usize> = text
+            .lines()
+            .skip(1)
+            .map(|l| {
+                crate::json::parse(l)
+                    .unwrap()
+                    .get("seq")
+                    .unwrap()
+                    .as_usize()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn multi_table_emission_sequences_seqs_globally() {
+        let path = temp_path("multi");
+        let mut args = parse(&[]).unwrap().unwrap();
+        args.out = Some(path.clone());
+        let mut first = Table::new("a", &["v"]);
+        let mut second = Table::new("b", &["v"]);
+        let mut emit = args.plan_emit(&[(&first, 2), (&second, 3)]);
+        emit.run_rows(&mut first, || (), |(), row| vec![row.to_string()]);
+        emit.table_rows(&mut second, (0..3).map(|r| vec![format!("s{r}")]).collect());
+        emit.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<_> = text
+            .lines()
+            .skip(1)
+            .map(|l| crate::json::parse(l).unwrap())
+            .collect();
+        let seqs: Vec<usize> = parsed
+            .iter()
+            .map(|v| v.get("seq").unwrap().as_usize().unwrap())
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(parsed[2].get("table").unwrap().as_str(), Some("b"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "planned tables were emitted")]
+    fn finish_rejects_skipped_tables() {
+        let args = parse(&[]).unwrap().unwrap();
+        let table = Table::new("t", &["v"]);
+        let emit = args.plan_emit(&[(&table, 3)]);
+        emit.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of plan order")]
+    fn tables_must_follow_the_plan() {
+        let args = parse(&[]).unwrap().unwrap();
+        let planned = Table::new("planned", &["v"]);
+        let mut other = Table::new("other", &["v"]);
+        let mut emit = args.plan_emit(&[(&planned, 1)]);
+        emit.run_rows(&mut other, || (), |(), _| vec!["1".to_string()]);
+    }
+
+    #[test]
+    fn empty_plan_finishes_cleanly() {
+        let args = parse(&[]).unwrap().unwrap();
+        let emit = args.plan_emit(&[]);
+        emit.finish();
     }
 }

@@ -1,0 +1,466 @@
+//! A minimal JSON parser for artifact validation.
+//!
+//! The build image has no crates.io access (so no `serde_json`), but the
+//! sharded-artifact tooling must *read* what [`report`](crate::report)
+//! and [`stream`](crate::stream) write: `edn_merge` validates schema
+//! headers and row lines, and the property tests assert that every
+//! emitted row parses. This module implements a strict recursive-descent
+//! parser for exactly the JSON grammar (RFC 8259) — no extensions, no
+//! trailing garbage — returning a [`Value`] tree with object keys in
+//! document order.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as `f64` (ample for this workspace's artifacts).
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, keys in document order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first occurrence); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a usize, if this is a non-negative integer.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= usize::MAX as f64 => {
+                Some(*x as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object keys of this value, if it is an object (document order).
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Value::Object(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A parse failure: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON document; trailing non-whitespace is an
+/// error.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a byte offset on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use edn_sweep::json::{parse, Value};
+///
+/// let value = parse(r#"{"pa": 0.544, "name": "EDN"}"#).unwrap();
+/// assert_eq!(value.get("pa").unwrap().as_f64(), Some(0.544));
+/// assert!(parse("{").is_err());
+/// ```
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        at: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.at != parser.bytes.len() {
+        return Err(parser.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.at,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!("unexpected byte `{}`", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("dangling escape"))?;
+                    self.at += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\u`-escaped low surrogate.
+                            let ch = if (0xD800..0xDC00).contains(&unit) {
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.error("unpaired high surrogate"));
+                                }
+                                self.at += 1;
+                                self.expect(b'u')
+                                    .map_err(|_| self.error("unpaired high surrogate"))?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else if (0xDC00..0xE000).contains(&unit) {
+                                return Err(self.error("unpaired low surrogate"));
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(ch);
+                        }
+                        other => {
+                            return Err(self.error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(byte) if byte < 0x20 => {
+                    return Err(self.error("raw control character in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // encoding is already valid).
+                    let rest = &self.bytes[self.at..];
+                    let text = std::str::from_utf8(rest).expect("input was a &str");
+                    let ch = text.chars().next().expect("peeked non-empty");
+                    out.push(ch);
+                    self.at += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut unit = 0u32;
+        for _ in 0..4 {
+            let digit = self
+                .peek()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| self.error("expected 4 hex digits after \\u"))?;
+            unit = unit * 16 + digit;
+            self.at += 1;
+        }
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        // Integer part: `0` or a non-zero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.at += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.at += 1;
+                }
+            }
+            _ => return Err(self.error("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.at += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit after `.`"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.at += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.at += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit in the exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ASCII number");
+        // f64 parsing saturates overflow to infinity; reject it so the
+        // parser stays strict — the write side deliberately emits `null`
+        // for non-finite values, so a finite-parse failure means a
+        // corrupted artifact, not a legitimate row.
+        text.parse::<f64>()
+            .ok()
+            .filter(|x| x.is_finite())
+            .map(Value::Number)
+            .ok_or_else(|| self.error("number out of f64 range"))
+    }
+}
+
+/// Parses a JSON Lines artifact: every line must parse as one document.
+///
+/// # Errors
+///
+/// Returns `(line_number, error)` (1-based) for the first bad line.
+pub fn parse_lines(text: &str) -> Result<Vec<Value>, (usize, ParseError)> {
+    text.lines()
+        .enumerate()
+        .map(|(index, line)| parse(line).map_err(|error| (index + 1, error)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Number(42.0));
+        assert_eq!(parse("-0.125").unwrap(), Value::Number(-0.125));
+        assert_eq!(parse("1e-3").unwrap(), Value::Number(0.001));
+        assert_eq!(parse("2.5E+2").unwrap(), Value::Number(250.0));
+        assert_eq!(parse(r#""hi""#).unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn structures_parse_in_order() {
+        let value = parse(r#"{"b": [1, {"a": null}], "a": "x"}"#).unwrap();
+        assert_eq!(value.keys(), vec!["b", "a"]);
+        let array = value.get("b").unwrap().as_array().unwrap();
+        assert_eq!(array[0], Value::Number(1.0));
+        assert_eq!(array[1].get("a"), Some(&Value::Null));
+        assert_eq!(value.get("a").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let value = parse(r#""a\"b\\c\nd\u0041\u00e9""#).unwrap();
+        assert_eq!(value.as_str(), Some("a\"b\\c\nd\u{41}é"));
+        // Surrogate pair: U+1F600.
+        let emoji = parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(emoji.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "01",
+            "1.",
+            ".5",
+            "+1",
+            "1e999",
+            "-1e999",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "\"\\q\"",
+            "{} extra",
+            "\"\u{1}\"",
+            r#""\ud800x""#,
+            r#""\udc00""#,
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn raw_unicode_passes_through() {
+        assert_eq!(parse("\"héllo ∆\"").unwrap().as_str(), Some("héllo ∆"));
+    }
+
+    #[test]
+    fn parse_lines_reports_the_bad_line() {
+        let good = "1\n{\"a\": 2}\n";
+        assert_eq!(parse_lines(good).unwrap().len(), 2);
+        let bad = "1\nnope\n3";
+        assert_eq!(parse_lines(bad).unwrap_err().0, 2);
+    }
+
+    #[test]
+    fn usize_extraction_is_strict() {
+        assert_eq!(parse("7").unwrap().as_usize(), Some(7));
+        assert_eq!(parse("7.5").unwrap().as_usize(), None);
+        assert_eq!(parse("-1").unwrap().as_usize(), None);
+        assert_eq!(parse("\"7\"").unwrap().as_usize(), None);
+    }
+}

@@ -19,8 +19,18 @@
 //!   path.
 //! * [`report`] — [`Table`]: the paper-style text table plus JSON-Lines
 //!   emission for experiment drivers.
+//! * [`stream`] — sharded, streaming artifacts: [`SweepSpec::shard`]
+//!   slices a grid across processes with global indices intact, and
+//!   [`RowSink`] streams each JSON row to disk (behind a schema header
+//!   line) the moment its measurement completes.
+//! * [`merge`] — `edn_merge`'s engine: validates shard headers, detects
+//!   gaps/overlaps/spec mismatches, and reassembles shard artifacts into
+//!   the byte-identical unsharded artifact.
+//! * [`json`] — a minimal dependency-free JSON parser backing artifact
+//!   validation.
 //! * [`cli`] — [`SweepArgs`]: the `--threads`/`--seeds`/`--cycles`/
-//!   `--out` surface shared by all `fig*`/`tab*` binaries.
+//!   `--out`/`--shard` surface shared by all `fig*`/`tab*` binaries, and
+//!   [`Emission`], the streaming table-emission driver they all run on.
 //!
 //! # Quick start
 //!
@@ -52,13 +62,17 @@
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod json;
+pub mod merge;
 pub mod pool;
 pub mod report;
 pub mod spec;
+pub mod stream;
 pub mod worker;
 
-pub use cli::SweepArgs;
+pub use cli::{Emission, SweepArgs};
 pub use pool::{default_threads, map_slice_with, run_indexed};
-pub use report::{fmt_f, fmt_opt, write_json_rows, Table};
+pub use report::{fmt_f, fmt_opt, render_json_row, Table};
 pub use spec::{SweepPoint, SweepSpec};
+pub use stream::{shard_range, RowSink, SchemaHeader, Shard, TableSchema};
 pub use worker::SweepWorker;

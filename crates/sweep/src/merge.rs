@@ -1,0 +1,547 @@
+//! Merging sharded sweep artifacts back into one.
+//!
+//! `edn_merge part1.jsonl part2.jsonl part3.jsonl` validates that the
+//! parts are the complete shard set of one logical run and concatenates
+//! their rows into the artifact a single unsharded run would have
+//! written — **byte-identical**, header included, because every row
+//! carries its global `"seq"` and the header's spec hash covers
+//! everything except the shard coordinate.
+//!
+//! Validation is row-exact, not just file-exact:
+//!
+//! * every file must open with a parseable [`SchemaHeader`] whose
+//!   recorded spec hash matches its content;
+//! * all headers must share one spec hash (same binary, args, row count,
+//!   table schemas) and one shard count;
+//! * the shard indices must be exactly `1..=N` — a missing index is a
+//!   **gap**, a repeated one an **overlap**, reported by name;
+//! * every row line must parse as JSON with a `"seq"` field, and the
+//!   union of sequence numbers must be exactly `0..rows` — so a
+//!   truncated shard file is caught even when the shard *set* looks
+//!   complete.
+
+use std::path::{Path, PathBuf};
+
+use crate::json;
+use crate::stream::{SchemaHeader, Shard};
+
+/// Why a set of artifacts cannot be merged.
+#[derive(Debug)]
+pub enum MergeError {
+    /// A file could not be read.
+    Io(PathBuf, std::io::Error),
+    /// A file's header line is missing or malformed.
+    BadHeader(PathBuf, String),
+    /// A row line is not valid JSON or lacks a `"seq"` field.
+    BadRow {
+        /// The offending file.
+        path: PathBuf,
+        /// 1-based line number within the file.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Two files disagree on the spec (different hash, args, or schema).
+    SpecMismatch {
+        /// The reference file (first argument).
+        first: PathBuf,
+        /// The disagreeing file.
+        other: PathBuf,
+        /// Human-readable difference.
+        difference: String,
+    },
+    /// The shard set has gaps and/or overlaps.
+    ShardCoverage(String),
+    /// The merged rows do not cover `0..rows` exactly.
+    RowCoverage(String),
+    /// No input files were given.
+    NoInputs,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Io(path, error) => write!(f, "{}: {error}", path.display()),
+            MergeError::BadHeader(path, message) => {
+                write!(f, "{}: {message}", path.display())
+            }
+            MergeError::BadRow {
+                path,
+                line,
+                message,
+            } => write!(f, "{}:{line}: {message}", path.display()),
+            MergeError::SpecMismatch {
+                first,
+                other,
+                difference,
+            } => write!(
+                f,
+                "{} and {} are not shards of the same run: {difference}",
+                first.display(),
+                other.display()
+            ),
+            MergeError::ShardCoverage(message) => write!(f, "shard coverage: {message}"),
+            MergeError::RowCoverage(message) => write!(f, "row coverage: {message}"),
+            MergeError::NoInputs => write!(f, "no input artifacts given"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// One validated shard artifact: its header and its raw row lines, each
+/// paired with the parsed global sequence number.
+#[derive(Debug)]
+pub struct ShardFile {
+    /// Where it came from.
+    pub path: PathBuf,
+    /// The parsed header.
+    pub header: SchemaHeader,
+    /// `(seq, verbatim line)` for every data row.
+    pub rows: Vec<(usize, String)>,
+}
+
+/// The sequence numbers a file's declared shard must contain, in order:
+/// for each table, the shard's slice of that table's rows.
+fn expected_seqs(header: &SchemaHeader) -> Vec<usize> {
+    let mut expected = Vec::new();
+    let mut base = 0usize;
+    for table in &header.tables {
+        let range = crate::stream::shard_range(table.rows, header.shard);
+        expected.extend((base + range.start)..(base + range.end));
+        base += table.rows;
+    }
+    expected
+}
+
+/// Reads and validates one artifact: header parses, every row line
+/// parses as JSON, carries an in-range `"seq"`, and the sequence numbers
+/// are **exactly** the file's declared shard slice, in order — so a
+/// truncated or mislabeled shard file is rejected at read time, before
+/// any set-level merge reasoning.
+///
+/// # Errors
+///
+/// Returns the first structural problem found.
+pub fn read_shard_file(path: &Path) -> Result<ShardFile, MergeError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|error| MergeError::Io(path.to_path_buf(), error))?;
+    let mut lines = text.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| MergeError::BadHeader(path.to_path_buf(), "empty file".to_string()))?;
+    let header = SchemaHeader::parse(header_line)
+        .map_err(|message| MergeError::BadHeader(path.to_path_buf(), message))?;
+    let mut rows = Vec::new();
+    for (index, line) in lines.enumerate() {
+        let line_number = index + 2; // 1-based, after the header
+        let value = json::parse(line).map_err(|error| MergeError::BadRow {
+            path: path.to_path_buf(),
+            line: line_number,
+            message: error.to_string(),
+        })?;
+        let seq =
+            value
+                .get("seq")
+                .and_then(|v| v.as_usize())
+                .ok_or_else(|| MergeError::BadRow {
+                    path: path.to_path_buf(),
+                    line: line_number,
+                    message: "row has no non-negative integer `seq` field".to_string(),
+                })?;
+        if seq >= header.rows {
+            return Err(MergeError::BadRow {
+                path: path.to_path_buf(),
+                line: line_number,
+                message: format!("seq {seq} out of range for a {}-row artifact", header.rows),
+            });
+        }
+        rows.push((seq, line.to_string()));
+    }
+    let expected = expected_seqs(&header);
+    let got: Vec<usize> = rows.iter().map(|(seq, _)| *seq).collect();
+    if got != expected {
+        let slice = match (expected.first(), expected.last()) {
+            (Some(first), Some(last)) => format!("exactly seqs {first}..={last}"),
+            _ => "no rows".to_string(),
+        };
+        return Err(MergeError::RowCoverage(format!(
+            "{}: shard {} must contain {slice} in order ({} rows), found {} rows{}",
+            path.display(),
+            header.shard,
+            expected.len(),
+            got.len(),
+            if got.len() == expected.len() {
+                " out of order or outside the slice"
+            } else {
+                " (truncated or mislabeled shard file)"
+            }
+        )));
+    }
+    Ok(ShardFile {
+        path: path.to_path_buf(),
+        header,
+        rows,
+    })
+}
+
+/// The merged artifact: the normalized (`shard 1/1`) header line plus
+/// every row line in global sequence order.
+#[derive(Debug)]
+pub struct Merged {
+    /// The header of the equivalent unsharded run.
+    pub header: SchemaHeader,
+    /// Row lines, seq-ascending.
+    pub rows: Vec<String>,
+}
+
+impl Merged {
+    /// The full artifact text, exactly as an unsharded run writes it.
+    pub fn to_text(&self) -> String {
+        let mut out = self.header.to_json();
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Validates and merges a complete shard set.
+///
+/// # Errors
+///
+/// See [`MergeError`] — spec-hash mismatches, shard gaps/overlaps, row
+/// gaps/duplicates, and malformed files are all rejected.
+pub fn merge_files(paths: &[PathBuf]) -> Result<Merged, MergeError> {
+    if paths.is_empty() {
+        return Err(MergeError::NoInputs);
+    }
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        files.push(read_shard_file(path)?);
+    }
+
+    // One spec for the whole set.
+    let reference_header = files[0].header.clone();
+    let reference_path = files[0].path.clone();
+    let reference = &files[0];
+    let reference_hash = reference.header.spec_hash();
+    for file in &files[1..] {
+        if file.header.spec_hash() != reference_hash {
+            let difference = if file.header.binary != reference.header.binary {
+                format!(
+                    "binary `{}` vs `{}`",
+                    file.header.binary, reference.header.binary
+                )
+            } else if file.header.seeds != reference.header.seeds
+                || file.header.cycles != reference.header.cycles
+            {
+                format!(
+                    "args (seeds {} cycles {:?}) vs (seeds {} cycles {:?})",
+                    file.header.seeds,
+                    file.header.cycles,
+                    reference.header.seeds,
+                    reference.header.cycles
+                )
+            } else if file.header.rows != reference.header.rows {
+                format!("{} rows vs {}", file.header.rows, reference.header.rows)
+            } else {
+                format!(
+                    "spec hash {:016x} vs {:016x} (table schemas differ)",
+                    file.header.spec_hash(),
+                    reference_hash
+                )
+            };
+            return Err(MergeError::SpecMismatch {
+                first: reference.path.clone(),
+                other: file.path.clone(),
+                difference,
+            });
+        }
+    }
+
+    // Exactly the shard set 1..=N, no gaps, no overlaps.
+    let count = reference.header.shard.count();
+    let mut seen: Vec<Option<PathBuf>> = vec![None; count];
+    let mut problems = Vec::new();
+    for file in &files {
+        let shard = file.header.shard;
+        if shard.count() != count {
+            return Err(MergeError::ShardCoverage(format!(
+                "{} declares {} shards but {} declares {}",
+                reference_path.display(),
+                count,
+                file.path.display(),
+                shard.count()
+            )));
+        }
+        match &seen[shard.index()] {
+            None => seen[shard.index()] = Some(file.path.clone()),
+            Some(previous) => problems.push(format!(
+                "overlap: shard {shard} appears in both {} and {}",
+                previous.display(),
+                file.path.display()
+            )),
+        }
+    }
+    for (index, slot) in seen.iter().enumerate() {
+        if slot.is_none() {
+            problems.push(format!("gap: shard {}/{count} is missing", index + 1));
+        }
+    }
+    if !problems.is_empty() {
+        return Err(MergeError::ShardCoverage(problems.join("; ")));
+    }
+
+    // Row-exact coverage: the union of seqs is 0..rows, each exactly once.
+    let total = reference.header.rows;
+    let mut slots: Vec<Option<String>> = vec![None; total];
+    for file in files {
+        for (seq, line) in file.rows {
+            if slots[seq].is_some() {
+                return Err(MergeError::RowCoverage(format!(
+                    "row seq {seq} appears more than once (duplicated in {})",
+                    file.path.display()
+                )));
+            }
+            slots[seq] = Some(line);
+        }
+    }
+    let missing: Vec<String> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, slot)| slot.is_none())
+        .map(|(seq, _)| seq.to_string())
+        .take(8)
+        .collect();
+    if !missing.is_empty() {
+        return Err(MergeError::RowCoverage(format!(
+            "rows missing from the shard set: seq {}{}",
+            missing.join(", "),
+            if slots.iter().filter(|s| s.is_none()).count() > missing.len() {
+                ", ..."
+            } else {
+                ""
+            }
+        )));
+    }
+
+    let header = SchemaHeader {
+        shard: Shard::FULL,
+        ..reference_header
+    };
+    Ok(Merged {
+        header,
+        rows: slots
+            .into_iter()
+            .map(|slot| slot.expect("checked"))
+            .collect(),
+    })
+}
+
+/// Validates one artifact without merging (the `edn_merge --check` path):
+/// header parses and hashes correctly, every row parses as JSON, and the
+/// rows cover exactly this shard's slice of the declared tables — all of
+/// which [`read_shard_file`] enforces.
+///
+/// Returns the parsed file for reporting.
+///
+/// # Errors
+///
+/// As [`read_shard_file`].
+pub fn check_file(path: &Path) -> Result<ShardFile, MergeError> {
+    read_shard_file(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{RowSink, TableSchema};
+
+    fn header(shard: Shard) -> SchemaHeader {
+        SchemaHeader {
+            binary: "merge_test".to_string(),
+            seeds: 2,
+            cycles: None,
+            shard,
+            rows: 6,
+            tables: vec![TableSchema {
+                title: "t".to_string(),
+                rows: 6,
+                columns: vec!["v".to_string()],
+            }],
+        }
+    }
+
+    fn row(seq: usize) -> String {
+        format!("{{\"seq\": {seq}, \"table\": \"t\", \"v\": {}}}", seq * 10)
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("edn_sweep_merge_tests")
+            .join(format!("{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Writes shard `index/count` of the 6-row artifact via the real sink.
+    fn write_shard(dir: &Path, index: usize, count: usize) -> PathBuf {
+        let shard = Shard::new(index, count);
+        let path = dir.join(format!("part{}.jsonl", index + 1));
+        let mut sink = RowSink::create(&path, &header(shard)).unwrap();
+        let range = crate::stream::shard_range(6, shard);
+        sink.begin_range(range.clone());
+        for seq in range {
+            sink.push(seq, row(seq)).unwrap();
+        }
+        sink.finish().unwrap();
+        path
+    }
+
+    #[test]
+    fn shards_merge_to_the_unsharded_artifact() {
+        let dir = temp_dir("merge_ok");
+        // The unsharded reference, via the same sink.
+        let full_path = dir.join("full.jsonl");
+        let mut sink = RowSink::create(&full_path, &header(Shard::FULL)).unwrap();
+        sink.begin_range(0..6);
+        for seq in [3, 0, 5, 1, 4, 2] {
+            sink.push(seq, row(seq)).unwrap();
+        }
+        sink.finish().unwrap();
+
+        for count in [2usize, 3] {
+            let parts: Vec<PathBuf> = (0..count).map(|i| write_shard(&dir, i, count)).collect();
+            let merged = merge_files(&parts).unwrap();
+            let full_text = std::fs::read_to_string(&full_path).unwrap();
+            assert_eq!(merged.to_text(), full_text, "{count}-way merge");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_accepts_any_argument_order() {
+        let dir = temp_dir("merge_order");
+        let mut parts: Vec<PathBuf> = (0..3).map(|i| write_shard(&dir, i, 3)).collect();
+        parts.reverse();
+        let merged = merge_files(&parts).unwrap();
+        let seqs: Vec<usize> = merged
+            .rows
+            .iter()
+            .map(|line| {
+                crate::json::parse(line)
+                    .unwrap()
+                    .get("seq")
+                    .unwrap()
+                    .as_usize()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_shard_is_a_gap() {
+        let dir = temp_dir("merge_gap");
+        let parts = vec![write_shard(&dir, 0, 3), write_shard(&dir, 2, 3)];
+        let error = merge_files(&parts).unwrap_err();
+        assert!(error.to_string().contains("gap: shard 2/3"), "{error}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_shard_is_an_overlap() {
+        let dir = temp_dir("merge_overlap");
+        let first = write_shard(&dir, 0, 2);
+        let copy = dir.join("copy.jsonl");
+        std::fs::copy(&first, &copy).unwrap();
+        let error = merge_files(&[first, copy, write_shard(&dir, 1, 2)]).unwrap_err();
+        assert!(error.to_string().contains("overlap"), "{error}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spec_mismatch_is_detected() {
+        let dir = temp_dir("merge_spec");
+        let part1 = write_shard(&dir, 0, 2);
+        // Shard 2 of a *different* run: other seed count.
+        let other = dir.join("other.jsonl");
+        let mut bad_header = header(Shard::new(1, 2));
+        bad_header.seeds = 99;
+        let mut sink = RowSink::create(&other, &bad_header).unwrap();
+        sink.begin_range(3..6);
+        for seq in 3..6 {
+            sink.push(seq, row(seq)).unwrap();
+        }
+        sink.finish().unwrap();
+        let error = merge_files(&[part1, other]).unwrap_err();
+        assert!(
+            error.to_string().contains("not shards of the same run"),
+            "{error}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_shard_is_a_row_gap() {
+        let dir = temp_dir("merge_trunc");
+        let part1 = write_shard(&dir, 0, 2);
+        let part2 = write_shard(&dir, 1, 2);
+        // Drop the last line of part2: shard set complete, rows not.
+        let text = std::fs::read_to_string(&part2).unwrap();
+        let truncated: Vec<&str> = text.lines().collect();
+        std::fs::write(&part2, truncated[..truncated.len() - 1].join("\n") + "\n").unwrap();
+        let error = merge_files(&[part1.clone(), part2.clone()]).unwrap_err();
+        assert!(error.to_string().contains("truncated"), "{error}");
+        // --check catches it on the single file too.
+        assert!(check_file(&part2).is_err());
+        assert!(check_file(&part1).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mislabeled_shard_bodies_are_rejected() {
+        // Swap the row bodies of two shard files but keep their headers:
+        // every seq is outside its file's declared slice, which the
+        // per-file validation must catch even though the global union
+        // still covers 0..rows.
+        let dir = temp_dir("merge_swap");
+        let part1 = write_shard(&dir, 0, 2);
+        let part2 = write_shard(&dir, 1, 2);
+        let (text1, text2) = (
+            std::fs::read_to_string(&part1).unwrap(),
+            std::fs::read_to_string(&part2).unwrap(),
+        );
+        let swap = |own: &str, other: &str| {
+            let header = own.lines().next().unwrap().to_string();
+            let body: Vec<&str> = other.lines().skip(1).collect();
+            format!("{header}\n{}\n", body.join("\n"))
+        };
+        std::fs::write(&part1, swap(&text1, &text2)).unwrap();
+        std::fs::write(&part2, swap(&text2, &text1)).unwrap();
+        let error = merge_files(&[part1, part2]).unwrap_err();
+        assert!(error.to_string().contains("outside the slice"), "{error}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected() {
+        let dir = temp_dir("merge_badrow");
+        let part = write_shard(&dir, 0, 1);
+        let mut text = std::fs::read_to_string(&part).unwrap();
+        text.push_str("not json\n");
+        std::fs::write(&part, text).unwrap();
+        let error = merge_files(std::slice::from_ref(&part)).unwrap_err();
+        assert!(error.to_string().contains("JSON parse error"), "{error}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_inputs_is_an_error() {
+        assert!(matches!(merge_files(&[]), Err(MergeError::NoInputs)));
+    }
+}

@@ -3,12 +3,12 @@
 //! Every experiment binary renders its results twice from the same
 //! [`Table`]s: an aligned plain-text table on stdout (the paper-style
 //! artifact) and, when `--out` is given, one JSON object per data row
-//! (JSON Lines) so experiment drivers and plotting scripts consume the
-//! numbers without scraping text. Cells that look like numbers are
-//! emitted as JSON numbers; everything else is an escaped string.
-
-use std::io::Write as _;
-use std::path::Path;
+//! (JSON Lines) streamed through a [`RowSink`](crate::stream::RowSink)
+//! as measurements complete. Each JSON row leads with its global `"seq"`
+//! (the merge key for sharded runs) and a `"table"` field carrying the
+//! title; cells that look like JSON numbers are emitted as numbers,
+//! non-finite float renderings (`NaN`/`inf`/`-inf`) become `null`, and
+//! everything else is an escaped string.
 
 /// A minimal aligned-column text table (stdout-oriented; also exportable
 /// as CSV and JSON rows).
@@ -23,7 +23,10 @@ use std::path::Path;
 /// let text = table.render();
 /// assert!(text.contains("demo"));
 /// assert!(text.contains("value"));
-/// assert_eq!(table.to_json_rows(), vec![r#"{"table": "demo", "n": 1, "value": 0.5}"#]);
+/// assert_eq!(
+///     table.json_row(0, 7),
+///     r#"{"seq": 7, "table": "demo", "n": 1, "value": 0.5}"#
+/// );
 /// ```
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -55,6 +58,11 @@ impl Table {
     /// The table title.
     pub fn title(&self) -> &str {
         &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
     }
 
     /// Number of data rows.
@@ -105,39 +113,75 @@ impl Table {
         println!();
     }
 
-    /// Renders the table as CSV (headers first).
+    /// Renders the table as CSV (headers first), RFC-4180 quoted: cells
+    /// containing commas, double quotes, or line breaks are wrapped in
+    /// double quotes with embedded quotes doubled, so every cell
+    /// round-trips through a conforming CSV reader.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.headers.join(","));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.join(","));
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (index, cell) in cells.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                out.push_str(&csv_field(cell));
+            }
             out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        for row in &self.rows {
+            write_row(&mut out, row);
         }
         out
     }
 
-    /// Renders every data row as one JSON object keyed by column header,
-    /// with a `"table"` field carrying the title. Numeric-looking cells
-    /// become JSON numbers.
-    pub fn to_json_rows(&self) -> Vec<String> {
-        self.rows
-            .iter()
-            .map(|row| {
-                let mut out = String::from("{");
-                out.push_str(&format!("\"table\": {}", json_string(&self.title)));
-                for (header, cell) in self.headers.iter().zip(row) {
-                    out.push_str(&format!(", {}: {}", json_string(header), json_cell(cell)));
-                }
-                out.push('}');
-                out
-            })
-            .collect()
+    /// Renders one data row as its JSON Lines form: the global sequence
+    /// number first (the shard-merge key), then the `"table"` field, then
+    /// every cell keyed by column header. Numeric-looking cells become
+    /// JSON numbers, non-finite float renderings become `null`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn json_row(&self, index: usize, seq: usize) -> String {
+        render_json_row(seq, &self.title, &self.headers, &self.rows[index])
+    }
+}
+
+/// Renders one JSON Lines row from raw parts — the same format as
+/// [`Table::json_row`], usable from sweep closures before the cells have
+/// been appended to a [`Table`].
+pub fn render_json_row(seq: usize, title: &str, headers: &[String], cells: &[String]) -> String {
+    assert_eq!(cells.len(), headers.len(), "row arity mismatch");
+    let mut out = format!("{{\"seq\": {seq}, \"table\": {}", json_string(title));
+    for (header, cell) in headers.iter().zip(cells) {
+        out.push_str(&format!(", {}: {}", json_string(header), json_cell(cell)));
+    }
+    out.push('}');
+    out
+}
+
+/// Quotes one CSV field per RFC 4180: fields containing the delimiter, a
+/// double quote, or a line break are quoted, embedded quotes doubled.
+fn csv_field(cell: &str) -> String {
+    if cell.contains(['"', ',', '\n', '\r']) {
+        let mut out = String::with_capacity(cell.len() + 2);
+        out.push('"');
+        for ch in cell.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+        out
+    } else {
+        cell.to_string()
     }
 }
 
 /// Escapes a string as a JSON string literal.
-fn json_string(text: &str) -> String {
+pub fn json_string(text: &str) -> String {
     let mut out = String::with_capacity(text.len() + 2);
     out.push('"');
     for ch in text.chars() {
@@ -155,29 +199,52 @@ fn json_string(text: &str) -> String {
     out
 }
 
-/// Renders a table cell as a JSON value: a plain decimal number when the
-/// cell is one (no leading `+`, no `Inf`/`NaN`), otherwise a string.
+/// Renders a table cell as a JSON value: a plain decimal or exponent
+/// number when the cell is one, `null` when the cell is a non-finite
+/// float rendering (`NaN`/`inf`/`-inf`, as [`fmt_f`] produces for
+/// degenerate means — JSON has no spelling for them, and a string would
+/// flip the column's type mid-stream), otherwise a string.
 fn json_cell(cell: &str) -> String {
     if is_json_number(cell) {
         cell.to_string()
+    } else if is_nonfinite(cell) {
+        "null".to_string()
     } else {
         json_string(cell)
     }
 }
 
-/// `true` if `cell` is already a valid JSON number literal.
+/// `true` for the strings Rust's float formatting produces on non-finite
+/// values.
+fn is_nonfinite(cell: &str) -> bool {
+    matches!(cell, "NaN" | "-NaN" | "inf" | "-inf")
+}
+
+/// `true` if `cell` is already a valid JSON number literal
+/// (RFC 8259: optional minus, integer part without leading zeros,
+/// optional fraction, optional exponent).
 fn is_json_number(cell: &str) -> bool {
     let body = cell.strip_prefix('-').unwrap_or(cell);
     if body.is_empty() {
         return false;
     }
-    let mut parts = body.splitn(2, '.');
+    // Split off the exponent first: `1.5e-3` -> `1.5`, `-3`.
+    let (mantissa, exponent) = match body.split_once(['e', 'E']) {
+        Some((mantissa, exponent)) => (mantissa, Some(exponent)),
+        None => (body, None),
+    };
+    let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    let mut parts = mantissa.splitn(2, '.');
     let integer = parts.next().unwrap_or("");
     let fraction = parts.next();
-    let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
     // JSON forbids leading zeros on multi-digit integer parts.
     let integer_ok = digits(integer) && (integer.len() == 1 || !integer.starts_with('0'));
-    integer_ok && fraction.is_none_or(digits)
+    let exponent_ok = match exponent {
+        None => true,
+        // Exponents allow a sign and leading zeros (`1e+05` is valid).
+        Some(exp) => digits(exp.strip_prefix(['+', '-']).unwrap_or(exp)),
+    };
+    integer_ok && fraction.is_none_or(digits) && exponent_ok
 }
 
 /// Formats a float with `digits` fractional digits.
@@ -191,25 +258,6 @@ pub fn fmt_opt(x: Option<f64>, digits: usize) -> String {
         Some(v) => fmt_f(v, digits),
         None => "-".to_string(),
     }
-}
-
-/// Writes every data row of `tables` to `path` as JSON Lines, returning
-/// the row count.
-///
-/// # Errors
-///
-/// Propagates I/O errors from creating or writing the file.
-pub fn write_json_rows(path: &Path, tables: &[&Table]) -> std::io::Result<usize> {
-    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    let mut rows = 0usize;
-    for table in tables {
-        for row in table.to_json_rows() {
-            writeln!(file, "{row}")?;
-            rows += 1;
-        }
-    }
-    file.into_inner()?.sync_all()?;
-    Ok(rows)
 }
 
 #[cfg(test)]
@@ -240,6 +288,22 @@ mod tests {
     }
 
     #[test]
+    fn csv_quotes_delimiters_quotes_and_newlines() {
+        let mut t = Table::new("x", &["name", "note"]);
+        t.row(vec!["EDN(16,4,4,2)".into(), "plain".into()]);
+        t.row(vec!["say \"hi\"".into(), "line1\nline2".into()]);
+        t.row(vec!["cr\rcell".into(), ",".into()]);
+        let csv = t.to_csv();
+        assert_eq!(
+            csv,
+            "name,note\n\
+             \"EDN(16,4,4,2)\",plain\n\
+             \"say \"\"hi\"\"\",\"line1\nline2\"\n\
+             \"cr\rcell\",\",\"\n"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "row arity")]
     fn row_arity_is_checked() {
         let mut t = Table::new("x", &["a", "b"]);
@@ -256,43 +320,56 @@ mod tests {
             "-".into(),
         ]);
         t.row(vec!["-3".into(), "007".into(), "a\nb".into(), "1.".into()]);
-        let rows = t.to_json_rows();
         assert_eq!(
-            rows[0],
-            r#"{"table": "tab \"q\"", "n": 64, "pa": 0.544, "name": "EDN(16,4,4,2)", "ci": "-"}"#
+            t.json_row(0, 0),
+            r#"{"seq": 0, "table": "tab \"q\"", "n": 64, "pa": 0.544, "name": "EDN(16,4,4,2)", "ci": "-"}"#
         );
         // Leading zeros, trailing dots, and control characters fall back
         // to strings.
         assert_eq!(
-            rows[1],
-            r#"{"table": "tab \"q\"", "n": -3, "pa": "007", "name": "a\nb", "ci": "1."}"#
+            t.json_row(1, 9),
+            r#"{"seq": 9, "table": "tab \"q\"", "n": -3, "pa": "007", "name": "a\nb", "ci": "1."}"#
+        );
+    }
+
+    #[test]
+    fn nonfinite_cells_become_null() {
+        let mut t = Table::new("t", &["mean", "lo", "hi", "label"]);
+        t.row(vec![
+            fmt_f(f64::NAN, 3),
+            fmt_f(f64::NEG_INFINITY, 3),
+            fmt_f(f64::INFINITY, 3),
+            "NaN gate".into(), // only exact non-finite renderings null out
+        ]);
+        assert_eq!(
+            t.json_row(0, 2),
+            r#"{"seq": 2, "table": "t", "mean": null, "lo": null, "hi": null, "label": "NaN gate"}"#
         );
     }
 
     #[test]
     fn number_detection_is_strict() {
-        for yes in ["0", "10", "-1", "3.25", "0.5", "-0.125"] {
+        for yes in [
+            "0", "10", "-1", "3.25", "0.5", "-0.125", "1e3", "1e-3", "1E+5", "2.5e10", "-4.0E-2",
+            "0e0", "1e05",
+        ] {
             assert!(is_json_number(yes), "{yes}");
         }
-        for no in ["", "-", "+1", "1e3", ".5", "1.", "01", "0x1f", "NaN", "1 "] {
+        for no in [
+            "", "-", "+1", ".5", "1.", "01", "0x1f", "NaN", "1 ", "e3", "1e", "1e+", "1.e3",
+            "1e3.5", "inf", "-inf",
+        ] {
             assert!(!is_json_number(no), "{no}");
         }
     }
 
     #[test]
-    fn write_json_rows_counts() {
-        let dir = std::env::temp_dir().join("edn_sweep_report_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("rows.jsonl");
-        let mut t = Table::new("t", &["a"]);
-        t.row(vec!["1".into()]);
-        t.row(vec!["2".into()]);
-        let written = write_json_rows(&path, &[&t, &t]).unwrap();
-        assert_eq!(written, 4);
-        let text = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(text.lines().count(), 4);
-        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
-        std::fs::remove_dir_all(&dir).ok();
+    fn render_json_row_matches_table_form() {
+        let headers = vec!["a".to_string(), "b".to_string()];
+        let cells = vec!["1".to_string(), "x".to_string()];
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(cells.clone());
+        assert_eq!(render_json_row(4, "t", &headers, &cells), t.json_row(0, 4));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! produce identical rows.
 
 use crate::pool::run_indexed;
+use crate::stream::{shard_range, Shard};
 use edn_core::EdnParams;
+use std::ops::Range;
 
 /// One grid point of a sweep: a network shape, an offered load, a wire
 /// fault fraction, and a seed.
@@ -91,6 +93,10 @@ pub struct SweepSpec {
     loads: Vec<f64>,
     fault_fractions: Vec<f64>,
     seeds: Vec<u64>,
+    /// When set, this spec executes only its shard's contiguous slice of
+    /// the grid — with **global** indices and coordinates, so shards are
+    /// mergeable bit-exactly.
+    shard: Shard,
 }
 
 impl SweepSpec {
@@ -102,6 +108,7 @@ impl SweepSpec {
             loads: vec![1.0],
             fault_fractions: vec![0.0],
             seeds: vec![0],
+            shard: Shard::FULL,
         }
     }
 
@@ -126,41 +133,128 @@ impl SweepSpec {
         self
     }
 
+    /// Restricts this spec to shard `i` of `n` (0-based, `i < n`): the
+    /// balanced contiguous slice [`shard_range`]`(total_len, i/n)` of the
+    /// grid. Points keep their **global** [`index`](SweepPoint::index)
+    /// and coordinate-derived [`rng_seed`](SweepPoint::rng_seed), so the
+    /// shard's rows are byte-identical to the same slice of an unsharded
+    /// run and `n` shard runs merge back into the whole grid.
+    ///
+    /// Sharding an already-sharded spec re-slices the *full* grid, it
+    /// does not nest.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `i < n` (see [`Shard::new`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edn_core::EdnParams;
+    /// use edn_sweep::SweepSpec;
+    ///
+    /// # fn main() -> Result<(), edn_core::EdnError> {
+    /// let spec = SweepSpec::over([EdnParams::new(16, 4, 4, 2)?]).seeds(0..10);
+    /// let middle = spec.clone().shard(1, 3);
+    /// assert_eq!(middle.len(), 3);
+    /// assert_eq!(middle.total_len(), 10);
+    /// let points = middle.points();
+    /// assert_eq!(points[0].index, 3); // global, not shard-local
+    /// assert_eq!(points[0].rng_seed(), spec.points()[3].rng_seed());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn shard(mut self, i: usize, n: usize) -> Self {
+        self.shard = Shard::new(i, n);
+        self
+    }
+
     /// The networks axis.
     pub fn networks(&self) -> &[EdnParams] {
         &self.networks
     }
 
-    /// Number of grid points (the product of the four axis lengths).
-    pub fn len(&self) -> usize {
-        self.networks.len() * self.loads.len() * self.fault_fractions.len() * self.seeds.len()
+    /// Number of grid points in the **full** grid (the product of the
+    /// four axis lengths), regardless of sharding.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the product overflows `usize` —
+    /// a grid that cannot be indexed must fail loudly at spec time, not
+    /// wrap around and silently execute the wrong points.
+    pub fn total_len(&self) -> usize {
+        [
+            self.loads.len(),
+            self.fault_fractions.len(),
+            self.seeds.len(),
+        ]
+        .iter()
+        .try_fold(self.networks.len(), |product, &axis| {
+            product.checked_mul(axis)
+        })
+        .unwrap_or_else(|| {
+            panic!(
+                "sweep grid size overflows usize: {} networks x {} loads x {} fault \
+                     fractions x {} seeds",
+                self.networks.len(),
+                self.loads.len(),
+                self.fault_fractions.len(),
+                self.seeds.len()
+            )
+        })
     }
 
-    /// `true` if any axis is empty.
+    /// Number of grid points this spec executes: the shard slice's
+    /// length ([`total_len`](Self::total_len) when unsharded).
+    pub fn len(&self) -> usize {
+        self.index_range().len()
+    }
+
+    /// `true` if this spec executes no points.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Materializes the grid in row-major order: networks, then loads,
-    /// then fault fractions, then seeds.
-    pub fn points(&self) -> Vec<SweepPoint> {
-        let mut points = Vec::with_capacity(self.len());
-        for &params in &self.networks {
-            for &load in &self.loads {
-                for &fault_fraction in &self.fault_fractions {
-                    for &seed in &self.seeds {
-                        points.push(SweepPoint {
-                            index: points.len(),
-                            params,
-                            load,
-                            fault_fraction,
-                            seed,
-                        });
-                    }
-                }
-            }
+    /// The global index range this spec executes.
+    pub fn index_range(&self) -> Range<usize> {
+        shard_range(self.total_len(), self.shard)
+    }
+
+    /// The grid point at global index `index` (row-major over networks,
+    /// loads, fault fractions, seeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= total_len()`.
+    pub fn point_at(&self, index: usize) -> SweepPoint {
+        assert!(
+            index < self.total_len(),
+            "grid index {index} out of range for a {}-point sweep",
+            self.total_len()
+        );
+        let seed_i = index % self.seeds.len();
+        let rest = index / self.seeds.len();
+        let fault_i = rest % self.fault_fractions.len();
+        let rest = rest / self.fault_fractions.len();
+        let load_i = rest % self.loads.len();
+        let network_i = rest / self.loads.len();
+        SweepPoint {
+            index,
+            params: self.networks[network_i],
+            load: self.loads[load_i],
+            fault_fraction: self.fault_fractions[fault_i],
+            seed: self.seeds[seed_i],
         }
-        points
+    }
+
+    /// Materializes this spec's points — the whole grid in row-major
+    /// order (networks, then loads, then fault fractions, then seeds),
+    /// or the shard's slice of it, with global indices either way.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        self.index_range()
+            .map(|index| self.point_at(index))
+            .collect()
     }
 
     /// Measures every grid point on the work-stealing pool (`threads`
@@ -272,5 +366,59 @@ mod tests {
         let spec = SweepSpec::over([params(16, 4, 4, 2)]).seeds([]);
         assert!(spec.is_empty());
         assert!(spec.points().is_empty());
+    }
+
+    #[test]
+    fn point_at_matches_materialized_grid() {
+        let spec = SweepSpec::over([params(16, 4, 4, 2), params(8, 4, 2, 2)])
+            .loads([0.5, 1.0])
+            .fault_fractions([0.0, 0.1])
+            .seeds([7, 8, 9]);
+        let points = spec.points();
+        assert_eq!(points.len(), spec.total_len());
+        for (index, point) in points.iter().enumerate() {
+            assert_eq!(&spec.point_at(index), point);
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_grid_with_global_indices() {
+        let spec = SweepSpec::over([params(16, 4, 4, 2), params(8, 4, 2, 2)])
+            .loads([0.5, 1.0])
+            .seeds(0..5); // 20 points, not divisible by 3
+        let full = spec.points();
+        for n in [1usize, 2, 3, 5, 7] {
+            let mut merged = Vec::new();
+            for i in 0..n {
+                let shard = spec.clone().shard(i, n);
+                assert_eq!(shard.total_len(), full.len());
+                let points = shard.points();
+                assert_eq!(points.len(), shard.len());
+                merged.extend(points);
+            }
+            // Covering, ordered, index- and seed-preserving.
+            assert_eq!(merged, full, "{n}-way shards");
+        }
+    }
+
+    #[test]
+    fn sharded_run_executes_only_the_slice() {
+        let spec = SweepSpec::over([params(16, 4, 4, 2)]).seeds(0..10);
+        let full = spec.run(2, || (), |(), p| (p.index, p.rng_seed()));
+        let mut merged = Vec::new();
+        for i in 0..3 {
+            merged.extend(
+                spec.clone()
+                    .shard(i, 3)
+                    .run(2, || (), |(), p| (p.index, p.rng_seed())),
+            );
+        }
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard index 3 out of range")]
+    fn out_of_range_shard_panics() {
+        let _ = SweepSpec::over([params(16, 4, 4, 2)]).shard(3, 3);
     }
 }

@@ -196,6 +196,45 @@ fn cluster_session_rows_are_identical_for_every_worker_count() {
 }
 
 #[test]
+fn sharded_sweeps_merge_bit_exactly() {
+    // The scale-out contract: running the grid as N independent shard
+    // sweeps (each a separate `SweepSpec` as a separate process would
+    // build) and concatenating the results row-for-row reproduces the
+    // unsharded rows bit-exactly — the library-level half of what
+    // `edn_merge` asserts at the artifact level.
+    let spec = spec();
+    let reference = spec.run(2, SweepWorker::new, measure);
+    assert_eq!(reference.len(), 48);
+    for n in [2usize, 3, 5] {
+        let mut merged = Vec::new();
+        for i in 0..n {
+            let shard = spec.clone().shard(i, n);
+            merged.extend(shard.run(2, SweepWorker::new, measure));
+        }
+        assert_eq!(merged.len(), reference.len(), "{n}-way covering");
+        for (row, (merged_row, reference_row)) in merged.iter().zip(&reference).enumerate() {
+            assert_eq!(merged_row, reference_row, "{n}-way shards, row {row}");
+        }
+    }
+}
+
+#[test]
+fn shards_are_thread_count_invariant_too() {
+    // A shard's rows must not depend on the worker count either — the
+    // same contract as the full grid, restated on a slice.
+    let spec = spec().shard(1, 3);
+    let reference = spec.run(1, SweepWorker::new, measure);
+    assert_eq!(reference.len(), 16);
+    for threads in [2, 8] {
+        assert_eq!(
+            spec.run(threads, SweepWorker::new, measure),
+            reference,
+            "threads = {threads}"
+        );
+    }
+}
+
+#[test]
 fn identity_routing_sanity_on_the_grid() {
     // A deterministic (non-random) measurement: full identity battery.
     let spec = SweepSpec::over([EdnParams::new(16, 4, 4, 2).unwrap()]);

@@ -1,0 +1,180 @@
+//! Property tests for the emission layer and the shard partition laws
+//! (vendored proptest, greedy shrinking).
+//!
+//! * **CSV round-trip** — arbitrary cell strings (commas, quotes,
+//!   newlines, unicode) survive `Table::to_csv` through a strict
+//!   RFC-4180 reader.
+//! * **JSON rows always parse** — every line `render_json_row` can emit
+//!   is a valid JSON document with the `seq`/`table` envelope intact.
+//! * **Shard partition laws** — for every shard count, the shards of a
+//!   `SweepSpec` are disjoint, covering, order-preserving, and keep
+//!   global indices and rng seeds.
+
+use edn_core::EdnParams;
+use edn_sweep::{json, render_json_row, SweepSpec, Table};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The cell alphabet: everything CSV and JSON quoting must survive.
+const PALETTE: [char; 16] = [
+    'a', 'Z', '0', '7', ',', '"', '\n', '\r', '\t', '\\', ' ', '.', '-', 'é', '∆', '\u{1}',
+];
+
+fn cell_from(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| PALETTE[i % PALETTE.len()])
+        .collect()
+}
+
+/// A strict RFC-4180 reader: quoted fields may contain anything (with
+/// `""` for a literal quote); unquoted fields end at `,` or `\n`.
+fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut records = Vec::new();
+    let mut record = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    loop {
+        // One field: quoted or bare.
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            loop {
+                match chars.next().expect("unterminated quoted field") {
+                    '"' => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            field.push('"');
+                        } else {
+                            break;
+                        }
+                    }
+                    ch => field.push(ch),
+                }
+            }
+        } else {
+            while let Some(&ch) = chars.peek() {
+                if ch == ',' || ch == '\n' {
+                    break;
+                }
+                assert!(ch != '"', "bare quote outside a quoted field");
+                field.push(ch);
+                chars.next();
+            }
+        }
+        record.push(std::mem::take(&mut field));
+        match chars.next() {
+            Some(',') => {}
+            Some('\n') => {
+                records.push(std::mem::take(&mut record));
+                if chars.peek().is_none() {
+                    return records;
+                }
+            }
+            None => {
+                records.push(record);
+                return records;
+            }
+            Some(other) => panic!("malformed CSV: `{other}` after a field"),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn csv_round_trips_arbitrary_cells(
+        columns in 1usize..5,
+        header_seed in vec(0usize..64, 1..12),
+        row_seeds in vec(vec(0usize..64, 0..10), 0..5),
+    ) {
+        let headers: Vec<String> = (0..columns)
+            .map(|c| cell_from(&header_seed) + &c.to_string())
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new("prop", &header_refs);
+        let mut expected = vec![headers.clone()];
+        for seed in &row_seeds {
+            let row: Vec<String> = (0..columns)
+                .map(|c| cell_from(&seed.iter().map(|&i| i + c).collect::<Vec<_>>()))
+                .collect();
+            expected.push(row.clone());
+            table.row(row);
+        }
+        let parsed = parse_csv(&table.to_csv());
+        prop_assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn json_rows_always_parse(
+        seq in 0usize..1_000_000,
+        title_seed in vec(0usize..64, 0..10),
+        cell_seeds in vec(vec(0usize..64, 0..10), 1..5),
+    ) {
+        let title = cell_from(&title_seed);
+        let headers: Vec<String> = (0..cell_seeds.len())
+            .map(|c| format!("col{c}_{}", cell_from(&title_seed[..title_seed.len().min(3)])))
+            .collect();
+        let cells: Vec<String> = cell_seeds.iter().map(|s| cell_from(s)).collect();
+        let line = render_json_row(seq, &title, &headers, &cells);
+        let value = match json::parse(&line) {
+            Ok(value) => value,
+            Err(error) => return Err(TestCaseError::Fail(format!("{line:?}: {error}"))),
+        };
+        prop_assert_eq!(value.get("seq").and_then(|v| v.as_usize()), Some(seq));
+        prop_assert_eq!(value.get("table").and_then(|v| v.as_str()), Some(title.as_str()));
+        // The envelope plus one field per column, in order.
+        prop_assert_eq!(value.keys().len(), 2 + headers.len());
+    }
+
+    #[test]
+    fn numeric_cells_round_trip_as_numbers(
+        mantissa in -10_000i64..10_000,
+        scale in 0u32..4,
+    ) {
+        let cell = format!("{:.*}", scale as usize, mantissa as f64 / 10f64.powi(scale as i32));
+        let headers = vec!["x".to_string()];
+        let line = render_json_row(0, "t", &headers, std::slice::from_ref(&cell));
+        let value = json::parse(&line).expect("row parses");
+        let expected: f64 = cell.parse().expect("formatted float");
+        prop_assert_eq!(value.get("x").and_then(|v| v.as_f64()), Some(expected));
+    }
+
+    #[test]
+    fn shard_partition_laws(
+        loads_len in 1usize..4,
+        faults_len in 1usize..3,
+        seeds_len in 1usize..6,
+        networks_len in 1usize..3,
+        count in 1usize..9,
+    ) {
+        let networks = [
+            EdnParams::new(16, 4, 4, 2).expect("valid"),
+            EdnParams::new(8, 4, 2, 3).expect("valid"),
+        ];
+        let spec = SweepSpec::over(networks[..networks_len].iter().copied())
+            .loads((0..loads_len).map(|i| i as f64 / loads_len as f64))
+            .fault_fractions((0..faults_len).map(|i| i as f64 / 10.0))
+            .seeds(0..seeds_len as u64);
+        let full = spec.points();
+        prop_assert_eq!(full.len(), spec.total_len());
+
+        let mut merged = Vec::new();
+        for i in 0..count {
+            let shard = spec.clone().shard(i, count);
+            let points = shard.points();
+            // Balanced: lengths differ by at most one across shards.
+            prop_assert!(points.len() >= full.len() / count);
+            prop_assert!(points.len() <= full.len() / count + 1);
+            prop_assert_eq!(points.len(), shard.len());
+            merged.extend(points);
+        }
+        // Covering + disjoint + order-preserving: the concatenation in
+        // shard order IS the full grid.
+        prop_assert_eq!(merged.len(), full.len());
+        for (merged_point, full_point) in merged.iter().zip(&full) {
+            prop_assert_eq!(merged_point.index, full_point.index);
+            prop_assert_eq!(merged_point.rng_seed(), full_point.rng_seed());
+            prop_assert_eq!(merged_point.seed, full_point.seed);
+            prop_assert_eq!(merged_point.params, full_point.params);
+        }
+    }
+}

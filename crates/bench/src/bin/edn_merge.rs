@@ -15,9 +15,13 @@
 //!
 //! `--check` validates artifacts individually instead: header parses and
 //! hashes correctly, every row line parses as JSON, and the rows cover
-//! exactly the file's declared shard slice.
+//! exactly the file's declared shard slice. Unlike merging — which stops
+//! at the first structural problem, since nothing downstream is safe —
+//! `--check` is a diagnostic: it reports **every** problem in every file
+//! before exiting nonzero, so one pass over a broken artifact set names
+//! all the repairs.
 
-use edn_sweep::merge::{check_file, merge_files};
+use edn_sweep::merge::{check_file_all, merge_files};
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -59,8 +63,9 @@ fn main() {
 
     if check {
         let mut rows = 0usize;
+        let mut errors = 0usize;
         for path in &inputs {
-            match check_file(path) {
+            match check_file_all(path) {
                 Ok(file) => {
                     eprintln!(
                         "{}: ok — {} (shard {}) {} rows, spec {:016x}",
@@ -72,8 +77,19 @@ fn main() {
                     );
                     rows += file.rows.len();
                 }
-                Err(error) => fail(&error.to_string()),
+                Err(problems) => {
+                    // Report every problem in every file before the
+                    // nonzero exit: --check is the diagnostic pass.
+                    for problem in &problems {
+                        eprintln!("edn_merge: {problem}");
+                    }
+                    errors += problems.len();
+                }
             }
+        }
+        if errors > 0 {
+            eprintln!("{} file(s) checked, {errors} error(s) found", inputs.len());
+            std::process::exit(1);
         }
         eprintln!("{} file(s) ok, {rows} rows total", inputs.len());
         return;

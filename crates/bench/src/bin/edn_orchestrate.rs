@@ -1,0 +1,298 @@
+//! `edn_orchestrate` — one-command shard scale-out for any experiment
+//! binary.
+//!
+//! ```text
+//! edn_orchestrate --jobs 3 --out run.jsonl -- target/release/tab_faults --cycles 2
+//! edn_orchestrate --jobs 8 --cache cache/ --out run.jsonl -- ./tab_nuts_sweep --seeds 4
+//! ```
+//!
+//! The driver turns the `--shard I/N` contract (every shard an
+//! independent process, artifacts mergeable bit-exactly) into a single
+//! command: it launches `--jobs N` child processes — shard `i/N` each,
+//! plus `--out` into a scratch directory and `--cache DIR` when given —
+//! monitors their exits, **retries** failed shards with fresh shard
+//! files (bounded by `--retries`), and finally drives the
+//! [`edn_sweep::merge`] layer to splice the shard artifacts (and, via
+//! the row cache, any previously computed cells) into one artifact that
+//! is byte-identical to the unsharded run's.
+//!
+//! The children inherit this process's environment, so provenance
+//! (`EDN_GIT_REV`, `EDN_HOST`, `EDN_RUN_STARTED`) and `EDN_SWEEP_CACHE`
+//! stamp every shard identically and the merged header carries them
+//! unchanged.
+
+use edn_sweep::merge::merge_files;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+const USAGE: &str = "one-command shard scale-out: run an experiment binary as N shard\n\
+    processes, retry failures, and merge the artifacts byte-identically\n\n\
+    Usage: edn_orchestrate --jobs N --out PATH [OPTIONS] -- BINARY [ARGS...]\n\n\
+    Options:\n  \
+    --jobs N       shard count = concurrent child processes (required, >= 1)\n  \
+    --out PATH     where the merged artifact goes (required)\n  \
+    --cache DIR    pass --cache DIR to every child, so shards replay and\n                 \
+    commit the shared edn_store row cache\n  \
+    --retries K    re-launch a failed shard up to K times (default: 2),\n                 \
+    each attempt with a fresh shard file\n  \
+    --work-dir D   scratch directory for shard artifacts (default: a\n                 \
+    directory next to --out); on success only the part\n                 \
+    files this run wrote are removed, the directory too if\n                 \
+    that empties it\n  \
+    --keep-parts   keep the shard artifacts after merging\n  \
+    --help         print this message\n\n\
+    Everything after `--` is the child command line; edn_orchestrate\n\
+    appends `--shard I/N --out PART [--cache DIR]` per child, plus\n\
+    `--threads cores/N` unless the command already sets --threads.";
+
+struct Options {
+    jobs: usize,
+    out: PathBuf,
+    cache: Option<PathBuf>,
+    retries: usize,
+    work_dir: Option<PathBuf>,
+    keep_parts: bool,
+    command: Vec<String>,
+}
+
+fn parse_options() -> Result<Option<Options>, String> {
+    let mut args = std::env::args().skip(1);
+    let mut jobs = None;
+    let mut out = None;
+    let mut cache = None;
+    let mut retries = 2usize;
+    let mut work_dir = None;
+    let mut keep_parts = false;
+    let mut command = Vec::new();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--jobs" => {
+                let parsed: usize = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs expects a positive integer".to_string())?;
+                if parsed == 0 {
+                    return Err("--jobs expects a positive integer".to_string());
+                }
+                jobs = Some(parsed);
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--cache" => cache = Some(PathBuf::from(value("--cache")?)),
+            "--retries" => {
+                retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| "--retries expects a non-negative integer".to_string())?;
+            }
+            "--work-dir" => work_dir = Some(PathBuf::from(value("--work-dir")?)),
+            "--keep-parts" => keep_parts = true,
+            "--" => {
+                command.extend(args);
+                break;
+            }
+            other => return Err(format!("unknown flag `{other}` (child args go after `--`)")),
+        }
+    }
+    let jobs = jobs.ok_or("--jobs is required")?;
+    let out = out.ok_or("--out is required")?;
+    if command.is_empty() {
+        return Err("no child command given (append `-- BINARY [ARGS...]`)".to_string());
+    }
+    Ok(Some(Options {
+        jobs,
+        out,
+        cache,
+        retries,
+        work_dir,
+        keep_parts,
+        command,
+    }))
+}
+
+/// One shard's lifecycle: where its current attempt writes, and how many
+/// attempts it has consumed.
+struct ShardRun {
+    /// 1-based shard index.
+    index: usize,
+    attempt: usize,
+    path: PathBuf,
+}
+
+fn main() {
+    let options = match parse_options() {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(message) => fail_usage(&message),
+    };
+    let work_dir = options.work_dir.clone().unwrap_or_else(|| {
+        let mut name = options
+            .out
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "out".to_string());
+        name.push_str(".parts");
+        options.out.with_file_name(name)
+    });
+    if let Err(error) = std::fs::create_dir_all(&work_dir) {
+        fail_run(&format!("creating {}: {error}", work_dir.display()));
+    }
+
+    // N concurrent children each defaulting --threads to every core
+    // would oversubscribe the host N-fold; unless the caller budgeted
+    // threads themselves, split the cores across the jobs.
+    let thread_budget = if options.command.iter().any(|arg| arg == "--threads") {
+        None
+    } else {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Some((cores / options.jobs).max(1))
+    };
+
+    // Wave 0 launches every shard; each following wave relaunches the
+    // failures with fresh shard files until none remain or a shard has
+    // exhausted its attempts.
+    let total_attempts = options.retries + 1;
+    let mut pending: Vec<ShardRun> = (1..=options.jobs)
+        .map(|index| ShardRun {
+            index,
+            attempt: 0,
+            path: PathBuf::new(),
+        })
+        .collect();
+    let mut done: Vec<ShardRun> = Vec::with_capacity(options.jobs);
+    let mut total_retries = 0usize;
+    let mut written: Vec<PathBuf> = Vec::new();
+    while !pending.is_empty() {
+        let mut children: Vec<(ShardRun, Child)> = Vec::with_capacity(pending.len());
+        for mut shard in pending.drain(..) {
+            shard.attempt += 1;
+            if shard.attempt > 1 {
+                total_retries += 1;
+            }
+            // A fresh file per attempt: a half-written artifact from a
+            // crashed child must never be mistaken for shard output.
+            shard.path = work_dir.join(format!(
+                "part{}of{}.attempt{}.jsonl",
+                shard.index, options.jobs, shard.attempt
+            ));
+            std::fs::remove_file(&shard.path).ok();
+            written.push(shard.path.clone());
+            let mut command = Command::new(&options.command[0]);
+            command
+                .args(&options.command[1..])
+                .arg("--shard")
+                .arg(format!("{}/{}", shard.index, options.jobs))
+                .arg("--out")
+                .arg(&shard.path)
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit());
+            if let Some(threads) = thread_budget {
+                command.arg("--threads").arg(threads.to_string());
+            }
+            if let Some(cache) = &options.cache {
+                command.arg("--cache").arg(cache);
+            }
+            match command.spawn() {
+                Ok(child) => children.push((shard, child)),
+                Err(error) => {
+                    // Reap the wave before exiting: children already
+                    // launched must not keep simulating (and racing a
+                    // re-invocation for the same part files) after the
+                    // orchestrator reports failure.
+                    for (_, child) in &mut children {
+                        child.kill().ok();
+                        child.wait().ok();
+                    }
+                    fail_run(&format!("spawning {}: {error}", options.command[0]));
+                }
+            }
+        }
+        let mut children = children.into_iter();
+        while let Some((shard, mut child)) = children.next() {
+            let status = match child.wait() {
+                Ok(status) => status,
+                Err(error) => reap_and_fail(
+                    children.by_ref(),
+                    &format!("waiting on shard {}: {error}", shard.index),
+                ),
+            };
+            if status.success() {
+                done.push(shard);
+            } else if shard.attempt < total_attempts {
+                eprintln!(
+                    "edn_orchestrate: shard {}/{} attempt {} failed ({status}); retrying",
+                    shard.index, options.jobs, shard.attempt
+                );
+                pending.push(shard);
+            } else {
+                reap_and_fail(
+                    children.by_ref(),
+                    &format!(
+                        "shard {}/{} failed all {total_attempts} attempts (last: {status}); \
+                         partial artifacts left in {}",
+                        shard.index,
+                        options.jobs,
+                        work_dir.display()
+                    ),
+                );
+            }
+        }
+    }
+
+    // Merge in shard order; the merge layer re-validates headers, shard
+    // coverage, and row coverage, so a subtly broken child still cannot
+    // produce a quietly wrong artifact.
+    done.sort_by_key(|shard| shard.index);
+    let parts: Vec<PathBuf> = done.iter().map(|shard| shard.path.clone()).collect();
+    let merged = match merge_files(&parts) {
+        Ok(merged) => merged,
+        Err(error) => fail_run(&format!("merging shard artifacts: {error}")),
+    };
+    if let Err(error) = std::fs::write(&options.out, merged.to_text()) {
+        fail_run(&format!("writing {}: {error}", options.out.display()));
+    }
+    if !options.keep_parts {
+        // Remove only what this run wrote — the work dir may be a
+        // user-supplied directory holding unrelated files, which a
+        // recursive delete would silently destroy. The directory itself
+        // goes only if the part files were all it held.
+        for part in &written {
+            std::fs::remove_file(part).ok();
+        }
+        std::fs::remove_dir(&work_dir).ok();
+    }
+    println!(
+        "orchestrated {} shard(s), {} retr{} -> {} ({} rows)",
+        options.jobs,
+        total_retries,
+        if total_retries == 1 { "y" } else { "ies" },
+        options.out.display(),
+        merged.rows.len()
+    );
+}
+
+/// Kills and waits the wave's still-running siblings, then fails: on any
+/// terminal error, orphans must not keep simulating (and racing a
+/// re-invocation for the part files) after the orchestrator exits.
+fn reap_and_fail(children: impl Iterator<Item = (ShardRun, Child)>, message: &str) -> ! {
+    for (_, mut sibling) in children {
+        sibling.kill().ok();
+        sibling.wait().ok();
+    }
+    fail_run(message);
+}
+
+fn fail_usage(message: &str) -> ! {
+    eprintln!("edn_orchestrate: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn fail_run(message: &str) -> ! {
+    eprintln!("edn_orchestrate: {message}");
+    std::process::exit(1);
+}

@@ -136,6 +136,8 @@ fn main() {
             let (text, cells) = render_network(&networks[row]);
             (cells, text)
         },
+        // Cached replay: the drawing is pure topology, cheap to redo.
+        |_, row| render_network(&networks[row]).0,
     );
     for text in rendered {
         println!("{text}");

@@ -96,6 +96,18 @@ fn main() {
             ];
             (cells, (n, [i0.zip(r0), i1.zip(r1)]))
         },
+        // Cached replay: parse N and the per-family (ignored,
+        // resubmitted) pairs back out of the row ("-" marks None).
+        |cells, _| {
+            let opt = |cell: &str| cell.parse::<f64>().ok();
+            (
+                cells[0].parse().expect("cached N"),
+                [
+                    opt(&cells[1]).zip(opt(&cells[2])),
+                    opt(&cells[4]).zip(opt(&cells[5])),
+                ],
+            )
+        },
     );
     table.print();
 

@@ -106,27 +106,40 @@ fn main() {
     // One pool task per hot-fraction row, measuring both fabrics;
     // workers cache one wired engine per fabric across all their tasks.
     let mut emit = args.plan_emit(&[(&table, hot_fractions.len())]);
-    let damages = emit.run_table(&mut table, SweepWorker::new, |worker, row| {
-        let hot = hot_fractions[row];
-        let seed = 500 + row as u64;
-        let a = measure(worker.engine(&edn4), hot, cycles, seed);
-        let d = measure(worker.engine(&delta), hot, cycles, seed);
-        let cells = vec![
-            fmt_f(hot, 2),
-            fmt_f(a.cold_with_hot, 4),
-            fmt_f(a.cold_alone, 4),
-            fmt_f(a.collateral(), 4),
-            fmt_f(d.cold_with_hot, 4),
-            fmt_f(d.cold_alone, 4),
-            fmt_f(d.collateral(), 4),
-        ];
-        let relative = (
-            hot,
-            a.collateral() / a.cold_alone,
-            d.collateral() / d.cold_alone,
-        );
-        (cells, relative)
-    });
+    let damages = emit.run_table(
+        &mut table,
+        SweepWorker::new,
+        |worker, row| {
+            let hot = hot_fractions[row];
+            let seed = 500 + row as u64;
+            let a = measure(worker.engine(&edn4), hot, cycles, seed);
+            let d = measure(worker.engine(&delta), hot, cycles, seed);
+            let cells = vec![
+                fmt_f(hot, 2),
+                fmt_f(a.cold_with_hot, 4),
+                fmt_f(a.cold_alone, 4),
+                fmt_f(a.collateral(), 4),
+                fmt_f(d.cold_with_hot, 4),
+                fmt_f(d.cold_alone, 4),
+                fmt_f(d.collateral(), 4),
+            ];
+            let relative = (
+                hot,
+                a.collateral() / a.cold_alone,
+                d.collateral() / d.cold_alone,
+            );
+            (cells, relative)
+        },
+        // Cached replay: the relative damages are ratios of row columns.
+        |cells, _| {
+            let f = |cell: &str| cell.parse::<f64>().expect("cached numeric cell");
+            (
+                f(&cells[0]),
+                f(&cells[3]) / f(&cells[2]),
+                f(&cells[6]) / f(&cells[5]),
+            )
+        },
+    );
     table.print();
     println!("Reading: 'damage' is the cold acceptance the hot overlay destroys (same");
     println!("cold messages, same arbitration seed). Two findings:");

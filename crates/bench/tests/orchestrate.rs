@@ -1,0 +1,376 @@
+//! End-to-end contract of the scale-out rung two: `edn_orchestrate`
+//! drives N shard processes + the `edn_store` row cache + `edn_merge`
+//! into one command whose artifact is **byte-identical** to the
+//! unsharded, uncached run — and an unchanged re-run is pure cache
+//! replay (100% hits). Also covers the retry path (an injected child
+//! failure), exhaustion (a permanently failing child), and `edn_plot`
+//! regenerating figures from artifacts without re-simulation.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("edn_orchestrate_tests")
+        .join(format!("{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs one experiment binary to completion, returning its stdout.
+fn run_experiment(exe: &str, extra: &[&str], envs: &[(&str, &str)]) -> String {
+    let mut command = Command::new(exe);
+    command.args(extra);
+    for &(key, value) in envs {
+        command.env(key, value);
+    }
+    let output = command.output().expect("experiment binary spawns");
+    assert!(
+        output.status.success(),
+        "{exe} {extra:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn orchestrate(args: &[&str], envs: &[(&str, &str)]) -> std::process::Output {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_edn_orchestrate"));
+    command.args(args);
+    for &(key, value) in envs {
+        command.env(key, value);
+    }
+    command.output().expect("edn_orchestrate spawns")
+}
+
+#[test]
+fn orchestrated_warm_cache_run_is_byte_identical_with_full_hits() {
+    let dir = temp_dir("warm");
+    let exe = env!("CARGO_BIN_EXE_tab_faults");
+    let cache = dir.join("cache");
+    // Provenance is env-passed; stamping both runs identically proves it
+    // survives orchestration and merging byte-for-byte.
+    let envs = [("EDN_GIT_REV", "e2e-rev"), ("EDN_HOST", "e2e-host")];
+
+    // The reference: single process, no cache.
+    let full = dir.join("full.jsonl");
+    run_experiment(
+        exe,
+        &[
+            "--cycles",
+            "2",
+            "--threads",
+            "2",
+            "--no-cache",
+            "--out",
+            full.to_str().unwrap(),
+        ],
+        &envs,
+    );
+    let full_text = std::fs::read_to_string(&full).unwrap();
+    assert!(
+        full_text.lines().next().unwrap().contains("e2e-rev"),
+        "provenance stamped into the header"
+    );
+
+    // One command, three shard processes, shared cold cache.
+    let merged = dir.join("merged.jsonl");
+    let output = orchestrate(
+        &[
+            "--jobs",
+            "3",
+            "--cache",
+            cache.to_str().unwrap(),
+            "--out",
+            merged.to_str().unwrap(),
+            "--",
+            exe,
+            "--cycles",
+            "2",
+            "--threads",
+            "2",
+        ],
+        &envs,
+    );
+    assert!(
+        output.status.success(),
+        "orchestrate failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&merged).unwrap(),
+        full_text,
+        "orchestrated artifact differs from the unsharded uncached run"
+    );
+
+    // Unchanged re-run on the now-warm cache: everything replays.
+    let warm = dir.join("warm.jsonl");
+    let stdout = run_experiment(
+        exe,
+        &[
+            "--cycles",
+            "2",
+            "--threads",
+            "2",
+            "--cache",
+            cache.to_str().unwrap(),
+            "--cache-stats",
+            "--out",
+            warm.to_str().unwrap(),
+        ],
+        &envs,
+    );
+    assert_eq!(std::fs::read_to_string(&warm).unwrap(), full_text);
+    assert!(
+        stdout.contains("(100% hits)"),
+        "warm run must be pure replay, stdout was:\n{stdout}"
+    );
+    assert!(stdout.contains("0 computed"), "{stdout}");
+
+    // And the orchestrator itself re-runs warm, still byte-identical.
+    let remerged = dir.join("remerged.jsonl");
+    let output = orchestrate(
+        &[
+            "--jobs",
+            "3",
+            "--cache",
+            cache.to_str().unwrap(),
+            "--out",
+            remerged.to_str().unwrap(),
+            "--",
+            exe,
+            "--cycles",
+            "2",
+            "--threads",
+            "2",
+        ],
+        &envs,
+    );
+    assert!(output.status.success());
+    assert_eq!(std::fs::read_to_string(&remerged).unwrap(), full_text);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Writes a wrapper script that fails the first invocation matching
+/// `fail_shard`, then delegates to the real binary — the injected-fault
+/// harness for the retry path.
+#[cfg(unix)]
+fn write_flaky_wrapper(dir: &Path, exe: &str, fail_shard: &str, always_fail: bool) -> PathBuf {
+    use std::os::unix::fs::PermissionsExt as _;
+    let marker = dir.join("failed_once.marker");
+    let script = dir.join("flaky.sh");
+    let body = if always_fail {
+        "#!/bin/sh\nexit 1\n".to_string()
+    } else {
+        format!(
+            "#!/bin/sh\n\
+             hit=\"\"\n\
+             for arg in \"$@\"; do [ \"$arg\" = \"{fail_shard}\" ] && hit=1; done\n\
+             if [ -n \"$hit\" ] && [ ! -f \"{marker}\" ]; then\n\
+               touch \"{marker}\"\n\
+               exit 1\n\
+             fi\n\
+             exec \"{exe}\" \"$@\"\n",
+            marker = marker.display(),
+        )
+    };
+    std::fs::write(&script, body).unwrap();
+    let mut permissions = std::fs::metadata(&script).unwrap().permissions();
+    permissions.set_mode(0o755);
+    std::fs::set_permissions(&script, permissions).unwrap();
+    script
+}
+
+#[cfg(unix)]
+#[test]
+fn orchestrator_retries_an_injected_child_failure() {
+    let dir = temp_dir("retry");
+    let exe = env!("CARGO_BIN_EXE_tab_faults");
+
+    let full = dir.join("full.jsonl");
+    run_experiment(
+        exe,
+        &[
+            "--cycles",
+            "2",
+            "--threads",
+            "1",
+            "--out",
+            full.to_str().unwrap(),
+        ],
+        &[],
+    );
+
+    // Shard 2/3 dies once, then recovers: one retry must heal the run.
+    let script = write_flaky_wrapper(&dir, exe, "2/3", false);
+    let merged = dir.join("merged.jsonl");
+    let output = orchestrate(
+        &[
+            "--jobs",
+            "3",
+            "--retries",
+            "2",
+            "--out",
+            merged.to_str().unwrap(),
+            "--",
+            script.to_str().unwrap(),
+            "--cycles",
+            "2",
+            "--threads",
+            "1",
+        ],
+        &[],
+    );
+    assert!(
+        output.status.success(),
+        "orchestrate with one flaky shard failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("retrying"), "retry reported: {stderr}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("1 retry"), "retry counted: {stdout}");
+    assert_eq!(
+        std::fs::read_to_string(&merged).unwrap(),
+        std::fs::read_to_string(&full).unwrap(),
+        "retried shard must splice back byte-identically"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn orchestrator_reports_a_shard_that_exhausts_its_retries() {
+    let dir = temp_dir("exhaust");
+    let script = write_flaky_wrapper(&dir, "unused", "", true);
+    let merged = dir.join("merged.jsonl");
+    let output = orchestrate(
+        &[
+            "--jobs",
+            "2",
+            "--retries",
+            "1",
+            "--out",
+            merged.to_str().unwrap(),
+            "--",
+            script.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert!(
+        !output.status.success(),
+        "exhausted shard must fail the run"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("failed all 2 attempts"),
+        "exhaustion named: {stderr}"
+    );
+    assert!(!merged.exists(), "no artifact on failure");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plot_regenerates_figures_from_the_artifact_alone() {
+    let dir = temp_dir("plot");
+    let exe = env!("CARGO_BIN_EXE_tab_nuts_sweep");
+    let artifact = dir.join("nuts.jsonl");
+    run_experiment(
+        exe,
+        &[
+            "--seeds",
+            "2",
+            "--cycles",
+            "5",
+            "--threads",
+            "2",
+            "--out",
+            artifact.to_str().unwrap(),
+        ],
+        &[],
+    );
+    let svg_dir = dir.join("plots");
+    let output = Command::new(env!("CARGO_BIN_EXE_edn_plot"))
+        .arg(&artifact)
+        .args(["--x", "hot fraction", "--y", "acceptance"])
+        .arg("--svg")
+        .arg(&svg_dir)
+        .output()
+        .expect("edn_plot spawns");
+    assert!(
+        output.status.success(),
+        "edn_plot failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("TAB-NUTS-SWEEP"),
+        "table title rendered: {stdout}"
+    );
+    assert!(
+        stdout.contains("acceptance vs hot fraction"),
+        "curve rendered: {stdout}"
+    );
+    assert!(stdout.contains('*'), "ASCII points plotted");
+    let svgs: Vec<PathBuf> = std::fs::read_dir(&svg_dir)
+        .unwrap()
+        .map(|entry| entry.unwrap().path())
+        .collect();
+    assert_eq!(svgs.len(), 1, "one SVG per declared table");
+    let svg = std::fs::read_to_string(&svgs[0]).unwrap();
+    assert!(svg.starts_with("<svg"), "well-formed SVG");
+    assert!(svg.contains("polyline"), "curve present");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_check_reports_every_error_before_failing() {
+    let dir = temp_dir("check_all");
+    let exe = env!("CARGO_BIN_EXE_tab_faults");
+    let good = dir.join("good.jsonl");
+    run_experiment(
+        exe,
+        &[
+            "--cycles",
+            "2",
+            "--threads",
+            "1",
+            "--out",
+            good.to_str().unwrap(),
+        ],
+        &[],
+    );
+    // Two broken copies, each with two problems.
+    let text = std::fs::read_to_string(&good).unwrap();
+    let broken_a = dir.join("broken_a.jsonl");
+    std::fs::write(
+        &broken_a,
+        text.clone() + "not json\n{\"table\": \"x\", \"v\": 1}\n",
+    )
+    .unwrap();
+    let broken_b = dir.join("broken_b.jsonl");
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.remove(1); // row gap
+    std::fs::write(&broken_b, lines.join("\n") + "\nstill not json\n").unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_edn_merge"))
+        .arg("--check")
+        .arg(&broken_a)
+        .arg(&good)
+        .arg(&broken_b)
+        .output()
+        .expect("edn_merge spawns");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    // Every problem in every file is named before the nonzero exit.
+    assert!(stderr.contains("broken_a.jsonl"), "{stderr}");
+    assert!(stderr.contains("broken_b.jsonl"), "{stderr}");
+    assert!(stderr.contains("good.jsonl: ok"), "{stderr}");
+    assert!(
+        stderr.matches("JSON parse error").count() >= 2,
+        "both parse errors reported: {stderr}"
+    );
+    assert!(stderr.contains("`seq`"), "missing-seq reported: {stderr}");
+    assert!(stderr.contains("error(s) found"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

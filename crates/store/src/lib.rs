@@ -1,0 +1,513 @@
+//! A content-addressed on-disk cache of completed sweep rows.
+//!
+//! Sweep rows in this workspace are **pure functions of their
+//! coordinates**: the executor's determinism contract makes every row's
+//! cells reproducible from (binary, row-affecting args, table schema,
+//! row index) alone. That is exactly a content address — so once a row
+//! has been measured, re-running the same grid (or the same grid with
+//! one axis extended, or another shard of the same run) can *replay* the
+//! stored cells instead of re-simulating them.
+//!
+//! This crate is the storage layer only. It knows nothing about sweeps:
+//! callers hand it a 64-bit **table key** (hash of everything that
+//! affects row content — `edn_sweep` derives it from the binary name,
+//! args, table title, and columns, deliberately *excluding* row counts
+//! and shard coordinates so extending a grid leaves old keys intact) and
+//! a **row index** within that table, and it stores/retrieves the row's
+//! cell strings verbatim.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! CACHE_DIR/
+//!   <table key as 16 hex digits>/
+//!     <writer id>.rows        append-only logs, one line per committed row
+//! ```
+//!
+//! Each writing process appends to its **own** log file (the writer id
+//! leads with a zero-padded nanosecond timestamp, then the pid, so the
+//! lexicographic filename order readers load in is chronological), and
+//! concurrent shard processes sharing one cache directory never
+//! interleave writes. A reader loads every `*.rows` log in the table's
+//! directory.
+//!
+//! Each log line is `INDEX HASH PAYLOAD` where `PAYLOAD` is the row's
+//! cells, backslash-escaped and tab-joined, and `HASH` is the 64-bit
+//! FNV-1a of the payload bytes. **Entries are never trusted**: a line
+//! that fails to parse, fails its hash, or sits truncated at the end of
+//! a log is counted as corrupt and skipped — the caller simply
+//! recomputes (and recommits) that row. A later commit of the same index
+//! supersedes an earlier one.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The filename extension of row log files.
+pub const LOG_EXTENSION: &str = "rows";
+
+/// FNV-1a, the 64-bit variant: the workspace's canonical stable hash
+/// (also used for artifact spec hashes in `edn_sweep`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A handle on one cache directory.
+///
+/// Opening is cheap (one `create_dir_all`); per-table entries are loaded
+/// by [`Store::table`].
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) the cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure to create the root directory.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Store { root })
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory holding one table key's logs.
+    fn table_dir(&self, key: u64) -> PathBuf {
+        self.root.join(format!("{key:016x}"))
+    }
+
+    /// Loads the verified entries of table `key` and opens it for
+    /// commits.
+    ///
+    /// Corrupt log lines are skipped (and counted), never trusted; an
+    /// absent directory is an empty table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures other than the directory not existing.
+    pub fn table(&self, key: u64) -> io::Result<TableCache> {
+        let dir = self.table_dir(key);
+        let mut entries = BTreeMap::new();
+        let mut corrupt = 0usize;
+        let mut logs: Vec<PathBuf> = match fs::read_dir(&dir) {
+            Ok(read) => read
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|path| path.extension().is_some_and(|e| e == LOG_EXTENSION))
+                .collect(),
+            Err(error) if error.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(error) => return Err(error),
+        };
+        // Deterministic read order so "last commit wins" is stable.
+        logs.sort();
+        for log in logs {
+            let text = fs::read_to_string(&log)?;
+            // A log that does not end in a newline was cut off mid-write
+            // (crash, full disk): its final line is suspect, skip it.
+            let complete = text.ends_with('\n');
+            let lines: Vec<&str> = text.lines().collect();
+            let valid_lines = if complete {
+                lines.len()
+            } else {
+                corrupt += usize::from(!lines.is_empty());
+                lines.len().saturating_sub(1)
+            };
+            for line in &lines[..valid_lines] {
+                match parse_entry(line) {
+                    Some((index, cells)) => {
+                        entries.insert(index, cells);
+                    }
+                    None => corrupt += 1,
+                }
+            }
+        }
+        Ok(TableCache {
+            dir,
+            entries,
+            corrupt,
+            writer: None,
+        })
+    }
+
+    /// Evicts table `key` entirely, removing its directory. Returns
+    /// whether anything was there to remove.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures other than the directory not existing.
+    pub fn evict(&self, key: u64) -> io::Result<bool> {
+        match fs::remove_dir_all(self.table_dir(key)) {
+            Ok(()) => Ok(true),
+            Err(error) if error.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(error) => Err(error),
+        }
+    }
+
+    /// The table keys currently present in the cache (16-hex-digit
+    /// directory names), sorted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the directory listing failure.
+    pub fn keys(&self) -> io::Result<Vec<u64>> {
+        let mut keys = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                if name.len() == 16 {
+                    if let Ok(key) = u64::from_str_radix(name, 16) {
+                        keys.push(key);
+                    }
+                }
+            }
+        }
+        keys.sort_unstable();
+        Ok(keys)
+    }
+}
+
+/// The loaded entries of one table key, open for lookups and commits.
+#[derive(Debug)]
+pub struct TableCache {
+    dir: PathBuf,
+    entries: BTreeMap<usize, Vec<String>>,
+    corrupt: usize,
+    writer: Option<BufWriter<fs::File>>,
+}
+
+impl TableCache {
+    /// Verified entries available for replay.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no verified entries were loaded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Log lines that failed parsing, hashing, or sat truncated — each
+    /// one a row that will be recomputed instead of trusted.
+    pub fn corrupt(&self) -> usize {
+        self.corrupt
+    }
+
+    /// The verified cells of row `index`, if cached.
+    pub fn lookup(&self, index: usize) -> Option<&[String]> {
+        self.entries.get(&index).map(Vec::as_slice)
+    }
+
+    /// Appends row `index` to this process's log and flushes, so the
+    /// entry survives even if the run dies on the next row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty cell list — tables always have at least one
+    /// column, and the encoding cannot represent zero cells.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures creating or writing the log.
+    pub fn commit(&mut self, index: usize, cells: &[String]) -> io::Result<()> {
+        assert!(!cells.is_empty(), "cannot commit a zero-cell row");
+        if self.writer.is_none() {
+            fs::create_dir_all(&self.dir)?;
+            let nanos = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0);
+            // Timestamp first and zero-padded: the loader's filename
+            // sort is then chronological, which is what makes "a later
+            // commit supersedes an earlier one" hold across writers.
+            let name = format!("{nanos:030}-{}.{LOG_EXTENSION}", std::process::id());
+            let file = fs::OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(self.dir.join(name))?;
+            self.writer = Some(BufWriter::new(file));
+        }
+        let writer = self.writer.as_mut().expect("just created");
+        writeln!(writer, "{}", render_entry(index, cells))?;
+        writer.flush()
+    }
+}
+
+/// Renders one log line: `INDEX HASH PAYLOAD`.
+fn render_entry(index: usize, cells: &[String]) -> String {
+    let payload = encode_cells(cells);
+    format!("{index} {:016x} {payload}", fnv1a(payload.as_bytes()))
+}
+
+/// Parses and verifies one log line; `None` means corrupt.
+fn parse_entry(line: &str) -> Option<(usize, Vec<String>)> {
+    let mut parts = line.splitn(3, ' ');
+    let index: usize = parts.next()?.parse().ok()?;
+    let recorded = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let payload = parts.next()?;
+    if fnv1a(payload.as_bytes()) != recorded {
+        return None;
+    }
+    Some((index, decode_cells(payload)?))
+}
+
+/// Tab-joins the cells after backslash-escaping, so any cell content —
+/// tabs, newlines, backslashes — survives the line-oriented log.
+fn encode_cells(cells: &[String]) -> String {
+    let mut out = String::new();
+    for (index, cell) in cells.iter().enumerate() {
+        if index > 0 {
+            out.push('\t');
+        }
+        for ch in cell.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '\t' => out.push_str("\\t"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                ch => out.push(ch),
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_cells`]; `None` on an invalid escape (corrupt).
+fn decode_cells(payload: &str) -> Option<Vec<String>> {
+    let mut cells = vec![String::new()];
+    let mut chars = payload.chars();
+    while let Some(ch) = chars.next() {
+        match ch {
+            '\t' => cells.push(String::new()),
+            '\\' => {
+                let unescaped = match chars.next()? {
+                    '\\' => '\\',
+                    't' => '\t',
+                    'n' => '\n',
+                    'r' => '\r',
+                    _ => return None,
+                };
+                cells.last_mut().expect("non-empty").push(unescaped);
+            }
+            ch => cells.last_mut().expect("non-empty").push(ch),
+        }
+    }
+    Some(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(name: &str) -> Store {
+        let dir = std::env::temp_dir()
+            .join("edn_store_unit_tests")
+            .join(format!("{name}_{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        Store::open(dir).unwrap()
+    }
+
+    #[test]
+    fn commit_lookup_round_trips_awkward_cells() {
+        let store = temp_store("round_trip");
+        let cells = vec![
+            "plain".to_string(),
+            "tab\there".to_string(),
+            "line\nbreak\r".to_string(),
+            "back\\slash".to_string(),
+            String::new(),
+            "é ∆ 0.5".to_string(),
+        ];
+        let mut table = store.table(0xA).unwrap();
+        table.commit(3, &cells).unwrap();
+        table.commit(0, &["x".to_string()]).unwrap();
+        // A fresh load sees both entries, verbatim.
+        let reloaded = store.table(0xA).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.lookup(3), Some(&cells[..]));
+        assert_eq!(reloaded.lookup(0), Some(&["x".to_string()][..]));
+        assert_eq!(reloaded.lookup(1), None);
+        assert_eq!(reloaded.corrupt(), 0);
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn tables_are_isolated_by_key() {
+        let store = temp_store("keys");
+        store
+            .table(1)
+            .unwrap()
+            .commit(0, &["a".to_string()])
+            .unwrap();
+        store
+            .table(2)
+            .unwrap()
+            .commit(0, &["b".to_string()])
+            .unwrap();
+        assert_eq!(store.table(1).unwrap().lookup(0), Some(&["a".into()][..]));
+        assert_eq!(store.table(2).unwrap().lookup(0), Some(&["b".into()][..]));
+        assert_eq!(store.keys().unwrap(), vec![1, 2]);
+        assert!(store.evict(1).unwrap());
+        assert!(!store.evict(1).unwrap());
+        assert!(store.table(1).unwrap().is_empty());
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn truncated_final_line_is_corrupt_not_trusted() {
+        let store = temp_store("truncated");
+        let mut table = store.table(7).unwrap();
+        table.commit(0, &["keep".to_string()]).unwrap();
+        table.commit(1, &["lost".to_string()]).unwrap();
+        drop(table);
+        // Chop the trailing newline plus a byte: a mid-write crash.
+        let log = fs::read_dir(store.table_dir(7))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let text = fs::read_to_string(&log).unwrap();
+        fs::write(&log, &text[..text.len() - 2]).unwrap();
+        let reloaded = store.table(7).unwrap();
+        assert_eq!(reloaded.lookup(0), Some(&["keep".into()][..]));
+        assert_eq!(reloaded.lookup(1), None, "truncated entry must not load");
+        assert_eq!(reloaded.corrupt(), 1);
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn hash_mismatch_is_corrupt_not_trusted() {
+        let store = temp_store("hash");
+        let mut table = store.table(9).unwrap();
+        table.commit(0, &["honest".to_string()]).unwrap();
+        drop(table);
+        let log = fs::read_dir(store.table_dir(9))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let text = fs::read_to_string(&log).unwrap();
+        fs::write(&log, text.replace("honest", "doctor")).unwrap();
+        let reloaded = store.table(9).unwrap();
+        assert_eq!(reloaded.lookup(0), None, "hash-mismatched entry loaded");
+        assert_eq!(reloaded.corrupt(), 1);
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn garbage_lines_are_counted_and_skipped() {
+        let store = temp_store("garbage");
+        let dir = store.table_dir(3);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("legacy.rows"),
+            "not an entry\n5\n5 zzzz x\n5 0123 \\q\n",
+        )
+        .unwrap();
+        let table = store.table(3).unwrap();
+        assert!(table.is_empty());
+        assert_eq!(table.corrupt(), 4);
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn later_commits_supersede_earlier_ones() {
+        let store = temp_store("supersede");
+        let mut table = store.table(4).unwrap();
+        table.commit(2, &["old".to_string()]).unwrap();
+        drop(table);
+        let mut table = store.table(4).unwrap();
+        table.commit(2, &["new".to_string()]).unwrap();
+        drop(table);
+        // Two logs now exist; the later one (sorted last by its
+        // timestamped name) wins.
+        let reloaded = store.table(4).unwrap();
+        assert_eq!(reloaded.lookup(2), Some(&["new".into()][..]));
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn later_writers_beat_earlier_ones_regardless_of_pid_digits() {
+        // Writer pids must not leak into the ordering: a log stamped
+        // later must win even when its pid would sort before the earlier
+        // writer's (the reason filenames lead with the padded timestamp).
+        let store = temp_store("cross_writer");
+        let dir = store.table_dir(8);
+        fs::create_dir_all(&dir).unwrap();
+        let entry = |cells: &[String]| render_entry(0, cells) + "\n";
+        fs::write(
+            dir.join(format!("{:030}-999.rows", 1u128)),
+            entry(&["old".to_string()]),
+        )
+        .unwrap();
+        fs::write(
+            dir.join(format!("{:030}-1000.rows", 2u128)),
+            entry(&["new".to_string()]),
+        )
+        .unwrap();
+        let table = store.table(8).unwrap();
+        assert_eq!(table.lookup(0), Some(&["new".to_string()][..]));
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_use_distinct_logs() {
+        let store = temp_store("writers");
+        store
+            .table(6)
+            .unwrap()
+            .commit(0, &["a".to_string()])
+            .unwrap();
+        store
+            .table(6)
+            .unwrap()
+            .commit(1, &["b".to_string()])
+            .unwrap();
+        let logs = fs::read_dir(store.table_dir(6)).unwrap().count();
+        assert_eq!(logs, 2, "each open table appends to its own log");
+        let merged = store.table(6).unwrap();
+        assert_eq!(merged.len(), 2);
+        fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn encode_decode_is_total_on_escapes() {
+        for cells in [
+            vec!["".to_string()],
+            vec!["\t".to_string(), "\n".to_string()],
+            vec!["\\t literal".to_string()],
+            vec!["a".to_string(), "".to_string(), "b".to_string()],
+        ] {
+            let encoded = encode_cells(&cells);
+            assert!(!encoded.contains('\n'), "log stays line-oriented");
+            assert_eq!(decode_cells(&encoded), Some(cells));
+        }
+        assert_eq!(decode_cells("bad\\q"), None, "unknown escape is corrupt");
+        assert_eq!(decode_cells("dangling\\"), None);
+    }
+}

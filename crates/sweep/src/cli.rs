@@ -3,12 +3,16 @@
 //! All `fig*`/`tab*` binaries accept the same sweep flags:
 //!
 //! ```text
-//! --threads N   worker threads for the sweep pool (default: auto)
-//! --seeds N     seeds per Monte-Carlo measurement (default varies)
-//! --cycles N    cycles/trials per measurement (default varies)
-//! --out PATH    stream every table row as JSON Lines to PATH
-//! --shard I/N   compute and emit only slice I of N (1-based)
-//! --help        print usage and exit
+//! --threads N     worker threads for the sweep pool (default: auto)
+//! --seeds N       seeds per Monte-Carlo measurement (default varies)
+//! --cycles N      cycles/trials per measurement (default varies)
+//! --out PATH      stream every table row as JSON Lines to PATH
+//! --shard I/N     compute and emit only slice I of N (1-based)
+//! --cache DIR     replay rows already in the edn_store cache at DIR,
+//!                 commit fresh ones (default: $EDN_SWEEP_CACHE)
+//! --no-cache      ignore --cache and $EDN_SWEEP_CACHE
+//! --cache-stats   print hit/compute/commit counters after the run
+//! --help          print usage and exit
 //! ```
 //!
 //! Parsing is dependency-free (the build image has no crates.io access);
@@ -28,10 +32,17 @@
 
 use crate::pool::run_indexed;
 use crate::report::{render_json_row, Table};
-use crate::stream::{shard_range, RowSink, SchemaHeader, Shard, TableSchema};
+use crate::stream::{
+    row_cache_key, shard_range, Provenance, RowSink, SchemaHeader, Shard, TableSchema,
+};
+use edn_store::{Store, TableCache};
 use std::ops::Range;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// The environment variable naming the default `--cache` directory.
+pub const CACHE_ENV: &str = "EDN_SWEEP_CACHE";
 
 /// Parsed sweep flags shared by every experiment binary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +57,12 @@ pub struct SweepArgs {
     pub out: Option<PathBuf>,
     /// The shard this process computes (`1/1` unless `--shard` is given).
     pub shard: Shard,
+    /// Row-cache directory (`--cache`, or `$EDN_SWEEP_CACHE` unless
+    /// `--no-cache`). `None` disables caching.
+    pub cache: Option<PathBuf>,
+    /// Print cache hit/compute/commit counters after the run.
+    pub cache_stats: bool,
+    no_cache: bool,
     binary: String,
 }
 
@@ -56,7 +73,17 @@ impl SweepArgs {
     /// absent.
     pub fn parse(binary: &str, about: &str, default_seeds: usize) -> Self {
         match Self::try_parse(std::env::args().skip(1), binary, default_seeds) {
-            Ok(Some(args)) => args,
+            Ok(Some(mut args)) => {
+                // `--cache` beats the environment; `--no-cache` beats both.
+                if args.cache.is_none() && !args.no_cache {
+                    if let Ok(dir) = std::env::var(CACHE_ENV) {
+                        if !dir.is_empty() {
+                            args.cache = Some(PathBuf::from(dir));
+                        }
+                    }
+                }
+                args
+            }
             Ok(None) => {
                 println!("{}", Self::usage(binary, about, default_seeds));
                 std::process::exit(0);
@@ -67,6 +94,26 @@ impl SweepArgs {
                 std::process::exit(2);
             }
         }
+    }
+
+    /// Parses an explicit flag list — the programmatic entry for drivers
+    /// and tests. Unlike [`parse`](Self::parse) it never exits the
+    /// process and never consults the environment; `Ok(None)` means
+    /// `--help` was requested.
+    ///
+    /// # Errors
+    ///
+    /// Returns the usage message of the first malformed flag.
+    pub fn from_flags<I, S>(
+        binary: &str,
+        default_seeds: usize,
+        flags: I,
+    ) -> Result<Option<Self>, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::try_parse(flags.into_iter().map(Into::into), binary, default_seeds)
     }
 
     /// Flag parsing proper: `Ok(None)` means `--help` was requested.
@@ -81,6 +128,9 @@ impl SweepArgs {
             cycles: None,
             out: None,
             shard: Shard::FULL,
+            cache: None,
+            cache_stats: false,
+            no_cache: false,
             binary: binary.to_string(),
         };
         let mut args = args.peekable();
@@ -116,8 +166,14 @@ impl SweepArgs {
                     parsed.shard = Shard::parse(&value("--shard")?)
                         .map_err(|message| format!("--shard: {message}"))?;
                 }
+                "--cache" => parsed.cache = Some(PathBuf::from(value("--cache")?)),
+                "--no-cache" => parsed.no_cache = true,
+                "--cache-stats" => parsed.cache_stats = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
+        }
+        if parsed.no_cache {
+            parsed.cache = None;
         }
         Ok(Some(parsed))
     }
@@ -125,16 +181,21 @@ impl SweepArgs {
     fn usage(binary: &str, about: &str, default_seeds: usize) -> String {
         format!(
             "{about}\n\n\
-             Usage: {binary} [--threads N] [--seeds N] [--cycles N] [--out PATH] [--shard I/N]\n\n\
+             Usage: {binary} [--threads N] [--seeds N] [--cycles N] [--out PATH] [--shard I/N]\n        \
+             [--cache DIR] [--no-cache] [--cache-stats]\n\n\
              Options:\n  \
-             --threads N  worker threads for the sweep pool (default: all cores,\n               \
+             --threads N    worker threads for the sweep pool (default: all cores,\n                 \
              or EDN_SWEEP_THREADS)\n  \
-             --seeds N    seeds per Monte-Carlo measurement (default: {default_seeds})\n  \
-             --cycles N   cycles/trials per measurement (default: experiment-specific)\n  \
-             --out PATH   stream every table row as JSON Lines to PATH\n  \
-             --shard I/N  compute only slice I of N (1-based); merge the slice\n               \
+             --seeds N      seeds per Monte-Carlo measurement (default: {default_seeds})\n  \
+             --cycles N     cycles/trials per measurement (default: experiment-specific)\n  \
+             --out PATH     stream every table row as JSON Lines to PATH\n  \
+             --shard I/N    compute only slice I of N (1-based); merge the slice\n                 \
              artifacts with `edn_merge part*.jsonl`\n  \
-             --help       print this message"
+             --cache DIR    replay rows already in the row cache at DIR and commit\n                 \
+             fresh ones (default: $EDN_SWEEP_CACHE; see `edn_store`)\n  \
+             --no-cache     ignore --cache and $EDN_SWEEP_CACHE\n  \
+             --cache-stats  print cache hit/compute/commit counters after the run\n  \
+             --help         print this message"
         )
     }
 
@@ -219,18 +280,73 @@ impl SweepArgs {
                         columns: p.headers.clone(),
                     })
                     .collect(),
+                provenance: Provenance::from_env(),
             };
             let sink = RowSink::create(path, &header).unwrap_or_else(|error| {
                 panic!("{}: creating {}: {error}", self.binary, path.display())
             });
             Mutex::new(sink)
         });
+        // An unusable cache directory must never kill a run — it only
+        // loses the speedup, so warn and compute everything.
+        let store = self.cache.as_ref().and_then(|dir| match Store::open(dir) {
+            Ok(store) => Some(store),
+            Err(error) => {
+                eprintln!(
+                    "{}: cannot open row cache {} ({error}); running uncached",
+                    self.binary,
+                    dir.display()
+                );
+                None
+            }
+        });
         Emission {
             args: self,
             plans,
             sink,
+            store,
+            stats: CacheStats::default(),
             next_table: 0,
         }
+    }
+}
+
+/// Row-cache effectiveness counters of one run, over the cacheable rows
+/// (pool-task rows; precomputed [`table_rows`](Emission::table_rows)
+/// tables never consult the cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Rows replayed from the cache instead of measured.
+    pub hits: usize,
+    /// Rows measured because the cache had no trusted entry.
+    pub computed: usize,
+    /// Fresh rows committed back to the cache.
+    pub committed: usize,
+    /// Corrupt cache log lines encountered (truncated, hash-mismatched,
+    /// or unparseable) — ignored, never trusted. A row only such lines
+    /// covered is recomputed; a line superseded by a later good commit
+    /// still counts here, so this can exceed the rows affected.
+    pub corrupt: usize,
+}
+
+impl CacheStats {
+    /// The one-line summary `--cache-stats` prints, e.g.
+    /// `cache: 12 hits, 0 computed, 0 committed (100% hits)`.
+    pub fn summary(&self) -> String {
+        let total = self.hits + self.computed;
+        let rate = match (self.hits * 100).checked_div(total) {
+            Some(percent) => format!("{percent}% hits"),
+            None => "no cacheable rows".to_string(),
+        };
+        let corrupt = if self.corrupt > 0 {
+            format!(", {} corrupt log lines ignored", self.corrupt)
+        } else {
+            String::new()
+        };
+        format!(
+            "cache: {} hits, {} computed, {} committed ({rate}{corrupt})",
+            self.hits, self.computed, self.committed
+        )
     }
 }
 
@@ -255,6 +371,8 @@ pub struct Emission<'a> {
     args: &'a SweepArgs,
     plans: Vec<TablePlan>,
     sink: Option<Mutex<RowSink>>,
+    store: Option<Store>,
+    stats: CacheStats,
     next_table: usize,
 }
 
@@ -262,6 +380,40 @@ impl Emission<'_> {
     /// `true` when this process computes the whole grid.
     pub fn is_full(&self) -> bool {
         self.args.shard.is_full()
+    }
+
+    /// `true` when a row cache is open for this run.
+    pub fn is_cached(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The cache counters accumulated so far (all zero when uncached).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Opens the row cache of one table, keyed by [`row_cache_key`]. A
+    /// broken cache only costs the speedup: warn and return `None`.
+    fn open_table_cache(&self, title: &str, headers: &[String]) -> Option<TableCache> {
+        let store = self.store.as_ref()?;
+        let key = row_cache_key(
+            &self.args.binary,
+            self.args.seeds,
+            self.args.cycles,
+            title,
+            headers,
+        );
+        match store.table(key) {
+            Ok(cache) => Some(cache),
+            Err(error) => {
+                eprintln!(
+                    "{}: row cache {} unreadable for table `{title}` ({error}); computing all rows",
+                    self.args.binary,
+                    store.root().display()
+                );
+                None
+            }
+        }
     }
 
     /// The shard's slice of the next planned table's row indices.
@@ -303,25 +455,86 @@ impl Emission<'_> {
     /// `--shard I/N` only the shard's slice of rows is measured,
     /// appended to `table`, and emitted.
     ///
+    /// With `--cache`, every row is looked up in the row cache **before
+    /// it is scheduled**: trusted entries are replayed — their verbatim
+    /// cells re-rendered through the sink in `seq` order, `measure`
+    /// never called — and only the misses become pool tasks, each
+    /// committed back to the cache the moment its measurement flushes.
+    /// Because the replayed cells are the exact strings a fresh
+    /// measurement would produce, a warm run's artifact is
+    /// byte-identical to a cold one's. `replay(cells, row)` rebuilds the
+    /// auxiliary value for a replayed row from its cached cells (parse
+    /// the relevant columns, or recompute if cheap); it is never called
+    /// on an uncached run. An aux rebuilt from formatted cells carries
+    /// their printed precision, not the original `f64`s — narration
+    /// derived from it can differ from the cold run's in its last
+    /// printed digit; the artifact itself never differs.
+    ///
     /// Each row's JSON line is pushed to the artifact as its measurement
     /// completes; the sink's reorder buffer restores grid order, so the
     /// file grows incrementally during the sweep.
     ///
     /// Returns the auxiliary values in row order (the shard's rows only).
-    pub fn run_table<S, T, I, F>(&mut self, table: &mut Table, init: I, measure: F) -> Vec<T>
+    pub fn run_table<S, T, I, F, R>(
+        &mut self,
+        table: &mut Table,
+        init: I,
+        measure: F,
+        replay: R,
+    ) -> Vec<T>
     where
         T: Send,
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> (Vec<String>, T) + Sync,
+        R: Fn(&[String], usize) -> T,
     {
         let (range, base) = self.begin_table(table);
         let title = table.title().to_string();
         let headers = table.headers().to_vec();
+
+        // Cache lookup before scheduling: replayed rows never reach the
+        // pool. `cached[local]` holds the trusted cells, `fresh` the
+        // local indices still to be measured.
+        let cache = self.open_table_cache(&title, &headers);
+        let mut cached: Vec<Option<Vec<String>>> = vec![None; range.len()];
+        let mut fresh: Vec<usize> = Vec::with_capacity(range.len());
+        match &cache {
+            Some(cache) => {
+                self.stats.corrupt += cache.corrupt();
+                for (local, row) in range.clone().enumerate() {
+                    match cache.lookup(row) {
+                        Some(cells) => cached[local] = Some(cells.to_vec()),
+                        None => fresh.push(local),
+                    }
+                }
+            }
+            None => fresh.extend(0..range.len()),
+        }
+
+        // Replay the hits through the sink immediately; the reorder
+        // buffer holds any that sit after a still-unmeasured fresh row.
+        if let Some(sink) = &self.sink {
+            let mut sink = sink.lock().expect("sink poisoned");
+            for (local, cells) in cached.iter().enumerate() {
+                if let Some(cells) = cells {
+                    let seq = base + range.start + local;
+                    let line = render_json_row(seq, &title, &headers, cells);
+                    sink.push(seq, line).unwrap_or_else(|error| {
+                        panic!("{}: replaying cached row: {error}", self.args.binary)
+                    });
+                }
+            }
+        }
+
+        // Measure only the misses, as pool tasks; commit each fresh row
+        // to the cache as soon as it is measured and flushed.
         let sink = &self.sink;
         let binary = &self.args.binary;
         let start = range.start;
-        let results = run_indexed(self.args.threads, range.len(), init, |state, local| {
-            let row = start + local;
+        let committed = AtomicUsize::new(0);
+        let cache = cache.map(Mutex::new);
+        let fresh_results = run_indexed(self.args.threads, fresh.len(), init, |state, index| {
+            let row = start + fresh[index];
             let (cells, aux) = measure(state, row);
             if let Some(sink) = sink {
                 let line = render_json_row(base + row, &title, &headers, &cells);
@@ -330,10 +543,36 @@ impl Emission<'_> {
                     .push(base + row, line)
                     .unwrap_or_else(|error| panic!("{binary}: streaming row: {error}"));
             }
+            if let Some(cache) = &cache {
+                match cache.lock().expect("cache poisoned").commit(row, &cells) {
+                    Ok(()) => {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // A full disk under the cache must not lose the
+                    // measurement — the row only misses again next run.
+                    Err(error) => eprintln!("{binary}: cache commit failed: {error}"),
+                }
+            }
             (cells, aux)
         });
-        let mut auxes = Vec::with_capacity(results.len());
-        for (cells, aux) in results {
+
+        // Stitch replayed and fresh rows back into row order. The
+        // counters only move when a cache was actually consulted.
+        if cache.is_some() {
+            self.stats.hits += range.len() - fresh.len();
+            self.stats.computed += fresh.len();
+            self.stats.committed += committed.into_inner();
+        }
+        let mut fresh_results = fresh_results.into_iter();
+        let mut auxes = Vec::with_capacity(range.len());
+        for (local, slot) in cached.into_iter().enumerate() {
+            let (cells, aux) = match slot {
+                Some(cells) => {
+                    let aux = replay(&cells, start + local);
+                    (cells, aux)
+                }
+                None => fresh_results.next().expect("one result per fresh row"),
+            };
             table.row(cells);
             auxes.push(aux);
         }
@@ -347,7 +586,12 @@ impl Emission<'_> {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> Vec<String> + Sync,
     {
-        self.run_table(table, init, |state, row| (measure(state, row), ()));
+        self.run_table(
+            table,
+            init,
+            |state, row| (measure(state, row), ()),
+            |_, _| (),
+        );
     }
 
     /// Emits the next planned table from precomputed rows — for
@@ -417,6 +661,13 @@ impl Emission<'_> {
                     self.args.shard,
                     path.display()
                 );
+            }
+        }
+        if self.args.cache_stats {
+            if self.store.is_some() {
+                println!("{}", self.stats.summary());
+            } else {
+                println!("cache: disabled (no --cache directory)");
             }
         }
     }
@@ -508,6 +759,7 @@ mod tests {
             &mut table,
             || (),
             |(), row| (vec![row.to_string(), (row * row).to_string()], row),
+            |cells, _| cells[0].parse().unwrap(),
         );
         emit.finish();
         assert_eq!(aux, vec![0, 1, 2, 3, 4]);
@@ -574,7 +826,12 @@ mod tests {
         args.out = Some(path.clone());
         let mut table = Table::new("t", &["row"]);
         let mut emit = args.plan_emit(&[(&table, 10)]);
-        let aux = emit.run_table(&mut table, || (), |(), row| (vec![row.to_string()], row));
+        let aux = emit.run_table(
+            &mut table,
+            || (),
+            |(), row| (vec![row.to_string()], row),
+            |cells, _| cells[0].parse().unwrap(),
+        );
         emit.finish();
         // shard 2/3 of 10 rows = global rows 3..6.
         assert_eq!(aux, vec![3, 4, 5]);
@@ -646,5 +903,190 @@ mod tests {
         let args = parse(&[]).unwrap().unwrap();
         let emit = args.plan_emit(&[]);
         emit.finish();
+    }
+
+    #[test]
+    fn cache_flags_parse() {
+        let args = parse(&["--cache", "cachedir", "--cache-stats"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.cache, Some(PathBuf::from("cachedir")));
+        assert!(args.cache_stats);
+        // --no-cache beats an explicit --cache, whichever order.
+        let args = parse(&["--cache", "cachedir", "--no-cache"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.cache, None);
+        let args = parse(&["--no-cache", "--cache", "cachedir"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.cache, None);
+        assert!(parse(&["--cache"]).is_err());
+        // from_flags is the same parser, programmatically.
+        let args = SweepArgs::from_flags("test_bin", 4, ["--cache", "d"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.cache, Some(PathBuf::from("d")));
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("edn_sweep_cli_cache_tests")
+            .join(format!("{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// One synthetic cached run: returns (artifact text, measured rows,
+    /// cache stats).
+    fn cached_run(
+        dir: &std::path::Path,
+        tag: &str,
+        rows: usize,
+        shard: &str,
+    ) -> (String, Vec<usize>, CacheStats) {
+        let out = dir.join(format!("{tag}.jsonl"));
+        let cache = dir.join("cache");
+        let mut flags = vec![
+            "--threads".to_string(),
+            "2".to_string(),
+            "--out".to_string(),
+            out.display().to_string(),
+            "--cache".to_string(),
+            cache.display().to_string(),
+        ];
+        if shard != "1/1" {
+            flags.extend(["--shard".to_string(), shard.to_string()]);
+        }
+        let args = SweepArgs::from_flags("cache_test_bin", 4, flags)
+            .unwrap()
+            .unwrap();
+        let mut table = Table::new("t", &["row", "value"]);
+        let measured = Mutex::new(Vec::new());
+        let mut emit = args.plan_emit(&[(&table, rows)]);
+        emit.run_rows(
+            &mut table,
+            || (),
+            |(), row| {
+                measured.lock().unwrap().push(row);
+                vec![row.to_string(), format!("{:.3}", row as f64 / 8.0)]
+            },
+        );
+        let stats = emit.cache_stats();
+        emit.finish();
+        let mut measured = measured.into_inner().unwrap();
+        measured.sort_unstable();
+        (std::fs::read_to_string(&out).unwrap(), measured, stats)
+    }
+
+    #[test]
+    fn warm_cache_replays_byte_identically() {
+        let dir = temp_dir("warm");
+        let (cold, cold_measured, cold_stats) = cached_run(&dir, "cold", 6, "1/1");
+        assert_eq!(cold_measured, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(cold_stats.hits, 0);
+        assert_eq!(cold_stats.computed, 6);
+        assert_eq!(cold_stats.committed, 6);
+        let (warm, warm_measured, warm_stats) = cached_run(&dir, "warm", 6, "1/1");
+        assert_eq!(warm, cold, "warm artifact must be byte-identical");
+        assert!(warm_measured.is_empty(), "no row re-measured");
+        assert_eq!(warm_stats.hits, 6);
+        assert_eq!(warm_stats.computed, 0);
+        assert_eq!(
+            warm_stats.summary(),
+            "cache: 6 hits, 0 computed, 0 committed (100% hits)"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shards_share_the_cache_with_the_full_run() {
+        let dir = temp_dir("shards");
+        // Shard 1/3 of 9 rows commits rows 0..3; the full warm run then
+        // computes only the other six.
+        let (_, shard_measured, _) = cached_run(&dir, "part1", 9, "1/3");
+        assert_eq!(shard_measured, vec![0, 1, 2]);
+        let (_, full_measured, stats) = cached_run(&dir, "full", 9, "1/1");
+        assert_eq!(full_measured, vec![3, 4, 5, 6, 7, 8]);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.computed, 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn extending_the_grid_computes_only_new_cells() {
+        let dir = temp_dir("extend");
+        let (cold, ..) = cached_run(&dir, "cold", 5, "1/1");
+        // Same table, three more rows: the old five replay, the new
+        // three compute, and the old row lines are byte-identical.
+        let (extended, measured, stats) = cached_run(&dir, "ext", 8, "1/1");
+        assert_eq!(measured, vec![5, 6, 7]);
+        assert_eq!(stats.hits, 5);
+        let old_rows: Vec<&str> = cold.lines().skip(1).collect();
+        let ext_rows: Vec<&str> = extended.lines().skip(1).take(5).collect();
+        assert_eq!(ext_rows, old_rows, "old cells replay byte-identically");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_cache_entries_are_recomputed_never_trusted() {
+        let dir = temp_dir("corrupt");
+        let (cold, ..) = cached_run(&dir, "cold", 4, "1/1");
+        // Doctor every cache log: flip a payload so its hash mismatches.
+        let cache = dir.join("cache");
+        let mut doctored = 0;
+        for table_dir in std::fs::read_dir(&cache).unwrap() {
+            for log in std::fs::read_dir(table_dir.unwrap().path()).unwrap() {
+                let log = log.unwrap().path();
+                let text = std::fs::read_to_string(&log).unwrap();
+                std::fs::write(&log, text.replacen("0.125", "9.999", 1)).unwrap();
+                doctored += 1;
+            }
+        }
+        assert!(doctored > 0, "a cache log exists");
+        let (warm, measured, stats) = cached_run(&dir, "warm", 4, "1/1");
+        assert_eq!(warm, cold, "doctored entry never reaches the artifact");
+        assert_eq!(measured, vec![1], "only the doctored row recomputes");
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.computed, 1);
+        assert!(stats.corrupt > 0, "corruption surfaced in the stats");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_rebuilds_aux_values_from_cached_cells() {
+        let dir = temp_dir("aux");
+        let cache = dir.join("cache");
+        let run = |tag: &str| {
+            let out = dir.join(format!("{tag}.jsonl"));
+            let args = SweepArgs::from_flags(
+                "aux_bin",
+                4,
+                [
+                    "--out",
+                    &out.display().to_string(),
+                    "--cache",
+                    &cache.display().to_string(),
+                ],
+            )
+            .unwrap()
+            .unwrap();
+            let mut table = Table::new("t", &["row", "sq"]);
+            let mut emit = args.plan_emit(&[(&table, 4)]);
+            let aux = emit.run_table(
+                &mut table,
+                || (),
+                |(), row| (vec![row.to_string(), (row * row).to_string()], row * row),
+                |cells, _| cells[1].parse().unwrap(),
+            );
+            emit.finish();
+            aux
+        };
+        assert_eq!(run("cold"), vec![0, 1, 4, 9]);
+        // The warm run's aux values come from replay, parsed back out of
+        // the cached cells.
+        assert_eq!(run("warm"), vec![0, 1, 4, 9]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

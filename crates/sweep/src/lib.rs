@@ -29,8 +29,12 @@
 //! * [`json`] — a minimal dependency-free JSON parser backing artifact
 //!   validation.
 //! * [`cli`] — [`SweepArgs`]: the `--threads`/`--seeds`/`--cycles`/
-//!   `--out`/`--shard` surface shared by all `fig*`/`tab*` binaries, and
-//!   [`Emission`], the streaming table-emission driver they all run on.
+//!   `--out`/`--shard`/`--cache` surface shared by all `fig*`/`tab*`
+//!   binaries, and [`Emission`], the streaming table-emission driver
+//!   they all run on. With `--cache`, rows already in the `edn_store`
+//!   row cache (keyed by [`row_cache_key`]) are **replayed** instead of
+//!   measured and fresh rows are committed back, so re-running a grid —
+//!   or extending one axis of it — computes only the missing cells.
 //!
 //! # Quick start
 //!
@@ -70,9 +74,11 @@ pub mod spec;
 pub mod stream;
 pub mod worker;
 
-pub use cli::{Emission, SweepArgs};
+pub use cli::{CacheStats, Emission, SweepArgs, CACHE_ENV};
 pub use pool::{default_threads, map_slice_with, run_indexed};
 pub use report::{fmt_f, fmt_opt, render_json_row, Table};
 pub use spec::{SweepPoint, SweepSpec};
-pub use stream::{shard_range, RowSink, SchemaHeader, Shard, TableSchema};
+pub use stream::{
+    row_cache_key, shard_range, Provenance, RowSink, SchemaHeader, Shard, TableSchema,
+};
 pub use worker::SweepWorker;

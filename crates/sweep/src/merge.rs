@@ -23,7 +23,7 @@
 use std::path::{Path, PathBuf};
 
 use crate::json;
-use crate::stream::{SchemaHeader, Shard};
+use crate::stream::{Provenance, SchemaHeader, Shard};
 
 /// Why a set of artifacts cannot be merged.
 #[derive(Debug)]
@@ -295,6 +295,10 @@ pub fn merge_files(paths: &[PathBuf]) -> Result<Merged, MergeError> {
         return Err(MergeError::ShardCoverage(problems.join("; ")));
     }
 
+    let provenance_unanimous = files
+        .iter()
+        .all(|file| file.header.provenance == reference_header.provenance);
+
     // Row-exact coverage: the union of seqs is 0..rows, each exactly once.
     let total = reference.header.rows;
     let mut slots: Vec<Option<String>> = vec![None; total];
@@ -328,8 +332,18 @@ pub fn merge_files(paths: &[PathBuf]) -> Result<Merged, MergeError> {
         )));
     }
 
+    // Provenance is not part of the spec, so shards may legitimately
+    // disagree (different hosts of one scale-out run). A unanimous value
+    // carries over — keeping single-orchestrator merges byte-identical
+    // to the equivalent unsharded run — a split one is dropped.
+    let provenance = if provenance_unanimous {
+        reference_header.provenance.clone()
+    } else {
+        Provenance::default()
+    };
     let header = SchemaHeader {
         shard: Shard::FULL,
+        provenance,
         ..reference_header
     };
     Ok(Merged {
@@ -350,9 +364,113 @@ pub fn merge_files(paths: &[PathBuf]) -> Result<Merged, MergeError> {
 ///
 /// # Errors
 ///
-/// As [`read_shard_file`].
+/// As [`read_shard_file`] — the **first** problem only. Diagnosing a
+/// broken artifact set wants every problem at once; use
+/// [`check_file_all`] for that.
 pub fn check_file(path: &Path) -> Result<ShardFile, MergeError> {
-    read_shard_file(path)
+    check_file_all(path).map_err(|mut errors| errors.remove(0))
+}
+
+/// Exhaustive single-artifact validation: where [`read_shard_file`]
+/// stops at the first structural problem, this collects **every** one —
+/// all malformed row lines, all bad `seq` fields, plus the header and
+/// coverage problems — so one `edn_merge --check` pass over an artifact
+/// set reports everything there is to fix before exiting nonzero.
+///
+/// A header failure does not stop row validation: the rows are still
+/// individually JSON-checked (coverage needs the header, so only that
+/// check is skipped).
+///
+/// # Errors
+///
+/// The non-empty list of every problem found, in file order.
+pub fn check_file_all(path: &Path) -> Result<ShardFile, Vec<MergeError>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => return Err(vec![MergeError::Io(path.to_path_buf(), error)]),
+    };
+    let mut errors = Vec::new();
+    let mut lines = text.lines();
+    let header = match lines.next() {
+        Some(line) => match SchemaHeader::parse(line) {
+            Ok(header) => Some(header),
+            Err(message) => {
+                errors.push(MergeError::BadHeader(path.to_path_buf(), message));
+                None
+            }
+        },
+        None => {
+            errors.push(MergeError::BadHeader(
+                path.to_path_buf(),
+                "empty file".to_string(),
+            ));
+            None
+        }
+    };
+    let mut rows = Vec::new();
+    for (index, line) in lines.enumerate() {
+        let line_number = index + 2; // 1-based, after the header
+        let bad_row = |message: String| MergeError::BadRow {
+            path: path.to_path_buf(),
+            line: line_number,
+            message,
+        };
+        let value = match json::parse(line) {
+            Ok(value) => value,
+            Err(error) => {
+                errors.push(bad_row(error.to_string()));
+                continue;
+            }
+        };
+        let Some(seq) = value.get("seq").and_then(|v| v.as_usize()) else {
+            errors.push(bad_row(
+                "row has no non-negative integer `seq` field".to_string(),
+            ));
+            continue;
+        };
+        if let Some(header) = &header {
+            if seq >= header.rows {
+                errors.push(bad_row(format!(
+                    "seq {seq} out of range for a {}-row artifact",
+                    header.rows
+                )));
+                continue;
+            }
+        }
+        rows.push((seq, line.to_string()));
+    }
+    let Some(header) = header else {
+        return Err(errors);
+    };
+    let expected = expected_seqs(&header);
+    let got: Vec<usize> = rows.iter().map(|(seq, _)| *seq).collect();
+    if got != expected {
+        let slice = match (expected.first(), expected.last()) {
+            (Some(first), Some(last)) => format!("exactly seqs {first}..={last}"),
+            _ => "no rows".to_string(),
+        };
+        errors.push(MergeError::RowCoverage(format!(
+            "{}: shard {} must contain {slice} in order ({} rows), found {} valid rows{}",
+            path.display(),
+            header.shard,
+            expected.len(),
+            got.len(),
+            if got.len() == expected.len() {
+                " out of order or outside the slice"
+            } else {
+                " (truncated or mislabeled shard file)"
+            }
+        )));
+    }
+    if errors.is_empty() {
+        Ok(ShardFile {
+            path: path.to_path_buf(),
+            header,
+            rows,
+        })
+    } else {
+        Err(errors)
+    }
 }
 
 #[cfg(test)]
@@ -372,6 +490,7 @@ mod tests {
                 rows: 6,
                 columns: vec!["v".to_string()],
             }],
+            provenance: Provenance::default(),
         }
     }
 
@@ -543,5 +662,85 @@ mod tests {
     #[test]
     fn no_inputs_is_an_error() {
         assert!(matches!(merge_files(&[]), Err(MergeError::NoInputs)));
+    }
+
+    #[test]
+    fn check_file_all_reports_every_problem_at_once() {
+        let dir = temp_dir("check_all");
+        let part = write_shard(&dir, 0, 1);
+        // Inject three distinct problems into one artifact: a non-JSON
+        // line, a row without `seq`, and an out-of-range seq — then drop
+        // a legitimate row so coverage breaks too.
+        let text = std::fs::read_to_string(&part).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines.remove(3); // drop row seq 2: coverage gap
+        lines.push("not json at all".to_string());
+        lines.push("{\"table\": \"t\", \"v\": 1}".to_string());
+        lines.push("{\"seq\": 99, \"table\": \"t\", \"v\": 1}".to_string());
+        std::fs::write(&part, lines.join("\n") + "\n").unwrap();
+
+        let errors = check_file_all(&part).unwrap_err();
+        let rendered: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        assert_eq!(errors.len(), 4, "all four problems reported: {rendered:?}");
+        assert!(rendered[0].contains("JSON parse error"), "{rendered:?}");
+        assert!(rendered[1].contains("no non-negative integer `seq`"));
+        assert!(rendered[2].contains("seq 99 out of range"));
+        assert!(rendered[3].contains("coverage"));
+        // check_file surfaces the first of the same list.
+        assert_eq!(
+            check_file(&part).unwrap_err().to_string(),
+            rendered[0].clone()
+        );
+        // A bad header still leaves the rows individually validated.
+        let text = std::fs::read_to_string(&part).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[0] = "{\"broken\": true}".to_string();
+        std::fs::write(&part, lines.join("\n") + "\n").unwrap();
+        let errors = check_file_all(&part).unwrap_err();
+        assert!(errors.len() >= 3, "header error plus every row error");
+        assert!(errors[0].to_string().contains("header"), "{errors:?}");
+        // And a clean artifact passes exhaustively too.
+        let clean = write_shard(&dir, 0, 2);
+        assert!(check_file_all(&clean).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unanimous_provenance_survives_the_merge_split_does_not() {
+        let dir = temp_dir("provenance");
+        let stamp = Provenance {
+            git_rev: Some("abc123".to_string()),
+            host: Some("host-a".to_string()),
+            started_at: None,
+        };
+        let write_stamped = |index: usize, provenance: &Provenance| {
+            let mut header = header(Shard::new(index, 2));
+            header.provenance = provenance.clone();
+            let path = dir.join(format!("stamped{index}.jsonl"));
+            let mut sink = RowSink::create(&path, &header).unwrap();
+            let range = crate::stream::shard_range(6, header.shard);
+            sink.begin_range(range.clone());
+            for seq in range {
+                sink.push(seq, row(seq)).unwrap();
+            }
+            sink.finish().unwrap();
+            path
+        };
+        // Unanimous: the merged header keeps the stamp — byte-identical
+        // to an unsharded run with the same environment.
+        let parts = vec![write_stamped(0, &stamp), write_stamped(1, &stamp)];
+        let merged = merge_files(&parts).unwrap();
+        assert_eq!(merged.header.provenance, stamp);
+        let mut full_header = header(Shard::FULL);
+        full_header.provenance = stamp.clone();
+        assert!(merged.to_text().starts_with(&full_header.to_json()));
+        // Split (shards ran on different hosts): provenance is dropped,
+        // the merge itself still succeeds.
+        let mut other = stamp.clone();
+        other.host = Some("host-b".to_string());
+        let parts = vec![write_stamped(0, &stamp), write_stamped(1, &other)];
+        let merged = merge_files(&parts).unwrap();
+        assert!(merged.header.provenance.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

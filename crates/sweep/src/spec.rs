@@ -170,6 +170,22 @@ impl SweepSpec {
         self
     }
 
+    /// The complete `n`-way partition of this spec: shards `0..n` in
+    /// order — the library-level mirror of the CLI's `--shard I/N`
+    /// surface (which `edn_orchestrate` drives one process per shard;
+    /// both sides slice with [`shard_range`]). The shards are disjoint,
+    /// cover the full grid, and keep global indices, so executing each
+    /// and concatenating the results reproduces the unsharded run
+    /// exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn shards(&self, n: usize) -> impl Iterator<Item = SweepSpec> + '_ {
+        assert!(n > 0, "cannot partition a spec into 0 shards");
+        (0..n).map(move |i| self.clone().shard(i, n))
+    }
+
     /// The networks axis.
     pub fn networks(&self) -> &[EdnParams] {
         &self.networks
@@ -420,5 +436,14 @@ mod tests {
     #[should_panic(expected = "shard index 3 out of range")]
     fn out_of_range_shard_panics() {
         let _ = SweepSpec::over([params(16, 4, 4, 2)]).shard(3, 3);
+    }
+
+    #[test]
+    fn shards_iterator_is_the_complete_partition() {
+        let spec = SweepSpec::over([params(16, 4, 4, 2)]).seeds(0..7);
+        let full = spec.points();
+        let merged: Vec<_> = spec.shards(3).flat_map(|shard| shard.points()).collect();
+        assert_eq!(merged, full, "shards(n) concatenates to the full grid");
+        assert_eq!(spec.shards(5).count(), 5);
     }
 }

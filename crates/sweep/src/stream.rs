@@ -30,6 +30,7 @@ use std::ops::Range;
 use std::path::{Path, PathBuf};
 
 use crate::report::json_string;
+use edn_store::fnv1a;
 
 /// The artifact format version stamped into every schema header.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -139,6 +140,88 @@ pub fn shard_range(total: usize, shard: Shard) -> Range<usize> {
     start..end
 }
 
+/// Where an artifact came from: fields recorded for reproducibility but
+/// **deliberately excluded from the spec hash** — two artifacts produced
+/// on different hosts, at different times, from different checkouts are
+/// still shards of the same logical run if their grids agree, and
+/// caching/merging stay keyed on the spec alone.
+///
+/// The values are passed in by the caller through the environment
+/// (`EDN_GIT_REV`, `EDN_HOST`, `EDN_RUN_STARTED`); the harness never
+/// reads the clock or the repository itself, so byte-reproducibility is
+/// in the caller's hands: set the same values (or none) and two runs of
+/// one spec write identical artifacts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Provenance {
+    /// The producing checkout's git revision (`EDN_GIT_REV`).
+    pub git_rev: Option<String>,
+    /// The producing host's name (`EDN_HOST`).
+    pub host: Option<String>,
+    /// Wall-clock start of the run, caller-formatted (`EDN_RUN_STARTED`).
+    pub started_at: Option<String>,
+}
+
+impl Provenance {
+    /// The environment variables feeding [`Provenance::from_env`], in
+    /// field order.
+    pub const ENV_VARS: [&'static str; 3] = ["EDN_GIT_REV", "EDN_HOST", "EDN_RUN_STARTED"];
+
+    /// Reads the caller-provided provenance from the environment; unset
+    /// variables leave their fields empty.
+    pub fn from_env() -> Self {
+        let get = |name: &str| std::env::var(name).ok().filter(|v| !v.is_empty());
+        Provenance {
+            git_rev: get(Self::ENV_VARS[0]),
+            host: get(Self::ENV_VARS[1]),
+            started_at: get(Self::ENV_VARS[2]),
+        }
+    }
+
+    /// `true` when no field is set (the header omits the block).
+    pub fn is_empty(&self) -> bool {
+        self.git_rev.is_none() && self.host.is_none() && self.started_at.is_none()
+    }
+
+    /// The `"provenance": {...}` JSON fragment, or `None` when empty.
+    fn to_json(&self) -> Option<String> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut fields = Vec::new();
+        for (name, value) in [
+            ("git_rev", &self.git_rev),
+            ("host", &self.host),
+            ("started_at", &self.started_at),
+        ] {
+            if let Some(value) = value {
+                fields.push(format!("\"{name}\": {}", json_string(value)));
+            }
+        }
+        Some(format!("\"provenance\": {{{}}}", fields.join(", ")))
+    }
+
+    /// Parses the optional `provenance` field of a header object.
+    fn parse(header: &crate::json::Value) -> Result<Self, String> {
+        let Some(block) = header.get("provenance") else {
+            return Ok(Provenance::default());
+        };
+        let field = |name: &str| -> Result<Option<String>, String> {
+            match block.get(name) {
+                None | Some(crate::json::Value::Null) => Ok(None),
+                Some(value) => value
+                    .as_str()
+                    .map(|s| Some(s.to_string()))
+                    .ok_or_else(|| format!("`provenance.{name}` must be a string")),
+            }
+        };
+        Ok(Provenance {
+            git_rev: field("git_rev")?,
+            host: field("host")?,
+            started_at: field("started_at")?,
+        })
+    }
+}
+
 /// The schema of one emitted table: title, unsharded row count, columns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSchema {
@@ -174,6 +257,9 @@ pub struct SchemaHeader {
     pub rows: usize,
     /// Schema of every table, in emission order.
     pub tables: Vec<TableSchema>,
+    /// Caller-provided provenance (git rev, host, wall-clock start) —
+    /// recorded in the header, **never** hashed into the spec.
+    pub provenance: Provenance,
 }
 
 impl SchemaHeader {
@@ -221,8 +307,12 @@ impl SchemaHeader {
 
     /// Renders the header as its one-line JSON form.
     pub fn to_json(&self) -> String {
+        let provenance = match self.provenance.to_json() {
+            Some(fragment) => format!(", {fragment}"),
+            None => String::new(),
+        };
         format!(
-            "{{\"{SCHEMA_KEY}\": {SCHEMA_VERSION}, \"spec_hash\": \"{:016x}\", \"shard\": \"{}\", {}}}",
+            "{{\"{SCHEMA_KEY}\": {SCHEMA_VERSION}, \"spec_hash\": \"{:016x}\", \"shard\": \"{}\", {}{provenance}}}",
             self.spec_hash(),
             self.shard,
             self.hashed_fragment()
@@ -312,6 +402,7 @@ impl SchemaHeader {
             shard,
             rows,
             tables,
+            provenance: Provenance::parse(&value)?,
         };
         let recorded = field("spec_hash")?
             .as_str()
@@ -331,14 +422,50 @@ impl SchemaHeader {
     }
 }
 
-/// FNV-1a, the 64-bit variant: simple, stable across platforms.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &byte in bytes {
-        hash ^= byte as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+/// The cache key of one table's rows: FNV-1a over the row-content-
+/// affecting spec fields — binary name, row-affecting args, table title,
+/// and columns. This is the [spec hash](SchemaHeader::spec_hash)
+/// **restricted to what determines a row's cells**: total row counts and
+/// the other tables' schemas are deliberately excluded, so extending a
+/// grid by **appending** rows (more rows at the end of this table, or a
+/// whole new table) leaves the old cells' keys — and their cached
+/// entries — intact. The shard coordinate never enters either hash, so
+/// shard processes and the unsharded run share one cache.
+///
+/// The append-only caveat is load-bearing: entries are addressed by
+/// in-table row index, so the key is only sound while the binary's
+/// index → cells mapping is unchanged for the old indices. An edit that
+/// *reshapes* a grid — inserting values into a non-outermost axis,
+/// reordering axes — moves old indices onto new coordinates, which the
+/// key cannot see (exactly like any other code change that alters row
+/// content). After such an edit, point `--cache` at a fresh directory
+/// or evict the table's key (`edn_store::Store::evict`).
+pub fn row_cache_key(
+    binary: &str,
+    seeds: usize,
+    cycles: Option<u32>,
+    title: &str,
+    columns: &[String],
+) -> u64 {
+    let mut canonical = String::new();
+    canonical.push_str(&format!("\"binary\": {}", json_string(binary)));
+    canonical.push_str(&format!(
+        ", \"args\": {{\"seeds\": {seeds}, \"cycles\": {}}}",
+        match cycles {
+            Some(cycles) => cycles.to_string(),
+            None => "null".to_string(),
+        }
+    ));
+    canonical.push_str(&format!(", \"table\": {}", json_string(title)));
+    canonical.push_str(", \"columns\": [");
+    for (index, column) in columns.iter().enumerate() {
+        if index > 0 {
+            canonical.push_str(", ");
+        }
+        canonical.push_str(&json_string(column));
     }
-    hash
+    canonical.push(']');
+    fnv1a(canonical.as_bytes())
 }
 
 /// The streaming artifact writer.
@@ -507,6 +634,7 @@ mod tests {
                 rows,
                 columns: vec!["a".to_string(), "b".to_string()],
             }],
+            provenance: Provenance::default(),
         }
     }
 
@@ -571,6 +699,46 @@ mod tests {
             ..header.clone()
         };
         assert_ne!(other.spec_hash(), header.spec_hash());
+    }
+
+    #[test]
+    fn provenance_round_trips_without_feeding_the_hash() {
+        let bare = header(6, Shard::FULL);
+        let mut stamped = bare.clone();
+        stamped.provenance = Provenance {
+            git_rev: Some("deadbeef".to_string()),
+            host: Some("rack-07".to_string()),
+            started_at: Some("2026-07-31T12:00:00Z".to_string()),
+        };
+        // Provenance never feeds the spec hash: shards from different
+        // hosts are still shards of one run.
+        assert_eq!(stamped.spec_hash(), bare.spec_hash());
+        assert_ne!(stamped.to_json(), bare.to_json());
+        let parsed = SchemaHeader::parse(&stamped.to_json()).unwrap();
+        assert_eq!(parsed, stamped);
+        // Empty provenance is omitted from the line entirely, keeping
+        // pre-provenance artifacts byte-compatible.
+        assert!(!bare.to_json().contains("provenance"));
+        assert_eq!(SchemaHeader::parse(&bare.to_json()).unwrap(), bare);
+        // Partial provenance round-trips too.
+        let mut partial = bare.clone();
+        partial.provenance.host = Some("solo".to_string());
+        assert_eq!(SchemaHeader::parse(&partial.to_json()).unwrap(), partial);
+    }
+
+    #[test]
+    fn row_cache_key_ignores_row_counts_and_other_tables() {
+        let columns = vec!["a".to_string(), "b".to_string()];
+        let key = row_cache_key("bin", 4, Some(10), "t", &columns);
+        // Same spec fields, same key — regardless of grid size, which is
+        // what lets an extended grid reuse its old cells.
+        assert_eq!(key, row_cache_key("bin", 4, Some(10), "t", &columns));
+        // Any row-content-affecting field changes the key.
+        assert_ne!(key, row_cache_key("other", 4, Some(10), "t", &columns));
+        assert_ne!(key, row_cache_key("bin", 5, Some(10), "t", &columns));
+        assert_ne!(key, row_cache_key("bin", 4, None, "t", &columns));
+        assert_ne!(key, row_cache_key("bin", 4, Some(10), "u", &columns));
+        assert_ne!(key, row_cache_key("bin", 4, Some(10), "t", &columns[..1]));
     }
 
     #[test]

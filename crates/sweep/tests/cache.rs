@@ -1,0 +1,239 @@
+//! Cache-correctness properties (vendored proptest): for arbitrary
+//! two-table grids, thread counts, shard splits, and grid extensions,
+//!
+//! * a **cold** run and a **warm** run write byte-identical artifacts,
+//!   the warm one measuring nothing;
+//! * an **extended-grid** run restricted to the old cells is
+//!   byte-identical to the cold run's old cells, measuring only the new
+//!   ones — including the second table, whose *global* seqs shift but
+//!   whose rows replay (the cache keys on in-table indices);
+//! * a cache warmed by **shard** runs serves the full run (the
+//!   orchestrator's contract at the library level);
+//! * a truncated or doctored cache log is recomputed, never trusted.
+
+use edn_sweep::{CacheStats, SweepArgs, Table};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("edn_sweep_cache_props")
+        .join(format!(
+            "{tag}_{}_{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The deterministic toy cells of `(table, in-table row)` — stand-ins
+/// for a real measurement, expensive only in principle.
+fn alpha_cells(row: usize) -> Vec<String> {
+    vec![
+        row.to_string(),
+        format!("{:.3}", (row * 31 % 7) as f64 / 8.0),
+    ]
+}
+
+fn beta_cells(row: usize) -> Vec<String> {
+    vec![format!("label{row}"), (row * 2).to_string()]
+}
+
+/// One run of the synthetic two-table experiment: `alpha_rows` rows of
+/// `alpha`, then 3 rows of `beta`. Returns the artifact text, the
+/// measured (table, row) pairs in order, and the cache stats.
+fn run(
+    dir: &Path,
+    tag: &str,
+    alpha_rows: usize,
+    threads: usize,
+    shard: Option<&str>,
+    cached: bool,
+) -> (String, Vec<(char, usize)>, CacheStats) {
+    let out = dir.join(format!("{tag}.jsonl"));
+    let mut flags = vec![
+        "--threads".to_string(),
+        threads.to_string(),
+        "--out".to_string(),
+        out.display().to_string(),
+    ];
+    if cached {
+        flags.extend([
+            "--cache".to_string(),
+            dir.join("cache").display().to_string(),
+        ]);
+    }
+    if let Some(shard) = shard {
+        flags.extend(["--shard".to_string(), shard.to_string()]);
+    }
+    let args = SweepArgs::from_flags("cache_prop_bin", 4, flags)
+        .unwrap()
+        .unwrap();
+    let mut alpha = Table::new("alpha", &["row", "value"]);
+    let mut beta = Table::new("beta", &["name", "double"]);
+    let measured = Mutex::new(Vec::new());
+    let mut emit = args.plan_emit(&[(&alpha, alpha_rows), (&beta, 3)]);
+    emit.run_rows(
+        &mut alpha,
+        || (),
+        |(), row| {
+            measured.lock().unwrap().push(('a', row));
+            alpha_cells(row)
+        },
+    );
+    emit.run_rows(
+        &mut beta,
+        || (),
+        |(), row| {
+            measured.lock().unwrap().push(('b', row));
+            beta_cells(row)
+        },
+    );
+    let stats = emit.cache_stats();
+    emit.finish();
+    let mut measured = measured.into_inner().unwrap();
+    measured.sort_unstable();
+    (std::fs::read_to_string(&out).unwrap(), measured, stats)
+}
+
+proptest! {
+    #[test]
+    fn cold_warm_and_extended_runs_agree_byte_for_byte(
+        alpha_rows in 1usize..10,
+        extension in 0usize..5,
+        threads in 1usize..4,
+    ) {
+        let dir = temp_dir("cwe");
+        let total = alpha_rows + 3;
+
+        // Cold: everything measured, everything committed.
+        let (cold, cold_measured, cold_stats) = run(&dir, "cold", alpha_rows, threads, None, true);
+        prop_assert_eq!(cold_measured.len(), total);
+        prop_assert_eq!(cold_stats.computed, total);
+        prop_assert_eq!(cold_stats.committed, total);
+        prop_assert_eq!(cold_stats.hits, 0);
+
+        // Warm: nothing measured, artifact byte-identical.
+        let (warm, warm_measured, warm_stats) = run(&dir, "warm", alpha_rows, threads, None, true);
+        prop_assert_eq!(&warm, &cold);
+        prop_assert_eq!(warm_measured.len(), 0);
+        prop_assert_eq!(warm_stats.hits, total);
+        prop_assert_eq!(warm_stats.computed, 0);
+
+        // Uncached reference: the cache changes nothing but the work.
+        let (reference, reference_measured, reference_stats) =
+            run(&dir, "reference", alpha_rows, threads, None, false);
+        prop_assert_eq!(&reference, &cold);
+        prop_assert_eq!(reference_measured.len(), total);
+        prop_assert_eq!(reference_stats, CacheStats::default());
+
+        // Extended grid: only the new alpha cells are measured; the old
+        // alpha rows are byte-identical, and beta replays fully even
+        // though its *global* seqs shifted by `extension`.
+        let (extended, extended_measured, extended_stats) =
+            run(&dir, "extended", alpha_rows + extension, threads, None, true);
+        let new_cells: Vec<(char, usize)> =
+            (alpha_rows..alpha_rows + extension).map(|r| ('a', r)).collect();
+        prop_assert_eq!(extended_measured, new_cells);
+        prop_assert_eq!(extended_stats.hits, total);
+        prop_assert_eq!(extended_stats.computed, extension);
+        let cold_alpha: Vec<&str> = cold.lines().skip(1).take(alpha_rows).collect();
+        let extended_alpha: Vec<&str> = extended.lines().skip(1).take(alpha_rows).collect();
+        prop_assert_eq!(extended_alpha, cold_alpha, "old cells byte-identical");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_warmed_cache_serves_the_full_run(
+        alpha_rows in 1usize..10,
+        shards in 2usize..5,
+        threads in 1usize..3,
+    ) {
+        let dir = temp_dir("shards");
+        // The reference comes from an uncached unsharded run.
+        let (reference, ..) = run(&dir, "reference", alpha_rows, threads, None, false);
+        // Warm the cache shard by shard (what edn_orchestrate does with
+        // processes), asserting the slices partition the measurements.
+        let mut measured_total = 0;
+        for index in 1..=shards {
+            let coordinate = format!("{index}/{shards}");
+            let (_, measured, stats) =
+                run(&dir, &format!("part{index}"), alpha_rows, threads, Some(&coordinate), true);
+            prop_assert_eq!(measured.len(), stats.computed);
+            measured_total += measured.len();
+        }
+        prop_assert_eq!(measured_total, alpha_rows + 3, "shards partition the grid");
+        // The full run is then pure replay and byte-identical.
+        let (full, full_measured, full_stats) = run(&dir, "full", alpha_rows, threads, None, true);
+        prop_assert_eq!(&full, &reference);
+        prop_assert_eq!(full_measured.len(), 0);
+        prop_assert_eq!(full_stats.hits, alpha_rows + 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn truncated_cache_logs_recompute_instead_of_trusting() {
+    let dir = temp_dir("truncate");
+    let (cold, ..) = run(&dir, "cold", 5, 2, None, true);
+    // Truncate every log mid-line: the damaged tail entries must be
+    // recomputed, and the artifact must come out identical anyway.
+    let cache = dir.join("cache");
+    let mut truncated = 0;
+    for table_dir in std::fs::read_dir(&cache).unwrap() {
+        for log in std::fs::read_dir(table_dir.unwrap().path()).unwrap() {
+            let log = log.unwrap().path();
+            let text = std::fs::read_to_string(&log).unwrap();
+            std::fs::write(&log, &text[..text.len() - 3]).unwrap();
+            truncated += 1;
+        }
+    }
+    assert!(truncated >= 2, "both tables have logs");
+    let (warm, warm_measured, warm_stats) = run(&dir, "warm", 5, 2, None, true);
+    assert_eq!(warm, cold, "artifact identical despite damaged cache");
+    assert!(!warm_measured.is_empty(), "damaged entries recomputed");
+    assert!(warm_stats.corrupt > 0, "corruption counted");
+    assert!(warm_stats.hits > 0, "undamaged entries still replay");
+    // Third run: the recommitted rows replay again, fully warm.
+    let (again, again_measured, _) = run(&dir, "again", 5, 2, None, true);
+    assert_eq!(again, cold);
+    assert!(again_measured.is_empty(), "recommit healed the cache");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn doctored_payloads_fail_their_hash_and_recompute() {
+    let dir = temp_dir("doctor");
+    let (cold, ..) = run(&dir, "cold", 4, 1, None, true);
+    let cache = dir.join("cache");
+    // Flip one alpha payload ("0.000" for row 0 value) without fixing
+    // its recorded hash.
+    let mut doctored = 0;
+    for table_dir in std::fs::read_dir(&cache).unwrap() {
+        for log in std::fs::read_dir(table_dir.unwrap().path()).unwrap() {
+            let log = log.unwrap().path();
+            let text = std::fs::read_to_string(&log).unwrap();
+            let swapped = text.replacen("0\t0.000", "0\t9.999", 1);
+            if swapped != text {
+                std::fs::write(&log, swapped).unwrap();
+                doctored += 1;
+            }
+        }
+    }
+    assert_eq!(doctored, 1, "exactly the targeted entry doctored");
+    let (warm, warm_measured, warm_stats) = run(&dir, "warm", 4, 1, None, true);
+    assert_eq!(warm, cold, "doctored cells never reach the artifact");
+    assert_eq!(
+        warm_measured,
+        vec![('a', 0)],
+        "only the doctored row recomputes"
+    );
+    assert_eq!(warm_stats.corrupt, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

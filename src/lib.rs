@@ -12,6 +12,8 @@
 //! * [`traffic`] — workload generators (`edn-traffic`).
 //! * [`sweep`] — the work-stealing sweep executor and structured
 //!   emission behind every experiment binary (`edn-sweep`).
+//! * [`store`] — the content-addressed row cache that lets re-runs and
+//!   extended grids replay already-measured cells (`edn-store`).
 //!
 //! The most common types are additionally re-exported at the crate root.
 //!
@@ -35,6 +37,7 @@
 pub use edn_analytic as analytic;
 pub use edn_core as core;
 pub use edn_sim as sim;
+pub use edn_store as store;
 pub use edn_sweep as sweep;
 pub use edn_traffic as traffic;
 

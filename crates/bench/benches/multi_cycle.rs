@@ -195,8 +195,10 @@ fn write_json_trajectory(_criterion: &mut Criterion) {
             params.inputs()
         ));
     }
+    let provenance = edn_bench::bench_provenance_json();
     let json = format!(
         "{{\n  \"bench\": \"multi_cycle\",\n  \
+         {provenance},\n  \
          \"workload\": \"full-load resident run to completion, same-tag resubmission, \
          priority arbitration\",\n  \
          \"unit\": \"ns per completed multi-cycle run (median)\",\n  \

@@ -159,8 +159,10 @@ fn write_json_trajectory(_criterion: &mut Criterion) {
             batch.len(),
         ));
     }
+    let provenance = edn_bench::bench_provenance_json();
     let json = format!(
-        "{{\n  \"bench\": \"routing_engine\",\n  \"arbiter\": \"priority\",\n  \
+        "{{\n  \"bench\": \"routing_engine\",\n  {provenance},\n  \
+         \"arbiter\": \"priority\",\n  \
          \"load\": 1.0,\n  \"unit\": \"ns per full-load batch (median)\",\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")

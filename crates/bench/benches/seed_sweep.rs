@@ -139,8 +139,10 @@ fn write_json_trajectory(_criterion: &mut Criterion) {
             threads == auto
         ));
     }
+    let provenance = edn_bench::bench_provenance_json();
     let json = format!(
         "{{\n  \"bench\": \"seed_sweep\",\n  \
+         {provenance},\n  \
          \"workload\": \"12-seed RA-EDN(4,2,2) permutation sweep, q = 1 << (seed / 3)\",\n  \
          \"host_threads\": {auto},\n  \
          \"unit\": \"ns per sweep (median)\",\n  \

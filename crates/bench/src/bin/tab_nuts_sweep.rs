@@ -18,7 +18,7 @@
 
 use edn_bench::{fmt_f, SweepArgs};
 use edn_core::EdnParams;
-use edn_sim::{estimate_pa_with, ArbiterKind, RunningStats};
+use edn_sim::{estimate_pa_lanes, ArbiterKind, RunningStats};
 use edn_sweep::Table;
 use edn_traffic::HotSpotTraffic;
 
@@ -35,24 +35,31 @@ struct Cell {
 /// runs, folded into a mean with a seed-level CI.
 fn measure_cell(params: &EdnParams, intensity: f64, seeds: &[u64], cycles: u32) -> Cell {
     let hot_output = params.outputs() / 2;
+    // The whole seed axis rides the lane engine — 64 hot-spot replicas
+    // per traversal, each bit-identical to its scalar estimate_pa_with.
+    let lane_seeds: Vec<u64> = seeds
+        .iter()
+        .map(|&seed| seed ^ (intensity.to_bits().rotate_left(17)))
+        .collect();
+    let estimates = estimate_pa_lanes(
+        params,
+        |_seed| {
+            HotSpotTraffic::new(
+                params.inputs(),
+                params.outputs(),
+                1.0,
+                hot_output,
+                intensity,
+            )
+        },
+        ArbiterKind::Random,
+        cycles,
+        &lane_seeds,
+    );
     let mut stats = RunningStats::new();
     let mut delivered = 0u64;
     let mut offered = 0u64;
-    for &seed in seeds {
-        let mut workload = HotSpotTraffic::new(
-            params.inputs(),
-            params.outputs(),
-            1.0,
-            hot_output,
-            intensity,
-        );
-        let estimate = estimate_pa_with(
-            params,
-            &mut workload,
-            ArbiterKind::Random,
-            cycles,
-            seed ^ (intensity.to_bits().rotate_left(17)),
-        );
+    for estimate in &estimates {
         stats.push(estimate.mean);
         delivered += estimate.delivered;
         offered += estimate.offered;

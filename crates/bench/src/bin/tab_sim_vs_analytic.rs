@@ -17,7 +17,7 @@ use edn_analytic::mimd::resubmission_fixed_point;
 use edn_analytic::pa::probability_of_acceptance;
 use edn_bench::{fmt_f, SweepArgs, Table};
 use edn_core::EdnParams;
-use edn_sim::{estimate_pa, ArbiterKind, MimdSystem, ResubmitPolicy};
+use edn_sim::{estimate_pa_seeds, ArbiterKind, MimdSystem, ResubmitPolicy};
 
 fn main() {
     let args = SweepArgs::parse(
@@ -101,10 +101,9 @@ fn main() {
             let rate = rates[row % rates.len()];
             let model = probability_of_acceptance(&params, rate);
             // Fold the per-seed estimates of this (network, rate) cell.
-            let estimates: Vec<_> = seeds
-                .iter()
-                .map(|&seed| estimate_pa(&params, rate, ArbiterKind::Random, cycles, seed))
-                .collect();
+            // The whole seed axis rides the lane engine — 64 replicas per
+            // traversal, each bit-identical to its scalar estimate_pa.
+            let estimates = estimate_pa_seeds(&params, rate, ArbiterKind::Random, cycles, &seeds);
             let mean = estimates.iter().map(|e| e.mean).sum::<f64>() / estimates.len() as f64;
             let se = estimates.iter().map(|e| e.std_error).sum::<f64>()
                 / (estimates.len() as f64).powf(1.5);

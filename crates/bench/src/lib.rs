@@ -82,6 +82,23 @@ pub fn family_sizes(families: &[Family], max_ports: u64) -> Vec<u64> {
     sizes
 }
 
+/// The `"provenance": {...}` JSON fragment every `BENCH_*.json` embeds:
+/// the producing host's name (from `EDN_HOST`, the same caller-provided
+/// scheme the sweep artifacts use — omitted when unset) and its core
+/// count (`available_parallelism`), so in-tree throughput numbers are
+/// interpretable without knowing which machine wrote them.
+pub fn bench_provenance_json() -> String {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host = std::env::var("EDN_HOST").ok().filter(|v| !v.is_empty());
+    match host {
+        Some(host) => format!(
+            "\"provenance\": {{\"host\": \"{}\", \"host_threads\": {threads}}}",
+            host.replace('\\', "\\\\").replace('"', "\\\"")
+        ),
+        None => format!("\"provenance\": {{\"host_threads\": {threads}}}"),
+    }
+}
+
 /// The Figure 7 families: all square EDNs built from 8-I/O hyperbars.
 pub fn figure7_families() -> Vec<Family> {
     vec![

@@ -53,10 +53,10 @@ use crate::topology::EdnTopology;
 /// a cycle's result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchOutcomeView {
-    delivered: Vec<(u64, u64)>,
-    blocked: Vec<(u64, BlockReason)>,
-    offered: usize,
-    survivors: Vec<usize>,
+    pub(crate) delivered: Vec<(u64, u64)>,
+    pub(crate) blocked: Vec<(u64, BlockReason)>,
+    pub(crate) offered: usize,
+    pub(crate) survivors: Vec<usize>,
 }
 
 impl BatchOutcomeView {

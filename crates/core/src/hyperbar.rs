@@ -26,6 +26,45 @@ pub trait Arbiter {
     /// Called once per routed switch, letting stateful policies advance
     /// (e.g. rotate a round-robin pointer). Default: no-op.
     fn advance(&mut self) {}
+
+    /// `true` iff this policy is pure truncation: [`Arbiter::select`]
+    /// always keeps the `capacity` lowest-labelled contenders and
+    /// [`Arbiter::advance`] is a no-op. Such a policy makes the same
+    /// decision in every replica, so the lane engine
+    /// ([`crate::lanes::LaneEngine`]) arbitrates all 64 lanes with one
+    /// mask operation instead of per-lane `select` calls. Default:
+    /// `false` (stateful policies get the exact scalar call sequence).
+    fn is_static(&self) -> bool {
+        false
+    }
+}
+
+impl<A: Arbiter + ?Sized> Arbiter for Box<A> {
+    fn select(&mut self, contenders: &mut Vec<usize>, capacity: usize) {
+        (**self).select(contenders, capacity)
+    }
+
+    fn advance(&mut self) {
+        (**self).advance()
+    }
+
+    fn is_static(&self) -> bool {
+        (**self).is_static()
+    }
+}
+
+impl<A: Arbiter + ?Sized> Arbiter for &mut A {
+    fn select(&mut self, contenders: &mut Vec<usize>, capacity: usize) {
+        (**self).select(contenders, capacity)
+    }
+
+    fn advance(&mut self) {
+        (**self).advance()
+    }
+
+    fn is_static(&self) -> bool {
+        (**self).is_static()
+    }
 }
 
 /// Fixed-priority arbitration: the `capacity` lowest-labelled inputs win.
@@ -55,6 +94,10 @@ impl PriorityArbiter {
 impl Arbiter for PriorityArbiter {
     fn select(&mut self, contenders: &mut Vec<usize>, capacity: usize) {
         contenders.truncate(capacity);
+    }
+
+    fn is_static(&self) -> bool {
+        true
     }
 }
 

@@ -1,0 +1,1052 @@
+//! Bit-parallel multi-replica routing: up to 64 lanes per pass.
+//!
+//! Every Monte-Carlo estimate in this repository routes the *same* fabric
+//! over hundreds of independent seed replicas, one scalar pass each. A
+//! [`LaneEngine`] packs up to [`MAX_LANES`] replicas ("lanes") into one
+//! traversal of the wiring arrays by turning per-switch occupancy and
+//! presence into `u64` masks:
+//!
+//! * `ports[lane][switch]` — which ports of a switch lane `l` occupies
+//!   (replacing the scalar engine's sorted `(request, line)` list, and
+//!   with it the per-stage `O(n log n)` sort). The layout is lane-major,
+//!   so each lane's per-stage working set is a few KiB of contiguous
+//!   memory instead of a 64-word-strided walk of per-line lane masks.
+//! * `slot[lane][line]` — the packed `(source << 16) | tag` word riding
+//!   lane `l`'s occupant of `line`, so the hot loop never chases a
+//!   request index back into the caller's batch.
+//! * per-switch contender and winner sets — port masks (`a <= 64`), so
+//!   static arbitration is a handful of bit operations per bucket.
+//! * `fate[lane][source]` — each request's terminal verdict as a packed
+//!   code, emitted source-ascending at the end of the pass so the
+//!   per-lane outcome vectors are *constructed* sorted instead of sorted
+//!   after the fact.
+//!
+//! Arbitration either stays mask-parallel or falls back per lane:
+//!
+//! * A *static* policy ([`Arbiter::is_static`], e.g.
+//!   [`crate::PriorityArbiter`]) always keeps the lowest-labelled
+//!   contenders, so the winner set is `lowest_bits(contenders, capacity)`
+//!   — no per-lane calls at all.
+//! * A *stateful* policy ([`crate::RandomArbiter`],
+//!   [`crate::RoundRobinArbiter`]) can diverge across lanes, so the
+//!   engine materializes that lane's contender list and issues exactly
+//!   the scalar call sequence — `select` per occupied bucket in ascending
+//!   bucket order, `advance` once per occupied switch — against that
+//!   lane's own arbiter instance.
+//!
+//! Fault masks are shared across lanes: one
+//! [`FaultSet::wire_mask_u64`] load answers a bucket's healthy wires for
+//! all 64 replicas at once.
+//!
+//! The scalar [`crate::RoutingEngine`] stays the differential oracle
+//! (mirroring the [`crate::reference`] pattern): property tests assert
+//! every lane's [`BatchOutcomeView`] is bit-identical to a scalar pass
+//! with the same requests and arbiter stream, across shapes, loads,
+//! arbiters, and fault masks.
+//!
+//! # Examples
+//!
+//! ```
+//! use edn_core::{EdnParams, LaneEngine, PriorityArbiter, RouteRequest, RoutingEngine};
+//!
+//! # fn main() -> Result<(), edn_core::EdnError> {
+//! let params = EdnParams::new(16, 4, 4, 2)?;
+//! let mut lane = LaneEngine::from_params(params);
+//! let mut scalar = RoutingEngine::from_params(params);
+//! // Two replicas of full load, different tags per lane.
+//! let batches: Vec<Vec<RouteRequest>> = (0..2u64)
+//!     .map(|seed| {
+//!         (0..params.inputs())
+//!             .map(|s| RouteRequest::new(s, (s * 7 + seed) % params.outputs()))
+//!             .collect()
+//!     })
+//!     .collect();
+//! let slices: Vec<&[RouteRequest]> = batches.iter().map(Vec::as_slice).collect();
+//! let mut arbiters = [PriorityArbiter::new(), PriorityArbiter::new()];
+//! let outcomes = lane.route_lanes(&slices, &mut arbiters);
+//! for (batch, outcome) in batches.iter().zip(outcomes) {
+//!     assert_eq!(outcome, scalar.route(batch, &mut PriorityArbiter::new()));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::engine::BatchOutcomeView;
+use crate::faults::FaultSet;
+use crate::hyperbar::Arbiter;
+use crate::params::EdnParams;
+use crate::routing::{BlockReason, RouteRequest};
+use crate::topology::EdnTopology;
+
+/// The most replicas one pass can carry: one bit per lane in a `u64`.
+pub const MAX_LANES: usize = 64;
+
+/// The lane-path kill-switch: `false` iff the environment sets
+/// `EDN_LANES=0`, in which case every adopter (Monte-Carlo estimators,
+/// sweep workers) must fall back to the scalar engine. The variable is
+/// read once per process; CI uses it to assert that lane-path sweep
+/// artifacts are byte-identical to scalar-path ones.
+pub fn lanes_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("EDN_LANES").map_or(true, |value| value != "0"))
+}
+
+/// Largest per-stage wire count the lane engine packs. The slot arrays
+/// are `64 x wires` words, so this bounds a `LaneEngine` to a few MiB,
+/// and it keeps every source and tag under `2^16` so a slot word can
+/// carry `(source << 16) | tag`; callers fall back to the scalar engine
+/// above it ([`LaneEngine::supports`]).
+const MAX_LANE_WIRES: u64 = 1 << 14;
+
+/// Compile-time fault dispatch, as in the scalar engine: the healthy
+/// path must not pay for per-bucket fault lookups.
+trait LaneFaults {
+    /// `true` iff every mask folds to zero, so bucket capacities can be
+    /// bulk-initialized instead of looked up lazily per bucket.
+    const IS_NOOP: bool;
+
+    /// Disabled-bits of the 64 wires starting at `first_wire` of `stage`.
+    fn disabled_mask(&self, stage: u32, first_wire: u64) -> u64;
+}
+
+/// The healthy fabric: every mask folds to zero.
+struct NoFaults;
+
+impl LaneFaults for NoFaults {
+    const IS_NOOP: bool = true;
+
+    #[inline(always)]
+    fn disabled_mask(&self, _stage: u32, _first_wire: u64) -> u64 {
+        0
+    }
+}
+
+impl LaneFaults for &FaultSet {
+    const IS_NOOP: bool = false;
+
+    #[inline]
+    fn disabled_mask(&self, stage: u32, first_wire: u64) -> u64 {
+        self.wire_mask_u64(stage, first_wire)
+    }
+}
+
+/// A request's terminal verdict, packed into the `fate` array:
+/// bit 31 flags delivery (low 16 bits carry the output), bit 30 flags a
+/// crossbar-output block, and a bare value is the hyperbar stage that
+/// blocked it.
+const FATE_DELIVERED: u32 = 1 << 31;
+const FATE_CROSSBAR: u32 = 1 << 30;
+
+/// The `count` lowest set bits of `mask` (all of them if fewer are set)
+/// — the mask form of [`crate::PriorityArbiter`]'s truncation. The
+/// routing hot path now allocates winners greedily in port order (which
+/// is equivalent for a static policy); this is kept as the test oracle
+/// for that equivalence.
+#[cfg(test)]
+fn lowest_bits(mask: u64, count: usize) -> u64 {
+    if (mask.count_ones() as usize) <= count {
+        return mask;
+    }
+    let mut rest = mask;
+    let mut kept = 0u64;
+    for _ in 0..count {
+        let low = rest & rest.wrapping_neg();
+        kept |= low;
+        rest ^= low;
+    }
+    kept
+}
+
+/// A build-once router advancing up to [`MAX_LANES`] independent
+/// replicas per traversal.
+///
+/// Construction wires the topology and sizes every mask and slot buffer;
+/// after warm-up, [`LaneEngine::route_lanes`] performs zero heap
+/// allocations in steady state, matching the scalar engine's guarantee.
+/// Each lane gets its own [`BatchOutcomeView`], bit-identical to what
+/// [`crate::RoutingEngine::route`] produces for that lane's batch and
+/// arbiter stream.
+#[derive(Debug)]
+pub struct LaneEngine {
+    topology: EdnTopology,
+    /// Port-occupancy mask of lane `l` at `switch`, lane-major at
+    /// `l * sw_stride + switch`, consumed (zeroed) as switches are
+    /// processed; double-buffered across stages.
+    ports: Vec<u64>,
+    next_ports: Vec<u64>,
+    /// Packed `(source << 16) | tag` of lane `l`'s occupant of `line`,
+    /// lane-major at `l * wire_stride + line`; validity is governed by
+    /// `ports`.
+    slot: Vec<u32>,
+    next_slot: Vec<u32>,
+    /// Terminal verdict of lane `l`'s request from `source`, lane-major
+    /// at `l * fate_stride + source`; validity is governed by
+    /// `offered_bits`.
+    fate: Vec<u32>,
+    /// Which sources lane `l` offered, a bitmap of `bits_stride` words
+    /// per lane — walked ascending at emission so the outcome vectors
+    /// come out sorted by construction.
+    offered_bits: Vec<u64>,
+    /// Lines per lane in the `slot` arrays (the widest stage).
+    wire_stride: usize,
+    /// Switches per lane in the `ports` arrays (the widest stage).
+    sw_stride: usize,
+    /// Sources per lane in the `fate` array (the input count).
+    fate_stride: usize,
+    /// Bitmap words per lane in `offered_bits`.
+    bits_stride: usize,
+    /// Flattened per-stage interstage permutation tables: stage `s`'s
+    /// exit line `e` maps to entry line `gamma_lut[gamma_off[s-1] + e]`
+    /// of the next stage — one load instead of the shift/rotate math of
+    /// [`crate::Gamma::apply`] per winner.
+    gamma_lut: Vec<u16>,
+    gamma_off: Vec<usize>,
+    /// Per-bucket contender-port masks of the lane in hand.
+    bucket_ports: Vec<u64>,
+    /// Per-bucket healthy-wire masks of the (lane, switch) in hand; the
+    /// greedy static path consumes them as wires are granted.
+    healthy: Vec<u64>,
+    /// Scratch contender list for the per-lane stateful-arbiter fallback.
+    contenders: Vec<usize>,
+    outcomes: Vec<BatchOutcomeView>,
+}
+
+impl LaneEngine {
+    /// `true` if `params` fits the lane representation: port and bucket
+    /// sets must pack into `u64` masks (`a, b, c <= 64`) and the widest
+    /// stage must stay within the slot-array budget.
+    pub fn supports(params: &EdnParams) -> bool {
+        if params.a() > 64 || params.b() > 64 || params.c() > 64 {
+            return false;
+        }
+        let mut max_wires = params.inputs();
+        for stage in 1..=params.l() {
+            max_wires = max_wires.max(params.wires_after_stage(stage));
+        }
+        max_wires <= MAX_LANE_WIRES
+    }
+
+    /// Builds a lane engine owning `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not lane-packable
+    /// ([`LaneEngine::supports`]); callers should fall back to the
+    /// scalar [`crate::RoutingEngine`] there.
+    pub fn new(topology: EdnTopology) -> Self {
+        let p = *topology.params();
+        assert!(
+            Self::supports(&p),
+            "{p} does not fit u64 lane masks; use the scalar RoutingEngine"
+        );
+        let mut max_wires = p.inputs();
+        for stage in 1..=p.l() {
+            max_wires = max_wires.max(p.wires_after_stage(stage));
+        }
+        let max_wires = max_wires as usize;
+        let mut max_switches = (p.inputs() / p.a()) as usize;
+        for stage in 2..=p.l() {
+            max_switches = max_switches.max((p.wires_after_stage(stage - 1) / p.a()) as usize);
+        }
+        max_switches = max_switches.max((p.outputs() / p.c()) as usize);
+        let buckets = p.b().max(p.c()) as usize;
+        let mut gamma_lut = Vec::new();
+        let mut gamma_off = Vec::with_capacity(p.l() as usize);
+        for stage in 1..=p.l() {
+            gamma_off.push(gamma_lut.len());
+            let gamma = topology.interstage_gamma(stage);
+            for exit in 0..p.wires_after_stage(stage) {
+                gamma_lut.push(gamma.apply(exit) as u16);
+            }
+        }
+        LaneEngine {
+            topology,
+            ports: vec![0; MAX_LANES * max_switches],
+            next_ports: vec![0; MAX_LANES * max_switches],
+            slot: vec![0; MAX_LANES * max_wires],
+            next_slot: vec![0; MAX_LANES * max_wires],
+            fate: vec![0; MAX_LANES * p.inputs() as usize],
+            offered_bits: vec![0; MAX_LANES * (p.inputs() as usize).div_ceil(64)],
+            wire_stride: max_wires,
+            sw_stride: max_switches,
+            fate_stride: p.inputs() as usize,
+            bits_stride: (p.inputs() as usize).div_ceil(64),
+            gamma_lut,
+            gamma_off,
+            bucket_ports: vec![0; buckets],
+            healthy: vec![0; buckets],
+            contenders: Vec::with_capacity(p.a().max(p.c()) as usize),
+            outcomes: (0..MAX_LANES)
+                .map(|_| BatchOutcomeView {
+                    delivered: Vec::new(),
+                    blocked: Vec::new(),
+                    offered: 0,
+                    survivors: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Convenience constructor wiring the fabric from parameters.
+    ///
+    /// # Panics
+    ///
+    /// As [`LaneEngine::new`].
+    pub fn from_params(params: EdnParams) -> Self {
+        Self::new(EdnTopology::new(params))
+    }
+
+    /// The wired fabric this engine routes through.
+    pub fn topology(&self) -> &EdnTopology {
+        &self.topology
+    }
+
+    /// The network parameters.
+    pub fn params(&self) -> &EdnParams {
+        self.topology.params()
+    }
+
+    /// Routes one batch per lane through the healthy fabric, all lanes in
+    /// one traversal; `arbiters[l]` arbitrates lane `l` exactly as a
+    /// scalar pass would. Returns one outcome per lane.
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::RoutingEngine::route`], per lane (duplicate sources,
+    /// out-of-range indices); additionally panics if `batches` is empty,
+    /// longer than [`MAX_LANES`], or disagrees with `arbiters` in length.
+    pub fn route_lanes<A: Arbiter>(
+        &mut self,
+        batches: &[&[RouteRequest]],
+        arbiters: &mut [A],
+    ) -> &[BatchOutcomeView] {
+        self.route_lanes_with(batches.len(), |lane| batches[lane], arbiters)
+    }
+
+    /// As [`LaneEngine::route_lanes`], with per-lane batches pulled
+    /// through `batch` — the borrow-friendly entry point for callers
+    /// whose request buffers live beside other per-lane state (the
+    /// session layer).
+    pub fn route_lanes_with<'b, A: Arbiter, G: Fn(usize) -> &'b [RouteRequest]>(
+        &mut self,
+        lanes: usize,
+        batch: G,
+        arbiters: &mut [A],
+    ) -> &[BatchOutcomeView] {
+        self.route_inner(lanes, batch, NoFaults, arbiters);
+        &self.outcomes[..lanes]
+    }
+
+    /// Routes one batch per lane through a fabric with broken wires — the
+    /// lane-parallel equivalent of [`crate::RoutingEngine::route_faulty`].
+    /// All lanes share the same fault set (replicas re-route the same
+    /// degraded fabric); the healthy-bucket masks are computed once per
+    /// switch and shared.
+    ///
+    /// # Panics
+    ///
+    /// As [`LaneEngine::route_lanes`]; additionally panics if `faults`
+    /// was built for different parameters.
+    pub fn route_lanes_faulty<A: Arbiter>(
+        &mut self,
+        batches: &[&[RouteRequest]],
+        faults: &FaultSet,
+        arbiters: &mut [A],
+    ) -> &[BatchOutcomeView] {
+        self.route_lanes_faulty_with(batches.len(), |lane| batches[lane], faults, arbiters)
+    }
+
+    /// As [`LaneEngine::route_lanes_faulty`], with per-lane batches
+    /// pulled through `batch`.
+    pub fn route_lanes_faulty_with<'b, A: Arbiter, G: Fn(usize) -> &'b [RouteRequest]>(
+        &mut self,
+        lanes: usize,
+        batch: G,
+        faults: &FaultSet,
+        arbiters: &mut [A],
+    ) -> &[BatchOutcomeView] {
+        assert_eq!(
+            faults.params(),
+            self.topology.params(),
+            "fault set was built for {} but the fabric is {}",
+            faults.params(),
+            self.topology.params()
+        );
+        self.route_inner(lanes, batch, faults, arbiters);
+        &self.outcomes[..lanes]
+    }
+
+    fn route_inner<'b, G, V, A>(&mut self, lanes: usize, batch: G, faults: V, arbiters: &mut [A])
+    where
+        G: Fn(usize) -> &'b [RouteRequest],
+        V: LaneFaults,
+        A: Arbiter,
+    {
+        assert!(
+            (1..=MAX_LANES).contains(&lanes),
+            "lane count {lanes} out of range (1..={MAX_LANES})"
+        );
+        assert_eq!(lanes, arbiters.len(), "one arbiter per lane");
+        let p = *self.topology.params();
+        let a = p.a() as usize;
+        let c = p.c() as usize;
+        let bc = p.b() * p.c();
+
+        let wire_stride = self.wire_stride;
+        let sw_stride = self.sw_stride;
+
+        // One virtual `is_static` call per lane, not per (switch, lane).
+        let mut static_mask = 0u64;
+        for (lane, arbiter) in arbiters.iter().enumerate() {
+            if arbiter.is_static() {
+                static_mask |= 1u64 << lane;
+            }
+        }
+
+        // Initial scatter, validating as it stamps (the scalar engine's
+        // panic messages): every lane's requests land on their source
+        // lines in the port masks and the offered bitmap. From here on a
+        // request travels as its packed `(source << 16) | tag` word
+        // (both fit 16 bits by the `supports` bound) — the hot loop
+        // never re-reads the caller's batch.
+        let a_shift = p.log2_a();
+        let bits_stride = self.bits_stride;
+        let all_a = if a == 64 { !0u64 } else { (1u64 << a) - 1 };
+        for lane in 0..lanes {
+            let requests = batch(lane);
+            let out = &mut self.outcomes[lane];
+            out.delivered.clear();
+            out.blocked.clear();
+            out.survivors.clear();
+            out.offered = requests.len();
+            out.survivors.push(requests.len());
+            let slot_base = lane * wire_stride;
+            let port_base = lane * sw_stride;
+            let bits_base = lane * bits_stride;
+            // Full-load batches from the Monte-Carlo generators arrive
+            // source-ascending (`source == index`), which makes every
+            // per-request check except the tag range redundant: sources
+            // are trivially in range and duplicate-free, and the port
+            // and offered bits come out solid — set wholesale below.
+            // The first out-of-order request drops to the generic path.
+            let mut idx = 0usize;
+            if requests.len() == p.inputs() as usize {
+                for request in requests {
+                    if request.source as usize != idx {
+                        break;
+                    }
+                    assert!(
+                        request.tag < p.outputs(),
+                        "tag {} out of range (outputs = {})",
+                        request.tag,
+                        p.outputs()
+                    );
+                    self.slot[slot_base + idx] =
+                        ((request.source as u32) << 16) | request.tag as u32;
+                    idx += 1;
+                }
+                // Sources `0..idx` each arrived exactly once.
+                let full_words = idx >> 6;
+                self.offered_bits[bits_base..bits_base + full_words].fill(!0u64);
+                if idx & 63 != 0 {
+                    self.offered_bits[bits_base + full_words] |= (1u64 << (idx & 63)) - 1;
+                }
+                let full_ports = idx >> a_shift;
+                self.ports[port_base..port_base + full_ports].fill(all_a);
+                if idx & (a - 1) != 0 {
+                    self.ports[port_base + full_ports] |= (1u64 << (idx & (a - 1))) - 1;
+                }
+            }
+            for request in &requests[idx..] {
+                assert!(
+                    request.source < p.inputs(),
+                    "source {} out of range (inputs = {})",
+                    request.source,
+                    p.inputs()
+                );
+                assert!(
+                    request.tag < p.outputs(),
+                    "tag {} out of range (outputs = {})",
+                    request.tag,
+                    p.outputs()
+                );
+                let line = request.source as usize;
+                // The offered bitmap doubles as the duplicate detector:
+                // emission consume-clears it, so every word is zero when
+                // a scatter begins and a set bit here can only mean two
+                // requests on one source.
+                let bit = 1u64 << (line & 63);
+                let word = &mut self.offered_bits[bits_base + (line >> 6)];
+                assert!(
+                    *word & bit == 0,
+                    "duplicate request on source {}",
+                    request.source
+                );
+                *word |= bit;
+                self.slot[slot_base + line] = ((request.source as u32) << 16) | request.tag as u32;
+                self.ports[port_base + (line >> a_shift)] |= 1u64 << (line & (a - 1));
+            }
+        }
+
+        let all_c = if c == 64 { !0u64 } else { (1u64 << c) - 1 };
+        let bc = bc as usize;
+        // When a switch's `b * c` exit wires fit one u64, the static
+        // grant path tracks them as a single register-resident free
+        // mask (bucket `k` owns bits `[k*c, (k+1)*c)`) instead of the
+        // per-bucket healthy array.
+        let c_shift = p.log2_c();
+        let bc_fits = bc <= 64;
+        let all_bc = if bc >= 64 { !0u64 } else { (1u64 << bc) - 1 };
+        let buckets = p.b() as usize;
+        let mut nswitches = (p.inputs() >> a_shift) as usize;
+        for stage in 1..=p.l() {
+            // One load against the flattened permutation table replaces
+            // the shift/rotate math of `Gamma::apply` per winner.
+            let lut_base = self.gamma_off[(stage - 1) as usize];
+            // Winners of stage `l` land in crossbar line space (width c).
+            let next_width = if stage < p.l() { a } else { c };
+            let next_shift = next_width.trailing_zeros();
+            // Hoisted digit extraction: `tag_digit_for_stage` for a fixed
+            // stage is one shift and one mask. The source bits riding
+            // above bit 16 of a packed word can never reach the masked
+            // digit (`digit_shift + log2(b) <= output_bits < 16`), so the
+            // packed word is shifted directly.
+            let digit_shift = p.log2_c() + (p.l() - stage) * p.log2_b();
+            let digit_mask = (p.b() - 1) as u32;
+            // The register-mask grant path wants the bucket digit
+            // pre-scaled by `c` (its bit offset inside the free mask);
+            // extracting the digit `c_shift` bits earlier and masking
+            // in place fuses the `* c` into the digit extraction.
+            let field_shift = digit_shift - c_shift;
+            let field_mask = (digit_mask as u64) << c_shift;
+            // Indexed on purpose: `arbiters[lane]` is only touched on the
+            // stateful fallback, and hoisting a `&mut` out of the slice
+            // here measurably slows the static fast path (~15% on the
+            // lane side of `BENCH_lane_routing.json`).
+            #[allow(clippy::needless_range_loop)]
+            for lane in 0..lanes {
+                let is_static = static_mask & (1u64 << lane) != 0;
+                let slot_lane = lane * wire_stride;
+                let port_lane = lane * sw_stride;
+                let fate_lane = lane * self.fate_stride;
+                let mut wins = 0usize;
+                // Iterating the lane's port words by slice (consume-
+                // clearing through the iterator), zipped against the
+                // lane's slot rows in `a`-wide exact chunks, drops the
+                // per-switch bounds checks on both arrays; every other
+                // field the grant bodies touch is disjoint.
+                let lane_rows = &self.slot[slot_lane..slot_lane + nswitches * a];
+                for ((sw, port_word), row) in self.ports[port_lane..port_lane + nswitches]
+                    .iter_mut()
+                    .enumerate()
+                    .zip(lane_rows.chunks_exact(a))
+                {
+                    let ports = *port_word;
+                    if ports == 0 {
+                        continue;
+                    }
+                    *port_word = 0;
+                    let switch_base = sw * bc;
+                    // The three-way contender walk shared by both static
+                    // grant bodies. The port index only ever locates the
+                    // slot word, so a full mask iterates the contiguous
+                    // slot row with no bit tests, a dense one zips the
+                    // row against the mask, and a sparse one jumps
+                    // between set bits — no per-port bounds checks.
+                    macro_rules! walk {
+                        ($grant:ident) => {{
+                            if ports == all_a {
+                                for &packed in row {
+                                    $grant!(packed);
+                                }
+                            } else if ports.count_ones() as usize * 2 >= a {
+                                let mut port_bit = 1u64;
+                                for &packed in row {
+                                    if ports & port_bit != 0 {
+                                        $grant!(packed);
+                                    }
+                                    port_bit <<= 1;
+                                }
+                            } else {
+                                let mut mask = ports;
+                                while mask != 0 {
+                                    let port = mask.trailing_zeros() as usize;
+                                    mask &= mask - 1;
+                                    $grant!(row[port]);
+                                }
+                            }
+                        }};
+                    }
+                    if is_static && bc_fits {
+                        // Static arbitration keeps the lowest-labelled
+                        // contenders, so winners can be granted greedily
+                        // in one ascending-port pass: a contender wins
+                        // iff its bucket still has a healthy wire left.
+                        // The switch's free exit wires live in one
+                        // register, so a grant is three mask ops and
+                        // the per-bucket healthy array is never touched
+                        // (nor filled: the register init replaces it).
+                        let free_init = if V::IS_NOOP {
+                            all_bc
+                        } else {
+                            !faults.disabled_mask(stage, switch_base as u64) & all_bc
+                        };
+                        let mut free = free_init;
+                        macro_rules! grant {
+                            ($packed:expr) => {{
+                                let packed = $packed;
+                                let bucket_bits = ((packed as u64) >> field_shift) & field_mask;
+                                let sub = free & (all_c << bucket_bits);
+                                if sub != 0 {
+                                    let low = sub & sub.wrapping_neg();
+                                    free ^= low;
+                                    let exit = switch_base + low.trailing_zeros() as usize;
+                                    let next_line = self.gamma_lut[lut_base + exit] as usize;
+                                    let next_sw = next_line >> next_shift;
+                                    self.next_slot[slot_lane + next_line] = packed;
+                                    self.next_ports[port_lane + next_sw] |=
+                                        1u64 << (next_line & (next_width - 1));
+                                } else {
+                                    self.fate[fate_lane + (packed >> 16) as usize] = stage;
+                                }
+                            }};
+                        }
+                        walk!(grant);
+                        // One grant clears exactly one free bit, so the
+                        // win count is the popcount delta — no counter
+                        // in the inner loop.
+                        wins += (free_init.count_ones() - free.count_ones()) as usize;
+                        continue;
+                    }
+                    // Healthy-wire masks: the healthy fabric bulk-fills
+                    // them (`IS_NOOP` folds at compile time); a faulty
+                    // one looks them up lazily on first bucket touch.
+                    // The static path consumes them as wires are granted.
+                    let mut healthy_valid = 0u64;
+                    if V::IS_NOOP {
+                        self.healthy[..buckets].fill(all_c);
+                    }
+                    if is_static {
+                        // Wide-switch (`b * c > 64`) static grant: the
+                        // same greedy ascending-port pass, against the
+                        // per-bucket healthy array.
+                        macro_rules! grant {
+                            ($packed:expr) => {{
+                                let packed = $packed;
+                                let bucket = ((packed >> digit_shift) & digit_mask) as usize;
+                                if !V::IS_NOOP {
+                                    let bucket_bit = 1u64 << bucket;
+                                    if healthy_valid & bucket_bit == 0 {
+                                        healthy_valid |= bucket_bit;
+                                        let first = (switch_base + bucket * c) as u64;
+                                        self.healthy[bucket] =
+                                            !faults.disabled_mask(stage, first) & all_c;
+                                    }
+                                }
+                                let remaining = self.healthy[bucket];
+                                if remaining != 0 {
+                                    let wire = remaining.trailing_zeros() as usize;
+                                    self.healthy[bucket] = remaining & (remaining - 1);
+                                    wins += 1;
+                                    let exit = switch_base + bucket * c + wire;
+                                    let next_line = self.gamma_lut[lut_base + exit] as usize;
+                                    let next_sw = next_line >> next_shift;
+                                    self.next_slot[slot_lane + next_line] = packed;
+                                    self.next_ports[port_lane + next_sw] |=
+                                        1u64 << (next_line & (next_width - 1));
+                                } else {
+                                    self.fate[fate_lane + (packed >> 16) as usize] = stage;
+                                }
+                            }};
+                        }
+                        walk!(grant);
+                        continue;
+                    }
+                    // Stateful fallback: bucketize the contender ports,
+                    // then issue the exact scalar `select` call sequence
+                    // (buckets ascending) against this lane's arbiter.
+                    let mut used = 0u64;
+                    let mut mask = ports;
+                    while mask != 0 {
+                        let port = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        let packed = row[port];
+                        let bucket = ((packed >> digit_shift) & digit_mask) as usize;
+                        self.bucket_ports[bucket] |= 1u64 << port;
+                        used |= 1u64 << bucket;
+                    }
+                    while used != 0 {
+                        let bucket = used.trailing_zeros() as usize;
+                        used &= used - 1;
+                        let cont = self.bucket_ports[bucket];
+                        self.bucket_ports[bucket] = 0;
+                        if !V::IS_NOOP {
+                            let bucket_bit = 1u64 << bucket;
+                            if healthy_valid & bucket_bit == 0 {
+                                healthy_valid |= bucket_bit;
+                                let first = (switch_base + bucket * c) as u64;
+                                self.healthy[bucket] = !faults.disabled_mask(stage, first) & all_c;
+                            }
+                        }
+                        let healthy = self.healthy[bucket];
+                        let capacity = healthy.count_ones() as usize;
+                        self.contenders.clear();
+                        let mut cm = cont;
+                        while cm != 0 {
+                            self.contenders.push(cm.trailing_zeros() as usize);
+                            cm &= cm - 1;
+                        }
+                        arbiters[lane].select(&mut self.contenders, capacity);
+                        debug_assert!(self.contenders.len() <= capacity);
+                        let mut winners = 0u64;
+                        for &port in &self.contenders {
+                            winners |= 1u64 << port;
+                        }
+                        wins += winners.count_ones() as usize;
+                        // Winners ride the bucket's healthy wires in
+                        // ascending order through the interstage gamma.
+                        let mut wm = winners;
+                        let mut hm = healthy;
+                        while wm != 0 {
+                            let port = wm.trailing_zeros() as usize;
+                            wm &= wm - 1;
+                            let wire = hm.trailing_zeros() as usize;
+                            hm &= hm - 1;
+                            let packed = row[port];
+                            let exit = switch_base + bucket * c + wire;
+                            let next_line = self.gamma_lut[lut_base + exit] as usize;
+                            let next_sw = next_line >> next_shift;
+                            self.next_slot[slot_lane + next_line] = packed;
+                            self.next_ports[port_lane + next_sw] |=
+                                1u64 << (next_line & (next_width - 1));
+                        }
+                        let mut lost = cont & !winners;
+                        while lost != 0 {
+                            let port = lost.trailing_zeros() as usize;
+                            lost &= lost - 1;
+                            let packed = row[port];
+                            self.fate[fate_lane + (packed >> 16) as usize] = stage;
+                        }
+                    }
+                    arbiters[lane].advance();
+                }
+                self.outcomes[lane].survivors.push(wins);
+            }
+            std::mem::swap(&mut self.ports, &mut self.next_ports);
+            std::mem::swap(&mut self.slot, &mut self.next_slot);
+            nswitches = (p.wires_after_stage(stage) >> a_shift) as usize;
+        }
+
+        // Final stage: c x c crossbars, every bucket capacity 1 — a
+        // static lane resolves each port in one ascending pass (the
+        // lowest contender of a bucket wins iff the output is untaken).
+        nswitches = (p.outputs() / p.c()) as usize;
+        let crossbar_mask = (p.c() - 1) as u32;
+        // Indexed for the same reason as the hyperbar lane loop above.
+        #[allow(clippy::needless_range_loop)]
+        for lane in 0..lanes {
+            let is_static = static_mask & (1u64 << lane) != 0;
+            let slot_lane = lane * wire_stride;
+            let port_lane = lane * sw_stride;
+            let fate_lane = lane * self.fate_stride;
+            let lane_rows = &self.slot[slot_lane..slot_lane + nswitches * c];
+            for ((sw, port_word), row) in self.ports[port_lane..port_lane + nswitches]
+                .iter_mut()
+                .enumerate()
+                .zip(lane_rows.chunks_exact(c))
+            {
+                let ports = *port_word;
+                if ports == 0 {
+                    continue;
+                }
+                *port_word = 0;
+                let base_line = sw * c;
+                if is_static {
+                    // Dense walk over the c-wide slot row (c is small):
+                    // no per-port bounds checks, `taken` stays in a
+                    // register.
+                    let mut taken = 0u64;
+                    for (port, &packed) in row.iter().enumerate() {
+                        if ports & (1u64 << port) == 0 {
+                            continue;
+                        }
+                        let bucket_bit = 1u64 << (packed & crossbar_mask);
+                        let source = (packed >> 16) as usize;
+                        self.fate[fate_lane + source] = if taken & bucket_bit == 0 {
+                            taken |= bucket_bit;
+                            FATE_DELIVERED | (base_line as u32 + (packed & crossbar_mask))
+                        } else {
+                            FATE_CROSSBAR
+                        };
+                    }
+                    continue;
+                }
+                let mut used = 0u64;
+                let mut mask = ports;
+                while mask != 0 {
+                    let port = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    let bucket = (row[port] & crossbar_mask) as usize;
+                    self.bucket_ports[bucket] |= 1u64 << port;
+                    used |= 1u64 << bucket;
+                }
+                while used != 0 {
+                    let bucket = used.trailing_zeros() as usize;
+                    used &= used - 1;
+                    let cont = self.bucket_ports[bucket];
+                    self.bucket_ports[bucket] = 0;
+                    self.contenders.clear();
+                    let mut cm = cont;
+                    while cm != 0 {
+                        self.contenders.push(cm.trailing_zeros() as usize);
+                        cm &= cm - 1;
+                    }
+                    arbiters[lane].select(&mut self.contenders, 1);
+                    debug_assert!(self.contenders.len() <= 1);
+                    let winners = match self.contenders.first() {
+                        Some(&port) => 1u64 << port,
+                        None => 0,
+                    };
+                    if winners != 0 {
+                        let port = winners.trailing_zeros() as usize;
+                        let packed = row[port];
+                        self.fate[fate_lane + (packed >> 16) as usize] =
+                            FATE_DELIVERED | (base_line + bucket) as u32;
+                    }
+                    let mut lost = cont & !winners;
+                    while lost != 0 {
+                        let port = lost.trailing_zeros() as usize;
+                        lost &= lost - 1;
+                        let packed = row[port];
+                        self.fate[fate_lane + (packed >> 16) as usize] = FATE_CROSSBAR;
+                    }
+                }
+                arbiters[lane].advance();
+            }
+        }
+
+        // Emission: walk each lane's offered bitmap ascending, so the
+        // outcome vectors are born sorted (sources are unique per lane)
+        // — the scalar engine's trailing sorts have no lane counterpart.
+        let mut outcomes = std::mem::take(&mut self.outcomes);
+        for (lane, out) in outcomes.iter_mut().enumerate().take(lanes) {
+            let fate_lane = lane * self.fate_stride;
+            let bits_lane = lane * bits_stride;
+            for (word, bits_word) in self.offered_bits[bits_lane..bits_lane + bits_stride]
+                .iter_mut()
+                .enumerate()
+            {
+                let mut bits = *bits_word;
+                if bits == 0 {
+                    continue;
+                }
+                *bits_word = 0;
+                let base = word * 64;
+                macro_rules! emit {
+                    ($source:expr, $code:expr) => {{
+                        let source = $source;
+                        let code = $code;
+                        if code & FATE_DELIVERED != 0 {
+                            out.delivered.push((source, (code & 0xFFFF) as u64));
+                        } else if code == FATE_CROSSBAR {
+                            out.blocked.push((source, BlockReason::CrossbarOutput));
+                        } else {
+                            out.blocked.push((source, BlockReason::HyperbarStage(code)));
+                        }
+                    }};
+                }
+                if bits == !0u64 {
+                    // Solid word (the full-load norm): stream the fate
+                    // row directly, no bit extraction.
+                    let row = &self.fate[fate_lane + base..fate_lane + base + 64];
+                    for (offset, &code) in row.iter().enumerate() {
+                        emit!((base + offset) as u64, code);
+                    }
+                } else {
+                    while bits != 0 {
+                        let source = (base + bits.trailing_zeros() as usize) as u64;
+                        bits &= bits - 1;
+                        emit!(source, self.fate[fate_lane + source as usize]);
+                    }
+                }
+            }
+            out.survivors.push(out.delivered.len());
+        }
+        self.outcomes = outcomes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RoutingEngine;
+    use crate::hyperbar::{PriorityArbiter, RandomArbiter, RoundRobinArbiter};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn params(a: u64, b: u64, c: u64, l: u32) -> EdnParams {
+        EdnParams::new(a, b, c, l).unwrap()
+    }
+
+    fn uniform_batch(p: &EdnParams, seed: u64, rate: f64) -> Vec<RouteRequest> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut batch = Vec::new();
+        for s in 0..p.inputs() {
+            if rng.gen_bool(rate) {
+                batch.push(RouteRequest::new(s, rng.gen_range(0..p.outputs())));
+            }
+        }
+        batch
+    }
+
+    fn assert_lanes_match_scalar<A: Arbiter, B: FnMut(u64) -> A>(
+        p: EdnParams,
+        seeds: std::ops::Range<u64>,
+        rate: f64,
+        mut build: B,
+    ) {
+        let batches: Vec<Vec<RouteRequest>> = seeds
+            .clone()
+            .map(|seed| uniform_batch(&p, seed, rate))
+            .collect();
+        let slices: Vec<&[RouteRequest]> = batches.iter().map(Vec::as_slice).collect();
+        let mut arbiters: Vec<A> = seeds.clone().map(&mut build).collect();
+        let mut lane = LaneEngine::from_params(p);
+        let outcomes = lane.route_lanes(&slices, &mut arbiters);
+        let mut scalar = RoutingEngine::from_params(p);
+        for (index, seed) in seeds.enumerate() {
+            let expected = scalar.route(&batches[index], &mut build(seed));
+            assert_eq!(&outcomes[index], expected, "lane {index}");
+        }
+    }
+
+    #[test]
+    fn matches_scalar_with_priority_arbiter() {
+        for p in [params(16, 4, 4, 2), params(8, 4, 2, 3), params(4, 4, 1, 2)] {
+            assert_lanes_match_scalar(p, 0..7, 1.0, |_| PriorityArbiter::new());
+            assert_lanes_match_scalar(p, 10..20, 0.4, |_| PriorityArbiter::new());
+        }
+    }
+
+    #[test]
+    fn matches_scalar_with_random_arbiter_streams() {
+        let p = params(16, 4, 4, 2);
+        assert_lanes_match_scalar(p, 0..9, 0.9, |seed| {
+            RandomArbiter::new(StdRng::seed_from_u64(seed * 31 + 5))
+        });
+    }
+
+    #[test]
+    fn matches_scalar_with_round_robin() {
+        let p = params(8, 4, 2, 3);
+        assert_lanes_match_scalar(p, 0..6, 1.0, |_| RoundRobinArbiter::new());
+    }
+
+    #[test]
+    fn faulty_lanes_match_scalar() {
+        let p = params(16, 4, 4, 2);
+        let faults = FaultSet::random(&p, 0.2, 9);
+        let batches: Vec<Vec<RouteRequest>> =
+            (0..8).map(|seed| uniform_batch(&p, seed, 0.8)).collect();
+        let slices: Vec<&[RouteRequest]> = batches.iter().map(Vec::as_slice).collect();
+        let mut arbiters = vec![PriorityArbiter::new(); 8];
+        let mut lane = LaneEngine::from_params(p);
+        let outcomes = lane.route_lanes_faulty(&slices, &faults, &mut arbiters);
+        let mut scalar = RoutingEngine::from_params(p);
+        for (index, batch) in batches.iter().enumerate() {
+            let expected = scalar.route_faulty(batch, &faults, &mut PriorityArbiter::new());
+            assert_eq!(&outcomes[index], expected, "lane {index}");
+        }
+    }
+
+    #[test]
+    fn empty_and_mixed_lanes_are_independent() {
+        let p = params(16, 4, 4, 2);
+        let full = uniform_batch(&p, 1, 1.0);
+        let slices: Vec<&[RouteRequest]> = vec![&[], &full, &[]];
+        let mut arbiters = vec![PriorityArbiter::new(); 3];
+        let mut lane = LaneEngine::from_params(p);
+        let outcomes = lane.route_lanes(&slices, &mut arbiters);
+        assert_eq!(outcomes[0].offered(), 0);
+        assert_eq!(outcomes[0].acceptance_rate(), 1.0);
+        assert_eq!(outcomes[2].delivered_count(), 0);
+        let mut scalar = RoutingEngine::from_params(p);
+        assert_eq!(
+            &outcomes[1],
+            scalar.route(&full, &mut PriorityArbiter::new())
+        );
+    }
+
+    #[test]
+    fn reuse_does_not_leak_state_between_calls() {
+        let p = params(16, 4, 4, 2);
+        let batch_a = uniform_batch(&p, 1, 1.0);
+        let batch_b = uniform_batch(&p, 2, 0.3);
+        let mut lane = LaneEngine::from_params(p);
+        let mut arbiters = vec![PriorityArbiter::new(); 2];
+        let fresh = lane
+            .route_lanes(&[&batch_a, &batch_b], &mut arbiters)
+            .to_vec();
+        lane.route_lanes(&[&batch_b, &batch_a], &mut arbiters);
+        let reused = lane
+            .route_lanes(&[&batch_a, &batch_b], &mut arbiters)
+            .to_vec();
+        assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn max_lanes_full_load_matches_scalar() {
+        let p = params(16, 4, 4, 2);
+        let batches: Vec<Vec<RouteRequest>> = (0..MAX_LANES as u64)
+            .map(|seed| uniform_batch(&p, seed, 1.0))
+            .collect();
+        let slices: Vec<&[RouteRequest]> = batches.iter().map(Vec::as_slice).collect();
+        let mut arbiters = vec![PriorityArbiter::new(); MAX_LANES];
+        let mut lane = LaneEngine::from_params(p);
+        let outcomes = lane.route_lanes(&slices, &mut arbiters);
+        let mut scalar = RoutingEngine::from_params(p);
+        for (index, batch) in batches.iter().enumerate() {
+            assert_eq!(
+                &outcomes[index],
+                scalar.route(batch, &mut PriorityArbiter::new()),
+                "lane {index}"
+            );
+        }
+    }
+
+    #[test]
+    fn supports_rejects_wide_switches() {
+        assert!(LaneEngine::supports(&params(64, 16, 4, 2)));
+        assert!(LaneEngine::supports(&params(16, 4, 4, 5)));
+        assert!(!LaneEngine::supports(&params(128, 64, 2, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate request on source")]
+    fn duplicate_sources_panic_per_lane() {
+        let p = params(16, 4, 4, 2);
+        let mut lane = LaneEngine::from_params(p);
+        let bad = [RouteRequest::new(1, 2), RouteRequest::new(1, 3)];
+        let good = [RouteRequest::new(0, 0)];
+        let mut arbiters = vec![PriorityArbiter::new(); 2];
+        lane.route_lanes(&[&good, &bad], &mut arbiters);
+    }
+
+    #[test]
+    #[should_panic(expected = "one arbiter per lane")]
+    fn arbiter_count_mismatch_panics() {
+        let p = params(16, 4, 4, 2);
+        let mut lane = LaneEngine::from_params(p);
+        let batch = [RouteRequest::new(0, 0)];
+        let mut arbiters = vec![PriorityArbiter::new(); 2];
+        lane.route_lanes(&[&batch], &mut arbiters);
+    }
+
+    #[test]
+    fn lowest_bits_keeps_the_low_end() {
+        assert_eq!(lowest_bits(0b1011_0110, 3), 0b0001_0110);
+        assert_eq!(lowest_bits(0b101, 8), 0b101);
+        assert_eq!(lowest_bits(0, 4), 0);
+        assert_eq!(lowest_bits(!0u64, 0), 0);
+    }
+}

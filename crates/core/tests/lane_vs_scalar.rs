@@ -1,0 +1,170 @@
+//! The lane engine's headline contract, property-tested: every lane of a
+//! [`LaneEngine`] pass is **bit-identical** — delivered set, blocked set,
+//! offered count, per-stage survivors — to a scalar [`RoutingEngine`]
+//! pass over that lane's batch with the same arbiter stream, across
+//! property-generated shapes, loads, arbitration policies (including
+//! mixed policies across lanes), fault masks, and multi-cycle arbiter
+//! state accumulation. The scalar engine is the differential oracle,
+//! exactly as `edn_core::reference` is for the scalar engine itself.
+
+use edn_core::{
+    Arbiter, EdnParams, FaultSet, LaneEngine, PriorityArbiter, RandomArbiter, RoundRobinArbiter,
+    RouteRequest, RoutingEngine,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy: valid EDN parameters small enough to route many cycles per
+/// property case (all lane-packable: `a, b, c <= 16`, wires `<= 1024`).
+fn params_strategy() -> impl Strategy<Value = EdnParams> {
+    (1u32..=4, 0u32..=3, 1u32..=3, 1u32..=3).prop_filter_map(
+        "valid parameter combination",
+        |(log_a, log_c, log_b, l)| {
+            if log_c > log_a {
+                return None;
+            }
+            let a = 1u64 << log_a;
+            let b = 1u64 << log_b;
+            let c = 1u64 << log_c;
+            EdnParams::new(a, b, c, l)
+                .ok()
+                .filter(|p| p.inputs() <= 1024 && p.outputs() <= 1024)
+        },
+    )
+}
+
+/// A Bernoulli-`load` batch with uniform destinations, all randomness
+/// from `seed`.
+fn batch(params: &EdnParams, load: f64, seed: u64) -> Vec<RouteRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut requests = Vec::new();
+    for source in 0..params.inputs() {
+        if rng.gen_bool(load) {
+            requests.push(RouteRequest::new(
+                source,
+                rng.gen_range(0..params.outputs()),
+            ));
+        }
+    }
+    requests
+}
+
+/// One arbiter of the chosen policy; `seed` only drives random
+/// arbitration. Kinds: 0 = priority, 1 = random, 2 = round-robin.
+fn build_arbiter(kind: u8, seed: u64) -> Box<dyn Arbiter> {
+    match kind {
+        0 => Box::new(PriorityArbiter::new()),
+        1 => Box::new(RandomArbiter::new(StdRng::seed_from_u64(seed))),
+        _ => Box::new(RoundRobinArbiter::new()),
+    }
+}
+
+/// Distinct per-(lane, cycle) batch seed.
+fn lane_seed(seed: u64, lane: usize, cycle: usize) -> u64 {
+    seed ^ (lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (cycle as u64) << 48
+}
+
+/// Routes `cycles` cycles of `lanes` replicas through both engines and
+/// asserts per-lane bit-identity, with per-lane arbiter kinds `kinds`.
+fn assert_lane_parity(
+    params: EdnParams,
+    kinds: &[u8],
+    cycles: usize,
+    load: f64,
+    faults: Option<&FaultSet>,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let lanes = kinds.len();
+    let mut lane_engine = LaneEngine::from_params(params);
+    let mut scalar = RoutingEngine::from_params(params);
+    let mut lane_arbiters: Vec<Box<dyn Arbiter>> = kinds
+        .iter()
+        .enumerate()
+        .map(|(lane, &kind)| build_arbiter(kind, seed ^ lane_seed(0, lane, 0)))
+        .collect();
+    let mut scalar_arbiters: Vec<Box<dyn Arbiter>> = kinds
+        .iter()
+        .enumerate()
+        .map(|(lane, &kind)| build_arbiter(kind, seed ^ lane_seed(0, lane, 0)))
+        .collect();
+    for cycle in 0..cycles {
+        let batches: Vec<Vec<RouteRequest>> = (0..lanes)
+            .map(|lane| batch(&params, load, lane_seed(seed, lane, cycle)))
+            .collect();
+        let slices: Vec<&[RouteRequest]> = batches.iter().map(Vec::as_slice).collect();
+        let outcomes = match faults {
+            Some(faults) => lane_engine.route_lanes_faulty(&slices, faults, &mut lane_arbiters),
+            None => lane_engine.route_lanes(&slices, &mut lane_arbiters),
+        };
+        for (lane, requests) in batches.iter().enumerate() {
+            let expected = match faults {
+                Some(faults) => {
+                    scalar.route_faulty(requests, faults, scalar_arbiters[lane].as_mut())
+                }
+                None => scalar.route(requests, scalar_arbiters[lane].as_mut()),
+            };
+            prop_assert_eq!(
+                &outcomes[lane],
+                expected,
+                "lane {} cycle {} kind {}",
+                lane,
+                cycle,
+                kinds[lane]
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn lanes_match_scalar_across_shapes_loads_and_arbiters(
+        params in params_strategy(),
+        lanes in 1usize..=16,
+        kind in 0u8..3,
+        cycles in 1usize..=3,
+        load in 0.1f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let kinds = vec![kind; lanes];
+        assert_lane_parity(params, &kinds, cycles, load, None, seed)?;
+    }
+
+    #[test]
+    fn lanes_match_scalar_on_faulty_fabrics(
+        params in params_strategy(),
+        lanes in 1usize..=16,
+        kind in 0u8..3,
+        load in 0.1f64..=1.0,
+        fraction in 0.05f64..=0.3,
+        seed in any::<u64>(),
+    ) {
+        let faults = FaultSet::random(&params, fraction, seed ^ 0xFA17);
+        let kinds = vec![kind; lanes];
+        assert_lane_parity(params, &kinds, 2, load, Some(&faults), seed)?;
+    }
+
+    #[test]
+    fn lanes_match_scalar_with_mixed_policies_per_lane(
+        params in params_strategy(),
+        kinds in proptest::collection::vec(0u8..3, 1..13),
+        load in 0.2f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        // Static and stateful policies coexisting in one pass: static
+        // lanes take the mask fast path while their neighbours fall back
+        // to per-lane arbitration, in the same traversal.
+        assert_lane_parity(params, &kinds, 2, load, None, seed)?;
+    }
+
+    #[test]
+    fn full_64_lane_passes_match_scalar(
+        params in params_strategy(),
+        kind in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let kinds = vec![kind; edn_core::MAX_LANES];
+        assert_lane_parity(params, &kinds, 1, 1.0, None, seed)?;
+    }
+}

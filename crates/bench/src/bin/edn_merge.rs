@@ -22,22 +22,27 @@
 //! all the repairs.
 
 use edn_sweep::merge::{check_file_all, merge_files};
+use edn_sweep::metrics::check_metrics_text;
 use std::io::Write as _;
 use std::path::PathBuf;
 
 const USAGE: &str = "reassemble sharded sweep artifacts\n\n\
     Usage: edn_merge PART.jsonl... [--out PATH]\n       \
-    edn_merge --check FILE.jsonl...\n\n\
+    edn_merge --check FILE.jsonl...\n       \
+    edn_merge --check-metrics FILE.metrics.jsonl...\n\n\
     Options:\n  \
-    --out PATH  write the merged artifact to PATH (default: stdout)\n  \
-    --check     validate each file (header, JSON rows, shard coverage)\n              \
+    --out PATH       write the merged artifact to PATH (default: stdout)\n  \
+    --check          validate each file (header, JSON rows, shard coverage)\n                   \
     without merging\n  \
-    --help      print this message";
+    --check-metrics  validate metrics sidecars (strict JSON, known record\n                   \
+    kinds, required fields) without merging\n  \
+    --help           print this message";
 
 fn main() {
     let mut inputs: Vec<PathBuf> = Vec::new();
     let mut out: Option<PathBuf> = None;
     let mut check = false;
+    let mut check_metrics = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,6 +51,7 @@ fn main() {
                 return;
             }
             "--check" => check = true,
+            "--check-metrics" => check_metrics = true,
             "--out" => match args.next() {
                 Some(path) => out = Some(PathBuf::from(path)),
                 None => fail("--out expects a value"),
@@ -57,8 +63,50 @@ fn main() {
     if inputs.is_empty() {
         fail("no input artifacts given");
     }
-    if check && out.is_some() {
+    if (check || check_metrics) && out.is_some() {
         fail("--check validates without merging; drop --out (or drop --check to merge)");
+    }
+    if check && check_metrics {
+        fail("--check and --check-metrics validate different file kinds; pick one");
+    }
+
+    if check_metrics {
+        // Metrics sidecars are per-process observability, never merged:
+        // validate each one stands alone, reporting every problem in
+        // every file before the nonzero exit.
+        let mut records = 0usize;
+        let mut errors = 0usize;
+        for path in &inputs {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(error) => {
+                    eprintln!("edn_merge: {}: {error}", path.display());
+                    errors += 1;
+                    continue;
+                }
+            };
+            match check_metrics_text(&text) {
+                Ok(count) => {
+                    eprintln!("{}: ok — {count} metric records", path.display());
+                    records += count;
+                }
+                Err(problems) => {
+                    for problem in &problems {
+                        eprintln!("edn_merge: {}: {problem}", path.display());
+                    }
+                    errors += problems.len();
+                }
+            }
+        }
+        if errors > 0 {
+            eprintln!("{} file(s) checked, {errors} error(s) found", inputs.len());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "{} file(s) ok, {records} metric records total",
+            inputs.len()
+        );
+        return;
     }
 
     if check {

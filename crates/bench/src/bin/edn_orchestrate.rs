@@ -20,10 +20,25 @@
 //! (`EDN_GIT_REV`, `EDN_HOST`, `EDN_RUN_STARTED`) and `EDN_SWEEP_CACHE`
 //! stamp every shard identically and the merged header carries them
 //! unchanged.
+//!
+//! Child stderr is relayed line by line with a `[shard i/N]` prefix, so
+//! concurrent children never interleave mid-line. Heartbeat lines
+//! (`EDN_HEARTBEAT` is enabled for the children unless the caller set it
+//! themselves) are additionally parsed and folded into one aggregate
+//! progress line covering the whole wave:
+//!
+//! ```text
+//! [shard 2/3] edn-heartbeat shard=2/3 rows=12/40 rps=3.41 eta=8.2s cache=75%
+//! edn_orchestrate: 31/120 rows (25.8%), 3/3 shard(s) reporting, cache 75%
+//! ```
 
 use edn_sweep::merge::merge_files;
+use edn_sweep::metrics::{HeartbeatLine, HEARTBEAT_ENV, METRICS_EXTENSION};
+use std::io::{BufRead, BufReader, Write as _};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 const USAGE: &str = "one-command shard scale-out: run an experiment binary as N shard\n\
     processes, retry failures, and merge the artifacts byte-identically\n\n\
@@ -43,7 +58,10 @@ const USAGE: &str = "one-command shard scale-out: run an experiment binary as N 
     --help         print this message\n\n\
     Everything after `--` is the child command line; edn_orchestrate\n\
     appends `--shard I/N --out PART [--cache DIR]` per child, plus\n\
-    `--threads cores/N` unless the command already sets --threads.";
+    `--threads cores/N` unless the command already sets --threads.\n\n\
+    Child stderr is relayed with a `[shard I/N]` prefix; heartbeat lines\n\
+    (EDN_HEARTBEAT is enabled for the children unless already set) are\n\
+    also aggregated into one overall progress line per update.";
 
 struct Options {
     jobs: usize,
@@ -118,6 +136,81 @@ struct ShardRun {
     path: PathBuf,
 }
 
+/// The latest heartbeat per shard, folded into one progress line. A
+/// single lock serializes both the state and the stderr writes, so
+/// relayed lines from concurrent children never interleave mid-line.
+struct Progress {
+    latest: Vec<Option<HeartbeatLine>>,
+}
+
+impl Progress {
+    fn new(jobs: usize) -> Self {
+        Progress {
+            latest: vec![None; jobs],
+        }
+    }
+
+    /// The aggregate line across every shard heard from so far. Totals
+    /// cover only reporting shards — each child knows only its own
+    /// slice — so the denominator grows as shards check in.
+    fn line(&self, jobs: usize) -> String {
+        let reporting: Vec<&HeartbeatLine> = self.latest.iter().flatten().collect();
+        let done: usize = reporting.iter().map(|h| h.done).sum();
+        let total: usize = reporting.iter().map(|h| h.total).sum();
+        let percent = if total == 0 {
+            0.0
+        } else {
+            100.0 * done as f64 / total as f64
+        };
+        let mut line = format!(
+            "edn_orchestrate: {done}/{total} rows ({percent:.1}%), {}/{jobs} shard(s) reporting",
+            reporting.len()
+        );
+        // Cache effectiveness weighted by each shard's finished rows;
+        // omitted entirely on uncached runs.
+        let cached_rows: usize = reporting
+            .iter()
+            .filter(|h| h.cache_percent.is_some())
+            .map(|h| h.done)
+            .sum();
+        if cached_rows > 0 {
+            let hits: f64 = reporting
+                .iter()
+                .filter_map(|h| Some(h.done as f64 * f64::from(h.cache_percent?) / 100.0))
+                .sum();
+            line.push_str(&format!(
+                ", cache {:.0}%",
+                100.0 * hits / cached_rows as f64
+            ));
+        }
+        line
+    }
+}
+
+/// Relays one child's stderr, line by line, onto ours with a
+/// `[shard I/N]` prefix; heartbeat lines additionally refresh the
+/// aggregate progress line. Runs until the child closes its stderr.
+fn relay_stderr(
+    stderr: std::process::ChildStderr,
+    index: usize,
+    jobs: usize,
+    progress: Arc<Mutex<Progress>>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        for line in BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            let heartbeat = HeartbeatLine::parse(&line);
+            let mut progress = progress.lock().expect("progress lock poisoned");
+            let mut err = std::io::stderr().lock();
+            writeln!(err, "[shard {index}/{jobs}] {line}").ok();
+            if let Some(heartbeat) = heartbeat {
+                progress.latest[index - 1] = Some(heartbeat);
+                writeln!(err, "{}", progress.line(jobs)).ok();
+            }
+        }
+    })
+}
+
 fn main() {
     let options = match parse_options() {
         Ok(Some(options)) => options,
@@ -166,8 +259,16 @@ fn main() {
     let mut done: Vec<ShardRun> = Vec::with_capacity(options.jobs);
     let mut total_retries = 0usize;
     let mut written: Vec<PathBuf> = Vec::new();
+    // Heartbeats drive the aggregate progress line; the caller's own
+    // EDN_HEARTBEAT (e.g. a custom interval) wins over our default.
+    let heartbeat_env = match std::env::var(HEARTBEAT_ENV) {
+        Ok(value) if !value.is_empty() => None,
+        _ => Some("1"),
+    };
+    let progress = Arc::new(Mutex::new(Progress::new(options.jobs)));
     while !pending.is_empty() {
-        let mut children: Vec<(ShardRun, Child)> = Vec::with_capacity(pending.len());
+        let mut children: Vec<(ShardRun, Child, JoinHandle<()>)> =
+            Vec::with_capacity(pending.len());
         for mut shard in pending.drain(..) {
             shard.attempt += 1;
             if shard.attempt > 1 {
@@ -189,7 +290,10 @@ fn main() {
                 .arg("--out")
                 .arg(&shard.path)
                 .stdout(Stdio::null())
-                .stderr(Stdio::inherit());
+                .stderr(Stdio::piped());
+            if let Some(value) = heartbeat_env {
+                command.env(HEARTBEAT_ENV, value);
+            }
             if let Some(threads) = thread_budget {
                 command.arg("--threads").arg(threads.to_string());
             }
@@ -197,13 +301,17 @@ fn main() {
                 command.arg("--cache").arg(cache);
             }
             match command.spawn() {
-                Ok(child) => children.push((shard, child)),
+                Ok(mut child) => {
+                    let stderr = child.stderr.take().expect("child stderr was piped");
+                    let relay = relay_stderr(stderr, shard.index, options.jobs, progress.clone());
+                    children.push((shard, child, relay));
+                }
                 Err(error) => {
                     // Reap the wave before exiting: children already
                     // launched must not keep simulating (and racing a
                     // re-invocation for the same part files) after the
                     // orchestrator reports failure.
-                    for (_, child) in &mut children {
+                    for (_, child, _) in &mut children {
                         child.kill().ok();
                         child.wait().ok();
                     }
@@ -212,14 +320,18 @@ fn main() {
             }
         }
         let mut children = children.into_iter();
-        while let Some((shard, mut child)) = children.next() {
+        while let Some((shard, mut child, relay)) = children.next() {
             let status = match child.wait() {
                 Ok(status) => status,
                 Err(error) => reap_and_fail(
                     children.by_ref(),
-                    &format!("waiting on shard {}: {error}", shard.index),
+                    &format!("waiting on shard {}/{}: {error}", shard.index, options.jobs),
                 ),
             };
+            // The pipe is closed once the child exits; drain whatever
+            // the relay has left before judging the attempt, so failure
+            // output lands above the retry/failure message.
+            relay.join().ok();
             if status.success() {
                 done.push(shard);
             } else if shard.attempt < total_attempts {
@@ -258,10 +370,12 @@ fn main() {
     if !options.keep_parts {
         // Remove only what this run wrote — the work dir may be a
         // user-supplied directory holding unrelated files, which a
-        // recursive delete would silently destroy. The directory itself
-        // goes only if the part files were all it held.
+        // recursive delete would silently destroy. Every part drags a
+        // metrics sidecar along; the directory itself goes only if
+        // those files were all it held.
         for part in &written {
             std::fs::remove_file(part).ok();
+            std::fs::remove_file(part.with_extension(METRICS_EXTENSION)).ok();
         }
         std::fs::remove_dir(&work_dir).ok();
     }
@@ -278,10 +392,16 @@ fn main() {
 /// Kills and waits the wave's still-running siblings, then fails: on any
 /// terminal error, orphans must not keep simulating (and racing a
 /// re-invocation for the part files) after the orchestrator exits.
-fn reap_and_fail(children: impl Iterator<Item = (ShardRun, Child)>, message: &str) -> ! {
-    for (_, mut sibling) in children {
+/// Killing closes each sibling's stderr pipe, so the relay threads end
+/// on their own and joining cannot hang.
+fn reap_and_fail(
+    children: impl Iterator<Item = (ShardRun, Child, JoinHandle<()>)>,
+    message: &str,
+) -> ! {
+    for (_, mut sibling, relay) in children {
         sibling.kill().ok();
         sibling.wait().ok();
+        relay.join().ok();
     }
     fail_run(message);
 }

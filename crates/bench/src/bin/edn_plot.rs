@@ -22,6 +22,12 @@
 //! A day-long sweep's figures can therefore be restyled, re-plotted, or
 //! re-examined forever without touching the simulator — the ROADMAP's
 //! "plotting from artifacts" contract.
+//!
+//! `--heatmap` reads the **metrics sidecar** (`*.metrics.jsonl`)
+//! instead: every `{"kind": "routing"}` record — a stage-resolved
+//! [`StageProbe`] snapshot an experiment recorded — becomes one row of a
+//! stage-utilization heatmap (exit-wire grant rate per stage), rendered
+//! in ASCII and, with `--svg DIR`, as an SVG grid.
 
 use edn_sweep::json::{self, Value};
 use edn_sweep::{SchemaHeader, Table};
@@ -37,6 +43,8 @@ const USAGE: &str = "regenerate figures from a sweep artifact (no re-simulation)
     --height N     ASCII plot height in rows (default: 16)\n  \
     --svg DIR      also write DIR/<table>.svg per rendered table\n  \
     --no-curve     text tables only\n  \
+    --heatmap      ARTIFACT is a *.metrics.jsonl sidecar: render a\n                 \
+    stage-utilization heatmap from its routing records\n  \
     --help         print this message";
 
 struct Options {
@@ -48,6 +56,7 @@ struct Options {
     height: usize,
     svg: Option<PathBuf>,
     curve: bool,
+    heatmap: bool,
 }
 
 fn parse_options() -> Result<Option<Options>, String> {
@@ -60,6 +69,7 @@ fn parse_options() -> Result<Option<Options>, String> {
     let mut height = 16usize;
     let mut svg = None;
     let mut curve = true;
+    let mut heatmap = false;
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
         match arg.as_str() {
@@ -83,6 +93,7 @@ fn parse_options() -> Result<Option<Options>, String> {
             }
             "--svg" => svg = Some(PathBuf::from(value("--svg")?)),
             "--no-curve" => curve = false,
+            "--heatmap" => heatmap = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             path if artifact.is_none() => artifact = Some(PathBuf::from(path)),
             extra => return Err(format!("unexpected argument `{extra}`")),
@@ -98,6 +109,7 @@ fn parse_options() -> Result<Option<Options>, String> {
         height,
         svg,
         curve,
+        heatmap,
     }))
 }
 
@@ -325,6 +337,168 @@ fn svg_curve(points: &[(f64, f64)], title: &str, x_name: &str, y_name: &str) -> 
     )
 }
 
+/// One routing record of a metrics sidecar, reduced to its per-stage
+/// exit-wire utilization (grants per wire per cycle).
+struct HeatRow {
+    label: String,
+    utilization: Vec<f64>,
+}
+
+/// Reads every `{"kind": "routing"}` record of a metrics sidecar into
+/// heatmap rows; other record kinds (`run`, `table`) are skipped.
+fn load_heatmap(path: &PathBuf) -> Result<Vec<HeatRow>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|error| format!("{}: {error}", path.display()))?;
+    let mut rows = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let record = json::parse(line).map_err(|error| format!("line {}: {error}", index + 1))?;
+        if record.get("kind").and_then(|v| v.as_str()) != Some("routing") {
+            continue;
+        }
+        let field = |name: &str| {
+            record
+                .get(name)
+                .ok_or_else(|| format!("line {}: routing record has no `{name}`", index + 1))
+        };
+        let label = field("label")?
+            .as_str()
+            .ok_or_else(|| format!("line {}: `label` is not a string", index + 1))?
+            .to_string();
+        let cycles = field("cycles")?
+            .as_f64()
+            .ok_or_else(|| format!("line {}: `cycles` is not a number", index + 1))?;
+        let stages = field("stages")?
+            .as_array()
+            .ok_or_else(|| format!("line {}: `stages` is not an array", index + 1))?;
+        let utilization = stages
+            .iter()
+            .map(|stage| {
+                let number = |name: &str| {
+                    stage.get(name).and_then(|v| v.as_f64()).ok_or_else(|| {
+                        format!("line {}: stage entry has no numeric `{name}`", index + 1)
+                    })
+                };
+                let (granted, wires) = (number("granted")?, number("wires")?);
+                if cycles <= 0.0 || wires <= 0.0 {
+                    Ok(0.0)
+                } else {
+                    Ok(granted / (cycles * wires))
+                }
+            })
+            .collect::<Result<Vec<f64>, String>>()?;
+        rows.push(HeatRow { label, utilization });
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "{}: no routing records (is this a *.metrics.jsonl sidecar \
+             from an experiment that recorded probe snapshots?)",
+            path.display()
+        ));
+    }
+    Ok(rows)
+}
+
+/// The shade ramp: utilization 0 to 1, dark to bright.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+fn shade(value: f64) -> char {
+    let index = (value.clamp(0.0, 1.0) * (RAMP.len() - 1) as f64).round() as usize;
+    RAMP[index] as char
+}
+
+/// Renders the ASCII heatmap: one row per routing record, one 4-wide
+/// shaded cell per stage (crossbar last), values printed underneath.
+fn ascii_heatmap(rows: &[HeatRow]) -> String {
+    let gutter = rows.iter().map(|r| r.label.len()).max().unwrap_or(0);
+    let stages = rows.iter().map(|r| r.utilization.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str("stage utilization: exit-wire grants / (cycles x wires)\n\n");
+    out.push_str(&format!("{:>gutter$} ", ""));
+    for stage in 1..=stages {
+        out.push_str(&format!(" s{stage:<3}"));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:>gutter$} ", row.label));
+        for &value in &row.utilization {
+            out.push_str(&format!(" {}", shade(value).to_string().repeat(4)));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:>gutter$} ", ""));
+        for &value in &row.utilization {
+            out.push_str(&format!(" {value:.2}"));
+        }
+        out.push('\n');
+    }
+    out.push_str("\nscale:");
+    for (index, &byte) in RAMP.iter().enumerate() {
+        out.push_str(&format!(
+            " '{}'={:.1}",
+            byte as char,
+            index as f64 / (RAMP.len() - 1) as f64
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders the SVG heatmap: a labeled grid of cells, white (idle) to
+/// deep blue (saturated), each carrying its value.
+fn svg_heatmap(rows: &[HeatRow], title: &str) -> String {
+    const CELL: f64 = 56.0;
+    const ROW_H: f64 = 36.0;
+    const TOP: f64 = 56.0;
+    let gutter = 16.0 + 7.2 * rows.iter().map(|r| r.label.len()).max().unwrap_or(0) as f64;
+    let stages = rows.iter().map(|r| r.utilization.len()).max().unwrap_or(0);
+    let width = gutter + CELL * stages as f64 + 16.0;
+    let height = TOP + ROW_H * rows.len() as f64 + 16.0;
+    let escape = |text: &str| {
+        text.replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;")
+    };
+    let mut body = String::new();
+    for stage in 0..stages {
+        body.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">s{}</text>\n",
+            gutter + CELL * (stage as f64 + 0.5),
+            TOP - 8.0,
+            stage + 1
+        ));
+    }
+    for (index, row) in rows.iter().enumerate() {
+        let y = TOP + ROW_H * index as f64;
+        body.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+            gutter - 6.0,
+            y + ROW_H / 2.0 + 4.0,
+            escape(&row.label)
+        ));
+        for (stage, &value) in row.utilization.iter().enumerate() {
+            let v = value.clamp(0.0, 1.0);
+            // White at 0 to the workspace's plot blue (#1f6f8b) at 1.
+            let channel = |full: u8| (255.0 - (255.0 - f64::from(full)) * v).round() as u8;
+            let (red, green, blue) = (channel(0x1f), channel(0x6f), channel(0x8b));
+            let x = gutter + CELL * stage as f64;
+            body.push_str(&format!(
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{CELL}\" height=\"{ROW_H}\" \
+                 fill=\"rgb({red},{green},{blue})\" stroke=\"white\"/>\n\
+                 <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" fill=\"{}\">{v:.2}</text>\n",
+                x + CELL / 2.0,
+                y + ROW_H / 2.0 + 4.0,
+                if v > 0.55 { "white" } else { "black" },
+            ));
+        }
+    }
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\" font-family=\"monospace\" font-size=\"12\">\n\
+         <rect width=\"{width:.0}\" height=\"{height:.0}\" fill=\"white\"/>\n\
+         <text x=\"16\" y=\"24\" font-size=\"14\">{}</text>\n{body}</svg>\n",
+        escape(title),
+    )
+}
+
 /// A filesystem-safe slug of a table title.
 fn slug(title: &str) -> String {
     let mut out: String = title
@@ -348,6 +522,30 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if options.heatmap {
+        let rows = match load_heatmap(&options.artifact) {
+            Ok(rows) => rows,
+            Err(message) => {
+                eprintln!("edn_plot: {message}");
+                std::process::exit(1);
+            }
+        };
+        print!("{}", ascii_heatmap(&rows));
+        if let Some(dir) = &options.svg {
+            if let Err(error) = std::fs::create_dir_all(dir) {
+                eprintln!("edn_plot: creating {}: {error}", dir.display());
+                std::process::exit(1);
+            }
+            let title = format!("stage utilization — {}", options.artifact.display());
+            let path = dir.join("stage_utilization.svg");
+            if let Err(error) = std::fs::write(&path, svg_heatmap(&rows, &title)) {
+                eprintln!("edn_plot: writing {}: {error}", path.display());
+                std::process::exit(1);
+            }
+            println!("wrote {}", path.display());
+        }
+        return;
+    }
     let tables = match load(&options) {
         Ok(tables) => tables,
         Err(message) => {

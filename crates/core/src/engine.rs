@@ -43,6 +43,7 @@ use crate::faults::FaultSet;
 use crate::hyperbar::Arbiter;
 use crate::params::EdnParams;
 use crate::routing::{BatchOutcome, BlockReason, RouteRequest};
+use crate::telemetry::{NullProbe, Probe};
 use crate::topology::EdnTopology;
 
 /// The result of the engine's most recent cycle, viewed in place.
@@ -230,7 +231,23 @@ impl RoutingEngine {
         requests: &[RouteRequest],
         arbiter: &mut A,
     ) -> &BatchOutcomeView {
-        self.route_inner(requests, NoFaults, arbiter);
+        self.route_inner(requests, NoFaults, arbiter, &mut NullProbe);
+        &self.outcome
+    }
+
+    /// As [`RoutingEngine::route`], with a [`Probe`] observing the pass.
+    ///
+    /// The probe is a monomorphized parameter: with [`NullProbe`] this is
+    /// exactly [`RoutingEngine::route`]; with a counting probe the
+    /// outcome is bit-identical and only the probe's counters differ
+    /// (property-asserted by the `probe_identity` suite).
+    pub fn route_probed<A: Arbiter + ?Sized, P: Probe>(
+        &mut self,
+        requests: &[RouteRequest],
+        arbiter: &mut A,
+        probe: &mut P,
+    ) -> &BatchOutcomeView {
+        self.route_inner(requests, NoFaults, arbiter, probe);
         &self.outcome
     }
 
@@ -249,6 +266,18 @@ impl RoutingEngine {
         faults: &FaultSet,
         arbiter: &mut A,
     ) -> &BatchOutcomeView {
+        self.route_faulty_probed(requests, faults, arbiter, &mut NullProbe)
+    }
+
+    /// As [`RoutingEngine::route_faulty`], with a [`Probe`] observing the
+    /// pass (fault-induced drops are distinguished from contention).
+    pub fn route_faulty_probed<A: Arbiter + ?Sized, P: Probe>(
+        &mut self,
+        requests: &[RouteRequest],
+        faults: &FaultSet,
+        arbiter: &mut A,
+        probe: &mut P,
+    ) -> &BatchOutcomeView {
         assert_eq!(
             faults.params(),
             self.topology.params(),
@@ -256,7 +285,7 @@ impl RoutingEngine {
             faults.params(),
             self.topology.params()
         );
-        self.route_inner(requests, faults, arbiter);
+        self.route_inner(requests, faults, arbiter, probe);
         &self.outcome
     }
 
@@ -293,7 +322,7 @@ impl RoutingEngine {
                 .iter()
                 .map(|r| RouteRequest::new(r.source, order.apply(r.tag))),
         );
-        self.route_inner(&reordered, NoFaults, arbiter);
+        self.route_inner(&reordered, NoFaults, arbiter, &mut NullProbe);
         self.reordered = reordered;
         if !matches!(&self.order_cache, Some((cached, _)) if cached == order) {
             self.order_cache = Some((order.clone(), order.inverse()));
@@ -337,14 +366,18 @@ impl RoutingEngine {
         }
     }
 
-    fn route_inner<F: FaultView, A: Arbiter + ?Sized>(
+    fn route_inner<F: FaultView, A: Arbiter + ?Sized, P: Probe>(
         &mut self,
         requests: &[RouteRequest],
         faults: F,
         arbiter: &mut A,
+        probe: &mut P,
     ) {
         self.validate(requests);
         let p = *self.topology.params();
+        if P::ENABLED {
+            probe.cycle_start(requests.len());
+        }
         self.outcome.delivered.clear();
         self.outcome.blocked.clear();
         self.outcome.survivors.clear();
@@ -392,6 +425,9 @@ impl RoutingEngine {
                     let healthy =
                         (0..p.c()).filter(|&k| faults.wire_ok(stage, switch_base + base + k));
                     let capacity = healthy.clone().count();
+                    if P::ENABLED {
+                        probe.arbitrated(stage, contenders.len(), capacity, p.c() as usize);
+                    }
                     arbiter.select(contenders, capacity);
                     debug_assert!(contenders.len() <= capacity);
                     for (&port, wire) in contenders.iter().zip(healthy) {
@@ -408,9 +444,15 @@ impl RoutingEngine {
                     match self.port_wire[port] {
                         Some(wire) => {
                             let exit = switch * (p.b() * p.c()) + wire;
+                            if P::ENABLED {
+                                probe.wire_granted(stage, exit);
+                            }
                             self.next.push((req, gamma.apply(exit)));
                         }
                         None => {
+                            if P::ENABLED {
+                                probe.request_lost(stage);
+                            }
                             self.outcome
                                 .blocked
                                 .push((requests[req].source, BlockReason::HyperbarStage(stage)));
@@ -449,6 +491,9 @@ impl RoutingEngine {
             self.used_buckets.sort_unstable();
             for &bucket in &self.used_buckets {
                 let contenders = &mut self.contenders[bucket as usize];
+                if P::ENABLED {
+                    probe.arbitrated(p.l() + 1, contenders.len(), 1, 1);
+                }
                 arbiter.select(contenders, 1);
                 debug_assert!(contenders.len() <= 1);
                 if let Some(&port) = contenders.first() {
@@ -461,17 +506,28 @@ impl RoutingEngine {
             for &(req, line) in span {
                 let port = (line % p.c()) as usize;
                 match self.port_wire[port] {
-                    Some(out_port) => self
-                        .outcome
-                        .delivered
-                        .push((requests[req].source, switch * p.c() + out_port)),
-                    None => self
-                        .outcome
-                        .blocked
-                        .push((requests[req].source, BlockReason::CrossbarOutput)),
+                    Some(out_port) => {
+                        if P::ENABLED {
+                            probe.wire_granted(p.l() + 1, switch * p.c() + out_port);
+                        }
+                        self.outcome
+                            .delivered
+                            .push((requests[req].source, switch * p.c() + out_port));
+                    }
+                    None => {
+                        if P::ENABLED {
+                            probe.request_lost(p.l() + 1);
+                        }
+                        self.outcome
+                            .blocked
+                            .push((requests[req].source, BlockReason::CrossbarOutput));
+                    }
                 }
             }
             span_start = span_end;
+        }
+        if P::ENABLED {
+            probe.cycle_end(self.outcome.delivered.len());
         }
         self.outcome.survivors.push(self.outcome.delivered.len());
         self.outcome.delivered.sort_unstable();

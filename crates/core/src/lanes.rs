@@ -76,6 +76,7 @@ use crate::faults::FaultSet;
 use crate::hyperbar::Arbiter;
 use crate::params::EdnParams;
 use crate::routing::{BlockReason, RouteRequest};
+use crate::telemetry::{NullProbe, Probe};
 use crate::topology::EdnTopology;
 
 /// The most replicas one pass can carry: one bit per lane in a `u64`.
@@ -323,6 +324,41 @@ impl LaneEngine {
         self.route_lanes_with(batches.len(), |lane| batches[lane], arbiters)
     }
 
+    /// As [`LaneEngine::route_lanes`], with one shared [`Probe`]
+    /// aggregating over all lanes (each lane reports its own
+    /// `cycle_start`/`cycle_end`, exactly like a scalar pass per lane).
+    ///
+    /// An enabled probe routes the pass down the bucketized arbitration
+    /// path — the scalar-equivalent call sequence the static fast paths
+    /// are oracle-checked against — so every arbitration is observed and
+    /// the per-lane outcomes stay bit-identical to the unprobed pass.
+    pub fn route_lanes_probed<A: Arbiter, P: Probe>(
+        &mut self,
+        batches: &[&[RouteRequest]],
+        arbiters: &mut [A],
+        probe: &mut P,
+    ) -> &[BatchOutcomeView] {
+        self.route_lanes_probed_with(batches.len(), |lane| batches[lane], arbiters, probe)
+    }
+
+    /// As [`LaneEngine::route_lanes_probed`], with per-lane batches
+    /// pulled through `batch` (the session-layer entry point).
+    pub fn route_lanes_probed_with<'b, A, G, P>(
+        &mut self,
+        lanes: usize,
+        batch: G,
+        arbiters: &mut [A],
+        probe: &mut P,
+    ) -> &[BatchOutcomeView]
+    where
+        A: Arbiter,
+        G: Fn(usize) -> &'b [RouteRequest],
+        P: Probe,
+    {
+        self.route_inner(lanes, batch, NoFaults, arbiters, probe);
+        &self.outcomes[..lanes]
+    }
+
     /// As [`LaneEngine::route_lanes`], with per-lane batches pulled
     /// through `batch` — the borrow-friendly entry point for callers
     /// whose request buffers live beside other per-lane state (the
@@ -333,7 +369,7 @@ impl LaneEngine {
         batch: G,
         arbiters: &mut [A],
     ) -> &[BatchOutcomeView] {
-        self.route_inner(lanes, batch, NoFaults, arbiters);
+        self.route_inner(lanes, batch, NoFaults, arbiters, &mut NullProbe);
         &self.outcomes[..lanes]
     }
 
@@ -356,6 +392,24 @@ impl LaneEngine {
         self.route_lanes_faulty_with(batches.len(), |lane| batches[lane], faults, arbiters)
     }
 
+    /// As [`LaneEngine::route_lanes_faulty`], with one shared [`Probe`]
+    /// aggregating over all lanes (see [`LaneEngine::route_lanes_probed`]).
+    pub fn route_lanes_faulty_probed<A: Arbiter, P: Probe>(
+        &mut self,
+        batches: &[&[RouteRequest]],
+        faults: &FaultSet,
+        arbiters: &mut [A],
+        probe: &mut P,
+    ) -> &[BatchOutcomeView] {
+        self.route_lanes_faulty_probed_with(
+            batches.len(),
+            |lane| batches[lane],
+            faults,
+            arbiters,
+            probe,
+        )
+    }
+
     /// As [`LaneEngine::route_lanes_faulty`], with per-lane batches
     /// pulled through `batch`.
     pub fn route_lanes_faulty_with<'b, A: Arbiter, G: Fn(usize) -> &'b [RouteRequest]>(
@@ -365,6 +419,24 @@ impl LaneEngine {
         faults: &FaultSet,
         arbiters: &mut [A],
     ) -> &[BatchOutcomeView] {
+        self.route_lanes_faulty_probed_with(lanes, batch, faults, arbiters, &mut NullProbe)
+    }
+
+    /// As [`LaneEngine::route_lanes_faulty_probed`], with per-lane
+    /// batches pulled through `batch` (the session-layer entry point).
+    pub fn route_lanes_faulty_probed_with<'b, A, G, P>(
+        &mut self,
+        lanes: usize,
+        batch: G,
+        faults: &FaultSet,
+        arbiters: &mut [A],
+        probe: &mut P,
+    ) -> &[BatchOutcomeView]
+    where
+        A: Arbiter,
+        G: Fn(usize) -> &'b [RouteRequest],
+        P: Probe,
+    {
         assert_eq!(
             faults.params(),
             self.topology.params(),
@@ -372,15 +444,22 @@ impl LaneEngine {
             faults.params(),
             self.topology.params()
         );
-        self.route_inner(lanes, batch, faults, arbiters);
+        self.route_inner(lanes, batch, faults, arbiters, probe);
         &self.outcomes[..lanes]
     }
 
-    fn route_inner<'b, G, V, A>(&mut self, lanes: usize, batch: G, faults: V, arbiters: &mut [A])
-    where
+    fn route_inner<'b, G, V, A, P>(
+        &mut self,
+        lanes: usize,
+        batch: G,
+        faults: V,
+        arbiters: &mut [A],
+        probe: &mut P,
+    ) where
         G: Fn(usize) -> &'b [RouteRequest],
         V: LaneFaults,
         A: Arbiter,
+        P: Probe,
     {
         assert!(
             (1..=MAX_LANES).contains(&lanes),
@@ -396,10 +475,18 @@ impl LaneEngine {
         let sw_stride = self.sw_stride;
 
         // One virtual `is_static` call per lane, not per (switch, lane).
+        // An enabled probe keeps the mask empty: every lane then takes
+        // the bucketized arbitration path — bit-identical to the static
+        // grant paths (both are oracle-checked against the scalar
+        // engine) but with an explicit `select` per bucket, so the probe
+        // observes contention depth and per-bucket fault capacity that
+        // the register-mask grants never materialize.
         let mut static_mask = 0u64;
-        for (lane, arbiter) in arbiters.iter().enumerate() {
-            if arbiter.is_static() {
-                static_mask |= 1u64 << lane;
+        if !P::ENABLED {
+            for (lane, arbiter) in arbiters.iter().enumerate() {
+                if arbiter.is_static() {
+                    static_mask |= 1u64 << lane;
+                }
             }
         }
 
@@ -414,6 +501,9 @@ impl LaneEngine {
         let all_a = if a == 64 { !0u64 } else { (1u64 << a) - 1 };
         for lane in 0..lanes {
             let requests = batch(lane);
+            if P::ENABLED {
+                probe.cycle_start(requests.len());
+            }
             let out = &mut self.outcomes[lane];
             out.delivered.clear();
             out.blocked.clear();
@@ -696,6 +786,9 @@ impl LaneEngine {
                             self.contenders.push(cm.trailing_zeros() as usize);
                             cm &= cm - 1;
                         }
+                        if P::ENABLED {
+                            probe.arbitrated(stage, self.contenders.len(), capacity, c);
+                        }
                         arbiters[lane].select(&mut self.contenders, capacity);
                         debug_assert!(self.contenders.len() <= capacity);
                         let mut winners = 0u64;
@@ -714,6 +807,9 @@ impl LaneEngine {
                             hm &= hm - 1;
                             let packed = row[port];
                             let exit = switch_base + bucket * c + wire;
+                            if P::ENABLED {
+                                probe.wire_granted(stage, exit as u64);
+                            }
                             let next_line = self.gamma_lut[lut_base + exit] as usize;
                             let next_sw = next_line >> next_shift;
                             self.next_slot[slot_lane + next_line] = packed;
@@ -725,6 +821,9 @@ impl LaneEngine {
                             let port = lost.trailing_zeros() as usize;
                             lost &= lost - 1;
                             let packed = row[port];
+                            if P::ENABLED {
+                                probe.request_lost(stage);
+                            }
                             self.fate[fate_lane + (packed >> 16) as usize] = stage;
                         }
                     }
@@ -801,6 +900,9 @@ impl LaneEngine {
                         self.contenders.push(cm.trailing_zeros() as usize);
                         cm &= cm - 1;
                     }
+                    if P::ENABLED {
+                        probe.arbitrated(p.l() + 1, self.contenders.len(), 1, 1);
+                    }
                     arbiters[lane].select(&mut self.contenders, 1);
                     debug_assert!(self.contenders.len() <= 1);
                     let winners = match self.contenders.first() {
@@ -810,6 +912,9 @@ impl LaneEngine {
                     if winners != 0 {
                         let port = winners.trailing_zeros() as usize;
                         let packed = row[port];
+                        if P::ENABLED {
+                            probe.wire_granted(p.l() + 1, (base_line + bucket) as u64);
+                        }
                         self.fate[fate_lane + (packed >> 16) as usize] =
                             FATE_DELIVERED | (base_line + bucket) as u32;
                     }
@@ -818,6 +923,9 @@ impl LaneEngine {
                         let port = lost.trailing_zeros() as usize;
                         lost &= lost - 1;
                         let packed = row[port];
+                        if P::ENABLED {
+                            probe.request_lost(p.l() + 1);
+                        }
                         self.fate[fate_lane + (packed >> 16) as usize] = FATE_CROSSBAR;
                     }
                 }
@@ -869,6 +977,9 @@ impl LaneEngine {
                         emit!(source, self.fate[fate_lane + source as usize]);
                     }
                 }
+            }
+            if P::ENABLED {
+                probe.cycle_end(out.delivered.len());
             }
             out.survivors.push(out.delivered.len());
         }

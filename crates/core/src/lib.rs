@@ -59,6 +59,9 @@
 //!   (resubmission, cluster schedules, caller-supplied drivers) so whole
 //!   runs are one engine call instead of one per cycle; [`LaneSession`]
 //!   steps up to 64 resident replicas per traversal.
+//! * [`telemetry`] — [`Probe`]: monomorphized routing telemetry
+//!   ([`NullProbe`] compiles to nothing; [`StageProbe`] resolves
+//!   blocking, contention, and wire utilization per stage).
 //! * [`reference`] — the pre-engine implementations, kept as the
 //!   differential-testing oracle and benchmark baseline.
 //! * [`cost`] — crosspoint and wire cost, Eqs. (2)–(3).
@@ -78,6 +81,7 @@ pub mod params;
 pub mod reference;
 pub mod routing;
 pub mod session;
+pub mod telemetry;
 pub mod topology;
 
 pub use address::{DestTag, RetirementOrder, SourceAddress};
@@ -95,4 +99,5 @@ pub use routing::{route_batch, route_batch_reordered, BatchOutcome, BlockReason,
 pub use session::{
     ClusterSchedule, CycleDriver, LaneResubmit, LaneSession, Resubmit, RouteSession, SessionState,
 };
+pub use telemetry::{NullProbe, Probe, RunMetrics, StageMetrics, StageProbe};
 pub use topology::{EdnTopology, PathTrace};

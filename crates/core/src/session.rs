@@ -63,6 +63,7 @@ use crate::hyperbar::Arbiter;
 use crate::lanes::{LaneEngine, MAX_LANES};
 use crate::params::EdnParams;
 use crate::routing::RouteRequest;
+use crate::telemetry::{NullProbe, Probe};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -367,15 +368,16 @@ enum SessionMode<'s> {
 /// [`RoutingEngine::begin_cluster_session`], or
 /// [`RoutingEngine::begin_session_with`]; dropped when the run's result
 /// has been read out of the [`SessionState`].
-pub struct RouteSession<'s, A: Arbiter + ?Sized> {
+pub struct RouteSession<'s, A: Arbiter + ?Sized, P: Probe = NullProbe> {
     engine: &'s mut RoutingEngine,
     state: &'s mut SessionState,
     mode: SessionMode<'s>,
     arbiter: &'s mut A,
     faults: Option<&'s FaultSet>,
+    probe: Option<&'s mut P>,
 }
 
-impl<'s, A: Arbiter + ?Sized> RouteSession<'s, A> {
+impl<'s, A: Arbiter + ?Sized, P: Probe> RouteSession<'s, A, P> {
     /// Routes the session through a fabric with broken wires instead of
     /// the healthy one.
     ///
@@ -392,6 +394,21 @@ impl<'s, A: Arbiter + ?Sized> RouteSession<'s, A> {
         );
         self.faults = Some(faults);
         self
+    }
+
+    /// Attaches a [`Probe`] observing every cycle of this session: the
+    /// engine's per-stage hooks plus a resubmission-queue-depth sample
+    /// at the top of each cycle. Outcomes are unchanged (bit-identity is
+    /// property-asserted); only the probe's counters differ.
+    pub fn with_probe<P2: Probe>(self, probe: &'s mut P2) -> RouteSession<'s, A, P2> {
+        RouteSession {
+            engine: self.engine,
+            state: self.state,
+            mode: self.mode,
+            arbiter: self.arbiter,
+            faults: self.faults,
+            probe: Some(probe),
+        }
     }
 
     /// `true` once the resident population is fully delivered
@@ -421,6 +438,15 @@ impl<'s, A: Arbiter + ?Sized> RouteSession<'s, A> {
             clusters,
         } = &mut *self.state;
         let cycle = *cycles;
+        if P::ENABLED {
+            if let Some(probe) = self.probe.as_deref_mut() {
+                match &self.mode {
+                    SessionMode::Resident(_) => probe.queue_depth(resident.waiting.len()),
+                    SessionMode::Cluster { .. } => probe.queue_depth(clusters.remaining as usize),
+                    SessionMode::Driver(_) => {}
+                }
+            }
+        }
         requests.clear();
         match &mut self.mode {
             SessionMode::Resident(resubmit) => resident.fill(resubmit, requests),
@@ -429,11 +455,19 @@ impl<'s, A: Arbiter + ?Sized> RouteSession<'s, A> {
             }
             SessionMode::Driver(driver) => driver.fill_cycle(cycle, requests),
         }
-        let outcome = match self.faults {
-            Some(faults) => self
+        let outcome = match (&mut self.probe, self.faults) {
+            (Some(probe), Some(faults)) => {
+                self.engine
+                    .route_faulty_probed(requests, faults, &mut *self.arbiter, &mut **probe)
+            }
+            (Some(probe), None) => {
+                self.engine
+                    .route_probed(requests, &mut *self.arbiter, &mut **probe)
+            }
+            (None, Some(faults)) => self
                 .engine
                 .route_faulty(requests, faults, &mut *self.arbiter),
-            None => self.engine.route(requests, &mut *self.arbiter),
+            (None, None) => self.engine.route(requests, &mut *self.arbiter),
         };
         match &mut self.mode {
             SessionMode::Resident(_) => resident.absorb(outcome),
@@ -506,15 +540,16 @@ pub enum LaneResubmit<'r> {
 /// [`RoutingEngine::begin_session`] with the same arbiter and RNG
 /// streams — a lane that finishes early simply routes empty batches
 /// (touching no switches, hence no arbiters) while the others drain.
-pub struct LaneSession<'s, A: Arbiter> {
+pub struct LaneSession<'s, A: Arbiter, P: Probe = NullProbe> {
     engine: &'s mut LaneEngine,
     states: &'s mut [SessionState],
     resubmit: LaneResubmit<'s>,
     arbiters: &'s mut [A],
     faults: Option<&'s FaultSet>,
+    probe: Option<&'s mut P>,
 }
 
-impl<'s, A: Arbiter> LaneSession<'s, A> {
+impl<'s, A: Arbiter, P: Probe> LaneSession<'s, A, P> {
     /// Routes every lane through a fabric with broken wires instead of
     /// the healthy one (all lanes share the fault set, as replicas of
     /// the same degraded fabric).
@@ -532,6 +567,20 @@ impl<'s, A: Arbiter> LaneSession<'s, A> {
         );
         self.faults = Some(faults);
         self
+    }
+
+    /// Attaches one shared [`Probe`] aggregating over every lane: the
+    /// lane engine's per-stage hooks plus a queue-depth sample per
+    /// active lane per cycle. Outcomes are unchanged.
+    pub fn with_probe<P2: Probe>(self, probe: &'s mut P2) -> LaneSession<'s, A, P2> {
+        LaneSession {
+            engine: self.engine,
+            states: self.states,
+            resubmit: self.resubmit,
+            arbiters: self.arbiters,
+            faults: self.faults,
+            probe: Some(probe),
+        }
     }
 
     /// `true` once every lane's resident population is fully delivered.
@@ -599,6 +648,15 @@ impl<'s, A: Arbiter> LaneSession<'s, A> {
     /// accumulate counts (the rest route empty batches, which touch no
     /// switches and therefore no arbiter state).
     fn step_mask(&mut self, mask: u64) -> (usize, usize) {
+        if P::ENABLED {
+            if let Some(probe) = self.probe.as_deref_mut() {
+                for (lane, state) in self.states.iter().enumerate() {
+                    if mask & (1u64 << lane) != 0 {
+                        probe.queue_depth(state.resident.waiting.len());
+                    }
+                }
+            }
+        }
         for (lane, state) in self.states.iter_mut().enumerate() {
             let SessionState {
                 requests, resident, ..
@@ -619,14 +677,27 @@ impl<'s, A: Arbiter> LaneSession<'s, A> {
             }
         }
         let states = &*self.states;
-        let outcomes = match self.faults {
-            Some(faults) => self.engine.route_lanes_faulty_with(
+        let outcomes = match (&mut self.probe, self.faults) {
+            (Some(probe), Some(faults)) => self.engine.route_lanes_faulty_probed_with(
+                states.len(),
+                |lane| states[lane].requests.as_slice(),
+                faults,
+                &mut *self.arbiters,
+                &mut **probe,
+            ),
+            (Some(probe), None) => self.engine.route_lanes_probed_with(
+                states.len(),
+                |lane| states[lane].requests.as_slice(),
+                &mut *self.arbiters,
+                &mut **probe,
+            ),
+            (None, Some(faults)) => self.engine.route_lanes_faulty_with(
                 states.len(),
                 |lane| states[lane].requests.as_slice(),
                 faults,
                 &mut *self.arbiters,
             ),
-            None => self.engine.route_lanes_with(
+            (None, None) => self.engine.route_lanes_with(
                 states.len(),
                 |lane| states[lane].requests.as_slice(),
                 &mut *self.arbiters,
@@ -694,6 +765,7 @@ impl LaneEngine {
             resubmit,
             arbiters,
             faults: None,
+            probe: None,
         }
     }
 }
@@ -726,6 +798,7 @@ impl RoutingEngine {
             mode: SessionMode::Resident(resubmit),
             arbiter,
             faults: None,
+            probe: None,
         }
     }
 
@@ -767,6 +840,7 @@ impl RoutingEngine {
             mode: SessionMode::Cluster { schedule, rng },
             arbiter,
             faults: None,
+            probe: None,
         }
     }
 
@@ -786,6 +860,7 @@ impl RoutingEngine {
             mode: SessionMode::Driver(driver),
             arbiter,
             faults: None,
+            probe: None,
         }
     }
 }

@@ -8,14 +8,16 @@
 //! [`RouteSession::run_to_completion`] / [`RouteSession::step_n`] runs
 //! (resident SameTag and Redraw resubmission, faulty stepping, and both
 //! cluster schedules) reuse one [`SessionState`] without touching the
-//! allocator once its buffers reached their high-water marks.
+//! allocator once its buffers reached their high-water marks. The same
+//! holds with telemetry **on**: probed passes and probed sessions
+//! accumulate into a pre-sized [`StageProbe`] without allocating.
 //!
 //! This file deliberately holds a single `#[test]` so nothing else runs
 //! concurrently against the global allocation counter.
 
 use edn_core::{
     ClusterSchedule, EdnParams, FaultSet, PriorityArbiter, RandomArbiter, Resubmit,
-    RetirementOrder, RoundRobinArbiter, RouteRequest, RoutingEngine, SessionState,
+    RetirementOrder, RoundRobinArbiter, RouteRequest, RoutingEngine, SessionState, StageProbe,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -76,6 +78,7 @@ fn session_round(
     faults: &FaultSet,
     clusters: u64,
     cluster_messages: &[(u64, u64)],
+    probe: &mut StageProbe,
 ) {
     let limit = 1 << 24;
     for (i, batch) in batches.iter().enumerate() {
@@ -105,6 +108,25 @@ fn session_round(
                 Resubmit::Redraw(&mut redraw_rng),
                 &mut arbiter,
             )
+            .with_faults(faults)
+            .step_n(12);
+        // Probed resident completion: the counting probe accumulates into
+        // pre-sized buffers, so telemetry must not break the guarantee.
+        engine
+            .begin_session(state, batch, Resubmit::SameTag, &mut PriorityArbiter::new())
+            .with_probe(probe)
+            .run_to_completion(limit);
+        // Probed faulty stepping.
+        let mut redraw_rng = StdRng::seed_from_u64(7000 + i);
+        let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(8000 + i));
+        engine
+            .begin_session(
+                state,
+                batch,
+                Resubmit::Redraw(&mut redraw_rng),
+                &mut arbiter,
+            )
+            .with_probe(probe)
             .with_faults(faults)
             .step_n(12);
         // Cluster drains under both schedules.
@@ -140,15 +162,18 @@ fn steady_state_routing_does_not_allocate() {
     let mut priority = PriorityArbiter::new();
     let mut random = RandomArbiter::new(StdRng::seed_from_u64(42));
     let mut round_robin = RoundRobinArbiter::new();
+    let mut probe = StageProbe::new(&params);
 
     // Warm-up: let every buffer reach its high-water capacity under all
-    // three policies and the healthy, faulty, and reordered paths (the
-    // first reordered cycle also populates the inverse-order cache).
+    // three policies and the healthy, faulty, probed, and reordered paths
+    // (the first reordered cycle also populates the inverse-order cache).
     for batch in &batches {
         engine.route(batch, &mut priority);
         engine.route(batch, &mut random);
         engine.route(batch, &mut round_robin);
         engine.route_faulty(batch, &faults, &mut random);
+        engine.route_probed(batch, &mut priority, &mut probe);
+        engine.route_faulty_probed(batch, &faults, &mut random, &mut probe);
         engine.route_reordered(batch, &order, &mut priority);
     }
 
@@ -160,6 +185,8 @@ fn steady_state_routing_does_not_allocate() {
             engine.route(batch, &mut random);
             engine.route(batch, &mut round_robin);
             engine.route_faulty(batch, &faults, &mut random);
+            engine.route_probed(batch, &mut priority, &mut probe);
+            engine.route_faulty_probed(batch, &faults, &mut random, &mut probe);
             engine.route_reordered(batch, &order, &mut priority);
         }
     }
@@ -167,7 +194,7 @@ fn steady_state_routing_does_not_allocate() {
     assert_eq!(
         after - before,
         0,
-        "steady-state route()/route_faulty()/route_reordered() must not touch the allocator"
+        "steady-state route()/route_faulty()/route_reordered() must not touch the allocator, probed or not"
     );
 
     // --- The session layer holds the same guarantee. ---
@@ -191,6 +218,7 @@ fn steady_state_routing_does_not_allocate() {
             &faults,
             clusters,
             &cluster_messages,
+            &mut probe,
         );
     }
     let before = allocations();
@@ -202,6 +230,7 @@ fn steady_state_routing_does_not_allocate() {
             &faults,
             clusters,
             &cluster_messages,
+            &mut probe,
         );
     }
     let after = allocations();

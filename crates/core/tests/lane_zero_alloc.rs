@@ -6,14 +6,15 @@
 //! faulty) perform **zero heap allocations** on the MasPar-shaped
 //! `EDN(64, 16, 4, 2)` at full load across 8 lanes — including the
 //! per-lane stateful-arbiter fallback path, whose contender scratch must
-//! stay at its high-water mark.
+//! stay at its high-water mark — and including probed passes, which
+//! accumulate into a pre-sized [`StageProbe`] without allocating.
 //!
 //! This file deliberately holds a single `#[test]` so nothing else runs
 //! concurrently against the global allocation counter.
 
 use edn_core::{
     EdnParams, FaultSet, LaneEngine, LaneResubmit, PriorityArbiter, RandomArbiter, RouteRequest,
-    SessionState,
+    SessionState, StageProbe,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -70,6 +71,7 @@ fn full_load_batch(params: &EdnParams, seed: u64) -> Vec<RouteRequest> {
 /// buffers stabilize at their high-water marks after the first round.
 /// Rebuilding arbiters/RNGs by assignment into preallocated `Vec` slots
 /// keeps the round itself allocation-free.
+#[allow(clippy::too_many_arguments)]
 fn lane_round(
     engine: &mut LaneEngine,
     states: &mut [SessionState],
@@ -78,6 +80,7 @@ fn lane_round(
     priority: &mut [PriorityArbiter],
     random: &mut [RandomArbiter<StdRng>],
     rngs: &mut [StdRng],
+    probe: &mut StageProbe,
 ) {
     let limit = 1 << 24;
     // Single lane passes: static fast path, stateful fallback, faulty.
@@ -93,6 +96,17 @@ fn lane_round(
         *slot = RandomArbiter::new(StdRng::seed_from_u64(200 + lane as u64));
     }
     engine.route_lanes_faulty(slices, faults, random);
+
+    // Probed passes (healthy and faulty): the counting probe accumulates
+    // into pre-sized buffers, so telemetry must not break the guarantee.
+    for slot in priority.iter_mut() {
+        *slot = PriorityArbiter::new();
+    }
+    engine.route_lanes_probed(slices, priority, probe);
+    for (lane, slot) in random.iter_mut().enumerate() {
+        *slot = RandomArbiter::new(StdRng::seed_from_u64(700 + lane as u64));
+    }
+    engine.route_lanes_faulty_probed(slices, faults, random, probe);
 
     // Resident SameTag completion under deterministic arbitration.
     for slot in priority.iter_mut() {
@@ -124,6 +138,15 @@ fn lane_round(
         .begin_lane_session(states, slices, LaneResubmit::Redraw(rngs), random)
         .with_faults(faults)
         .step_n(12);
+
+    // Probed resident completion.
+    for slot in priority.iter_mut() {
+        *slot = PriorityArbiter::new();
+    }
+    engine
+        .begin_lane_session(states, slices, LaneResubmit::SameTag, priority)
+        .with_probe(probe)
+        .run_to_completion(limit);
 }
 
 #[test]
@@ -144,6 +167,7 @@ fn steady_state_lane_routing_does_not_allocate() {
     let mut rngs: Vec<StdRng> = (0..LANES)
         .map(|lane| StdRng::seed_from_u64(lane as u64))
         .collect();
+    let mut stage_probe = StageProbe::new(&params);
 
     // Warm-up: let every lane buffer, outcome vector, contender scratch,
     // and session state reach its high-water capacity.
@@ -156,6 +180,7 @@ fn steady_state_lane_routing_does_not_allocate() {
             &mut priority,
             &mut random,
             &mut rngs,
+            &mut stage_probe,
         );
     }
 
@@ -170,6 +195,7 @@ fn steady_state_lane_routing_does_not_allocate() {
             &mut priority,
             &mut random,
             &mut rngs,
+            &mut stage_probe,
         );
     }
     let after = allocations();

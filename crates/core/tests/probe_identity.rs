@@ -1,0 +1,362 @@
+//! The telemetry layer's headline contract, property-tested: attaching a
+//! probe never changes a routing verdict. Every outcome — delivered set,
+//! blocked set, per-stage survivors, per-cycle session counts — is
+//! **bit-identical** with [`NullProbe`] (the default) vs. the counting
+//! [`StageProbe`], across property-generated shapes, loads, arbitration
+//! policies, fault masks, lane counts, and multi-cycle sessions. And the
+//! probe's ledger balances: offered = delivered + blocked + fault drops,
+//! stage by stage ([`RunMetrics::reconciles`]), with totals matching the
+//! engine's own outcome counters.
+
+use edn_core::{
+    Arbiter, ClusterSchedule, EdnParams, FaultSet, LaneEngine, LaneResubmit, PriorityArbiter,
+    RandomArbiter, Resubmit, RoundRobinArbiter, RouteRequest, RoutingEngine, SessionState,
+    StageProbe,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy: valid EDN parameters small enough to route many cycles per
+/// property case (all lane-packable: `a, b, c <= 16`, wires `<= 1024`).
+fn params_strategy() -> impl Strategy<Value = EdnParams> {
+    (1u32..=4, 0u32..=3, 1u32..=3, 1u32..=3).prop_filter_map(
+        "valid parameter combination",
+        |(log_a, log_c, log_b, l)| {
+            if log_c > log_a {
+                return None;
+            }
+            let a = 1u64 << log_a;
+            let b = 1u64 << log_b;
+            let c = 1u64 << log_c;
+            EdnParams::new(a, b, c, l)
+                .ok()
+                .filter(|p| p.inputs() <= 1024 && p.outputs() <= 1024)
+        },
+    )
+}
+
+/// Strategy: square parameters, as cluster sessions require.
+fn square_params_strategy() -> impl Strategy<Value = EdnParams> {
+    params_strategy().prop_filter_map("square network", |p| p.is_square().then_some(p))
+}
+
+/// A Bernoulli-`load` batch with uniform destinations, all randomness
+/// from `seed`.
+fn batch(params: &EdnParams, load: f64, seed: u64) -> Vec<RouteRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut requests = Vec::new();
+    for source in 0..params.inputs() {
+        if rng.gen_bool(load) {
+            requests.push(RouteRequest::new(
+                source,
+                rng.gen_range(0..params.outputs()),
+            ));
+        }
+    }
+    requests
+}
+
+/// One arbiter of the chosen policy; `seed` only drives random
+/// arbitration. Kinds: 0 = priority, 1 = random, 2 = round-robin.
+fn build_arbiter(kind: u8, seed: u64) -> Box<dyn Arbiter> {
+    match kind {
+        0 => Box::new(PriorityArbiter::new()),
+        1 => Box::new(RandomArbiter::new(StdRng::seed_from_u64(seed))),
+        _ => Box::new(RoundRobinArbiter::new()),
+    }
+}
+
+/// Distinct per-(lane, cycle) batch seed.
+fn lane_seed(seed: u64, lane: usize, cycle: usize) -> u64 {
+    seed ^ (lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (cycle as u64) << 48
+}
+
+proptest! {
+    /// Scalar passes: `route_probed` / `route_faulty_probed` match the
+    /// unprobed entries bit-for-bit, and the probe reconciles against the
+    /// outcome's own counters.
+    #[test]
+    fn scalar_outcomes_are_probe_invariant(
+        params in params_strategy(),
+        kind in 0u8..3,
+        cycles in 1usize..=4,
+        load in 0.1f64..=1.0,
+        faulty in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let faults = FaultSet::random(&params, 0.15, seed ^ 0xFA17);
+        let mut plain = RoutingEngine::from_params(params);
+        let mut probed = RoutingEngine::from_params(params);
+        let mut plain_arbiter = build_arbiter(kind, seed);
+        let mut probed_arbiter = build_arbiter(kind, seed);
+        let mut probe = StageProbe::new(&params);
+        let mut offered_total = 0u64;
+        let mut delivered_total = 0u64;
+        for cycle in 0..cycles {
+            let requests = batch(&params, load, lane_seed(seed, 0, cycle));
+            offered_total += requests.len() as u64;
+            let (expected, observed) = if faulty {
+                (
+                    plain.route_faulty(&requests, &faults, plain_arbiter.as_mut()),
+                    probed.route_faulty_probed(
+                        &requests,
+                        &faults,
+                        probed_arbiter.as_mut(),
+                        &mut probe,
+                    ),
+                )
+            } else {
+                (
+                    plain.route(&requests, plain_arbiter.as_mut()),
+                    probed.route_probed(&requests, probed_arbiter.as_mut(), &mut probe),
+                )
+            };
+            delivered_total += expected.delivered_count() as u64;
+            prop_assert_eq!(observed, expected, "cycle {} kind {}", cycle, kind);
+        }
+        let metrics = probe.snapshot();
+        prop_assert_eq!(metrics.cycles, cycles as u64);
+        prop_assert_eq!(metrics.offered, offered_total);
+        prop_assert_eq!(metrics.delivered, delivered_total);
+        prop_assert!(metrics.reconciles(), "{:?}", metrics);
+        if !faulty {
+            prop_assert!(metrics.stages.iter().all(|s| s.fault_drops == 0));
+        }
+    }
+
+    /// Lane passes: a probed pass (which takes the bucketized arbitration
+    /// path for every lane) matches the unprobed pass — static fast paths
+    /// included — lane by lane, and the probe reconciles across lanes.
+    #[test]
+    fn lane_outcomes_are_probe_invariant(
+        params in params_strategy(),
+        kinds in proptest::collection::vec(0u8..3, 1..13),
+        load in 0.1f64..=1.0,
+        faulty in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let faults = FaultSet::random(&params, 0.15, seed ^ 0xFA17);
+        let lanes = kinds.len();
+        let mut plain = LaneEngine::from_params(params);
+        let mut probed = LaneEngine::from_params(params);
+        let arbiters = |salt: u64| -> Vec<Box<dyn Arbiter>> {
+            kinds
+                .iter()
+                .enumerate()
+                .map(|(lane, &kind)| build_arbiter(kind, seed ^ lane_seed(salt, lane, 0)))
+                .collect()
+        };
+        let mut plain_arbiters = arbiters(0);
+        let mut probed_arbiters = arbiters(0);
+        let mut probe = StageProbe::new(&params);
+        let batches: Vec<Vec<RouteRequest>> = (0..lanes)
+            .map(|lane| batch(&params, load, lane_seed(seed, lane, 1)))
+            .collect();
+        let slices: Vec<&[RouteRequest]> = batches.iter().map(Vec::as_slice).collect();
+        let (expected, observed) = if faulty {
+            (
+                plain.route_lanes_faulty(&slices, &faults, &mut plain_arbiters).to_vec(),
+                probed.route_lanes_faulty_probed(
+                    &slices,
+                    &faults,
+                    &mut probed_arbiters,
+                    &mut probe,
+                ),
+            )
+        } else {
+            (
+                plain.route_lanes(&slices, &mut plain_arbiters).to_vec(),
+                probed.route_lanes_probed(&slices, &mut probed_arbiters, &mut probe),
+            )
+        };
+        let mut offered_total = 0u64;
+        let mut delivered_total = 0u64;
+        for (lane, (want, got)) in expected.iter().zip(observed).enumerate() {
+            prop_assert_eq!(got, want, "lane {} kind {}", lane, kinds[lane]);
+            offered_total += batches[lane].len() as u64;
+            delivered_total += want.delivered_count() as u64;
+        }
+        let metrics = probe.snapshot();
+        prop_assert_eq!(metrics.cycles, lanes as u64);
+        prop_assert_eq!(metrics.offered, offered_total);
+        prop_assert_eq!(metrics.delivered, delivered_total);
+        prop_assert!(metrics.reconciles(), "{:?}", metrics);
+    }
+
+    /// Resident sessions: `with_probe` never changes a multi-cycle run —
+    /// per-cycle delivered counts, the delivered-by-source mask, and the
+    /// cycle count all match, and the probe's queue-depth sampling sees
+    /// exactly one observation per cycle.
+    #[test]
+    fn resident_sessions_are_probe_invariant(
+        params in params_strategy(),
+        redraw in any::<bool>(),
+        faulty in any::<bool>(),
+        load in 0.2f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let limit = 1 << 20;
+        let requests = batch(&params, load, seed);
+        // Faulty fabrics may never deliver some requests; bound by steps.
+        let steps = 24u64;
+        let faults = FaultSet::random(&params, 0.1, seed ^ 0xFA17);
+        let run = |probe: Option<&mut StageProbe>| -> (Vec<u64>, Vec<bool>, u64, u64) {
+            let mut engine = RoutingEngine::from_params(params);
+            let mut state = SessionState::new();
+            let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(seed ^ 1));
+            let mut rng = StdRng::seed_from_u64(seed ^ 2);
+            let resubmit = if redraw {
+                Resubmit::Redraw(&mut rng)
+            } else {
+                Resubmit::SameTag
+            };
+            let session = engine.begin_session(&mut state, &requests, resubmit, &mut arbiter);
+            let delivered = match (probe, faulty) {
+                (Some(probe), true) => {
+                    let mut s = session.with_probe(probe).with_faults(&faults);
+                    s.step_n(steps).1
+                }
+                (Some(probe), false) => {
+                    let mut s = session.with_probe(probe);
+                    s.run_to_completion(limit);
+                    state.delivered()
+                }
+                (None, true) => {
+                    let mut s = session.with_faults(&faults);
+                    s.step_n(steps).1
+                }
+                (None, false) => {
+                    let mut s = session;
+                    s.run_to_completion(limit);
+                    state.delivered()
+                }
+            };
+            (
+                state.delivered_per_cycle().to_vec(),
+                state.delivered_mask().to_vec(),
+                state.delivered_per_cycle().len() as u64,
+                delivered,
+            )
+        };
+        let expected = run(None);
+        let mut probe = StageProbe::new(&params);
+        let observed = run(Some(&mut probe));
+        prop_assert_eq!(&observed, &expected);
+        let metrics = probe.snapshot();
+        let (_, _, cycles, delivered) = expected;
+        prop_assert_eq!(metrics.cycles, cycles);
+        prop_assert_eq!(metrics.delivered, delivered);
+        prop_assert_eq!(metrics.queue_samples, cycles);
+        prop_assert!(metrics.reconciles(), "{:?}", metrics);
+    }
+
+    /// Cluster sessions: probe invariance holds for the RA-EDN drain too.
+    #[test]
+    fn cluster_sessions_are_probe_invariant(
+        params in square_params_strategy(),
+        greedy in any::<bool>(),
+        messages_per_cluster in 1u64..=3,
+        seed in any::<u64>(),
+    ) {
+        let limit = 1 << 20;
+        let clusters = params.inputs();
+        let messages: Vec<(u64, u64)> = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..clusters * messages_per_cluster)
+                .map(|m| (m % clusters, rng.gen_range(0..params.outputs())))
+                .collect()
+        };
+        let schedule = if greedy {
+            ClusterSchedule::GreedyDistinct
+        } else {
+            ClusterSchedule::Random
+        };
+        let run = |probe: Option<&mut StageProbe>| -> (Vec<u64>, u64) {
+            let mut engine = RoutingEngine::from_params(params);
+            let mut state = SessionState::new();
+            let mut rng = StdRng::seed_from_u64(seed ^ 3);
+            let mut arbiter = RandomArbiter::new(StdRng::seed_from_u64(seed ^ 4));
+            let session = engine.begin_cluster_session(
+                &mut state,
+                clusters,
+                messages.iter().copied(),
+                schedule,
+                &mut rng,
+                &mut arbiter,
+            );
+            match probe {
+                Some(probe) => session.with_probe(probe).run_to_completion(limit),
+                None => {
+                    let mut s = session;
+                    s.run_to_completion(limit)
+                }
+            };
+            (state.delivered_per_cycle().to_vec(), state.delivered())
+        };
+        let expected = run(None);
+        let mut probe = StageProbe::new(&params);
+        let observed = run(Some(&mut probe));
+        prop_assert_eq!(&observed, &expected);
+        let metrics = probe.snapshot();
+        prop_assert_eq!(metrics.delivered, expected.1);
+        prop_assert!(metrics.queue_samples >= metrics.cycles.min(1));
+        prop_assert!(metrics.reconciles(), "{:?}", metrics);
+    }
+
+    /// Lane sessions: `with_probe` never changes a multi-cycle lane run.
+    #[test]
+    fn lane_sessions_are_probe_invariant(
+        params in params_strategy(),
+        lanes in 1usize..=8,
+        redraw in any::<bool>(),
+        load in 0.2f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let limit = 1 << 20;
+        let batches: Vec<Vec<RouteRequest>> = (0..lanes)
+            .map(|lane| batch(&params, load, lane_seed(seed, lane, 1)))
+            .collect();
+        let slices: Vec<&[RouteRequest]> = batches.iter().map(Vec::as_slice).collect();
+        let run = |probe: Option<&mut StageProbe>| -> (Vec<Vec<u64>>, u64) {
+            let mut engine = LaneEngine::from_params(params);
+            let mut states: Vec<SessionState> =
+                (0..lanes).map(|_| SessionState::new()).collect();
+            let mut arbiters: Vec<RandomArbiter<StdRng>> = (0..lanes)
+                .map(|lane| RandomArbiter::new(StdRng::seed_from_u64(seed ^ lane as u64)))
+                .collect();
+            let mut rngs: Vec<StdRng> = (0..lanes)
+                .map(|lane| StdRng::seed_from_u64(seed ^ 0x100 ^ lane as u64))
+                .collect();
+            let resubmit = if redraw {
+                LaneResubmit::Redraw(&mut rngs)
+            } else {
+                LaneResubmit::SameTag
+            };
+            let session =
+                engine.begin_lane_session(&mut states, &slices, resubmit, &mut arbiters);
+            let cycles = match probe {
+                Some(probe) => session.with_probe(probe).run_to_completion(limit),
+                None => {
+                    let mut s = session;
+                    s.run_to_completion(limit)
+                }
+            };
+            (
+                states
+                    .iter()
+                    .map(|s| s.delivered_per_cycle().to_vec())
+                    .collect(),
+                cycles,
+            )
+        };
+        let expected = run(None);
+        let mut probe = StageProbe::new(&params);
+        let observed = run(Some(&mut probe));
+        prop_assert_eq!(&observed, &expected);
+        let metrics = probe.snapshot();
+        let delivered: u64 = expected.0.iter().flatten().sum();
+        prop_assert_eq!(metrics.delivered, delivered);
+        prop_assert!(metrics.reconciles(), "{:?}", metrics);
+    }
+}

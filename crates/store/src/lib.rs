@@ -106,6 +106,7 @@ impl Store {
         let dir = self.table_dir(key);
         let mut entries = BTreeMap::new();
         let mut corrupt = 0usize;
+        let mut superseded = 0usize;
         let mut logs: Vec<PathBuf> = match fs::read_dir(&dir) {
             Ok(read) => read
                 .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -131,7 +132,9 @@ impl Store {
             for line in &lines[..valid_lines] {
                 match parse_entry(line) {
                     Some((index, cells)) => {
-                        entries.insert(index, cells);
+                        if entries.insert(index, cells).is_some() {
+                            superseded += 1;
+                        }
                     }
                     None => corrupt += 1,
                 }
@@ -141,6 +144,7 @@ impl Store {
             dir,
             entries,
             corrupt,
+            superseded,
             writer: None,
         })
     }
@@ -188,6 +192,7 @@ pub struct TableCache {
     dir: PathBuf,
     entries: BTreeMap<usize, Vec<String>>,
     corrupt: usize,
+    superseded: usize,
     writer: Option<BufWriter<fs::File>>,
 }
 
@@ -206,6 +211,13 @@ impl TableCache {
     /// one a row that will be recomputed instead of trusted.
     pub fn corrupt(&self) -> usize {
         self.corrupt
+    }
+
+    /// Verified log lines whose index was committed again by a later
+    /// line ("last commit wins") — each one dead weight a re-commit or
+    /// overlapping shard run left behind, not an error.
+    pub fn superseded(&self) -> usize {
+        self.superseded
     }
 
     /// The verified cells of row `index`, if cached.
@@ -343,6 +355,7 @@ mod tests {
         assert_eq!(reloaded.lookup(0), Some(&["x".to_string()][..]));
         assert_eq!(reloaded.lookup(1), None);
         assert_eq!(reloaded.corrupt(), 0);
+        assert_eq!(reloaded.superseded(), 0);
         fs::remove_dir_all(store.root()).ok();
     }
 
@@ -437,9 +450,11 @@ mod tests {
         table.commit(2, &["new".to_string()]).unwrap();
         drop(table);
         // Two logs now exist; the later one (sorted last by its
-        // timestamped name) wins.
+        // timestamped name) wins, and the loser is counted superseded.
         let reloaded = store.table(4).unwrap();
         assert_eq!(reloaded.lookup(2), Some(&["new".into()][..]));
+        assert_eq!(reloaded.superseded(), 1);
+        assert_eq!(reloaded.corrupt(), 0);
         fs::remove_dir_all(store.root()).ok();
     }
 
@@ -464,6 +479,7 @@ mod tests {
         .unwrap();
         let table = store.table(8).unwrap();
         assert_eq!(table.lookup(0), Some(&["new".to_string()][..]));
+        assert_eq!(table.superseded(), 1);
         fs::remove_dir_all(store.root()).ok();
     }
 

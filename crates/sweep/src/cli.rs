@@ -30,7 +30,11 @@
 //! artifact as their measurements complete (a reorder buffer in
 //! [`RowSink`] preserves grid order), not at process exit.
 
-use crate::pool::run_indexed;
+use crate::metrics::{
+    render_run_line, render_run_metrics, Heartbeat, LatencyHistogram, TableTelemetry,
+    METRICS_EXTENSION,
+};
+use crate::pool::run_indexed_counted;
 use crate::report::{render_json_row, Table};
 use crate::stream::{
     row_cache_key, shard_range, Provenance, RowSink, SchemaHeader, Shard, TableSchema,
@@ -40,6 +44,7 @@ use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// The environment variable naming the default `--cache` directory.
 pub const CACHE_ENV: &str = "EDN_SWEEP_CACHE";
@@ -300,6 +305,15 @@ impl SweepArgs {
                 None
             }
         });
+        // Heartbeats count this process's rows — its shard slice, not
+        // the full grid — so an orchestrator can sum shard heartbeats
+        // into overall progress.
+        let shard_rows: usize = plans
+            .iter()
+            .map(|p| shard_range(p.rows, self.shard).len())
+            .sum();
+        let heartbeat =
+            Heartbeat::from_env(self.shard, shard_rows, store.is_some()).map(Mutex::new);
         Emission {
             args: self,
             plans,
@@ -307,6 +321,10 @@ impl SweepArgs {
             store,
             stats: CacheStats::default(),
             next_table: 0,
+            telemetry: Vec::new(),
+            routing: Vec::new(),
+            heartbeat,
+            started: Instant::now(),
         }
     }
 }
@@ -327,6 +345,10 @@ pub struct CacheStats {
     /// covered is recomputed; a line superseded by a later good commit
     /// still counts here, so this can exceed the rows affected.
     pub corrupt: usize,
+    /// Verified cache log lines shadowed by a later commit of the same
+    /// row ("last commit wins") — dead weight from re-commits or
+    /// overlapping shard runs, not errors.
+    pub superseded: usize,
 }
 
 impl CacheStats {
@@ -343,8 +365,13 @@ impl CacheStats {
         } else {
             String::new()
         };
+        let superseded = if self.superseded > 0 {
+            format!(", {} superseded log lines", self.superseded)
+        } else {
+            String::new()
+        };
         format!(
-            "cache: {} hits, {} computed, {} committed ({rate}{corrupt})",
+            "cache: {} hits, {} computed, {} committed ({rate}{corrupt}{superseded})",
             self.hits, self.computed, self.committed
         )
     }
@@ -374,6 +401,10 @@ pub struct Emission<'a> {
     store: Option<Store>,
     stats: CacheStats,
     next_table: usize,
+    telemetry: Vec<TableTelemetry>,
+    routing: Vec<String>,
+    heartbeat: Option<Mutex<Heartbeat>>,
+    started: Instant,
 }
 
 impl Emission<'_> {
@@ -498,17 +529,31 @@ impl Emission<'_> {
         let cache = self.open_table_cache(&title, &headers);
         let mut cached: Vec<Option<Vec<String>>> = vec![None; range.len()];
         let mut fresh: Vec<usize> = Vec::with_capacity(range.len());
-        match &cache {
+        let (corrupt, superseded) = match &cache {
             Some(cache) => {
                 self.stats.corrupt += cache.corrupt();
+                self.stats.superseded += cache.superseded();
                 for (local, row) in range.clone().enumerate() {
                     match cache.lookup(row) {
                         Some(cells) => cached[local] = Some(cells.to_vec()),
                         None => fresh.push(local),
                     }
                 }
+                (cache.corrupt(), cache.superseded())
             }
-            None => fresh.extend(0..range.len()),
+            None => {
+                fresh.extend(0..range.len());
+                (0, 0)
+            }
+        };
+        let hits = range.len() - fresh.len();
+        if let Some(heartbeat) = &self.heartbeat {
+            if hits > 0 {
+                heartbeat
+                    .lock()
+                    .expect("heartbeat poisoned")
+                    .rows_done(hits, true);
+            }
         }
 
         // Replay the hits through the sink immediately; the reorder
@@ -527,42 +572,68 @@ impl Emission<'_> {
         }
 
         // Measure only the misses, as pool tasks; commit each fresh row
-        // to the cache as soon as it is measured and flushed.
+        // to the cache as soon as it is measured and flushed. Each task
+        // is timed into the latency histogram, and the heartbeat (when
+        // enabled) advances as rows land.
         let sink = &self.sink;
+        let heartbeat = &self.heartbeat;
         let binary = &self.args.binary;
         let start = range.start;
         let committed = AtomicUsize::new(0);
         let cache = cache.map(Mutex::new);
-        let fresh_results = run_indexed(self.args.threads, fresh.len(), init, |state, index| {
-            let row = start + fresh[index];
-            let (cells, aux) = measure(state, row);
-            if let Some(sink) = sink {
-                let line = render_json_row(base + row, &title, &headers, &cells);
-                sink.lock()
-                    .expect("sink poisoned")
-                    .push(base + row, line)
-                    .unwrap_or_else(|error| panic!("{binary}: streaming row: {error}"));
-            }
-            if let Some(cache) = &cache {
-                match cache.lock().expect("cache poisoned").commit(row, &cells) {
-                    Ok(()) => {
-                        committed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    // A full disk under the cache must not lose the
-                    // measurement — the row only misses again next run.
-                    Err(error) => eprintln!("{binary}: cache commit failed: {error}"),
+        let latency = Mutex::new(LatencyHistogram::new());
+        let (fresh_results, pool) =
+            run_indexed_counted(self.args.threads, fresh.len(), init, |state, index| {
+                let row = start + fresh[index];
+                let measured_at = Instant::now();
+                let (cells, aux) = measure(state, row);
+                let micros = u64::try_from(measured_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                latency.lock().expect("latency poisoned").record(micros);
+                if let Some(sink) = sink {
+                    let line = render_json_row(base + row, &title, &headers, &cells);
+                    sink.lock()
+                        .expect("sink poisoned")
+                        .push(base + row, line)
+                        .unwrap_or_else(|error| panic!("{binary}: streaming row: {error}"));
                 }
-            }
-            (cells, aux)
-        });
+                if let Some(cache) = &cache {
+                    match cache.lock().expect("cache poisoned").commit(row, &cells) {
+                        Ok(()) => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // A full disk under the cache must not lose the
+                        // measurement — the row only misses again next run.
+                        Err(error) => eprintln!("{binary}: cache commit failed: {error}"),
+                    }
+                }
+                if let Some(heartbeat) = heartbeat {
+                    heartbeat
+                        .lock()
+                        .expect("heartbeat poisoned")
+                        .rows_done(1, false);
+                }
+                (cells, aux)
+            });
 
         // Stitch replayed and fresh rows back into row order. The
         // counters only move when a cache was actually consulted.
+        let committed = committed.into_inner();
         if cache.is_some() {
-            self.stats.hits += range.len() - fresh.len();
+            self.stats.hits += hits;
             self.stats.computed += fresh.len();
-            self.stats.committed += committed.into_inner();
+            self.stats.committed += committed;
         }
+        self.telemetry.push(TableTelemetry {
+            title: title.clone(),
+            rows: range.len(),
+            hits,
+            computed: fresh.len(),
+            committed,
+            corrupt,
+            superseded,
+            pool,
+            latency: latency.into_inner().expect("latency poisoned"),
+        });
         let mut fresh_results = fresh_results.into_iter();
         let mut auxes = Vec::with_capacity(range.len());
         for (local, slot) in cached.into_iter().enumerate() {
@@ -628,6 +699,42 @@ impl Emission<'_> {
             }
             table.row(cells);
         }
+        if let Some(heartbeat) = &self.heartbeat {
+            if !range.is_empty() {
+                heartbeat
+                    .lock()
+                    .expect("heartbeat poisoned")
+                    .rows_done(range.len(), false);
+            }
+        }
+        // Precomputed tables never touch the cache or the pool; their
+        // metrics line records the emitted slice only.
+        self.telemetry.push(TableTelemetry {
+            title: table.title().to_string(),
+            rows: range.len(),
+            hits: 0,
+            computed: 0,
+            committed: 0,
+            corrupt: 0,
+            superseded: 0,
+            pool: Default::default(),
+            latency: LatencyHistogram::new(),
+        });
+    }
+
+    /// Records one probe snapshot ([`edn_core::RunMetrics`]) for the
+    /// metrics sidecar, labeled so an experiment can record several —
+    /// one per shape, load point, or table. The snapshot becomes a
+    /// `{"kind": "routing", ...}` line when [`finish`](Self::finish)
+    /// writes the sidecar; without `--out` it is dropped with the rest
+    /// of the telemetry.
+    pub fn record_run_metrics(&mut self, label: &str, metrics: &edn_core::RunMetrics) {
+        self.routing.push(render_run_metrics(label, metrics));
+    }
+
+    /// The per-table telemetry accumulated so far (tests and drivers).
+    pub fn table_telemetry(&self) -> &[TableTelemetry] {
+        &self.telemetry
     }
 
     /// Closes the run: every planned table must have been emitted; the
@@ -647,6 +754,9 @@ impl Emission<'_> {
             self.next_table,
             self.plans.len()
         );
+        if let Some(heartbeat) = &self.heartbeat {
+            heartbeat.lock().expect("heartbeat poisoned").finish();
+        }
         if let Some(sink) = self.sink {
             let sink = sink.into_inner().expect("sink poisoned");
             let path = sink.path().to_path_buf();
@@ -662,10 +772,41 @@ impl Emission<'_> {
                     path.display()
                 );
             }
+            // The metrics sidecar rides next to the artifact. It is
+            // observability, not data: a failure to write it only warns,
+            // and it is deliberately kept out of the deterministic
+            // artifact (timings differ run to run).
+            let metrics_path = path.with_extension(METRICS_EXTENSION);
+            let mut lines = vec![render_run_line(
+                &self.args.binary,
+                self.args.shard,
+                self.telemetry.len(),
+                self.telemetry.iter().map(|t| t.rows).sum(),
+                self.started.elapsed(),
+            )];
+            lines.extend(self.telemetry.iter().map(TableTelemetry::to_json));
+            lines.extend(self.routing.iter().cloned());
+            let records = lines.len();
+            let mut text = lines.join("\n");
+            text.push('\n');
+            match std::fs::write(&metrics_path, text) {
+                Ok(()) => println!(
+                    "wrote {records} metric records to {}",
+                    metrics_path.display()
+                ),
+                Err(error) => eprintln!(
+                    "{}: writing metrics sidecar {}: {error}",
+                    self.args.binary,
+                    metrics_path.display()
+                ),
+            }
         }
         if self.args.cache_stats {
             if self.store.is_some() {
                 println!("{}", self.stats.summary());
+                for table in &self.telemetry {
+                    println!("{}", table.cache_line());
+                }
             } else {
                 println!("cache: disabled (no --cache directory)");
             }
@@ -1051,6 +1192,73 @@ mod tests {
         assert_eq!(stats.hits, 3);
         assert_eq!(stats.computed, 1);
         assert!(stats.corrupt > 0, "corruption surfaced in the stats");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn runs_with_out_write_a_metrics_sidecar() {
+        let dir = temp_dir("metrics");
+        let (_, _, stats) = cached_run(&dir, "cold", 6, "1/1");
+        assert_eq!(stats.computed, 6);
+        let sidecar = dir.join("cold.metrics.jsonl");
+        let text = std::fs::read_to_string(&sidecar).unwrap();
+        let lines: Vec<crate::json::Value> = text
+            .lines()
+            .map(|line| crate::json::parse(line).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 2, "one run line, one table line");
+        assert_eq!(lines[0].get("kind").unwrap().as_str(), Some("run"));
+        assert_eq!(
+            lines[0].get("binary").unwrap().as_str(),
+            Some("cache_test_bin")
+        );
+        assert_eq!(lines[0].get("rows").unwrap().as_usize(), Some(6));
+        assert!(lines[0].get("elapsed_s").unwrap().as_f64().unwrap() >= 0.0);
+        assert_eq!(lines[1].get("kind").unwrap().as_str(), Some("table"));
+        assert_eq!(lines[1].get("title").unwrap().as_str(), Some("t"));
+        assert_eq!(lines[1].get("computed").unwrap().as_usize(), Some(6));
+        assert_eq!(lines[1].get("hits").unwrap().as_usize(), Some(0));
+        assert_eq!(lines[1].get("tasks").unwrap().as_usize(), Some(6));
+        assert!(lines[1].get("workers").unwrap().as_usize().unwrap() >= 1);
+        // A warm run's sidecar records the replay instead.
+        let (..) = cached_run(&dir, "warm", 6, "1/1");
+        let text = std::fs::read_to_string(dir.join("warm.metrics.jsonl")).unwrap();
+        let table = crate::json::parse(text.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(table.get("hits").unwrap().as_usize(), Some(6));
+        assert_eq!(table.get("computed").unwrap().as_usize(), Some(0));
+        assert_eq!(table.get("tasks").unwrap().as_usize(), Some(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recorded_probe_snapshots_land_in_the_sidecar() {
+        use edn_core::{EdnParams, PriorityArbiter, RouteRequest, RoutingEngine, StageProbe};
+        let dir = temp_dir("routing_metrics");
+        let out = dir.join("run.jsonl");
+        let mut args = parse(&[]).unwrap().unwrap();
+        args.out = Some(out.clone());
+        let mut table = Table::new("t", &["row"]);
+        let mut emit = args.plan_emit(&[(&table, 2)]);
+        emit.run_rows(&mut table, || (), |(), row| vec![row.to_string()]);
+        let params = EdnParams::new(16, 4, 4, 2).unwrap();
+        let mut engine = RoutingEngine::from_params(params);
+        let mut probe = StageProbe::new(&params);
+        let batch: Vec<RouteRequest> = (0..params.inputs())
+            .map(|s| RouteRequest::new(s, s % params.outputs()))
+            .collect();
+        engine.route_probed(&batch, &mut PriorityArbiter::new(), &mut probe);
+        emit.record_run_metrics("full load", &probe.snapshot());
+        emit.finish();
+        let text = std::fs::read_to_string(out.with_extension("metrics.jsonl")).unwrap();
+        let routing = crate::json::parse(text.lines().last().unwrap()).unwrap();
+        assert_eq!(routing.get("kind").unwrap().as_str(), Some("routing"));
+        assert_eq!(routing.get("label").unwrap().as_str(), Some("full load"));
+        assert_eq!(routing.get("reconciles").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            routing.get("stages").unwrap().as_array().unwrap().len(),
+            3,
+            "two hyperbar stages plus the crossbar"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

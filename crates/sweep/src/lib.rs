@@ -28,6 +28,11 @@
 //!   the byte-identical unsharded artifact.
 //! * [`json`] — a minimal dependency-free JSON parser backing artifact
 //!   validation.
+//! * [`metrics`] — run telemetry: every `--out` run writes a
+//!   `*.metrics.jsonl` sidecar (cache effectiveness, pool spread,
+//!   row-latency histograms, recorded routing-probe snapshots), and
+//!   `EDN_HEARTBEAT` turns on one-line stderr progress heartbeats that
+//!   `edn_orchestrate` aggregates across shards.
 //! * [`cli`] — [`SweepArgs`]: the `--threads`/`--seeds`/`--cycles`/
 //!   `--out`/`--shard`/`--cache` surface shared by all `fig*`/`tab*`
 //!   binaries, and [`Emission`], the streaming table-emission driver
@@ -68,6 +73,7 @@
 pub mod cli;
 pub mod json;
 pub mod merge;
+pub mod metrics;
 pub mod pool;
 pub mod report;
 pub mod spec;
@@ -75,7 +81,8 @@ pub mod stream;
 pub mod worker;
 
 pub use cli::{CacheStats, Emission, SweepArgs, CACHE_ENV};
-pub use pool::{default_threads, map_slice_with, run_indexed};
+pub use metrics::{Heartbeat, HeartbeatLine, LatencyHistogram, TableTelemetry, HEARTBEAT_ENV};
+pub use pool::{default_threads, map_slice_with, run_indexed, run_indexed_counted, PoolStats};
 pub use report::{fmt_f, fmt_opt, render_json_row, Table};
 pub use spec::{SweepPoint, SweepSpec};
 pub use stream::{

@@ -49,6 +49,22 @@ pub fn default_threads() -> usize {
         .unwrap_or(4)
 }
 
+/// Execution counters of one pool run, reported by
+/// [`run_indexed_counted`] — how the grid actually spread over the
+/// workers, for sweep telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Worker threads used (`1` means the inline fast path ran).
+    pub workers: usize,
+    /// Successful steal transfers: times an idle worker took the back
+    /// half of a victim's deque. Zero on a perfectly balanced grid; high
+    /// counts mean the seeded blocks were uneven and stealing earned its
+    /// keep.
+    pub steals: usize,
+}
+
 /// Runs tasks `0..tasks` on a work-stealing pool of `threads` workers
 /// (`0` = [`default_threads`]), returning the results in task order.
 ///
@@ -77,8 +93,29 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    run_indexed_counted(threads, tasks, init, f).0
+}
+
+/// As [`run_indexed`], additionally reporting [`PoolStats`] — the
+/// telemetry entry point. Counting is a handful of per-worker integer
+/// bumps folded at join time; results are identical to [`run_indexed`].
+///
+/// # Panics
+///
+/// As [`run_indexed`].
+pub fn run_indexed_counted<T, S, I, F>(
+    threads: usize,
+    tasks: usize,
+    init: I,
+    f: F,
+) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if tasks == 0 {
-        return Vec::new();
+        return (Vec::new(), PoolStats::default());
     }
     let workers = if threads == 0 {
         default_threads()
@@ -86,10 +123,18 @@ where
         threads
     }
     .min(tasks);
+    let mut stats = PoolStats {
+        tasks,
+        workers,
+        steals: 0,
+    };
     if workers == 1 {
         // Inline fast path: no spawn, no deques, no locks.
         let mut state = init();
-        return (0..tasks).map(|index| f(&mut state, index)).collect();
+        return (
+            (0..tasks).map(|index| f(&mut state, index)).collect(),
+            stats,
+        );
     }
 
     // Seed each deque with a contiguous block (block w owns
@@ -106,21 +151,19 @@ where
     let init = &init;
     let f = &f;
 
-    let mut per_worker: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+    let mut per_worker: Vec<(Vec<(usize, T)>, usize)> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|me| {
                 scope.spawn(move || {
                     let mut state = init();
                     let mut results: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        let index = pop_or_steal(deques, me);
-                        match index {
-                            Some(index) => results.push((index, f(&mut state, index))),
-                            None => break,
-                        }
+                    let mut steals = 0usize;
+                    while let Some((index, stolen)) = pop_or_steal(deques, me) {
+                        steals += usize::from(stolen);
+                        results.push((index, f(&mut state, index)));
                     }
-                    results
+                    (results, steals)
                 })
             })
             .collect();
@@ -131,23 +174,28 @@ where
 
     let mut slots: Vec<Option<T>> = Vec::with_capacity(tasks);
     slots.resize_with(tasks, || None);
-    for (index, value) in per_worker.into_iter().flatten() {
-        debug_assert!(slots[index].is_none(), "task {index} ran twice");
-        slots[index] = Some(value);
+    for (results, steals) in per_worker {
+        stats.steals += steals;
+        for (index, value) in results {
+            debug_assert!(slots[index].is_none(), "task {index} ran twice");
+            slots[index] = Some(value);
+        }
     }
-    slots
+    let results = slots
         .into_iter()
         .enumerate()
         .map(|(index, slot)| slot.unwrap_or_else(|| panic!("task {index} never ran")))
-        .collect()
+        .collect();
+    (results, stats)
 }
 
 /// Pops the next task for worker `me`: front of its own deque, else the
-/// back half of the first non-empty victim. `None` once every deque is
-/// drained (tasks already claimed are being executed by their claimants).
-fn pop_or_steal(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+/// back half of the first non-empty victim (the returned flag says
+/// which). `None` once every deque is drained (tasks already claimed are
+/// being executed by their claimants).
+fn pop_or_steal(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<(usize, bool)> {
     if let Some(index) = deques[me].lock().expect("deque poisoned").pop_front() {
-        return Some(index);
+        return Some((index, false));
     }
     let workers = deques.len();
     for offset in 1..workers {
@@ -163,7 +211,7 @@ fn pop_or_steal(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
             if !stolen.is_empty() {
                 deques[me].lock().expect("deque poisoned").extend(stolen);
             }
-            return Some(index);
+            return Some((index, true));
         }
     }
     None
@@ -267,7 +315,7 @@ mod tests {
             Mutex::new(VecDeque::from([7usize])),
             Mutex::new(VecDeque::new()),
         ];
-        assert_eq!(pop_or_steal(&deques, 1), Some(7));
+        assert_eq!(pop_or_steal(&deques, 1), Some((7, true)));
         assert!(deques[0].lock().unwrap().is_empty());
         assert!(pop_or_steal(&deques, 1).is_none());
     }
@@ -279,10 +327,69 @@ mod tests {
             Mutex::new(VecDeque::new()),
         ];
         // Thief takes ceil(5/2) = 3 tasks from the back, returns the
-        // first of them and queues the rest locally.
-        assert_eq!(pop_or_steal(&deques, 1), Some(2));
+        // first of them and queues the rest locally. Only the transfer
+        // itself counts as a steal: the two requeued tasks pop locally.
+        assert_eq!(pop_or_steal(&deques, 1), Some((2, true)));
         assert_eq!(*deques[0].lock().unwrap(), VecDeque::from([0, 1]));
         assert_eq!(*deques[1].lock().unwrap(), VecDeque::from([3, 4]));
+        assert_eq!(pop_or_steal(&deques, 1), Some((3, false)));
+    }
+
+    #[test]
+    fn counted_runs_report_tasks_and_workers() {
+        let (out, stats) = run_indexed_counted(1, 5, || (), |(), i| i);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            stats,
+            PoolStats {
+                tasks: 5,
+                workers: 1,
+                steals: 0
+            }
+        );
+        // Multi-worker runs clamp workers to the task count and return
+        // identical results; the steal count depends on scheduling luck,
+        // so only its ceiling is checked (every steal moved >= 1 task).
+        let (out, stats) = run_indexed_counted(8, 3, || (), |(), i| i * 10);
+        assert_eq!(out, vec![0, 10, 20]);
+        assert_eq!(stats.tasks, 3);
+        assert_eq!(stats.workers, 3);
+        assert!(stats.steals <= 3);
+        let (out, stats) = run_indexed_counted(4, 0, || (), |(), i| i);
+        assert!(out.is_empty());
+        assert_eq!(stats, PoolStats::default());
+    }
+
+    #[test]
+    fn a_forced_imbalance_registers_steals() {
+        // Worker 0's seeded block is one long task followed by stalls;
+        // the other workers drain their blocks and must steal from it.
+        // Run a few times: with 2 workers and a 60-task grid where worker
+        // 0's first task spins, at least one run should observe a steal.
+        let mut saw_steal = false;
+        for _ in 0..5 {
+            let (_, stats) = run_indexed_counted(
+                2,
+                60,
+                || (),
+                |(), i| {
+                    if i == 0 {
+                        let mut acc = 1u64;
+                        for k in 0..2_000_000u64 {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                        }
+                        acc
+                    } else {
+                        i as u64
+                    }
+                },
+            );
+            if stats.steals > 0 {
+                saw_steal = true;
+                break;
+            }
+        }
+        assert!(saw_steal, "a stalled worker's block is stolen from");
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Self-timed bench: fabric database build / load / route at scale —
+//! the perf claim behind `edn_fabric`.
+//!
+//! The square family `EDN(16,4,4,l)` for `l = 4..=9` spans 2^10 to 2^20
+//! ports (the paper's "very large parallel computers" regime). For each
+//! shape the bench times the three phases of the database lifecycle:
+//!
+//! * `build` — compile the interstage wiring from the topology with the
+//!   full deep validation (`CompiledWiring::compile`), i.e. what
+//!   `edn_fabric build` pays once per shape;
+//! * `load` — open, header-check, hash-verify, and map the saved
+//!   database back into routable form (`Fabric::load` — zero-copy
+//!   memory mapping on little-endian Unix), i.e. what every shard
+//!   process pays at startup under `--fabric`;
+//! * `route` — one full-load priority cycle on the loaded wiring, to
+//!   anchor the load cost against real routing work at the same scale.
+//!
+//! `load_speedup` is build-time over load-time per shape: how many times
+//! cheaper process startup gets when wiring comes from the database
+//! instead of being re-wired in-process. A bit-identical assertion
+//! (loaded wiring == freshly compiled wiring, loaded route == wired
+//! route) guards every shape before timing means anything.
+//!
+//! Results go to `BENCH_fabric_scale.json` at the repository root.
+//! `EDN_FABRIC_SCALE_MAX_PORTS` caps the largest shape (CI smoke runs
+//! set it low; the committed artifact is a full run to 2^20).
+
+use edn_core::{
+    CompiledWiring, EdnParams, EdnTopology, PriorityArbiter, RouteRequest, RoutingEngine,
+};
+use edn_fabric::Fabric;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fastest ns per run over `samples` short batches of `iters` runs
+/// (after one warm-up batch) — same estimator as the other self-timed
+/// benches, so ratios across files stay comparable.
+fn min_ns(mut f: impl FnMut(), samples: usize, iters: u32) -> f64 {
+    for _ in 0..iters {
+        f();
+    }
+    (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn full_load_batch(params: &EdnParams, seed: u64) -> Vec<RouteRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..params.inputs())
+        .map(|s| RouteRequest::new(s, rng.gen_range(0..params.outputs())))
+        .collect()
+}
+
+fn main() {
+    let max_ports: u64 = std::env::var("EDN_FABRIC_SCALE_MAX_PORTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 20);
+    let dir = std::env::temp_dir().join(format!("edn_fabric_scale_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench scratch directory");
+
+    let mut entries = Vec::new();
+    let mut largest_speedup = 0.0f64;
+    let mut largest_ports = 0u64;
+    for l in 4..=9u32 {
+        let params = EdnParams::new(16, 4, 4, l).expect("the square family is valid");
+        let ports = params.inputs();
+        if ports > max_ports {
+            println!("skipping EDN(16,4,4,{l}) ({ports} ports > EDN_FABRIC_SCALE_MAX_PORTS)");
+            continue;
+        }
+        // Fewer samples at the big shapes: each build is already long,
+        // and the minimum estimator needs windows, not repetition.
+        let (samples, route_samples) = if ports >= 1 << 18 { (3, 3) } else { (7, 10) };
+
+        let path = Fabric::path_in(&dir, &params);
+        Fabric::build(params)
+            .expect("the shape compiles")
+            .save(&path)
+            .expect("save fabric");
+        let table_bytes = std::fs::metadata(&path).expect("stat fabric").len();
+
+        // Correctness gate: the loaded database must be bit-identical
+        // to an in-process compile, and route identically, before any
+        // of its timings mean anything.
+        let loaded = Fabric::load(&path).expect("load fabric");
+        let compiled = CompiledWiring::compile_params(params).expect("compile wiring");
+        assert_eq!(
+            loaded.wiring().as_ref(),
+            &compiled,
+            "EDN(16,4,4,{l}): loaded wiring diverged from in-process compilation"
+        );
+        let batch = full_load_batch(&params, 0xFAB + l as u64);
+        let mut wired_engine = RoutingEngine::from_params(params);
+        let mut loaded_engine = RoutingEngine::with_wiring(Arc::clone(loaded.wiring()));
+        assert_eq!(
+            loaded_engine
+                .route(&batch, &mut PriorityArbiter::new())
+                .to_outcome(),
+            wired_engine
+                .route(&batch, &mut PriorityArbiter::new())
+                .to_outcome(),
+            "EDN(16,4,4,{l}): loaded fabric routed differently"
+        );
+
+        let build_ns = min_ns(
+            || {
+                black_box(Fabric::build(params).expect("the shape compiles"));
+            },
+            samples,
+            1,
+        );
+        let load_ns = min_ns(
+            || {
+                black_box(Fabric::load(&path).expect("load fabric"));
+            },
+            samples,
+            1,
+        );
+        // Re-wiring baseline: what a process pays without the database —
+        // topology construction plus compile-and-validate.
+        let rewire_ns = min_ns(
+            || {
+                let topology = EdnTopology::new(params);
+                black_box(CompiledWiring::compile(&topology).expect("compile wiring"));
+            },
+            samples,
+            1,
+        );
+        let route_ns = min_ns(
+            || {
+                black_box(
+                    loaded_engine
+                        .route(&batch, &mut PriorityArbiter::new())
+                        .delivered_count(),
+                );
+            },
+            route_samples,
+            1,
+        );
+        let speedup = rewire_ns / load_ns;
+        if ports > largest_ports {
+            largest_ports = ports;
+            largest_speedup = speedup;
+        }
+        println!(
+            "EDN(16,4,4,{l}) ({ports} ports, {table_bytes} bytes): build {:.2} ms, \
+             rewire {:.2} ms, load {:.2} ms ({speedup:.1}x), route {:.2} ms",
+            build_ns / 1e6,
+            rewire_ns / 1e6,
+            load_ns / 1e6,
+            route_ns / 1e6
+        );
+        entries.push(format!(
+            "    {{\"shape\": \"EDN(16,4,4,{l})\", \"ports\": {ports}, \
+             \"file_bytes\": {table_bytes}, \"build_ms\": {:.4}, \"rewire_ms\": {:.4}, \
+             \"load_ms\": {:.4}, \"route_ms\": {:.4}, \"load_speedup\": {speedup:.2}}}",
+            build_ns / 1e6,
+            rewire_ns / 1e6,
+            load_ns / 1e6,
+            route_ns / 1e6
+        ));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    let provenance = edn_bench::bench_provenance_json();
+    let json = format!(
+        "{{\n  \"bench\": \"fabric_scale\",\n  \
+         {provenance},\n  \
+         \"workload\": \"edn_fabric database lifecycle on the square EDN(16,4,4,l) family: \
+         build = compile + deep-validate wiring, load = open + hash-verify + zero-copy map \
+         the saved database, rewire = the no-database startup baseline, route = one full-load \
+         priority cycle on the loaded wiring\",\n  \
+         \"unit\": \"ms (min over short windows)\",\n  \
+         \"load_speedup_at_largest_shape\": {largest_speedup:.2},\n  \
+         \"note\": \"Loaded wiring is asserted bit-identical to in-process compilation (table \
+         and routed outcome) at every shape before timing. load_speedup = rewire_ms / load_ms: \
+         what each shard process saves at startup under --fabric.\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fabric_scale.json");
+    std::fs::write(path, json).expect("write BENCH_fabric_scale.json");
+    println!("wrote {path}");
+}

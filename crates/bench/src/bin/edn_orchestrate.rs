@@ -48,6 +48,9 @@ const USAGE: &str = "one-command shard scale-out: run an experiment binary as N 
     --out PATH     where the merged artifact goes (required)\n  \
     --cache DIR    pass --cache DIR to every child, so shards replay and\n                 \
     commit the shared edn_store row cache\n  \
+    --fabric DIR   pass --fabric DIR to every child, so shards load the\n                 \
+    compiled edn_fabric wiring database instead of each\n                 \
+    re-wiring every shape at startup\n  \
     --retries K    re-launch a failed shard up to K times (default: 2),\n                 \
     each attempt with a fresh shard file\n  \
     --work-dir D   scratch directory for shard artifacts (default: a\n                 \
@@ -57,7 +60,7 @@ const USAGE: &str = "one-command shard scale-out: run an experiment binary as N 
     --keep-parts   keep the shard artifacts after merging\n  \
     --help         print this message\n\n\
     Everything after `--` is the child command line; edn_orchestrate\n\
-    appends `--shard I/N --out PART [--cache DIR]` per child, plus\n\
+    appends `--shard I/N --out PART [--cache DIR] [--fabric DIR]` per child, plus\n\
     `--threads cores/N` unless the command already sets --threads.\n\n\
     Child stderr is relayed with a `[shard I/N]` prefix; heartbeat lines\n\
     (EDN_HEARTBEAT is enabled for the children unless already set) are\n\
@@ -67,6 +70,7 @@ struct Options {
     jobs: usize,
     out: PathBuf,
     cache: Option<PathBuf>,
+    fabric: Option<PathBuf>,
     retries: usize,
     work_dir: Option<PathBuf>,
     keep_parts: bool,
@@ -78,6 +82,7 @@ fn parse_options() -> Result<Option<Options>, String> {
     let mut jobs = None;
     let mut out = None;
     let mut cache = None;
+    let mut fabric = None;
     let mut retries = 2usize;
     let mut work_dir = None;
     let mut keep_parts = false;
@@ -97,6 +102,7 @@ fn parse_options() -> Result<Option<Options>, String> {
             }
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--cache" => cache = Some(PathBuf::from(value("--cache")?)),
+            "--fabric" => fabric = Some(PathBuf::from(value("--fabric")?)),
             "--retries" => {
                 retries = value("--retries")?
                     .parse()
@@ -120,6 +126,7 @@ fn parse_options() -> Result<Option<Options>, String> {
         jobs,
         out,
         cache,
+        fabric,
         retries,
         work_dir,
         keep_parts,
@@ -299,6 +306,9 @@ fn main() {
             }
             if let Some(cache) = &options.cache {
                 command.arg("--cache").arg(cache);
+            }
+            if let Some(fabric) = &options.fabric {
+                command.arg("--fabric").arg(fabric);
             }
             match command.spawn() {
                 Ok(mut child) => {

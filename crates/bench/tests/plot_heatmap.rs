@@ -1,0 +1,100 @@
+//! Regression contract of `edn_plot --heatmap` on degenerate sidecars:
+//! a metrics sidecar with **zero routing records** (an experiment that
+//! recorded no probe snapshots, or an empty file) must produce a clear
+//! diagnostic and a nonzero exit — never a panic, and never a silent
+//! empty heatmap. The happy path (one routing record → one heatmap row)
+//! rides along to prove the flag itself works.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("edn_plot_heatmap_tests")
+        .join(format!("{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn plot_heatmap(sidecar: &std::path::Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_edn_plot"))
+        .arg("--heatmap")
+        .arg(sidecar)
+        .output()
+        .expect("edn_plot spawns")
+}
+
+#[test]
+fn zero_routing_records_is_a_diagnostic_not_a_panic() {
+    let dir = temp_dir("zero");
+    // A realistic sidecar whose experiment recorded no probe snapshots:
+    // run + table records only.
+    let sidecar = dir.join("run.metrics.jsonl");
+    std::fs::write(
+        &sidecar,
+        "{\"kind\": \"run\", \"experiment\": \"tab_faults\"}\n\
+         {\"kind\": \"table\", \"title\": \"TAB X\", \"rows\": 3}\n",
+    )
+    .unwrap();
+    let output = plot_heatmap(&sidecar);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        !output.status.success(),
+        "zero routing records must exit nonzero (stderr: {stderr})"
+    );
+    assert!(
+        stderr.contains("no routing records"),
+        "diagnostic must name the problem, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must be a diagnostic, not a panic: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_sidecar_is_a_diagnostic_not_a_panic() {
+    let dir = temp_dir("empty");
+    let sidecar = dir.join("empty.metrics.jsonl");
+    std::fs::write(&sidecar, "").unwrap();
+    let output = plot_heatmap(&sidecar);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(!output.status.success(), "empty sidecar must exit nonzero");
+    assert!(
+        stderr.contains("no routing records") && !stderr.contains("panicked"),
+        "diagnostic, not panic: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn one_routing_record_renders_one_heatmap_row() {
+    let dir = temp_dir("happy");
+    let sidecar = dir.join("probe.metrics.jsonl");
+    std::fs::write(
+        &sidecar,
+        "{\"kind\": \"run\", \"experiment\": \"demo\"}\n\
+         {\"kind\": \"routing\", \"label\": \"EDN(16,4,4,2) demo\", \"cycles\": 4, \
+          \"stages\": [{\"granted\": 128, \"wires\": 64}, {\"granted\": 64, \"wires\": 64}]}\n",
+    )
+    .unwrap();
+    let output = plot_heatmap(&sidecar);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "heatmap render failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        stdout.contains("stage utilization") && stdout.contains("EDN(16,4,4,2) demo"),
+        "heatmap output missing expected content: {stdout}"
+    );
+    // granted/(cycles*wires): 128/(4*64) = 0.50, 64/(4*64) = 0.25.
+    assert!(
+        stdout.contains("0.50") && stdout.contains("0.25"),
+        "per-stage utilization values missing: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

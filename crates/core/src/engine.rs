@@ -38,6 +38,8 @@
 //! # }
 //! ```
 
+use std::sync::Arc;
+
 use crate::address::RetirementOrder;
 use crate::faults::FaultSet;
 use crate::hyperbar::Arbiter;
@@ -45,6 +47,7 @@ use crate::params::EdnParams;
 use crate::routing::{BatchOutcome, BlockReason, RouteRequest};
 use crate::telemetry::{NullProbe, Probe};
 use crate::topology::EdnTopology;
+use crate::wiring::{compile_shared, CompiledWiring};
 
 /// The result of the engine's most recent cycle, viewed in place.
 ///
@@ -145,6 +148,10 @@ impl FaultView for &FaultSet {
 #[derive(Debug)]
 pub struct RoutingEngine {
     topology: EdnTopology,
+    /// The compiled interstage tables, shared by reference: engines
+    /// built from one handle ([`RoutingEngine::with_wiring`]) borrow a
+    /// single physical table instead of owning per-instance copies.
+    wiring: Arc<CompiledWiring>,
     /// Duplicate-source detector: `seen[s] == epoch` iff source `s`
     /// appeared in the current batch. Epoch stamping makes clearing free;
     /// the buffer is wiped only when the epoch counter wraps.
@@ -170,14 +177,42 @@ pub struct RoutingEngine {
 }
 
 impl RoutingEngine {
-    /// Builds an engine owning `topology`.
+    /// Builds an engine owning `topology`, compiling (and deeply
+    /// validating) its own wiring tables — the re-wiring cost every
+    /// process pays without a shared fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape's wire ids exceed the `u32` compiled-wiring
+    /// representation (see [`crate::wiring::compile_shared`]).
     pub fn new(topology: EdnTopology) -> Self {
+        let wiring = compile_shared(*topology.params());
+        Self::with_topology_and_wiring(topology, wiring)
+    }
+
+    /// Builds an engine borrowing an already-compiled `wiring` — the
+    /// near-zero-cost constructor used when a fabric database (or a
+    /// sibling engine) has the tables in memory already.
+    pub fn with_wiring(wiring: Arc<CompiledWiring>) -> Self {
+        let topology = EdnTopology::new(*wiring.params());
+        Self::with_topology_and_wiring(topology, wiring)
+    }
+
+    fn with_topology_and_wiring(topology: EdnTopology, wiring: Arc<CompiledWiring>) -> Self {
+        assert_eq!(
+            wiring.params(),
+            topology.params(),
+            "wiring was compiled for {} but the fabric is {}",
+            wiring.params(),
+            topology.params()
+        );
         let p = *topology.params();
         let inputs = p.inputs() as usize;
         let ports = p.a().max(p.c()) as usize;
         let buckets = p.b().max(p.c()) as usize;
         RoutingEngine {
             topology,
+            wiring,
             seen: vec![0; inputs],
             epoch: 0,
             active: Vec::with_capacity(inputs),
@@ -204,6 +239,12 @@ impl RoutingEngine {
     /// The wired fabric this engine routes through.
     pub fn topology(&self) -> &EdnTopology {
         &self.topology
+    }
+
+    /// The shared compiled wiring handle — clone it to build sibling
+    /// engines (scalar or lane) without recompiling the tables.
+    pub fn wiring(&self) -> &Arc<CompiledWiring> {
+        &self.wiring
     }
 
     /// The network parameters.
@@ -391,7 +432,9 @@ impl RoutingEngine {
         for stage in 1..=p.l() {
             self.active.sort_unstable_by_key(|&(_, line)| line);
             self.next.clear();
-            let gamma = self.topology.interstage_gamma(stage);
+            // One load against the compiled table replaces the
+            // shift/rotate math of `Gamma::apply` per winner.
+            let gamma_lut = self.wiring.stage_lut(stage);
             let mut span_start = 0usize;
             while span_start < self.active.len() {
                 let switch = self.active[span_start].1 / p.a();
@@ -447,7 +490,7 @@ impl RoutingEngine {
                             if P::ENABLED {
                                 probe.wire_granted(stage, exit);
                             }
-                            self.next.push((req, gamma.apply(exit)));
+                            self.next.push((req, gamma_lut[exit as usize] as u64));
                         }
                         None => {
                             if P::ENABLED {

@@ -71,6 +71,8 @@
 //! # }
 //! ```
 
+use std::sync::Arc;
+
 use crate::engine::BatchOutcomeView;
 use crate::faults::FaultSet;
 use crate::hyperbar::Arbiter;
@@ -78,6 +80,7 @@ use crate::params::EdnParams;
 use crate::routing::{BlockReason, RouteRequest};
 use crate::telemetry::{NullProbe, Probe};
 use crate::topology::EdnTopology;
+use crate::wiring::{compile_shared, CompiledWiring};
 
 /// The most replicas one pass can carry: one bit per lane in a `u64`.
 pub const MAX_LANES: usize = 64;
@@ -92,12 +95,25 @@ pub fn lanes_enabled() -> bool {
     *ENABLED.get_or_init(|| std::env::var("EDN_LANES").map_or(true, |value| value != "0"))
 }
 
-/// Largest per-stage wire count the lane engine packs. The slot arrays
-/// are `64 x wires` words, so this bounds a `LaneEngine` to a few MiB,
-/// and it keeps every source and tag under `2^16` so a slot word can
-/// carry `(source << 16) | tag`; callers fall back to the scalar engine
-/// above it ([`LaneEngine::supports`]).
+/// Largest per-stage wire count the lane engine packs: the slot arrays
+/// are `64 x wires` words, so this bounds a `LaneEngine` to a few MiB.
+/// A *budget* bound only — raising it must not outrun the packing
+/// bounds below, which [`LaneEngine::packs`] checks independently.
 const MAX_LANE_WIRES: u64 = 1 << 14;
+
+/// Exclusive bound on sources a packed slot word can carry: a request
+/// travels as `(source << 16) | tag` in a `u32`, and a delivered fate
+/// word carries `source` above bit 16 again, so sources must fit 16
+/// bits. Checked explicitly by [`LaneEngine::packs`] — before this
+/// bound existed, only the (coincidentally smaller) wire budget kept
+/// million-port shapes from truncating sources silently and routing
+/// wrong instead of falling back to the scalar engine.
+const MAX_LANE_SOURCES: u64 = 1 << 16;
+
+/// Exclusive bound on tags/outputs, for the same packing reason: tags
+/// ride the low 16 bits of a slot word, and a delivered output rides
+/// the low 16 bits of a fate word.
+const MAX_LANE_TAGS: u64 = 1 << 16;
 
 /// Compile-time fault dispatch, as in the scalar engine: the healthy
 /// path must not pay for per-bucket fault lookups.
@@ -196,12 +212,12 @@ pub struct LaneEngine {
     fate_stride: usize,
     /// Bitmap words per lane in `offered_bits`.
     bits_stride: usize,
-    /// Flattened per-stage interstage permutation tables: stage `s`'s
-    /// exit line `e` maps to entry line `gamma_lut[gamma_off[s-1] + e]`
-    /// of the next stage — one load instead of the shift/rotate math of
-    /// [`crate::Gamma::apply`] per winner.
-    gamma_lut: Vec<u16>,
-    gamma_off: Vec<usize>,
+    /// The compiled per-stage interstage tables — one load instead of
+    /// the shift/rotate math of [`crate::Gamma::apply`] per winner.
+    /// Shared by reference with sibling engines and fabric loads; the
+    /// former per-instance `Vec<u16>` copy both duplicated the table
+    /// per engine and capped wire ids at 16 bits.
+    wiring: Arc<CompiledWiring>,
     /// Per-bucket contender-port masks of the lane in hand.
     bucket_ports: Vec<u64>,
     /// Per-bucket healthy-wire masks of the (lane, switch) in hand; the
@@ -213,11 +229,28 @@ pub struct LaneEngine {
 }
 
 impl LaneEngine {
-    /// `true` if `params` fits the lane representation: port and bucket
-    /// sets must pack into `u64` masks (`a, b, c <= 64`) and the widest
-    /// stage must stay within the slot-array budget.
+    /// `true` if `params` fits the lane *representation*: port and
+    /// bucket sets must pack into `u64` masks (`a, b, c <= 64`), every
+    /// source and delivered output must fit the 16-bit fields of the
+    /// packed slot and fate words, and the per-stage bucket digit must
+    /// sit entirely inside the 16 tag bits. A shape that fails this
+    /// bound would not merely be slow — it would truncate and route
+    /// wrong — so [`LaneEngine::supports`] (and through it every
+    /// adopter's scalar fallback) checks it independently of the size
+    /// budget.
+    pub fn packs(params: &EdnParams) -> bool {
+        params.a() <= 64
+            && params.b() <= 64
+            && params.c() <= 64
+            && params.inputs() <= MAX_LANE_SOURCES
+            && params.outputs() <= MAX_LANE_TAGS
+    }
+
+    /// `true` if `params` fits the lane representation ([`LaneEngine::packs`])
+    /// *and* the widest stage stays within the slot-array size budget;
+    /// callers fall back to the scalar engine otherwise.
     pub fn supports(params: &EdnParams) -> bool {
-        if params.a() > 64 || params.b() > 64 || params.c() > 64 {
+        if !Self::packs(params) {
             return false;
         }
         let mut max_wires = params.inputs();
@@ -227,7 +260,8 @@ impl LaneEngine {
         max_wires <= MAX_LANE_WIRES
     }
 
-    /// Builds a lane engine owning `topology`.
+    /// Builds a lane engine owning `topology`, compiling its own wiring
+    /// tables.
     ///
     /// # Panics
     ///
@@ -235,7 +269,36 @@ impl LaneEngine {
     /// ([`LaneEngine::supports`]); callers should fall back to the
     /// scalar [`crate::RoutingEngine`] there.
     pub fn new(topology: EdnTopology) -> Self {
+        let wiring = compile_shared(*topology.params());
+        Self::with_topology_and_wiring(topology, wiring)
+    }
+
+    /// Builds a lane engine borrowing an already-compiled `wiring` —
+    /// the fabric-database / sibling-engine constructor, skipping the
+    /// table compilation [`LaneEngine::new`] pays.
+    ///
+    /// # Panics
+    ///
+    /// As [`LaneEngine::new`].
+    pub fn with_wiring(wiring: Arc<CompiledWiring>) -> Self {
+        let topology = EdnTopology::new(*wiring.params());
+        Self::with_topology_and_wiring(topology, wiring)
+    }
+
+    fn with_topology_and_wiring(topology: EdnTopology, wiring: Arc<CompiledWiring>) -> Self {
         let p = *topology.params();
+        assert_eq!(
+            wiring.params(),
+            &p,
+            "wiring was compiled for {} but the fabric is {}",
+            wiring.params(),
+            p
+        );
+        assert!(
+            Self::packs(&p),
+            "{p} does not fit the 16-bit packed slot/fate fields — routing it \
+             on lanes would truncate; use the scalar RoutingEngine"
+        );
         assert!(
             Self::supports(&p),
             "{p} does not fit u64 lane masks; use the scalar RoutingEngine"
@@ -251,15 +314,6 @@ impl LaneEngine {
         }
         max_switches = max_switches.max((p.outputs() / p.c()) as usize);
         let buckets = p.b().max(p.c()) as usize;
-        let mut gamma_lut = Vec::new();
-        let mut gamma_off = Vec::with_capacity(p.l() as usize);
-        for stage in 1..=p.l() {
-            gamma_off.push(gamma_lut.len());
-            let gamma = topology.interstage_gamma(stage);
-            for exit in 0..p.wires_after_stage(stage) {
-                gamma_lut.push(gamma.apply(exit) as u16);
-            }
-        }
         LaneEngine {
             topology,
             ports: vec![0; MAX_LANES * max_switches],
@@ -272,8 +326,7 @@ impl LaneEngine {
             sw_stride: max_switches,
             fate_stride: p.inputs() as usize,
             bits_stride: (p.inputs() as usize).div_ceil(64),
-            gamma_lut,
-            gamma_off,
+            wiring,
             bucket_ports: vec![0; buckets],
             healthy: vec![0; buckets],
             contenders: Vec::with_capacity(p.a().max(p.c()) as usize),
@@ -300,6 +353,11 @@ impl LaneEngine {
     /// The wired fabric this engine routes through.
     pub fn topology(&self) -> &EdnTopology {
         &self.topology
+    }
+
+    /// The shared compiled wiring handle.
+    pub fn wiring(&self) -> &Arc<CompiledWiring> {
+        &self.wiring
     }
 
     /// The network parameters.
@@ -590,9 +648,9 @@ impl LaneEngine {
         let buckets = p.b() as usize;
         let mut nswitches = (p.inputs() >> a_shift) as usize;
         for stage in 1..=p.l() {
-            // One load against the flattened permutation table replaces
+            // One load against the compiled permutation table replaces
             // the shift/rotate math of `Gamma::apply` per winner.
-            let lut_base = self.gamma_off[(stage - 1) as usize];
+            let gamma_lut = self.wiring.stage_lut(stage);
             // Winners of stage `l` land in crossbar line space (width c).
             let next_width = if stage < p.l() { a } else { c };
             let next_shift = next_width.trailing_zeros();
@@ -691,7 +749,7 @@ impl LaneEngine {
                                     let low = sub & sub.wrapping_neg();
                                     free ^= low;
                                     let exit = switch_base + low.trailing_zeros() as usize;
-                                    let next_line = self.gamma_lut[lut_base + exit] as usize;
+                                    let next_line = gamma_lut[exit] as usize;
                                     let next_sw = next_line >> next_shift;
                                     self.next_slot[slot_lane + next_line] = packed;
                                     self.next_ports[port_lane + next_sw] |=
@@ -739,7 +797,7 @@ impl LaneEngine {
                                     self.healthy[bucket] = remaining & (remaining - 1);
                                     wins += 1;
                                     let exit = switch_base + bucket * c + wire;
-                                    let next_line = self.gamma_lut[lut_base + exit] as usize;
+                                    let next_line = gamma_lut[exit] as usize;
                                     let next_sw = next_line >> next_shift;
                                     self.next_slot[slot_lane + next_line] = packed;
                                     self.next_ports[port_lane + next_sw] |=
@@ -810,7 +868,7 @@ impl LaneEngine {
                             if P::ENABLED {
                                 probe.wire_granted(stage, exit as u64);
                             }
-                            let next_line = self.gamma_lut[lut_base + exit] as usize;
+                            let next_line = gamma_lut[exit] as usize;
                             let next_sw = next_line >> next_shift;
                             self.next_slot[slot_lane + next_line] = packed;
                             self.next_ports[port_lane + next_sw] |=
@@ -1130,6 +1188,34 @@ mod tests {
         assert!(LaneEngine::supports(&params(64, 16, 4, 2)));
         assert!(LaneEngine::supports(&params(16, 4, 4, 5)));
         assert!(!LaneEngine::supports(&params(128, 64, 2, 1)));
+    }
+
+    #[test]
+    fn packing_bound_is_explicit_at_the_16_bit_boundary() {
+        // EDN(4,4,1,8): exactly 2^16 ports, so the largest source and
+        // delivered output are 2^16 - 1 — the last values the 16-bit
+        // packed slot/fate fields can carry.
+        let at_boundary = params(4, 4, 1, 8);
+        assert_eq!(at_boundary.inputs(), MAX_LANE_SOURCES);
+        assert_eq!(at_boundary.outputs(), MAX_LANE_TAGS);
+        assert!(LaneEngine::packs(&at_boundary));
+        // One stage deeper: 2^18 ports. Sources and tags no longer fit
+        // 16 bits, and the packing bound itself must say so — before
+        // this bound existed only the (smaller) wire budget rejected
+        // the shape, so raising that budget would have truncated
+        // silently.
+        let beyond = params(4, 4, 1, 9);
+        assert!(!LaneEngine::packs(&beyond));
+        assert!(!LaneEngine::supports(&beyond));
+        // Below the packing bound the wire budget is what rejects the
+        // boundary shape (2^16 wires > MAX_LANE_WIRES).
+        assert!(!LaneEngine::supports(&at_boundary));
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit packed")]
+    fn oversized_shape_panics_with_truncation_message() {
+        LaneEngine::from_params(params(4, 4, 1, 9));
     }
 
     #[test]

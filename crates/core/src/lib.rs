@@ -62,6 +62,10 @@
 //! * [`telemetry`] — [`Probe`]: monomorphized routing telemetry
 //!   ([`NullProbe`] compiles to nothing; [`StageProbe`] resolves
 //!   blocking, contention, and wire utilization per stage).
+//! * [`wiring`] — [`CompiledWiring`]: the flattened, `Arc`-shared
+//!   struct-of-arrays form of the interstage permutations; compiled and
+//!   deeply validated once, borrowed by every engine, and serialized by
+//!   the `edn_fabric` on-disk database.
 //! * [`reference`] — the pre-engine implementations, kept as the
 //!   differential-testing oracle and benchmark baseline.
 //! * [`cost`] — crosspoint and wire cost, Eqs. (2)–(3).
@@ -83,6 +87,7 @@ pub mod routing;
 pub mod session;
 pub mod telemetry;
 pub mod topology;
+pub mod wiring;
 
 pub use address::{DestTag, RetirementOrder, SourceAddress};
 pub use cost::{crosspoint_cost, crosspoint_cost_closed_form, wire_cost, wire_cost_closed_form};
@@ -101,3 +106,4 @@ pub use session::{
 };
 pub use telemetry::{NullProbe, Probe, RunMetrics, StageMetrics, StageProbe};
 pub use topology::{EdnTopology, PathTrace};
+pub use wiring::{compile_shared, CompiledWiring, LutProvider};

@@ -1,0 +1,172 @@
+//! `edn_fabric` — build, inspect, and verify compiled fabric databases.
+//!
+//! ```text
+//! edn_fabric build --shape 16,4,4,6 [--shape a,b,c,l ...] --out DIR
+//! edn_fabric info FILE.ednf...
+//! edn_fabric verify FILE.ednf...
+//! ```
+//!
+//! `build` compiles each shape's interstage wiring once — with the full
+//! bijectivity and inverse-round-trip validation — and writes it to
+//! `DIR/edn_{a}_{b}_{c}_{l}.ednf`, the canonical name sweep processes
+//! look up via `--fabric DIR`. `info` prints each file's header after a
+//! full validated load; `verify` loads silently and reports PASS/FAIL
+//! per file, exiting nonzero if any file fails.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use edn_core::EdnParams;
+use edn_fabric::Fabric;
+
+const USAGE: &str = "build, inspect, and verify compiled fabric databases\n\n\
+    Usage: edn_fabric build --shape a,b,c,l [--shape ...] --out DIR\n       \
+    edn_fabric info FILE.ednf...\n       \
+    edn_fabric verify FILE.ednf...\n\n\
+    Options:\n  \
+    --shape a,b,c,l  EDN shape to compile (repeatable)\n  \
+    --out DIR        directory for the built .ednf files (created if absent)\n  \
+    --help           print this message";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("edn_fabric: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_shape(spec: &str) -> EdnParams {
+    let fields: Vec<&str> = spec.split(',').map(str::trim).collect();
+    if fields.len() != 4 {
+        fail(&format!("--shape expects `a,b,c,l`, got `{spec}`"));
+    }
+    let num = |field: &str, name: &str| -> u64 {
+        field.parse().unwrap_or_else(|_| {
+            fail(&format!(
+                "--shape {spec}: `{field}` is not a number ({name})"
+            ))
+        })
+    };
+    let (a, b, c) = (
+        num(fields[0], "a"),
+        num(fields[1], "b"),
+        num(fields[2], "c"),
+    );
+    let l = u32::try_from(num(fields[3], "l"))
+        .unwrap_or_else(|_| fail(&format!("--shape {spec}: l out of range")));
+    EdnParams::new(a, b, c, l)
+        .unwrap_or_else(|err| fail(&format!("--shape {spec} is not a valid EDN shape: {err}")))
+}
+
+fn cmd_build(args: &[String]) -> ExitCode {
+    let mut shapes: Vec<EdnParams> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shape" => match it.next() {
+                Some(spec) => shapes.push(parse_shape(spec)),
+                None => fail("--shape expects a value"),
+            },
+            "--out" => match it.next() {
+                Some(dir) => out = Some(PathBuf::from(dir)),
+                None => fail("--out expects a value"),
+            },
+            other => fail(&format!("unknown build argument `{other}`")),
+        }
+    }
+    if shapes.is_empty() {
+        fail("build: no --shape given");
+    }
+    let Some(dir) = out else {
+        fail("build: --out DIR is required");
+    };
+    if let Err(err) = std::fs::create_dir_all(&dir) {
+        eprintln!("edn_fabric: cannot create {}: {err}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    for params in shapes {
+        let fabric = match Fabric::build(params) {
+            Ok(fabric) => fabric,
+            Err(err) => {
+                eprintln!("edn_fabric: cannot compile {params}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = Fabric::path_in(&dir, &params);
+        if let Err(err) = fabric.save(&path) {
+            eprintln!("edn_fabric: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "built {} ({} ports, {} entries)",
+            path.display(),
+            params.inputs(),
+            fabric.wiring().entries()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_info(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        fail("info: no files given");
+    }
+    for file in files {
+        let path = PathBuf::from(file);
+        match Fabric::load(&path) {
+            Ok(fabric) => {
+                let p = fabric.params();
+                println!(
+                    "{}: {} — {} inputs, {} outputs, {} stages, {} table entries",
+                    path.display(),
+                    p,
+                    p.inputs(),
+                    p.outputs(),
+                    p.l(),
+                    fabric.wiring().entries()
+                );
+            }
+            Err(err) => {
+                eprintln!("{}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_verify(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        fail("verify: no files given");
+    }
+    let mut failures = 0usize;
+    for file in files {
+        let path = PathBuf::from(file);
+        match Fabric::load(&path) {
+            Ok(_) => println!("PASS {}", path.display()),
+            Err(err) => {
+                println!("FAIL {}: {err}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("build") => cmd_build(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some(other) => fail(&format!("unknown command `{other}`")),
+        None => fail("no command given"),
+    }
+}

@@ -11,6 +11,8 @@
 //! --cache DIR     replay rows already in the edn_store cache at DIR,
 //!                 commit fresh ones (default: $EDN_SWEEP_CACHE)
 //! --no-cache      ignore --cache and $EDN_SWEEP_CACHE
+//! --fabric DIR    load compiled wiring from the edn_fabric database at
+//!                 DIR instead of re-wiring shapes at startup
 //! --cache-stats   print hit/compute/commit counters after the run
 //! --help          print usage and exit
 //! ```
@@ -67,6 +69,12 @@ pub struct SweepArgs {
     pub cache: Option<PathBuf>,
     /// Print cache hit/compute/commit counters after the run.
     pub cache_stats: bool,
+    /// Fabric database directory (`--fabric`): compiled wiring is
+    /// loaded from here instead of re-wired at startup. Deliberately
+    /// **not** part of the artifact header or the row cache key — the
+    /// database is bit-identical to in-process wiring, so it can never
+    /// change a row.
+    pub fabric: Option<PathBuf>,
     no_cache: bool,
     binary: String,
 }
@@ -135,6 +143,7 @@ impl SweepArgs {
             shard: Shard::FULL,
             cache: None,
             cache_stats: false,
+            fabric: None,
             no_cache: false,
             binary: binary.to_string(),
         };
@@ -174,6 +183,7 @@ impl SweepArgs {
                 "--cache" => parsed.cache = Some(PathBuf::from(value("--cache")?)),
                 "--no-cache" => parsed.no_cache = true,
                 "--cache-stats" => parsed.cache_stats = true,
+                "--fabric" => parsed.fabric = Some(PathBuf::from(value("--fabric")?)),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -187,7 +197,7 @@ impl SweepArgs {
         format!(
             "{about}\n\n\
              Usage: {binary} [--threads N] [--seeds N] [--cycles N] [--out PATH] [--shard I/N]\n        \
-             [--cache DIR] [--no-cache] [--cache-stats]\n\n\
+             [--cache DIR] [--no-cache] [--cache-stats] [--fabric DIR]\n\n\
              Options:\n  \
              --threads N    worker threads for the sweep pool (default: all cores,\n                 \
              or EDN_SWEEP_THREADS)\n  \
@@ -200,6 +210,9 @@ impl SweepArgs {
              fresh ones (default: $EDN_SWEEP_CACHE; see `edn_store`)\n  \
              --no-cache     ignore --cache and $EDN_SWEEP_CACHE\n  \
              --cache-stats  print cache hit/compute/commit counters after the run\n  \
+             --fabric DIR   load compiled wiring from the edn_fabric database at DIR\n                 \
+             (build it with `edn_fabric build`); rows are byte-identical\n                 \
+             with or without it\n  \
              --help         print this message"
         )
     }
@@ -251,6 +264,9 @@ impl SweepArgs {
     /// emission fails should fail before measuring, not print tables for
     /// an hour and lose the artifact at the end.
     pub fn plan_emit(&self, tables: &[(&Table, usize)]) -> Emission<'_> {
+        // Workers resolve compiled wiring through the process-global
+        // cache; point it at the database before any measurement runs.
+        crate::fabric::set_fabric_dir(self.fabric.clone());
         let plans: Vec<TablePlan> = {
             let mut base = 0usize;
             tables

@@ -1,0 +1,115 @@
+//! Process-global compiled-wiring resolution for sweep workers.
+//!
+//! Every [`SweepWorker`](crate::SweepWorker) used to compile the
+//! interstage wiring of each shape it touched — N workers × S shapes
+//! redundant compilations per process, and at million-port scale each
+//! one is the dominant startup cost. This module centralizes the
+//! resolution: one process-wide cache of [`CompiledWiring`] handles,
+//! optionally backed by a fabric database directory (`--fabric DIR`,
+//! see [`edn_fabric`]) whose files were compiled and validated once,
+//! out of band, by `edn_fabric build`.
+//!
+//! Resolution order in [`wiring_for`]:
+//!
+//! 1. the process cache (every shape is resolved at most once);
+//! 2. the registered fabric directory's canonical file for the shape,
+//!    if one is present — a corrupt or mismatched file **panics**, it
+//!    is never silently recompiled, because a database the operator
+//!    pointed at that disagrees with itself is an environment error;
+//! 3. in-process compilation, exactly what engines did before.
+//!
+//! All three produce bit-identical wiring (the round-trip tests in
+//! `edn_fabric` pin this), so `--fabric` cannot change a single row of
+//! any artifact — which is why the flag is deliberately excluded from
+//! the artifact's [`SchemaHeader`](crate::SchemaHeader) and the row
+//! cache key, like the other row-content-neutral knobs.
+
+use edn_core::{compile_shared, CompiledWiring, EdnParams};
+use edn_fabric::Fabric;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+static FABRIC_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+static WIRINGS: Mutex<Vec<(EdnParams, Arc<CompiledWiring>)>> = Mutex::new(Vec::new());
+
+/// Registers (or clears) the fabric database directory consulted by
+/// [`wiring_for`]. Called by [`SweepArgs::plan_emit`](crate::SweepArgs)
+/// with the `--fabric` flag's value; later registrations win.
+///
+/// Already-cached wirings are kept — they are bit-identical to what the
+/// database holds, so flipping the directory mid-process never changes
+/// routing.
+pub fn set_fabric_dir(dir: Option<PathBuf>) {
+    *FABRIC_DIR.lock().unwrap() = dir;
+}
+
+/// The currently registered fabric database directory, if any.
+pub fn fabric_dir() -> Option<PathBuf> {
+    FABRIC_DIR.lock().unwrap().clone()
+}
+
+/// The shared compiled wiring for `params`: process-cached, loaded from
+/// the registered fabric database when it has the shape, compiled
+/// in-process otherwise.
+///
+/// # Panics
+///
+/// Panics if the registered database has a file for this shape that
+/// fails validation (truncated, hash mismatch, wrong version) — a
+/// corrupt database is an environment error, never a fallback — or if
+/// the shape cannot be compiled at all.
+pub fn wiring_for(params: &EdnParams) -> Arc<CompiledWiring> {
+    let mut cache = WIRINGS.lock().unwrap();
+    if let Some((_, wiring)) = cache.iter().find(|(p, _)| p == params) {
+        return Arc::clone(wiring);
+    }
+    let wiring = match fabric_dir() {
+        Some(dir) => match Fabric::load_from_dir(&dir, params) {
+            Some(Ok(fabric)) => fabric.into_wiring(),
+            Some(Err(error)) => panic!(
+                "fabric database {} has an invalid file for {params}: {error}",
+                dir.display()
+            ),
+            None => compile_shared(*params),
+        },
+        None => compile_shared(*params),
+    };
+    cache.push((*params, Arc::clone(&wiring)));
+    wiring
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(a: u64, b: u64, c: u64, l: u32) -> EdnParams {
+        EdnParams::new(a, b, c, l).unwrap()
+    }
+
+    #[test]
+    fn wiring_is_resolved_once_per_shape() {
+        let p = params(16, 4, 2, 2);
+        let first = wiring_for(&p);
+        let second = wiring_for(&p);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(first.params(), &p);
+    }
+
+    #[test]
+    fn database_backed_resolution_matches_in_process_compilation() {
+        let dir = std::env::temp_dir().join(format!("edn_sweep_fabric_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A shape no other test resolves, so this test controls its
+        // first resolution; the database copy must equal a compile.
+        let p = params(8, 8, 4, 2);
+        Fabric::build(p)
+            .unwrap()
+            .save(&Fabric::path_in(&dir, &p))
+            .unwrap();
+        set_fabric_dir(Some(dir.clone()));
+        let loaded = wiring_for(&p);
+        set_fabric_dir(None);
+        assert_eq!(loaded.as_ref(), compile_shared(p).as_ref());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

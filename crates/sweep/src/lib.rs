@@ -26,6 +26,10 @@
 //! * [`merge`] — `edn_merge`'s engine: validates shard headers, detects
 //!   gaps/overlaps/spec mismatches, and reassembles shard artifacts into
 //!   the byte-identical unsharded artifact.
+//! * [`fabric`] — process-global compiled-wiring resolution: every
+//!   worker shares one [`CompiledWiring`](edn_core::CompiledWiring) per
+//!   shape, loaded from an `edn_fabric` database when `--fabric DIR` is
+//!   given, compiled in-process otherwise — bit-identical either way.
 //! * [`json`] — a minimal dependency-free JSON parser backing artifact
 //!   validation.
 //! * [`metrics`] — run telemetry: every `--out` run writes a
@@ -71,6 +75,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod fabric;
 pub mod json;
 pub mod merge;
 pub mod metrics;
@@ -81,6 +86,7 @@ pub mod stream;
 pub mod worker;
 
 pub use cli::{CacheStats, Emission, SweepArgs, CACHE_ENV};
+pub use fabric::{fabric_dir, set_fabric_dir, wiring_for};
 pub use metrics::{Heartbeat, HeartbeatLine, LatencyHistogram, TableTelemetry, HEARTBEAT_ENV};
 pub use pool::{default_threads, map_slice_with, run_indexed, run_indexed_counted, PoolStats};
 pub use report::{fmt_f, fmt_opt, render_json_row, Table};

@@ -5,10 +5,12 @@
 //! build-once artifacts — wired [`RoutingEngine`]s keyed by network shape,
 //! [`SessionState`]s cached alongside them for resident multi-cycle runs,
 //! [`FaultSet`]s keyed by (shape, fraction, seed) — plus one reusable
-//! request buffer, so a thread measuring hundreds of grid points wires
-//! each distinct fabric exactly once and routes allocation-free after
-//! warm-up, whether the measurement is a single cycle or a whole
-//! resubmission run.
+//! request buffer, so a thread measuring hundreds of grid points routes
+//! allocation-free after warm-up, whether the measurement is a single
+//! cycle or a whole resubmission run. Engines borrow their interstage
+//! wiring from the process-global [`crate::fabric`] cache, so each
+//! distinct shape is compiled (or loaded from a `--fabric` database)
+//! exactly once per process, not once per worker.
 
 use edn_core::{EdnParams, FaultSet, LaneEngine, RouteRequest, RoutingEngine, SessionState};
 
@@ -61,7 +63,7 @@ impl SweepWorker {
             None => {
                 self.engines.push((
                     *params,
-                    RoutingEngine::from_params(*params),
+                    RoutingEngine::with_wiring(crate::fabric::wiring_for(params)),
                     SessionState::new(),
                 ));
                 self.engines.len() - 1
@@ -106,7 +108,10 @@ impl SweepWorker {
         let position = match self.lanes.iter().position(|(p, _)| p == params) {
             Some(position) => position,
             None => {
-                self.lanes.push((*params, LaneEngine::from_params(*params)));
+                self.lanes.push((
+                    *params,
+                    LaneEngine::with_wiring(crate::fabric::wiring_for(params)),
+                ));
                 self.lanes.len() - 1
             }
         };

@@ -99,6 +99,7 @@ mod tests {
         for k in 0..n {
             coeff *= (a - k) as f64 / (k + 1) as f64;
         }
+        // edn-lint: allow(cast-audit) -- naive test evaluator, a is a small literal
         coeff * p.powi(n as i32) * (1.0 - p).powi((a - n) as i32)
     }
 

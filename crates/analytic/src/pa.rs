@@ -67,6 +67,7 @@ pub fn probability_of_acceptance(params: &EdnParams, r: f64) -> f64 {
     }
     let rates = stage_rates(params, r);
     let r_final = *rates.last().expect("stage_rates is never empty");
+    // edn-lint: allow(cast-audit) -- l <= 63 for any validated EdnParams (b^l*c fits u64)
     let scale = (params.b() as f64 * params.c() as f64 / params.a() as f64).powi(params.l() as i32);
     (scale * r_final / r).min(1.0)
 }

@@ -56,8 +56,9 @@ pub fn permutation_pa(params: &EdnParams, r: f64) -> f64 {
     for _ in 1..params.l() {
         rate = hyperbar_stage_rate(params.a(), params.b(), params.c(), rate);
     }
-    let scale =
-        (params.b() as f64 * params.c() as f64 / params.a() as f64).powi(params.l() as i32 - 1);
+    let scale = (params.b() as f64 * params.c() as f64 / params.a() as f64)
+        // edn-lint: allow(cast-audit) -- l <= 63 for any validated EdnParams (b^l*c fits u64)
+        .powi(params.l() as i32 - 1);
     (scale * rate / r).min(1.0)
 }
 

@@ -143,6 +143,7 @@ impl RaEdnModel {
                 break;
             }
         }
+        // edn-lint: allow(cast-audit) -- the drain tail is a few cycles by construction
         let j = tail_rates.len() as u32 + 1;
         RaEdnTiming {
             pa_full_load: pa_full,

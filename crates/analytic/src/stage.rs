@@ -48,6 +48,7 @@ pub fn hyperbar_stage_rate(a: u64, b: u64, c: u64, r_in: f64) -> f64 {
 pub fn crossbar_final_rate(c: u64, r: f64) -> f64 {
     assert!((0.0..=1.0).contains(&r), "r = {r} is not a probability");
     assert!(c > 0, "degenerate crossbar");
+    // edn-lint: allow(cast-audit) -- c is a per-switch capacity, far below i32::MAX
     1.0 - (1.0 - r / c as f64).powi(c as i32)
 }
 
@@ -103,6 +104,7 @@ mod tests {
         for a in [2u64, 4, 8] {
             for r in [0.1, 0.5, 1.0] {
                 let ours = hyperbar_stage_rate(a, a, 1, r);
+                // edn-lint: allow(cast-audit) -- a is a small test literal
                 let patel = 1.0 - (1.0 - r / a as f64).powi(a as i32);
                 assert!((ours - patel).abs() < 1e-12);
             }
@@ -118,9 +120,11 @@ mod tests {
         for r in [0.25, 0.5, 0.81068, 1.0] {
             let p = r / b as f64;
             let mut coeff = 1.0f64;
+            // edn-lint: allow(cast-audit) -- a, c are small test literals
             let mut ocr = 1.0 - (1.0 - p).powi(a as i32);
             for n in 1..c {
                 coeff *= (a - (n - 1)) as f64 / n as f64;
+                // edn-lint: allow(cast-audit) -- n < c = 4 in this test
                 let mass = coeff * p.powi(n as i32) * (1.0 - p).powi((a - n) as i32);
                 ocr += (n as f64 / c as f64 - 1.0) * mass;
             }
@@ -141,6 +145,7 @@ mod tests {
     fn crossbar_final_rate_matches_closed_form() {
         for c in [1u64, 2, 4, 8] {
             for r in [0.0, 0.3, 0.7132, 1.0] {
+                // edn-lint: allow(cast-audit) -- c is a small test literal
                 let expected = 1.0 - (1.0 - r / c as f64).powi(c as i32);
                 assert_eq!(crossbar_final_rate(c, r), expected);
             }

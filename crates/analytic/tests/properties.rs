@@ -68,6 +68,7 @@ proptest! {
         let pa = probability_of_acceptance(&params, r);
         prop_assert!((0.0..=1.0).contains(&pa), "PA = {pa}");
         let rates = stage_rates(&params, r);
+        // edn-lint: allow(cast-audit) -- rates has l+2 entries, l <= 63
         prop_assert_eq!(rates.len() as u32, params.l() + 2);
         for &rate in &rates {
             prop_assert!((0.0..=1.0).contains(&rate));

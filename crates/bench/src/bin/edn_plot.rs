@@ -477,6 +477,7 @@ fn svg_heatmap(rows: &[HeatRow], title: &str) -> String {
         for (stage, &value) in row.utilization.iter().enumerate() {
             let v = value.clamp(0.0, 1.0);
             // White at 0 to the workspace's plot blue (#1f6f8b) at 1.
+            // edn-lint: allow(cast-audit) -- v is clamped to [0,1], so the value is in [0,255]
             let channel = |full: u8| (255.0 - (255.0 - f64::from(full)) * v).round() as u8;
             let (red, green, blue) = (channel(0x1f), channel(0x6f), channel(0x8b));
             let x = gutter + CELL * stage as f64;

@@ -16,6 +16,7 @@ use edn_core::{DestTag, EdnParams, EdnTopology};
 /// Row `i` of a network's stage inventory: stages `0..l` are hyperbar
 /// stages, row `l` is the crossbar stage.
 fn structure_row(params: &EdnParams, i: usize) -> Vec<String> {
+    // edn-lint: allow(cast-audit) -- i indexes l+1 stage rows, l <= 63
     let stage = i as u32 + 1;
     if stage <= params.l() {
         vec![

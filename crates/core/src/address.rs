@@ -87,6 +87,7 @@ impl DestTag {
         for (pos, &d) in digits.iter().rev().enumerate() {
             if d >= params.b() {
                 return Err(EdnError::DigitOutOfRange {
+                    // edn-lint: allow(cast-audit) -- pos indexes at most 64 digits
                     position: pos as u32,
                     digit: d,
                     base: params.b(),
@@ -335,9 +336,11 @@ impl RetirementOrder {
     pub fn from_bit_mapping(mapping: Vec<u32>) -> Result<Self, EdnError> {
         if mapping.len() > 63 {
             return Err(EdnError::LabelWidthOverflow {
+                // edn-lint: allow(cast-audit) -- error path only; width merely reported
                 bits: mapping.len() as u32,
             });
         }
+        // edn-lint: allow(cast-audit) -- len <= 63, checked directly above
         let n = mapping.len() as u32;
         let mut seen = vec![false; mapping.len()];
         for &m in &mapping {
@@ -360,6 +363,7 @@ impl RetirementOrder {
 
     /// Tag width in bits.
     pub fn bits(&self) -> u32 {
+        // edn-lint: allow(cast-audit) -- construction rejects mappings longer than 63
         self.source_bit.len() as u32
     }
 
@@ -368,6 +372,7 @@ impl RetirementOrder {
         self.source_bit
             .iter()
             .enumerate()
+            // edn-lint: allow(cast-audit) -- i < bits() <= 63
             .all(|(i, &s)| i as u32 == s)
     }
 
@@ -394,6 +399,7 @@ impl RetirementOrder {
     pub fn inverse(&self) -> RetirementOrder {
         let mut inv = vec![0u32; self.source_bit.len()];
         for (i, &src) in self.source_bit.iter().enumerate() {
+            // edn-lint: allow(cast-audit) -- i < bits() <= 63
             inv[src as usize] = i as u32;
         }
         RetirementOrder { source_bit: inv }

@@ -407,6 +407,7 @@ impl RoutingEngine {
         }
     }
 
+    // edn-lint: hot-path
     fn route_inner<F: FaultView, A: Arbiter + ?Sized, P: Probe>(
         &mut self,
         requests: &[RouteRequest],
@@ -467,6 +468,7 @@ impl RoutingEngine {
                     let switch_base = switch * (p.b() * p.c());
                     let healthy =
                         (0..p.c()).filter(|&k| faults.wire_ok(stage, switch_base + base + k));
+                    // edn-lint: allow(hot-path-alloc) -- Range+filter iterator clone is a Copy of two u64s, no heap
                     let capacity = healthy.clone().count();
                     if P::ENABLED {
                         probe.arbitrated(stage, contenders.len(), capacity, p.c() as usize);

@@ -157,6 +157,7 @@ impl FaultSet {
         }
         let words = &self.by_stage[(stage - 1) as usize];
         let index = (first_wire / 64) as usize;
+        // edn-lint: allow(cast-audit) -- a residue mod 64 always fits
         let bit = (first_wire % 64) as u32;
         let low = words.get(index).copied().unwrap_or(0) >> bit;
         if bit == 0 {

@@ -381,6 +381,7 @@ impl Hyperbar {
             if let Some(digit) = *request {
                 if digit >= self.b {
                     return Err(EdnError::DigitOutOfRange {
+                        // edn-lint: allow(cast-audit) -- error path; input indexes <= 2^32 switch ports
                         position: input as u32,
                         digit,
                         base: self.b,

@@ -71,6 +71,9 @@
 //! # }
 //! ```
 
+// edn-lint: allow-file(cast-audit) -- the lane engine packs (source << 16) | tag
+// into u32 slot/fate words under the constructor-enforced invariant that lane-mode
+// networks have at most 2^16 ports; every narrowing here is that packing scheme
 use std::sync::Arc;
 
 use crate::engine::BatchOutcomeView;
@@ -506,6 +509,7 @@ impl LaneEngine {
         &self.outcomes[..lanes]
     }
 
+    // edn-lint: hot-path
     fn route_inner<'b, G, V, A, P>(
         &mut self,
         lanes: usize,

@@ -16,6 +16,8 @@
 //! [`crate::route_batch`] (a thin engine wrapper) or a reused
 //! [`crate::engine::RoutingEngine`] instead.
 
+// edn-lint: allow-file(determinism) -- HashSets here do duplicate detection only
+// (insert/contains, never iterated), so hash order cannot reach any output
 use crate::hyperbar::{Arbiter, Hyperbar};
 use crate::routing::{BatchOutcome, BlockReason, RouteRequest};
 use crate::topology::EdnTopology;

@@ -427,6 +427,7 @@ impl<'s, A: Arbiter + ?Sized, P: Probe> RouteSession<'s, A, P> {
     }
 
     /// Advances one network cycle; returns `(offered, delivered)`.
+    // edn-lint: hot-path
     pub fn step(&mut self) -> (usize, usize) {
         let SessionState {
             requests,
@@ -647,6 +648,7 @@ impl<'s, A: Arbiter, P: Probe> LaneSession<'s, A, P> {
     /// One shared traversal; only lanes in `mask` fill, absorb, and
     /// accumulate counts (the rest route empty batches, which touch no
     /// switches and therefore no arbiter state).
+    // edn-lint: hot-path
     fn step_mask(&mut self, mask: u64) -> (usize, usize) {
         if P::ENABLED {
             if let Some(probe) = self.probe.as_deref_mut() {

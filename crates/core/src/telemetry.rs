@@ -334,6 +334,7 @@ impl StageProbe {
     }
 }
 
+// edn-lint: hot-path
 impl Probe for StageProbe {
     const ENABLED: bool = true;
 

@@ -149,6 +149,7 @@ impl EdnTopology {
         for (i, &k) in choices.iter().enumerate() {
             if k >= p.c() {
                 return Err(EdnError::DigitOutOfRange {
+                    // edn-lint: allow(cast-audit) -- error path; i indexes l <= 63 stage choices
                     position: i as u32,
                     digit: k,
                     base: p.c(),

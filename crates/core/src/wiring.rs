@@ -192,6 +192,7 @@ impl CompiledWiring {
         for stage in 1..=params.l() {
             let gamma = topology.interstage_gamma(stage);
             for exit in 0..params.wires_after_stage(stage) {
+                // edn-lint: allow(cast-audit) -- wire ids fit u32 (compiled fabrics cap at 2^32 ports)
                 lut.push(gamma.apply(exit) as u32);
             }
         }

@@ -15,6 +15,7 @@
 //! This file deliberately holds a single `#[test]` so nothing else runs
 //! concurrently against the global allocation counter.
 
+// edn-lint: allow-file(unsafe-containment) -- the counting GlobalAlloc that enforces the zero-alloc invariant requires unsafe impls
 use edn_core::{
     ClusterSchedule, EdnParams, FaultSet, PriorityArbiter, RandomArbiter, Resubmit,
     RetirementOrder, RoundRobinArbiter, RouteRequest, RoutingEngine, SessionState, StageProbe,

@@ -12,6 +12,7 @@
 //! This file deliberately holds a single `#[test]` so nothing else runs
 //! concurrently against the global allocation counter.
 
+// edn-lint: allow-file(unsafe-containment) -- the counting GlobalAlloc that enforces the zero-alloc invariant requires unsafe impls
 use edn_core::{
     EdnParams, FaultSet, LaneEngine, LaneResubmit, PriorityArbiter, RandomArbiter, RouteRequest,
     SessionState, StageProbe,

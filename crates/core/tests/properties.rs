@@ -89,6 +89,7 @@ proptest! {
     fn retirement_orders_round_trip(
         mapping in Just(()).prop_perturb(|_, mut rng| {
             let n = (rng.random::<u32>() % 12 + 1) as usize;
+            // edn-lint: allow(cast-audit) -- n <= 12 by construction
             let mut map: Vec<u32> = (0..n as u32).collect();
             for i in (1..n).rev() {
                 let pick = (rng.random::<u64>() % (i as u64 + 1)) as usize;
@@ -98,6 +99,7 @@ proptest! {
         }),
         samples in vec(any::<u64>(), 1..20),
     ) {
+        // edn-lint: allow(cast-audit) -- mapping is at most 12 entries
         let bits = mapping.len() as u32;
         let order = RetirementOrder::from_bit_mapping(mapping).unwrap();
         let inverse = order.inverse();
@@ -231,7 +233,7 @@ proptest! {
             prop_assert!(window[0] >= window[1]);
         }
         // Delivery correctness and output uniqueness.
-        let lookup: std::collections::HashMap<u64, u64> =
+        let lookup: std::collections::BTreeMap<u64, u64> =
             requests.iter().map(|r| (r.source, r.tag)).collect();
         let mut outputs = Vec::new();
         for &(source, output) in outcome.delivered() {
@@ -263,7 +265,7 @@ proptest! {
         }
         let outcome =
             route_batch_reordered(&topology, &requests, &order, &mut PriorityArbiter::new());
-        let lookup: std::collections::HashMap<u64, u64> =
+        let lookup: std::collections::BTreeMap<u64, u64> =
             requests.iter().map(|r| (r.source, r.tag)).collect();
         for &(source, output) in outcome.delivered() {
             prop_assert_eq!(lookup[&source], output);

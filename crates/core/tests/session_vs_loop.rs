@@ -14,7 +14,7 @@ use edn_core::{
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Strategy: valid EDN parameters small enough to route to completion
 /// many times per property case.
@@ -109,7 +109,8 @@ fn resident_oracle(
 }
 
 /// One caller-driven cluster drain: the pre-session RA-EDN loop, with
-/// the original `HashSet` claim bookkeeping.
+/// the original claim-set bookkeeping (now a `BTreeSet` so the
+/// oracle itself is iteration-order deterministic).
 fn cluster_oracle(
     params: &EdnParams,
     messages: &[(u64, u64)],
@@ -128,7 +129,7 @@ fn cluster_oracle(
     let mut rng = StdRng::seed_from_u64(rng_seed);
     let mut remaining = messages.len() as u64;
     let mut selected = vec![0usize; ports as usize];
-    let mut claimed: HashSet<u64> = HashSet::new();
+    let mut claimed: BTreeSet<u64> = BTreeSet::new();
     let mut per_cycle = Vec::new();
     let mut submit = Vec::new();
     while remaining > 0 {

@@ -68,6 +68,7 @@
 //! # }
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 use std::fs::File;
@@ -76,6 +77,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use edn_core::{CompiledWiring, EdnError, EdnParams, EdnTopology};
+
+mod mmap;
 
 /// The four magic bytes opening every fabric file.
 pub const FABRIC_MAGIC: [u8; 4] = *b"EDNF";
@@ -264,110 +267,6 @@ pub fn content_hash(params: &EdnParams, lut: &[u32]) -> u64 {
         .fold(seed, fnv_fold)
 }
 
-/// The read-only byte view of a `u32` table, for single-pass writes.
-fn lut_bytes(lut: &[u32]) -> &[u8] {
-    // SAFETY: `u8` has alignment 1 and the length covers exactly the
-    // slice's own bytes; the borrow keeps the buffer alive for the
-    // view's life.
-    unsafe { std::slice::from_raw_parts(lut.as_ptr().cast::<u8>(), lut.len() * 4) }
-}
-
-/// The mutable byte view of one table chunk, for reads into its final
-/// position.
-fn chunk_bytes_mut(chunk: &mut [u32]) -> &mut [u8] {
-    // SAFETY: `u8` has alignment 1, the length covers exactly the
-    // slice's own bytes, every byte pattern is a valid `u32`, and the
-    // exclusive borrow keeps the view unique for its life.
-    unsafe { std::slice::from_raw_parts_mut(chunk.as_mut_ptr().cast::<u8>(), chunk.len() * 4) }
-}
-
-/// On-disk words are little-endian; a no-op on LE hosts.
-fn fix_endianness(chunk: &mut [u32]) {
-    if cfg!(target_endian = "big") {
-        for w in chunk.iter_mut() {
-            *w = u32::from_le(*w);
-        }
-    }
-}
-
-/// Fills `lut` from the table section of `file` (cursor at the end of
-/// the header) and returns the content hash of what was read.
-///
-/// On Unix hosts the hash chunks go round-robin over up to
-/// `available_parallelism` scoped threads, each reading its chunks into
-/// their final position at explicit offsets (`read_exact_at`) and
-/// hashing them while cache-hot — at million-port scale the table
-/// crosses memory once, on every core, instead of three times on one.
-#[cfg(unix)]
-fn read_table(file: &mut File, lut: &mut [u32], seed: u64) -> Result<u64, FabricError> {
-    use std::os::unix::fs::FileExt;
-    let chunk_count = lut.len().div_ceil(HASH_CHUNK_ENTRIES);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(chunk_count);
-    let mut hashes = vec![0u64; chunk_count];
-    if workers <= 1 {
-        for (index, (chunk, hash)) in lut
-            .chunks_mut(HASH_CHUNK_ENTRIES)
-            .zip(hashes.iter_mut())
-            .enumerate()
-        {
-            let offset = HEADER_BYTES as u64 + (index * HASH_CHUNK_ENTRIES * 4) as u64;
-            file.read_exact_at(chunk_bytes_mut(chunk), offset)?;
-            fix_endianness(chunk);
-            *hash = chunk_hash(seed, index as u64, chunk);
-        }
-    } else {
-        // Round-robin chunk assignment: each worker owns disjoint chunk
-        // slices and hash slots, so the only synchronization is the
-        // scope join and one first-error slot.
-        let mut work: Vec<Vec<(usize, &mut [u32], &mut u64)>> =
-            (0..workers).map(|_| Vec::new()).collect();
-        for (index, (chunk, hash)) in lut
-            .chunks_mut(HASH_CHUNK_ENTRIES)
-            .zip(hashes.iter_mut())
-            .enumerate()
-        {
-            work[index % workers].push((index, chunk, hash));
-        }
-        let file = &*file;
-        let failure: std::sync::Mutex<Option<std::io::Error>> = std::sync::Mutex::new(None);
-        std::thread::scope(|scope| {
-            for items in work {
-                let failure = &failure;
-                scope.spawn(move || {
-                    for (index, chunk, hash) in items {
-                        let offset = HEADER_BYTES as u64 + (index * HASH_CHUNK_ENTRIES * 4) as u64;
-                        if let Err(error) = file.read_exact_at(chunk_bytes_mut(chunk), offset) {
-                            failure.lock().unwrap().get_or_insert(error);
-                            return;
-                        }
-                        fix_endianness(chunk);
-                        *hash = chunk_hash(seed, index as u64, chunk);
-                    }
-                });
-            }
-        });
-        if let Some(error) = failure.into_inner().unwrap() {
-            return Err(error.into());
-        }
-    }
-    Ok(hashes.into_iter().fold(seed, fnv_fold))
-}
-
-/// Sequential fallback for hosts without positioned reads.
-#[cfg(not(unix))]
-fn read_table(file: &mut File, lut: &mut [u32], seed: u64) -> Result<u64, FabricError> {
-    let mut hashes = Vec::with_capacity(lut.len().div_ceil(HASH_CHUNK_ENTRIES));
-    for (index, chunk) in lut.chunks_mut(HASH_CHUNK_ENTRIES).enumerate() {
-        file.read_exact(chunk_bytes_mut(chunk))?;
-        fix_endianness(chunk);
-        hashes.push(chunk_hash(seed, index as u64, chunk));
-    }
-    Ok(hashes.into_iter().fold(seed, fnv_fold))
-}
-
 /// [`content_hash`] over an already-resident table, chunks hashed on up
 /// to `available_parallelism` scoped threads — the verify pass of the
 /// zero-copy (memory-mapped) load path, where there is no read to fuse
@@ -407,127 +306,6 @@ fn content_hash_parallel(seed: u64, lut: &[u32]) -> u64 {
         }
     });
     hashes.into_iter().fold(seed, fnv_fold)
-}
-
-/// Zero-copy view of a fabric file: the whole file memory-mapped
-/// read-only, with the table section exposed as the `u32` slice the
-/// router indexes directly. Little-endian Unix hosts only — the on-disk
-/// words are LE and a read-only mapping cannot be byte-swapped in
-/// place, so big-endian hosts take the copying [`read_table`] path.
-#[cfg(all(unix, target_endian = "little"))]
-mod mapped {
-    use std::fs::File;
-    use std::io;
-    use std::os::unix::io::AsRawFd;
-
-    use core::ffi::c_void;
-
-    use super::HEADER_BYTES;
-
-    extern "C" {
-        fn mmap(
-            addr: *mut c_void,
-            len: usize,
-            prot: i32,
-            flags: i32,
-            fd: i32,
-            offset: i64,
-        ) -> *mut c_void;
-        fn munmap(addr: *mut c_void, len: usize) -> i32;
-    }
-
-    const PROT_READ: i32 = 1;
-    const MAP_PRIVATE: i32 = 2;
-    /// Linux: pre-fault the mapping at `mmap` time, so the hash pass
-    /// that follows never takes a page fault.
-    #[cfg(target_os = "linux")]
-    const MAP_POPULATE: i32 = 0x8000;
-
-    fn populate_flag() -> i32 {
-        #[cfg(target_os = "linux")]
-        {
-            MAP_POPULATE
-        }
-        #[cfg(not(target_os = "linux"))]
-        {
-            0
-        }
-    }
-
-    /// An owned read-only mapping of one fabric file.
-    ///
-    /// The mapping is private and never written; page-cache pages back
-    /// it directly, so every process that maps the same database file
-    /// shares one physical copy of the table.
-    pub(crate) struct MappedTable {
-        base: *mut c_void,
-        map_len: usize,
-        entries: usize,
-    }
-
-    // SAFETY: the mapping is read-only, owned exclusively by this value
-    // (`Drop` is the only unmap), and dereferenced only through the
-    // shared slice `lut` returns.
-    unsafe impl Send for MappedTable {}
-    unsafe impl Sync for MappedTable {}
-
-    impl MappedTable {
-        /// Maps `file` (whose length the caller has already validated
-        /// as exactly `HEADER_BYTES + entries * 4`) and views the table
-        /// section. Errors — e.g. a filesystem that refuses mappings —
-        /// send the caller to the copying read path.
-        pub(crate) fn map(file: &File, file_len: u64, entries: usize) -> io::Result<Self> {
-            let map_len = usize::try_from(file_len)
-                .map_err(|_| io::Error::other("file exceeds address space"))?;
-            // SAFETY: read-only private mapping of `map_len` bytes of an
-            // open descriptor, at offset 0; MAP_FAILED is checked below.
-            let base = unsafe {
-                mmap(
-                    std::ptr::null_mut(),
-                    map_len,
-                    PROT_READ,
-                    MAP_PRIVATE | populate_flag(),
-                    file.as_raw_fd(),
-                    0,
-                )
-            };
-            if base as isize == -1 {
-                return Err(io::Error::last_os_error());
-            }
-            Ok(MappedTable {
-                base,
-                map_len,
-                entries,
-            })
-        }
-
-        pub(crate) fn table(&self) -> &[u32] {
-            // SAFETY: the table starts HEADER_BYTES into the mapping
-            // (page-aligned base + 64 preserves `u32` alignment) and
-            // spans exactly `entries` words — the caller validated the
-            // file length before mapping; the slice borrows `self`, and
-            // the mapping lives until `self` drops.
-            unsafe {
-                std::slice::from_raw_parts(
-                    (self.base as *const u8).add(HEADER_BYTES).cast::<u32>(),
-                    self.entries,
-                )
-            }
-        }
-    }
-
-    impl Drop for MappedTable {
-        fn drop(&mut self) {
-            // SAFETY: unmapping exactly the region this value mapped.
-            unsafe { munmap(self.base, self.map_len) };
-        }
-    }
-
-    impl edn_core::LutProvider for MappedTable {
-        fn lut(&self) -> &[u32] {
-            self.table()
-        }
-    }
 }
 
 /// A loaded (or freshly built) fabric: a shape plus its validated,
@@ -611,10 +389,10 @@ impl Fabric {
         let mut file = File::create(path)?;
         file.write_all(&header)?;
         if cfg!(target_endian = "little") {
-            file.write_all(lut_bytes(lut))?;
+            file.write_all(mmap::lut_bytes(lut))?;
         } else {
             let swapped: Vec<u32> = lut.iter().map(|w| w.to_le()).collect();
-            file.write_all(lut_bytes(&swapped))?;
+            file.write_all(mmap::lut_bytes(&swapped))?;
         }
         file.flush()
     }
@@ -688,7 +466,7 @@ impl Fabric {
         // mapping failure (some filesystems refuse) falls through to
         // the copying read below.
         #[cfg(all(unix, target_endian = "little"))]
-        if let Ok(table) = mapped::MappedTable::map(&file, file_len, entries) {
+        if let Ok(table) = mmap::MappedTable::map(&file, file_len, entries) {
             let computed = content_hash_parallel(seed, table.table());
             if computed != stored_hash {
                 return Err(FabricError::HashMismatch {
@@ -703,23 +481,10 @@ impl Fabric {
             });
         }
         // Copying path (non-Unix, big-endian, or unmappable file): the
-        // table is read into its final (uninitialized, never
-        // zero-filled) buffer in hash-chunk units, each chunk verified
-        // while still cache-hot from its read — and, on hosts with the
-        // cores for it, chunks go in parallel.
-        // A zero-fill of tens of MiB would cost a full extra memory
-        // pass; `read_table` overwrites every element or errors.
-        #[allow(clippy::uninit_vec)]
-        let mut lut: Vec<u32> = {
-            let mut lut = Vec::with_capacity(entries);
-            // SAFETY: the capacity is fully initialized by `read_table`
-            // below before anything reads the contents — it errors out
-            // (and `lut` drops without exposing an element) on any
-            // short read.
-            unsafe { lut.set_len(entries) };
-            lut
-        };
-        let computed = read_table(&mut file, &mut lut, seed)?;
+        // table is read into its final buffer in hash-chunk units, each
+        // chunk verified while still cache-hot from its read — and, on
+        // hosts with the cores for it, chunks go in parallel.
+        let (lut, computed) = mmap::read_table(&mut file, entries, seed)?;
         if computed != stored_hash {
             return Err(FabricError::HashMismatch {
                 stored: stored_hash,

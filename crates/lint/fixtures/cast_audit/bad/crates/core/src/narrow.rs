@@ -1,0 +1,13 @@
+//! Positive fixture: unchecked narrowing casts.
+
+pub fn tag_to_u16(tag: u64) -> u16 {
+    tag as u16 //~ cast-audit
+}
+
+pub fn digit_to_u32(digit: u64) -> u32 {
+    digit as u32 //~ cast-audit
+}
+
+pub fn byte_and_exponent(x: u64) -> (u8, i32) {
+    (x as u8, x as i32) //~ cast-audit cast-audit
+}

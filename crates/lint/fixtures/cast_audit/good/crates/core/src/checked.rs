@@ -1,0 +1,17 @@
+//! Negative fixture: checked conversions, widening casts, and one
+//! suppressed narrowing cast with its bounding invariant stated.
+//! Zero findings expected.
+
+pub fn checked_u16(tag: u64) -> u16 {
+    u16::try_from(tag).expect("tag fits the packed slot word (validated by EdnParams)")
+}
+
+pub fn widening_is_fine(x: u32) -> (u64, f64, usize, u128) {
+    (x as u64, x as f64, x as usize, x as u128)
+}
+
+pub fn bounded_digit(raw: u64, b: u64) -> u32 {
+    debug_assert!(b <= u32::MAX as u64);
+    // edn-lint: allow(cast-audit) -- digit < b and b <= 2^32 is validated at params construction
+    (raw % b) as u32
+}

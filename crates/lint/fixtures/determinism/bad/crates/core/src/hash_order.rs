@@ -1,0 +1,28 @@
+//! Positive fixture: hash-order collections, clocks, and non-seeded
+//! randomness in an artifact-producing crate. Each tilde marker names
+//! the rule expected to flag that line.
+
+use std::collections::HashMap; //~ determinism
+use std::collections::HashSet; //~ determinism
+use std::time::SystemTime; //~ determinism
+
+pub fn order_reaches_output() -> Vec<(u64, u64)> {
+    let mut counts = HashMap::new(); //~ determinism
+    counts.insert(1u64, 2u64);
+    // Iterating a hash map straight into a row: the classic bug this
+    // rule exists to catch.
+    counts.into_iter().collect()
+}
+
+pub fn dedup_reaches_output(xs: &[u64]) -> usize {
+    let seen: HashSet<u64> = xs.iter().copied().collect(); //~ determinism
+    seen.len()
+}
+
+pub fn stamp() -> u64 {
+    let _now = SystemTime::now(); //~ determinism
+    let _t0 = std::time::Instant::now(); //~ determinism
+    let _rng = rand::thread_rng(); //~ determinism
+    let _rng2 = StdRng::from_entropy(); //~ determinism
+    0
+}

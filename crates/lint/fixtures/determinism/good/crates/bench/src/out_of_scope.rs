@@ -1,0 +1,10 @@
+//! Negative fixture: `bench` is not an artifact-producing crate — its
+//! JSON carries timings that are non-deterministic by nature — so the
+//! determinism rule does not apply here. Zero findings expected.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn timing_table() -> (HashMap<String, f64>, Instant) {
+    (HashMap::new(), Instant::now())
+}

@@ -1,0 +1,31 @@
+//! Negative fixture: ordered collections are fine, and the banned
+//! names inside comments, strings, and raw strings must not trip the
+//! lexer-backed rule. Zero findings expected.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+// HashMap in a comment is not a finding.
+/* Neither is HashSet in a /* nested */ block comment. */
+
+pub fn ordered_output(xs: &[u64]) -> Vec<(u64, u64)> {
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn ordered_dedup(xs: &[u64]) -> usize {
+    let seen: BTreeSet<u64> = xs.iter().copied().collect();
+    seen.len()
+}
+
+pub fn names() -> [&'static str; 3] {
+    // Banned identifiers as string data are fine — the rule matches
+    // code tokens, not bytes.
+    ["HashMap", "SystemTime", "Instant"]
+}
+
+pub fn raw_names() -> &'static str {
+    r#"HashSet::new() and thread_rng() in a raw string"#
+}

@@ -1,0 +1,34 @@
+//! Positive fixture: allocating constructs inside a marked hot-path
+//! region. The same constructs *outside* the region are legal.
+
+pub struct Scratch {
+    buf: Vec<u64>,
+    labels: Vec<String>,
+}
+
+impl Scratch {
+    // Constructors may allocate — they run once, not per cycle.
+    pub fn new(n: usize) -> Self {
+        Scratch {
+            buf: Vec::with_capacity(n),
+            labels: vec![String::new(); n],
+        }
+    }
+
+    // edn-lint: hot-path
+    pub fn step(&mut self, requests: &[u64]) -> usize {
+        let staged = vec![0u64; requests.len()]; //~ hot-path-alloc
+        let label = format!("{} requests", requests.len()); //~ hot-path-alloc
+        let copied = self.buf.clone(); //~ hot-path-alloc
+        let gathered: Vec<u64> = requests.iter().map(|r| r + 1).collect(); //~ hot-path-alloc
+        let boxed = Box::new(requests.len()); //~ hot-path-alloc
+        let owned = label.to_string(); //~ hot-path-alloc
+        let fresh = Vec::with_capacity(requests.len()); //~ hot-path-alloc
+        staged.len() + copied.len() + gathered.len() + *boxed + owned.len() + fresh.len()
+    }
+
+    // Outside the region again: allocation is fine here.
+    pub fn summarize(&self) -> String {
+        format!("{} entries", self.buf.len())
+    }
+}

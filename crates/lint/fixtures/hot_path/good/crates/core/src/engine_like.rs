@@ -1,0 +1,38 @@
+//! Negative fixture: a hot-path region that reuses preallocated
+//! scratch (amortized pushes, clears, swaps — never fresh
+//! allocations), plus one judged-safe `.clone()` suppressed with a
+//! reason. Zero findings expected.
+
+pub struct Scratch {
+    active: Vec<(usize, u64)>,
+    next: Vec<(usize, u64)>,
+}
+
+impl Scratch {
+    pub fn new(n: usize) -> Self {
+        Scratch {
+            active: Vec::with_capacity(n),
+            next: Vec::with_capacity(n),
+        }
+    }
+
+    // edn-lint: hot-path
+    pub fn step(&mut self, requests: &[u64]) -> usize {
+        self.active.clear();
+        self.next.clear();
+        for (idx, &line) in requests.iter().enumerate() {
+            self.active.push((idx, line));
+        }
+        self.active.sort_unstable_by_key(|&(_, line)| line);
+        let healthy = (0..requests.len()).filter(|k| k % 2 == 0);
+        // edn-lint: allow(hot-path-alloc) -- Range+filter iterator clone copies two words, never allocates
+        let capacity = healthy.clone().count();
+        for &(idx, line) in &self.active {
+            if idx < capacity {
+                self.next.push((idx, line + 1));
+            }
+        }
+        std::mem::swap(&mut self.active, &mut self.next);
+        self.active.len()
+    }
+}

@@ -1,0 +1,24 @@
+//! Positive fixture: a `*_probed` routing entry point with no
+//! probe-free twin in the file.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn route_probed(&mut self) -> usize { //~ probe-discipline
+        0
+    }
+
+    pub fn route_lanes_probed_with(&mut self) -> usize { //~ probe-discipline
+        0
+    }
+
+    // `step` exists but `step_probed`'s twin would be `step` — present,
+    // so this one is fine.
+    pub fn step(&mut self) -> usize {
+        0
+    }
+
+    pub fn step_probed(&mut self) -> usize {
+        self.step()
+    }
+}

@@ -1,0 +1,22 @@
+//! Negative fixture: every probed entry point keeps its
+//! NullProbe-defaulted twin. Zero findings expected.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn route(&mut self) -> usize {
+        self.route_probed()
+    }
+
+    pub fn route_probed(&mut self) -> usize {
+        0
+    }
+
+    pub fn route_lanes_with(&mut self) -> usize {
+        self.route_lanes_probed_with()
+    }
+
+    pub fn route_lanes_probed_with(&mut self) -> usize {
+        0
+    }
+}

@@ -1,0 +1,20 @@
+//! Positive fixture: suppressions are only valid with a reason, and
+//! unknown rules/directives are findings. A reasonless suppression
+//! does NOT silence the underlying finding. Caret markers below expect
+//! a finding on the preceding line.
+
+use std::collections::HashMap; //~ determinism
+
+// edn-lint: allow(determinism)
+//~^ suppression
+use std::collections::HashSet; //~ determinism
+
+// edn-lint: allow(no-such-rule) -- the rule name is wrong
+//~^ suppression
+
+// edn-lint: frobnicate
+//~^ suppression
+
+pub fn f() -> usize {
+    HashMap::<u64, u64>::new().len() //~ determinism
+}

@@ -1,0 +1,16 @@
+//! Negative fixture: well-formed suppressions, both site and file
+//! scoped, in both standalone and trailing positions. Zero findings
+//! expected.
+
+// edn-lint: allow-file(cast-audit) -- fixture demonstrates the file-scoped grammar
+
+use std::collections::HashMap; // edn-lint: allow(determinism) -- membership-only scaffolding, never iterated
+
+// edn-lint: allow(determinism) -- standalone form applies to the next code line
+use std::collections::HashSet;
+
+pub fn f(x: u64) -> (usize, usize, u32) {
+    let m = HashMap::<u64, u64>::new(); // edn-lint: allow(determinism) -- never iterated
+    let s = HashSet::<u64>::new(); // edn-lint: allow(determinism) -- never iterated
+    (m.len(), s.len(), x as u32)
+}

@@ -1,0 +1,5 @@
+//! Positive fixture: a crate lib root missing its `#![forbid(unsafe_code)]` header. //~ unsafe-containment
+
+pub fn fine() -> u64 {
+    7
+}

@@ -1,0 +1,7 @@
+//! Positive fixture: the fabric lib root must carry //~ unsafe-containment
+//! `#![deny(unsafe_op_in_unsafe_fn)]`; `#![forbid(unsafe_code)]` is the
+//! wrong posture for the one crate that legitimately holds unsafe.
+
+pub fn fine() -> u64 {
+    7
+}

@@ -1,0 +1,9 @@
+//! Positive fixture: `unsafe` outside the fabric mmap module.
+
+pub fn first(v: &[u32]) -> u32 {
+    unsafe { *v.as_ptr() } //~ unsafe-containment
+}
+
+pub unsafe fn no_bounds(v: &[u32], i: usize) -> u32 { //~ unsafe-containment
+    *v.get_unchecked(i)
+}

@@ -1,0 +1,8 @@
+//! Negative fixture: a correctly-postured crate lib root. Zero
+//! findings expected.
+
+#![forbid(unsafe_code)]
+
+pub fn fine() -> u64 {
+    7
+}

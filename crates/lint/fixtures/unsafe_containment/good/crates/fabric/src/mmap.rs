@@ -1,0 +1,8 @@
+//! Negative fixture: the fabric mmap module is the one place `unsafe`
+//! may live. Zero findings expected.
+
+pub(crate) fn lut_bytes(lut: &[u32]) -> &[u8] {
+    // SAFETY: u8 has alignment 1 and the length covers exactly the
+    // slice's own bytes.
+    unsafe { std::slice::from_raw_parts(lut.as_ptr().cast::<u8>(), lut.len() * 4) }
+}

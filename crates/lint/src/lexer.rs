@@ -1,0 +1,441 @@
+//! A small, honest Rust lexer.
+//!
+//! The rule engine needs a *token* view of a source file — one where
+//! `HashMap` inside a string literal, a doc comment, or a `r#"raw"#`
+//! string is not an identifier — but it does not need types, macros, or
+//! name resolution. This lexer produces exactly that view: code tokens
+//! (identifiers, lifetimes, literals, punctuation) with 1-based
+//! line/column positions, plus the line comments (where `// edn-lint:`
+//! directives live) as a separate side channel.
+//!
+//! Handled faithfully because rules would otherwise misfire:
+//!
+//! * line comments, nested block comments, doc comments;
+//! * string, raw string (`r"…"`, `r#"…"#`, any hash depth), byte
+//!   string, and byte raw string literals, with escapes;
+//! * char literals vs. lifetimes (`'a'` is a char, `'a` is a lifetime,
+//!   `'\u{1F600}'` is a char);
+//! * raw identifiers (`r#match`).
+//!
+//! Numeric literals are tokenized loosely (good enough to keep digits
+//! from gluing onto neighboring tokens); the rules never inspect them.
+
+/// What kind of code token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `unsafe`, `as`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinct from char literals.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String / raw string / byte string literal (contents opaque).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// One punctuation character (`::` is two consecutive `:` tokens).
+    Punct,
+}
+
+/// One code token with its position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The token's text (for `Str`, the opening delimiter only — rules
+    /// never match inside string contents).
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column within the line.
+    pub col: usize,
+}
+
+/// One `//` line comment (block comments are skipped entirely — lint
+/// directives are line comments by definition).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the leading `//`.
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column within the line.
+    pub col: usize,
+    /// True when no code token precedes the comment on its line — a
+    /// standalone directive applies to the *next* code line, a trailing
+    /// one to its own line.
+    pub own_line: bool,
+}
+
+/// The lexed view of one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: usize,
+    col: usize,
+    out: Lexed,
+    code_on_line: bool,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.i + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line/column.
+    fn bump(&mut self) {
+        if self.src[self.i] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.code_on_line = false;
+        } else {
+            self.col += 1;
+        }
+        self.i += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.i < self.src.len() {
+                self.bump();
+            }
+        }
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: &str, line: usize, col: usize) {
+        self.code_on_line = true;
+        self.out.tokens.push(Tok {
+            kind,
+            text: text.to_string(),
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let (line, col, own_line) = (self.line, self.col, !self.code_on_line);
+        let start = self.i;
+        while self.peek(0).is_some_and(|c| c != b'\n') {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+        self.out.comments.push(Comment {
+            text,
+            line,
+            col,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump_n(2); // `/*`
+        let mut depth = 1usize;
+        while depth > 0 && self.peek(0).is_some() {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a `"…"` string body (opening quote already peeked);
+    /// escapes keep `\"` from terminating it.
+    fn quoted_string(&mut self, line: usize, col: usize) {
+        self.bump(); // opening `"`
+        while let Some(c) = self.peek(0) {
+            if c == b'\\' {
+                self.bump_n(2);
+            } else if c == b'"' {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+        self.push_tok(TokKind::Str, "\"", line, col);
+    }
+
+    /// Consumes `r"…"` / `r#"…"#` (any hash depth); `self.i` is at the
+    /// first `#` or `"` after the `r` (and optional `b`).
+    fn raw_string(&mut self, line: usize, col: usize) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening `"`
+        'scan: while let Some(c) = self.peek(0) {
+            if c == b'"' {
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some(b'#') {
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(1 + hashes);
+                break;
+            }
+            self.bump();
+        }
+        self.push_tok(TokKind::Str, "r\"", line, col);
+    }
+
+    /// After a `'`: a char literal (`'a'`, `'\n'`, `'\u{…}'`) or a
+    /// lifetime (`'a`, `'static`).
+    fn char_or_lifetime(&mut self) {
+        let (line, col) = (self.line, self.col);
+        self.bump(); // `'`
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.bump_n(2);
+                while self.peek(0).is_some_and(|c| c != b'\'') {
+                    self.bump();
+                }
+                self.bump();
+                self.push_tok(TokKind::Char, "'", line, col);
+            }
+            Some(c) if is_ident_start(c) => {
+                let start = self.i;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    // `'a'` — a char literal whose body looked like an
+                    // identifier character.
+                    self.bump();
+                    self.push_tok(TokKind::Char, "'", line, col);
+                } else {
+                    let text = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+                    self.push_tok(TokKind::Lifetime, &text, line, col);
+                }
+            }
+            Some(_) => {
+                // `'('` and friends: plain char literal.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.push_tok(TokKind::Char, "'", line, col);
+            }
+            None => self.push_tok(TokKind::Punct, "'", line, col),
+        }
+    }
+
+    fn ident(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let start = self.i;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+        self.push_tok(TokKind::Ident, &text, line, col);
+    }
+
+    fn number(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else if c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the literal; `1..n` and `1.method()`
+                // do not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+        self.push_tok(TokKind::Num, &text, line, col);
+    }
+
+    /// True when, starting `ahead` bytes past the cursor, the input
+    /// reads `#* "` — i.e. a raw-string body follows (`r"`, `r#"`,
+    /// `r###"`, … at any hash depth).
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut k = ahead;
+        while self.peek(k) == Some(b'#') {
+            k += 1;
+        }
+        self.peek(k) == Some(b'"')
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => {
+                    let (line, col) = (self.line, self.col);
+                    self.quoted_string(line, col);
+                }
+                b'r' if self.raw_string_ahead(1) => {
+                    let (line, col) = (self.line, self.col);
+                    self.bump(); // `r`
+                    self.raw_string(line, col);
+                }
+                b'r' if self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier `r#match`.
+                    let (line, col) = (self.line, self.col);
+                    self.bump_n(2);
+                    let start = self.i;
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    let text = String::from_utf8_lossy(&self.src[start..self.i]).into_owned();
+                    self.push_tok(TokKind::Ident, &text, line, col);
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    let (line, col) = (self.line, self.col);
+                    self.bump(); // `b`
+                    self.quoted_string(line, col);
+                }
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(2) => {
+                    let (line, col) = (self.line, self.col);
+                    self.bump_n(2); // `br`
+                    self.raw_string(line, col);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    let (line, col) = (self.line, self.col);
+                    self.bump(); // `b`
+                    self.char_or_lifetime();
+                    // Re-tag: a byte char is a char literal at the `b`.
+                    if let Some(last) = self.out.tokens.last_mut() {
+                        last.line = line;
+                        last.col = col;
+                    }
+                }
+                b'\'' => self.char_or_lifetime(),
+                c if c.is_ascii_whitespace() => self.bump(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                _ => {
+                    let (line, col) = (self.line, self.col);
+                    let text = (c as char).to_string();
+                    self.bump();
+                    self.push_tok(TokKind::Punct, &text, line, col);
+                }
+            }
+        }
+        self.out
+    }
+}
+
+/// Lexes `src` into code tokens plus line comments.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+        code_on_line: false,
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r####"
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block comment */
+            let a = "HashMap in a string";
+            let b = r#"HashMap in a raw string"#;
+            let c = b"HashMap in a byte string";
+            let real = HashMap::new();
+        "####;
+        let names = idents(src);
+        assert_eq!(
+            names.iter().filter(|n| *n == "HashMap").count(),
+            1,
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_derail() {
+        let names = idents(r"let x = '\n'; let y = '\u{1F600}'; HashSet");
+        assert_eq!(names, ["let", "x", "let", "y", "HashSet"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let names = idents(r####"let s = r##"she said "Instant" loudly"##; Instant"####);
+        assert_eq!(names.iter().filter(|n| *n == "Instant").count(), 1);
+    }
+
+    #[test]
+    fn comments_carry_position_and_own_line_flag() {
+        let lexed = lex("let x = 1; // trailing\n// standalone\nlet y = 2;\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].own_line);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        assert_eq!(idents("let r#match = 1;"), ["let", "match"]);
+    }
+
+    #[test]
+    fn numeric_literals_do_not_swallow_neighbors() {
+        let lexed = lex("let x = 1.0e3; let r = 1..n; let m = 1.max(2);");
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"n"), "{texts:?}");
+        assert!(texts.contains(&"max"), "{texts:?}");
+    }
+}

@@ -1,0 +1,48 @@
+//! The meta-test: `edn_lint check --workspace -D all` over the *real*
+//! repository must come back clean. This is the same assertion CI
+//! makes, run in-process so `cargo test` alone proves the gate holds.
+
+use std::path::{Path, PathBuf};
+
+use edn_lint::{check_file, workspace_files};
+
+fn repo_root() -> PathBuf {
+    // crates/lint -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = repo_root();
+    let files = workspace_files(&root).expect("workspace walk");
+    assert!(
+        files.len() > 50,
+        "workspace walk found only {} files — wrong root?",
+        files.len()
+    );
+    // The walk must cover the crates and exclude vendor/fixtures.
+    assert!(files
+        .iter()
+        .any(|f| f.ends_with("crates/core/src/engine.rs")));
+    assert!(!files.iter().any(|f| f.starts_with("vendor")));
+    assert!(!files.iter().any(|f| f.starts_with("crates/lint/fixtures")));
+
+    let mut findings = Vec::new();
+    for file in &files {
+        findings.extend(check_file(&root, file).expect("readable source"));
+    }
+    assert!(
+        findings.is_empty(),
+        "the workspace must be lint-clean; {} finding(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

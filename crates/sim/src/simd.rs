@@ -17,7 +17,7 @@ use edn_core::{EdnError, EdnParams, RouteRequest, SessionState};
 use edn_traffic::Permutation;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Which message each cluster submits per cycle.
 ///
@@ -197,7 +197,7 @@ impl RaEdnSystem {
             limit,
         );
         PermutationRun {
-            cycles: cycles as u32,
+            cycles: u32::try_from(cycles).expect("cycle count bounded by p*q*64 safety limit"),
             delivered_per_cycle: self.session.delivered_per_cycle().to_vec(),
             total_messages: total,
         }
@@ -237,7 +237,7 @@ impl RaEdnSystem {
         // message per cycle, so p*q cycles times a wide margin suffices.
         let cycle_limit = (self.processors() * 64).max(1024);
         let mut selected: Vec<usize> = vec![0; ports as usize];
-        let mut claimed: HashSet<u64> = HashSet::new();
+        let mut claimed: BTreeSet<u64> = BTreeSet::new();
         while remaining > 0 {
             let cycle_index = delivered_per_cycle.len() as u64;
             assert!(
@@ -290,7 +290,8 @@ impl RaEdnSystem {
             delivered_per_cycle.push(delivered);
         }
         PermutationRun {
-            cycles: delivered_per_cycle.len() as u32,
+            cycles: u32::try_from(delivered_per_cycle.len())
+                .expect("cycle count bounded by p*q*64 safety limit"),
             delivered_per_cycle,
             total_messages: self.processors(),
         }

@@ -46,6 +46,7 @@ use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+// edn-lint: allow(determinism) -- timing feeds the metrics sidecar/heartbeats only
 use std::time::Instant;
 
 /// The environment variable naming the default `--cache` directory.
@@ -340,6 +341,7 @@ impl SweepArgs {
             telemetry: Vec::new(),
             routing: Vec::new(),
             heartbeat,
+            // edn-lint: allow(determinism) -- heartbeat wall-clock, sidecar-only
             started: Instant::now(),
         }
     }
@@ -420,6 +422,7 @@ pub struct Emission<'a> {
     telemetry: Vec<TableTelemetry>,
     routing: Vec<String>,
     heartbeat: Option<Mutex<Heartbeat>>,
+    // edn-lint: allow(determinism) -- heartbeat wall-clock, sidecar-only
     started: Instant,
 }
 
@@ -601,6 +604,7 @@ impl Emission<'_> {
         let (fresh_results, pool) =
             run_indexed_counted(self.args.threads, fresh.len(), init, |state, index| {
                 let row = start + fresh[index];
+                // edn-lint: allow(determinism) -- row latency goes to the sidecar histogram
                 let measured_at = Instant::now();
                 let (cells, aux) = measure(state, row);
                 let micros = u64::try_from(measured_at.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -658,7 +662,10 @@ impl Emission<'_> {
                     let aux = replay(&cells, start + local);
                     (cells, aux)
                 }
-                None => fresh_results.next().expect("one result per fresh row"),
+                None => fresh_results.next().expect(
+                    "pool returned fewer results than uncached rows — run_indexed_counted \
+                     yields exactly one result per fresh-row task",
+                ),
             };
             table.row(cells);
             auxes.push(aux);

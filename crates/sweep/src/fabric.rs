@@ -59,7 +59,9 @@ pub fn fabric_dir() -> Option<PathBuf> {
 /// corrupt database is an environment error, never a fallback — or if
 /// the shape cannot be compiled at all.
 pub fn wiring_for(params: &EdnParams) -> Arc<CompiledWiring> {
-    let mut cache = WIRINGS.lock().unwrap();
+    let mut cache = WIRINGS
+        .lock()
+        .expect("wiring cache poisoned: a compile panicked in another thread");
     if let Some((_, wiring)) = cache.iter().find(|(p, _)| p == params) {
         return Arc::clone(wiring);
     }

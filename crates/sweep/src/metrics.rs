@@ -23,6 +23,9 @@
 //! all finished rows (replayed hits included) per wall-clock second;
 //! `eta` is `?` until a rate exists; `cache` is `-` on uncached runs.
 
+// edn-lint: allow-file(determinism) -- this module IS the non-deterministic
+// sidecar: wall-clock timing is its payload and never mixes into the
+// byte-identical artifact stream
 use crate::pool::PoolStats;
 use crate::report::json_string;
 use crate::stream::Shard;

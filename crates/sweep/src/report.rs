@@ -191,6 +191,7 @@ pub fn json_string(text: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            // edn-lint: allow(cast-audit) -- char-to-u32 is lossless (chars are scalar values)
             ch if (ch as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", ch as u32)),
             ch => out.push(ch),
         }

@@ -130,6 +130,7 @@ proptest! {
         mantissa in -10_000i64..10_000,
         scale in 0u32..4,
     ) {
+        // edn-lint: allow(cast-audit) -- scale < 4 by its proptest range
         let cell = format!("{:.*}", scale as usize, mantissa as f64 / 10f64.powi(scale as i32));
         let headers = vec!["x".to_string()];
         let line = render_json_row(0, "t", &headers, std::slice::from_ref(&cell));

@@ -22,20 +22,21 @@
 //! all the repairs.
 
 use edn_sweep::merge::{check_file_all, merge_files};
-use edn_sweep::metrics::check_metrics_text;
+use edn_sweep::metrics::{check_metrics_text, check_trace_text};
 use std::io::Write as _;
 use std::path::PathBuf;
 
 const USAGE: &str = "reassemble sharded sweep artifacts\n\n\
     Usage: edn_merge PART.jsonl... [--out PATH]\n       \
     edn_merge --check FILE.jsonl...\n       \
-    edn_merge --check-metrics FILE.metrics.jsonl...\n\n\
+    edn_merge --check-metrics FILE.metrics.jsonl... FILE.trace.jsonl...\n\n\
     Options:\n  \
     --out PATH       write the merged artifact to PATH (default: stdout)\n  \
     --check          validate each file (header, JSON rows, shard coverage)\n                   \
     without merging\n  \
-    --check-metrics  validate metrics sidecars (strict JSON, known record\n                   \
-    kinds, required fields) without merging\n  \
+    --check-metrics  validate metrics and trace sidecars (strict JSON, known\n                   \
+    record kinds, required fields; *.trace.jsonl files also\n                   \
+    get header-first and monotone-cycle checks) without merging\n  \
     --help           print this message";
 
 fn main() {
@@ -85,9 +86,22 @@ fn main() {
                     continue;
                 }
             };
-            match check_metrics_text(&text) {
+            // Trace sidecars share the validation pass but have their
+            // own schema (header-first, event whitelist, monotone
+            // per-packet cycles); the filename suffix dispatches.
+            let is_trace = path
+                .file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| name.ends_with(".trace.jsonl"));
+            let checked = if is_trace {
+                check_trace_text(&text)
+            } else {
+                check_metrics_text(&text)
+            };
+            match checked {
                 Ok(count) => {
-                    eprintln!("{}: ok — {count} metric records", path.display());
+                    let kind = if is_trace { "trace" } else { "metric" };
+                    eprintln!("{}: ok — {count} {kind} records", path.display());
                     records += count;
                 }
                 Err(problems) => {

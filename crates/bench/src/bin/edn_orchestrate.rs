@@ -29,11 +29,11 @@
 //!
 //! ```text
 //! [shard 2/3] edn-heartbeat shard=2/3 rows=12/40 rps=3.41 eta=8.2s cache=75%
-//! edn_orchestrate: 31/120 rows (25.8%), 3/3 shard(s) reporting, cache 75%
+//! edn_orchestrate: 31/120 rows (25.8%), 3/3 shard(s) reporting, 9.87 rows/s, eta 9.0s, cache 75%
 //! ```
 
 use edn_sweep::merge::merge_files;
-use edn_sweep::metrics::{HeartbeatLine, HEARTBEAT_ENV, METRICS_EXTENSION};
+use edn_sweep::metrics::{HeartbeatLine, HEARTBEAT_ENV, METRICS_EXTENSION, TRACE_EXTENSION};
 use std::io::{BufRead, BufReader, Write as _};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -173,6 +173,19 @@ impl Progress {
             "edn_orchestrate: {done}/{total} rows ({percent:.1}%), {}/{jobs} shard(s) reporting",
             reporting.len()
         );
+        // Aggregate throughput is the sum of the shard rates that exist
+        // yet; eta divides the remaining rows by it. Both are guarded
+        // against the degenerate shards a wave always starts with —
+        // zero rows done, zero elapsed time (rps absent), or already
+        // finished (remaining 0) — so the line never shows NaN or inf.
+        let rps: f64 = reporting.iter().filter_map(|h| h.rps).sum();
+        if rps > 0.0 && rps.is_finite() {
+            line.push_str(&format!(", {rps:.2} rows/s"));
+            let remaining = total.saturating_sub(done);
+            if remaining > 0 {
+                line.push_str(&format!(", eta {:.1}s", remaining as f64 / rps));
+            }
+        }
         // Cache effectiveness weighted by each shard's finished rows;
         // omitted entirely on uncached runs.
         let cached_rows: usize = reporting
@@ -386,6 +399,7 @@ fn main() {
         for part in &written {
             std::fs::remove_file(part).ok();
             std::fs::remove_file(part.with_extension(METRICS_EXTENSION)).ok();
+            std::fs::remove_file(part.with_extension(TRACE_EXTENSION)).ok();
         }
         std::fs::remove_dir(&work_dir).ok();
     }
@@ -425,4 +439,107 @@ fn fail_usage(message: &str) -> ! {
 fn fail_run(message: &str) -> ! {
     eprintln!("edn_orchestrate: {message}");
     std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edn_sweep::stream::Shard;
+
+    fn heartbeat(
+        index: usize,
+        jobs: usize,
+        done: usize,
+        total: usize,
+        rps: Option<f64>,
+    ) -> HeartbeatLine {
+        HeartbeatLine {
+            shard: Shard::new(index, jobs),
+            done,
+            total,
+            rps,
+            eta_seconds: None,
+            cache_percent: None,
+        }
+    }
+
+    #[test]
+    fn empty_progress_prints_zeroes_not_nan() {
+        let progress = Progress::new(3);
+        let line = progress.line(3);
+        assert_eq!(
+            line,
+            "edn_orchestrate: 0/0 rows (0.0%), 0/3 shard(s) reporting"
+        );
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
+    fn zero_elapsed_shards_fold_without_rate_or_eta() {
+        // A wave's first heartbeats: rows done but no rate yet (the
+        // emitter withholds rps until time has elapsed). The aggregate
+        // must not divide by the absent rate.
+        let mut progress = Progress::new(2);
+        progress.latest[0] = Some(heartbeat(0, 2, 0, 10, None));
+        progress.latest[1] = Some(heartbeat(1, 2, 3, 10, None));
+        let line = progress.line(2);
+        assert_eq!(
+            line,
+            "edn_orchestrate: 3/20 rows (15.0%), 2/2 shard(s) reporting"
+        );
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
+    fn zero_row_shards_join_rated_shards_cleanly() {
+        // One productive shard, one degenerate (zero rows, zero rate):
+        // the rate sums over what exists, eta divides remaining rows.
+        let mut progress = Progress::new(2);
+        progress.latest[0] = Some(heartbeat(0, 2, 5, 10, Some(2.5)));
+        progress.latest[1] = Some(heartbeat(1, 2, 0, 0, None));
+        let line = progress.line(2);
+        assert_eq!(
+            line,
+            "edn_orchestrate: 5/10 rows (50.0%), 2/2 shard(s) reporting, 2.50 rows/s, eta 2.0s"
+        );
+    }
+
+    #[test]
+    fn finished_shards_omit_eta() {
+        // Everything done: a rate still prints (it is real) but an eta
+        // over zero remaining rows would be noise.
+        let mut progress = Progress::new(1);
+        progress.latest[0] = Some(heartbeat(0, 1, 10, 10, Some(4.0)));
+        let line = progress.line(1);
+        assert_eq!(
+            line,
+            "edn_orchestrate: 10/10 rows (100.0%), 1/1 shard(s) reporting, 4.00 rows/s"
+        );
+    }
+
+    #[test]
+    fn pathological_rates_never_print_non_finite_etas() {
+        // A clock hiccup could hand a shard an absurd rate; folding an
+        // infinite rate must degrade to omitting the rate, not print
+        // `inf rows/s` or `eta NaN`.
+        let mut progress = Progress::new(2);
+        progress.latest[0] = Some(heartbeat(0, 2, 1, 10, Some(f64::INFINITY)));
+        progress.latest[1] = Some(heartbeat(1, 2, 1, 10, Some(3.0)));
+        let line = progress.line(2);
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+        assert!(line.contains("shard(s) reporting"), "{line}");
+    }
+
+    #[test]
+    fn cache_percent_weighted_by_done_rows() {
+        let mut progress = Progress::new(2);
+        let mut first = heartbeat(0, 2, 4, 10, None);
+        first.cache_percent = Some(100);
+        let mut second = heartbeat(1, 2, 4, 10, None);
+        second.cache_percent = Some(50);
+        progress.latest[0] = Some(first);
+        progress.latest[1] = Some(second);
+        let line = progress.line(2);
+        assert!(line.ends_with("cache 75%"), "{line}");
+    }
 }

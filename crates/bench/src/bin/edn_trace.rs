@@ -1,0 +1,1267 @@
+//! `edn_trace` — analyze flight-recorder sidecars, no re-simulation.
+//!
+//! ```text
+//! edn_trace run.trace.jsonl                    # per-label event summary
+//! edn_trace run.trace.jsonl --lifecycle 7      # source 7's packet lifecycles
+//! edn_trace run.trace.jsonl --latency          # delivery percentiles (cycles)
+//! edn_trace run.trace.jsonl --blocks           # block-site ranking
+//! edn_trace run.trace.jsonl --diagram --svg plots/
+//! edn_trace run.trace.jsonl --chrome trace.json    # chrome://tracing export
+//! edn_trace run.trace.jsonl --reconcile run.metrics.jsonl
+//! ```
+//!
+//! A `--trace` run writes every recorded [`TraceEvent`] into a
+//! `*.trace.jsonl` sidecar. This tool reads one back (through
+//! `edn_sweep::json`, dependency-free like everything here) and
+//! reconstructs what the aggregate counters cannot show:
+//!
+//! * **lifecycles** — each packet's actual path, stage by granted wire,
+//!   to its delivery, block site, or fault death;
+//! * **utilization** — grants per stage and per exit wire;
+//! * **blocks** — block sites ranked by contention (losing contenders);
+//! * **latency** — delivery-latency percentiles in simulated cycles;
+//! * **diagram** — a time-space diagram (stage activity over cycles),
+//!   ASCII and, with `--svg DIR`, SVG;
+//! * **chrome** — the whole trace as Chrome trace-event JSON, one
+//!   process per label, one thread per source, microseconds = cycles;
+//! * **reconcile** — per-stage event counts cross-checked against the
+//!   same run's `StageProbe` aggregates in the metrics sidecar.
+//!
+//! [`TraceEvent`]: edn_core::TraceEvent
+
+use edn_core::TraceEventKind;
+use edn_sweep::json::{self, Value};
+use edn_sweep::TRACE_SCHEMA_VERSION;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const USAGE: &str = "analyze a flight-recorder trace sidecar (no re-simulation)\n\n\
+    Usage: edn_trace TRACE.trace.jsonl [OPTIONS]\n\n\
+    Options:\n  \
+    --label SUBSTR   analyze only labels containing SUBSTR\n  \
+    --lifecycle [S]  print per-packet lifecycles (optionally: source S only)\n  \
+    --limit N        max lifecycles printed per label (default 20)\n  \
+    --utilization    per-stage / per-wire grant utilization\n  \
+    --blocks         block sites ranked by losing contenders\n  \
+    --latency        delivery-latency percentiles (p50/p90/p99/max, cycles)\n  \
+    --diagram        ASCII time-space diagram (stage activity over cycles)\n  \
+    --width N        diagram width in columns (default 64)\n  \
+    --svg DIR        also write DIR/<label>.svg time-space diagrams\n  \
+    --chrome PATH    export Chrome trace-event JSON (open in chrome://tracing\n                   \
+    or ui.perfetto.dev)\n  \
+    --reconcile PATH cross-check per-stage counts against the run's\n                   \
+    *.metrics.jsonl routing records\n  \
+    --help           print this message\n\n\
+    With no analysis flag, prints the per-label event summary.";
+
+struct Options {
+    trace: PathBuf,
+    label: Option<String>,
+    lifecycle: bool,
+    lifecycle_source: Option<u64>,
+    limit: usize,
+    utilization: bool,
+    blocks: bool,
+    latency: bool,
+    diagram: bool,
+    width: usize,
+    svg: Option<PathBuf>,
+    chrome: Option<PathBuf>,
+    reconcile: Option<PathBuf>,
+}
+
+impl Options {
+    /// `true` when no analysis flag was given, so the default summary
+    /// renders.
+    fn summary_only(&self) -> bool {
+        !(self.lifecycle
+            || self.utilization
+            || self.blocks
+            || self.latency
+            || self.diagram
+            || self.chrome.is_some()
+            || self.reconcile.is_some())
+    }
+}
+
+fn parse_options() -> Result<Option<Options>, String> {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut trace = None;
+    let mut label = None;
+    let mut lifecycle = false;
+    let mut lifecycle_source = None;
+    let mut limit = 20usize;
+    let mut utilization = false;
+    let mut blocks = false;
+    let mut latency = false;
+    let mut diagram = false;
+    let mut width = 64usize;
+    let mut svg = None;
+    let mut chrome = None;
+    let mut reconcile = None;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--label" => label = Some(value("--label")?),
+            "--lifecycle" => {
+                lifecycle = true;
+                // The source is optional: the next token is consumed
+                // only when it reads as a port number, so a following
+                // path or flag is left for its own clause.
+                if let Some(next) = args.peek() {
+                    if let Ok(source) = next.parse::<u64>() {
+                        lifecycle_source = Some(source);
+                        args.next();
+                    }
+                }
+            }
+            "--limit" => {
+                limit = value("--limit")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--limit expects an integer >= 1")?;
+            }
+            "--utilization" => utilization = true,
+            "--blocks" => blocks = true,
+            "--latency" => latency = true,
+            "--diagram" => diagram = true,
+            "--width" => {
+                width = value("--width")?
+                    .parse()
+                    .ok()
+                    .filter(|&w| w >= 8)
+                    .ok_or("--width expects an integer >= 8")?;
+            }
+            "--svg" => svg = Some(PathBuf::from(value("--svg")?)),
+            "--chrome" => chrome = Some(PathBuf::from(value("--chrome")?)),
+            "--reconcile" => reconcile = Some(PathBuf::from(value("--reconcile")?)),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path if trace.is_none() => trace = Some(PathBuf::from(path)),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let trace = trace.ok_or("no trace sidecar given")?;
+    Ok(Some(Options {
+        trace,
+        label,
+        lifecycle,
+        lifecycle_source,
+        limit,
+        utilization,
+        blocks,
+        latency,
+        diagram,
+        width,
+        svg,
+        chrome,
+        reconcile,
+    }))
+}
+
+/// One parsed event record (the sidecar's flat row form).
+struct Event {
+    cycle: u64,
+    kind: TraceEventKind,
+    source: u64,
+    tag: u64,
+    stage: u32,
+    value: u64,
+}
+
+/// One label's event stream plus its summary-record totals.
+struct LabelTrace {
+    label: String,
+    events: Vec<Event>,
+    /// Matching events the recorder's ring could not hold (from the
+    /// summary record); when nonzero, every count here is a lower bound.
+    dropped: u64,
+    /// Simulated cycles the recorder observed (from the summary record).
+    cycles: u64,
+}
+
+/// The whole sidecar: header provenance plus per-label streams, labels
+/// in first-appearance order.
+struct TraceData {
+    binary: String,
+    filter: String,
+    labels: Vec<LabelTrace>,
+}
+
+fn kind_of(name: &str) -> Option<TraceEventKind> {
+    TraceEventKind::ALL.into_iter().find(|k| k.name() == name)
+}
+
+fn load(options: &Options) -> Result<TraceData, String> {
+    let text = std::fs::read_to_string(&options.trace)
+        .map_err(|error| format!("{}: {error}", options.trace.display()))?;
+    let mut lines = text.lines().enumerate();
+    let (_, header_line) = lines.next().ok_or("trace sidecar is empty")?;
+    let header = json::parse(header_line).map_err(|error| format!("header: {error}"))?;
+    if header.get("kind").and_then(|v| v.as_str()) != Some("header") {
+        return Err("first record is not the trace header".to_string());
+    }
+    let schema = header
+        .get("edn_trace_schema")
+        .and_then(|v| v.as_usize())
+        .ok_or("header has no `edn_trace_schema`")?;
+    if schema as u64 != TRACE_SCHEMA_VERSION {
+        return Err(format!(
+            "trace schema v{schema} (this tool reads v{TRACE_SCHEMA_VERSION})"
+        ));
+    }
+    let text_field = |value: &Value, name: &str| {
+        value
+            .get(name)
+            .and_then(|v| v.as_str())
+            .map(str::to_string)
+            .ok_or_else(|| format!("record has no string `{name}`"))
+    };
+    let binary = text_field(&header, "binary")?;
+    let filter = text_field(&header, "filter")?;
+    let mut labels: Vec<LabelTrace> = Vec::new();
+    let mut index_of: BTreeMap<String, usize> = BTreeMap::new();
+    for (index, line) in lines {
+        let record = json::parse(line).map_err(|error| format!("line {}: {error}", index + 1))?;
+        let at = |message: String| format!("line {}: {message}", index + 1);
+        let kind = record
+            .get("kind")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| at("record has no `kind`".into()))?;
+        if kind == "header" {
+            return Err(at("second header record".into()));
+        }
+        let label = text_field(&record, "label").map_err(at)?;
+        let entry = *index_of.entry(label.clone()).or_insert_with(|| {
+            labels.push(LabelTrace {
+                label,
+                events: Vec::new(),
+                dropped: 0,
+                cycles: 0,
+            });
+            labels.len() - 1
+        });
+        let number = |name: &str| {
+            record
+                .get(name)
+                .and_then(|v| v.as_usize())
+                .map(|n| n as u64)
+                .ok_or_else(|| at(format!("record has no numeric `{name}`")))
+        };
+        match kind {
+            "event" => {
+                let name = text_field(&record, "event").map_err(at)?;
+                let kind = kind_of(&name).ok_or_else(|| at(format!("unknown event `{name}`")))?;
+                let stage = u32::try_from(number("stage")?)
+                    .map_err(|_| at("`stage` exceeds u32".into()))?;
+                labels[entry].events.push(Event {
+                    cycle: number("cycle")?,
+                    kind,
+                    source: number("source")?,
+                    tag: number("tag")?,
+                    stage,
+                    value: number("value")?,
+                });
+            }
+            "summary" => {
+                labels[entry].dropped = number("dropped")?;
+                labels[entry].cycles = number("cycles")?;
+            }
+            other => return Err(at(format!("unknown record kind `{other}`"))),
+        }
+    }
+    if let Some(wanted) = &options.label {
+        labels.retain(|l| l.label.contains(wanted.as_str()));
+        if labels.is_empty() {
+            return Err(format!(
+                "no label containing `{wanted}` in {}",
+                options.trace.display()
+            ));
+        }
+    }
+    if labels.is_empty() {
+        return Err(format!(
+            "{}: header-only sidecar (the run recorded no events)",
+            options.trace.display()
+        ));
+    }
+    Ok(TraceData {
+        binary,
+        filter,
+        labels,
+    })
+}
+
+/// One reconstructed packet: everything that happened to one request
+/// between its inject and its terminal event.
+struct Packet {
+    source: u64,
+    tag: u64,
+    /// Inject cycle; `None` when a filter cut the inject off (the packet
+    /// is then excluded from latency statistics).
+    inject: Option<u64>,
+    /// `(cycle, stage, wire)` per granted hop, in stage order.
+    hops: Vec<(u64, u32, u64)>,
+    /// `(cycle, stage, losers)` per arbitration loss.
+    blocks: Vec<(u64, u32, u64)>,
+    /// The fault that killed it, when one did.
+    fault: Option<(u64, u32)>,
+    resubmits: u64,
+    /// `(cycle, output)` on delivery.
+    deliver: Option<(u64, u64)>,
+}
+
+impl Packet {
+    fn open(source: u64, tag: u64, inject: Option<u64>) -> Packet {
+        Packet {
+            source,
+            tag,
+            inject,
+            hops: Vec::new(),
+            blocks: Vec::new(),
+            fault: None,
+            resubmits: 0,
+            deliver: None,
+        }
+    }
+
+    /// Delivery latency in cycles (inclusive of the inject cycle), when
+    /// the packet both injected and delivered inside the trace.
+    fn latency(&self) -> Option<u64> {
+        let (inject, (deliver, _)) = (self.inject?, self.deliver?);
+        Some(deliver - inject + 1)
+    }
+}
+
+/// Rebuilds per-packet lifecycles from one label's event stream. Events
+/// are in record order (cycle-monotone per source — the sidecar
+/// validator's invariant), so a source's next inject closes its previous
+/// packet.
+fn packets_of(trace: &LabelTrace) -> Vec<Packet> {
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut open: BTreeMap<u64, usize> = BTreeMap::new();
+    for event in &trace.events {
+        if event.kind == TraceEventKind::Inject {
+            open.remove(&event.source);
+        }
+        let slot = *open.entry(event.source).or_insert_with(|| {
+            let inject = (event.kind == TraceEventKind::Inject).then_some(event.cycle);
+            packets.push(Packet::open(event.source, event.tag, inject));
+            packets.len() - 1
+        });
+        let packet = &mut packets[slot];
+        match event.kind {
+            TraceEventKind::Inject => {}
+            TraceEventKind::Hop => packet.hops.push((event.cycle, event.stage, event.value)),
+            TraceEventKind::Block => packet.blocks.push((event.cycle, event.stage, event.value)),
+            TraceEventKind::FaultDrop => packet.fault = Some((event.cycle, event.stage)),
+            TraceEventKind::Resubmit => packet.resubmits += 1,
+            TraceEventKind::Deliver => {
+                packet.deliver = Some((event.cycle, event.value));
+                open.remove(&event.source);
+            }
+        }
+    }
+    packets
+}
+
+/// One packet's lifecycle as a single human-readable line.
+fn lifecycle_line(packet: &Packet) -> String {
+    let mut line = format!("src {:>4} tag {:>4}: ", packet.source, packet.tag);
+    match packet.inject {
+        Some(cycle) => {
+            let _ = write!(line, "inject @{cycle}");
+        }
+        None => line.push_str("(inject outside filter)"),
+    }
+    for &(_, stage, wire) in &packet.hops {
+        let _ = write!(line, ", s{stage} w{wire}");
+    }
+    for &(cycle, stage, losers) in &packet.blocks {
+        let _ = write!(line, ", block s{stage} @{cycle} ({losers} losers)");
+    }
+    if packet.resubmits > 0 {
+        let _ = write!(line, ", resubmit x{}", packet.resubmits);
+    }
+    if let Some((cycle, stage)) = packet.fault {
+        let _ = write!(line, ", fault-drop s{stage} @{cycle}");
+    }
+    match (packet.deliver, packet.latency()) {
+        (Some((cycle, output)), Some(latency)) => {
+            let _ = write!(line, ", deliver out {output} @{cycle} (latency {latency})");
+        }
+        (Some((cycle, output)), None) => {
+            let _ = write!(line, ", deliver out {output} @{cycle}");
+        }
+        (None, _) if packet.fault.is_none() => line.push_str(" — undelivered"),
+        _ => {}
+    }
+    line
+}
+
+fn print_lifecycles(trace: &LabelTrace, options: &Options) {
+    let packets = packets_of(trace);
+    let selected: Vec<&Packet> = packets
+        .iter()
+        .filter(|p| options.lifecycle_source.is_none_or(|s| p.source == s))
+        .collect();
+    println!("[{}] {} packet(s)", trace.label, selected.len());
+    for packet in selected.iter().take(options.limit) {
+        println!("  {}", lifecycle_line(packet));
+    }
+    if selected.len() > options.limit {
+        println!(
+            "  ... {} more (raise --limit or filter with --lifecycle SOURCE)",
+            selected.len() - options.limit
+        );
+    }
+    println!();
+}
+
+/// Per-stage grant statistics: `stage` 0 stands for the delivery row
+/// (crossbar grants surface as deliver events).
+struct StageUse {
+    grants: u64,
+    wires: BTreeMap<u64, u64>,
+}
+
+fn utilization_of(trace: &LabelTrace) -> BTreeMap<u32, StageUse> {
+    let mut stages: BTreeMap<u32, StageUse> = BTreeMap::new();
+    for event in &trace.events {
+        let (stage, wire) = match event.kind {
+            TraceEventKind::Hop => (event.stage, event.value),
+            TraceEventKind::Deliver => (0, event.value),
+            _ => continue,
+        };
+        let entry = stages.entry(stage).or_insert(StageUse {
+            grants: 0,
+            wires: BTreeMap::new(),
+        });
+        entry.grants += 1;
+        *entry.wires.entry(wire).or_insert(0) += 1;
+    }
+    stages
+}
+
+fn print_utilization(trace: &LabelTrace) {
+    let stages = utilization_of(trace);
+    println!("[{}] grants per stage exit wire", trace.label);
+    println!(
+        "  {:<10} {:>8} {:>7} {:>12} {:>16}",
+        "stage", "grants", "wires", "grants/wire", "busiest wire"
+    );
+    for (&stage, usage) in &stages {
+        let name = if stage == 0 {
+            "out".to_string()
+        } else {
+            format!("s{stage}")
+        };
+        let wires = usage.wires.len() as u64;
+        let (busy_wire, busy_grants) = usage
+            .wires
+            .iter()
+            .max_by_key(|&(wire, grants)| (*grants, std::cmp::Reverse(*wire)))
+            .map(|(&w, &g)| (w, g))
+            .unwrap_or((0, 0));
+        println!(
+            "  {:<10} {:>8} {:>7} {:>12.2} {:>10} ({busy_grants})",
+            name,
+            usage.grants,
+            wires,
+            usage.grants as f64 / wires.max(1) as f64,
+            format!("w{busy_wire}"),
+        );
+    }
+    println!();
+}
+
+/// One block site's contention record.
+struct BlockSite {
+    blocks: u64,
+    losers_sum: u64,
+    losers_max: u64,
+    fault_drops: u64,
+}
+
+fn block_sites_of(trace: &LabelTrace) -> BTreeMap<u32, BlockSite> {
+    let mut sites: BTreeMap<u32, BlockSite> = BTreeMap::new();
+    for event in &trace.events {
+        let site = sites.entry(event.stage).or_insert(BlockSite {
+            blocks: 0,
+            losers_sum: 0,
+            losers_max: 0,
+            fault_drops: 0,
+        });
+        match event.kind {
+            TraceEventKind::Block => {
+                site.blocks += 1;
+                site.losers_sum += event.value;
+                site.losers_max = site.losers_max.max(event.value);
+            }
+            TraceEventKind::FaultDrop => site.fault_drops += 1,
+            _ => {}
+        }
+    }
+    sites.retain(|_, site| site.blocks > 0 || site.fault_drops > 0);
+    sites
+}
+
+fn print_blocks(trace: &LabelTrace) {
+    let sites = block_sites_of(trace);
+    if sites.is_empty() {
+        println!("[{}] no blocks or fault drops recorded\n", trace.label);
+        return;
+    }
+    let mut ranked: Vec<(u32, BlockSite)> = sites.into_iter().collect();
+    ranked.sort_by_key(|(stage, site)| (std::cmp::Reverse(site.blocks), *stage));
+    println!("[{}] block sites, worst first", trace.label);
+    println!(
+        "  {:<7} {:>8} {:>12} {:>11} {:>12}",
+        "stage", "blocks", "mean losers", "max losers", "fault drops"
+    );
+    for (stage, site) in ranked {
+        println!(
+            "  {:<7} {:>8} {:>12.2} {:>11} {:>12}",
+            format!("s{stage}"),
+            site.blocks,
+            site.losers_sum as f64 / site.blocks.max(1) as f64,
+            site.losers_max,
+            site.fault_drops,
+        );
+    }
+    println!();
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn print_latency(trace: &LabelTrace) {
+    let packets = packets_of(trace);
+    let mut latencies: Vec<u64> = packets.iter().filter_map(Packet::latency).collect();
+    let undelivered = packets.iter().filter(|p| p.deliver.is_none()).count();
+    if latencies.is_empty() {
+        println!(
+            "[{}] no complete inject-to-deliver lifecycles ({undelivered} undelivered)\n",
+            trace.label
+        );
+        return;
+    }
+    latencies.sort_unstable();
+    println!(
+        "[{}] delivery latency over {} packet(s) (cycles, inject inclusive): \
+         p50 {}, p90 {}, p99 {}, max {}; {} undelivered",
+        trace.label,
+        latencies.len(),
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 90.0),
+        percentile(&latencies, 99.0),
+        latencies[latencies.len() - 1],
+        undelivered,
+    );
+    println!();
+}
+
+/// The shade ramp shared with `edn_plot`: activity 0 to 1, dim to bright.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+fn shade(value: f64) -> char {
+    let index = (value.clamp(0.0, 1.0) * (RAMP.len() - 1) as f64).round() as usize;
+    RAMP[index] as char
+}
+
+/// The time-space grid: one row per activity class (hops per stage, then
+/// deliveries, then blocks), one column per cycle bucket; cell = event
+/// count.
+struct Diagram {
+    rows: Vec<(String, Vec<u64>)>,
+    cycles: u64,
+    peak: u64,
+}
+
+fn diagram_of(trace: &LabelTrace, width: usize) -> Diagram {
+    let cycles = trace
+        .events
+        .iter()
+        .map(|e| e.cycle + 1)
+        .max()
+        .unwrap_or(1)
+        .max(trace.cycles);
+    let bucket_of = |cycle: u64| ((cycle * width as u64) / cycles) as usize;
+    let stages: Vec<u32> = {
+        let mut stages: Vec<u32> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Hop)
+            .map(|e| e.stage)
+            .collect();
+        stages.sort_unstable();
+        stages.dedup();
+        stages
+    };
+    let mut rows: Vec<(String, Vec<u64>)> = stages
+        .iter()
+        .map(|stage| (format!("s{stage} hops"), vec![0u64; width]))
+        .collect();
+    let deliver_row = rows.len();
+    rows.push(("deliver".to_string(), vec![0u64; width]));
+    let block_row = rows.len();
+    rows.push(("block".to_string(), vec![0u64; width]));
+    for event in &trace.events {
+        let row = match event.kind {
+            TraceEventKind::Hop => match stages.binary_search(&event.stage) {
+                Ok(index) => index,
+                Err(_) => continue,
+            },
+            TraceEventKind::Deliver => deliver_row,
+            TraceEventKind::Block | TraceEventKind::FaultDrop => block_row,
+            _ => continue,
+        };
+        rows[row].1[bucket_of(event.cycle).min(width - 1)] += 1;
+    }
+    let peak = rows
+        .iter()
+        .flat_map(|(_, cells)| cells.iter().copied())
+        .max()
+        .unwrap_or(0);
+    Diagram { rows, cycles, peak }
+}
+
+fn ascii_diagram(trace: &LabelTrace, diagram: &Diagram) -> String {
+    let gutter = diagram
+        .rows
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "[{}] time-space diagram: {} cycle(s), peak {} event(s)/cell",
+        trace.label, diagram.cycles, diagram.peak
+    );
+    for (name, cells) in &diagram.rows {
+        let _ = write!(out, "{name:>gutter$} |");
+        for &count in cells {
+            out.push(shade(count as f64 / diagram.peak.max(1) as f64));
+        }
+        out.push_str("|\n");
+    }
+    let width = diagram.rows.first().map_or(0, |(_, cells)| cells.len());
+    let _ = writeln!(
+        out,
+        "{:>gutter$} +{}+\n{:>gutter$}  {:<left$}{:>right$}",
+        "",
+        "-".repeat(width),
+        "",
+        "cycle 0",
+        format!("{}", diagram.cycles - 1),
+        left = width / 2,
+        right = width - width / 2,
+    );
+    out
+}
+
+/// Renders the diagram as an SVG grid in the `edn_plot` heatmap style:
+/// white (idle) to the workspace plot blue (peak activity).
+fn svg_diagram(trace: &LabelTrace, diagram: &Diagram) -> String {
+    const CELL: f64 = 8.0;
+    const ROW_H: f64 = 28.0;
+    const TOP: f64 = 56.0;
+    let gutter = 16.0
+        + 7.2
+            * diagram
+                .rows
+                .iter()
+                .map(|(name, _)| name.len())
+                .max()
+                .unwrap_or(0) as f64;
+    let width = diagram.rows.first().map_or(0, |(_, cells)| cells.len());
+    let svg_width = gutter + CELL * width as f64 + 16.0;
+    let svg_height = TOP + ROW_H * diagram.rows.len() as f64 + 32.0;
+    let escape = |text: &str| {
+        text.replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;")
+    };
+    let mut body = String::new();
+    for (index, (name, cells)) in diagram.rows.iter().enumerate() {
+        let y = TOP + ROW_H * index as f64;
+        let _ = writeln!(
+            body,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>",
+            gutter - 6.0,
+            y + ROW_H / 2.0 + 4.0,
+            escape(name)
+        );
+        for (bucket, &count) in cells.iter().enumerate() {
+            if count == 0 {
+                continue; // the white background already is the zero cell
+            }
+            let v = count as f64 / diagram.peak.max(1) as f64;
+            // edn-lint: allow(cast-audit) -- v is clamped to [0,1], so the value is in [0,255]
+            let channel = |full: u8| (255.0 - (255.0 - f64::from(full)) * v).round() as u8;
+            let (red, green, blue) = (channel(0x1f), channel(0x6f), channel(0x8b));
+            let _ = writeln!(
+                body,
+                "<rect x=\"{:.1}\" y=\"{y:.1}\" width=\"{CELL}\" height=\"{ROW_H}\" \
+                 fill=\"rgb({red},{green},{blue})\"/>",
+                gutter + CELL * bucket as f64,
+            );
+        }
+    }
+    let axis_y = TOP + ROW_H * diagram.rows.len() as f64 + 16.0;
+    let _ = writeln!(
+        body,
+        "<text x=\"{gutter:.1}\" y=\"{axis_y:.1}\">cycle 0</text>\n\
+         <text x=\"{:.1}\" y=\"{axis_y:.1}\" text-anchor=\"end\">{}</text>",
+        gutter + CELL * width as f64,
+        diagram.cycles - 1,
+    );
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{svg_width:.0}\" \
+         height=\"{svg_height:.0}\" viewBox=\"0 0 {svg_width:.0} {svg_height:.0}\" \
+         font-family=\"monospace\" font-size=\"12\">\n\
+         <rect width=\"{svg_width:.0}\" height=\"{svg_height:.0}\" fill=\"white\"/>\n\
+         <text x=\"16\" y=\"24\" font-size=\"14\">{}</text>\n{body}</svg>\n",
+        escape(&trace.label),
+    )
+}
+
+/// A filesystem-safe slug of a label (the `edn_plot` convention).
+fn slug(title: &str) -> String {
+    let mut out: String = title
+        .chars()
+        .map(|ch| if ch.is_ascii_alphanumeric() { ch } else { '_' })
+        .collect();
+    out.truncate(60);
+    out
+}
+
+/// A JSON string literal of `text` (RFC 8259 escaping).
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            ch if u32::from(ch) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(ch));
+            }
+            ch => out.push(ch),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes the whole trace as Chrome trace-event JSON: one process
+/// per label, one thread per source, timestamps in microseconds = one
+/// simulated cycle each. Packets render as complete (`"X"`) slices from
+/// inject to terminal event; hops as one-cycle nested slices; blocks,
+/// fault drops, and resubmits as thread-scoped instants.
+fn chrome_export(data: &TraceData) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for (pid, trace) in data.labels.iter().enumerate() {
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":{}}}}}",
+            json_string(&trace.label)
+        ));
+        for packet in packets_of(trace) {
+            let tid = packet.source;
+            let start = packet.inject.unwrap_or_else(|| {
+                packet
+                    .hops
+                    .first()
+                    .map(|&(cycle, _, _)| cycle)
+                    .unwrap_or_default()
+            });
+            let end = [
+                packet.deliver.map(|(cycle, _)| cycle),
+                packet.fault.map(|(cycle, _)| cycle),
+                packet.hops.last().map(|&(cycle, _, _)| cycle),
+                packet.blocks.last().map(|&(cycle, _, _)| cycle),
+            ]
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(start);
+            let outcome = if packet.deliver.is_some() {
+                "delivered"
+            } else if packet.fault.is_some() {
+                "fault_dropped"
+            } else {
+                "blocked"
+            };
+            events.push(format!(
+                "{{\"name\":{},\"cat\":\"packet\",\"ph\":\"X\",\"ts\":{start},\
+                 \"dur\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"tag\":{},\
+                 \"outcome\":\"{outcome}\",\"resubmits\":{}}}}}",
+                json_string(&format!("pkt tag={}", packet.tag)),
+                end - start + 1,
+                packet.tag,
+                packet.resubmits,
+            ));
+            for (cycle, stage, wire) in &packet.hops {
+                events.push(format!(
+                    "{{\"name\":{},\"cat\":\"hop\",\"ph\":\"X\",\"ts\":{cycle},\
+                     \"dur\":1,\"pid\":{pid},\"tid\":{tid}}}",
+                    json_string(&format!("s{stage} w{wire}")),
+                ));
+            }
+            for (cycle, stage, losers) in &packet.blocks {
+                events.push(format!(
+                    "{{\"name\":{},\"cat\":\"block\",\"ph\":\"i\",\"ts\":{cycle},\
+                     \"pid\":{pid},\"tid\":{tid},\"s\":\"t\",\
+                     \"args\":{{\"losers\":{losers}}}}}",
+                    json_string(&format!("block s{stage}")),
+                ));
+            }
+            if let Some((cycle, stage)) = packet.fault {
+                events.push(format!(
+                    "{{\"name\":{},\"cat\":\"fault\",\"ph\":\"i\",\"ts\":{cycle},\
+                     \"pid\":{pid},\"tid\":{tid},\"s\":\"t\"}}",
+                    json_string(&format!("fault s{stage}")),
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\",\
+         \"otherData\":{{\"binary\":{},\"filter\":{}}}}}\n",
+        events.join(","),
+        json_string(&data.binary),
+        json_string(&data.filter),
+    )
+}
+
+/// One routing record's per-stage aggregates from the metrics sidecar.
+struct RoutingRecord {
+    label: String,
+    /// Per stage number: `(granted, blocked, fault_drops)`.
+    stages: BTreeMap<u32, (u64, u64, u64)>,
+}
+
+fn load_routing(path: &PathBuf) -> Result<Vec<RoutingRecord>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|error| format!("{}: {error}", path.display()))?;
+    let mut records = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let record = json::parse(line).map_err(|error| format!("line {}: {error}", index + 1))?;
+        if record.get("kind").and_then(|v| v.as_str()) != Some("routing") {
+            continue;
+        }
+        let at = |message: String| format!("line {}: {message}", index + 1);
+        let label = record
+            .get("label")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| at("routing record has no `label`".into()))?
+            .to_string();
+        let stages_json = record
+            .get("stages")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| at("routing record has no `stages` array".into()))?;
+        let mut stages = BTreeMap::new();
+        for stage in stages_json {
+            let number = |name: &str| {
+                stage
+                    .get(name)
+                    .and_then(|v| v.as_usize())
+                    .map(|n| n as u64)
+                    .ok_or_else(|| at(format!("stage entry has no numeric `{name}`")))
+            };
+            let stage =
+                u32::try_from(number("stage")?).map_err(|_| at("`stage` exceeds u32".into()))?;
+            stages.insert(
+                stage,
+                (
+                    number("granted")?,
+                    number("blocked")?,
+                    number("fault_drops")?,
+                ),
+            );
+        }
+        records.push(RoutingRecord { label, stages });
+    }
+    if records.is_empty() {
+        return Err(format!(
+            "{}: no routing records to reconcile against",
+            path.display()
+        ));
+    }
+    Ok(records)
+}
+
+/// Cross-checks one label's trace event counts against its routing
+/// record: per hyperbar stage, hops = granted, blocks = blocked,
+/// fault drops = fault_drops; at the crossbar (the record's last stage)
+/// the grants surface as deliver events. Exact when the recorder dropped
+/// nothing; with drops the trace only lower-bounds the aggregates.
+fn reconcile_label(trace: &LabelTrace, routing: &RoutingRecord) -> Result<usize, Vec<String>> {
+    let mut per_stage: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
+    let mut delivers = 0u64;
+    let crossbar = routing.stages.keys().max().copied().unwrap_or(0);
+    for event in &trace.events {
+        let slot = per_stage.entry(event.stage).or_insert((0, 0, 0));
+        match event.kind {
+            TraceEventKind::Hop => slot.0 += 1,
+            TraceEventKind::Block => slot.1 += 1,
+            TraceEventKind::FaultDrop => slot.2 += 1,
+            TraceEventKind::Deliver => delivers += 1,
+            _ => {}
+        }
+    }
+    let exact = trace.dropped == 0;
+    let mut problems = Vec::new();
+    let mut check = |what: String, traced: u64, aggregate: u64| {
+        let ok = if exact {
+            traced == aggregate
+        } else {
+            traced <= aggregate
+        };
+        if !ok {
+            problems.push(format!(
+                "{}: {what}: trace says {traced}, metrics say {aggregate}{}",
+                trace.label,
+                if exact { "" } else { " (ring overflowed)" },
+            ));
+        }
+    };
+    for (&stage, &(granted, blocked, fault_drops)) in &routing.stages {
+        let (hops, blocks, faults) = per_stage.get(&stage).copied().unwrap_or((0, 0, 0));
+        let traced_grants = if stage == crossbar { delivers } else { hops };
+        check(format!("stage {stage} grants"), traced_grants, granted);
+        check(format!("stage {stage} blocks"), blocks, blocked);
+        check(format!("stage {stage} fault drops"), faults, fault_drops);
+    }
+    if problems.is_empty() {
+        Ok(routing.stages.len())
+    } else {
+        Err(problems)
+    }
+}
+
+fn print_summary(data: &TraceData) {
+    println!(
+        "trace of `{}`{}",
+        data.binary,
+        if data.filter.is_empty() {
+            String::new()
+        } else {
+            format!(" (filter {})", data.filter)
+        }
+    );
+    for trace in &data.labels {
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for event in &trace.events {
+            *counts.entry(event.kind.name()).or_insert(0) += 1;
+        }
+        let breakdown: Vec<String> = TraceEventKind::ALL
+            .iter()
+            .filter_map(|kind| {
+                let count = counts.get(kind.name())?;
+                Some(format!("{count} {}", kind.name()))
+            })
+            .collect();
+        println!(
+            "  [{}] {} event(s) over {} cycle(s), {} dropped: {}",
+            trace.label,
+            trace.events.len(),
+            trace.cycles,
+            trace.dropped,
+            if breakdown.is_empty() {
+                "none".to_string()
+            } else {
+                breakdown.join(", ")
+            }
+        );
+    }
+    println!();
+}
+
+fn fail_data(message: &str) -> ! {
+    eprintln!("edn_trace: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let options = match parse_options() {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(message) => {
+            eprintln!("edn_trace: {message}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let data = match load(&options) {
+        Ok(data) => data,
+        Err(message) => fail_data(&message),
+    };
+    if options.summary_only() {
+        print_summary(&data);
+        return;
+    }
+    for trace in &data.labels {
+        if options.lifecycle {
+            print_lifecycles(trace, &options);
+        }
+        if options.utilization {
+            print_utilization(trace);
+        }
+        if options.blocks {
+            print_blocks(trace);
+        }
+        if options.latency {
+            print_latency(trace);
+        }
+        if options.diagram {
+            let diagram = diagram_of(trace, options.width);
+            print!("{}", ascii_diagram(trace, &diagram));
+            println!();
+            if let Some(dir) = &options.svg {
+                if let Err(error) = std::fs::create_dir_all(dir) {
+                    fail_data(&format!("creating {}: {error}", dir.display()));
+                }
+                let path = dir.join(format!("{}.svg", slug(&trace.label)));
+                if let Err(error) = std::fs::write(&path, svg_diagram(trace, &diagram)) {
+                    fail_data(&format!("writing {}: {error}", path.display()));
+                }
+                println!("wrote {}", path.display());
+            }
+        }
+    }
+    if let Some(path) = &options.chrome {
+        let export = chrome_export(&data);
+        // The export must load anywhere a trace viewer does: re-parse it
+        // with the same strict parser the artifact validators use before
+        // letting it out the door.
+        let parsed = json::parse(export.trim_end())
+            .unwrap_or_else(|error| fail_data(&format!("chrome export self-check: {error}")));
+        let count = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .map(<[Value]>::len)
+            .unwrap_or_else(|| fail_data("chrome export self-check: no traceEvents array"));
+        if let Err(error) = std::fs::write(path, &export) {
+            fail_data(&format!("writing {}: {error}", path.display()));
+        }
+        println!("wrote {count} trace event(s) to {}", path.display());
+    }
+    if let Some(path) = &options.reconcile {
+        let routing = match load_routing(path) {
+            Ok(routing) => routing,
+            Err(message) => fail_data(&message),
+        };
+        let mut matched = 0usize;
+        let mut stage_rows = 0usize;
+        let mut problems: Vec<String> = Vec::new();
+        for trace in &data.labels {
+            let Some(record) = routing.iter().find(|r| r.label == trace.label) else {
+                continue;
+            };
+            matched += 1;
+            match reconcile_label(trace, record) {
+                Ok(rows) => stage_rows += rows,
+                Err(mut found) => problems.append(&mut found),
+            }
+        }
+        if matched == 0 {
+            fail_data(&format!(
+                "no routing record in {} shares a label with the trace",
+                path.display()
+            ));
+        }
+        for problem in &problems {
+            eprintln!("edn_trace: reconcile: {problem}");
+        }
+        if !problems.is_empty() {
+            std::process::exit(1);
+        }
+        println!(
+            "reconcile: {matched} label(s), {stage_rows} stage row(s): \
+             trace counts match the StageProbe aggregates"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(
+        cycle: u64,
+        kind: TraceEventKind,
+        source: u64,
+        tag: u64,
+        stage: u32,
+        value: u64,
+    ) -> Event {
+        Event {
+            cycle,
+            kind,
+            source,
+            tag,
+            stage,
+            value,
+        }
+    }
+
+    fn label_trace(events: Vec<Event>) -> LabelTrace {
+        let cycles = events.iter().map(|e| e.cycle + 1).max().unwrap_or(0);
+        LabelTrace {
+            label: "test".to_string(),
+            events,
+            dropped: 0,
+            cycles,
+        }
+    }
+
+    #[test]
+    fn packets_reconstruct_full_lifecycles() {
+        use TraceEventKind::*;
+        let trace = label_trace(vec![
+            event(0, Inject, 3, 9, 0, 0),
+            event(0, Hop, 3, 9, 1, 4),
+            event(0, Block, 3, 9, 2, 2),
+            event(1, Resubmit, 3, 9, 0, 0),
+            event(1, Hop, 3, 9, 1, 4),
+            event(1, Hop, 3, 9, 2, 7),
+            event(1, Deliver, 3, 9, 0, 9),
+            // A second packet from the same source after delivery.
+            event(2, Inject, 3, 1, 0, 0),
+            event(2, FaultDrop, 3, 1, 1, 0),
+        ]);
+        let packets = packets_of(&trace);
+        assert_eq!(packets.len(), 2);
+        assert_eq!(packets[0].latency(), Some(2));
+        assert_eq!(packets[0].hops.len(), 3);
+        assert_eq!(packets[0].blocks, vec![(0, 2, 2)]);
+        assert_eq!(packets[0].resubmits, 1);
+        assert_eq!(packets[0].deliver, Some((1, 9)));
+        assert_eq!(packets[1].fault, Some((2, 1)));
+        assert_eq!(packets[1].latency(), None);
+    }
+
+    #[test]
+    fn filtered_traces_make_implicit_packets_without_latency() {
+        use TraceEventKind::*;
+        // A cycle-window filter can cut the inject off: the hop still
+        // reconstructs a packet, but one excluded from latency stats.
+        let trace = label_trace(vec![
+            event(5, Hop, 2, 8, 1, 0),
+            event(5, Deliver, 2, 8, 0, 8),
+        ]);
+        let packets = packets_of(&trace);
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].inject, None);
+        assert_eq!(packets[0].latency(), None);
+        assert_eq!(packets[0].deliver, Some((5, 8)));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 90.0), 90);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn chrome_export_is_strictly_valid_json() {
+        use TraceEventKind::*;
+        let data = TraceData {
+            binary: "tab_nuts".to_string(),
+            filter: String::new(),
+            labels: vec![label_trace(vec![
+                event(0, Inject, 1, 2, 0, 0),
+                event(0, Hop, 1, 2, 1, 3),
+                event(0, Block, 1, 2, 2, 1),
+                event(1, Inject, 4, 2, 0, 0),
+                event(1, FaultDrop, 4, 2, 1, 0),
+            ])],
+        };
+        let export = chrome_export(&data);
+        let parsed = json::parse(export.trim_end()).expect("strict JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        // 1 process metadata + 2 packets + 1 hop + 1 block + 1 fault.
+        assert_eq!(events.len(), 6);
+        // A quoted label with JSON-hostile characters survives escaping.
+        let hostile = TraceData {
+            binary: "x".to_string(),
+            filter: "source=1".to_string(),
+            labels: vec![LabelTrace {
+                label: "quote \" backslash \\ tab \t".to_string(),
+                events: vec![event(0, Inject, 0, 0, 0, 0)],
+                dropped: 0,
+                cycles: 1,
+            }],
+        };
+        assert!(json::parse(chrome_export(&hostile).trim_end()).is_ok());
+    }
+
+    #[test]
+    fn reconcile_accepts_matching_counts_and_names_mismatches() {
+        use TraceEventKind::*;
+        let trace = label_trace(vec![
+            event(0, Inject, 0, 3, 0, 0),
+            event(0, Hop, 0, 3, 1, 0),
+            event(0, Deliver, 0, 3, 0, 3),
+            event(0, Inject, 1, 3, 0, 0),
+            event(0, Block, 1, 3, 1, 1),
+        ]);
+        let routing = RoutingRecord {
+            label: "test".to_string(),
+            stages: [(1, (1, 1, 0)), (2, (1, 0, 0))].into_iter().collect(),
+        };
+        assert_eq!(reconcile_label(&trace, &routing), Ok(2));
+        let wrong = RoutingRecord {
+            label: "test".to_string(),
+            stages: [(1, (2, 1, 0)), (2, (1, 0, 0))].into_iter().collect(),
+        };
+        let problems = reconcile_label(&trace, &wrong).unwrap_err();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("stage 1 grants"), "{problems:?}");
+        // With ring overflow the trace only lower-bounds the aggregates.
+        let mut overflowed = label_trace(vec![event(0, Hop, 0, 3, 1, 0)]);
+        overflowed.dropped = 10;
+        assert_eq!(reconcile_label(&overflowed, &wrong), Ok(2));
+    }
+
+    #[test]
+    fn diagram_buckets_cycles_and_finds_peak() {
+        use TraceEventKind::*;
+        let trace = label_trace(vec![
+            event(0, Hop, 0, 0, 1, 0),
+            event(0, Hop, 1, 0, 1, 1),
+            event(9, Deliver, 0, 0, 0, 0),
+        ]);
+        let diagram = diagram_of(&trace, 10);
+        assert_eq!(diagram.cycles, 10);
+        assert_eq!(diagram.peak, 2);
+        let s1 = &diagram.rows[0];
+        assert_eq!(s1.0, "s1 hops");
+        assert_eq!(s1.1[0], 2);
+        let deliver = diagram.rows.iter().find(|(n, _)| n == "deliver").unwrap();
+        assert_eq!(deliver.1[9], 1);
+    }
+}

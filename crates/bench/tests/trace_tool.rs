@@ -1,0 +1,231 @@
+//! End-to-end contract of the flight recorder pipeline: a `--trace` run
+//! writes a validating `*.trace.jsonl` sidecar **without changing the
+//! primary artifact by a byte**, `edn_merge --check-metrics` accepts the
+//! sidecar, and `edn_trace` analyzes it — summary, reconciliation
+//! against the same run's StageProbe aggregates, and a Chrome
+//! trace-event export that parses under the strict JSON parser.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("edn_trace_tool_tests")
+        .join(format!("{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_tab_nuts(out: &Path, trace: Option<&str>) -> std::process::Output {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_tab_nuts"));
+    command
+        .arg("--seeds")
+        .arg("1")
+        .arg("--cycles")
+        .arg("2")
+        .arg("--out")
+        .arg(out);
+    if let Some(filter) = trace {
+        command.arg("--trace");
+        if !filter.is_empty() {
+            command.arg(filter);
+        }
+    }
+    command.output().expect("tab_nuts spawns")
+}
+
+fn sidecar(out: &Path, extension: &str) -> PathBuf {
+    out.with_extension(extension)
+}
+
+#[test]
+fn traced_run_is_byte_identical_and_fully_analyzable() {
+    let dir = temp_dir("pipeline");
+    let traced_out = dir.join("traced.jsonl");
+    let plain_out = dir.join("plain.jsonl");
+
+    let traced = run_tab_nuts(&traced_out, Some(""));
+    assert!(
+        traced.status.success(),
+        "traced run failed: {}",
+        String::from_utf8_lossy(&traced.stderr)
+    );
+    let plain = run_tab_nuts(&plain_out, None);
+    assert!(plain.status.success());
+
+    // The headline invariant: tracing never changes the artifact.
+    let traced_bytes = std::fs::read(&traced_out).unwrap();
+    let plain_bytes = std::fs::read(&plain_out).unwrap();
+    assert_eq!(
+        traced_bytes, plain_bytes,
+        "a traced run's primary artifact must be byte-identical to the untraced run's"
+    );
+
+    // The trace sidecar exists and passes the strict validator.
+    let trace_path = sidecar(&traced_out, "trace.jsonl");
+    let metrics_path = sidecar(&traced_out, "metrics.jsonl");
+    assert!(trace_path.exists(), "no trace sidecar written");
+    let check = Command::new(env!("CARGO_BIN_EXE_edn_merge"))
+        .arg("--check-metrics")
+        .arg(&trace_path)
+        .arg(&metrics_path)
+        .output()
+        .expect("edn_merge spawns");
+    let check_stderr = String::from_utf8_lossy(&check.stderr);
+    assert!(
+        check.status.success(),
+        "--check-metrics rejected the sidecars: {check_stderr}"
+    );
+    assert!(
+        check_stderr.contains("trace records"),
+        "validator should report trace records: {check_stderr}"
+    );
+
+    // Summary names every traced label.
+    let summary = Command::new(env!("CARGO_BIN_EXE_edn_trace"))
+        .arg(&trace_path)
+        .output()
+        .expect("edn_trace spawns");
+    let summary_stdout = String::from_utf8_lossy(&summary.stdout);
+    assert!(summary.status.success());
+    assert!(
+        summary_stdout.contains("TAB-NUTS") && summary_stdout.contains("hot overlay"),
+        "summary missing labels: {summary_stdout}"
+    );
+
+    // Latency percentiles and block ranking render without error.
+    let analyses = Command::new(env!("CARGO_BIN_EXE_edn_trace"))
+        .arg(&trace_path)
+        .arg("--latency")
+        .arg("--blocks")
+        .arg("--utilization")
+        .output()
+        .expect("edn_trace spawns");
+    assert!(
+        analyses.status.success(),
+        "{}",
+        String::from_utf8_lossy(&analyses.stderr)
+    );
+    let analyses_stdout = String::from_utf8_lossy(&analyses.stdout);
+    assert!(
+        analyses_stdout.contains("p50") && analyses_stdout.contains("block sites"),
+        "analyses missing expected sections: {analyses_stdout}"
+    );
+
+    // Per-stage event counts reconcile exactly against the StageProbe
+    // aggregates the same run recorded.
+    let reconcile = Command::new(env!("CARGO_BIN_EXE_edn_trace"))
+        .arg(&trace_path)
+        .arg("--reconcile")
+        .arg(&metrics_path)
+        .output()
+        .expect("edn_trace spawns");
+    assert!(
+        reconcile.status.success(),
+        "reconcile failed: {}",
+        String::from_utf8_lossy(&reconcile.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&reconcile.stdout).contains("match the StageProbe aggregates"),
+        "reconcile should confirm the match"
+    );
+
+    // The Chrome export is strictly valid JSON with a traceEvents array.
+    let chrome_path = dir.join("chrome.json");
+    let chrome = Command::new(env!("CARGO_BIN_EXE_edn_trace"))
+        .arg(&trace_path)
+        .arg("--chrome")
+        .arg(&chrome_path)
+        .output()
+        .expect("edn_trace spawns");
+    assert!(
+        chrome.status.success(),
+        "{}",
+        String::from_utf8_lossy(&chrome.stderr)
+    );
+    let exported = std::fs::read_to_string(&chrome_path).unwrap();
+    let parsed = edn_sweep::json::parse(exported.trim_end()).expect("chrome export parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "chrome export has no events");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_filter_restricts_the_sidecar() {
+    let dir = temp_dir("filter");
+    let out = dir.join("run.jsonl");
+    let output = run_tab_nuts(&out, Some("source=3"));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(sidecar(&out, "trace.jsonl")).unwrap();
+    let mut events = 0usize;
+    for line in text.lines() {
+        let record = edn_sweep::json::parse(line).expect("sidecar line parses");
+        match record.get("kind").and_then(|v| v.as_str()) {
+            Some("header") => {
+                assert_eq!(
+                    record.get("filter").and_then(|v| v.as_str()),
+                    Some("source=3"),
+                    "header must carry the filter"
+                );
+            }
+            Some("event") => {
+                events += 1;
+                assert_eq!(
+                    record.get("source").and_then(|v| v.as_usize()),
+                    Some(3),
+                    "filtered sidecar leaked a foreign source: {line}"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(events > 0, "source filter should still record source 3");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_sidecars_are_diagnostics_not_panics() {
+    let dir = temp_dir("malformed");
+    // Missing header.
+    let headerless = dir.join("headerless.trace.jsonl");
+    std::fs::write(
+        &headerless,
+        "{\"kind\": \"event\", \"label\": \"x\", \"cycle\": 0, \"event\": \"inject\", \
+         \"source\": 0, \"tag\": 0, \"stage\": 0, \"value\": 0}\n",
+    )
+    .unwrap();
+    // Wrong schema version.
+    let wrong_schema = dir.join("schema.trace.jsonl");
+    std::fs::write(
+        &wrong_schema,
+        "{\"kind\": \"header\", \"edn_trace_schema\": 999, \"binary\": \"x\", \
+         \"shard\": \"1/1\", \"filter\": \"\"}\n",
+    )
+    .unwrap();
+    for (path, expect) in [
+        (&headerless, "not the trace header"),
+        (&wrong_schema, "schema"),
+    ] {
+        let output = Command::new(env!("CARGO_BIN_EXE_edn_trace"))
+            .arg(path)
+            .output()
+            .expect("edn_trace spawns");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(!output.status.success(), "{} must fail", path.display());
+        assert!(
+            stderr.contains(expect) && !stderr.contains("panicked"),
+            "diagnostic for {} should mention `{expect}`: {stderr}",
+            path.display()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

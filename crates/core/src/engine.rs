@@ -166,6 +166,15 @@ pub struct RoutingEngine {
     used_buckets: Vec<u64>,
     /// Per-port wire grant of the current switch (`None` = lost or idle).
     port_wire: Vec<Option<u64>>,
+    /// Per-bucket losing-contender count of the switch most recently
+    /// arbitrated; written only when a probe is enabled, consumed by the
+    /// loser walk to label `event_block` records with contention depth.
+    bucket_losers: Vec<usize>,
+    /// Per-bucket fault-induced drop quota of the switch most recently
+    /// arbitrated (`contenders.min(full) - contenders.min(capacity)`);
+    /// the loser walk consumes it to tell `event_fault_drop` from
+    /// `event_block`. Probe-enabled paths only.
+    bucket_fault_quota: Vec<usize>,
     /// Scratch for reorder-compensated routing.
     reordered: Vec<RouteRequest>,
     /// The most recent retirement order routed and its inverse, so
@@ -220,6 +229,8 @@ impl RoutingEngine {
             contenders: vec![Vec::new(); buckets],
             used_buckets: Vec::with_capacity(buckets),
             port_wire: vec![None; ports],
+            bucket_losers: vec![0; buckets],
+            bucket_fault_quota: vec![0; buckets],
             reordered: Vec::new(),
             order_cache: None,
             outcome: BatchOutcomeView {
@@ -419,6 +430,9 @@ impl RoutingEngine {
         let p = *self.topology.params();
         if P::ENABLED {
             probe.cycle_start(requests.len());
+            for request in requests {
+                probe.event_inject(request.source, request.tag);
+            }
         }
         self.outcome.delivered.clear();
         self.outcome.blocked.clear();
@@ -470,11 +484,17 @@ impl RoutingEngine {
                         (0..p.c()).filter(|&k| faults.wire_ok(stage, switch_base + base + k));
                     // edn-lint: allow(hot-path-alloc) -- Range+filter iterator clone is a Copy of two u64s, no heap
                     let capacity = healthy.clone().count();
+                    let offered = contenders.len();
                     if P::ENABLED {
-                        probe.arbitrated(stage, contenders.len(), capacity, p.c() as usize);
+                        probe.arbitrated(stage, offered, capacity, p.c() as usize);
                     }
                     arbiter.select(contenders, capacity);
                     debug_assert!(contenders.len() <= capacity);
+                    if P::ENABLED {
+                        self.bucket_losers[bucket as usize] = offered - contenders.len();
+                        self.bucket_fault_quota[bucket as usize] =
+                            offered.min(p.c() as usize) - offered.min(capacity);
+                    }
                     for (&port, wire) in contenders.iter().zip(healthy) {
                         self.port_wire[port] = Some(base + wire);
                     }
@@ -491,12 +511,38 @@ impl RoutingEngine {
                             let exit = switch * (p.b() * p.c()) + wire;
                             if P::ENABLED {
                                 probe.wire_granted(stage, exit);
+                                probe.event_hop(
+                                    stage,
+                                    requests[req].source,
+                                    requests[req].tag,
+                                    exit,
+                                );
                             }
                             self.next.push((req, gamma_lut[exit as usize] as u64));
                         }
                         None => {
                             if P::ENABLED {
                                 probe.request_lost(stage);
+                                let bucket =
+                                    p.tag_digit_for_stage(requests[req].tag, stage) as usize;
+                                // Attribute the bucket's fault-induced drop
+                                // quota to its first losers in port order;
+                                // the rest lost to contention.
+                                if self.bucket_fault_quota[bucket] > 0 {
+                                    self.bucket_fault_quota[bucket] -= 1;
+                                    probe.event_fault_drop(
+                                        stage,
+                                        requests[req].source,
+                                        requests[req].tag,
+                                    );
+                                } else {
+                                    probe.event_block(
+                                        stage,
+                                        requests[req].source,
+                                        requests[req].tag,
+                                        self.bucket_losers[bucket],
+                                    );
+                                }
                             }
                             self.outcome
                                 .blocked
@@ -536,11 +582,15 @@ impl RoutingEngine {
             self.used_buckets.sort_unstable();
             for &bucket in &self.used_buckets {
                 let contenders = &mut self.contenders[bucket as usize];
+                let offered = contenders.len();
                 if P::ENABLED {
-                    probe.arbitrated(p.l() + 1, contenders.len(), 1, 1);
+                    probe.arbitrated(p.l() + 1, offered, 1, 1);
                 }
                 arbiter.select(contenders, 1);
                 debug_assert!(contenders.len() <= 1);
+                if P::ENABLED {
+                    self.bucket_losers[bucket as usize] = offered - contenders.len();
+                }
                 if let Some(&port) = contenders.first() {
                     self.port_wire[port] = Some(bucket);
                 }
@@ -554,6 +604,11 @@ impl RoutingEngine {
                     Some(out_port) => {
                         if P::ENABLED {
                             probe.wire_granted(p.l() + 1, switch * p.c() + out_port);
+                            probe.event_deliver(
+                                requests[req].source,
+                                requests[req].tag,
+                                switch * p.c() + out_port,
+                            );
                         }
                         self.outcome
                             .delivered
@@ -562,6 +617,13 @@ impl RoutingEngine {
                     None => {
                         if P::ENABLED {
                             probe.request_lost(p.l() + 1);
+                            let bucket = p.tag_crossbar_digit(requests[req].tag) as usize;
+                            probe.event_block(
+                                p.l() + 1,
+                                requests[req].source,
+                                requests[req].tag,
+                                self.bucket_losers[bucket],
+                            );
                         }
                         self.outcome
                             .blocked

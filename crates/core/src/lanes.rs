@@ -565,6 +565,9 @@ impl LaneEngine {
             let requests = batch(lane);
             if P::ENABLED {
                 probe.cycle_start(requests.len());
+                for request in requests {
+                    probe.event_inject(request.source, request.tag);
+                }
             }
             let out = &mut self.outcomes[lane];
             out.delivered.clear();
@@ -871,6 +874,12 @@ impl LaneEngine {
                             let exit = switch_base + bucket * c + wire;
                             if P::ENABLED {
                                 probe.wire_granted(stage, exit as u64);
+                                probe.event_hop(
+                                    stage,
+                                    (packed >> 16) as u64,
+                                    (packed & 0xFFFF) as u64,
+                                    exit as u64,
+                                );
                             }
                             let next_line = gamma_lut[exit] as usize;
                             let next_sw = next_line >> next_shift;
@@ -879,12 +888,34 @@ impl LaneEngine {
                                 1u64 << (next_line & (next_width - 1));
                         }
                         let mut lost = cont & !winners;
+                        // Per-bucket loser count and fault-drop quota, as
+                        // the scalar engine attributes them: the bucket's
+                        // first losers in port order absorb the quota.
+                        let losers = if P::ENABLED {
+                            lost.count_ones() as usize
+                        } else {
+                            0
+                        };
+                        let mut fault_quota = if P::ENABLED {
+                            let n = cont.count_ones() as usize;
+                            n.min(c) - n.min(capacity)
+                        } else {
+                            0
+                        };
                         while lost != 0 {
                             let port = lost.trailing_zeros() as usize;
                             lost &= lost - 1;
                             let packed = row[port];
                             if P::ENABLED {
                                 probe.request_lost(stage);
+                                let source = (packed >> 16) as u64;
+                                let tag = (packed & 0xFFFF) as u64;
+                                if fault_quota > 0 {
+                                    fault_quota -= 1;
+                                    probe.event_fault_drop(stage, source, tag);
+                                } else {
+                                    probe.event_block(stage, source, tag, losers);
+                                }
                             }
                             self.fate[fate_lane + (packed >> 16) as usize] = stage;
                         }
@@ -976,17 +1007,33 @@ impl LaneEngine {
                         let packed = row[port];
                         if P::ENABLED {
                             probe.wire_granted(p.l() + 1, (base_line + bucket) as u64);
+                            probe.event_deliver(
+                                (packed >> 16) as u64,
+                                (packed & 0xFFFF) as u64,
+                                (base_line + bucket) as u64,
+                            );
                         }
                         self.fate[fate_lane + (packed >> 16) as usize] =
                             FATE_DELIVERED | (base_line + bucket) as u32;
                     }
                     let mut lost = cont & !winners;
+                    let losers = if P::ENABLED {
+                        lost.count_ones() as usize
+                    } else {
+                        0
+                    };
                     while lost != 0 {
                         let port = lost.trailing_zeros() as usize;
                         lost &= lost - 1;
                         let packed = row[port];
                         if P::ENABLED {
                             probe.request_lost(p.l() + 1);
+                            probe.event_block(
+                                p.l() + 1,
+                                (packed >> 16) as u64,
+                                (packed & 0xFFFF) as u64,
+                                losers,
+                            );
                         }
                         self.fate[fate_lane + (packed >> 16) as usize] = FATE_CROSSBAR;
                     }

@@ -62,6 +62,9 @@
 //! * [`telemetry`] — [`Probe`]: monomorphized routing telemetry
 //!   ([`NullProbe`] compiles to nothing; [`StageProbe`] resolves
 //!   blocking, contention, and wire utilization per stage).
+//! * [`trace`] — [`TraceProbe`]: the flight recorder; per-event request
+//!   lifecycles (inject, hop, block, fault drop, resubmit, deliver)
+//!   timestamped in simulated cycles into a pre-sized ring buffer.
 //! * [`wiring`] — [`CompiledWiring`]: the flattened, `Arc`-shared
 //!   struct-of-arrays form of the interstage permutations; compiled and
 //!   deeply validated once, borrowed by every engine, and serialized by
@@ -87,6 +90,7 @@ pub mod routing;
 pub mod session;
 pub mod telemetry;
 pub mod topology;
+pub mod trace;
 pub mod wiring;
 
 pub use address::{DestTag, RetirementOrder, SourceAddress};
@@ -106,4 +110,5 @@ pub use session::{
 };
 pub use telemetry::{NullProbe, Probe, RunMetrics, StageMetrics, StageProbe};
 pub use topology::{EdnTopology, PathTrace};
+pub use trace::{TraceEvent, TraceEventKind, TraceFilter, TraceProbe};
 pub use wiring::{compile_shared, CompiledWiring, LutProvider};

@@ -456,6 +456,16 @@ impl<'s, A: Arbiter + ?Sized, P: Probe> RouteSession<'s, A, P> {
             }
             SessionMode::Driver(driver) => driver.fill_cycle(cycle, requests),
         }
+        if P::ENABLED && cycle > 0 {
+            if let (Some(probe), SessionMode::Resident(_)) = (self.probe.as_deref_mut(), &self.mode)
+            {
+                // Everything a resident session offers after cycle 0 is a
+                // resubmission of a previously blocked request.
+                for request in requests.iter() {
+                    probe.event_resubmit(request.source, request.tag);
+                }
+            }
+        }
         let outcome = match (&mut self.probe, self.faults) {
             (Some(probe), Some(faults)) => {
                 self.engine
@@ -674,6 +684,19 @@ impl<'s, A: Arbiter, P: Probe> LaneSession<'s, A, P> {
                     for entry in &mut resident.waiting {
                         entry.tag = rng.gen_range(0..resident.outputs);
                         requests.push(*entry);
+                    }
+                }
+            }
+        }
+        if P::ENABLED {
+            if let Some(probe) = self.probe.as_deref_mut() {
+                // Lane sessions are always resident: every request a lane
+                // offers after its first cycle is a resubmission.
+                for (lane, state) in self.states.iter().enumerate() {
+                    if mask & (1u64 << lane) != 0 && state.cycles > 0 {
+                        for request in state.requests.iter() {
+                            probe.event_resubmit(request.source, request.tag);
+                        }
                     }
                 }
             }

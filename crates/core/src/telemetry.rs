@@ -110,6 +110,130 @@ pub trait Probe {
     fn queue_depth(&mut self, depth: usize) {
         let _ = depth;
     }
+
+    /// Request `(source, tag)` entered the fabric this pass (flight
+    /// recorder: one inject per request per routed cycle).
+    #[inline(always)]
+    fn event_inject(&mut self, source: u64, tag: u64) {
+        let _ = (source, tag);
+    }
+
+    /// Request `(source, tag)` was granted stage-`stage` exit wire
+    /// `wire` — the identity-carrying companion of
+    /// [`Probe::wire_granted`].
+    #[inline(always)]
+    fn event_hop(&mut self, stage: u32, source: u64, tag: u64, wire: u64) {
+        let _ = (stage, source, tag, wire);
+    }
+
+    /// Request `(source, tag)` lost arbitration at `stage`; `losers` is
+    /// the total loser count of its bucket this pass (how crowded the
+    /// block site was).
+    #[inline(always)]
+    fn event_block(&mut self, stage: u32, source: u64, tag: u64, losers: usize) {
+        let _ = (stage, source, tag, losers);
+    }
+
+    /// Request `(source, tag)` died at `stage` because faults disabled
+    /// wires its contention level would otherwise have won.
+    #[inline(always)]
+    fn event_fault_drop(&mut self, stage: u32, source: u64, tag: u64) {
+        let _ = (stage, source, tag);
+    }
+
+    /// Request `(source, tag)` re-entered a session's submission queue
+    /// after losing an earlier cycle (resident resubmission).
+    #[inline(always)]
+    fn event_resubmit(&mut self, source: u64, tag: u64) {
+        let _ = (source, tag);
+    }
+
+    /// Request `(source, tag)` was delivered to `output`.
+    #[inline(always)]
+    fn event_deliver(&mut self, source: u64, tag: u64, output: u64) {
+        let _ = (source, tag, output);
+    }
+}
+
+/// Fans every hook out to two probes — `(&mut StageProbe, &mut
+/// TraceProbe)` runs aggregate counters and the flight recorder in one
+/// pass, which is how `tab_nuts --trace` reconciles its trace against
+/// its `RunMetrics` without routing twice.
+// edn-lint: hot-path
+impl<A: Probe, B: Probe> Probe for (&mut A, &mut B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline(always)]
+    fn cycle_start(&mut self, offered: usize) {
+        self.0.cycle_start(offered);
+        self.1.cycle_start(offered);
+    }
+
+    #[inline(always)]
+    fn arbitrated(&mut self, stage: u32, contenders: usize, capacity: usize, full: usize) {
+        self.0.arbitrated(stage, contenders, capacity, full);
+        self.1.arbitrated(stage, contenders, capacity, full);
+    }
+
+    #[inline(always)]
+    fn wire_granted(&mut self, stage: u32, wire: u64) {
+        self.0.wire_granted(stage, wire);
+        self.1.wire_granted(stage, wire);
+    }
+
+    #[inline(always)]
+    fn request_lost(&mut self, stage: u32) {
+        self.0.request_lost(stage);
+        self.1.request_lost(stage);
+    }
+
+    #[inline(always)]
+    fn cycle_end(&mut self, delivered: usize) {
+        self.0.cycle_end(delivered);
+        self.1.cycle_end(delivered);
+    }
+
+    #[inline(always)]
+    fn queue_depth(&mut self, depth: usize) {
+        self.0.queue_depth(depth);
+        self.1.queue_depth(depth);
+    }
+
+    #[inline(always)]
+    fn event_inject(&mut self, source: u64, tag: u64) {
+        self.0.event_inject(source, tag);
+        self.1.event_inject(source, tag);
+    }
+
+    #[inline(always)]
+    fn event_hop(&mut self, stage: u32, source: u64, tag: u64, wire: u64) {
+        self.0.event_hop(stage, source, tag, wire);
+        self.1.event_hop(stage, source, tag, wire);
+    }
+
+    #[inline(always)]
+    fn event_block(&mut self, stage: u32, source: u64, tag: u64, losers: usize) {
+        self.0.event_block(stage, source, tag, losers);
+        self.1.event_block(stage, source, tag, losers);
+    }
+
+    #[inline(always)]
+    fn event_fault_drop(&mut self, stage: u32, source: u64, tag: u64) {
+        self.0.event_fault_drop(stage, source, tag);
+        self.1.event_fault_drop(stage, source, tag);
+    }
+
+    #[inline(always)]
+    fn event_resubmit(&mut self, source: u64, tag: u64) {
+        self.0.event_resubmit(source, tag);
+        self.1.event_resubmit(source, tag);
+    }
+
+    #[inline(always)]
+    fn event_deliver(&mut self, source: u64, tag: u64, output: u64) {
+        self.0.event_deliver(source, tag, output);
+        self.1.event_deliver(source, tag, output);
+    }
 }
 
 /// The default probe: compiles to nothing.

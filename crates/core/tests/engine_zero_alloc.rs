@@ -19,6 +19,7 @@
 use edn_core::{
     ClusterSchedule, EdnParams, FaultSet, PriorityArbiter, RandomArbiter, Resubmit,
     RetirementOrder, RoundRobinArbiter, RouteRequest, RoutingEngine, SessionState, StageProbe,
+    TraceFilter, TraceProbe,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -196,6 +197,54 @@ fn steady_state_routing_does_not_allocate() {
         after - before,
         0,
         "steady-state route()/route_faulty()/route_reordered() must not touch the allocator, probed or not"
+    );
+
+    // --- The flight recorder holds the same guarantee. ---
+    // A pre-sized TraceProbe ring (roomy, reused via clear(); and a tiny
+    // one that overflows every cycle and only counts drops) records
+    // per-event telemetry — alone and teed behind the StageProbe exactly
+    // as `--trace` runs route — without touching the allocator.
+    let roomy = (params.inputs() as usize) * (params.l() as usize + 3);
+    let mut trace = TraceProbe::new(roomy, TraceFilter::default());
+    let mut tiny = TraceProbe::new(8, TraceFilter::default());
+    let trace_round = |engine: &mut RoutingEngine,
+                       trace: &mut TraceProbe,
+                       tiny: &mut TraceProbe,
+                       probe: &mut StageProbe,
+                       priority: &mut PriorityArbiter,
+                       random: &mut RandomArbiter<StdRng>| {
+        for batch in &batches {
+            trace.clear();
+            engine.route_probed(batch, priority, trace);
+            engine.route_faulty_probed(batch, &faults, random, &mut (&mut *probe, &mut *trace));
+            engine.route_probed(batch, priority, tiny);
+        }
+    };
+    trace_round(
+        &mut engine,
+        &mut trace,
+        &mut tiny,
+        &mut probe,
+        &mut priority,
+        &mut random,
+    );
+    assert!(tiny.dropped() > 0, "the tiny ring must actually overflow");
+    let before = allocations();
+    for _ in 0..25 {
+        trace_round(
+            &mut engine,
+            &mut trace,
+            &mut tiny,
+            &mut probe,
+            &mut priority,
+            &mut random,
+        );
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state trace recording (roomy, overflowing, and teed rings) must not touch the allocator"
     );
 
     // --- The session layer holds the same guarantee. ---

@@ -1,0 +1,34 @@
+//! Positive fixture: flight-recorder entry points that grew a `*_probed`
+//! variant without keeping the probe-free twin. A trace-layer refactor
+//! must never leave `TraceProbe`-threaded entries as the only way to
+//! route.
+
+pub struct Recorder;
+
+impl Recorder {
+    // A traced session step with no `step_mask` twin: callers would be
+    // forced to thread a probe (and pay its ring) everywhere.
+    pub fn step_mask_probed(&mut self, mask: u64) -> u64 { //~ probe-discipline
+        mask
+    }
+
+    // A traced drain whose twin was renamed away (`drain_all` exists,
+    // but the twin of `drain_probed` must be `drain`).
+    pub fn drain_probed(&mut self) -> usize { //~ probe-discipline
+        0
+    }
+
+    pub fn drain_all(&mut self) -> usize {
+        0
+    }
+
+    // Properly paired trace entry: `replay` survives alongside, so only
+    // the two orphans above are findings.
+    pub fn replay(&mut self) -> usize {
+        self.replay_probed()
+    }
+
+    pub fn replay_probed(&mut self) -> usize {
+        0
+    }
+}

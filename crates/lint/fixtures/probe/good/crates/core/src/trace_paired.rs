@@ -1,0 +1,31 @@
+//! Negative fixture: a flight-recorder layer whose every `*_probed`
+//! entry point keeps its `NullProbe`-defaulted twin — tracing stays
+//! opt-in at every call site. Zero findings expected.
+
+pub struct Recorder;
+
+impl Recorder {
+    pub fn step_mask(&mut self, mask: u64) -> u64 {
+        self.step_mask_probed(mask)
+    }
+
+    pub fn step_mask_probed(&mut self, mask: u64) -> u64 {
+        mask
+    }
+
+    pub fn drain(&mut self) -> usize {
+        self.drain_probed()
+    }
+
+    pub fn drain_probed(&mut self) -> usize {
+        0
+    }
+
+    pub fn replay(&mut self) -> usize {
+        self.replay_probed()
+    }
+
+    pub fn replay_probed(&mut self) -> usize {
+        0
+    }
+}

@@ -14,6 +14,9 @@
 //! --fabric DIR    load compiled wiring from the edn_fabric database at
 //!                 DIR instead of re-wiring shapes at startup
 //! --cache-stats   print hit/compute/commit counters after the run
+//! --trace [F]     record flight-recorder trace events into a
+//!                 PATH.trace.jsonl sidecar next to --out, optionally
+//!                 filtered (e.g. source=3,tag=17,cycles=10..20)
 //! --help          print usage and exit
 //! ```
 //!
@@ -33,8 +36,9 @@
 //! [`RowSink`] preserves grid order), not at process exit.
 
 use crate::metrics::{
-    render_run_line, render_run_metrics, Heartbeat, LatencyHistogram, TableTelemetry,
-    METRICS_EXTENSION,
+    render_run_line, render_run_metrics, render_trace_event, render_trace_header,
+    render_trace_summary, Heartbeat, LatencyHistogram, TableTelemetry, METRICS_EXTENSION,
+    TRACE_EXTENSION,
 };
 use crate::pool::run_indexed_counted;
 use crate::report::{render_json_row, Table};
@@ -76,6 +80,11 @@ pub struct SweepArgs {
     /// database is bit-identical to in-process wiring, so it can never
     /// change a row.
     pub fabric: Option<PathBuf>,
+    /// Flight-recorder filter (`--trace [filter]`): when set, experiments
+    /// route probed and the run writes a `PATH.trace.jsonl` sidecar next
+    /// to `--out`. Like the metrics sidecar it never joins the
+    /// deterministic artifact's byte-identity contract.
+    pub trace: Option<edn_core::TraceFilter>,
     no_cache: bool,
     binary: String,
 }
@@ -145,6 +154,7 @@ impl SweepArgs {
             cache: None,
             cache_stats: false,
             fabric: None,
+            trace: None,
             no_cache: false,
             binary: binary.to_string(),
         };
@@ -185,6 +195,19 @@ impl SweepArgs {
                 "--no-cache" => parsed.no_cache = true,
                 "--cache-stats" => parsed.cache_stats = true,
                 "--fabric" => parsed.fabric = Some(PathBuf::from(value("--fabric")?)),
+                "--trace" => {
+                    // The filter is optional: a following token that looks
+                    // like a flag belongs to the next clause, not to us.
+                    let filter = match args.peek() {
+                        Some(token) if !token.starts_with("--") => {
+                            let token = args.next().expect("peeked token present");
+                            edn_core::TraceFilter::parse(&token)
+                                .map_err(|message| format!("--trace: {message}"))?
+                        }
+                        _ => edn_core::TraceFilter::default(),
+                    };
+                    parsed.trace = Some(filter);
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -198,7 +221,7 @@ impl SweepArgs {
         format!(
             "{about}\n\n\
              Usage: {binary} [--threads N] [--seeds N] [--cycles N] [--out PATH] [--shard I/N]\n        \
-             [--cache DIR] [--no-cache] [--cache-stats] [--fabric DIR]\n\n\
+             [--cache DIR] [--no-cache] [--cache-stats] [--fabric DIR] [--trace [FILTER]]\n\n\
              Options:\n  \
              --threads N    worker threads for the sweep pool (default: all cores,\n                 \
              or EDN_SWEEP_THREADS)\n  \
@@ -214,6 +237,9 @@ impl SweepArgs {
              --fabric DIR   load compiled wiring from the edn_fabric database at DIR\n                 \
              (build it with `edn_fabric build`); rows are byte-identical\n                 \
              with or without it\n  \
+             --trace [F]    record flight-recorder events into PATH.trace.jsonl next\n                 \
+             to --out; F filters events, clauses comma-separated:\n                 \
+             source=S, tag=T, cycles=A..B (e.g. source=3,cycles=0..20)\n  \
              --help         print this message"
         )
     }
@@ -340,6 +366,7 @@ impl SweepArgs {
             next_table: 0,
             telemetry: Vec::new(),
             routing: Vec::new(),
+            trace_lines: Vec::new(),
             heartbeat,
             // edn-lint: allow(determinism) -- heartbeat wall-clock, sidecar-only
             started: Instant::now(),
@@ -421,6 +448,7 @@ pub struct Emission<'a> {
     next_table: usize,
     telemetry: Vec<TableTelemetry>,
     routing: Vec<String>,
+    trace_lines: Vec<String>,
     heartbeat: Option<Mutex<Heartbeat>>,
     // edn-lint: allow(determinism) -- heartbeat wall-clock, sidecar-only
     started: Instant,
@@ -760,6 +788,30 @@ impl Emission<'_> {
         &self.telemetry
     }
 
+    /// The `--trace` filter, when the run was asked to trace. An
+    /// experiment that supports tracing builds one
+    /// [`edn_core::TraceProbe`] per traced slice from this filter and
+    /// hands each back through [`record_trace`](Self::record_trace).
+    pub fn trace_filter(&self) -> Option<edn_core::TraceFilter> {
+        self.args.trace
+    }
+
+    /// Records one flight-recorder probe's contents for the trace
+    /// sidecar, labeled like [`record_run_metrics`](Self::record_run_metrics)
+    /// labels routing snapshots. Events become `{"kind": "event", ...}`
+    /// lines and the probe's totals a closing `{"kind": "summary", ...}`
+    /// line when [`finish`](Self::finish) writes `PATH.trace.jsonl`;
+    /// without `--out` (or without `--trace`) they are dropped.
+    pub fn record_trace(&mut self, label: &str, probe: &edn_core::TraceProbe) {
+        if self.args.trace.is_none() {
+            return;
+        }
+        for event in probe.events() {
+            self.trace_lines.push(render_trace_event(label, event));
+        }
+        self.trace_lines.push(render_trace_summary(label, probe));
+    }
+
     /// Closes the run: every planned table must have been emitted; the
     /// artifact (if any) is validated gap-free, synced, and reported on
     /// stdout.
@@ -822,6 +874,33 @@ impl Emission<'_> {
                     self.args.binary,
                     metrics_path.display()
                 ),
+            }
+            // The trace sidecar follows the same rules: observability
+            // only, warn-only on failure, never part of byte-identity.
+            // A filtered run that matched nothing still writes the
+            // schema-versioned header, so consumers can tell "traced,
+            // empty" from "never traced".
+            if let Some(filter) = &self.args.trace {
+                let trace_path = path.with_extension(TRACE_EXTENSION);
+                let mut lines = vec![render_trace_header(
+                    &self.args.binary,
+                    self.args.shard,
+                    filter,
+                )];
+                lines.extend(self.trace_lines.iter().cloned());
+                let records = lines.len();
+                let mut text = lines.join("\n");
+                text.push('\n');
+                match std::fs::write(&trace_path, text) {
+                    Ok(()) => {
+                        println!("wrote {records} trace records to {}", trace_path.display())
+                    }
+                    Err(error) => eprintln!(
+                        "{}: writing trace sidecar {}: {error}",
+                        self.args.binary,
+                        trace_path.display()
+                    ),
+                }
             }
         }
         if self.args.cache_stats {

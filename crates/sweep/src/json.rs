@@ -302,12 +302,20 @@ impl Parser<'_> {
                 Some(byte) if byte < 0x20 => {
                     return Err(self.error("raw control character in string"))
                 }
+                Some(byte) if byte < 0x80 => {
+                    out.push(byte as char);
+                    self.at += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // encoding is already valid).
-                    let rest = &self.bytes[self.at..];
-                    let text = std::str::from_utf8(rest).expect("input was a &str");
-                    let ch = text.chars().next().expect("peeked non-empty");
+                    // Consume one multi-byte UTF-8 scalar. Decode from a
+                    // bounded window — validating the whole remaining
+                    // input per character would make parsing quadratic.
+                    let end = self.bytes.len().min(self.at + 4);
+                    let window = &self.bytes[self.at..end];
+                    let text = std::str::from_utf8(window).unwrap_or_else(|error| {
+                        std::str::from_utf8(&window[..error.valid_up_to()]).expect("valid prefix")
+                    });
+                    let ch = text.chars().next().expect("input was a &str");
                     out.push(ch);
                     self.at += ch.len_utf8();
                 }
@@ -454,6 +462,11 @@ mod tests {
     #[test]
     fn raw_unicode_passes_through() {
         assert_eq!(parse("\"héllo ∆\"").unwrap().as_str(), Some("héllo ∆"));
+        // Consecutive multi-byte scalars exercise the bounded decode
+        // window (the 4-byte lookahead may split the following scalar).
+        assert_eq!(parse("\"日本語\"").unwrap().as_str(), Some("日本語"));
+        assert_eq!(parse("\"😀😀\"").unwrap().as_str(), Some("😀😀"));
+        assert_eq!(parse("\"é\"").unwrap().as_str(), Some("é"));
     }
 
     #[test]

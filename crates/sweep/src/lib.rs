@@ -87,7 +87,11 @@ pub mod worker;
 
 pub use cli::{CacheStats, Emission, SweepArgs, CACHE_ENV};
 pub use fabric::{fabric_dir, set_fabric_dir, wiring_for};
-pub use metrics::{Heartbeat, HeartbeatLine, LatencyHistogram, TableTelemetry, HEARTBEAT_ENV};
+pub use metrics::{
+    check_trace_text, render_trace_event, render_trace_header, render_trace_summary, Heartbeat,
+    HeartbeatLine, LatencyHistogram, TableTelemetry, HEARTBEAT_ENV, TRACE_EXTENSION,
+    TRACE_SCHEMA_VERSION,
+};
 pub use pool::{default_threads, map_slice_with, run_indexed, run_indexed_counted, PoolStats};
 pub use report::{fmt_f, fmt_opt, render_json_row, Table};
 pub use spec::{SweepPoint, SweepSpec};

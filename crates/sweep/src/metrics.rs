@@ -327,6 +327,163 @@ pub fn check_metrics_text(text: &str) -> Result<usize, Vec<String>> {
     }
 }
 
+/// The extension the flight-recorder trace sidecar replaces the
+/// artifact's with: `run.jsonl` → `run.trace.jsonl`. Like the metrics
+/// sidecar it is never part of the deterministic artifact's
+/// byte-identity contract.
+pub const TRACE_EXTENSION: &str = "trace.jsonl";
+
+/// The trace sidecar's schema version, carried by its header record as
+/// `edn_trace_schema`.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// The known `"kind"` values of trace lines: the header record (always
+/// first), one `event` record per recorded [`edn_core::TraceEvent`],
+/// and one `summary` record per traced run label.
+pub const TRACE_KINDS: [&str; 3] = ["header", "event", "summary"];
+
+/// The trace sidecar's `{"kind": "header", ...}` line (always first):
+/// schema version, the emitting binary, its shard coordinate, and the
+/// `--trace` filter in its own grammar.
+pub fn render_trace_header(binary: &str, shard: Shard, filter: &edn_core::TraceFilter) -> String {
+    format!(
+        "{{\"kind\": \"header\", \"edn_trace_schema\": {TRACE_SCHEMA_VERSION}, \
+         \"binary\": {}, \"shard\": \"{}\", \"filter\": {}}}",
+        json_string(binary),
+        shard,
+        json_string(&filter.render()),
+    )
+}
+
+/// One recorded event as its `{"kind": "event", ...}` trace line,
+/// labeled with the run slice it came from (one label per traced row,
+/// mirroring the routing metrics labels).
+pub fn render_trace_event(label: &str, event: &edn_core::TraceEvent) -> String {
+    format!(
+        "{{\"kind\": \"event\", \"label\": {}, \"cycle\": {}, \"event\": \"{}\", \
+         \"source\": {}, \"tag\": {}, \"stage\": {}, \"value\": {}}}",
+        json_string(label),
+        event.cycle,
+        event.kind.name(),
+        event.source,
+        event.tag,
+        event.stage,
+        event.value,
+    )
+}
+
+/// A traced run's closing `{"kind": "summary", ...}` line: how many
+/// events the ring recorded, how many overflowed past its capacity, and
+/// how many simulated cycles the probe observed.
+pub fn render_trace_summary(label: &str, probe: &edn_core::TraceProbe) -> String {
+    format!(
+        "{{\"kind\": \"summary\", \"label\": {}, \"events\": {}, \"dropped\": {}, \
+         \"cycles\": {}}}",
+        json_string(label),
+        probe.events().len(),
+        probe.dropped(),
+        probe.cycle(),
+    )
+}
+
+/// Validates one trace sidecar's text (the trace half of
+/// `edn_merge --check-metrics`): every line must parse as strict JSON,
+/// carry a known `"kind"`, open with the schema-versioned header
+/// record, hold the fields of its kind, name a known event, and keep
+/// cycle timestamps monotone per `(label, source)` packet. A
+/// header-only sidecar (a filtered run that matched nothing) is valid.
+/// Returns the record count.
+///
+/// # Errors
+///
+/// Every problem found, as `line N: message` strings.
+pub fn check_trace_text(text: &str) -> Result<usize, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut records = 0usize;
+    let mut last_cycle: std::collections::BTreeMap<(String, usize), usize> =
+        std::collections::BTreeMap::new();
+    for (index, line) in text.lines().enumerate() {
+        let number = index + 1;
+        let mut bad = |message: String| errors.push(format!("line {number}: {message}"));
+        let value = match crate::json::parse(line) {
+            Ok(value) => value,
+            Err(error) => {
+                bad(error.to_string());
+                continue;
+            }
+        };
+        records += 1;
+        let Some(kind) = value.get("kind").and_then(|v| v.as_str()) else {
+            bad("record has no string `kind` field".to_string());
+            continue;
+        };
+        if !TRACE_KINDS.contains(&kind) {
+            bad(format!("unknown record kind `{kind}`"));
+            continue;
+        }
+        if index == 0 && kind != "header" {
+            bad(format!(
+                "trace sidecar must open with the header record, found `{kind}`"
+            ));
+        }
+        let required: &[&str] = match kind {
+            "header" => &["edn_trace_schema", "binary", "shard", "filter"],
+            "event" => &["label", "cycle", "event", "source", "tag", "stage", "value"],
+            _ => &["label", "events", "dropped", "cycles"],
+        };
+        for field in required {
+            if value.get(field).is_none() {
+                bad(format!("{kind} record missing field `{field}`"));
+            }
+        }
+        match kind {
+            "header" => {
+                if let Some(shard) = value.get("shard").and_then(|v| v.as_str()) {
+                    if Shard::parse(shard).is_err() {
+                        bad(format!("header record shard `{shard}` is not I/N"));
+                    }
+                }
+            }
+            "event" => {
+                if let Some(name) = value.get("event").and_then(|v| v.as_str()) {
+                    if !edn_core::TraceEventKind::ALL
+                        .iter()
+                        .any(|kind| kind.name() == name)
+                    {
+                        bad(format!("unknown event `{name}`"));
+                    }
+                }
+                if let (Some(label), Some(source), Some(cycle)) = (
+                    value.get("label").and_then(|v| v.as_str()),
+                    value.get("source").and_then(|v| v.as_usize()),
+                    value.get("cycle").and_then(|v| v.as_usize()),
+                ) {
+                    let key = (label.to_string(), source);
+                    if let Some(&previous) = last_cycle.get(&key) {
+                        if cycle < previous {
+                            bad(format!(
+                                "cycle {cycle} before cycle {previous} for source \
+                                 {source} of {label:?}: timestamps must be monotone \
+                                 per packet"
+                            ));
+                        }
+                    }
+                    last_cycle.insert(key, cycle);
+                }
+            }
+            _ => {}
+        }
+    }
+    if records == 0 {
+        errors.push("no trace records found".to_string());
+    }
+    if errors.is_empty() {
+        Ok(records)
+    } else {
+        Err(errors)
+    }
+}
+
 /// The heartbeat interval [`HEARTBEAT_ENV`] requests, `None` when
 /// heartbeats are disabled.
 pub fn heartbeat_interval_from_env() -> Option<Duration> {
